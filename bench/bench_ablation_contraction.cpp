@@ -1,0 +1,77 @@
+// Ablation (§4.1): sparse (edge-array + sample sort) vs dense (adjacency
+// matrix + transpose) bulk edge contraction across graph densities. The
+// paper keeps both implementations because neither wins everywhere: the
+// sparse path is O(m/p) volume, the dense path O(n^2/p) — the crossover
+// sits near m ~ n^2.
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/contract.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/dist_matrix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto options = bench::parse(argc, argv);
+  bench::Csv csv;
+  csv.comment("Ablation: sparse vs dense bulk edge contraction");
+  csv.header("representation", "n", "m", "density", "p", "seconds",
+             "max_words");
+
+  const auto n =
+      static_cast<graph::Vertex>(bench::scaled(1024, options.scale, 128));
+  const int p = std::min(4, options.max_p);
+
+  for (const double density : {0.02, 0.1, 0.4, 1.0}) {
+    const auto m = static_cast<std::uint64_t>(
+        density * static_cast<double>(n) * (n - 1) / 2.0);
+    auto edges = gen::erdos_renyi(n, m, options.seed);
+
+    // Contraction to n/2 labels, fixed mapping.
+    rng::Philox map_gen(options.seed + 1, 0);
+    std::vector<graph::Vertex> mapping(n);
+    for (graph::Vertex v = 0; v < n; ++v)
+      mapping[v] = static_cast<graph::Vertex>(map_gen.bounded(n / 2));
+
+    // Sparse path.
+    {
+      double seconds = 0;
+      std::uint64_t words = 0;
+      bsp::Machine machine(p);
+      auto outcome = machine.run([&](bsp::Comm& world) {
+        auto dist = graph::DistributedEdgeArray::scatter(
+            world, n,
+            world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+        rng::Philox gen(options.seed,
+                        static_cast<std::uint64_t>(world.rank()));
+        const double t = bench::time_seconds([&] {
+          core::sparse_bulk_contract(world, dist, mapping, n / 2, gen);
+        });
+        if (world.rank() == 0) seconds = t;
+      });
+      words = outcome.stats.max_words_communicated;
+      csv.row("sparse", n, m, density, p, seconds, words);
+    }
+    // Dense path.
+    {
+      double seconds = 0;
+      std::uint64_t words = 0;
+      bsp::Machine machine(p);
+      auto outcome = machine.run([&](bsp::Comm& world) {
+        auto dist = graph::DistributedEdgeArray::scatter(
+            world, n,
+            world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+        auto matrix =
+            graph::DistributedMatrix::from_edges(world, n, dist.local());
+        const double t = bench::time_seconds([&] {
+          core::dense_bulk_contract(world, matrix, mapping, n / 2);
+        });
+        if (world.rank() == 0) seconds = t;
+      });
+      words = outcome.stats.max_words_communicated;
+      csv.row("dense", n, m, density, p, seconds, words);
+    }
+  }
+  return 0;
+}

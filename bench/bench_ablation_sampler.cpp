@@ -1,0 +1,60 @@
+// Ablation (§3.1): alias-table O(1)-per-sample vs prefix-sum
+// O(log m)-per-sample weighted edge sampling, over slice size and sample
+// count. Both produce the same distribution (Lemma 3.1); the question is
+// the constant-factor cost of Sparsification's inner loop.
+
+#include "common/harness.hpp"
+#include "gen/generators.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/weighted_sampler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto options = bench::parse(argc, argv);
+  bench::Csv csv;
+  csv.comment("Ablation: alias table vs prefix-sum weighted sampling");
+  csv.header("sampler", "slice_edges", "samples", "build_seconds",
+             "draw_seconds", "per_sample_ns");
+
+  for (const std::uint64_t slice :
+       {10'000ull, 100'000ull, 1'000'000ull}) {
+    const std::uint64_t edges = bench::scaled(slice, options.scale, 1000);
+    std::vector<double> weights(edges);
+    rng::Philox weight_gen(options.seed, 1);
+    for (double& w : weights)
+      w = 1.0 + static_cast<double>(weight_gen.bounded(100));
+
+    const std::uint64_t samples = edges / 4;
+    for (const auto kind :
+         {rng::SamplerKind::kAlias, rng::SamplerKind::kPrefixSum}) {
+      rng::Philox gen(options.seed, 2);
+      double build_seconds = 0, draw_seconds = 0;
+      if (kind == rng::SamplerKind::kAlias) {
+        rng::AliasTable table;
+        build_seconds = bench::time_median(
+            options.repetitions, [&] { table = rng::AliasTable(weights); });
+        std::uint64_t sink = 0;
+        draw_seconds = bench::time_median(options.repetitions, [&] {
+          for (std::uint64_t k = 0; k < samples; ++k)
+            sink += table.sample(gen);
+        });
+        if (sink == 0xDEAD) csv.comment("unreachable");
+      } else {
+        rng::PrefixSumSampler sampler;
+        build_seconds = bench::time_median(options.repetitions, [&] {
+          sampler = rng::PrefixSumSampler(weights);
+        });
+        std::uint64_t sink = 0;
+        draw_seconds = bench::time_median(options.repetitions, [&] {
+          for (std::uint64_t k = 0; k < samples; ++k)
+            sink += sampler.sample(gen);
+        });
+        if (sink == 0xDEAD) csv.comment("unreachable");
+      }
+      csv.row(kind == rng::SamplerKind::kAlias ? "alias" : "prefix-sum",
+              edges, samples, build_seconds, draw_seconds,
+              draw_seconds / static_cast<double>(samples) * 1e9);
+    }
+  }
+  return 0;
+}

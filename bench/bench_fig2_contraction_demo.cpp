@@ -1,0 +1,55 @@
+// Figure 2: the paper's worked contraction example. Prints the 6-vertex
+// graph, contracts edge (v4, v5), and shows that parallel edges combine
+// (weights 2 + 3 -> 5) while the minimum cut value stays 2.
+
+#include <iostream>
+
+#include "common/harness.hpp"
+#include "gen/verification.hpp"
+#include "graph/dense_graph.hpp"
+#include "seq/stoer_wagner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  (void)bench::parse(argc, argv);
+
+  const gen::KnownGraph figure2 = gen::figure2_graph();
+  graph::DenseGraph dense(figure2.n, figure2.edges);
+
+  const auto print_matrix = [&](const graph::DenseGraph& g,
+                                const std::string& title) {
+    std::cout << title << " (active vertices: " << g.active_vertices()
+              << ")\n    ";
+    for (graph::Vertex j = 0; j < g.active_vertices(); ++j)
+      std::cout << "v" << j << "  ";
+    std::cout << "\n";
+    for (graph::Vertex i = 0; i < g.active_vertices(); ++i) {
+      std::cout << "v" << i << " | ";
+      for (graph::Vertex j = 0; j < g.active_vertices(); ++j)
+        std::cout << g.weight(i, j) << "   ";
+      std::cout << "\n";
+    }
+  };
+
+  std::cout << "# Figure 2: edge contraction does not change the minimum "
+               "cut\n";
+  print_matrix(dense, "Figure 2a: initial graph");
+  std::cout << "minimum cut: "
+            << seq::stoer_wagner_min_cut(figure2.n, figure2.edges).value
+            << "\n\n";
+
+  dense.contract(3, 4);  // (v4, v5) in the paper's 1-based numbering
+  print_matrix(dense, "Figure 2b: after contracting (v4, v5)");
+
+  // Recompute the cut on the contracted graph.
+  std::vector<graph::WeightedEdge> contracted;
+  for (graph::Vertex i = 0; i < dense.active_vertices(); ++i)
+    for (graph::Vertex j = i + 1; j < dense.active_vertices(); ++j)
+      if (dense.weight(i, j) > 0)
+        contracted.push_back({i, j, dense.weight(i, j)});
+  std::cout << "minimum cut after contraction: "
+            << seq::stoer_wagner_min_cut(dense.active_vertices(), contracted)
+                   .value
+            << " (unchanged, weight-5 parallel edge combined)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 3: connected-components strong scaling against the baselines.
+// Panel (a): sparse Barabasi-Albert graph (paper: n = 1M, d = 32; here
+// n ~ 60'000). Panel (b): dense R-MAT graph (paper: n = 128'000, d = 2000;
+// here n = 8192, d ~ 250).
+//
+// Implementations: CC (ours), PBGL stand-in (BSP Shiloach-Vishkin),
+// Galois stand-in (async shared-memory label propagation), and the
+// sequential BGL stand-in (DFS traversal) as the horizontal reference line.
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/baselines.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/connected_components.hpp"
+
+namespace {
+
+using namespace camc;
+
+void run_panel(bench::Csv& csv, const std::string& panel, graph::Vertex n,
+               const std::vector<graph::WeightedEdge>& edges,
+               const bench::Options& options) {
+  // Sequential BGL reference line.
+  {
+    const graph::LocalGraph csr(n, edges);
+    const double seconds = bench::time_median(
+        options.repetitions, [&] { seq::dfs_components(csr); });
+    csv.row(panel, "BGL", 1, seconds, 0.0);
+  }
+
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    // Ours.
+    {
+      const auto run = bench::median_run(options.repetitions, [&] {
+        bsp::Machine machine(p);
+        auto outcome = machine.run([&](bsp::Comm& world) {
+          auto dist = graph::DistributedEdgeArray::scatter(
+              world, n,
+              world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+          core::CcOptions cc;
+          cc.seed = options.seed;
+          core::connected_components(world, dist, cc);
+        });
+        return bench::TimedStats{outcome.wall_seconds,
+                                 outcome.stats.max_comm_seconds,
+                                 outcome.stats.supersteps,
+                                 outcome.stats.max_words_communicated};
+      });
+      csv.row(panel, "CC", p, run.seconds, run.mpi_seconds);
+    }
+    // PBGL stand-in.
+    {
+      const auto run = bench::median_run(options.repetitions, [&] {
+        bsp::Machine machine(p);
+        auto outcome = machine.run([&](bsp::Comm& world) {
+          auto dist = graph::DistributedEdgeArray::scatter(
+              world, n,
+              world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+          core::bsp_sv_components(world, dist);
+        });
+        return bench::TimedStats{outcome.wall_seconds,
+                                 outcome.stats.max_comm_seconds,
+                                 outcome.stats.supersteps,
+                                 outcome.stats.max_words_communicated};
+      });
+      csv.row(panel, "PBGL", p, run.seconds, run.mpi_seconds);
+    }
+    // Galois stand-in.
+    {
+      const double seconds = bench::time_median(options.repetitions, [&] {
+        bsp::Machine machine(p);
+        core::AsyncCcSharedState shared(n);
+        machine.run([&](bsp::Comm& world) {
+          auto dist = graph::DistributedEdgeArray::scatter(
+              world, n,
+              world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+          core::async_label_propagation(world, dist, shared);
+        });
+      });
+      csv.row(panel, "Galois", p, seconds, 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = camc::bench::parse(argc, argv);
+  bench::Csv csv;
+  csv.comment("Figure 3: CC strong scaling vs baselines");
+  csv.comment("(a) sparse Barabasi-Albert; (b) dense R-MAT");
+  csv.header("panel", "impl", "p", "seconds", "mpi_seconds");
+
+  {
+    const auto n = static_cast<graph::Vertex>(
+        bench::scaled(60'000, options.scale, 1000));
+    const auto edges = gen::barabasi_albert(n, 16, options.seed);
+    run_panel(csv, "a_sparse", n, edges, options);
+  }
+  {
+    const unsigned scale_bits = options.scale >= 2 ? 14 : 13;
+    const auto n = static_cast<graph::Vertex>(1u << scale_bits);
+    const auto edges =
+        gen::rmat(scale_bits, static_cast<std::uint64_t>(n) * 125,
+                  options.seed + 1);
+    run_panel(csv, "b_dense", n, edges, options);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6: exact minimum cut strong scaling on a dense R-MAT graph
+// (paper: n = 16'000, d = 4000, 48..1536 cores; here n = 1024, d ~ 200),
+// with the fitted performance-model prediction and the MPI fraction.
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "model/bsp_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto options = bench::parse(argc, argv);
+
+  const auto n = static_cast<graph::Vertex>(1u << 9);
+  const std::uint64_t m =
+      bench::scaled(static_cast<std::uint64_t>(n) * 50, options.scale);
+  const auto edges = gen::rmat(9, m, options.seed);
+
+  bench::Csv csv;
+  csv.comment("Figure 6: MC strong scaling, dense R-MAT n=" +
+              std::to_string(n) + " m=" + std::to_string(m) +
+              " d~" + std::to_string(2 * m / n) + " (paper: n=16000 d=4000)");
+  csv.header("p", "seconds", "mpi_seconds", "mpi_fraction", "model_seconds",
+             "cut_value", "trials");
+
+  std::vector<model::Observation> observations;
+  struct Point {
+    int p;
+    double seconds, mpi;
+    std::uint64_t value, trials;
+  };
+  std::vector<Point> points;
+
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    double best = -1, mpi = 0;
+    std::uint64_t value = 0, trials = 0;
+    for (int rep = 0; rep < std::min(options.repetitions, 2); ++rep) {
+      bsp::Machine machine(p);
+      auto outcome = machine.run([&](bsp::Comm& world) {
+        auto dist = graph::DistributedEdgeArray::scatter(
+            world, n,
+            world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+        core::MinCutOptions mc;
+        mc.seed = options.seed + static_cast<std::uint64_t>(rep);
+        mc.want_side = false;
+        auto result = core::min_cut(world, dist, mc);
+        if (world.rank() == 0) {
+          value = result.value;
+          trials = result.trials;
+        }
+      });
+      if (best < 0 || outcome.wall_seconds < best) {
+        best = outcome.wall_seconds;
+        mpi = outcome.stats.max_comm_seconds;
+      }
+    }
+    points.push_back({p, best, mpi, value, trials});
+    observations.push_back(
+        {model::Instance{static_cast<double>(n), static_cast<double>(m),
+                         static_cast<double>(p), 8},
+         best});
+  }
+
+  const model::FittedModel fitted =
+      model::fit(observations, &model::min_cut_bounds);
+  for (const Point& pt : points) {
+    const model::Instance instance{static_cast<double>(n),
+                                   static_cast<double>(m),
+                                   static_cast<double>(pt.p), 8};
+    csv.row(pt.p, pt.seconds, pt.mpi,
+            pt.seconds > 0 ? pt.mpi / pt.seconds : 0.0,
+            fitted.predict(model::min_cut_bounds(instance), instance),
+            pt.value, pt.trials);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7: exact minimum cut weak scaling. Left: sparse Watts-Strogatz,
+// fixed vertices per rank (paper: d = 32, 4000 vertices/node). Right:
+// dense R-MAT, fixed vertices per rank (paper: d = 1000, 2000
+// vertices/node). Since the algorithm's work is ~n^2/p, time should grow
+// roughly linearly when n grows with p.
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+
+namespace {
+
+using namespace camc;
+
+void weak_point(bench::Csv& csv, const std::string& panel, graph::Vertex n,
+                const std::vector<graph::WeightedEdge>& edges, int p,
+                const bench::Options& options) {
+  double best = -1, mpi = 0;
+  std::uint64_t value = 0;
+  for (int rep = 0; rep < std::min(options.repetitions, 2); ++rep) {
+    bsp::Machine machine(p);
+    auto outcome = machine.run([&](bsp::Comm& world) {
+      auto dist = graph::DistributedEdgeArray::scatter(
+          world, n,
+          world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+      core::MinCutOptions mc;
+      mc.seed = options.seed + static_cast<std::uint64_t>(rep);
+      mc.want_side = false;
+      auto result = core::min_cut(world, dist, mc);
+      if (world.rank() == 0) value = result.value;
+    });
+    if (best < 0 || outcome.wall_seconds < best) {
+      best = outcome.wall_seconds;
+      mpi = outcome.stats.max_comm_seconds;
+    }
+  }
+  csv.row(panel, p, n, edges.size(), best, mpi, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = camc::bench::parse(argc, argv);
+  bench::Csv csv;
+  csv.comment("Figure 7: MC weak scaling (left sparse WS, right dense RMAT)");
+  csv.header("panel", "p", "n", "m", "seconds", "mpi_seconds", "cut_value");
+
+  const auto per_rank_sparse = static_cast<graph::Vertex>(
+      bench::scaled(120, options.scale, 34));
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    const auto n = static_cast<graph::Vertex>(per_rank_sparse *
+                                              static_cast<graph::Vertex>(p));
+    const auto edges = gen::watts_strogatz(n, 32, 0.3, options.seed);
+    weak_point(csv, "left_sparse_ws", n, edges, p, options);
+  }
+
+  // Dense panel: R-MAT needs power-of-two n; sweep p in powers of two with
+  // 64 vertices per rank.
+  for (int p = 1; p <= options.max_p; p *= 2) {
+    unsigned bits = 6;  // 64 vertices
+    int q = p;
+    while (q > 1) {
+      ++bits;
+      q /= 2;
+    }
+    const auto n = static_cast<graph::Vertex>(1u << bits);
+    const auto edges = gen::rmat(
+        bits, bench::scaled(static_cast<std::uint64_t>(n) * 50, options.scale),
+        options.seed + 3);
+    weak_point(csv, "right_dense_rmat", n, edges, p, options);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 8: instructions-per-LLC-miss (IPM) rates.
+// (a) minimum cuts: MC vs KS vs SW on Erdős–Rényi d = 32 with growing n
+//     (paper: n = 8k..56k; here n = 256..1024 — SW's traced run is
+//     Theta(n^3) simulated accesses);
+// (b) connected components: CC vs BGL vs Galois on the Figure 4 sweep.
+//
+// IPM = simulated operations / CO-model misses; the paper reads IPM as a
+// proxy for how much useful work each memory transfer supports.
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "seq/instrumented.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto options = bench::parse(argc, argv);
+  bench::Csv csv;
+  csv.comment("Figure 8: IPM of (a) min-cut algorithms, (b) CC algorithms");
+  csv.header("panel", "impl", "n", "ops", "misses", "ipm");
+
+  // (a) min cuts on ER d=32. Randomized algorithms are traced over a fixed
+  // number of runs/trials; IPM is a per-run ratio, so no scaling is needed.
+  for (const std::uint64_t base : {256ull, 512ull, 768ull, 1024ull}) {
+    const auto n =
+        static_cast<graph::Vertex>(bench::scaled(base, options.scale, 128));
+    const auto edges = gen::erdos_renyi(n, 16ull * n, options.seed + n);
+    seq::TraceConfig config;
+    config.cache_words = 1ull << 13;
+
+    const auto sw = seq::traced_stoer_wagner(n, edges, config);
+    const auto ks = seq::traced_karger_stein(n, edges, 2, options.seed,
+                                             config);
+    const auto mc = seq::traced_camc_min_cut(n, edges, 2, options.seed + 1,
+                                             0.2, config);
+    csv.row("a_mincut", "SW", n, sw.ops, sw.misses, sw.ipm);
+    csv.row("a_mincut", "KS", n, ks.ops, ks.misses, ks.ipm);
+    csv.row("a_mincut", "MC", n, mc.ops, mc.misses, mc.ipm);
+  }
+
+  // (b) connected components on R-MAT d=64 (the Figure 4 sweep).
+  for (unsigned bits = 13; bits <= 16; ++bits) {
+    const auto n = static_cast<graph::Vertex>(1u << bits);
+    const auto edges = gen::rmat(bits, 32ull * n, options.seed + bits);
+    seq::TraceConfig config;
+    config.cache_words = 4ull * n;  // semi-external
+
+    const auto bgl = seq::traced_bgl_cc(n, edges, config);
+    const auto galois = seq::traced_union_find_cc(n, edges, config);
+
+    cachesim::Session session(config.cache_words, config.block_words);
+    bsp::Machine machine(1);
+    machine.run([&](bsp::Comm& world) {
+      auto dist = graph::DistributedEdgeArray::scatter(world, n, edges);
+      core::CcOptions cc;
+      cc.seed = options.seed;
+      cc.trace = &session;
+      core::connected_components(world, dist, cc);
+    });
+    csv.row("b_cc", "BGL", n, bgl.ops, bgl.misses, bgl.ipm);
+    csv.row("b_cc", "Galois", n, galois.ops, galois.misses, galois.ipm);
+    csv.row("b_cc", "CC", n, session.ops(), session.misses(), session.ipm());
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the substrate primitives: Philox
+// generation, weighted samplers, union-find, the simulated cache, BSP
+// collectives, and distributed sample sort.
+
+#include <benchmark/benchmark.h>
+
+#include "bsp/machine.hpp"
+#include "bsp/sample_sort.hpp"
+#include "cachesim/cache.hpp"
+#include "gen/generators.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/philox.hpp"
+#include "rng/weighted_sampler.hpp"
+#include "seq/union_find.hpp"
+
+namespace {
+
+using namespace camc;
+
+void BM_PhiloxU64(benchmark::State& state) {
+  rng::Philox gen(1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_PhiloxU64);
+
+void BM_PhiloxBounded(benchmark::State& state) {
+  rng::Philox gen(1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.bounded(1000003));
+}
+BENCHMARK(BM_PhiloxBounded);
+
+void BM_AliasBuild(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(k);
+  rng::Philox gen(3, 4);
+  for (double& w : weights) w = 1.0 + gen.uniform_real();
+  for (auto _ : state) {
+    rng::AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_AliasBuild)->Range(1 << 10, 1 << 18);
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(1 << 16);
+  rng::Philox gen(3, 4);
+  for (double& w : weights) w = 1.0 + gen.uniform_real();
+  const rng::AliasTable table(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(gen));
+}
+BENCHMARK(BM_AliasSample);
+
+void BM_PrefixSumSample(benchmark::State& state) {
+  std::vector<double> weights(1 << 16);
+  rng::Philox gen(3, 4);
+  for (double& w : weights) w = 1.0 + gen.uniform_real();
+  const rng::PrefixSumSampler sampler(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(gen));
+}
+BENCHMARK(BM_PrefixSumSample);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Philox gen(5, 6);
+  for (auto _ : state) {
+    seq::UnionFind dsu(n);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      dsu.unite(static_cast<graph::Vertex>(gen.bounded(n)),
+                static_cast<graph::Vertex>(gen.bounded(n)));
+    benchmark::DoNotOptimize(dsu.component_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionFind)->Range(1 << 10, 1 << 18);
+
+void BM_IdealCacheAccess(benchmark::State& state) {
+  cachesim::IdealCache cache(1 << 16, 8);
+  rng::Philox gen(7, 8);
+  for (auto _ : state) cache.access(gen.bounded(1 << 20));
+  state.counters["miss_rate"] =
+      static_cast<double>(cache.misses()) /
+      static_cast<double>(std::max<std::uint64_t>(cache.accesses(), 1));
+}
+BENCHMARK(BM_IdealCacheAccess);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    bsp::Machine machine(p);
+    machine.run([&](bsp::Comm& world) {
+      std::vector<std::uint64_t> data;
+      if (world.rank() == 0) data.assign(words, 7);
+      world.broadcast(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Args({2, 1 << 10})->Args({4, 1 << 10})->Args({4, 1 << 16});
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    bsp::Machine machine(p);
+    machine.run([&](bsp::Comm& world) {
+      std::vector<std::vector<std::uint64_t>> outbox(
+          static_cast<std::size_t>(world.size()));
+      for (auto& box : outbox) box.assign(words, 1);
+      auto inbox = world.alltoallv(outbox);
+      benchmark::DoNotOptimize(inbox.data());
+    });
+  }
+}
+BENCHMARK(BM_Alltoallv)->Args({4, 1 << 8})->Args({4, 1 << 14});
+
+void BM_SampleSort(benchmark::State& state) {
+  const int p = 4;
+  const auto per_rank = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bsp::Machine machine(p);
+    machine.run([&](bsp::Comm& world) {
+      rng::Philox gen(9, static_cast<std::uint64_t>(world.rank()));
+      std::vector<std::uint64_t> local(per_rank);
+      for (auto& x : local) x = gen();
+      auto sorted = bsp::sample_sort(world, std::move(local),
+                                     std::less<std::uint64_t>{}, gen);
+      benchmark::DoNotOptimize(sorted.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(per_rank * p));
+}
+BENCHMARK(BM_SampleSort)->Range(1 << 10, 1 << 16);
+
+void BM_ErdosRenyiGen(benchmark::State& state) {
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto edges = gen::erdos_renyi(1 << 16, m, 11);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ErdosRenyiGen)->Range(1 << 12, 1 << 18);
+
+}  // namespace

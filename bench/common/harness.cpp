@@ -1,0 +1,69 @@
+#include "common/harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace camc::bench {
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* binary) {
+  std::cerr << "usage: " << binary
+            << " [--scale=F] [--seed=N] [--max-p=N] [--reps=N]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) -> std::string {
+      return arg.substr(prefix.size());
+    };
+    try {
+      if (arg.rfind("--scale=", 0) == 0) {
+        options.scale = std::stod(value_of("--scale="));
+        if (options.scale <= 0) usage_and_exit(argv[0]);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        options.seed = std::stoull(value_of("--seed="));
+      } else if (arg.rfind("--max-p=", 0) == 0) {
+        options.max_p = std::stoi(value_of("--max-p="));
+        if (options.max_p < 1) usage_and_exit(argv[0]);
+      } else if (arg.rfind("--reps=", 0) == 0) {
+        options.repetitions = std::stoi(value_of("--reps="));
+        if (options.repetitions < 1) usage_and_exit(argv[0]);
+      } else {
+        usage_and_exit(argv[0]);
+      }
+    } catch (const std::exception&) {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return options;
+}
+
+std::uint64_t scaled(std::uint64_t nominal, double scale,
+                     std::uint64_t min_value) {
+  const double value = static_cast<double>(nominal) * scale;
+  return std::max(min_value, static_cast<std::uint64_t>(value));
+}
+
+std::vector<int> processor_sweep(int max_p) {
+  std::vector<int> sweep;
+  for (int p = 1; p < max_p; p *= 2) sweep.push_back(p);
+  sweep.push_back(max_p);
+  // Deduplicate when max_p itself is a power of two.
+  if (sweep.size() >= 2 && sweep[sweep.size() - 2] == max_p) sweep.pop_back();
+  return sweep;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t k = values.size();
+  if (k == 0) return 0.0;
+  return k % 2 == 1 ? values[k / 2]
+                    : 0.5 * (values[k / 2 - 1] + values[k / 2]);
+}
+
+}  // namespace camc::bench

@@ -1,0 +1,116 @@
+#pragma once
+
+// Shared benchmark harness: argument parsing, timing, CSV output.
+//
+// Every figure/table bench binary runs with no arguments at a scale that
+// finishes in tens of seconds on a small machine, and accepts:
+//   --scale=F   multiply problem sizes by F (1.0 default; the paper-scale
+//               runs are ~10-100x and want a real cluster)
+//   --seed=N    base PRNG seed (default 5226, the artifact's example seed)
+//   --max-p=N   largest BSP processor count in sweeps (default 8)
+//   --reps=N    repetitions per data point; the median is reported
+//
+// Output is CSV on stdout with '#' comment lines describing the experiment
+// and the paper series it reproduces.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace camc::bench {
+
+struct Options {
+  double scale = 1.0;
+  std::uint64_t seed = 5226;
+  int max_p = 8;
+  int repetitions = 3;
+};
+
+/// Parses the flags above; prints usage and exits on --help or bad input.
+Options parse(int argc, char** argv);
+
+/// Scales a nominal size and clamps below by `min_value`.
+std::uint64_t scaled(std::uint64_t nominal, double scale,
+                     std::uint64_t min_value = 2);
+
+/// 1, 2, 4, ..., max_p (max_p included even when not a power of two).
+std::vector<int> processor_sweep(int max_p);
+
+double median(std::vector<double> values);
+
+template <class F>
+double time_seconds(F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <class F>
+double time_median(int repetitions, F&& body) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r)
+    times.push_back(time_seconds(body));
+  return median(std::move(times));
+}
+
+/// One measured run with its paired BSP statistics.
+struct TimedStats {
+  double seconds = 0;
+  double mpi_seconds = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t max_words = 0;
+};
+
+/// Runs `run_once` (returning TimedStats) `repetitions` times and returns
+/// the run with the median wall time — keeping its statistics paired.
+template <class F>
+TimedStats median_run(int repetitions, F&& run_once) {
+  std::vector<TimedStats> runs;
+  runs.reserve(static_cast<std::size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) runs.push_back(run_once());
+  std::sort(runs.begin(), runs.end(),
+            [](const TimedStats& a, const TimedStats& b) {
+              return a.seconds < b.seconds;
+            });
+  return runs[runs.size() / 2];
+}
+
+/// Minimal CSV writer: comment() for '#' lines, header() once, then row().
+class Csv {
+ public:
+  void comment(const std::string& text) { std::cout << "# " << text << "\n"; }
+
+  template <class... Columns>
+  void header(Columns&&... columns) {
+    print_joined(std::forward<Columns>(columns)...);
+  }
+
+  template <class... Values>
+  void row(Values&&... values) {
+    print_joined(std::forward<Values>(values)...);
+  }
+
+ private:
+  template <class... Values>
+  void print_joined(Values&&... values) {
+    std::ostringstream line;
+    bool first = true;
+    (
+        [&] {
+          if (!first) line << ',';
+          first = false;
+          line << values;
+        }(),
+        ...);
+    std::cout << line.str() << "\n" << std::flush;
+  }
+};
+
+}  // namespace camc::bench

@@ -1,0 +1,75 @@
+// Cut census: enumerate EVERY minimum cut of a network (Lemma 4.3 made
+// operational) and sparsify it first with a Nagamochi-Ibaraki certificate.
+//
+//   $ cut_census
+//
+// Scenario: a ring of warehouses with a few cross-links. All minimum cuts
+// — not just one — matter when deciding which links to reinforce: a link
+// is critical exactly when it crosses SOME minimum cut.
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/mincut.hpp"
+#include "gen/verification.hpp"
+#include "seq/certificate.hpp"
+
+int main() {
+  using namespace camc;
+
+  // A 12-warehouse ring (every adjacent pair linked, capacity 1) plus two
+  // chords. Minimum cut = 2; there are many of them.
+  graph::Vertex n = 12;
+  std::vector<graph::WeightedEdge> links;
+  for (graph::Vertex v = 0; v < n; ++v)
+    links.push_back({v, static_cast<graph::Vertex>((v + 1) % n), 1});
+  links.push_back({0, 6, 1});  // chords
+  links.push_back({3, 9, 1});
+
+  std::cout << "network: " << n << " warehouses, " << links.size()
+            << " links\n";
+
+  // Step 1: sparsify with a k-certificate. The minimum weighted degree (2)
+  // bounds the cut, so a 2-certificate preserves every minimum cut.
+  const auto certificate = seq::sparse_certificate(n, links, 3);
+  std::cout << "certificate keeps " << certificate.edges.size() << " of "
+            << links.size() << " links (" << certificate.rounds
+            << " forests)\n";
+
+  // Step 2: enumerate all minimum cuts on the original network.
+  core::MinCutOptions options;
+  options.success_probability = 0.9999;
+  options.seed = 77;
+  const core::AllMinCutsResult census =
+      core::all_min_cuts(n, links, options, /*max_cuts=*/128);
+
+  std::cout << "minimum cut value: " << census.value << "\n";
+  std::cout << "distinct minimum cuts found: " << census.cuts.size()
+            << (census.truncated ? "+ (truncated)" : "") << " across "
+            << census.trials << " trials\n";
+
+  // Step 3: a link is critical iff it crosses some minimum cut.
+  std::set<std::pair<graph::Vertex, graph::Vertex>> critical;
+  for (const auto& side : census.cuts) {
+    std::vector<bool> in_side(n, false);
+    for (const graph::Vertex v : side) in_side[v] = true;
+    for (const graph::WeightedEdge& e : links)
+      if (in_side[e.u] != in_side[e.v])
+        critical.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  std::cout << critical.size() << " of " << links.size()
+            << " links cross at least one minimum cut:\n  ";
+  for (const auto& [u, v] : critical) std::cout << u << "-" << v << " ";
+  std::cout << "\n";
+
+  // Show a few of the cuts themselves.
+  std::cout << "sample cuts (one side each):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, census.cuts.size());
+       ++i) {
+    std::cout << "  {";
+    for (const graph::Vertex v : census.cuts[i]) std::cout << ' ' << v;
+    std::cout << " }\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Network reliability (one of the paper's §1 motivating applications):
+// the global minimum cut of a backbone topology is the smallest set of
+// link failures that can split the network, and the cut edges are exactly
+// the links to reinforce.
+//
+//   $ network_reliability [p]
+//
+// Builds a synthetic two-region backbone: each region is a Watts-Strogatz
+// small-world network (a classic model of infrastructure graphs), and a
+// handful of long-haul links join the regions. Finds the minimum cut,
+// reports the critical links, and cross-checks with the approximate
+// algorithm.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const int p = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // Two regions of 200 routers each; links carry capacity weights.
+  const graph::Vertex region = 200;
+  const graph::Vertex n = 2 * region;
+  std::vector<graph::WeightedEdge> links;
+  for (int side = 0; side < 2; ++side) {
+    auto mesh = gen::watts_strogatz(region, 6, 0.3, 7 + side);
+    gen::randomize_weights(mesh, 4, 11 + side);  // intra-region capacities
+    for (graph::WeightedEdge e : mesh) {
+      // Regional links carry capacity 3..6: every router keeps at least
+      // its three outgoing ring links, so no internal cut can undercut
+      // the 2+3+2 = 7 of the long-haul links.
+      e.weight += 2;
+      e.u += side * region;
+      e.v += side * region;
+      links.push_back(e);
+    }
+  }
+  // Three long-haul links with capacities 2, 3, 2 (min cut should be 7).
+  links.push_back({10, region + 17, 2});
+  links.push_back({90, region + 120, 3});
+  links.push_back({150, region + 42, 2});
+
+  std::cout << "backbone: " << n << " routers, " << links.size()
+            << " links, two regions joined by 3 long-haul links\n";
+
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = graph::DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? links : std::vector<graph::WeightedEdge>{});
+
+    core::MinCutOptions mc_options;
+    mc_options.seed = 2024;
+    mc_options.success_probability = 0.99;
+    const core::MinCutOutcome cut = core::min_cut(world, dist, mc_options);
+
+    core::ApproxMinCutOptions ax_options;
+    ax_options.seed = 2025;
+    const auto estimate = core::approx_min_cut(world, dist, ax_options);
+
+    if (world.rank() == 0) {
+      std::cout << "minimum total capacity whose failure splits the "
+                   "network: "
+                << cut.value << "\n";
+      std::cout << "approximate estimate (fraction of the cost): "
+                << estimate.estimate << "\n";
+
+      // The critical links are the edges crossing the cut.
+      std::vector<bool> in_side(n, false);
+      for (const graph::Vertex v : cut.side) in_side[v] = true;
+      std::cout << "critical links to reinforce:\n";
+      for (const graph::WeightedEdge& e : links) {
+        if (in_side[e.u] != in_side[e.v])
+          std::cout << "  router " << e.u << " <-> router " << e.v
+                    << " (capacity " << e.weight << ")\n";
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "bsp/comm.hpp"
+
+namespace camc::bsp {
+
+Comm Comm::split(int color) const {
+  if (color < 0) throw std::invalid_argument("split: color must be >= 0");
+
+  // Superstep 1: publish colors.
+  const std::int64_t my_color = color;
+  publish(&my_color, 1);
+  const detail::Clock clock;
+  state_->arrive_and_wait();
+
+  // Every rank deterministically computes the same grouping.
+  int my_new_rank = 0;
+  int group_size = 0;
+  int group_leader = -1;  // smallest member rank, creates the state
+  for (int r = 0; r < size(); ++r) {
+    const auto their_color = static_cast<int>(
+        *static_cast<const std::int64_t*>(state_->slot(r).pointer0));
+    if (their_color != color) continue;
+    if (group_leader < 0) group_leader = r;
+    if (r < rank_) ++my_new_rank;
+    ++group_size;
+  }
+  state_->arrive_and_wait();
+
+  // Superstep 2: leaders deposit the child state, members fetch it.
+  if (rank_ == group_leader)
+    state_->deposit_child(color, std::make_shared<CommState>(group_size));
+  state_->arrive_and_wait();
+  std::shared_ptr<CommState> child = state_->fetch_child(color);
+  state_->arrive_and_wait();
+  if (rank_ == 0) state_->clear_children();
+
+  // Metadata exchange: p words of colors, O(1) handles.
+  stats_->supersteps += 2;
+  stats_->collective_calls += 1;
+  stats_->words_sent += 1;
+  stats_->words_received += static_cast<std::uint64_t>(size() > 0 ? size() - 1 : 0);
+  stats_->comm_seconds += clock.seconds();
+
+  return Comm(std::move(child), my_new_rank, stats_);
+}
+
+}  // namespace camc::bsp

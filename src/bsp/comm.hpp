@@ -1,0 +1,426 @@
+#pragma once
+
+// Thread-backed BSP communicator.
+//
+// Stand-in for MPI on the paper's testbed (see DESIGN.md §1): each BSP
+// "processor" is a thread, and collectives are implemented over shared
+// memory with two-phase publish/copy rounds separated by barriers. The
+// semantics deliberately mirror the MPI collectives the paper lists in
+// §2.1 (broadcast, reduce, gather, all-reduce, all-gather) plus the
+// variable all-to-all used by sample sort.
+//
+// Contract: a collective must be called by every rank of the communicator
+// with matching root/shape arguments, like MPI. Source buffers passed to a
+// collective must stay alive until the call returns (the implementation
+// copies between the two internal barriers, so this is guaranteed by
+// construction for the caller).
+//
+// Every collective costs exactly one superstep, matching the O(1)-superstep
+// collective implementations the paper assumes (§2.1, [34]).
+
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "bsp/stats.hpp"
+
+namespace camc::bsp {
+
+namespace detail {
+
+/// One publication slot per rank; padded against false sharing.
+struct alignas(64) Slot {
+  const void* pointer0 = nullptr;
+  const void* pointer1 = nullptr;
+  std::uint64_t count0 = 0;
+  std::uint64_t count1 = 0;
+};
+
+inline std::uint64_t words_of_bytes(std::uint64_t bytes) noexcept {
+  return (bytes + 7) / 8;
+}
+
+class Clock {
+ public:
+  Clock() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
+
+/// Shared state of one communicator: a barrier, publication slots, and a
+/// rendezvous map used by split(). Created once per communicator and shared
+/// by all member threads.
+class CommState {
+ public:
+  explicit CommState(int size)
+      : size_(size), barrier_(size), slots_(static_cast<std::size_t>(size)) {
+    if (size <= 0) throw std::invalid_argument("CommState: size must be > 0");
+  }
+
+  int size() const noexcept { return size_; }
+  void arrive_and_wait() { barrier_.arrive_and_wait(); }
+  detail::Slot& slot(int rank) { return slots_[static_cast<std::size_t>(rank)]; }
+
+  // Split rendezvous -------------------------------------------------------
+  void deposit_child(int color, std::shared_ptr<CommState> child) {
+    const std::lock_guard<std::mutex> lock(split_mutex_);
+    split_children_[color] = std::move(child);
+  }
+  std::shared_ptr<CommState> fetch_child(int color) {
+    const std::lock_guard<std::mutex> lock(split_mutex_);
+    return split_children_.at(color);
+  }
+  void clear_children() {
+    const std::lock_guard<std::mutex> lock(split_mutex_);
+    split_children_.clear();
+  }
+
+ private:
+  int size_;
+  std::barrier<> barrier_;
+  std::vector<detail::Slot> slots_;
+  std::mutex split_mutex_;
+  std::map<int, std::shared_ptr<CommState>> split_children_;
+};
+
+/// Per-thread handle onto a communicator: (shared state, my rank, my stats).
+/// Cheap to copy. All collectives are methods here.
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::shared_ptr<CommState> state, int rank, RankStats* stats)
+      : state_(std::move(state)), rank_(rank), stats_(stats) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return state_ ? state_->size() : 0; }
+  bool is_root(int root = 0) const noexcept { return rank_ == root; }
+  RankStats& stats() const noexcept { return *stats_; }
+
+  /// Superstep boundary with no data exchange.
+  void barrier() const {
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    account(/*sent=*/0, /*received=*/0, clock);
+  }
+
+  // -- broadcast -----------------------------------------------------------
+
+  /// Root's `data` is replicated into every rank's `data`.
+  template <class T>
+  void broadcast(std::vector<T>& data, int root = 0) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) publish(data.data(), data.size());
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    std::uint64_t received_words = 0;
+    if (rank_ != root) {
+      const auto& s = state_->slot(root);
+      data.assign(static_cast<const T*>(s.pointer0),
+                  static_cast<const T*>(s.pointer0) + s.count0);
+      received_words = detail::words_of_bytes(data.size() * sizeof(T));
+    }
+    state_->arrive_and_wait();
+    const std::uint64_t sent_words =
+        (rank_ == root && size() > 1)
+            ? detail::words_of_bytes(data.size() * sizeof(T))
+            : 0;
+    account(sent_words, received_words, clock);
+  }
+
+  /// Broadcast a single trivially copyable value.
+  template <class T>
+  T broadcast_value(T value, int root = 0) const {
+    std::vector<T> wrapper;
+    if (rank_ == root) wrapper.push_back(value);
+    broadcast(wrapper, root);
+    return wrapper.at(0);
+  }
+
+  // -- gather --------------------------------------------------------------
+
+  /// Concatenates every rank's `local` (in rank order) at `root`.
+  /// Returns the concatenation at the root and an empty vector elsewhere.
+  template <class T>
+  std::vector<T> gather(std::span<const T> local, int root = 0) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(local.data(), local.size());
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    std::vector<T> out;
+    std::uint64_t received_words = 0;
+    if (rank_ == root) {
+      std::size_t total = 0;
+      for (int r = 0; r < size(); ++r) total += state_->slot(r).count0;
+      out.reserve(total);
+      for (int r = 0; r < size(); ++r) {
+        const auto& s = state_->slot(r);
+        const T* src = static_cast<const T*>(s.pointer0);
+        out.insert(out.end(), src, src + s.count0);
+        if (r != root)
+          received_words += detail::words_of_bytes(s.count0 * sizeof(T));
+      }
+    }
+    state_->arrive_and_wait();
+    const std::uint64_t sent_words =
+        rank_ == root ? 0 : detail::words_of_bytes(local.size() * sizeof(T));
+    account(sent_words, received_words, clock);
+    return out;
+  }
+
+  template <class T>
+  std::vector<T> gather(const std::vector<T>& local, int root = 0) const {
+    return gather(std::span<const T>(local), root);
+  }
+
+  /// gather + broadcast, in one superstep: every rank gets the rank-order
+  /// concatenation of all locals.
+  template <class T>
+  std::vector<T> all_gather(std::span<const T> local) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(local.data(), local.size());
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (int r = 0; r < size(); ++r) total += state_->slot(r).count0;
+    out.reserve(total);
+    std::uint64_t received_words = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto& s = state_->slot(r);
+      const T* src = static_cast<const T*>(s.pointer0);
+      out.insert(out.end(), src, src + s.count0);
+      if (r != rank_)
+        received_words += detail::words_of_bytes(s.count0 * sizeof(T));
+    }
+    state_->arrive_and_wait();
+    account(detail::words_of_bytes(local.size() * sizeof(T)) *
+                static_cast<std::uint64_t>(size() > 1 ? 1 : 0),
+            received_words, clock);
+    return out;
+  }
+
+  template <class T>
+  std::vector<T> all_gather(const std::vector<T>& local) const {
+    return all_gather(std::span<const T>(local));
+  }
+
+  // -- reductions ----------------------------------------------------------
+
+  /// Folds one value per rank with associative `op` at the root
+  /// (rank order); returns the result at root, `identity` elsewhere.
+  template <class T, class Op>
+  T reduce(const T& value, Op op, T identity, int root = 0) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(&value, 1);
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    T result = identity;
+    std::uint64_t received_words = 0;
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        const T& contribution =
+            *static_cast<const T*>(state_->slot(r).pointer0);
+        result = op(result, contribution);
+        if (r != root) received_words += detail::words_of_bytes(sizeof(T));
+      }
+    }
+    state_->arrive_and_wait();
+    account(rank_ == root ? 0 : detail::words_of_bytes(sizeof(T)),
+            received_words, clock);
+    return result;
+  }
+
+  /// Reduce whose result is available on every rank (one superstep).
+  template <class T, class Op>
+  T all_reduce(const T& value, Op op, T identity) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(&value, 1);
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    T result = identity;
+    std::uint64_t received_words = 0;
+    for (int r = 0; r < size(); ++r) {
+      result = op(result, *static_cast<const T*>(state_->slot(r).pointer0));
+      if (r != rank_) received_words += detail::words_of_bytes(sizeof(T));
+    }
+    state_->arrive_and_wait();
+    account(size() > 1 ? detail::words_of_bytes(sizeof(T)) : 0,
+            received_words, clock);
+    return result;
+  }
+
+  /// Exclusive prefix reduction: rank r receives
+  /// op(...op(op(identity, v_0), v_1)..., v_{r-1}) — rank 0 gets identity.
+  /// One superstep. The standard tool for computing per-rank offsets into a
+  /// global array (e.g. assigning contiguous global indices to local
+  /// slices).
+  template <class T, class Op>
+  T exclusive_scan(const T& value, Op op, T identity) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(&value, 1);
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    T result = identity;
+    std::uint64_t received_words = 0;
+    for (int r = 0; r < rank_; ++r) {
+      result = op(result, *static_cast<const T*>(state_->slot(r).pointer0));
+      received_words += detail::words_of_bytes(sizeof(T));
+    }
+    state_->arrive_and_wait();
+    account(size() > 1 ? detail::words_of_bytes(sizeof(T)) : 0,
+            received_words, clock);
+    return result;
+  }
+
+  /// Element-wise vector all-reduce; all ranks must pass equal-length input.
+  template <class T, class Op>
+  std::vector<T> all_reduce_vector(const std::vector<T>& values, Op op) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(values.data(), values.size());
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    std::vector<T> result(values.size());
+    std::uint64_t received_words = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      result[i] = *(static_cast<const T*>(state_->slot(0).pointer0) + i);
+    for (int r = 1; r < size(); ++r) {
+      const T* src = static_cast<const T*>(state_->slot(r).pointer0);
+      for (std::size_t i = 0; i < values.size(); ++i)
+        result[i] = op(result[i], src[i]);
+    }
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_)
+        received_words +=
+            detail::words_of_bytes(values.size() * sizeof(T));
+    state_->arrive_and_wait();
+    account(size() > 1 ? detail::words_of_bytes(values.size() * sizeof(T)) : 0,
+            received_words, clock);
+    return result;
+  }
+
+  // -- scatter -------------------------------------------------------------
+
+  /// Root splits `data` into consecutive chunks of sizes `counts[r]`
+  /// (counts.size() == size(), meaningful at root only) and sends chunk r to
+  /// rank r. Returns each rank's chunk.
+  template <class T>
+  std::vector<T> scatterv(const std::vector<T>& data,
+                          const std::vector<std::uint64_t>& counts,
+                          int root = 0) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      if (counts.size() != static_cast<std::size_t>(size()))
+        throw std::invalid_argument("scatterv: counts.size() != comm size");
+      publish2(data.data(), data.size(), counts.data(), counts.size());
+    }
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    const auto& s = state_->slot(root);
+    const T* base = static_cast<const T*>(s.pointer0);
+    const auto* all_counts = static_cast<const std::uint64_t*>(s.pointer1);
+    std::uint64_t offset = 0;
+    for (int r = 0; r < rank_; ++r) offset += all_counts[r];
+    const std::uint64_t mine = all_counts[rank_];
+    std::vector<T> out(base + offset, base + offset + mine);
+    state_->arrive_and_wait();
+    std::uint64_t sent = 0, received = 0;
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != root)
+          sent += detail::words_of_bytes(all_counts[r] * sizeof(T));
+    } else {
+      received = detail::words_of_bytes(mine * sizeof(T));
+    }
+    account(sent, received, clock);
+    return out;
+  }
+
+  // -- all-to-all ----------------------------------------------------------
+
+  /// Personalized all-to-all: `outbox[r]` goes to rank r; the return value
+  /// is the concatenation (in source-rank order) of what every rank sent to
+  /// this rank. outbox.size() must equal size().
+  template <class T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& outbox) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (outbox.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("alltoallv: outbox.size() != comm size");
+    publish(&outbox, 1);
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    std::vector<T> inbox;
+    std::uint64_t received_words = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto& their_outbox =
+          *static_cast<const std::vector<std::vector<T>>*>(
+              state_->slot(r).pointer0);
+      const std::vector<T>& message = their_outbox[static_cast<std::size_t>(rank_)];
+      inbox.insert(inbox.end(), message.begin(), message.end());
+      if (r != rank_)
+        received_words +=
+            detail::words_of_bytes(message.size() * sizeof(T));
+    }
+    state_->arrive_and_wait();
+    std::uint64_t sent_words = 0;
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_)
+        sent_words += detail::words_of_bytes(outbox[static_cast<std::size_t>(r)].size() * sizeof(T));
+    account(sent_words, received_words, clock);
+    return inbox;
+  }
+
+  // -- split ---------------------------------------------------------------
+
+  /// Partitions the communicator: ranks passing the same `color` form a new
+  /// communicator, ordered by their rank here. Collective. Colors must be
+  /// non-negative.
+  Comm split(int color) const;
+
+ private:
+  void publish(const void* pointer, std::uint64_t count) const {
+    auto& s = state_->slot(rank_);
+    s.pointer0 = pointer;
+    s.count0 = count;
+  }
+  void publish2(const void* p0, std::uint64_t c0, const void* p1,
+                std::uint64_t c1) const {
+    auto& s = state_->slot(rank_);
+    s.pointer0 = p0;
+    s.count0 = c0;
+    s.pointer1 = p1;
+    s.count1 = c1;
+  }
+
+  void account(std::uint64_t sent_words, std::uint64_t received_words,
+               const detail::Clock& clock) const {
+    stats_->supersteps += 1;
+    stats_->collective_calls += 1;
+    stats_->words_sent += sent_words;
+    stats_->words_received += received_words;
+    stats_->comm_seconds += clock.seconds();
+  }
+
+  std::shared_ptr<CommState> state_;
+  int rank_ = -1;
+  RankStats* stats_ = nullptr;
+};
+
+}  // namespace camc::bsp

@@ -1,0 +1,87 @@
+#pragma once
+
+// BSP machine: spawns p rank-threads and runs an SPMD function on a world
+// communicator, collecting per-rank statistics and propagating exceptions.
+//
+// This is the session entry point:
+//
+//   camc::bsp::Machine machine(8);
+//   auto outcome = machine.run([&](camc::bsp::Comm& world) {
+//     ... SPMD code, world.rank() in [0, 8) ...
+//   });
+//   outcome.stats.max_comm_seconds;   // "MPI time"
+//
+// Threads may oversubscribe the physical cores; BSP supersteps make the
+// execution semantics independent of the interleaving.
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "bsp/stats.hpp"
+
+namespace camc::bsp {
+
+/// Result of one SPMD run: wall time plus the reduced BSP counters.
+struct RunOutcome {
+  double wall_seconds = 0.0;
+  MachineStats stats;
+  std::vector<RankStats> per_rank;
+};
+
+class Machine {
+ public:
+  explicit Machine(int processors) : processors_(processors) {
+    if (processors <= 0)
+      throw std::invalid_argument("Machine: processors must be > 0");
+  }
+
+  int processors() const noexcept { return processors_; }
+
+  /// Runs `fn(world)` on every rank. Rethrows the first rank exception.
+  RunOutcome run(const std::function<void(Comm&)>& fn) const {
+    auto state = std::make_shared<CommState>(processors_);
+    std::vector<RankStats> per_rank(static_cast<std::size_t>(processors_));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(processors_));
+
+    const detail::Clock clock;
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(static_cast<std::size_t>(processors_));
+      for (int r = 0; r < processors_; ++r) {
+        threads.emplace_back([&, r] {
+          Comm world(state, r, &per_rank[static_cast<std::size_t>(r)]);
+          try {
+            fn(world);
+          } catch (...) {
+            errors[static_cast<std::size_t>(r)] = std::current_exception();
+            // Unblock peers stuck in a barrier: there is no portable way to
+            // cancel std::barrier waits, so a throwing rank is a programming
+            // error in SPMD code; we terminate the run by rethrowing after
+            // join only when all ranks exited. To avoid deadlock, SPMD code
+            // must throw on all ranks or none (all our algorithms do).
+          }
+        });
+      }
+    }
+    const double wall = clock.seconds();
+
+    for (const std::exception_ptr& error : errors)
+      if (error) std::rethrow_exception(error);
+
+    RunOutcome outcome;
+    outcome.wall_seconds = wall;
+    outcome.stats = MachineStats::summarize(per_rank);
+    outcome.per_rank = std::move(per_rank);
+    return outcome;
+  }
+
+ private:
+  int processors_;
+};
+
+}  // namespace camc::bsp

@@ -1,0 +1,94 @@
+#pragma once
+
+// Distributed sample sort over a BSP communicator.
+//
+// Sparse Bulk Edge Contraction (§4.1) needs the edges "globally sorted by
+// their endpoints" so that parallel edges land on a single rank or adjacent
+// ranks. Sample sort does this in O(1) supersteps: local sort, splitter
+// selection from an oversampled all-gather, bucket exchange (alltoallv),
+// and a final local sort.
+//
+// Postcondition: each rank holds a sorted slice, and the rank-order
+// concatenation of the slices is the sorted multiset union of the inputs.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::bsp {
+
+/// Oversampling factor: each rank contributes this many splitter candidates
+/// per output bucket. Higher values balance buckets better at the cost of a
+/// larger (still O(p^2 * factor)) splitter exchange.
+inline constexpr std::size_t kSampleSortOversampling = 16;
+
+template <class T, class Less>
+std::vector<T> sample_sort(const Comm& comm, std::vector<T> local, Less less,
+                           rng::Philox& gen) {
+  const int p = comm.size();
+  std::sort(local.begin(), local.end(), less);
+  if (p == 1) return local;
+
+  // Draw candidate splitters uniformly from the local (sorted) slice. Ranks
+  // with fewer elements than requested contribute everything they have.
+  const std::size_t per_rank =
+      kSampleSortOversampling * static_cast<std::size_t>(p);
+  std::vector<T> candidates;
+  if (local.size() <= per_rank) {
+    candidates = local;
+  } else {
+    candidates.reserve(per_rank);
+    for (std::size_t i = 0; i < per_rank; ++i)
+      candidates.push_back(local[gen.bounded(local.size())]);
+  }
+
+  std::vector<T> pool = comm.all_gather(candidates);
+  std::sort(pool.begin(), pool.end(), less);
+
+  // p-1 splitters at regular intervals of the pooled candidates.
+  std::vector<T> splitters;
+  splitters.reserve(static_cast<std::size_t>(p) - 1);
+  if (!pool.empty()) {
+    for (int b = 1; b < p; ++b) {
+      const std::size_t index =
+          std::min(pool.size() - 1,
+                   pool.size() * static_cast<std::size_t>(b) /
+                       static_cast<std::size_t>(p));
+      splitters.push_back(pool[index]);
+    }
+  }
+
+  // Partition the local slice into p buckets by splitter upper bounds.
+  std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
+  if (splitters.empty()) {
+    outbox[0] = std::move(local);
+  } else {
+    std::size_t begin = 0;
+    for (int b = 0; b < p - 1; ++b) {
+      const auto end_it =
+          std::upper_bound(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                           local.end(), splitters[static_cast<std::size_t>(b)],
+                           less);
+      const std::size_t end =
+          static_cast<std::size_t>(end_it - local.begin());
+      outbox[static_cast<std::size_t>(b)]
+          .assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                  local.begin() + static_cast<std::ptrdiff_t>(end));
+      begin = end;
+    }
+    outbox[static_cast<std::size_t>(p) - 1]
+        .assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                local.end());
+  }
+
+  std::vector<T> bucket = comm.alltoallv(outbox);
+  // The inbox is a concatenation of p sorted runs; a sort keeps the code
+  // simple and stays within the O((m/p) log m) local-work budget.
+  std::sort(bucket.begin(), bucket.end(), less);
+  return bucket;
+}
+
+}  // namespace camc::bsp

@@ -1,0 +1,56 @@
+#pragma once
+
+// BSP cost accounting.
+//
+// The paper states all of its results in the BSP model (§2.1): supersteps,
+// per-superstep communication volume (largest number of unit-size messages
+// sent or received by any processor), and computation time. The runtime
+// counts these quantities exactly, plus wall-time spent inside collective
+// operations — the equivalent of the paper's "time spent in MPI", which by
+// their definition also includes synchronization (imbalance) costs.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace camc::bsp {
+
+/// Counters accumulated by one rank. Padded to a cache line so that ranks
+/// updating their own counters do not false-share.
+struct alignas(64) RankStats {
+  std::uint64_t supersteps = 0;        ///< collective calls + barriers
+  std::uint64_t words_sent = 0;        ///< 8-byte words written to other ranks
+  std::uint64_t words_received = 0;    ///< 8-byte words read from other ranks
+  std::uint64_t collective_calls = 0;  ///< number of collective invocations
+  double comm_seconds = 0.0;           ///< wall time inside collectives
+
+  void reset() { *this = RankStats{}; }
+};
+
+/// Machine-wide summary, reduced over ranks with BSP semantics:
+/// supersteps are the maximum (they advance in lockstep; max is robust to
+/// ranks joining late), volume is the maximum over ranks (the BSP
+/// h-relation), and comm time is the maximum (the paper reports the
+/// per-execution maximum over processors, §5 Methodology).
+struct MachineStats {
+  std::uint64_t supersteps = 0;
+  std::uint64_t max_words_communicated = 0;  ///< max over ranks of sent+received
+  std::uint64_t total_words_communicated = 0;
+  std::uint64_t collective_calls = 0;
+  double max_comm_seconds = 0.0;
+
+  static MachineStats summarize(const std::vector<RankStats>& per_rank) {
+    MachineStats out;
+    for (const RankStats& r : per_rank) {
+      out.supersteps = std::max(out.supersteps, r.supersteps);
+      const std::uint64_t words = r.words_sent + r.words_received;
+      out.max_words_communicated = std::max(out.max_words_communicated, words);
+      out.total_words_communicated += words;
+      out.collective_calls = std::max(out.collective_calls, r.collective_calls);
+      out.max_comm_seconds = std::max(out.max_comm_seconds, r.comm_seconds);
+    }
+    return out;
+  }
+};
+
+}  // namespace camc::bsp

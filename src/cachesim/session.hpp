@@ -1,0 +1,71 @@
+#pragma once
+
+// A tracing session ties together the simulated cache, a virtual address
+// allocator for traced arrays, and an operation counter.
+//
+// The operation counter is the stand-in for the "completed instructions"
+// hardware counter in the paper; Instructions-per-Miss (IPM, Figure 8) is
+// reported as ops() / misses().
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cachesim/cache.hpp"
+
+namespace camc::cachesim {
+
+class Session {
+ public:
+  /// Default geometry loosely mirrors the paper's testbed LLC
+  /// (45 MiB shared, 64-byte lines) scaled down alongside the inputs:
+  /// M = 2^18 words (2 MiB), B = 8 words (64 bytes).
+  explicit Session(std::uint64_t capacity_words = 1ull << 18,
+                   std::uint64_t block_words = 8)
+      : cache_(capacity_words, block_words) {}
+
+  IdealCache& cache() noexcept { return cache_; }
+  const IdealCache& cache() const noexcept { return cache_; }
+
+  /// Reserve `words` words of virtual address space, block-aligned so that
+  /// distinct arrays never share a cache block.
+  std::uint64_t allocate(std::uint64_t words) {
+    const std::uint64_t b = cache_.block_words();
+    next_address_ = (next_address_ + b - 1) / b * b;
+    const std::uint64_t base = next_address_;
+    next_address_ += words;
+    return base;
+  }
+
+  void touch(std::uint64_t word_address) {
+    ++ops_;
+    cache_.access(word_address);
+  }
+
+  /// Batched sequential access: `count` words starting at `word_address`,
+  /// counted as `count` operations but simulated per block. Equivalent to
+  /// `count` consecutive touch() calls for scan patterns, at 1/B the cost.
+  void touch_range(std::uint64_t word_address, std::uint64_t count) {
+    ops_ += count;
+    cache_.access_range(word_address, count);
+  }
+
+  /// Record `count` pure-compute operations (no memory traffic).
+  void add_ops(std::uint64_t count) noexcept { ops_ += count; }
+
+  std::uint64_t ops() const noexcept { return ops_; }
+  std::uint64_t misses() const noexcept { return cache_.misses(); }
+
+  /// Instructions-per-miss; infinity-free: returns ops when misses == 0.
+  double ipm() const noexcept {
+    return misses() == 0 ? static_cast<double>(ops())
+                         : static_cast<double>(ops()) / misses();
+  }
+
+ private:
+  IdealCache cache_;
+  std::uint64_t next_address_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace camc::cachesim

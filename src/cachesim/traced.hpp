@@ -1,0 +1,68 @@
+#pragma once
+
+// Traced arrays: std::vector-backed storage whose element accesses are fed
+// through a cachesim::Session. Constructed with a null session they are a
+// plain array with a single predictable branch per access, so the same
+// algorithm code serves both wall-clock benchmarks (untraced) and
+// cache-miss measurements (traced).
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/session.hpp"
+
+namespace camc::cachesim {
+
+template <class T>
+class Traced {
+ public:
+  Traced() = default;
+
+  /// An array of `count` elements; `session` may be null (untraced).
+  explicit Traced(std::size_t count, Session* session = nullptr,
+                  const T& init = T{})
+      : session_(session), data_(count, init) {
+    if (session_ != nullptr)
+      base_ = session_->allocate(words_for(count));
+  }
+
+  /// Wraps existing contents (copies them into traced storage).
+  Traced(std::vector<T> contents, Session* session)
+      : session_(session), data_(std::move(contents)) {
+    if (session_ != nullptr)
+      base_ = session_->allocate(words_for(data_.size()));
+  }
+
+  T& operator[](std::size_t i) {
+    note(i);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    note(i);
+    return data_[i];
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Untraced escape hatch for setup/teardown code that should not count.
+  std::vector<T>& raw() noexcept { return data_; }
+  const std::vector<T>& raw() const noexcept { return data_; }
+
+ private:
+  static std::uint64_t words_for(std::size_t count) noexcept {
+    constexpr std::size_t kWordBytes = 8;
+    return (count * sizeof(T) + kWordBytes - 1) / kWordBytes;
+  }
+
+  void note(std::size_t i) const {
+    if (session_ != nullptr)
+      session_->touch(base_ + i * sizeof(T) / 8);
+  }
+
+  Session* session_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace camc::cachesim

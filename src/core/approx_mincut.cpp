@@ -1,0 +1,130 @@
+#include "core/approx_mincut.hpp"
+
+#include <cmath>
+
+#include "rng/philox.hpp"
+#include "seq/connected_components.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Probability of keeping an edge of weight w in iteration i:
+/// 1 - (1 - 2^-i)^w, computed stably.
+double keep_probability(std::uint32_t i, Weight w) {
+  const double q = std::ldexp(1.0, -static_cast<int>(i));
+  return -std::expm1(static_cast<double>(w) * std::log1p(-q));
+}
+
+/// 2^k saturated to the Weight range.
+Weight two_to(std::uint32_t k) {
+  return k >= 63 ? ~Weight{0} : Weight{1} << k;
+}
+
+/// True when label block [t*n, (t+1)*n) contains more than one label.
+bool block_disconnected(const std::vector<Vertex>& labels, Vertex n,
+                        std::uint32_t trial) {
+  const std::size_t base = static_cast<std::size_t>(trial) * n;
+  for (std::size_t v = 1; v < n; ++v)
+    if (labels[base + v] != labels[base]) return true;
+  return false;
+}
+
+}  // namespace
+
+ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
+                                  const DistributedEdgeArray& graph,
+                                  const ApproxMinCutOptions& options) {
+  const Vertex n = graph.vertex_count();
+  ApproxMinCutResult result;
+  if (n < 2) return result;
+
+  const Weight total_weight = graph.global_weight(comm);
+  if (total_weight == 0) return result;  // edgeless => disconnected => 0
+
+  const std::uint32_t trials =
+      options.trials != 0
+          ? options.trials
+          : static_cast<std::uint32_t>(std::ceil(
+                options.trial_constant * std::log(static_cast<double>(n))));
+  result.trials_per_iteration = trials;
+
+  const auto max_iteration = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(total_weight))) + 1);
+
+  rng::Philox gen(options.seed,
+                  /*stream=*/0xA9900 + static_cast<std::uint64_t>(comm.rank()));
+
+  // A cut value this small can only come from a disconnected input; the
+  // sampling estimate is only meaningful on connected graphs, so check once.
+  {
+    DistributedEdgeArray copy(n, graph.local());
+    CcOptions cc_options = options.cc;
+    cc_options.seed = options.seed ^ 0x5EED;
+    const CcResult cc = connected_components(comm, copy, cc_options);
+    if (cc.components > 1) return result;  // estimate 0, exact
+  }
+
+  const auto run_query = [&](std::uint32_t first_iteration,
+                             std::uint32_t iteration_count)
+      -> std::vector<Vertex> {
+    std::vector<WeightedEdge> local;
+    for (std::uint32_t k = 0; k < iteration_count; ++k) {
+      const double keep = keep_probability(first_iteration + k, 1);
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        // Per-edge keep probability depends on the edge weight; recompute
+        // only when weights vary (fast path for unit weights).
+        const Vertex block = k * trials + t;
+        const Vertex offset = block * n;
+        for (const WeightedEdge& e : graph.local()) {
+          const double p = e.weight == 1
+                               ? keep
+                               : keep_probability(first_iteration + k, e.weight);
+          if (gen.bernoulli(p))
+            local.push_back(WeightedEdge{e.u + offset, e.v + offset, 1});
+        }
+      }
+    }
+    DistributedEdgeArray unioned(
+        static_cast<Vertex>(iteration_count) * trials * n, std::move(local));
+    CcOptions cc_options = options.cc;
+    cc_options.seed = options.seed ^ (0xF00 + first_iteration);
+    return connected_components(comm, unioned, cc_options).labels;
+  };
+
+  if (options.pipelined) {
+    // One union graph over all iterations and trials; one CC query.
+    const std::vector<Vertex> labels = run_query(1, max_iteration);
+    result.iterations_run = max_iteration;
+    for (std::uint32_t k = 0; k < max_iteration; ++k) {
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (block_disconnected(labels, n, k * trials + t)) {
+          result.estimate = two_to(k + 1);
+          return result;
+        }
+      }
+    }
+    result.estimate = two_to(max_iteration + 1);
+    return result;
+  }
+
+  // Early-stopping variant: one iteration (all its trials) per query.
+  for (std::uint32_t i = 1; i <= max_iteration; ++i) {
+    ++result.iterations_run;
+    const std::vector<Vertex> labels = run_query(i, 1);
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      if (block_disconnected(labels, n, t)) {
+        result.estimate = two_to(i);
+        return result;
+      }
+    }
+  }
+  result.estimate = two_to(max_iteration + 1);
+  return result;
+}
+
+}  // namespace camc::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// O(log n)-approximate minimum cut (§3.3).
+//
+// The connectivity of a random subgraph estimates the minimum cut: sample
+// subgraphs of increasing expected sparsity (iteration i keeps edge e with
+// probability 1 - (1 - 2^-i)^w(e)) and output 2^j for the first iteration j
+// in which any of Theta(log n) independent trials is disconnected.
+//
+// Two variants, as in the paper:
+// * pipelined — all ceil(ln W) iterations' trials are labeled into one big
+//   union graph and a single connected-components query answers them all:
+//   O(1) supersteps.
+// * early-stopping (the practical default) — iterations run one after the
+//   other and stop at the first disconnection: O(log mu) supersteps but a
+//   log-factor less space and less work when the minimum cut is small.
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "core/cc.hpp"
+#include "graph/dist_edge_array.hpp"
+
+namespace camc::core {
+
+struct ApproxMinCutOptions {
+  /// Trials per iteration; 0 derives ceil(trial_constant * ln n).
+  std::uint32_t trials = 0;
+  double trial_constant = 3.0;
+  /// Run all iterations in one connected-components query.
+  bool pipelined = false;
+  std::uint64_t seed = 1;
+  /// Options forwarded to the inner connected-components calls.
+  CcOptions cc;
+};
+
+struct ApproxMinCutResult {
+  /// The estimate 2^j (an O(log n)-approximation w.h.p. for connected
+  /// inputs). 0 when the input itself is disconnected.
+  graph::Weight estimate = 0;
+  std::uint32_t iterations_run = 0;
+  std::uint32_t trials_per_iteration = 0;
+};
+
+/// Collective. Does not modify the input edge array.
+ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
+                                  const graph::DistributedEdgeArray& graph,
+                                  const ApproxMinCutOptions& options = {});
+
+}  // namespace camc::core

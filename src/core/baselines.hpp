@@ -1,0 +1,68 @@
+#pragma once
+
+// Parallel connected-components baselines the paper compares against
+// (Figure 3, Figure 4c):
+//
+// * bsp_sv_components — Shiloach-Vishkin-style hooking + pointer jumping on
+//   a replicated label array: O(log n) supersteps and O((n+m) log n) work,
+//   the profile the paper quotes for the Parallel BGL implementation [14].
+//
+// * async_label_propagation — lock-free asynchronous min-label propagation
+//   over a genuinely shared atomic label array, modeling the Galois
+//   shared-memory baseline's execution style. This path bypasses the BSP
+//   collectives by design (Galois is not a BSP system); it is only
+//   meaningful with ranks-as-threads in one address space.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "cachesim/session.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::core {
+
+struct BspSvOptions {
+  std::uint32_t max_rounds = 200;  ///< > log2(n) for any feasible n
+  cachesim::Session* trace = nullptr;
+};
+
+struct BspSvResult {
+  std::vector<graph::Vertex> labels;  ///< dense, replicated
+  graph::Vertex components = 0;
+  std::uint32_t rounds = 0;
+};
+
+/// Collective. Does not modify the edge array.
+BspSvResult bsp_sv_components(const bsp::Comm& comm,
+                              const graph::DistributedEdgeArray& graph,
+                              const BspSvOptions& options = {});
+
+struct AsyncCcSharedState {
+  /// Shared label array; callers construct it once (size n) before the SPMD
+  /// region and pass the same object to every rank.
+  std::vector<std::atomic<graph::Vertex>> labels;
+
+  explicit AsyncCcSharedState(graph::Vertex n) : labels(n) {
+    for (graph::Vertex v = 0; v < n; ++v)
+      labels[v].store(v, std::memory_order_relaxed);
+  }
+};
+
+struct AsyncCcResult {
+  std::vector<graph::Vertex> labels;  ///< dense (computed after convergence)
+  graph::Vertex components = 0;
+  std::uint32_t sweeps = 0;  ///< this rank's passes over its slice
+};
+
+/// SPMD over the same shared state: each rank relaxes its local edge slice
+/// (label[u], label[v] <- min of the two transitive labels) until a global
+/// sweep makes no change. Barriers are used only to detect termination.
+AsyncCcResult async_label_propagation(const bsp::Comm& comm,
+                                      const graph::DistributedEdgeArray& graph,
+                                      AsyncCcSharedState& shared,
+                                      cachesim::Session* trace = nullptr);
+
+}  // namespace camc::core

@@ -1,0 +1,202 @@
+#include "core/cc.hpp"
+
+#include <cmath>
+
+#include "core/baselines.hpp"
+#include "core/contract.hpp"
+#include "core/sparsify.hpp"
+#include "graph/contraction_ref.hpp"
+#include "rng/philox.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::core {
+namespace {
+
+/// Root-side step 2 of §3.2: components of (labels, sample) as a dense
+/// relabeling g over the current label space.
+std::vector<Vertex> root_component_mapping(Vertex label_space,
+                                           const std::vector<WeightedEdge>& sample,
+                                           Vertex& components_out,
+                                           cachesim::Session* trace) {
+  seq::UnionFind dsu(label_space, trace);
+  for (const WeightedEdge& e : sample) dsu.unite(e.u, e.v);
+  std::vector<Vertex> mapping = dsu.labels();
+  components_out = graph::normalize_labels(mapping);
+  return mapping;
+}
+
+}  // namespace
+
+CcResult connected_components(const bsp::Comm& comm,
+                              graph::DistributedEdgeArray& graph,
+                              const CcOptions& options) {
+  const Vertex n = graph.vertex_count();
+  cachesim::Session* trace = options.trace;
+  rng::Philox gen(options.seed,
+                  /*stream=*/0xCC00 + static_cast<std::uint64_t>(comm.rank()));
+
+  CcResult result;
+  if (n == 0) return result;
+
+  // Trace regions: the local edge slice, the broadcast mapping g, and (at
+  // the root) the vertex-indexed component array C.
+  std::uint64_t edges_base = 0, g_base = 0, c_base = 0;
+  if (trace != nullptr) {
+    edges_base = trace->allocate(2 * graph.local().size() + 2);
+    g_base = trace->allocate(n);
+    c_base = trace->allocate(n);
+  }
+
+  // C: vertex -> current component label; root-owned (§3.2 step 2).
+  std::vector<Vertex> component(comm.rank() == 0 ? n : 0);
+  for (Vertex v = 0; v < static_cast<Vertex>(component.size()); ++v)
+    component[v] = v;
+
+  const auto sample_target = static_cast<std::uint64_t>(
+      std::ceil(std::pow(static_cast<double>(n), 1.0 + options.epsilon) / 2.0));
+
+  Vertex label_space = n;
+  std::uint64_t edges_left = graph.global_edge_count(comm);
+  while (edges_left > 0) {
+    ++result.iterations;
+
+    // (1) Sparsify. Once the sample budget covers the whole graph — or the
+    // iteration cap trips — the whole edge set acts as the sample. In the
+    // parallel-components mode the sample stays distributed (weights are
+    // irrelevant to connectivity, so the local unweighted sampler is
+    // always the right tool there).
+    std::vector<WeightedEdge> sample;
+    if (options.parallel_sample_components) {
+      if (sample_target >= edges_left ||
+          result.iterations >= options.max_iterations) {
+        sample = graph.local();
+      } else {
+        UnweightedSparsifyOptions unweighted;
+        unweighted.delta = options.delta;
+        unweighted.trace = trace;
+        unweighted.trace_base = edges_base;
+        sample =
+            sparsify_unweighted_local(comm, graph, sample_target, gen,
+                                      unweighted);
+      }
+    } else if (sample_target >= edges_left ||
+               result.iterations >= options.max_iterations) {
+      sample = graph.gather(comm);
+    } else if (options.unweighted_fast_path) {
+      UnweightedSparsifyOptions unweighted;
+      unweighted.delta = options.delta;
+      unweighted.trace = trace;
+      unweighted.trace_base = edges_base;
+      sample = sparsify_unweighted(comm, graph, sample_target, gen, unweighted);
+    } else {
+      SparsifyOptions weighted;
+      weighted.trace = trace;
+      weighted.trace_base = edges_base;
+      sample = sparsify_weighted(comm, graph, sample_target, gen, weighted);
+    }
+
+    // (2) Components of the sample: sequentially at the root (the paper's
+    // default) or in parallel over the still-distributed sample (§3.2's
+    // suggested extension).
+    std::vector<Vertex> mapping;
+    Vertex components = 0;
+    if (options.parallel_sample_components) {
+      graph::DistributedEdgeArray sample_graph(label_space,
+                                               std::move(sample));
+      BspSvOptions sv;
+      sv.trace = trace;
+      BspSvResult sv_result = bsp_sv_components(comm, sample_graph, sv);
+      mapping = std::move(sv_result.labels);
+      components = sv_result.components;
+      if (comm.rank() == 0) {
+        for (Vertex v = 0; v < n; ++v) component[v] = mapping[component[v]];
+      }
+    } else {
+      if (comm.rank() == 0) {
+        mapping =
+            root_component_mapping(label_space, sample, components, trace);
+        for (Vertex v = 0; v < n; ++v) {
+          if (trace != nullptr) {
+            trace->touch(c_base + v);
+            trace->touch(g_base + component[v]);
+          }
+          component[v] = mapping[component[v]];
+        }
+      }
+      comm.broadcast(mapping);
+      components = comm.broadcast_value(components);
+    }
+
+    // (3) Local relabeling; loops vanish.
+    std::vector<WeightedEdge>& local = graph.local();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const Vertex u = mapping[local[i].u];
+      const Vertex v = mapping[local[i].v];
+      if (trace != nullptr) {
+        trace->touch(edges_base + 2 * i);
+        trace->touch(g_base + local[i].u);
+        trace->touch(g_base + local[i].v);
+      }
+      if (u == v) continue;
+      local[kept++] = WeightedEdge{u, v, local[i].weight};
+    }
+    local.resize(kept);
+
+    label_space = components;
+    edges_left = graph.global_edge_count(comm);
+  }
+
+  // Labels are already dense; replicate them.
+  result.labels = std::move(component);
+  comm.broadcast(result.labels);
+  result.components = label_space;
+  graph.set_vertex_count(label_space);
+  return result;
+}
+
+CcResult connected_components_dense(const bsp::Comm& comm,
+                                    graph::DistributedMatrix matrix,
+                                    const CcOptions& options) {
+  const auto n = static_cast<Vertex>(matrix.rows());
+  rng::Philox gen(options.seed,
+                  /*stream=*/0xDC00 + static_cast<std::uint64_t>(comm.rank()));
+  CcResult result;
+  if (n == 0) return result;
+
+  std::vector<Vertex> component(comm.rank() == 0 ? n : 0);
+  for (Vertex v = 0; v < static_cast<Vertex>(component.size()); ++v)
+    component[v] = v;
+
+  const auto sample_target = static_cast<std::uint64_t>(
+      std::ceil(std::pow(static_cast<double>(n), 1.0 + options.epsilon) / 2.0));
+
+  while (matrix.total(comm) > 0) {
+    ++result.iterations;
+    const auto label_space = static_cast<Vertex>(matrix.rows());
+    const std::vector<WeightedEdge> sample =
+        sparsify_matrix(comm, matrix, sample_target, gen);
+
+    std::vector<Vertex> mapping;
+    Vertex components = 0;
+    if (comm.rank() == 0) {
+      mapping = root_component_mapping(label_space, sample, components,
+                                       options.trace);
+      for (Vertex v = 0; v < n; ++v) component[v] = mapping[component[v]];
+    }
+    comm.broadcast(mapping);
+    components = comm.broadcast_value(components);
+    if (components == label_space) {
+      if (result.iterations >= options.max_iterations) break;  // safety
+      continue;  // sample missed every remaining edge; redraw
+    }
+    matrix = dense_bulk_contract(comm, matrix, mapping, components);
+  }
+
+  result.labels = std::move(component);
+  comm.broadcast(result.labels);
+  result.components = static_cast<Vertex>(matrix.rows());
+  return result;
+}
+
+}  // namespace camc::core

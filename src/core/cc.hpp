@@ -1,0 +1,73 @@
+#pragma once
+
+// Communication-avoiding connected components (§3.2).
+//
+// Iterated Sampling without Bulk Edge Contraction: repeatedly (1) draw a
+// sparse sample of n^(1+eps)/2 edges and gather it at the root, (2) let the
+// root compute connected components of (current labels, sample) and
+// broadcast the resulting relabeling g, and (3) relabel the distributed
+// edge array through g, dropping loops — until no edges remain. O(1)
+// iterations w.h.p., hence O(1) supersteps, O(n^(1+eps)) communication
+// volume, and O(m/p + n^(1+eps)) computation.
+//
+// The unweighted fast path (sampling without the multinomial coordination
+// round) is on by default — the paper found it "crucial in practice".
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "cachesim/session.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/dist_matrix.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::core {
+
+struct CcOptions {
+  /// Sample size per iteration is ceil(n^(1+epsilon) / 2).
+  double epsilon = 0.2;
+  /// Use the coordination-free unweighted sampling path.
+  bool unweighted_fast_path = true;
+  /// Oversampling slack of the unweighted path.
+  double delta = 0.5;
+  /// All randomness derives from this seed (per-rank streams are derived).
+  std::uint64_t seed = 1;
+  /// Safety valve: after this many iterations the remaining edges are
+  /// gathered at the root and finished sequentially. W.h.p. unused.
+  std::uint32_t max_iterations = 60;
+  /// The §3.2 remark's extension: instead of gathering the sample and
+  /// computing components sequentially at the root, keep the sample
+  /// distributed and compute its components with the parallel
+  /// Shiloach-Vishkin kernel. Trades the O(1)-superstep guarantee for a
+  /// root-bottleneck-free iteration (O(log n) supersteps per iteration).
+  bool parallel_sample_components = false;
+  /// Optional per-rank cache-tracing hook (Figures 4 and 8). May be null.
+  cachesim::Session* trace = nullptr;
+};
+
+struct CcResult {
+  /// Component label per vertex, dense in [0, components); replicated on
+  /// every rank.
+  std::vector<graph::Vertex> labels;
+  graph::Vertex components = 0;
+  /// Sampling iterations performed (the paper's O(1) claim is observable).
+  std::uint32_t iterations = 0;
+};
+
+/// Collective. Consumes the edge array (it is relabeled in place).
+CcResult connected_components(const bsp::Comm& comm,
+                              graph::DistributedEdgeArray& graph,
+                              const CcOptions& options = {});
+
+/// Collective. Connected components on the dense representation (§3,
+/// "Graph Representation": for m >= n^2/log n the paper stores the graph
+/// as a distributed adjacency matrix). Iterated sampling with dense bulk
+/// edge contraction: sample entries, compute the sample's components at
+/// the root, contract the matrix, repeat until edgeless — O(1) iterations
+/// w.h.p. Consumes the matrix.
+CcResult connected_components_dense(const bsp::Comm& comm,
+                                    graph::DistributedMatrix matrix,
+                                    const CcOptions& options = {});
+
+}  // namespace camc::core

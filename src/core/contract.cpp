@@ -1,0 +1,223 @@
+#include "core/contract.hpp"
+
+#include <algorithm>
+
+#include "bsp/sample_sort.hpp"
+#include "core/prefix.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/permutation.hpp"
+
+namespace camc::core {
+
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+using graph::EndpointLess;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+namespace {
+
+/// Combines adjacent parallel edges of a sorted run in place.
+std::vector<WeightedEdge> combine_sorted_run(std::vector<WeightedEdge> run) {
+  std::vector<WeightedEdge> out;
+  out.reserve(run.size());
+  for (const WeightedEdge& e : run) {
+    if (!out.empty() && same_endpoints(out.back(), e))
+      out.back().weight += e.weight;
+    else
+      out.push_back(e);
+  }
+  return out;
+}
+
+/// Boundary descriptor exchanged in §4.1 step 4. The paper all-gathers the
+/// first edge of each rank; we also carry the last edge so that an owner
+/// whose copy is *not* its first edge can be found by later ranks.
+struct Boundary {
+  WeightedEdge first;
+  WeightedEdge last;
+  std::uint64_t nonempty;  // 0/1, kept word-sized for trivial copying
+};
+
+}  // namespace
+
+DistributedEdgeArray sparse_bulk_contract(const bsp::Comm& comm,
+                                          const DistributedEdgeArray& graph,
+                                          std::span<const Vertex> mapping,
+                                          Vertex new_n, rng::Philox& gen) {
+  // (1) Local rename and loop removal.
+  std::vector<WeightedEdge> local;
+  local.reserve(graph.local().size());
+  for (const WeightedEdge& e : graph.local()) {
+    const Vertex u = mapping[e.u];
+    const Vertex v = mapping[e.v];
+    if (u == v) continue;
+    local.push_back(WeightedEdge{u, v, e.weight}.canonical());
+  }
+
+  // (2) Global sort by endpoints: parallel edges become contiguous across
+  // the rank order.
+  local = bsp::sample_sort(comm, std::move(local), EndpointLess{}, gen);
+
+  // (3) Local combining: at most one copy of each pair per rank remains.
+  local = combine_sorted_run(std::move(local));
+
+  // (4) Exchange boundary edges.
+  Boundary mine{};
+  mine.nonempty = local.empty() ? 0 : 1;
+  if (!local.empty()) {
+    mine.first = local.front();
+    mine.last = local.back();
+  }
+  const std::vector<Boundary> boundaries =
+      comm.all_gather(std::vector<Boundary>{mine});
+
+  // (5) Resolve straddling runs. A pair can span ranks only as the last
+  // edge of some rank r followed by the first edge of ranks r+1..r+j (the
+  // slices are globally sorted and locally combined). The leftmost rank
+  // holding the pair owns it.
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  const auto earlier_rank_has = [&](const WeightedEdge& edge, int before) {
+    for (int r = 0; r < before; ++r) {
+      const Boundary& b = boundaries[static_cast<std::size_t>(r)];
+      if (b.nonempty == 0) continue;
+      if (same_endpoints(b.first, edge) || same_endpoints(b.last, edge))
+        return true;
+    }
+    return false;
+  };
+
+  if (!local.empty()) {
+    // Absorb later first-edges parallel to a pair I own.
+    const auto absorb_into = [&](WeightedEdge& owned) {
+      for (int r = me + 1; r < p; ++r) {
+        const Boundary& b = boundaries[static_cast<std::size_t>(r)];
+        if (b.nonempty == 0) continue;
+        if (same_endpoints(b.first, owned)) owned.weight += b.first.weight;
+        // Runs are contiguous: once a later rank's first differs, stop.
+        else
+          break;
+      }
+    };
+
+    const bool first_is_foreign = earlier_rank_has(local.front(), me);
+    if (first_is_foreign) {
+      // My first edge belongs to an earlier owner; drop it.
+      local.erase(local.begin());
+    }
+    if (!local.empty()) {
+      // I own my last edge iff no earlier rank holds the same pair; when
+      // the slice has a single edge this also covers the first edge.
+      if (!earlier_rank_has(local.back(), me)) absorb_into(local.back());
+      if (local.size() > 1 && !first_is_foreign)
+        absorb_into(local.front());
+    }
+  }
+
+  DistributedEdgeArray out(new_n, std::move(local));
+  return out;
+}
+
+std::vector<WeightedEdge> sparsify_matrix(const bsp::Comm& comm,
+                                          const DistributedMatrix& matrix,
+                                          std::uint64_t s, rng::Philox& gen) {
+  // (1) slice weights at root.
+  Weight local_weight = 0;
+  for (const Weight w : matrix.local_storage()) local_weight += w;
+  const std::vector<Weight> slice_weights =
+      comm.gather(std::vector<Weight>{local_weight});
+
+  // (2) multinomial split of s.
+  std::vector<std::uint64_t> counts;
+  if (comm.rank() == 0) {
+    counts.assign(static_cast<std::size_t>(comm.size()), 0);
+    Weight total = 0;
+    for (const Weight w : slice_weights) total += w;
+    if (total > 0) {
+      std::vector<double> rank_weights(slice_weights.size());
+      for (std::size_t i = 0; i < slice_weights.size(); ++i)
+        rank_weights[i] = static_cast<double>(slice_weights[i]);
+      const rng::AliasTable ranks(rank_weights);
+      for (std::uint64_t k = 0; k < s; ++k) ++counts[ranks.sample(gen)];
+    }
+  }
+  const std::uint64_t my_count =
+      comm.scatterv(counts,
+                    std::vector<std::uint64_t>(
+                        static_cast<std::size_t>(comm.size()), 1))
+          .at(0);
+
+  // (3) local draws over the nonzero entries of the owned rows.
+  std::vector<WeightedEdge> local_sample;
+  if (my_count > 0 && local_weight > 0) {
+    std::vector<WeightedEdge> nonzeros;
+    std::vector<double> weights;
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i) {
+      const auto row = matrix.row(i);
+      for (std::uint64_t j = 0; j < matrix.cols(); ++j) {
+        if (row[j] == 0) continue;
+        nonzeros.push_back(WeightedEdge{static_cast<Vertex>(i),
+                                        static_cast<Vertex>(j), row[j]});
+        weights.push_back(static_cast<double>(row[j]));
+      }
+    }
+    const rng::AliasTable table(weights);
+    local_sample.reserve(my_count);
+    for (std::uint64_t k = 0; k < my_count; ++k)
+      local_sample.push_back(nonzeros[table.sample(gen)]);
+  }
+
+  // (4) gather + permute at root.
+  std::vector<WeightedEdge> sample = comm.gather(local_sample);
+  if (comm.rank() == 0) rng::shuffle(sample, gen);
+  return sample;
+}
+
+DistributedMatrix dense_contract_to(
+    const bsp::Comm& comm, DistributedMatrix matrix, Vertex target,
+    rng::Philox& gen,
+    const std::function<std::uint64_t(Vertex)>& sample_size,
+    std::vector<Vertex>& to_current, std::uint32_t* iterations_out) {
+  std::uint32_t iterations = 0;
+  while (matrix.rows() > target) {
+    const auto a = static_cast<Vertex>(matrix.rows());
+    if (matrix.total(comm) == 0) break;  // disconnected; caller handles
+    ++iterations;
+    const std::vector<WeightedEdge> sample =
+        sparsify_matrix(comm, matrix, sample_size(a), gen);
+
+    std::vector<Vertex> mapping;
+    Vertex components = 0;
+    if (comm.rank() == 0) {
+      const PrefixSelection selection = select_prefix(a, sample, target);
+      mapping = selection.mapping;
+      components = selection.components;
+    }
+    comm.broadcast(mapping);
+    components = comm.broadcast_value(components);
+    if (components == a) continue;  // sample was all loops; resample
+
+    matrix = dense_bulk_contract(comm, matrix, mapping, components);
+    for (Vertex& label : to_current) label = mapping[label];
+  }
+  if (iterations_out != nullptr) *iterations_out = iterations;
+  return matrix;
+}
+
+DistributedMatrix dense_bulk_contract(const bsp::Comm& comm,
+                                      const DistributedMatrix& matrix,
+                                      std::span<const Vertex> mapping,
+                                      Vertex t) {
+  // Columns first (local), then rows via transpose (communication), then
+  // columns of the transposed matrix, then clear self-loops.
+  DistributedMatrix folded = matrix.combine_columns(comm, mapping, t);
+  DistributedMatrix transposed = folded.transpose(comm);
+  DistributedMatrix contracted = transposed.combine_columns(comm, mapping, t);
+  contracted.zero_diagonal();
+  return contracted;
+}
+
+}  // namespace camc::core

@@ -1,0 +1,74 @@
+#pragma once
+
+// Bulk Edge Contraction (§4.1): merge vertices according to a mapping
+// g : V -> V', remove loops, and combine parallel edges — in O(1)
+// supersteps, for both graph representations.
+//
+// Sparse (distributed edge array): local rename, global sample sort by
+// endpoints, local combining, then the boundary fix-up: an all-gather of
+// each rank's first (and last) edge identifies parallel edges straddling
+// rank boundaries; the leftmost owner absorbs their weight and the later
+// ranks drop their copy.
+//
+// Dense (distributed adjacency matrix): combine columns (local), transpose
+// (communication), combine columns again, zero the diagonal.
+//
+// As the paper notes, the sparse routine is really a general
+// communication-avoiding "group by key and reduce": values are grouped by
+// an arbitrary comparable key and combined with any associative operator.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/dist_matrix.hpp"
+#include "graph/edge.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::core {
+
+/// Collective. Renames this rank's edges through `mapping` (size = current
+/// label space), drops loops, globally combines parallel edges. The result
+/// is a distributed edge array over `new_n` vertices with at most one copy
+/// of each edge across all ranks.
+graph::DistributedEdgeArray sparse_bulk_contract(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::span<const graph::Vertex> mapping, graph::Vertex new_n,
+    rng::Philox& gen);
+
+/// Collective. Dense counterpart on a square distributed adjacency matrix:
+/// returns the t x t contracted matrix, where t is the label count of
+/// `mapping` (labels must be dense in [0, t)).
+graph::DistributedMatrix dense_bulk_contract(
+    const bsp::Comm& comm, const graph::DistributedMatrix& matrix,
+    std::span<const graph::Vertex> mapping, graph::Vertex t);
+
+/// Collective. Weighted i.i.d. sample of `s` entries of a distributed
+/// adjacency matrix, gathered (and permuted) at the group root. Both
+/// orientations of an edge are present in the matrix, so entry probability
+/// stays proportional to edge weight (§3.1 applied to the dense
+/// representation; used by the Recursive Step).
+std::vector<graph::WeightedEdge> sparsify_matrix(
+    const bsp::Comm& comm, const graph::DistributedMatrix& matrix,
+    std::uint64_t s, rng::Philox& gen);
+
+/// Collective. Iterated sampling on the dense representation: randomly
+/// contracts `matrix` to `target` rows (or until edgeless). The sample
+/// size per iteration is `sample_size(current_n)` — the
+/// communication-avoidance knob: n^(1+sigma) gives the paper's O(1)
+/// iterations; O(n) (or smaller) gives the round-by-round behaviour of
+/// the previous BSP algorithm [4]. Every contraction's mapping is applied
+/// to `to_current` (original label -> current label) on every rank; pass
+/// an empty vector to skip tracking. Returns the contracted matrix and
+/// reports the number of sampling iterations via `iterations_out`.
+graph::DistributedMatrix dense_contract_to(
+    const bsp::Comm& comm, graph::DistributedMatrix matrix,
+    graph::Vertex target, rng::Philox& gen,
+    const std::function<std::uint64_t(graph::Vertex)>& sample_size,
+    std::vector<graph::Vertex>& to_current,
+    std::uint32_t* iterations_out = nullptr);
+
+}  // namespace camc::core

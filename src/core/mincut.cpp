@@ -1,0 +1,525 @@
+#include "core/mincut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/contract.hpp"
+#include "core/prefix.hpp"
+#include "core/sparsify.hpp"
+#include "graph/contraction_ref.hpp"
+#include "graph/dense_graph.hpp"
+#include "graph/dist_matrix.hpp"
+#include "graph/folded_dense.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/permutation.hpp"
+#include "rng/weighted_sampler.hpp"
+#include "seq/karger_stein.hpp"
+
+namespace camc::core {
+
+using graph::DenseGraph;
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+using graph::RowDistribution;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+using seq::CutResult;
+
+namespace {
+
+constexpr Weight kInfiniteCut = static_cast<Weight>(-1);
+
+Vertex eager_target(std::uint64_t m) {
+  return static_cast<Vertex>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::uint64_t>(m, 1)))) +
+      1);
+}
+
+std::uint64_t sample_size(Vertex n_cur, double sigma) {
+  return static_cast<std::uint64_t>(
+      std::ceil(std::pow(static_cast<double>(n_cur), 1.0 + sigma)));
+}
+
+/// Applies `mapping` to a composed original->current label array.
+void compose(std::vector<Vertex>& to_current,
+             std::span<const Vertex> mapping) {
+  for (Vertex& label : to_current) label = mapping[label];
+}
+
+/// Expands a side expressed in current labels back to original vertices.
+std::vector<Vertex> expand_side(const std::vector<Vertex>& to_current,
+                                std::span<const Vertex> side_labels) {
+  const std::unordered_set<Vertex> in_side(side_labels.begin(),
+                                           side_labels.end());
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < static_cast<Vertex>(to_current.size()); ++v)
+    if (in_side.contains(to_current[v])) out.push_back(v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential trial
+// ---------------------------------------------------------------------------
+
+/// Draws `s` i.i.d. weighted edge samples from `edges`.
+std::vector<WeightedEdge> weighted_sample(std::span<const WeightedEdge> edges,
+                                          std::uint64_t s, rng::Philox& gen) {
+  std::vector<double> weights(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    weights[i] = static_cast<double>(edges[i].weight);
+  const rng::AliasTable table(weights);
+  std::vector<WeightedEdge> sample;
+  sample.reserve(s);
+  for (std::uint64_t k = 0; k < s; ++k)
+    sample.push_back(edges[table.sample(gen)]);
+  return sample;
+}
+
+}  // namespace
+
+CutResult sequential_min_cut_trial(Vertex n,
+                                   std::span<const WeightedEdge> input_edges,
+                                   const MinCutOptions& options,
+                                   rng::Philox& gen) {
+  std::vector<WeightedEdge> edges(input_edges.begin(), input_edges.end());
+  const Vertex t0 = std::min<Vertex>(n, eager_target(edges.size()));
+
+  std::vector<Vertex> to_current(n);
+  for (Vertex v = 0; v < n; ++v) to_current[v] = v;
+
+  // Eager Step: iterated sampling until t0 vertices remain.
+  Vertex n_cur = n;
+  while (n_cur > t0) {
+    if (edges.empty()) {
+      // Disconnected: label 0's vertices form a zero cut.
+      std::vector<Vertex> zero{0};
+      return CutResult{0, expand_side(to_current, zero)};
+    }
+    const std::uint64_t s = sample_size(n_cur, options.sigma);
+    const std::vector<WeightedEdge> sample = weighted_sample(edges, s, gen);
+    const PrefixSelection selection = select_prefix(n_cur, sample, t0);
+    edges = graph::contract_edges_reference(edges, selection.mapping);
+    compose(to_current, selection.mapping);
+    n_cur = selection.components;
+  }
+
+  // Recursive Step, sequential: full Karger-Stein on the dense remainder.
+  CutResult best = seq::recursive_contraction_run(
+      graph::FoldedDense(n_cur, edges), gen);
+  best.side = expand_side(to_current, best.side);
+  return best;
+}
+
+std::uint32_t min_cut_trial_count(Vertex n, std::uint64_t m,
+                                  const MinCutOptions& options) {
+  if (options.forced_trials != 0)
+    return std::min(options.forced_trials, options.max_trials);
+  if (n < 2 || m == 0) return 1;
+
+  // One trial succeeds when (a) the eager contraction to sqrt(m) vertices
+  // preserves a minimum cut — probability >= t0(t0-1)/(n(n-1)) ~ m/n^2
+  // (Lemma 2.1) — and (b) the recursive step then finds it — probability
+  // 1/Omega(log t0) (Lemma 2.2).
+  const double t0 = static_cast<double>(eager_target(m));
+  const double nd = static_cast<double>(n);
+  const double survive =
+      std::min(1.0, (t0 * (t0 - 1.0)) / (nd * (nd - 1.0)));
+  const double recurse = 1.0 / std::max(1.0, std::log2(t0));
+  const double q = std::clamp(survive * recurse, 1e-12, 1.0);
+
+  const double failure = std::max(1.0 - options.success_probability, 1e-12);
+  double trials = std::log(failure) / std::log1p(-q);
+  trials *= options.trial_multiplier;
+  return static_cast<std::uint32_t>(std::clamp(
+      std::ceil(trials), 1.0, static_cast<double>(options.max_trials)));
+}
+
+CutResult sequential_min_cut(Vertex n, std::span<const WeightedEdge> edges,
+                             const MinCutOptions& options) {
+  const std::uint32_t trials = min_cut_trial_count(n, edges.size(), options);
+  CutResult best;
+  best.value = kInfiniteCut;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+    CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
+    if (candidate.value < best.value) best = std::move(candidate);
+    if (best.value == 0) break;
+  }
+  return best;
+}
+
+AllMinCutsResult all_min_cuts(Vertex n, std::span<const WeightedEdge> edges,
+                              const MinCutOptions& options,
+                              std::size_t max_cuts) {
+  AllMinCutsResult result;
+  // Union bound over the at most n(n-1)/2 minimum cuts (Lemma 4.3): an
+  // extra O(log n) trial factor makes EVERY cut appear w.h.p., not just one.
+  const auto enumeration_factor = static_cast<std::uint32_t>(
+      std::ceil(2.0 * std::log(std::max<double>(2.0, n))));
+  const std::uint64_t scaled =
+      static_cast<std::uint64_t>(min_cut_trial_count(n, edges.size(), options)) *
+      enumeration_factor;
+  result.trials = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(scaled, options.max_trials));
+  result.value = kInfiniteCut;
+
+  // Canonical form: the sorted side not containing vertex 0.
+  const auto canonicalize = [n](std::vector<Vertex> side) {
+    std::sort(side.begin(), side.end());
+    if (!side.empty() && side.front() == 0) {  // complement
+      std::vector<Vertex> other;
+      std::size_t cursor = 0;
+      for (Vertex v = 0; v < n; ++v) {
+        if (cursor < side.size() && side[cursor] == v)
+          ++cursor;
+        else
+          other.push_back(v);
+      }
+      side = std::move(other);
+    }
+    return side;
+  };
+
+  for (std::uint32_t trial = 0; trial < result.trials; ++trial) {
+    rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+    CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
+    if (candidate.value > result.value) continue;
+    if (candidate.value < result.value) {
+      result.value = candidate.value;
+      result.cuts.clear();
+      result.truncated = false;
+    }
+    std::vector<Vertex> side = canonicalize(std::move(candidate.side));
+    if (std::find(result.cuts.begin(), result.cuts.end(), side) ==
+        result.cuts.end()) {
+      if (result.cuts.size() >= max_cuts) {
+        result.truncated = true;
+      } else {
+        result.cuts.push_back(std::move(side));
+      }
+    }
+  }
+  if (result.value == kInfiniteCut) result.value = 0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed trial (p > t): one trial per processor group
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Redistributes `matrix` so that both halves of `comm` hold a full copy,
+/// each row-distributed over its half. Returns this rank's half color and
+/// fills `rows_out` with its rows under the half distribution.
+struct HalfCopy {
+  int color = 0;
+  std::vector<Weight> rows;
+  RowDistribution dist;
+};
+
+HalfCopy redistribute_to_halves(const bsp::Comm& comm,
+                                const DistributedMatrix& matrix) {
+  const int p = comm.size();
+  const int half0 = (p + 1) / 2;  // sizes: ceil, floor
+  const int half1 = p - half0;
+  const std::uint64_t rows = matrix.rows();
+  const std::uint64_t cols = matrix.cols();
+
+  HalfCopy out;
+  out.color = comm.rank() < half0 ? 0 : 1;
+  const int my_half_size = out.color == 0 ? half0 : half1;
+  const int my_half_offset = out.color == 0 ? 0 : half0;
+  out.dist = RowDistribution{rows, my_half_size};
+
+  const RowDistribution dist0{rows, half0};
+  const RowDistribution dist1{rows, half1};
+
+  std::vector<std::vector<Weight>> outbox(static_cast<std::size_t>(p));
+  for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i) {
+    const auto row = matrix.row(i);
+    const int dest0 = dist0.owner(i);
+    outbox[static_cast<std::size_t>(dest0)].insert(
+        outbox[static_cast<std::size_t>(dest0)].end(), row.begin(), row.end());
+    if (half1 > 0) {
+      const int dest1 = half0 + dist1.owner(i);
+      outbox[static_cast<std::size_t>(dest1)].insert(
+          outbox[static_cast<std::size_t>(dest1)].end(), row.begin(),
+          row.end());
+    }
+  }
+  // Source ranks hold consecutive row ranges in rank order, so the inbox is
+  // exactly this rank's rows, in order, under its half distribution.
+  out.rows = comm.alltoallv(outbox);
+
+  const int my_sub_rank = comm.rank() - my_half_offset;
+  const std::uint64_t expected =
+      out.dist.count(my_sub_rank) * cols;
+  if (out.rows.size() != expected)
+    throw std::logic_error("redistribute_to_halves: row accounting mismatch");
+  return out;
+}
+
+/// Wraps half-copy rows into a DistributedMatrix over the sub-communicator.
+DistributedMatrix matrix_from_rows(const bsp::Comm& sub, std::uint64_t rows,
+                                   std::uint64_t cols,
+                                   std::vector<Weight> data) {
+  DistributedMatrix out(sub, rows, cols);
+  out.local_storage() = std::move(data);
+  return out;
+}
+
+/// Recursive Step (§4.3) over a processor group. `sample_fn` sets the
+/// iterated-sampling batch size: n^(1+sigma) is the communication-avoiding
+/// choice; the previous-BSP baseline passes small rounds instead.
+Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
+                      const MinCutOptions& options,
+                      const std::function<std::uint64_t(Vertex)>& sample_fn,
+                      rng::Philox& gen, std::vector<Vertex>& to_current,
+                      std::vector<Vertex>& side_labels) {
+  const auto a = static_cast<Vertex>(matrix.rows());
+  if (comm.size() == 1 || a <= options.leaf_size) {
+    // Leaf: solve sequentially at the group root with full Karger-Stein.
+    const std::vector<Weight> dense = matrix.to_dense(comm);
+    Weight value = kInfiniteCut;
+    std::vector<Vertex> side;
+    if (comm.rank() == 0) {
+      const CutResult leaf = seq::recursive_contraction_run(
+          graph::FoldedDense(a, std::span<const Weight>(dense)), gen);
+      value = leaf.value;
+      side = leaf.side;
+    }
+    value = comm.broadcast_value(value);
+    comm.broadcast(side);
+    side_labels = std::move(side);
+    return value;
+  }
+
+  const auto target = static_cast<Vertex>(
+      std::ceil(static_cast<double>(a) / std::sqrt(2.0)) + 1);
+  matrix = dense_contract_to(comm, std::move(matrix), target, gen, sample_fn,
+                             to_current);
+
+  const HalfCopy half = redistribute_to_halves(comm, matrix);
+  const std::uint64_t rows = matrix.rows();
+  const std::uint64_t cols = matrix.cols();
+  bsp::Comm sub = comm.split(half.color);
+  DistributedMatrix sub_matrix =
+      matrix_from_rows(sub, rows, cols, half.rows);
+
+  // Decorrelate the two branches (they share `gen` history up to here).
+  rng::Philox branch_gen(gen(), static_cast<std::uint64_t>(half.color) + 1);
+  const Weight branch =
+      recursive_step(sub, std::move(sub_matrix), options, sample_fn,
+                     branch_gen, to_current, side_labels);
+
+  // Best of the two branches; the winning branch's ranks keep their side.
+  const Weight best = comm.all_reduce(
+      branch, [](Weight x, Weight y) { return std::min(x, y); },
+      kInfiniteCut);
+  if (branch != best) side_labels.clear();
+  return best;
+}
+
+/// One distributed trial on a processor group. `all_edges` is the full
+/// replicated edge list (the p > t regime replicates the graph, exactly as
+/// the p <= t regime "broadcasts the graph"); the group re-partitions it
+/// across its own ranks.
+Weight distributed_trial(const bsp::Comm& group, Vertex n,
+                         const std::vector<WeightedEdge>& all_edges,
+                         const MinCutOptions& options, std::uint64_t trial,
+                         std::vector<Vertex>& side_out, bool& side_valid) {
+  rng::Philox gen(options.seed,
+                  /*stream=*/0xD0000000ull + (trial << 8) +
+                      static_cast<std::uint64_t>(group.rank()));
+  // Root-driven choices (prefix selection) must be deterministic per trial,
+  // while local sampling needs per-rank streams; both hold by keying on
+  // (trial, rank) and doing root work only at rank 0.
+
+  const std::uint64_t m = all_edges.size();
+  const auto gs = static_cast<std::uint64_t>(group.size());
+  const auto gr = static_cast<std::uint64_t>(group.rank());
+  DistributedEdgeArray graph(
+      n, std::vector<WeightedEdge>(
+             all_edges.begin() + static_cast<std::ptrdiff_t>(m * gr / gs),
+             all_edges.begin() +
+                 static_cast<std::ptrdiff_t>(m * (gr + 1) / gs)));
+  const Vertex t0 = std::min<Vertex>(n, eager_target(m));
+
+  std::vector<Vertex> to_current(n);
+  for (Vertex v = 0; v < n; ++v) to_current[v] = v;
+
+  // Eager Step (§4.2): sparsify + prefix selection + sparse contraction.
+  Vertex n_cur = n;
+  while (n_cur > t0) {
+    if (graph.global_edge_count(group) == 0) {
+      // Disconnected input: zero cut, one side = label 0.
+      side_out.clear();
+      for (Vertex v = 0; v < n; ++v)
+        if (to_current[v] == 0) side_out.push_back(v);
+      side_valid = true;
+      return 0;
+    }
+    const std::uint64_t s = sample_size(n_cur, options.sigma);
+    const std::vector<WeightedEdge> sample =
+        sparsify_weighted(group, graph, s, gen);
+
+    std::vector<Vertex> mapping;
+    Vertex components = 0;
+    if (group.rank() == 0) {
+      const PrefixSelection selection = select_prefix(n_cur, sample, t0);
+      mapping = selection.mapping;
+      components = selection.components;
+    }
+    group.broadcast(mapping);
+    components = group.broadcast_value(components);
+    if (components == n_cur) continue;  // useless sample; draw again
+
+    graph = sparse_bulk_contract(group, graph, mapping, components, gen);
+    compose(to_current, mapping);
+    n_cur = components;
+  }
+
+  // Recursive Step on the dense representation.
+  DistributedMatrix matrix =
+      DistributedMatrix::from_edges(group, n_cur, graph.local());
+  std::vector<Vertex> side_labels;
+  const double sigma = options.sigma;
+  const Weight value = recursive_step(
+      group, std::move(matrix), options,
+      [sigma](Vertex a) { return sample_size(a, sigma); }, gen, to_current,
+      side_labels);
+
+  // Reconstruct the side in original ids on whichever ranks still hold it.
+  side_valid = !side_labels.empty();
+  if (side_valid) side_out = expand_side(to_current, side_labels);
+  return value;
+}
+
+}  // namespace
+
+BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
+                                           const DistributedEdgeArray& graph,
+                                           const MinCutOptions& options) {
+  const Vertex n = graph.vertex_count();
+  BaselineMinCutOutcome outcome;
+  if (n < 2) return outcome;
+  const std::uint64_t m = graph.global_edge_count(comm);
+  if (m == 0) return outcome;
+
+  // Classic repetition count: ~log^2 n runs at success 0.9-ish; derive from
+  // the per-run 1/O(log n) success like the sequential Karger-Stein does.
+  std::uint32_t runs = options.forced_trials;
+  if (runs == 0) {
+    const double q =
+        1.0 / std::max(1.0, std::log2(static_cast<double>(n)));
+    const double failure =
+        std::max(1.0 - options.success_probability, 1e-12);
+    runs = static_cast<std::uint32_t>(std::clamp(
+        std::ceil(std::log(failure) / std::log1p(-q)), 1.0,
+        static_cast<double>(options.max_trials)));
+  }
+  outcome.runs = runs;
+
+  Weight best = kInfiniteCut;
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    rng::Philox gen(options.seed,
+                    /*stream=*/0xBA5E0000ull + (static_cast<std::uint64_t>(run)
+                                                << 8) +
+                        static_cast<std::uint64_t>(comm.rank()));
+    DistributedMatrix matrix =
+        DistributedMatrix::from_edges(comm, n, graph.local());
+    std::vector<Vertex> to_current(n);
+    for (Vertex v = 0; v < n; ++v) to_current[v] = v;
+    std::vector<Vertex> side_labels;
+    // Round-by-round sampling (modeling the PRAM simulation's O(log n)
+    // rounds per contraction phase): small batches, many supersteps —
+    // the non-communication-avoiding profile.
+    const Weight value = recursive_step(
+        comm, std::move(matrix), options,
+        [](Vertex a) { return std::max<std::uint64_t>(8, a / 16); }, gen,
+        to_current, side_labels);
+    best = std::min(best, value);
+    if (best == 0) break;
+  }
+  outcome.value = best == kInfiniteCut ? 0 : best;
+  return outcome;
+}
+
+MinCutOutcome min_cut(const bsp::Comm& comm,
+                      const DistributedEdgeArray& graph,
+                      const MinCutOptions& options) {
+  const Vertex n = graph.vertex_count();
+  const std::uint64_t m = graph.global_edge_count(comm);
+  MinCutOutcome outcome;
+  if (n < 2) return outcome;
+
+  const std::uint32_t trials = min_cut_trial_count(n, m, options);
+  outcome.trials = trials;
+  const int p = comm.size();
+
+  Weight best_value = kInfiniteCut;
+  std::vector<Vertex> best_side;
+  bool best_side_valid = false;
+
+  if (static_cast<std::uint32_t>(p) <= trials) {
+    // Replicate the graph; every rank runs trials rank, rank+p, rank+2p, ...
+    // sequentially. The per-trial RNG stream depends only on the trial
+    // index, so results are independent of p.
+    const std::vector<WeightedEdge> all_edges =
+        comm.all_gather(graph.local());
+    for (std::uint32_t trial = comm.rank(); trial < trials;
+         trial += static_cast<std::uint32_t>(p)) {
+      rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+      CutResult candidate =
+          sequential_min_cut_trial(n, all_edges, options, gen);
+      if (candidate.value < best_value) {
+        best_value = candidate.value;
+        best_side = std::move(candidate.side);
+        best_side_valid = true;
+      }
+      if (best_value == 0) break;
+    }
+  } else {
+    // p > t: replicate the graph, then one group of ~p/t ranks per trial.
+    outcome.used_distributed_trials = true;
+    const std::vector<WeightedEdge> all_edges =
+        comm.all_gather(graph.local());
+    const auto t64 = static_cast<std::uint64_t>(trials);
+    const auto group_index = static_cast<int>(
+        static_cast<std::uint64_t>(comm.rank()) * t64 /
+        static_cast<std::uint64_t>(p));
+    bsp::Comm group = comm.split(group_index);
+    best_side_valid = false;
+    best_value =
+        distributed_trial(group, n, all_edges, options,
+                          static_cast<std::uint64_t>(group_index), best_side,
+                          best_side_valid);
+  }
+
+  outcome.value = comm.all_reduce(
+      best_value, [](Weight a, Weight b) { return std::min(a, b); },
+      kInfiniteCut);
+
+  if (options.want_side) {
+    // Pick the lowest rank that achieved the best value with a valid side
+    // and broadcast its side.
+    const int mine = (best_value == outcome.value && best_side_valid)
+                         ? comm.rank()
+                         : p;
+    const int owner = comm.all_reduce(
+        mine, [](int a, int b) { return std::min(a, b); }, p);
+    if (owner < p) {
+      if (comm.rank() != owner) best_side.clear();
+      comm.broadcast(best_side, owner);
+      outcome.side = std::move(best_side);
+      outcome.side_valid = true;
+    }
+  }
+  if (outcome.value == kInfiniteCut) outcome.value = 0;  // n>=2, m==0
+  return outcome;
+}
+
+}  // namespace camc::core

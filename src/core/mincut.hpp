@@ -1,0 +1,126 @@
+#pragma once
+
+// Communication-avoiding exact minimum cut (§4).
+//
+// The algorithm runs t = Theta((n^2 / m) log^2 n) trials and keeps the
+// smallest cut found. A trial is:
+//
+//   1. Eager Step — random contraction to ceil(sqrt(m)) + 1 vertices by
+//      Iterated Sampling on the sparse representation (§4.2): sparsify
+//      (§3.1) -> prefix selection at the root -> sparse bulk edge
+//      contraction (§4.1), repeated O(1) times w.h.p.
+//   2. Recursive Step — communication-avoiding Recursive Contraction on the
+//      dense representation (§4.3): contract to ceil(a / sqrt 2) + 1 via
+//      iterated sampling on the distributed adjacency matrix, split the
+//      processor group in half, recurse on both copies; a single remaining
+//      rank finishes with sequential (CO) Karger-Stein.
+//
+// Trial scheduling (§4, Details): with p <= t the graph is replicated and
+// every rank runs its share of trials sequentially (their results are
+// identical for every p, given the same seed); with p > t the ranks split
+// into t groups, each running one trial in parallel.
+//
+// The returned cut is minimum w.h.p.; all trials find all minimum cuts
+// w.h.p. per Lemma 4.3 when the trial count is derived from the success
+// probability below.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/edge.hpp"
+#include "rng/philox.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::core {
+
+struct MinCutOptions {
+  /// Probability that the result is an exact minimum cut.
+  double success_probability = 0.9;
+  /// Scales the derived trial count (ablations; < 1 trades certainty for
+  /// speed exactly like lowering success_probability).
+  double trial_multiplier = 1.0;
+  /// Override the trial count entirely when nonzero (tests, model fits).
+  std::uint32_t forced_trials = 0;
+  /// Iterated-sampling sample size is n_cur^(1 + sigma).
+  double sigma = 0.2;
+  /// Recursive Step leaf: groups of one rank — or matrices at most this
+  /// large — are solved with sequential Karger-Stein.
+  graph::Vertex leaf_size = 64;
+  std::uint64_t seed = 1;
+  /// Whether to reconstruct one side of the best cut (costs an extra
+  /// O(n)-volume round at the end).
+  bool want_side = true;
+  /// Safety cap on trials.
+  std::uint32_t max_trials = 1u << 20;
+};
+
+struct MinCutOutcome {
+  graph::Weight value = 0;
+  /// One side of the best cut in original vertex ids (when want_side).
+  std::vector<graph::Vertex> side;
+  bool side_valid = false;
+  std::uint32_t trials = 0;
+  bool used_distributed_trials = false;
+};
+
+/// Trial count t for the options' success target (Lemma 2.1 survival to
+/// sqrt(m) vertices times the Recursive Contraction success rate).
+std::uint32_t min_cut_trial_count(graph::Vertex n, std::uint64_t m,
+                                  const MinCutOptions& options = {});
+
+/// Collective over `comm`. Does not modify the input array.
+MinCutOutcome min_cut(const bsp::Comm& comm,
+                      const graph::DistributedEdgeArray& graph,
+                      const MinCutOptions& options = {});
+
+/// One fully sequential trial (Eager Step + sequential Recursive Step) —
+/// also the p = 1 algorithm measured in Figures 8 and 9. Exposed for tests
+/// and the instrumented (cache-traced) variant.
+seq::CutResult sequential_min_cut_trial(graph::Vertex n,
+                                        std::span<const graph::WeightedEdge> edges,
+                                        const MinCutOptions& options,
+                                        rng::Philox& gen);
+
+/// Sequential full algorithm: `trials` sequential trials, best kept.
+seq::CutResult sequential_min_cut(graph::Vertex n,
+                                  std::span<const graph::WeightedEdge> edges,
+                                  const MinCutOptions& options = {});
+
+/// All distinct minimum cuts (Lemma 4.3: the trials find every minimum cut
+/// w.h.p. when the trial count targets the success probability). Each cut
+/// is reported once, as the sorted side not containing vertex 0; the
+/// number of distinct cuts kept is capped by `max_cuts`.
+struct AllMinCutsResult {
+  graph::Weight value = 0;
+  std::vector<std::vector<graph::Vertex>> cuts;
+  std::uint32_t trials = 0;
+  bool truncated = false;  ///< hit max_cuts
+};
+
+AllMinCutsResult all_min_cuts(graph::Vertex n,
+                              std::span<const graph::WeightedEdge> edges,
+                              const MinCutOptions& options = {},
+                              std::size_t max_cuts = 64);
+
+/// Minimum cut in the style of the previous BSP algorithm [4] — Table 1's
+/// first row, implemented as the comparison baseline: no Eager Step, no
+/// trial groups, and round-by-round contraction sampling (O(a) samples per
+/// superstep instead of the batched a^(1+sigma)). Each of the
+/// Theta(log^2 n) runs performs full Recursive Contraction of the whole
+/// graph across all p ranks, so supersteps grow by log factors where the
+/// communication-avoiding algorithm stays O(log(pm/n^2)) — the empirical
+/// counterpart of Table 1 regenerated by bench_table1.
+struct BaselineMinCutOutcome {
+  graph::Weight value = 0;
+  std::uint32_t runs = 0;
+};
+
+BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
+                                           const graph::DistributedEdgeArray& graph,
+                                           const MinCutOptions& options = {});
+
+}  // namespace camc::core

@@ -1,0 +1,30 @@
+#include "core/prefix.hpp"
+
+#include "graph/contraction_ref.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::core {
+
+PrefixSelection select_prefix(graph::Vertex label_space,
+                              std::span<const graph::WeightedEdge> sample,
+                              graph::Vertex t) {
+  seq::UnionFind dsu(label_space);
+  PrefixSelection out;
+  out.prefix_length = sample.size();
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const graph::WeightedEdge& e = sample[i];
+    if (dsu.component_count() == t && !dsu.connected(e.u, e.v)) {
+      // Uniting would drop below t components; the prefix ends here. Edges
+      // beyond this point that would not merge anything are irrelevant to
+      // the contraction, so cutting the prefix short is equivalent.
+      out.prefix_length = i;
+      break;
+    }
+    dsu.unite(e.u, e.v);
+  }
+  out.mapping = dsu.labels();
+  out.components = graph::normalize_labels(out.mapping);
+  return out;
+}
+
+}  // namespace camc::core

@@ -1,0 +1,35 @@
+#pragma once
+
+// Prefix Selection (§2.4, step 2 of Iterated Sampling): given the permuted
+// edge sample, find the longest prefix whose graph keeps at least t
+// connected components, and return the contraction mapping it induces.
+//
+// Since every useful union reduces the component count by exactly one, the
+// longest admissible prefix is found by uniting sample edges in order and
+// stopping before the union that would drop the count below t.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::core {
+
+struct PrefixSelection {
+  /// mapping[label] = contracted label, dense in [0, components).
+  std::vector<graph::Vertex> mapping;
+  /// Component count of (V, P) — the contracted vertex count (>= t unless
+  /// the sample could not even keep t components, in which case it is the
+  /// count after contracting the whole sample).
+  graph::Vertex components = 0;
+  /// Number of sample edges in the selected prefix.
+  std::size_t prefix_length = 0;
+};
+
+/// Sequential (root-side) prefix selection over `label_space` vertices.
+PrefixSelection select_prefix(graph::Vertex label_space,
+                              std::span<const graph::WeightedEdge> sample,
+                              graph::Vertex t);
+
+}  // namespace camc::core

@@ -1,0 +1,126 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+
+#include "core/contract.hpp"
+#include "graph/contraction_ref.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::core {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+namespace {
+
+constexpr Weight kInfinity = static_cast<Weight>(-1);
+
+/// Minimum weighted degree over all vertices; kInfinity when there are no
+/// vertices. A zero means some vertex is isolated, i.e. the minimum cut is
+/// already 0 and preprocessing has nothing useful to do.
+Weight min_degree(Vertex n, const std::vector<Weight>& degree) {
+  Weight lowest = kInfinity;
+  for (Vertex v = 0; v < n; ++v)
+    lowest = std::min(lowest, degree[v]);
+  return lowest;
+}
+
+void accumulate_degrees(const std::vector<WeightedEdge>& edges,
+                        std::vector<Weight>& degree) {
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+  }
+}
+
+}  // namespace
+
+PreprocessResult contract_heavy_edges(Vertex n,
+                                      std::vector<WeightedEdge>& edges) {
+  PreprocessResult result;
+  result.mapping.resize(n);
+  for (Vertex v = 0; v < n; ++v) result.mapping[v] = v;
+  result.new_n = n;
+
+  while (true) {
+    std::vector<Weight> degree(result.new_n, 0);
+    accumulate_degrees(edges, degree);
+    const Weight bound = min_degree(result.new_n, degree);
+    result.degree_bound = bound == kInfinity ? 0 : bound;
+    if (bound == 0 || bound == kInfinity) break;  // disconnected or edgeless
+
+    seq::UnionFind dsu(result.new_n);
+    bool any_heavy = false;
+    for (const WeightedEdge& e : edges) {
+      if (e.weight > bound) {
+        dsu.unite(e.u, e.v);
+        any_heavy = true;
+      }
+    }
+    if (!any_heavy) break;
+
+    std::vector<Vertex> mapping = dsu.labels();
+    const Vertex components = graph::normalize_labels(mapping);
+    edges = graph::contract_edges_reference(edges, mapping);
+    for (Vertex v = 0; v < n; ++v)
+      result.mapping[v] = mapping[result.mapping[v]];
+    result.new_n = components;
+    ++result.rounds;
+  }
+  return result;
+}
+
+PreprocessResult contract_heavy_edges(const bsp::Comm& comm,
+                                      graph::DistributedEdgeArray& graph,
+                                      rng::Philox& gen) {
+  const Vertex n = graph.vertex_count();
+  PreprocessResult result;
+  result.mapping.resize(n);
+  for (Vertex v = 0; v < n; ++v) result.mapping[v] = v;
+  result.new_n = n;
+
+  while (true) {
+    // Degrees of the current labels, combined across ranks.
+    std::vector<Weight> degree(result.new_n, 0);
+    accumulate_degrees(graph.local(), degree);
+    degree = comm.all_reduce_vector(degree, std::plus<Weight>{});
+    const Weight bound = min_degree(result.new_n, degree);
+    result.degree_bound = bound == kInfinity ? 0 : bound;
+    if (bound == 0 || bound == kInfinity) break;
+
+    // Heavy edges are rare by construction; gather them at the root.
+    std::vector<WeightedEdge> local_heavy;
+    for (const WeightedEdge& e : graph.local())
+      if (e.weight > bound) local_heavy.push_back(e);
+    const std::vector<WeightedEdge> heavy = comm.gather(local_heavy);
+
+    std::vector<Vertex> mapping;
+    Vertex components = 0;
+    std::uint64_t any_heavy = 0;
+    if (comm.rank() == 0) {
+      any_heavy = heavy.empty() ? 0 : 1;
+      if (any_heavy != 0) {
+        seq::UnionFind dsu(result.new_n);
+        for (const WeightedEdge& e : heavy) dsu.unite(e.u, e.v);
+        mapping = dsu.labels();
+        components = graph::normalize_labels(mapping);
+      }
+    }
+    any_heavy = comm.broadcast_value(any_heavy);
+    if (any_heavy == 0) break;
+    comm.broadcast(mapping);
+    components = comm.broadcast_value(components);
+
+    graph = sparse_bulk_contract(comm, graph, mapping, components, gen);
+    for (Vertex v = 0; v < n; ++v)
+      result.mapping[v] = mapping[result.mapping[v]];
+    result.new_n = components;
+    ++result.rounds;
+  }
+  graph.set_vertex_count(result.new_n);
+  return result;
+}
+
+}  // namespace camc::core

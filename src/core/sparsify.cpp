@@ -1,0 +1,131 @@
+#include "core/sparsify.hpp"
+
+#include <cmath>
+
+#include "rng/alias_table.hpp"
+#include "rng/permutation.hpp"
+
+namespace camc::core {
+namespace {
+
+/// Draws `count` edges from `slice` with probability proportional to edge
+/// weight, using the configured sampler.
+std::vector<WeightedEdge> draw_local(const std::vector<WeightedEdge>& slice,
+                                     std::uint64_t count, rng::Philox& gen,
+                                     const SparsifyOptions& options) {
+  std::vector<WeightedEdge> out;
+  if (count == 0 || slice.empty()) return out;
+  out.reserve(count);
+  std::vector<double> weights(slice.size());
+  for (std::size_t i = 0; i < slice.size(); ++i)
+    weights[i] = static_cast<double>(slice[i].weight);
+  const auto note = [&](std::size_t index) {
+    if (options.trace != nullptr)
+      options.trace->touch(options.trace_base + 2 * index);
+    return index;
+  };
+  if (options.sampler == rng::SamplerKind::kAlias) {
+    const rng::AliasTable table(weights);
+    for (std::uint64_t k = 0; k < count; ++k)
+      out.push_back(slice[note(table.sample(gen))]);
+  } else {
+    const rng::PrefixSumSampler sampler(weights);
+    for (std::uint64_t k = 0; k < count; ++k)
+      out.push_back(slice[note(sampler.sample(gen))]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WeightedEdge> sparsify_weighted(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen, const SparsifyOptions& options,
+    int root) {
+  // (1) Gather slice weights W_i at the root.
+  const Weight local_weight = graph.local_weight();
+  const std::vector<Weight> slice_weights =
+      comm.gather(std::vector<Weight>{local_weight}, root);
+
+  // (2) Root splits the s draws into per-rank counts by the multinomial
+  //     over W_i / sum(W), then scatters one count per rank.
+  std::vector<std::uint64_t> counts;
+  bool graph_is_empty = false;
+  if (comm.rank() == root) {
+    counts.assign(static_cast<std::size_t>(comm.size()), 0);
+    Weight total = 0;
+    for (const Weight w : slice_weights) total += w;
+    if (total == 0) {
+      graph_is_empty = true;
+    } else {
+      std::vector<double> rank_weights(slice_weights.size());
+      for (std::size_t i = 0; i < slice_weights.size(); ++i)
+        rank_weights[i] = static_cast<double>(slice_weights[i]);
+      const rng::AliasTable ranks(rank_weights);
+      for (std::uint64_t k = 0; k < s; ++k) ++counts[ranks.sample(gen)];
+    }
+  }
+  const std::vector<std::uint64_t> my_count_vec = comm.scatterv(
+      counts, std::vector<std::uint64_t>(static_cast<std::size_t>(comm.size()), 1),
+      root);
+  const std::uint64_t my_count = my_count_vec.at(0);
+  graph_is_empty = comm.broadcast_value(graph_is_empty ? 1 : 0, root) != 0;
+  if (graph_is_empty) return {};
+
+  // (3) Local weighted draws; gather at the root.
+  const std::vector<WeightedEdge> local_sample =
+      draw_local(graph.local(), my_count, gen, options);
+  std::vector<WeightedEdge> sample = comm.gather(local_sample, root);
+
+  // (4) Random permutation at the root: makes every sample position
+  //     identically distributed (required by prefix selection).
+  if (comm.rank() == root) rng::shuffle(sample, gen);
+  return sample;
+}
+
+std::vector<WeightedEdge> sparsify_unweighted(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options, int root) {
+  return comm.gather(
+      sparsify_unweighted_local(comm, graph, s, gen, options), root);
+}
+
+std::vector<WeightedEdge> sparsify_unweighted_local(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options) {
+  const auto local_m = static_cast<std::uint64_t>(graph.local().size());
+  const std::uint64_t total_m = comm.all_reduce(
+      local_m, std::plus<std::uint64_t>{}, std::uint64_t{0});
+  if (total_m == 0) return {};
+
+  const double n = std::max<double>(2.0, graph.vertex_count());
+  const double expected = static_cast<double>(s) *
+                          static_cast<double>(local_m) /
+                          static_cast<double>(total_m);
+  const double threshold = options.small_slice_factor * std::log(n) /
+                           (options.delta * options.delta);
+
+  std::vector<WeightedEdge> local_sample;
+  if (expected < threshold || static_cast<double>(local_m) <= expected) {
+    // Tiny slice: contribute everything (never under-samples).
+    local_sample = graph.local();
+    if (options.trace != nullptr)
+      for (std::uint64_t i = 0; i < local_m; ++i)
+        options.trace->touch(options.trace_base + 2 * i);
+  } else {
+    const auto count = static_cast<std::uint64_t>(
+        std::ceil((1.0 + options.delta) * expected));
+    local_sample.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const std::uint64_t index = gen.bounded(local_m);
+      if (options.trace != nullptr)
+        options.trace->touch(options.trace_base + 2 * index);
+      local_sample.push_back(graph.local()[index]);
+    }
+  }
+  return local_sample;
+}
+
+}  // namespace camc::core

@@ -1,0 +1,81 @@
+#pragma once
+
+// Communication-avoiding sparsification (§3.1) — the key common step of all
+// three algorithms, implemented in O(1) supersteps.
+//
+// Weighted path (used by the exact minimum cut): (1) gather each rank's
+// total slice weight W_i at the root; (2) the root draws, for each of the s
+// sample positions, the rank it comes from (probability W_i / sum W) and
+// scatters the per-rank counts; (3) each rank draws its count of edges from
+// its slice with probability w_i(e)/W_i and the samples are gathered at the
+// root; (4) the root applies a uniform random permutation. Lemma 3.1: every
+// position of the resulting array holds edge e with probability
+// w(e) / sum(w), independently.
+//
+// Unweighted fast path (§3.2, "crucial in practice"): skips the multinomial
+// round entirely — each rank oversamples ~(1 + delta) * expected count from
+// its own slice (Chernoff bounds the shortfall probability), or contributes
+// its whole slice when the expectation is tiny.
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "cachesim/session.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/edge.hpp"
+#include "rng/philox.hpp"
+#include "rng/weighted_sampler.hpp"
+
+namespace camc::core {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+struct SparsifyOptions {
+  /// Which local sampler the ranks use; the ablation benchmark compares.
+  rng::SamplerKind sampler = rng::SamplerKind::kAlias;
+  /// Optional cache-trace hook: each drawn edge touches
+  /// trace_base + 2 * index (two words per edge record). May be null.
+  cachesim::Session* trace = nullptr;
+  std::uint64_t trace_base = 0;
+};
+
+/// Collective. Returns the permuted weighted sample of size `s` at `root`
+/// (empty elsewhere). `gen` must be an independent stream per rank.
+/// Returns an empty sample when the graph has no edges.
+std::vector<WeightedEdge> sparsify_weighted(const bsp::Comm& comm,
+                                            const graph::DistributedEdgeArray& graph,
+                                            std::uint64_t s, rng::Philox& gen,
+                                            const SparsifyOptions& options = {},
+                                            int root = 0);
+
+struct UnweightedSparsifyOptions {
+  /// Oversampling slack (0 < delta < 1).
+  double delta = 0.5;
+  /// Slices whose expected contribution is below
+  /// (9 ln n) / delta^2 are included wholesale (the paper's threshold).
+  double small_slice_factor = 9.0;
+  /// Optional cache-trace hook, as in SparsifyOptions.
+  cachesim::Session* trace = nullptr;
+  std::uint64_t trace_base = 0;
+};
+
+/// Collective. Uniform edge sample of expected size >= s gathered at
+/// `root`. Weights are ignored (connected components do not need them).
+std::vector<WeightedEdge> sparsify_unweighted(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options = {}, int root = 0);
+
+/// Collective (one all-reduce for the global edge count); the sample stays
+/// distributed — this rank's slice is returned. Used by the §3.2 remark's
+/// extension where the per-iteration component computation itself runs in
+/// parallel instead of at the root.
+std::vector<WeightedEdge> sparsify_unweighted_local(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options = {});
+
+}  // namespace camc::core

@@ -1,0 +1,171 @@
+#include "gen/generators.hpp"
+
+#include <stdexcept>
+
+#include "rng/philox.hpp"
+
+namespace camc::gen {
+namespace {
+
+/// Contiguous block of edge indices [begin, end) owned by `rank` when `m`
+/// indices are split over `p` ranks.
+struct IndexBlock {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+IndexBlock block_of(std::uint64_t m, int p, int rank) {
+  const auto pp = static_cast<std::uint64_t>(p);
+  const auto r = static_cast<std::uint64_t>(rank);
+  return {m * r / pp, m * (r + 1) / pp};
+}
+
+WeightedEdge er_edge(Vertex n, std::uint64_t seed, std::uint64_t index) {
+  // Stream = edge index: edges are mutually independent and reproducible
+  // regardless of which rank generates them.
+  rng::Philox gen(seed, /*stream=*/index + 1);
+  Vertex u = 0, v = 0;
+  do {
+    u = static_cast<Vertex>(gen.bounded(n));
+    v = static_cast<Vertex>(gen.bounded(n));
+  } while (u == v);
+  return WeightedEdge{u, v, 1};
+}
+
+WeightedEdge rmat_edge(unsigned scale, std::uint64_t seed, std::uint64_t index,
+                       const RmatParams& params) {
+  rng::Philox gen(seed, /*stream=*/index + 1);
+  while (true) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double roll = gen.uniform_real();
+      u <<= 1;
+      v <<= 1;
+      if (roll < params.a) {
+        // top-left quadrant: both bits 0
+      } else if (roll < params.a + params.b) {
+        v |= 1;
+      } else if (roll < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) return WeightedEdge{u, v, 1};
+  }
+}
+
+}  // namespace
+
+std::vector<WeightedEdge> erdos_renyi(Vertex n, std::uint64_t m,
+                                      std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  for (std::uint64_t k = 0; k < m; ++k) edges.push_back(er_edge(n, seed, k));
+  return edges;
+}
+
+std::vector<WeightedEdge> erdos_renyi_local(const bsp::Comm& comm, Vertex n,
+                                            std::uint64_t m,
+                                            std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const IndexBlock block = block_of(m, comm.size(), comm.rank());
+  std::vector<WeightedEdge> edges;
+  edges.reserve(block.end - block.begin);
+  for (std::uint64_t k = block.begin; k < block.end; ++k)
+    edges.push_back(er_edge(n, seed, k));
+  return edges;
+}
+
+std::vector<WeightedEdge> rmat(unsigned scale, std::uint64_t m,
+                               std::uint64_t seed, RmatParams params) {
+  if (scale == 0 || scale > 31) throw std::invalid_argument("rmat: bad scale");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  for (std::uint64_t k = 0; k < m; ++k)
+    edges.push_back(rmat_edge(scale, seed, k, params));
+  return edges;
+}
+
+std::vector<WeightedEdge> rmat_local(const bsp::Comm& comm, unsigned scale,
+                                     std::uint64_t m, std::uint64_t seed,
+                                     RmatParams params) {
+  if (scale == 0 || scale > 31) throw std::invalid_argument("rmat: bad scale");
+  const IndexBlock block = block_of(m, comm.size(), comm.rank());
+  std::vector<WeightedEdge> edges;
+  edges.reserve(block.end - block.begin);
+  for (std::uint64_t k = block.begin; k < block.end; ++k)
+    edges.push_back(rmat_edge(scale, seed, k, params));
+  return edges;
+}
+
+std::vector<WeightedEdge> watts_strogatz(Vertex n, unsigned k, double rewire_p,
+                                         std::uint64_t seed) {
+  if (k % 2 != 0 || k == 0)
+    throw std::invalid_argument("watts_strogatz: k must be even and > 0");
+  if (static_cast<std::uint64_t>(k) >= n)
+    throw std::invalid_argument("watts_strogatz: need k < n");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (k / 2));
+  std::uint64_t index = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    for (unsigned hop = 1; hop <= k / 2; ++hop, ++index) {
+      rng::Philox gen(seed, /*stream=*/index + 1);
+      Vertex target = static_cast<Vertex>((i + hop) % n);
+      if (gen.uniform_real() < rewire_p) {
+        do {
+          target = static_cast<Vertex>(gen.bounded(n));
+        } while (target == i);
+      }
+      edges.push_back(WeightedEdge{i, target, 1});
+    }
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> barabasi_albert(Vertex n, unsigned attach,
+                                          std::uint64_t seed) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach == 0");
+  if (n <= attach)
+    throw std::invalid_argument("barabasi_albert: need n > attach");
+  rng::Philox gen(seed, /*stream=*/0xBA);
+
+  // Seed stage: a clique on the first attach+1 vertices, then preferential
+  // attachment via the standard repeated-endpoints trick: sampling a uniform
+  // entry of `endpoints` is sampling a vertex proportionally to its degree.
+  std::vector<WeightedEdge> edges;
+  std::vector<Vertex> endpoints;
+  const Vertex seed_vertices = attach + 1;
+  for (Vertex i = 0; i < seed_vertices; ++i) {
+    for (Vertex j = i + 1; j < seed_vertices; ++j) {
+      edges.push_back(WeightedEdge{i, j, 1});
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (Vertex v = seed_vertices; v < n; ++v) {
+    for (unsigned a = 0; a < attach; ++a) {
+      Vertex target;
+      do {
+        target = endpoints[gen.bounded(endpoints.size())];
+      } while (target == v);
+      edges.push_back(WeightedEdge{v, target, 1});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return edges;
+}
+
+void randomize_weights(std::vector<WeightedEdge>& edges, Weight max_weight,
+                       std::uint64_t seed) {
+  if (max_weight == 0)
+    throw std::invalid_argument("randomize_weights: max_weight == 0");
+  rng::Philox gen(seed, /*stream=*/0x7E16);
+  for (WeightedEdge& e : edges)
+    e.weight = 1 + gen.bounded(max_weight);
+}
+
+}  // namespace camc::gen

@@ -1,0 +1,65 @@
+#pragma once
+
+// Synthetic graph generators — the paper's four input families (§5, "Tested
+// Inputs"): Watts-Strogatz small-world graphs (rewiring probability 0.3),
+// Barabasi-Albert scale-free graphs, R-MAT graphs (a = 0.45, b = c = 0.22),
+// and Erdős–Rényi G(n, M) graphs.
+//
+// All generators are deterministic functions of their seed. The per-edge
+// generators (Erdős–Rényi, R-MAT, Watts-Strogatz) derive edge k from an
+// independent Philox stream keyed by k, so a rank can generate exactly its
+// slice of the distributed edge array with no communication — this is how
+// the weak-scaling experiments build inputs that would not fit one node.
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::gen {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Erdős–Rényi G(n, M): exactly `m` uniformly random non-loop edges
+/// (parallel edges possible, as in the multigraph model the paper uses).
+std::vector<WeightedEdge> erdos_renyi(Vertex n, std::uint64_t m,
+                                      std::uint64_t seed);
+
+/// This rank's slice (edge indices in blocks) of erdos_renyi(n, m, seed).
+std::vector<WeightedEdge> erdos_renyi_local(const bsp::Comm& comm, Vertex n,
+                                            std::uint64_t m,
+                                            std::uint64_t seed);
+
+/// R-MAT with 2^scale vertices and `m` edges; quadrant probabilities
+/// (a, b, c, 1-a-b-c). Paper parameters: a = 0.45, b = c = 0.22.
+struct RmatParams {
+  double a = 0.45;
+  double b = 0.22;
+  double c = 0.22;
+};
+std::vector<WeightedEdge> rmat(unsigned scale, std::uint64_t m,
+                               std::uint64_t seed, RmatParams params = {});
+std::vector<WeightedEdge> rmat_local(const bsp::Comm& comm, unsigned scale,
+                                     std::uint64_t m, std::uint64_t seed,
+                                     RmatParams params = {});
+
+/// Watts-Strogatz: ring lattice with `k` nearest neighbours (k even),
+/// each lattice edge's far endpoint rewired with probability `rewire_p`
+/// (paper uses 0.3) to a uniform non-loop target.
+std::vector<WeightedEdge> watts_strogatz(Vertex n, unsigned k, double rewire_p,
+                                         std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches
+/// `attach` edges to endpoints drawn proportionally to current degree.
+/// Inherently sequential; distribute with DistributedEdgeArray::scatter.
+std::vector<WeightedEdge> barabasi_albert(Vertex n, unsigned attach,
+                                          std::uint64_t seed);
+
+/// Replaces unit weights with uniform integers in [1, max_weight].
+void randomize_weights(std::vector<WeightedEdge>& edges, Weight max_weight,
+                       std::uint64_t seed);
+
+}  // namespace camc::gen

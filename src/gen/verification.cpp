@@ -1,0 +1,146 @@
+#include "gen/verification.hpp"
+
+#include <stdexcept>
+
+namespace camc::gen {
+
+KnownGraph path_graph(Vertex n, Weight w) {
+  if (n < 2) throw std::invalid_argument("path_graph: n < 2");
+  KnownGraph g{"path-" + std::to_string(n), n, {}, w, 1};
+  for (Vertex i = 0; i + 1 < n; ++i)
+    g.edges.push_back(WeightedEdge{i, static_cast<Vertex>(i + 1), w});
+  return g;
+}
+
+KnownGraph cycle_graph(Vertex n, Weight w) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n < 3");
+  KnownGraph g{"cycle-" + std::to_string(n), n, {}, 2 * w, 1};
+  for (Vertex i = 0; i < n; ++i)
+    g.edges.push_back(WeightedEdge{i, static_cast<Vertex>((i + 1) % n), w});
+  return g;
+}
+
+KnownGraph complete_graph(Vertex n, Weight w) {
+  if (n < 2) throw std::invalid_argument("complete_graph: n < 2");
+  KnownGraph g{"K" + std::to_string(n), n, {}, (n - 1) * w, 1};
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j)
+      g.edges.push_back(WeightedEdge{i, j, w});
+  return g;
+}
+
+KnownGraph dumbbell_graph(Vertex half, Vertex bridges) {
+  if (half < 3 || bridges == 0 || bridges >= half - 1)
+    throw std::invalid_argument("dumbbell_graph: need 0 < bridges < half-1 <= half");
+  KnownGraph g{"dumbbell-" + std::to_string(half) + "x" +
+                   std::to_string(bridges),
+               static_cast<Vertex>(2 * half),
+               {},
+               bridges,
+               1};
+  for (Vertex side = 0; side < 2; ++side) {
+    const Vertex base = side * half;
+    for (Vertex i = 0; i < half; ++i)
+      for (Vertex j = i + 1; j < half; ++j)
+        g.edges.push_back(WeightedEdge{static_cast<Vertex>(base + i),
+                                       static_cast<Vertex>(base + j), 1});
+  }
+  for (Vertex b = 0; b < bridges; ++b)
+    g.edges.push_back(WeightedEdge{b, static_cast<Vertex>(half + b), 1});
+  return g;
+}
+
+KnownGraph star_graph(Vertex n, Weight w) {
+  if (n < 2) throw std::invalid_argument("star_graph: n < 2");
+  KnownGraph g{"star-" + std::to_string(n), n, {}, w, 1};
+  for (Vertex i = 1; i < n; ++i)
+    g.edges.push_back(WeightedEdge{0, i, w});
+  return g;
+}
+
+KnownGraph grid_graph(Vertex rows, Vertex cols) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("grid_graph: rows, cols >= 2 required");
+  // A corner vertex has degree 2, so the minimum cut of a unit-weight grid
+  // with rows, cols >= 2 is always 2.
+  KnownGraph g{"grid-" + std::to_string(rows) + "x" + std::to_string(cols),
+               static_cast<Vertex>(rows * cols),
+               {},
+               2,
+               1};
+  const auto id = [cols](Vertex r, Vertex c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        g.edges.push_back(WeightedEdge{id(r, c), id(r, c + 1), 1});
+      if (r + 1 < rows)
+        g.edges.push_back(WeightedEdge{id(r, c), id(r + 1, c), 1});
+    }
+  }
+  return g;
+}
+
+KnownGraph disjoint_cycles(Vertex count, Vertex len) {
+  if (count == 0 || len < 3)
+    throw std::invalid_argument("disjoint_cycles: count >= 1, len >= 3");
+  KnownGraph g{"cycles-" + std::to_string(count) + "x" + std::to_string(len),
+               static_cast<Vertex>(count * len),
+               {},
+               0,
+               count};
+  for (Vertex c = 0; c < count; ++c) {
+    const Vertex base = c * len;
+    for (Vertex i = 0; i < len; ++i)
+      g.edges.push_back(WeightedEdge{
+          static_cast<Vertex>(base + i),
+          static_cast<Vertex>(base + (i + 1) % len), 1});
+  }
+  return g;
+}
+
+KnownGraph weighted_ring(Vertex n) {
+  if (n < 4) throw std::invalid_argument("weighted_ring: n < 4");
+  // Heavy ring except two light edges; min cut = 2 + 3.
+  KnownGraph g{"weighted-ring-" + std::to_string(n), n, {}, 5, 1};
+  for (Vertex i = 0; i < n; ++i) {
+    Weight w = 100;
+    if (i == 0) w = 2;
+    if (i == n / 2) w = 3;
+    g.edges.push_back(WeightedEdge{i, static_cast<Vertex>((i + 1) % n), w});
+  }
+  return g;
+}
+
+KnownGraph figure2_graph() {
+  // The worked example of Figure 2 (vertices v1..v6 -> 0..5): two triangles
+  // joined by two unit edges; the dashed minimum cut has weight 2, and
+  // contracting (v4, v5) combines the weight-2 and weight-3 edges into the
+  // weight-5 edge of Figure 2b.
+  KnownGraph g{"figure2", 6, {}, 2, 1};
+  g.edges = {
+      {0, 1, 2}, {0, 2, 1}, {1, 2, 2},  // left triangle
+      {3, 4, 2}, {3, 5, 2}, {4, 5, 3},  // right triangle
+      {2, 3, 1}, {2, 4, 1},             // the minimum cut
+  };
+  return g;
+}
+
+std::vector<KnownGraph> verification_suite() {
+  return {
+      path_graph(2),          path_graph(10),
+      path_graph(17, 7),      cycle_graph(3),
+      cycle_graph(12),        cycle_graph(9, 4),
+      complete_graph(4),      complete_graph(8),
+      complete_graph(6, 3),   dumbbell_graph(5, 1),
+      dumbbell_graph(6, 2),   dumbbell_graph(8, 3),
+      star_graph(9),          star_graph(5, 6),
+      grid_graph(3, 5),       grid_graph(4, 4),
+      disjoint_cycles(2, 4),  disjoint_cycles(3, 5),
+      weighted_ring(8),       weighted_ring(15),
+      figure2_graph(),
+  };
+}
+
+}  // namespace camc::gen

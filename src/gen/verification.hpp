@@ -1,0 +1,64 @@
+#pragma once
+
+// Corner-case graphs with known, deterministic minimum cuts and component
+// structure — the correctness protocol of the paper's artifact (§A.6.2):
+// "a set of corner-cases with known, deterministic cut values, against
+// which we repeatedly test".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::gen {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// A verification instance: graph + its known minimum cut value (0 when the
+/// graph is disconnected) and its number of connected components.
+struct KnownGraph {
+  std::string name;
+  Vertex n = 0;
+  std::vector<WeightedEdge> edges;
+  Weight min_cut = 0;
+  Vertex components = 1;
+};
+
+/// Path v0-v1-...-v(n-1); min cut = edge weight.
+KnownGraph path_graph(Vertex n, Weight w = 1);
+
+/// Cycle; min cut = 2w (two edges must be cut).
+KnownGraph cycle_graph(Vertex n, Weight w = 1);
+
+/// Complete graph K_n with uniform weight; min cut = (n-1)w.
+KnownGraph complete_graph(Vertex n, Weight w = 1);
+
+/// Two cliques of size half joined by `bridges` unit edges; min cut =
+/// bridges (for half >= 3 and bridges < half - 1).
+KnownGraph dumbbell_graph(Vertex half, Vertex bridges);
+
+/// Star: center 0 to all others; min cut = min spoke weight (here uniform).
+KnownGraph star_graph(Vertex n, Weight w = 1);
+
+/// rows x cols 4-neighbour grid (unit weights, rows, cols >= 2);
+/// min cut = 2 (isolating a corner vertex).
+KnownGraph grid_graph(Vertex rows, Vertex cols);
+
+/// `count` disjoint cycles of length `len` each: disconnected graph,
+/// min cut 0, `count` components.
+KnownGraph disjoint_cycles(Vertex count, Vertex len);
+
+/// A cycle with geometrically increasing weights except one light edge pair;
+/// exercises weighted sampling: min cut = w_light1 + w_light2.
+KnownGraph weighted_ring(Vertex n);
+
+/// The 6-vertex example of Figure 2 of the paper (min cut 2).
+KnownGraph figure2_graph();
+
+/// The whole suite, for table-driven tests.
+std::vector<KnownGraph> verification_suite();
+
+}  // namespace camc::gen

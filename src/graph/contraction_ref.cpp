@@ -1,0 +1,60 @@
+#include "graph/contraction_ref.hpp"
+
+#include <algorithm>
+
+namespace camc::graph {
+
+std::vector<WeightedEdge> contract_edges_reference(
+    std::span<const WeightedEdge> edges, std::span<const Vertex> mapping) {
+  std::vector<WeightedEdge> renamed;
+  renamed.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    const Vertex u = mapping[e.u];
+    const Vertex v = mapping[e.v];
+    if (u == v) continue;
+    renamed.push_back(WeightedEdge{u, v, e.weight}.canonical());
+  }
+  std::sort(renamed.begin(), renamed.end(), EndpointLess{});
+
+  std::vector<WeightedEdge> combined;
+  for (const WeightedEdge& e : renamed) {
+    if (!combined.empty() && same_endpoints(combined.back(), e))
+      combined.back().weight += e.weight;
+    else
+      combined.push_back(e);
+  }
+  return combined;
+}
+
+Weight cut_value(Vertex n, std::span<const WeightedEdge> edges,
+                 std::span<const Vertex> side) {
+  std::vector<bool> in_side(n, false);
+  for (const Vertex v : side) in_side[v] = true;
+  Weight value = 0;
+  for (const WeightedEdge& e : edges)
+    if (in_side[e.u] != in_side[e.v]) value += e.weight;
+  return value;
+}
+
+bool is_valid_cut_side(Vertex n, std::span<const Vertex> side) {
+  if (side.empty() || side.size() >= n) return false;
+  std::vector<bool> seen(n, false);
+  for (const Vertex v : side) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Vertex normalize_labels(std::span<Vertex> labels) {
+  std::unordered_map<Vertex, Vertex> dense;
+  dense.reserve(labels.size());
+  for (Vertex& label : labels) {
+    const auto [it, inserted] =
+        dense.emplace(label, static_cast<Vertex>(dense.size()));
+    label = it->second;
+  }
+  return static_cast<Vertex>(dense.size());
+}
+
+}  // namespace camc::graph

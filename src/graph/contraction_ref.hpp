@@ -1,0 +1,38 @@
+#pragma once
+
+// Sequential reference for bulk edge contraction (§2.4, Figure 2).
+//
+// Given a vertex mapping g : V -> V', contraction merges all vertices with
+// the same label, removes loops, and combines parallel edges by summing
+// weights. Both distributed contraction paths (sparse and dense, §4.1) are
+// tested against this oracle.
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+/// Applies `mapping` (size = current vertex count) to an edge list and
+/// returns the contracted simple graph's edges (canonical, weight-combined,
+/// loop-free) over vertices [0, new_n).
+std::vector<WeightedEdge> contract_edges_reference(
+    std::span<const WeightedEdge> edges, std::span<const Vertex> mapping);
+
+/// Renames component labels to a dense range [0, k) preserving first-seen
+/// order of labels; returns k and rewrites `labels` in place.
+Vertex normalize_labels(std::span<Vertex> labels);
+
+/// Value of the cut (side, V \ side): total weight of edges with exactly
+/// one endpoint in `side`. The certificate check used to validate every
+/// reported cut (§A.6.2-style verification).
+Weight cut_value(Vertex n, std::span<const WeightedEdge> edges,
+                 std::span<const Vertex> side);
+
+/// True iff `side` is a nonempty proper subset of [0, n) without
+/// duplicates — i.e. a syntactically valid cut side.
+bool is_valid_cut_side(Vertex n, std::span<const Vertex> side);
+
+}  // namespace camc::graph

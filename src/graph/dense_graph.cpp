@@ -1,0 +1,151 @@
+#include "graph/dense_graph.hpp"
+
+#include <stdexcept>
+
+namespace camc::graph {
+
+DenseGraph::DenseGraph(Vertex n, std::span<const WeightedEdge> edges)
+    : original_n_(n),
+      active_(n),
+      matrix_(static_cast<std::size_t>(n) * n, 0),
+      degree_(n, 0),
+      members_(n) {
+  for (Vertex i = 0; i < n; ++i) members_[i] = {i};
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    matrix_[static_cast<std::size_t>(e.u) * n + e.v] += e.weight;
+    matrix_[static_cast<std::size_t>(e.v) * n + e.u] += e.weight;
+    degree_[e.u] += e.weight;
+    degree_[e.v] += e.weight;
+  }
+}
+
+DenseGraph::DenseGraph(Vertex n, std::vector<Weight> matrix)
+    : original_n_(n),
+      active_(n),
+      matrix_(std::move(matrix)),
+      degree_(n, 0),
+      members_(n) {
+  if (matrix_.size() != static_cast<std::size_t>(n) * n)
+    throw std::invalid_argument("DenseGraph: matrix size != n*n");
+  for (Vertex i = 0; i < n; ++i) {
+    members_[i] = {i};
+    matrix_[static_cast<std::size_t>(i) * n + i] = 0;
+    Weight deg = 0;
+    for (Vertex j = 0; j < n; ++j)
+      deg += matrix_[static_cast<std::size_t>(i) * n + j];
+    degree_[i] = deg;
+  }
+}
+
+Weight DenseGraph::total_weight() const noexcept {
+  Weight twice = 0;
+  for (Vertex i = 0; i < active_; ++i) twice += degree_[i];
+  return twice / 2;
+}
+
+void DenseGraph::contract(Vertex u, Vertex v) {
+  if (u == v || u >= active_ || v >= active_)
+    throw std::invalid_argument("contract: invalid active vertex pair");
+  const std::size_t n = original_n_;
+
+  // Merge v's row/column into u. The (u,v) weight becomes a loop: remove it
+  // from both degrees instead of materializing it.
+  const Weight uv = matrix_[u * n + v];
+  for (Vertex j = 0; j < active_; ++j) {
+    const Weight w = matrix_[v * n + j];
+    if (w == 0 || j == u) continue;
+    matrix_[u * n + j] += w;
+    matrix_[j * n + u] += w;
+  }
+  matrix_[u * n + v] = 0;
+  matrix_[v * n + u] = 0;
+  degree_[u] += degree_[v] - 2 * uv;
+
+  members_[u].insert(members_[u].end(), members_[v].begin(),
+                     members_[v].end());
+
+  // Compact: move the last active vertex into slot v.
+  const Vertex last = active_ - 1;
+  if (v != last) {
+    for (Vertex j = 0; j < active_; ++j) {
+      matrix_[v * n + j] = matrix_[last * n + j];
+      matrix_[j * n + v] = matrix_[j * n + last];
+    }
+    matrix_[v * n + v] = 0;
+    degree_[v] = degree_[last];
+    members_[v] = std::move(members_[last]);
+  }
+  for (Vertex j = 0; j < active_; ++j) {
+    matrix_[last * n + j] = 0;
+    matrix_[j * n + last] = 0;
+  }
+  degree_[last] = 0;
+  members_[last].clear();
+  --active_;
+}
+
+Vertex DenseGraph::pick_weighted_vertex(rng::Philox& gen) const {
+  Weight total = 0;
+  for (Vertex i = 0; i < active_; ++i) total += degree_[i];
+  const auto target = static_cast<Weight>(gen.uniform_real() *
+                                          static_cast<double>(total));
+  Weight running = 0;
+  for (Vertex i = 0; i < active_; ++i) {
+    running += degree_[i];
+    if (target < running) return i;
+  }
+  return active_ - 1;
+}
+
+void DenseGraph::contract_random_edge(rng::Philox& gen) {
+  // Two-stage selection: endpoint u by weighted degree, neighbor v by edge
+  // weight within u's row — equivalent to picking an edge with probability
+  // proportional to its weight.
+  const Vertex u = pick_weighted_vertex(gen);
+  const std::size_t n = original_n_;
+  const auto target = static_cast<Weight>(gen.uniform_real() *
+                                          static_cast<double>(degree_[u]));
+  Weight running = 0;
+  Vertex v = active_;  // sentinel
+  for (Vertex j = 0; j < active_; ++j) {
+    running += matrix_[u * n + j];
+    if (target < running) {
+      v = j;
+      break;
+    }
+  }
+  if (v >= active_) {
+    // Degree was positive but floating point rounding walked off the end.
+    for (Vertex j = active_; j-- > 0;) {
+      if (matrix_[u * n + j] != 0) {
+        v = j;
+        break;
+      }
+    }
+  }
+  contract(u, v);
+}
+
+DenseGraph DenseGraph::compact_copy() const {
+  DenseGraph out;
+  out.original_n_ = active_;
+  out.active_ = active_;
+  out.matrix_.assign(static_cast<std::size_t>(active_) * active_, 0);
+  out.degree_.assign(active_, 0);
+  out.members_.resize(active_);
+  for (Vertex i = 0; i < active_; ++i) {
+    out.degree_[i] = degree_[i];
+    out.members_[i] = members_[i];
+    for (Vertex j = 0; j < active_; ++j)
+      out.matrix_[static_cast<std::size_t>(i) * active_ + j] =
+          matrix_[static_cast<std::size_t>(i) * original_n_ + j];
+  }
+  return out;
+}
+
+void DenseGraph::contract_to(Vertex target, rng::Philox& gen) {
+  while (active_ > target && total_weight() > 0) contract_random_edge(gen);
+}
+
+}  // namespace camc::graph

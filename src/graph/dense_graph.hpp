@@ -1,0 +1,77 @@
+#pragma once
+
+// Compact sequential adjacency matrix with O(n) single-edge contraction.
+//
+// This is the working representation of (CO) Karger-Stein style recursive
+// contraction [13, 25]: a symmetric n x n weight matrix kept compact by
+// relabeling — contracting (u, v) adds row/column v into u, then moves the
+// last vertex into slot v, so the matrix always occupies the leading
+// active x active block. `labels()` tracks which original vertex set each
+// current slot represents, so cuts can be reported in original vertices.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::graph {
+
+class DenseGraph {
+ public:
+  DenseGraph() = default;
+
+  /// Dense matrix over vertices [0, n) from an undirected edge list.
+  DenseGraph(Vertex n, std::span<const WeightedEdge> edges);
+
+  /// From a row-major weight matrix (self-loops ignored). `matrix` must be
+  /// n*n entries, symmetric.
+  DenseGraph(Vertex n, std::vector<Weight> matrix);
+
+  Vertex active_vertices() const noexcept { return active_; }
+  Vertex original_vertices() const noexcept { return original_n_; }
+
+  Weight weight(Vertex i, Vertex j) const noexcept {
+    return matrix_[static_cast<std::size_t>(i) * original_n_ + j];
+  }
+
+  /// Sum of weighted degrees / 2 = total edge weight of the active graph.
+  Weight total_weight() const noexcept;
+
+  /// Weighted degree of active vertex i.
+  Weight degree(Vertex i) const noexcept { return degree_[i]; }
+
+  /// Contracts active vertices u != v (merging v into u). O(n).
+  void contract(Vertex u, Vertex v);
+
+  /// Picks an edge with probability proportional to its weight and
+  /// contracts it. Precondition: total_weight() > 0.
+  void contract_random_edge(rng::Philox& gen);
+
+  /// Repeated random contraction until `target` active vertices remain
+  /// (or the graph runs out of edges, whichever is first).
+  void contract_to(Vertex target, rng::Philox& gen);
+
+  /// Original vertices currently merged into active slot i.
+  const std::vector<Vertex>& members(Vertex i) const noexcept {
+    return members_[i];
+  }
+
+  /// A fresh DenseGraph over exactly the active vertices (stride = active),
+  /// carrying the member sets along. Recursive contraction copies shrink
+  /// this way, which is what keeps (CO) Karger-Stein at O(n^2 log n) work
+  /// and O(n^2 log^3(n) / B) cache misses.
+  DenseGraph compact_copy() const;
+
+ private:
+  Vertex pick_weighted_vertex(rng::Philox& gen) const;
+
+  Vertex original_n_ = 0;
+  Vertex active_ = 0;
+  std::vector<Weight> matrix_;   // original_n_ x original_n_, leading block live
+  std::vector<Weight> degree_;   // weighted degree per active slot
+  std::vector<std::vector<Vertex>> members_;
+};
+
+}  // namespace camc::graph

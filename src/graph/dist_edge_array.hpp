@@ -1,0 +1,92 @@
+#pragma once
+
+// Distributed array of edges (§3, "Graph Representation").
+//
+// Each rank holds O(m/p) weighted edges in arbitrary order. The paper
+// chooses this over adjacency lists because high-degree vertices make
+// adjacency lists impossible to balance; an edge array balances perfectly.
+// Parallel edges are allowed: w_i(e) is the summed weight of copies of e
+// held by rank i, and w(e) = sum_i w_i(e).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+class DistributedEdgeArray {
+ public:
+  DistributedEdgeArray() = default;
+
+  /// Wraps this rank's local slice of a graph on vertices [0, n).
+  DistributedEdgeArray(Vertex n, std::vector<WeightedEdge> local)
+      : n_(n), local_(std::move(local)) {}
+
+  /// Collective: block-partitions a global edge list held at `root` across
+  /// the communicator (rank i receives the i-th contiguous chunk).
+  static DistributedEdgeArray scatter(const bsp::Comm& comm, Vertex n,
+                                      const std::vector<WeightedEdge>& global,
+                                      int root = 0) {
+    // Validate at the root, then fail on every rank (throwing on a single
+    // rank would strand the others at the next barrier).
+    std::uint64_t bad = 0;
+    if (comm.rank() == root) {
+      for (const WeightedEdge& e : global)
+        if (e.u >= n || e.v >= n) bad = 1;
+    }
+    if (comm.broadcast_value(bad, root) != 0)
+      throw std::out_of_range(
+          "DistributedEdgeArray::scatter: edge endpoint >= n");
+
+    std::vector<std::uint64_t> counts;
+    if (comm.rank() == root) {
+      const std::uint64_t m = global.size();
+      const auto p = static_cast<std::uint64_t>(comm.size());
+      counts.resize(p);
+      for (std::uint64_t r = 0; r < p; ++r)
+        counts[r] = m / p + (r < m % p ? 1 : 0);
+    }
+    std::vector<WeightedEdge> local = comm.scatterv(global, counts, root);
+    n = comm.broadcast_value(n, root);
+    return DistributedEdgeArray(n, std::move(local));
+  }
+
+  Vertex vertex_count() const noexcept { return n_; }
+  void set_vertex_count(Vertex n) noexcept { n_ = n; }
+
+  std::vector<WeightedEdge>& local() noexcept { return local_; }
+  const std::vector<WeightedEdge>& local() const noexcept { return local_; }
+
+  /// Collective: total number of edge records across ranks.
+  std::uint64_t global_edge_count(const bsp::Comm& comm) const {
+    return comm.all_reduce(static_cast<std::uint64_t>(local_.size()),
+                           std::plus<std::uint64_t>{}, std::uint64_t{0});
+  }
+
+  /// Sum of this rank's edge weights (W_i in §3.1).
+  Weight local_weight() const noexcept {
+    Weight total = 0;
+    for (const WeightedEdge& e : local_) total += e.weight;
+    return total;
+  }
+
+  /// Collective: W = sum of all edge weights.
+  Weight global_weight(const bsp::Comm& comm) const {
+    return comm.all_reduce(local_weight(), std::plus<Weight>{}, Weight{0});
+  }
+
+  /// Collective: gathers the whole edge list at `root` (empty elsewhere).
+  std::vector<WeightedEdge> gather(const bsp::Comm& comm, int root = 0) const {
+    return comm.gather(std::span<const WeightedEdge>(local_), root);
+  }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<WeightedEdge> local_;
+};
+
+}  // namespace camc::graph

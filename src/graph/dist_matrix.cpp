@@ -1,0 +1,94 @@
+#include "graph/dist_matrix.hpp"
+
+namespace camc::graph {
+
+DistributedMatrix DistributedMatrix::from_edges(
+    const bsp::Comm& comm, Vertex n,
+    std::span<const WeightedEdge> local_edges) {
+  DistributedMatrix matrix(comm, n, n);
+  const RowDistribution& dist = matrix.distribution();
+
+  // Route each edge record to the owners of both endpoint rows.
+  std::vector<std::vector<WeightedEdge>> outbox(
+      static_cast<std::size_t>(comm.size()));
+  for (const WeightedEdge& e : local_edges) {
+    if (e.u == e.v) continue;
+    outbox[static_cast<std::size_t>(dist.owner(e.u))].push_back(e);
+    const int owner_v = dist.owner(e.v);
+    outbox[static_cast<std::size_t>(owner_v)].push_back(
+        WeightedEdge{e.v, e.u, e.weight});
+  }
+  const std::vector<WeightedEdge> inbox = comm.alltoallv(outbox);
+  for (const WeightedEdge& e : inbox)
+    matrix.row(e.u)[e.v] += e.weight;
+  return matrix;
+}
+
+DistributedMatrix DistributedMatrix::transpose(const bsp::Comm& comm) const {
+  DistributedMatrix out(comm, cols_, rows_);
+  const RowDistribution& out_dist = out.distribution();
+
+  // Send, to each destination rank q, the dense sub-block of my rows
+  // restricted to the columns that become q's output rows. Row-major within
+  // the block; shapes are derivable from the two distributions, so no
+  // metadata accompanies the payload.
+  std::vector<std::vector<Weight>> outbox(static_cast<std::size_t>(comm.size()));
+  for (int q = 0; q < comm.size(); ++q) {
+    const std::uint64_t col_lo = out_dist.begin(q);
+    const std::uint64_t col_hi = out_dist.end(q);
+    auto& block = outbox[static_cast<std::size_t>(q)];
+    block.reserve(local_row_count() * (col_hi - col_lo));
+    for (std::uint64_t i = row_begin(); i < row_end(); ++i) {
+      const std::span<const Weight> r = row(i);
+      block.insert(block.end(), r.begin() + static_cast<std::ptrdiff_t>(col_lo),
+                   r.begin() + static_cast<std::ptrdiff_t>(col_hi));
+    }
+  }
+
+  const std::vector<Weight> inbox = comm.alltoallv(outbox);
+
+  // Unpack: the block from source rank s holds s's input rows (as columns
+  // of the output) over my output rows.
+  std::size_t cursor = 0;
+  for (int s = 0; s < comm.size(); ++s) {
+    const std::uint64_t src_row_lo = dist_.begin(s);
+    const std::uint64_t src_row_hi = dist_.end(s);
+    for (std::uint64_t i = src_row_lo; i < src_row_hi; ++i) {
+      for (std::uint64_t j = out.row_begin(); j < out.row_end(); ++j)
+        out.row(j)[i] = inbox[cursor + (i - src_row_lo) * out.local_row_count() +
+                              (j - out.row_begin())];
+    }
+    cursor += (src_row_hi - src_row_lo) * out.local_row_count();
+  }
+  return out;
+}
+
+DistributedMatrix DistributedMatrix::combine_columns(
+    const bsp::Comm& comm, std::span<const Vertex> mapping,
+    std::uint64_t new_cols) const {
+  if (mapping.size() != cols_)
+    throw std::invalid_argument("combine_columns: mapping size != cols");
+  DistributedMatrix out(comm, rows_, new_cols);
+  for (std::uint64_t i = row_begin(); i < row_end(); ++i) {
+    const std::span<const Weight> src = row(i);
+    const std::span<Weight> dst = out.row(i);
+    for (std::uint64_t j = 0; j < cols_; ++j) {
+      if (src[j] != 0) dst[mapping[j]] += src[j];
+    }
+  }
+  return out;
+}
+
+void DistributedMatrix::zero_diagonal() {
+  for (std::uint64_t i = row_begin(); i < row_end(); ++i)
+    if (i < cols_) row(i)[i] = 0;
+}
+
+std::vector<Weight> DistributedMatrix::to_dense(const bsp::Comm& comm,
+                                                int root) const {
+  // Rows are distributed in rank order, so a gather of the local storage
+  // reassembles the row-major matrix directly.
+  return comm.gather(std::span<const Weight>(local_), root);
+}
+
+}  // namespace camc::graph

@@ -1,0 +1,115 @@
+#pragma once
+
+// Row-distributed (adjacency) matrix (§3, "Graph Representation").
+//
+// For sufficiently dense graphs (m >= n^2/log n) — and always inside the
+// Recursive Step, where contracted graphs become arbitrarily dense — the
+// paper stores the graph as a distributed adjacency matrix: every rank
+// holds Theta(rows/p) consecutive rows. The matrix may be rectangular
+// during Dense Bulk Edge Contraction (§4.1): contraction first combines
+// columns (a local operation), then transposes (communication), combines
+// columns again, and zeroes the diagonal.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+/// Block row distribution of `rows` rows over `p` ranks: rank r owns
+/// [begin(r), end(r)). Ranks may own zero rows when p > rows.
+struct RowDistribution {
+  std::uint64_t rows = 0;
+  int p = 1;
+
+  std::uint64_t begin(int rank) const noexcept {
+    return rows * static_cast<std::uint64_t>(rank) /
+           static_cast<std::uint64_t>(p);
+  }
+  std::uint64_t end(int rank) const noexcept { return begin(rank + 1); }
+  std::uint64_t count(int rank) const noexcept {
+    return end(rank) - begin(rank);
+  }
+  int owner(std::uint64_t row) const noexcept {
+    // Inverse of begin(); binary search is overkill for our p.
+    for (int r = 0; r < p; ++r)
+      if (row < end(r)) return r;
+    return p - 1;
+  }
+};
+
+class DistributedMatrix {
+ public:
+  DistributedMatrix() = default;
+
+  /// Zero matrix of shape rows x cols distributed over `comm`.
+  DistributedMatrix(const bsp::Comm& comm, std::uint64_t rows,
+                    std::uint64_t cols)
+      : rows_(rows),
+        cols_(cols),
+        dist_{rows, comm.size()},
+        my_rank_(comm.rank()),
+        local_(dist_.count(my_rank_) * cols, 0) {}
+
+  std::uint64_t rows() const noexcept { return rows_; }
+  std::uint64_t cols() const noexcept { return cols_; }
+  std::uint64_t row_begin() const noexcept { return dist_.begin(my_rank_); }
+  std::uint64_t row_end() const noexcept { return dist_.end(my_rank_); }
+  std::uint64_t local_row_count() const noexcept { return dist_.count(my_rank_); }
+  const RowDistribution& distribution() const noexcept { return dist_; }
+
+  /// Mutable view of a locally owned row (global index).
+  std::span<Weight> row(std::uint64_t global_row) {
+    return std::span<Weight>(local_)
+        .subspan((global_row - row_begin()) * cols_, cols_);
+  }
+  std::span<const Weight> row(std::uint64_t global_row) const {
+    return std::span<const Weight>(local_)
+        .subspan((global_row - row_begin()) * cols_, cols_);
+  }
+
+  std::vector<Weight>& local_storage() noexcept { return local_; }
+  const std::vector<Weight>& local_storage() const noexcept { return local_; }
+
+  /// Collective: builds an n x n adjacency matrix from this rank's slice of
+  /// a distributed edge array. Every edge contributes to both (u,v) and
+  /// (v,u); parallel edges accumulate.
+  static DistributedMatrix from_edges(const bsp::Comm& comm, Vertex n,
+                                      std::span<const WeightedEdge> local_edges);
+
+  /// Collective: the transposed matrix (cols x rows), redistributed.
+  DistributedMatrix transpose(const bsp::Comm& comm) const;
+
+  /// Local: combines columns according to `mapping` (size cols()) into
+  /// `new_cols` columns: out(i, mapping[j]) += in(i, j).
+  DistributedMatrix combine_columns(const bsp::Comm& comm,
+                                    std::span<const Vertex> mapping,
+                                    std::uint64_t new_cols) const;
+
+  /// Local: zeroes entries (i, i) of owned rows (square matrices).
+  void zero_diagonal();
+
+  /// Collective: gathers the full matrix (row-major) at `root`.
+  std::vector<Weight> to_dense(const bsp::Comm& comm, int root = 0) const;
+
+  /// Collective: sum of all entries (for the adjacency matrix of an
+  /// undirected graph this is 2W).
+  Weight total(const bsp::Comm& comm) const {
+    Weight mine = 0;
+    for (const Weight w : local_) mine += w;
+    return comm.all_reduce(mine, std::plus<Weight>{}, Weight{0});
+  }
+
+ private:
+  std::uint64_t rows_ = 0;
+  std::uint64_t cols_ = 0;
+  RowDistribution dist_{0, 1};
+  int my_rank_ = 0;
+  std::vector<Weight> local_;
+};
+
+}  // namespace camc::graph

@@ -1,0 +1,52 @@
+#pragma once
+
+// Basic graph vocabulary types.
+//
+// The paper's model (§2.3): undirected graph, positive integral edge
+// weights, n = |V|, m = |E|. Edges are stored as flat trivially copyable
+// records so they can move through the BSP collectives directly.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace camc::graph {
+
+using Vertex = std::uint32_t;
+using Weight = std::uint64_t;
+
+/// Undirected weighted edge. Callers may store endpoints in either order;
+/// `canonical()` orders them (smaller endpoint first) for sorting/combining.
+struct WeightedEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight weight = 1;
+
+  WeightedEdge canonical() const noexcept {
+    return u <= v ? *this : WeightedEdge{v, u, weight};
+  }
+
+  /// Endpoint equality (ignores weight); assumes canonical order.
+  friend bool same_endpoints(const WeightedEdge& a,
+                             const WeightedEdge& b) noexcept {
+    return a.u == b.u && a.v == b.v;
+  }
+
+  friend bool operator==(const WeightedEdge& a,
+                         const WeightedEdge& b) noexcept {
+    return a.u == b.u && a.v == b.v && a.weight == b.weight;
+  }
+};
+
+/// Sort order used by sparse bulk edge contraction (§4.1): first by the
+/// smaller endpoint, then by the other endpoint. Requires canonical edges.
+struct EndpointLess {
+  bool operator()(const WeightedEdge& a, const WeightedEdge& b) const noexcept {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  }
+};
+
+static_assert(sizeof(WeightedEdge) == 16);
+
+}  // namespace camc::graph

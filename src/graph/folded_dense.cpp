@@ -1,0 +1,179 @@
+#include "graph/folded_dense.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace camc::graph {
+
+FoldedDense::FoldedDense(Vertex n, std::span<const WeightedEdge> edges)
+    : stride_(n),
+      rows_(static_cast<std::size_t>(n) * n, 0),
+      degree_(n, 0),
+      rep_(n),
+      alive_(n),
+      members_(n) {
+  for (Vertex i = 0; i < n; ++i) {
+    rep_[i] = i;
+    alive_[i] = i;
+    members_[i] = {i};
+  }
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    rows_[static_cast<std::size_t>(e.u) * n + e.v] += e.weight;
+    rows_[static_cast<std::size_t>(e.v) * n + e.u] += e.weight;
+    degree_[e.u] += e.weight;
+    degree_[e.v] += e.weight;
+    twice_total_ += 2 * e.weight;
+  }
+}
+
+FoldedDense::FoldedDense(Vertex n, std::span<const Weight> matrix)
+    : stride_(n),
+      rows_(matrix.begin(), matrix.end()),
+      degree_(n, 0),
+      rep_(n),
+      alive_(n),
+      members_(n) {
+  if (matrix.size() != static_cast<std::size_t>(n) * n)
+    throw std::invalid_argument("FoldedDense: matrix size != n*n");
+  for (Vertex i = 0; i < n; ++i) {
+    rep_[i] = i;
+    alive_[i] = i;
+    members_[i] = {i};
+    rows_[static_cast<std::size_t>(i) * n + i] = 0;
+    Weight deg = 0;
+    for (Vertex j = 0; j < n; ++j)
+      deg += rows_[static_cast<std::size_t>(i) * n + j];
+    degree_[i] = deg;
+    twice_total_ += deg;
+  }
+}
+
+Weight FoldedDense::weight_between(Vertex a, Vertex b) {
+  Weight total = 0;
+  const std::size_t row = static_cast<std::size_t>(a) * stride_;
+  for (Vertex j = 0; j < stride_; ++j) {
+    const Weight w = rows_[row + j];
+    if (w != 0 && representative(j) == b) total += w;
+  }
+  return total;
+}
+
+void FoldedDense::contract(Vertex u, Vertex v) {
+  if (u == v) throw std::invalid_argument("contract: u == v");
+  const Weight uv = weight_between(u, v);
+  const std::size_t row_u = static_cast<std::size_t>(u) * stride_;
+  const std::size_t row_v = static_cast<std::size_t>(v) * stride_;
+  for (Vertex j = 0; j < stride_; ++j) {
+    const Weight w = rows_[row_v + j];
+    if (w != 0) rows_[row_u + j] += w;
+  }
+  rep_[v] = u;
+  degree_[u] += degree_[v] - 2 * uv;
+  degree_[v] = 0;
+  twice_total_ -= 2 * uv;
+  members_[u].insert(members_[u].end(), members_[v].begin(),
+                     members_[v].end());
+  members_[v].clear();
+  alive_.erase(std::find(alive_.begin(), alive_.end(), v));
+}
+
+void FoldedDense::contract_random_edge(rng::Philox& gen) {
+  Weight pick = static_cast<Weight>(gen.uniform_real() *
+                                    static_cast<double>(twice_total_));
+  Vertex u = alive_.back();
+  Weight running = 0;
+  for (const Vertex r : alive_) {
+    running += degree_[r];
+    if (pick < running) {
+      u = r;
+      break;
+    }
+  }
+  pick = static_cast<Weight>(gen.uniform_real() *
+                             static_cast<double>(degree_[u]));
+  running = 0;
+  Vertex v = u;
+  const std::size_t row_u = static_cast<std::size_t>(u) * stride_;
+  for (Vertex j = 0; j < stride_; ++j) {
+    const Weight w = rows_[row_u + j];
+    if (w == 0) continue;
+    const Vertex r = representative(j);
+    if (r == u) continue;
+    running += w;
+    if (pick < running) {
+      v = r;
+      break;
+    }
+  }
+  if (v == u) {  // FP rounding fallback: last real neighbour
+    for (Vertex j = stride_; j-- > 0;) {
+      const Weight w = rows_[row_u + j];
+      if (w == 0) continue;
+      const Vertex r = representative(j);
+      if (r != u) {
+        v = r;
+        break;
+      }
+    }
+  }
+  if (v != u) contract(u, v);
+}
+
+void FoldedDense::contract_to(Vertex target, rng::Philox& gen) {
+  while (active_vertices() > target && twice_total_ > 0)
+    contract_random_edge(gen);
+}
+
+FoldedDense FoldedDense::compact_copy() const {
+  const auto a = active_vertices();
+  FoldedDense out;
+  out.stride_ = a;
+  out.rows_.assign(static_cast<std::size_t>(a) * a, 0);
+  out.degree_.assign(a, 0);
+  out.rep_.resize(a);
+  out.alive_.resize(a);
+  out.members_.resize(a);
+  out.twice_total_ = twice_total_;
+
+  std::vector<Vertex> dense_of(stride_, 0);
+  for (Vertex i = 0; i < a; ++i) dense_of[alive_[i]] = i;
+
+  for (Vertex i = 0; i < a; ++i) {
+    const Vertex r = alive_[i];
+    out.rep_[i] = i;
+    out.alive_[i] = i;
+    out.degree_[i] = degree_[r];
+    out.members_[i] = members_[r];
+    const std::size_t src = static_cast<std::size_t>(r) * stride_;
+    const std::size_t dst = static_cast<std::size_t>(i) * a;
+    for (Vertex j = 0; j < stride_; ++j) {
+      const Weight w = rows_[src + j];
+      if (w == 0) continue;
+      const Vertex target = representative(j);
+      if (target == r) continue;
+      out.rows_[dst + dense_of[target]] += w;
+    }
+  }
+  return out;
+}
+
+std::vector<Weight> FoldedDense::folded_matrix() const {
+  const auto a = active_vertices();
+  std::vector<Weight> out(static_cast<std::size_t>(a) * a, 0);
+  std::vector<Vertex> dense_of(stride_, 0);
+  for (Vertex i = 0; i < a; ++i) dense_of[alive_[i]] = i;
+  for (Vertex i = 0; i < a; ++i) {
+    const std::size_t src = static_cast<std::size_t>(alive_[i]) * stride_;
+    for (Vertex j = 0; j < stride_; ++j) {
+      const Weight w = rows_[src + j];
+      if (w == 0) continue;
+      const Vertex target = representative(j);
+      if (target == alive_[i]) continue;
+      out[static_cast<std::size_t>(i) * a + dense_of[target]] += w;
+    }
+  }
+  return out;
+}
+
+}  // namespace camc::graph

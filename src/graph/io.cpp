@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace camc::graph {
+
+EdgeListFile read_edge_list(std::istream& in) {
+  EdgeListFile out;
+  std::string line;
+  bool have_header = false;
+  std::uint64_t declared_m = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    if (!have_header) {
+      std::uint64_t n_raw = 0;
+      if (!(fields >> n_raw >> declared_m))
+        throw std::runtime_error("edge list: malformed header (want 'n m')");
+      out.n = static_cast<Vertex>(n_raw);
+      out.edges.reserve(declared_m);
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0, w = 1;
+    if (!(fields >> u >> v))
+      throw std::runtime_error("edge list: malformed edge line: " + line);
+    fields >> w;  // optional weight
+    if (u >= out.n || v >= out.n)
+      throw std::runtime_error("edge list: endpoint out of range: " + line);
+    if (w == 0) throw std::runtime_error("edge list: zero weight: " + line);
+    out.edges.push_back(WeightedEdge{static_cast<Vertex>(u),
+                                     static_cast<Vertex>(v), w});
+  }
+  if (!have_header) throw std::runtime_error("edge list: missing header");
+  if (out.edges.size() != declared_m)
+    throw std::runtime_error("edge list: header declared " +
+                             std::to_string(declared_m) + " edges, found " +
+                             std::to_string(out.edges.size()));
+  return out;
+}
+
+EdgeListFile read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, Vertex n,
+                     const std::vector<WeightedEdge>& edges) {
+  out << n << ' ' << edges.size() << '\n';
+  for (const WeightedEdge& e : edges)
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+}
+
+void write_edge_list_file(const std::string& path, Vertex n,
+                          const std::vector<WeightedEdge>& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_edge_list(out, n, edges);
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+SnapFile read_snap(std::istream& in) {
+  SnapFile out;
+  std::unordered_map<std::uint64_t, Vertex> dense;
+  const auto id_of = [&](std::uint64_t original) {
+    const auto [it, inserted] =
+        dense.emplace(original, static_cast<Vertex>(dense.size()));
+    if (inserted) out.original_ids.push_back(original);
+    return it->second;
+  };
+
+  std::string line;
+  bool any_line = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    any_line = true;
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0, w = 1;
+    if (!(fields >> u >> v))
+      throw std::runtime_error("snap: malformed line: " + line);
+    fields >> w;  // optional weight column
+    if (w == 0) throw std::runtime_error("snap: zero weight: " + line);
+    if (u == v) continue;  // SNAP data occasionally carries self-loops
+    out.edges.push_back(WeightedEdge{id_of(u), id_of(v), w});
+  }
+  if (!any_line) throw std::runtime_error("snap: no edges in input");
+  out.n = static_cast<Vertex>(dense.size());
+  return out;
+}
+
+SnapFile read_snap_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_snap(in);
+}
+
+}  // namespace camc::graph

@@ -1,0 +1,48 @@
+#pragma once
+
+// Edge-list file I/O, artifact-style: a header line "n m" followed by m
+// lines "u v w" (weight optional; defaults to 1). Lines starting with '#'
+// or '%' are comments.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+struct EdgeListFile {
+  Vertex n = 0;
+  std::vector<WeightedEdge> edges;
+};
+
+/// Parses an edge list stream. Throws std::runtime_error on malformed input
+/// (bad header, endpoint out of range, zero weight).
+EdgeListFile read_edge_list(std::istream& in);
+
+/// Convenience: reads from a file path.
+EdgeListFile read_edge_list_file(const std::string& path);
+
+/// Writes the "n m" + "u v w" format.
+void write_edge_list(std::ostream& out, Vertex n,
+                     const std::vector<WeightedEdge>& edges);
+
+void write_edge_list_file(const std::string& path, Vertex n,
+                          const std::vector<WeightedEdge>& edges);
+
+/// SNAP-style edge lists (the paper's real-graph inputs): no header, one
+/// "u v" pair per line, '#' comments, arbitrary sparse vertex ids. Ids are
+/// remapped to a dense [0, n) space (first-seen order); self-loops are
+/// dropped; an optional third column is read as the weight.
+struct SnapFile {
+  Vertex n = 0;
+  std::vector<WeightedEdge> edges;
+  /// dense id -> original id.
+  std::vector<std::uint64_t> original_ids;
+};
+
+SnapFile read_snap(std::istream& in);
+SnapFile read_snap_file(const std::string& path);
+
+}  // namespace camc::graph

@@ -1,0 +1,24 @@
+#include "graph/local_graph.hpp"
+
+namespace camc::graph {
+
+LocalGraph::LocalGraph(Vertex n, std::span<const WeightedEdge> edges)
+    : n_(n), offsets_(static_cast<std::size_t>(n) + 1, 0) {
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i)
+    offsets_[i] += offsets_[i - 1];
+
+  targets_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    targets_[cursor[e.u]++] = Neighbor{e.v, e.weight};
+    targets_[cursor[e.v]++] = Neighbor{e.u, e.weight};
+  }
+}
+
+}  // namespace camc::graph

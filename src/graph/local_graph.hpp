@@ -1,0 +1,48 @@
+#pragma once
+
+// Sequential CSR adjacency representation.
+//
+// Used by the sequential baselines (DFS connected components = the BGL
+// stand-in, Stoer-Wagner) and as the root-side structure for connectivity
+// queries. Each undirected edge appears in both endpoint lists.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+class LocalGraph {
+ public:
+  LocalGraph() = default;
+
+  /// Builds CSR from an undirected edge list over vertices [0, n).
+  /// Parallel edges and weights are preserved; self-loops are dropped.
+  LocalGraph(Vertex n, std::span<const WeightedEdge> edges);
+
+  Vertex vertex_count() const noexcept { return n_; }
+  std::size_t edge_count() const noexcept { return targets_.size() / 2; }
+
+  struct Neighbor {
+    Vertex vertex;
+    Weight weight;
+  };
+
+  std::span<const Neighbor> neighbors(Vertex v) const noexcept {
+    return std::span<const Neighbor>(targets_)
+        .subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+  }
+
+  Weight degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::size_t> offsets_;  // n_ + 1 entries
+  std::vector<Neighbor> targets_;
+};
+
+}  // namespace camc::graph

@@ -1,0 +1,139 @@
+#include "model/bsp_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace camc::model {
+namespace {
+
+double log2_safe(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+Bounds min_cut_bounds(const Instance& instance) {
+  const double n = instance.n, m = instance.m, p = instance.p;
+  const double lg = log2_safe(n);
+  Bounds bounds;
+  bounds.supersteps = std::max(1.0, std::log2(std::max(2.0, p * m / (n * n))));
+  bounds.computation = n * n * lg * lg * lg / p;
+  bounds.communication_volume = n * n * lg * lg * log2_safe(p) / p;
+  bounds.cache_misses = n * n * lg * lg * lg / (instance.B * p);
+  bounds.space = std::min(m, n * n * lg * lg / p);
+  return bounds;
+}
+
+Bounds previous_bsp_bounds(const Instance& instance) {
+  const double n = instance.n, m = instance.m, p = instance.p;
+  (void)m;
+  const double lg = log2_safe(n);
+  const double lgp = log2_safe(p);
+  Bounds bounds;
+  bounds.supersteps = lg * lgp * lgp;
+  bounds.computation = n * n * lg * lg * lg * lgp / p;
+  bounds.communication_volume = n * n * lg * lg * lgp * lgp / p;
+  bounds.cache_misses = 0;  // not studied in [4]
+  bounds.space = n * n * lg * lg / p;
+  return bounds;
+}
+
+Bounds co_karger_stein_bounds(const Instance& instance) {
+  const double n = instance.n;
+  const double lg = log2_safe(n);
+  Bounds bounds;
+  bounds.supersteps = 0;  // sequential
+  bounds.computation = n * n * lg * lg * lg;
+  bounds.communication_volume = 0;
+  bounds.cache_misses = n * n * lg * lg * lg / instance.B;
+  bounds.space = n * n;
+  return bounds;
+}
+
+Bounds connected_components_bounds(const Instance& instance, double epsilon) {
+  const double n = instance.n, m = instance.m, p = instance.p;
+  const double sample = std::pow(n, 1.0 + epsilon);
+  Bounds bounds;
+  bounds.supersteps = 1;
+  bounds.computation = m / p + sample;
+  bounds.communication_volume = sample;
+  bounds.cache_misses = m / (p * instance.B) + sample;
+  bounds.space = m / p + sample;
+  return bounds;
+}
+
+Bounds approx_min_cut_bounds(const Instance& instance, double epsilon) {
+  const double n = instance.n, m = instance.m, p = instance.p;
+  const double lg = log2_safe(n);
+  const double sample = std::pow(n, 1.0 + epsilon);
+  Bounds bounds;
+  bounds.supersteps = 1;
+  bounds.computation = m * lg * lg * lg / p + sample;
+  bounds.communication_volume = sample;
+  bounds.cache_misses = m * lg * lg / (p * instance.B) + sample;
+  bounds.space = m / p + sample;
+  return bounds;
+}
+
+double FittedModel::predict(const Bounds& bounds,
+                            const Instance& instance) const {
+  return comp_constant * bounds.computation +
+         comm_constant * bounds.communication_volume *
+             log2_safe(instance.p) +
+         overhead;
+}
+
+FittedModel fit(std::span<const Observation> observations,
+                Bounds (*bounds_of)(const Instance&)) {
+  if (observations.empty())
+    throw std::invalid_argument("fit: no observations");
+
+  // Design matrix columns: computation, volume * log2 p, 1.
+  const std::size_t k = observations.size() >= 3 ? 3 : 2;
+  std::array<std::array<double, 3>, 3> normal{};
+  std::array<double, 3> rhs{};
+  for (const Observation& ob : observations) {
+    const Bounds bounds = bounds_of(ob.instance);
+    const std::array<double, 3> row{
+        bounds.computation,
+        bounds.communication_volume * log2_safe(ob.instance.p), 1.0};
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) normal[i][j] += row[i] * row[j];
+      rhs[i] += row[i] * ob.seconds;
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the k x k system.
+  std::array<std::size_t, 3> perm{0, 1, 2};
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(normal[perm[r]][col]) > std::abs(normal[perm[pivot]][col]))
+        pivot = r;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = normal[perm[col]][col];
+    if (std::abs(diag) < 1e-30) continue;  // degenerate column: leave 0
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double factor = normal[perm[r]][col] / diag;
+      for (std::size_t c = col; c < k; ++c)
+        normal[perm[r]][c] -= factor * normal[perm[col]][c];
+      rhs[perm[r]] -= factor * rhs[perm[col]];
+    }
+  }
+  std::array<double, 3> solution{};
+  for (std::size_t col = k; col-- > 0;) {
+    double value = rhs[perm[col]];
+    for (std::size_t c = col + 1; c < k; ++c)
+      value -= normal[perm[col]][c] * solution[c];
+    const double diag = normal[perm[col]][col];
+    solution[col] = std::abs(diag) < 1e-30 ? 0.0 : value / diag;
+  }
+
+  FittedModel model;
+  model.comp_constant = std::max(0.0, solution[0]);
+  model.comm_constant = std::max(0.0, solution[1]);
+  model.overhead = k == 3 ? std::max(0.0, solution[2]) : 0.0;
+  return model;
+}
+
+}  // namespace camc::model

@@ -1,0 +1,73 @@
+#pragma once
+
+// The paper's constant-factor performance model (§5, "Performance Model")
+// and the asymptotic bounds of Table 1.
+//
+// The model translates BSP bounds into execution times: predicted time =
+// c_comp * computation + c_comm * communication_volume * log(p) + c_0
+// (the log p factor accounts for MPI implementation overhead [19]). The
+// constants are fitted by least squares against measured runs and the
+// fitted curve is overlaid on the strong-scaling figures (Figures 1, 6).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace camc::model {
+
+/// Problem/machine parameters the bounds depend on.
+struct Instance {
+  double n = 0;  ///< vertices
+  double m = 0;  ///< edges
+  double p = 1;  ///< processors
+  double B = 8;  ///< cache block size (words)
+};
+
+/// Asymptotic costs (Table 1 rows), up to constants.
+struct Bounds {
+  double supersteps = 0;
+  double computation = 0;
+  double communication_volume = 0;
+  double cache_misses = 0;
+  double space = 0;
+};
+
+/// Row 2 of Table 1: this paper's minimum cut algorithm.
+Bounds min_cut_bounds(const Instance& instance);
+
+/// Row 1 of Table 1: the previous BSP algorithm [4] (cache misses were
+/// never analyzed; reported as 0).
+Bounds previous_bsp_bounds(const Instance& instance);
+
+/// Row 3 of Table 1: sequential CO Karger-Stein [13] (no BSP quantities).
+Bounds co_karger_stein_bounds(const Instance& instance);
+
+/// §3.2 connected components bounds (epsilon enters the n^(1+eps) terms).
+Bounds connected_components_bounds(const Instance& instance, double epsilon);
+
+/// §3.3 approximate minimum cut bounds.
+Bounds approx_min_cut_bounds(const Instance& instance, double epsilon);
+
+/// One measured run used for fitting.
+struct Observation {
+  Instance instance;
+  double seconds = 0;
+};
+
+/// Fitted time model: seconds(instance) =
+/// comp_constant * computation + comm_constant * volume * log2(p) + overhead.
+struct FittedModel {
+  double comp_constant = 0;
+  double comm_constant = 0;
+  double overhead = 0;
+
+  double predict(const Bounds& bounds, const Instance& instance) const;
+};
+
+/// Least-squares fit of the three constants against observations whose
+/// bounds are produced by `bounds_of`. Requires >= 3 observations; with
+/// fewer, the comm term is dropped.
+FittedModel fit(std::span<const Observation> observations,
+                Bounds (*bounds_of)(const Instance&));
+
+}  // namespace camc::model

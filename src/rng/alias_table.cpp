@@ -1,0 +1,56 @@
+#include "rng/alias_table.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace camc::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t k = weights.size();
+  if (k == 0) throw std::invalid_argument("AliasTable: empty weight vector");
+  if (k > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("AliasTable: too many categories");
+
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument("AliasTable: negative or NaN weight");
+    total += w;
+  }
+  if (!(total > 0.0))
+    throw std::invalid_argument("AliasTable: total weight must be positive");
+  total_weight_ = total;
+
+  probability_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Vose's algorithm: partition scaled weights into "small" (< 1) and
+  // "large" (>= 1) work lists, then pair each small column with a large one.
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = weights[i] * k / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining columns are exactly 1 up to rounding.
+  for (const std::uint32_t l : large) probability_[l] = 1.0;
+  for (const std::uint32_t s : small) probability_[s] = 1.0;
+}
+
+}  // namespace camc::rng

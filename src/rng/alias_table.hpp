@@ -1,0 +1,46 @@
+#pragma once
+
+// Walker/Vose alias method for O(1) weighted sampling with replacement.
+//
+// Used by the sparsification step (§3.1 of the paper): after an O(k)
+// preprocessing pass over k weights, each sample costs O(1) time and O(1)
+// cache misses in expectation. This is the constant-time alternative to the
+// prefix-sum binary-search sampler (see weighted_sampler.hpp); the
+// bench_ablation_sampler experiment compares the two.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/philox.hpp"
+
+namespace camc::rng {
+
+/// Samples indices i in [0, k) with probability weights[i] / sum(weights).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table in O(k). All weights must be non-negative and their
+  /// sum positive. Throws std::invalid_argument otherwise.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return probability_.size(); }
+
+  /// Draw one index.
+  std::size_t sample(Philox& gen) const noexcept {
+    const std::size_t column = gen.bounded(probability_.size());
+    return gen.uniform_real() < probability_[column] ? column : alias_[column];
+  }
+
+  /// Total weight the table was built from.
+  double total_weight() const noexcept { return total_weight_; }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::uint32_t> alias_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace camc::rng

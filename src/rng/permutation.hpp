@@ -1,0 +1,38 @@
+#pragma once
+
+// Uniform random permutations (Fisher–Yates).
+//
+// Sparsification (§3.1, step 4) requires the gathered edge sample to be
+// randomly permuted at the root: the prefix-selection step of Iterated
+// Sampling needs every position of the sample array to be identically
+// distributed (Lemma 3.1's proof uses exactly this property).
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "rng/philox.hpp"
+
+namespace camc::rng {
+
+/// Shuffles `items` uniformly in place.
+template <class T>
+void shuffle(std::vector<T>& items, Philox& gen) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = gen.bounded(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Returns a uniformly random permutation of {0, ..., n-1}.
+inline std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                                     Philox& gen) {
+  std::vector<std::uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  shuffle(perm, gen);
+  return perm;
+}
+
+}  // namespace camc::rng

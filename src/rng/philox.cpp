@@ -1,0 +1,56 @@
+#include "rng/philox.hpp"
+
+namespace camc::rng {
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) noexcept {
+  const std::uint64_t product =
+      static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+  hi = static_cast<std::uint32_t>(product >> 32);
+  lo = static_cast<std::uint32_t>(product);
+}
+
+inline PhiloxBlock round_once(const PhiloxBlock& ctr,
+                              const std::array<std::uint32_t, 2>& key) noexcept {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kMul0, ctr[0], hi0, lo0);
+  mulhilo(kMul1, ctr[2], hi1, lo1);
+  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+PhiloxBlock philox4x32(const PhiloxBlock& counter,
+                       std::array<std::uint32_t, 2> key) noexcept {
+  PhiloxBlock state = counter;
+  for (int round = 0; round < 10; ++round) {
+    state = round_once(state, key);
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return state;
+}
+
+std::uint64_t Philox::bounded(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace camc::rng

@@ -1,0 +1,108 @@
+#pragma once
+
+// Philox-4x32-10 counter-based pseudorandom number generator.
+//
+// The paper's artifact uses the counter-based generators of Salmon et al.,
+// "Parallel Random Numbers: As Easy As 1, 2, 3" (SC'11), to obtain
+// uncorrelated parallel streams. This is a from-scratch implementation of
+// the Philox-4x32 round function with 10 rounds.
+//
+// A generator is keyed by a 64-bit (seed, stream) pair; every (key, counter)
+// combination yields an independent 128-bit block. Distinct streams (e.g.
+// one per BSP rank) are therefore statistically independent by construction,
+// with no shared state and no communication.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace camc::rng {
+
+/// One 128-bit Philox output block as four 32-bit words.
+using PhiloxBlock = std::array<std::uint32_t, 4>;
+
+/// Stateless Philox-4x32-10 block function: maps (counter, key) -> block.
+PhiloxBlock philox4x32(const PhiloxBlock& counter,
+                       std::array<std::uint32_t, 2> key) noexcept;
+
+/// A `std::uniform_random_bit_generator`-compatible engine over Philox.
+///
+/// The engine walks a 128-bit counter and buffers one block (four 32-bit
+/// draws) at a time. Copying an engine copies its exact position, so runs
+/// are reproducible; `Philox(seed, stream)` with distinct `stream` values
+/// gives independent sequences.
+class Philox {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Philox(std::uint64_t seed = 0, std::uint64_t stream = 0) noexcept
+      : key_{static_cast<std::uint32_t>(seed),
+             static_cast<std::uint32_t>(seed >> 32)} {
+    counter_[2] = static_cast<std::uint32_t>(stream);
+    counter_[3] = static_cast<std::uint32_t>(stream >> 32);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept {
+    if (index_ >= 4) refill();
+    const std::uint64_t lo = buffer_[index_];
+    const std::uint64_t hi = buffer_[index_ + 1];
+    index_ += 2;
+    return (hi << 32) | lo;
+  }
+
+  /// Skip ahead by `n` 128-bit blocks (counter jump); O(1).
+  void discard_blocks(std::uint64_t n) noexcept {
+    add_to_counter(n);
+    index_ = 4;  // force refill
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_real() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Bernoulli trial with success probability `prob` (clamped to [0,1]).
+  bool bernoulli(double prob) noexcept { return uniform_real() < prob; }
+
+ private:
+  void refill() noexcept {
+    buffer_ = philox4x32(counter_, key_);
+    add_to_counter(1);
+    index_ = 0;
+  }
+
+  void add_to_counter(std::uint64_t n) noexcept {
+    std::uint64_t lo =
+        (static_cast<std::uint64_t>(counter_[1]) << 32) | counter_[0];
+    const std::uint64_t before = lo;
+    lo += n;
+    counter_[0] = static_cast<std::uint32_t>(lo);
+    counter_[1] = static_cast<std::uint32_t>(lo >> 32);
+    if (lo < before) {  // carry into the stream-reserved upper half
+      if (++counter_[2] == 0) ++counter_[3];
+    }
+  }
+
+  std::array<std::uint32_t, 2> key_;
+  PhiloxBlock counter_{0, 0, 0, 0};
+  PhiloxBlock buffer_{};
+  unsigned index_ = 4;
+};
+
+}  // namespace camc::rng

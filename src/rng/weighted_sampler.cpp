@@ -1,0 +1,50 @@
+#include "rng/weighted_sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/alias_table.hpp"
+
+namespace camc::rng {
+
+PrefixSumSampler::PrefixSumSampler(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("PrefixSumSampler: empty weight vector");
+  cumulative_.resize(weights.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0))
+      throw std::invalid_argument("PrefixSumSampler: negative or NaN weight");
+    running += weights[i];
+    cumulative_[i] = running;
+  }
+  if (!(running > 0.0))
+    throw std::invalid_argument("PrefixSumSampler: total weight must be positive");
+}
+
+std::size_t PrefixSumSampler::sample(Philox& gen) const noexcept {
+  const double target = gen.uniform_real() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  const std::size_t index =
+      static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+  // target < back() guarantees it != end(), but guard against FP edge cases.
+  return std::min(index, cumulative_.size() - 1);
+}
+
+std::vector<std::size_t> sample_indices(std::span<const double> weights,
+                                        std::size_t count, Philox& gen,
+                                        SamplerKind kind) {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (kind == SamplerKind::kAlias) {
+    const AliasTable table(weights);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(table.sample(gen));
+  } else {
+    const PrefixSumSampler sampler(weights);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(sampler.sample(gen));
+  }
+  return out;
+}
+
+}  // namespace camc::rng

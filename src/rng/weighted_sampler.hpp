@@ -1,0 +1,48 @@
+#pragma once
+
+// Prefix-sum weighted sampler: O(k) preprocessing, O(log k) per sample.
+//
+// This is the sampling scheme the paper cites from Karger & Stein §5
+// ("each entry can be sampled in O(log n) amortized time ... after a
+// linear-time preprocessing step"). The alias table (alias_table.hpp) is
+// the O(1)-per-sample alternative; both produce the same distribution.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/philox.hpp"
+
+namespace camc::rng {
+
+/// Samples indices i in [0, k) with probability weights[i] / sum(weights),
+/// by binary search over the cumulative weight array.
+class PrefixSumSampler {
+ public:
+  PrefixSumSampler() = default;
+
+  /// Builds cumulative sums in O(k). Weights must be non-negative with a
+  /// positive total; throws std::invalid_argument otherwise.
+  explicit PrefixSumSampler(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return cumulative_.size(); }
+  double total_weight() const noexcept {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+  /// Draw one index in O(log k).
+  std::size_t sample(Philox& gen) const noexcept;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Draws `count` indices from `weights` (with replacement) using whichever
+/// sampler is asked for; convenience used by tests and ablations.
+enum class SamplerKind { kAlias, kPrefixSum };
+
+std::vector<std::size_t> sample_indices(std::span<const double> weights,
+                                        std::size_t count, Philox& gen,
+                                        SamplerKind kind);
+
+}  // namespace camc::rng

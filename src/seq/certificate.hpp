@@ -1,0 +1,35 @@
+#pragma once
+
+// Nagamochi-Ibaraki style sparse k-connectivity certificate [29].
+//
+// A k-certificate H of G is a subgraph (with reduced weights) such that
+// for EVERY cut S:  min(k, cut_H(S)) == min(k, cut_G(S)).
+// In particular, if k is at least the minimum cut value of G (e.g. the
+// minimum weighted degree, the bound preprocessing uses), H has exactly
+// the same minimum cuts as G — with total weight at most k * (n - 1).
+//
+// Construction: k rounds of maximal spanning forests over the residual
+// graph, moving one unit of weight per forest edge per round (the
+// forest-decomposition view of scan-first search). O(k * m * alpha(n)).
+// Worth it when k is small relative to the average degree — e.g. sparse
+// unweighted graphs where k = min degree.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::seq {
+
+struct CertificateResult {
+  std::vector<graph::WeightedEdge> edges;  ///< combined, canonical
+  std::uint32_t rounds = 0;                ///< forests actually built
+};
+
+/// Builds the k-certificate. Throws std::invalid_argument for k == 0.
+CertificateResult sparse_certificate(graph::Vertex n,
+                                     std::span<const graph::WeightedEdge> edges,
+                                     graph::Weight k);
+
+}  // namespace camc::seq

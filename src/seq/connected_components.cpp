@@ -1,0 +1,65 @@
+#include "seq/connected_components.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "seq/union_find.hpp"
+
+namespace camc::seq {
+
+std::vector<graph::Vertex> dfs_components(const graph::LocalGraph& g) {
+  const graph::Vertex n = g.vertex_count();
+  constexpr graph::Vertex kUnvisited = static_cast<graph::Vertex>(-1);
+  std::vector<graph::Vertex> label(n, kUnvisited);
+  std::vector<graph::Vertex> stack;
+  graph::Vertex next_label = 0;
+
+  for (graph::Vertex start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    stack.push_back(start);
+    label[start] = next_label;
+    while (!stack.empty()) {
+      const graph::Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto& nb : g.neighbors(v)) {
+        if (label[nb.vertex] == kUnvisited) {
+          label[nb.vertex] = next_label;
+          stack.push_back(nb.vertex);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+std::vector<graph::Vertex> union_find_components(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges) {
+  UnionFind dsu(n);
+  for (const graph::WeightedEdge& e : edges) dsu.unite(e.u, e.v);
+  return dsu.labels();
+}
+
+graph::Vertex component_count(std::span<const graph::Vertex> labels) {
+  std::unordered_set<graph::Vertex> distinct(labels.begin(), labels.end());
+  return static_cast<graph::Vertex>(distinct.size());
+}
+
+bool single_component(std::span<const graph::Vertex> labels) {
+  return labels.empty() || component_count(labels) == 1;
+}
+
+bool same_partition(std::span<const graph::Vertex> a,
+                    std::span<const graph::Vertex> b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<graph::Vertex, graph::Vertex> forward, backward;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto [fit, finserted] = forward.emplace(a[v], b[v]);
+    if (!finserted && fit->second != b[v]) return false;
+    const auto [bit, binserted] = backward.emplace(b[v], a[v]);
+    if (!binserted && bit->second != a[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace camc::seq

@@ -1,0 +1,37 @@
+#pragma once
+
+// Sequential connected-components baselines.
+//
+// dfs_components: the linear-time graph traversal BGL's
+// connected_components performs (the paper's sequential baseline).
+// union_find_components: per-edge union-find, the sequential behaviour of
+// the Galois baseline.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/local_graph.hpp"
+
+namespace camc::seq {
+
+/// Component label per vertex via iterative depth-first traversal; labels
+/// are dense in [0, #components).
+std::vector<graph::Vertex> dfs_components(const graph::LocalGraph& g);
+
+/// Component label per vertex via union-find over the edge list; labels are
+/// component roots (not dense). `n` is the vertex count.
+std::vector<graph::Vertex> union_find_components(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges);
+
+/// Number of distinct labels.
+graph::Vertex component_count(std::span<const graph::Vertex> labels);
+
+/// True when `labels` describe a single component (or the graph is empty).
+bool single_component(std::span<const graph::Vertex> labels);
+
+/// True iff both labelings induce the same partition of the vertex set.
+bool same_partition(std::span<const graph::Vertex> a,
+                    std::span<const graph::Vertex> b);
+
+}  // namespace camc::seq

@@ -1,0 +1,557 @@
+#include "seq/instrumented.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cachesim/traced.hpp"
+#include "graph/contraction_ref.hpp"
+#include "graph/local_graph.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/philox.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::seq {
+namespace {
+
+using cachesim::Session;
+using cachesim::Traced;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+TraceReport report_of(const Session& session, std::uint64_t result) {
+  TraceReport report;
+  report.result = result;
+  report.ops = session.ops();
+  report.misses = session.misses();
+  report.ipm = session.ipm();
+  return report;
+}
+
+constexpr Vertex kUnvisited = static_cast<Vertex>(-1);
+
+}  // namespace
+
+TraceReport traced_dfs_cc(Vertex n, std::span<const WeightedEdge> edges,
+                          const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+
+  // CSR construction is untraced setup (the baselines get the same favor);
+  // the measured phase is the traversal, as in the BGL comparison.
+  const graph::LocalGraph csr(n, edges);
+  std::vector<std::uint32_t> raw_offsets(n + 1);
+  std::vector<Vertex> raw_targets;
+  raw_targets.reserve(2 * edges.size());
+  std::size_t cursor = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    raw_offsets[v] = static_cast<std::uint32_t>(cursor);
+    for (const auto& nb : csr.neighbors(v)) {
+      raw_targets.push_back(nb.vertex);
+      ++cursor;
+    }
+  }
+  raw_offsets[n] = static_cast<std::uint32_t>(cursor);
+
+  Traced<std::uint32_t> offsets(std::move(raw_offsets), &session);
+  Traced<Vertex> targets(std::move(raw_targets), &session);
+  Traced<Vertex> label(n, &session, kUnvisited);
+
+  std::vector<Vertex> stack;  // tiny working set; untraced
+  Vertex components = 0;
+  for (Vertex start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    stack.push_back(start);
+    label[start] = components;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      const std::uint32_t begin = offsets[v];
+      const std::uint32_t end = offsets[v + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const Vertex to = targets[i];
+        if (label[to] == kUnvisited) {
+          label[to] = components;
+          stack.push_back(to);
+        }
+      }
+    }
+    ++components;
+  }
+  return report_of(session, components);
+}
+
+TraceReport traced_bgl_cc(Vertex n, std::span<const WeightedEdge> edges,
+                          const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+
+  // adjacency_list<vecS, vecS>: one heap vector of (target descriptor,
+  // edge property) per vertex — 2 words per out-edge entry, and each
+  // vector begins at its own allocation (block-aligned region).
+  std::vector<std::vector<Vertex>> adjacency(n);
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    adjacency[e.u].push_back(e.v);
+    adjacency[e.v].push_back(e.u);
+  }
+  std::vector<std::uint64_t> list_base(n);
+  for (Vertex v = 0; v < n; ++v)
+    list_base[v] = session.allocate(2 * adjacency[v].size() + 2);
+
+  // Separate property maps, as boost::connected_components uses.
+  Traced<std::uint8_t> color(n, &session, 0);
+  Traced<Vertex> component(n, &session, 0);
+
+  std::vector<Vertex> stack;
+  Vertex components = 0;
+  for (Vertex start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    stack.push_back(start);
+    color[start] = 1;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      component[v] = components;
+      const auto& list = adjacency[v];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        session.touch(list_base[v] + 2 * i);  // (descriptor, property) pair
+        const Vertex to = list[i];
+        if (color[to] == 0) {
+          color[to] = 1;
+          stack.push_back(to);
+        }
+      }
+    }
+    ++components;
+  }
+  return report_of(session, components);
+}
+
+TraceReport traced_union_find_cc(Vertex n,
+                                 std::span<const WeightedEdge> edges,
+                                 const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+  const std::uint64_t edges_base = session.allocate(2 * edges.size() + 2);
+  UnionFind dsu(n, &session);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    session.touch(edges_base + 2 * i);  // streaming read of the edge array
+    dsu.unite(edges[i].u, edges[i].v);
+  }
+  return report_of(session, dsu.component_count());
+}
+
+TraceReport traced_stoer_wagner(Vertex n,
+                                std::span<const WeightedEdge> edges,
+                                const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+
+  Traced<Weight> matrix(static_cast<std::size_t>(n) * n, &session, 0);
+  {
+    auto& raw = matrix.raw();  // untraced build, matching the other setups
+    for (const WeightedEdge& e : edges) {
+      if (e.u == e.v) continue;
+      raw[static_cast<std::size_t>(e.u) * n + e.v] += e.weight;
+      raw[static_cast<std::size_t>(e.v) * n + e.u] += e.weight;
+    }
+  }
+  Traced<Weight> key(n, &session, 0);
+  std::vector<Vertex> slot(n);  // slot -> original supervertex id (compact)
+  for (Vertex i = 0; i < n; ++i) slot[i] = i;
+
+  Weight best = static_cast<Weight>(-1);
+  Vertex active = n;
+  std::vector<bool> in_order(n);
+  while (active > 1) {
+    std::fill(in_order.begin(), in_order.begin() + active, false);
+    for (Vertex i = 0; i < active; ++i) key[slot[i]] = 0;
+
+    Vertex previous = 0, last = 0;
+    Weight last_key = 0;
+    for (Vertex step = 0; step < active; ++step) {
+      // Linear max-adjacency scan (the matrix variant of SW).
+      Vertex pick = kUnvisited;
+      Weight pick_key = 0;
+      for (Vertex i = 0; i < active; ++i) {
+        if (in_order[i]) continue;
+        const Weight k = key[slot[i]];
+        if (pick == kUnvisited || k > pick_key) {
+          pick = i;
+          pick_key = k;
+        }
+      }
+      in_order[pick] = true;
+      previous = last;
+      last = pick;
+      last_key = pick_key;
+      const std::size_t row = static_cast<std::size_t>(slot[pick]) * n;
+      for (Vertex i = 0; i < active; ++i) {
+        if (in_order[i]) continue;
+        key[slot[i]] = key[slot[i]] + matrix[row + slot[i]];
+      }
+    }
+    best = std::min(best, last_key);
+
+    // Merge `last` into `previous` (row/column add), compact `last` away.
+    const std::size_t s_row = static_cast<std::size_t>(slot[previous]) * n;
+    const std::size_t t_row = static_cast<std::size_t>(slot[last]) * n;
+    for (Vertex i = 0; i < active; ++i) {
+      const std::size_t column = slot[i];
+      if (column == slot[previous] || column == slot[last]) continue;
+      const Weight w = matrix[t_row + column];
+      if (w == 0) continue;
+      matrix[s_row + column] = matrix[s_row + column] + w;
+      matrix[static_cast<std::size_t>(column) * n + slot[previous]] =
+          matrix[s_row + column];
+    }
+    matrix[s_row + slot[last]] = 0;
+    matrix[t_row + slot[previous]] = 0;
+    slot[last] = slot[active - 1];
+    --active;
+  }
+  return report_of(session, best);
+}
+
+// ---------------------------------------------------------------------------
+// Traced Karger-Stein
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Dense contraction engine in the cache-oblivious layout [13]: rows over a
+/// FIXED column space with a representative table instead of eager column
+/// updates. Contracting v into u is two sequential row scans
+/// (row_u += row_v) plus rep[v] = u; the strided column writes of the naive
+/// matrix scheme — which would cost one miss per entry — never happen.
+/// Readers fold entries through rep[] on the fly (rep fits in cache under
+/// the tall-cache sizes we simulate). Self-loop weight is tracked per
+/// representative so degrees stay exact.
+struct TracedDense {
+  Vertex n = 0;       // column stride (fixed)
+  Vertex active = 0;  // number of live representatives
+  Traced<Weight> matrix;
+  Traced<Weight> degree;   // indexed by representative
+  Traced<Vertex> rep;      // column -> representative (path compressed)
+  std::vector<Vertex> alive;  // live representatives, untraced bookkeeping
+
+  TracedDense(Vertex size, Session* session)
+      : n(size),
+        active(size),
+        matrix(static_cast<std::size_t>(size) * size, session, 0),
+        degree(size, session, 0),
+        rep(size, session, 0),
+        alive(size) {
+    for (Vertex i = 0; i < size; ++i) {
+      rep.raw()[i] = i;
+      alive[i] = i;
+    }
+  }
+
+  Weight twice_total = 0;  ///< sum of live degrees, maintained incrementally
+
+  Vertex representative(Vertex column) {
+    Vertex root = rep[column];
+    while (rep[root] != root) root = rep[root];
+    if (rep[column] != root) rep[column] = root;  // compress
+    return root;
+  }
+
+  Weight total_weight() const { return twice_total / 2; }
+
+  /// Merges representative v into representative u.
+  void contract(Vertex u, Vertex v) {
+    // w(u, v): one sequential pass over row u folding columns through rep.
+    Weight uv = 0;
+    const std::size_t row_u = static_cast<std::size_t>(u) * n;
+    const std::size_t row_v = static_cast<std::size_t>(v) * n;
+    for (Vertex j = 0; j < n; ++j) {
+      const Weight w = matrix[row_u + j];
+      if (w != 0 && representative(j) == v) uv += w;
+    }
+    // row_u += row_v: two streaming scans, no column traffic.
+    for (Vertex j = 0; j < n; ++j) {
+      const Weight w = matrix[row_v + j];
+      if (w != 0) matrix[row_u + j] = matrix[row_u + j] + w;
+    }
+    rep[v] = u;
+    degree[u] = degree[u] + degree[v] - 2 * uv;
+    degree[v] = 0;
+    // Degrees change from d(u) + d(v) to d(u) + d(v) - 2 w(u,v).
+    twice_total -= 2 * uv;
+    alive.erase(std::find(alive.begin(), alive.end(), v));
+    --active;
+  }
+
+  void contract_random_edge(rng::Philox& gen) {
+    Weight total = 0;
+    for (const Vertex r : alive) total += degree[r];
+    auto pick =
+        static_cast<Weight>(gen.uniform_real() * static_cast<double>(total));
+    Vertex u = alive.back();
+    Weight running = 0;
+    for (const Vertex r : alive) {
+      running += degree[r];
+      if (pick < running) {
+        u = r;
+        break;
+      }
+    }
+    // Neighbor pick: scan row u, skipping self-loops via rep folding.
+    pick = static_cast<Weight>(gen.uniform_real() *
+                               static_cast<double>(degree[u]));
+    running = 0;
+    Vertex v = u;
+    const std::size_t row_u = static_cast<std::size_t>(u) * n;
+    for (Vertex j = 0; j < n; ++j) {
+      const Weight w = matrix[row_u + j];
+      if (w == 0) continue;
+      const Vertex r = representative(j);
+      if (r == u) continue;
+      running += w;
+      if (pick < running) {
+        v = r;
+        break;
+      }
+    }
+    if (v == u) {  // FP rounding: take the last real neighbor
+      for (Vertex j = n; j-- > 0;) {
+        const Weight w = matrix[row_u + j];
+        if (w == 0) continue;
+        const Vertex r = representative(j);
+        if (r != u) {
+          v = r;
+          break;
+        }
+      }
+    }
+    if (v != u) contract(u, v);
+  }
+
+  void contract_to(Vertex target, rng::Philox& gen) {
+    while (active > target && total_weight() > 0) contract_random_edge(gen);
+  }
+
+  /// Folded, compacted copy with stride = active (the CO recursion's copy).
+  TracedDense compact_copy(Session* session) const {
+    // Column folding happens here, in one streaming pass per row; the
+    // const_cast is confined to rep path compression, which is logically
+    // non-mutating.
+    auto& self = const_cast<TracedDense&>(*this);
+    TracedDense out(active, session);
+    std::vector<Vertex> dense_of(n, 0);
+    for (Vertex i = 0; i < active; ++i) dense_of[alive[i]] = i;
+
+    for (Vertex i = 0; i < active; ++i) {
+      const Vertex r = alive[i];
+      const std::size_t row = static_cast<std::size_t>(r) * n;
+      const std::size_t out_row = static_cast<std::size_t>(i) * active;
+      for (Vertex j = 0; j < n; ++j) {
+        const Weight w = self.matrix[row + j];
+        if (w == 0) continue;
+        const Vertex target = self.representative(j);
+        if (target == r) continue;  // drop self-loops
+        out.matrix[out_row + dense_of[target]] =
+            out.matrix[out_row + dense_of[target]] + w;
+      }
+      out.degree[i] = self.degree[r];
+    }
+    out.twice_total = twice_total;
+    return out;
+  }
+};
+
+Weight traced_exhaustive(TracedDense& g) {
+  // Fold into a tiny compact matrix first; then enumerate partitions.
+  std::vector<Weight> small(static_cast<std::size_t>(g.active) * g.active, 0);
+  std::vector<Vertex> dense_of(g.n, 0);
+  for (Vertex i = 0; i < g.active; ++i) dense_of[g.alive[i]] = i;
+  for (Vertex i = 0; i < g.active; ++i) {
+    const std::size_t row = static_cast<std::size_t>(g.alive[i]) * g.n;
+    for (Vertex j = 0; j < g.n; ++j) {
+      const Weight w = g.matrix[row + j];
+      if (w == 0) continue;
+      const Vertex target = g.representative(j);
+      if (target == g.alive[i]) continue;
+      small[static_cast<std::size_t>(i) * g.active + dense_of[target]] += w;
+    }
+  }
+  const Vertex a = g.active;
+  Weight best = static_cast<Weight>(-1);
+  const std::uint32_t limit = 1u << (a - 1);
+  for (std::uint32_t high = 1; high < limit; ++high) {
+    const std::uint32_t mask = high << 1;
+    Weight value = 0;
+    for (Vertex i = 0; i < a; ++i) {
+      if (!(mask & (1u << i))) continue;
+      for (Vertex j = 0; j < a; ++j) {
+        if (mask & (1u << j)) continue;
+        value += small[static_cast<std::size_t>(i) * a + j];
+      }
+    }
+    best = std::min(best, value);
+  }
+  return best;
+}
+
+Weight traced_recursive_contraction(TracedDense g, Session* session,
+                                    rng::Philox& gen) {
+  if (g.active >= 2 && g.total_weight() == 0) return 0;
+  if (g.active <= 7) return traced_exhaustive(g);
+  const auto target = static_cast<Vertex>(
+      std::ceil(static_cast<double>(g.active) / std::sqrt(2.0)) + 1);
+
+  // Both branches recurse on compacted copies (see karger_stein.cpp): the
+  // folded layout cannot shrink in place, and compaction is the recursion's
+  // per-level O(n^2) copy budget.
+  TracedDense first = g.compact_copy(session);
+  first.contract_to(target, gen);
+  const Weight a = traced_recursive_contraction(first.compact_copy(session),
+                                                session, gen);
+  g.contract_to(target, gen);
+  const Weight b =
+      traced_recursive_contraction(g.compact_copy(session), session, gen);
+  return std::min(a, b);
+}
+
+TracedDense traced_dense_from_edges(Vertex n,
+                                    std::span<const WeightedEdge> edges,
+                                    Session* session) {
+  TracedDense g(n, session);
+  auto& matrix = g.matrix.raw();  // untraced build
+  auto& degree = g.degree.raw();
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    matrix[static_cast<std::size_t>(e.u) * n + e.v] += e.weight;
+    matrix[static_cast<std::size_t>(e.v) * n + e.u] += e.weight;
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+    g.twice_total += 2 * e.weight;
+  }
+  return g;
+}
+
+/// Bottom-up merge sort over traced edge arrays: real CO-model sort costs,
+/// Theta((m/B) log(m/M)) misses.
+void traced_merge_sort(Traced<WeightedEdge>& data, Session* session) {
+  const std::size_t size = data.size();
+  Traced<WeightedEdge> buffer(size, session);
+  const graph::EndpointLess less;
+  for (std::size_t width = 1; width < size; width *= 2) {
+    for (std::size_t lo = 0; lo < size; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, size);
+      const std::size_t hi = std::min(lo + 2 * width, size);
+      std::size_t a = lo, b = mid, out = lo;
+      while (a < mid && b < hi) {
+        const WeightedEdge ea = data[a];
+        const WeightedEdge eb = data[b];
+        if (less(eb, ea)) {
+          buffer[out++] = eb;
+          ++b;
+        } else {
+          buffer[out++] = ea;
+          ++a;
+        }
+      }
+      while (a < mid) buffer[out++] = data[a++];
+      while (b < hi) buffer[out++] = data[b++];
+    }
+    for (std::size_t i = 0; i < size; ++i) data[i] = buffer[i];
+  }
+}
+
+}  // namespace
+
+TraceReport traced_karger_stein(Vertex n, std::span<const WeightedEdge> edges,
+                                std::uint32_t trace_runs, std::uint64_t seed,
+                                const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+  const TracedDense base = traced_dense_from_edges(n, edges, &session);
+  Weight best = static_cast<Weight>(-1);
+  for (std::uint32_t run = 0; run < trace_runs; ++run) {
+    rng::Philox gen(seed, run + 1);
+    // Cache state deliberately persists across runs, as in a real execution.
+    best = std::min(best, traced_recursive_contraction(
+                              base.compact_copy(&session), &session, gen));
+  }
+  return report_of(session, best);
+}
+
+TraceReport traced_camc_min_cut(Vertex n, std::span<const WeightedEdge> edges,
+                                std::uint32_t trace_trials, std::uint64_t seed,
+                                double sigma, const TraceConfig& config) {
+  Session session(config.cache_words, config.block_words);
+  const auto t0 = static_cast<Vertex>(std::min<double>(
+      n, std::ceil(std::sqrt(static_cast<double>(
+             std::max<std::size_t>(edges.size(), 1)))) +
+             1));
+
+  Weight best = static_cast<Weight>(-1);
+  for (std::uint32_t trial = 0; trial < trace_trials; ++trial) {
+    rng::Philox gen(seed, 0x77000 + trial);
+    Traced<WeightedEdge> current(
+        std::vector<WeightedEdge>(edges.begin(), edges.end()), &session);
+    Vertex n_cur = n;
+
+    // Eager Step on the traced edge array.
+    while (n_cur > t0 && current.size() > 0) {
+      const auto s = static_cast<std::uint64_t>(
+          std::ceil(std::pow(static_cast<double>(n_cur), 1.0 + sigma)));
+
+      // Build the weight table with a streaming pass, then draw s samples
+      // (random touches into the edge array — the honest access pattern).
+      std::vector<double> weights(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i)
+        weights[i] = static_cast<double>(current[i].weight);
+      const rng::AliasTable table(weights);
+      UnionFind dsu(n_cur, &session);
+      for (std::uint64_t k = 0; k < s; ++k) {
+        if (dsu.component_count() == t0) break;
+        const WeightedEdge e = current[table.sample(gen)];
+        dsu.unite(e.u, e.v);
+      }
+      std::vector<Vertex> mapping = dsu.labels();
+      const Vertex components = graph::normalize_labels(mapping);
+      if (components == n_cur) continue;
+
+      // Rename (streaming) + traced merge sort + combine (streaming).
+      Traced<Vertex> map(std::move(mapping), &session);
+      std::vector<WeightedEdge> renamed_raw;
+      renamed_raw.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        const WeightedEdge e = current[i];
+        const Vertex u = map[e.u];
+        const Vertex v = map[e.v];
+        if (u == v) continue;
+        renamed_raw.push_back(WeightedEdge{u, v, e.weight}.canonical());
+      }
+      Traced<WeightedEdge> renamed(std::move(renamed_raw), &session);
+      traced_merge_sort(renamed, &session);
+
+      std::vector<WeightedEdge> combined_raw;
+      for (std::size_t i = 0; i < renamed.size(); ++i) {
+        const WeightedEdge e = renamed[i];
+        if (!combined_raw.empty() && same_endpoints(combined_raw.back(), e))
+          combined_raw.back().weight += e.weight;
+        else
+          combined_raw.push_back(e);
+      }
+      current = Traced<WeightedEdge>(std::move(combined_raw), &session);
+      n_cur = components;
+    }
+    if (n_cur > t0) {
+      best = 0;  // ran out of edges: disconnected
+      continue;
+    }
+
+    // Recursive Step on traced dense matrices.
+    std::vector<WeightedEdge> rest;
+    rest.reserve(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) rest.push_back(current[i]);
+    TracedDense dense = traced_dense_from_edges(n_cur, rest, &session);
+    best = std::min(best,
+                    traced_recursive_contraction(std::move(dense), &session,
+                                                 gen));
+  }
+  return report_of(session, best);
+}
+
+}  // namespace camc::seq

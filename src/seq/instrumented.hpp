@@ -1,0 +1,80 @@
+#pragma once
+
+// Cache-traced variants of the sequential algorithms, for the paper's
+// cache-efficiency experiments (Figures 4a, 8, 9). Each function runs the
+// real algorithm against Traced arrays wired to a cachesim::Session, so the
+// reported misses are genuine CO-model (LRU) miss counts of the actual
+// access pattern, and ops is the stand-in for the completed-instructions
+// counter.
+//
+// Randomized algorithms (Karger-Stein, camc min cut) cost misses linearly
+// in their run/trial count; to keep measurement time sane the caller
+// chooses how many runs to trace and scales (see trace_runs parameters and
+// the scaled_* fields).
+
+#include <cstdint>
+#include <span>
+
+#include "cachesim/session.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::seq {
+
+struct TraceReport {
+  std::uint64_t result = 0;  ///< components or cut value
+  std::uint64_t ops = 0;
+  std::uint64_t misses = 0;
+  double ipm = 0;
+};
+
+/// Geometry for the traced runs. Defaults mirror Session's defaults.
+struct TraceConfig {
+  std::uint64_t cache_words = 1ull << 18;  ///< M
+  std::uint64_t block_words = 8;           ///< B
+};
+
+/// DFS connected components over traced CSR arrays (an idealized
+/// traversal baseline with perfectly packed adjacency).
+TraceReport traced_dfs_cc(graph::Vertex n,
+                          std::span<const graph::WeightedEdge> edges,
+                          const TraceConfig& config = {});
+
+/// DFS connected components in the Boost Graph Library's actual memory
+/// layout (the paper's BGL baseline): adjacency_list<vecS, vecS> keeps one
+/// separately allocated out-edge vector per vertex with 8-byte descriptors
+/// plus property, and the algorithm uses separate color and component
+/// property maps. The scattered allocations and fatter records are what
+/// cost BGL its ~3x miss penalty in Figure 4a.
+TraceReport traced_bgl_cc(graph::Vertex n,
+                          std::span<const graph::WeightedEdge> edges,
+                          const TraceConfig& config = {});
+
+/// Union-find connected components (the Galois sequential baseline).
+TraceReport traced_union_find_cc(graph::Vertex n,
+                                 std::span<const graph::WeightedEdge> edges,
+                                 const TraceConfig& config = {});
+
+/// Stoer-Wagner over a traced adjacency matrix (maximum adjacency search).
+/// O(n^3) work: intended for small n.
+TraceReport traced_stoer_wagner(graph::Vertex n,
+                                std::span<const graph::WeightedEdge> edges,
+                                const TraceConfig& config = {});
+
+/// Karger-Stein recursive contraction over traced compact matrices.
+/// Traces `trace_runs` independent runs; ops/misses are per the traced runs
+/// (multiply by full_runs / trace_runs for whole-algorithm estimates).
+TraceReport traced_karger_stein(graph::Vertex n,
+                                std::span<const graph::WeightedEdge> edges,
+                                std::uint32_t trace_runs, std::uint64_t seed,
+                                const TraceConfig& config = {});
+
+/// The paper's minimum cut run sequentially (Eager Step on a traced edge
+/// array with a traced merge sort, Recursive Step on traced matrices).
+/// Traces `trace_trials` trials.
+TraceReport traced_camc_min_cut(graph::Vertex n,
+                                std::span<const graph::WeightedEdge> edges,
+                                std::uint32_t trace_trials, std::uint64_t seed,
+                                double sigma = 0.2,
+                                const TraceConfig& config = {});
+
+}  // namespace camc::seq

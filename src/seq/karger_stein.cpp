@@ -1,0 +1,213 @@
+#include "seq/karger_stein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace camc::seq {
+
+using graph::DenseGraph;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+namespace {
+
+constexpr Vertex kBaseCaseSize = 7;
+
+/// Cut value of the active-vertex subset described by `mask`.
+Weight cut_of_mask(const DenseGraph& g, std::uint32_t mask) {
+  Weight value = 0;
+  const Vertex a = g.active_vertices();
+  for (Vertex i = 0; i < a; ++i) {
+    if (!(mask & (1u << i))) continue;
+    for (Vertex j = 0; j < a; ++j) {
+      if (mask & (1u << j)) continue;
+      value += g.weight(i, j);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+CutResult dense_min_cut_exhaustive(const DenseGraph& g) {
+  const Vertex a = g.active_vertices();
+  if (a < 2)
+    throw std::invalid_argument("dense_min_cut_exhaustive: fewer than 2 vertices");
+  if (a > 24)
+    throw std::invalid_argument("dense_min_cut_exhaustive: too many vertices");
+
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  std::uint32_t best_mask = 1;
+  // Fix active vertex 0 outside the cut side: masks over vertices 1..a-1.
+  const std::uint32_t limit = 1u << (a - 1);
+  for (std::uint32_t high = 1; high < limit; ++high) {
+    const std::uint32_t mask = high << 1;
+    const Weight value = cut_of_mask(g, mask);
+    if (value < best.value) {
+      best.value = value;
+      best_mask = mask;
+    }
+  }
+  for (Vertex i = 0; i < a; ++i) {
+    if (!(best_mask & (1u << i))) continue;
+    best.side.insert(best.side.end(), g.members(i).begin(),
+                     g.members(i).end());
+  }
+  return best;
+}
+
+namespace {
+
+/// Base case on the folded representation: enumerate all partitions of the
+/// (at most kBaseCaseSize) live representatives. Ties are broken uniformly
+/// at random (reservoir sampling): a run then returns a uniformly random
+/// one of the co-minimal cuts it saw, which is what lets repeated trials
+/// enumerate ALL minimum cuts (Lemma 4.3) instead of a biased subset.
+CutResult folded_exhaustive(const graph::FoldedDense& g, rng::Philox& gen) {
+  const Vertex a = g.active_vertices();
+  const std::vector<Weight> matrix = g.folded_matrix();
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  std::uint32_t best_mask = 1;
+  std::uint64_t ties = 0;
+  const std::uint32_t limit = 1u << (a - 1);
+  for (std::uint32_t high = 1; high < limit; ++high) {
+    const std::uint32_t mask = high << 1;
+    Weight value = 0;
+    for (Vertex i = 0; i < a; ++i) {
+      if (!(mask & (1u << i))) continue;
+      for (Vertex j = 0; j < a; ++j) {
+        if (mask & (1u << j)) continue;
+        value += matrix[static_cast<std::size_t>(i) * a + j];
+      }
+    }
+    if (value < best.value) {
+      best.value = value;
+      best_mask = mask;
+      ties = 1;
+    } else if (value == best.value) {
+      ++ties;
+      if (gen.bounded(ties) == 0) best_mask = mask;
+    }
+  }
+  for (Vertex i = 0; i < a; ++i) {
+    if (!(best_mask & (1u << i))) continue;
+    const auto& merged = g.members(g.alive()[i]);
+    best.side.insert(best.side.end(), merged.begin(), merged.end());
+  }
+  return best;
+}
+
+}  // namespace
+
+CutResult recursive_contraction_run(graph::FoldedDense g, rng::Philox& gen) {
+  const Vertex a = g.active_vertices();
+  // An edgeless multi-vertex graph is disconnected: the first live group's
+  // members have no edge to the rest, so they are a zero-weight cut. (Also
+  // prevents the recursion from spinning when contraction cannot progress.)
+  if (a >= 2 && g.total_weight() == 0)
+    return CutResult{0, g.members(g.alive().front())};
+  if (a <= kBaseCaseSize) return folded_exhaustive(g, gen);
+
+  const auto target = static_cast<Vertex>(
+      std::ceil(static_cast<double>(a) / std::sqrt(2.0)) + 1);
+
+  // Both branches recurse on compacted copies: the folded representation
+  // cannot shrink in place (no column moves), so compaction is what keeps
+  // per-contraction scans at O(active) — the copy cost is the recursion's
+  // O(n^2)-per-level budget.
+  graph::FoldedDense first = g.compact_copy();
+  first.contract_to(target, gen);
+  CutResult best = recursive_contraction_run(first.compact_copy(), gen);
+
+  g.contract_to(target, gen);
+  CutResult second = recursive_contraction_run(g.compact_copy(), gen);
+
+  // Random tie-breaking between the branches, for the same reason as in
+  // folded_exhaustive.
+  if (second.value < best.value ||
+      (second.value == best.value && gen.bernoulli(0.5)))
+    return second;
+  return best;
+}
+
+std::uint32_t karger_stein_run_count(Vertex n,
+                                     const KargerSteinOptions& options) {
+  if (n < 2) return 1;
+  const double q =
+      1.0 / std::max(1.0, options.run_probability_multiplier *
+                              std::log2(static_cast<double>(n)));
+  const double failure = 1.0 - options.success_probability;
+  const double runs = std::log(std::max(failure, 1e-12)) / std::log1p(-q);
+  return static_cast<std::uint32_t>(std::clamp(
+      std::ceil(runs), 1.0, static_cast<double>(options.max_runs)));
+}
+
+CutResult karger_stein_min_cut(Vertex n,
+                               std::span<const WeightedEdge> edges,
+                               std::uint64_t seed,
+                               const KargerSteinOptions& options) {
+  if (n < 2) throw std::invalid_argument("karger_stein: n < 2");
+  const graph::FoldedDense base(n, edges);
+  const std::uint32_t runs = karger_stein_run_count(n, options);
+
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    rng::Philox gen(seed, /*stream=*/run + 1);
+    CutResult candidate = recursive_contraction_run(base, gen);
+    if (candidate.value < best.value) best = std::move(candidate);
+    if (best.value == 0) break;  // disconnected: cannot improve
+  }
+  return best;
+}
+
+CutResult brute_force_min_cut(Vertex n,
+                              std::span<const WeightedEdge> edges) {
+  if (n < 2 || n > 24)
+    throw std::invalid_argument("brute_force_min_cut: need 2 <= n <= 24");
+  return dense_min_cut_exhaustive(DenseGraph(n, edges));
+}
+
+std::vector<std::vector<Vertex>> brute_force_all_min_cuts(
+    Vertex n, std::span<const WeightedEdge> edges) {
+  if (n < 2 || n > 20)
+    throw std::invalid_argument("brute_force_all_min_cuts: need 2 <= n <= 20");
+  const DenseGraph g(n, edges);
+
+  const auto value_of = [&](std::uint32_t mask) {
+    Weight value = 0;
+    for (Vertex i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      for (Vertex j = 0; j < n; ++j) {
+        if (mask & (1u << j)) continue;
+        value += g.weight(i, j);
+      }
+    }
+    return value;
+  };
+
+  // Vertex 0 fixed outside the reported side, so each cut appears once.
+  Weight best = static_cast<Weight>(-1);
+  std::vector<std::vector<Vertex>> cuts;
+  const std::uint32_t limit = 1u << (n - 1);
+  for (std::uint32_t high = 1; high < limit; ++high) {
+    const std::uint32_t mask = high << 1;
+    const Weight value = value_of(mask);
+    if (value > best) continue;
+    if (value < best) {
+      best = value;
+      cuts.clear();
+    }
+    std::vector<Vertex> side;
+    for (Vertex v = 1; v < n; ++v)
+      if (mask & (1u << v)) side.push_back(v);
+    cuts.push_back(std::move(side));
+  }
+  return cuts;
+}
+
+}  // namespace camc::seq

@@ -1,0 +1,65 @@
+#pragma once
+
+// Sequential Karger-Stein recursive contraction [25], in the compact
+// adjacency-matrix layout of the cache-oblivious variant [13].
+//
+// One run: contract randomly to ceil(active / sqrt(2)) + 1 vertices, recurse
+// twice on independent copies, brute-force below a constant size; a run
+// finds a fixed minimum cut with probability 1/Omega(log n) (Lemma 2.2).
+// `karger_stein_min_cut` repeats runs until the requested success
+// probability is met (O(log^2 n) runs for w.h.p. correctness).
+//
+// This doubles as the leaf solver of the parallel Recursive Step (§4.3).
+
+#include <cstdint>
+#include <span>
+
+#include "graph/dense_graph.hpp"
+#include "graph/edge.hpp"
+#include "graph/folded_dense.hpp"
+#include "rng/philox.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::seq {
+
+/// Exhaustive minimum cut over the active vertices of `g` (active <= limit,
+/// default 7, i.e. <= 64 partitions). Used as a test oracle via
+/// brute_force_min_cut below.
+CutResult dense_min_cut_exhaustive(const graph::DenseGraph& g);
+
+/// One recursive-contraction run over the cache-oblivious folded
+/// representation; returns its best cut.
+CutResult recursive_contraction_run(graph::FoldedDense g, rng::Philox& gen);
+
+struct KargerSteinOptions {
+  /// Target probability that the returned cut is minimum.
+  double success_probability = 0.9;
+  /// Per-run success probability is modeled as 1 / (multiplier * log2 n);
+  /// raise the multiplier for more conservative run counts.
+  double run_probability_multiplier = 1.0;
+  /// Hard cap on runs, as a safety valve for tiny success targets.
+  std::uint32_t max_runs = 10'000;
+};
+
+/// Number of independent runs needed for the options' success target on an
+/// n-vertex graph.
+std::uint32_t karger_stein_run_count(graph::Vertex n,
+                                     const KargerSteinOptions& options = {});
+
+/// Exact-with-probability minimum cut. Requires n >= 2.
+CutResult karger_stein_min_cut(graph::Vertex n,
+                               std::span<const graph::WeightedEdge> edges,
+                               std::uint64_t seed,
+                               const KargerSteinOptions& options = {});
+
+/// Exhaustive minimum cut over all 2^(n-1) partitions (test oracle);
+/// requires 2 <= n <= 24.
+CutResult brute_force_min_cut(graph::Vertex n,
+                              std::span<const graph::WeightedEdge> edges);
+
+/// All distinct minimum cuts, each as the side not containing vertex 0
+/// (sorted); exhaustive oracle, requires 2 <= n <= 20.
+std::vector<std::vector<graph::Vertex>> brute_force_all_min_cuts(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges);
+
+}  // namespace camc::seq

@@ -1,0 +1,81 @@
+#include "seq/matula.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "graph/contraction_ref.hpp"
+#include "seq/certificate.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::seq {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+MatulaResult matula_approx_min_cut(Vertex n,
+                                   std::span<const WeightedEdge> input,
+                                   double epsilon) {
+  if (n < 2) throw std::invalid_argument("matula: n < 2");
+  if (!(epsilon > 0)) throw std::invalid_argument("matula: epsilon <= 0");
+
+  std::vector<WeightedEdge> edges(input.begin(), input.end());
+  Vertex n_cur = n;
+  MatulaResult result;
+  result.estimate = static_cast<Weight>(-1);
+
+  while (n_cur >= 2) {
+    ++result.iterations;
+    // Minimum weighted degree = a cut; disconnection shows up as 0.
+    // (Once everything has contracted into a single vertex there is no
+    // cut to read off, hence the loop guard above.)
+    std::vector<Weight> degree(n_cur, 0);
+    for (const WeightedEdge& e : edges) {
+      degree[e.u] += e.weight;
+      degree[e.v] += e.weight;
+    }
+    Weight delta = degree[0];
+    for (const Weight d : degree) delta = std::min(delta, d);
+    result.estimate = std::min(result.estimate, delta);
+    if (delta == 0 || n_cur == 2) break;
+
+    const auto k = static_cast<Weight>(
+        std::ceil(static_cast<double>(delta) / (2.0 + epsilon)));
+    const CertificateResult certificate =
+        sparse_certificate(n_cur, edges, std::max<Weight>(k, 1));
+
+    // Contract every edge with weight beyond what the certificate needed:
+    // its endpoints are >= k-connected, so it crosses no cut below k.
+    std::map<std::pair<Vertex, Vertex>, Weight> certified;
+    for (const WeightedEdge& e : certificate.edges)
+      certified[{std::min(e.u, e.v), std::max(e.u, e.v)}] = e.weight;
+
+    UnionFind dsu(n_cur);
+    // Combine parallel input edges per pair to compare against the
+    // certificate's per-pair weights.
+    std::vector<Vertex> identity(n_cur);
+    for (Vertex v = 0; v < n_cur; ++v) identity[v] = v;
+    const auto combined = graph::contract_edges_reference(edges, identity);
+    bool contracted_any = false;
+    for (const WeightedEdge& e : combined) {
+      const auto it = certified.find({e.u, e.v});
+      const Weight kept = it == certified.end() ? 0 : it->second;
+      if (e.weight > kept) {
+        // Some weight of this pair was left out of the k-certificate.
+        if (dsu.unite(e.u, e.v)) contracted_any = true;
+      }
+    }
+    if (!contracted_any) break;
+
+    std::vector<Vertex> mapping = dsu.labels();
+    const Vertex components = graph::normalize_labels(mapping);
+    edges = graph::contract_edges_reference(edges, mapping);
+    n_cur = components;
+  }
+  if (result.estimate == static_cast<Weight>(-1)) result.estimate = 0;
+  return result;
+}
+
+}  // namespace camc::seq

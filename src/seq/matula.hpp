@@ -1,0 +1,38 @@
+#pragma once
+
+// Matula's deterministic (2 + epsilon)-approximate minimum cut, built on
+// the Nagamochi-Ibaraki certificate (certificate.hpp).
+//
+// Loop: record the minimum weighted degree delta (always an upper bound on
+// the cut); build a k-certificate for k = ceil(delta / (2 + epsilon));
+// every edge NOT needed by the certificate has local connectivity >= k, so
+// if the true minimum cut is below k such an edge crosses no minimum cut
+// and is safe to contract. Repeat on the contracted graph until nothing
+// contracts. The smallest delta seen is within (2 + epsilon) of the
+// minimum cut.
+//
+// This is the deterministic counterpart of the paper's randomized
+// O(log n)-approximation (§3.3): a much tighter factor, but inherently
+// sequential — the comparison is drawn in bench_ablation_appmc.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::seq {
+
+struct MatulaResult {
+  /// Upper bound on the minimum cut, within (2 + epsilon) of it.
+  graph::Weight estimate = 0;
+  std::uint32_t iterations = 0;
+};
+
+/// Requires n >= 2 and epsilon > 0. Returns estimate 0 for disconnected
+/// graphs (an isolated super-vertex appears as a zero degree).
+MatulaResult matula_approx_min_cut(graph::Vertex n,
+                                   std::span<const graph::WeightedEdge> edges,
+                                   double epsilon = 0.5);
+
+}  // namespace camc::seq

@@ -1,0 +1,100 @@
+#include "seq/stoer_wagner.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace camc::seq {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+CutResult stoer_wagner_min_cut(Vertex n,
+                               std::span<const WeightedEdge> edges) {
+  if (n < 2) throw std::invalid_argument("stoer_wagner: n < 2");
+
+  std::vector<std::unordered_map<Vertex, Weight>> adj(n);
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    adj[e.u][e.v] += e.weight;
+    adj[e.v][e.u] += e.weight;
+  }
+
+  std::vector<bool> merged(n, false);
+  std::vector<std::vector<Vertex>> members(n);
+  for (Vertex v = 0; v < n; ++v) members[v] = {v};
+
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+
+  Vertex active = n;
+  while (active > 1) {
+    // Maximum adjacency search from the lowest unmerged vertex.
+    std::vector<Weight> key(n, 0);
+    std::vector<bool> in_order(n, false);
+    std::priority_queue<std::pair<Weight, Vertex>> heap;
+
+    Vertex start = 0;
+    while (merged[start]) ++start;
+    heap.emplace(0, start);
+
+    Vertex previous = start, last = start;
+    Weight last_key = 0;
+    Vertex added = 0;
+    while (added < active) {
+      Vertex v;
+      do {
+        if (heap.empty()) {
+          // Disconnected remainder: pull any unmerged, unordered vertex
+          // with key 0 (its cut of the phase will be 0).
+          v = static_cast<Vertex>(-1);
+          for (Vertex w = 0; w < n; ++w) {
+            if (!merged[w] && !in_order[w]) {
+              v = w;
+              break;
+            }
+          }
+          break;
+        }
+        v = heap.top().second;
+        heap.pop();
+      } while (merged[v] || in_order[v]);
+
+      in_order[v] = true;
+      previous = last;
+      last = v;
+      last_key = key[v];
+      ++added;
+      for (const auto& [to, w] : adj[v]) {
+        if (merged[to] || in_order[to]) continue;
+        key[to] += w;
+        heap.emplace(key[to], to);
+      }
+    }
+
+    // Cut of the phase: `last` alone against the rest.
+    if (last_key < best.value) {
+      best.value = last_key;
+      best.side = members[last];
+    }
+
+    // Merge `last` into `previous`.
+    for (const auto& [to, w] : adj[last]) {
+      if (to == previous) continue;
+      adj[previous][to] += w;
+      adj[to][previous] += w;
+      adj[to].erase(last);
+    }
+    adj[previous].erase(last);
+    adj[last].clear();
+    merged[last] = true;
+    members[previous].insert(members[previous].end(), members[last].begin(),
+                             members[last].end());
+    members[last].clear();
+    --active;
+  }
+  return best;
+}
+
+}  // namespace camc::seq

@@ -1,0 +1,27 @@
+#pragma once
+
+// Stoer-Wagner deterministic global minimum cut, O(nm + n^2 log n).
+//
+// The paper's sequential deterministic baseline ("SW", via BGL in the
+// paper; §5.3). Maximum-adjacency search with a lazy-deletion binary heap
+// over hash-map adjacencies, merging the last two vertices of each phase.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::seq {
+
+struct CutResult {
+  graph::Weight value = 0;
+  /// Original vertices on one side of the cut. For a disconnected graph the
+  /// value is 0 and the side is one connected component.
+  std::vector<graph::Vertex> side;
+};
+
+/// Exact minimum cut. Requires n >= 2; loops are ignored.
+CutResult stoer_wagner_min_cut(graph::Vertex n,
+                               std::span<const graph::WeightedEdge> edges);
+
+}  // namespace camc::seq

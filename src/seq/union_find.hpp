@@ -1,0 +1,74 @@
+#pragma once
+
+// Disjoint-set union with path halving and union by size.
+//
+// Used as (a) the root-side connected-components kernel of Iterated
+// Sampling's prefix selection, (b) the sequential Galois-stand-in CC
+// baseline, and (c) a test oracle.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cachesim/session.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::seq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n, cachesim::Session* trace = nullptr)
+      : parent_(n), size_(n, 1), components_(n), trace_(trace) {
+    std::iota(parent_.begin(), parent_.end(), graph::Vertex{0});
+    if (trace_ != nullptr) base_ = trace_->allocate(n);
+  }
+
+  graph::Vertex find(graph::Vertex x) noexcept {
+    while (touch(x), parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the union merged two distinct components.
+  bool unite(graph::Vertex a, graph::Vertex b) noexcept {
+    graph::Vertex ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --components_;
+    return true;
+  }
+
+  bool connected(graph::Vertex a, graph::Vertex b) noexcept {
+    return find(a) == find(b);
+  }
+
+  std::size_t component_count() const noexcept { return components_; }
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Component label (root vertex) per vertex.
+  std::vector<graph::Vertex> labels() {
+    std::vector<graph::Vertex> out(parent_.size());
+    for (std::size_t v = 0; v < parent_.size(); ++v)
+      out[v] = find(static_cast<graph::Vertex>(v));
+    return out;
+  }
+
+ private:
+  void touch(graph::Vertex x) const noexcept {
+    // Parent and size words of a vertex live in one 8-byte word for the
+    // purposes of the cache model.
+    if (trace_ != nullptr) trace_->touch(base_ + x);
+  }
+
+  std::vector<graph::Vertex> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+  cachesim::Session* trace_ = nullptr;
+  std::uint64_t base_ = 0;
+};
+
+}  // namespace camc::seq

@@ -1,0 +1,86 @@
+// Lemma 4.3: the trials find ALL minimum cuts w.h.p. — enumerate the
+// distinct minimum cuts and compare against the brute-force oracle.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/karger_stein.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+MinCutOptions confident(std::uint64_t seed) {
+  MinCutOptions options;
+  options.success_probability = 0.9999;
+  options.seed = seed;
+  return options;
+}
+
+std::vector<std::vector<Vertex>> sorted_cuts(
+    std::vector<std::vector<Vertex>> cuts) {
+  for (auto& cut : cuts) std::sort(cut.begin(), cut.end());
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+TEST(AllMinCuts, UniqueCutIsFoundExactlyOnce) {
+  const auto g = gen::dumbbell_graph(5, 1);
+  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(2));
+  EXPECT_EQ(result.value, 1u);
+  ASSERT_EQ(result.cuts.size(), 1u);
+  EXPECT_EQ(result.cuts[0].size(), 5u);  // one clique side
+}
+
+TEST(AllMinCuts, CycleHasAllEdgePairCuts) {
+  // A 5-cycle has C(5,2) = 10 minimum cuts (any two edges).
+  const auto g = gen::cycle_graph(5);
+  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(3));
+  EXPECT_EQ(result.value, 2u);
+  const auto oracle = seq::brute_force_all_min_cuts(g.n, g.edges);
+  EXPECT_EQ(oracle.size(), 10u);
+  EXPECT_EQ(sorted_cuts(result.cuts), sorted_cuts(oracle));
+}
+
+TEST(AllMinCuts, PathHasOneCutPerEdge) {
+  const auto g = gen::path_graph(7);
+  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(4));
+  EXPECT_EQ(result.value, 1u);
+  const auto oracle = seq::brute_force_all_min_cuts(g.n, g.edges);
+  EXPECT_EQ(oracle.size(), 6u);  // each edge separates a suffix
+  EXPECT_EQ(sorted_cuts(result.cuts), sorted_cuts(oracle));
+}
+
+TEST(AllMinCuts, MatchesOracleOnRandomWeightedGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Vertex n = 10;
+    auto edges = gen::erdos_renyi(n, 24, seed);
+    gen::randomize_weights(edges, 3, seed + 9);
+    const auto oracle = seq::brute_force_all_min_cuts(n, edges);
+    const AllMinCutsResult result = all_min_cuts(n, edges, confident(seed));
+    EXPECT_EQ(sorted_cuts(result.cuts), sorted_cuts(oracle))
+        << "seed " << seed;
+  }
+}
+
+TEST(AllMinCuts, TruncationCapsOutput) {
+  const auto g = gen::cycle_graph(12);  // C(12,2) = 66 minimum cuts
+  const AllMinCutsResult result =
+      all_min_cuts(g.n, g.edges, confident(5), /*max_cuts=*/8);
+  EXPECT_EQ(result.cuts.size(), 8u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(BruteForceAllMinCuts, RejectsBadSizes) {
+  EXPECT_THROW(seq::brute_force_all_min_cuts(1, {}), std::invalid_argument);
+  EXPECT_THROW(seq::brute_force_all_min_cuts(21, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camc::core

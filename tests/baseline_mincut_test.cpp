@@ -1,0 +1,100 @@
+// The previous-BSP-style baseline (Table 1, row 1): correctness on the
+// verification suite, and the empirical superstep gap against the
+// communication-avoiding algorithm that Table 1 predicts.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+BaselineMinCutOutcome run_baseline(int p, Vertex n,
+                                   const std::vector<WeightedEdge>& edges,
+                                   const MinCutOptions& options,
+                                   bsp::MachineStats* stats = nullptr) {
+  bsp::Machine machine(p);
+  BaselineMinCutOutcome result;
+  auto outcome = machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    auto r = min_cut_previous_bsp(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+  if (stats != nullptr) *stats = outcome.stats;
+  return result;
+}
+
+class BaselineMcParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineMcParam, VerificationSuite) {
+  const int p = GetParam();
+  MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = 17;
+  for (const auto& g : gen::verification_suite()) {
+    if (g.n > 40) continue;  // the baseline is slow by design
+    const auto result = run_baseline(p, g.n, g.edges, options);
+    EXPECT_EQ(result.value, g.min_cut) << g.name << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, BaselineMcParam,
+                         ::testing::Values(1, 2, 4));
+
+TEST(BaselineMinCut, NeverUnderestimates) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Vertex n = 20;
+    const auto edges = gen::erdos_renyi(n, 80, seed);
+    const auto oracle = seq::brute_force_min_cut(n, edges);
+    MinCutOptions cheap;
+    cheap.forced_trials = 1;
+    cheap.seed = seed;
+    const auto result = run_baseline(2, n, edges, cheap);
+    EXPECT_GE(result.value, oracle.value) << "seed " << seed;
+  }
+}
+
+TEST(BaselineMinCut, UsesMoreSuperstepsThanCommunicationAvoiding) {
+  // The empirical Table 1: at equal (forced) trial counts and equal p, the
+  // round-by-round baseline needs several times the supersteps of the
+  // communication-avoiding algorithm on the same input.
+  const Vertex n = 96;
+  const auto edges = gen::erdos_renyi(n, 16 * n, 7);
+  const auto oracle = seq::stoer_wagner_min_cut(n, edges);
+  MinCutOptions options;
+  options.forced_trials = 2;
+  options.seed = 5;
+  options.leaf_size = 16;
+
+  bsp::MachineStats baseline_stats;
+  const auto baseline = run_baseline(4, n, edges, options, &baseline_stats);
+
+  bsp::Machine machine(4);
+  Weight ca_value = 0;
+  auto ca_outcome = machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    auto r = min_cut(world, dist, options);
+    if (world.rank() == 0) ca_value = r.value;
+  });
+
+  // Both return valid (never-underestimating) cuts; the baseline pays a
+  // multiple of the supersteps for the same trial count.
+  EXPECT_GE(baseline.value, oracle.value);
+  EXPECT_GE(ca_value, oracle.value);
+  EXPECT_GT(baseline_stats.supersteps, 2 * ca_outcome.stats.supersteps);
+}
+
+}  // namespace
+}  // namespace camc::core

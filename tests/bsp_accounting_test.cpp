@@ -1,0 +1,110 @@
+// Precise BSP accounting: each collective charges exactly the words the
+// model says it should. These numbers feed Table 1's empirical columns and
+// the communication-volume claims, so they are pinned down exactly.
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+
+namespace camc::bsp {
+namespace {
+
+constexpr int kP = 4;
+constexpr std::uint64_t kWords = 100;  // payload words per rank
+
+MachineStats run_and_summarize(const std::function<void(Comm&)>& body) {
+  Machine machine(kP);
+  return machine.run(body).stats;
+}
+
+TEST(Accounting, Broadcast) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    std::vector<std::uint64_t> data;
+    if (world.rank() == 0) data.assign(kWords, 1);
+    world.broadcast(data);
+  });
+  // Root sends kWords; every other rank receives kWords.
+  EXPECT_EQ(stats.max_words_communicated, kWords);
+  EXPECT_EQ(stats.total_words_communicated, kWords * kP);
+  EXPECT_EQ(stats.supersteps, 1u);
+}
+
+TEST(Accounting, Gather) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    const std::vector<std::uint64_t> mine(kWords, 2);
+    world.gather(mine);
+  });
+  // Root receives (p-1) * kWords; others send kWords each.
+  EXPECT_EQ(stats.max_words_communicated, kWords * (kP - 1));
+  EXPECT_EQ(stats.total_words_communicated,
+            kWords * (kP - 1) + kWords * (kP - 1));
+}
+
+TEST(Accounting, AllGather) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    const std::vector<std::uint64_t> mine(kWords, 3);
+    world.all_gather(mine);
+  });
+  // Every rank sends kWords and receives (p-1) * kWords.
+  EXPECT_EQ(stats.max_words_communicated, kWords + kWords * (kP - 1));
+}
+
+TEST(Accounting, AllToAllSelfTrafficIsFree) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    std::vector<std::vector<std::uint64_t>> outbox(
+        static_cast<std::size_t>(world.size()));
+    for (auto& box : outbox) box.assign(kWords, 4);
+    world.alltoallv(outbox);
+  });
+  // Each rank sends (p-1) * kWords and receives (p-1) * kWords — the
+  // message to itself is a local copy.
+  EXPECT_EQ(stats.max_words_communicated, 2 * kWords * (kP - 1));
+}
+
+TEST(Accounting, ScattervChargesOnlyRemoteChunks) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    std::vector<std::uint64_t> data;
+    std::vector<std::uint64_t> counts;
+    if (world.rank() == 0) {
+      counts.assign(static_cast<std::size_t>(world.size()), kWords);
+      data.assign(kWords * static_cast<std::size_t>(world.size()), 5);
+    }
+    world.scatterv(data, counts);
+  });
+  // Root sends (p-1) chunks; each non-root receives one.
+  EXPECT_EQ(stats.max_words_communicated, kWords * (kP - 1));
+}
+
+TEST(Accounting, ReduceIsScalarSized) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    world.all_reduce(std::uint64_t{7}, std::plus<std::uint64_t>{},
+                     std::uint64_t{0});
+  });
+  // One word out, p-1 words in, per rank.
+  EXPECT_EQ(stats.max_words_communicated, 1u + (kP - 1));
+}
+
+TEST(Accounting, ExclusiveScanChargesPrefixReads) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    world.exclusive_scan(std::uint64_t{1}, std::plus<std::uint64_t>{},
+                         std::uint64_t{0});
+  });
+  // The last rank reads p-1 contributions and publishes one word.
+  EXPECT_EQ(stats.max_words_communicated, 1u + (kP - 1));
+}
+
+TEST(Accounting, SuperstepsAccumulateAcrossCollectives) {
+  const auto stats = run_and_summarize([](Comm& world) {
+    for (int i = 0; i < 5; ++i)
+      world.all_reduce(1, std::plus<int>{}, 0);
+    world.barrier();
+    Comm sub = world.split(world.rank() % 2);  // 2 supersteps
+    sub.barrier();
+  });
+  EXPECT_EQ(stats.supersteps, 5u + 1u + 2u + 1u);
+}
+
+}  // namespace
+}  // namespace camc::bsp

@@ -1,0 +1,304 @@
+// Tests for the BSP runtime: collectives across processor counts, BSP
+// accounting (supersteps, communication volume), splitting, and error
+// propagation. Parameterized over p to sweep odd/even/power-of-two sizes.
+
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bsp/comm.hpp"
+#include "bsp/machine.hpp"
+
+namespace camc::bsp {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {
+ protected:
+  int p() const { return GetParam(); }
+};
+
+TEST_P(Collectives, BroadcastReplicatesRootData) {
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    std::vector<int> data;
+    if (world.rank() == 0) data = {1, 2, 3, 4};
+    world.broadcast(data);
+    results[static_cast<std::size_t>(world.rank())] = data;
+  });
+  for (const auto& r : results) EXPECT_EQ(r, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_P(Collectives, BroadcastFromNonzeroRoot) {
+  Machine machine(p());
+  const int root = p() - 1;
+  std::vector<int> results(static_cast<std::size_t>(p()), -1);
+  machine.run([&](Comm& world) {
+    std::vector<double> data;
+    if (world.rank() == root) data = {2.5};
+    world.broadcast(data, root);
+    results[static_cast<std::size_t>(world.rank())] =
+        static_cast<int>(data.at(0) * 2);
+  });
+  for (const int r : results) EXPECT_EQ(r, 5);
+}
+
+TEST_P(Collectives, GatherConcatenatesInRankOrder) {
+  Machine machine(p());
+  std::vector<int> root_result;
+  machine.run([&](Comm& world) {
+    const std::vector<int> mine{world.rank() * 2, world.rank() * 2 + 1};
+    auto gathered = world.gather(mine);
+    if (world.rank() == 0) root_result = gathered;
+  });
+  std::vector<int> expected(static_cast<std::size_t>(2 * p()));
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(root_result, expected);
+}
+
+TEST_P(Collectives, GatherVariableSizes) {
+  Machine machine(p());
+  std::vector<int> root_result;
+  machine.run([&](Comm& world) {
+    std::vector<int> mine(static_cast<std::size_t>(world.rank()),
+                          world.rank());
+    auto gathered = world.gather(mine);
+    if (world.rank() == 0) root_result = gathered;
+  });
+  std::vector<int> expected;
+  for (int r = 0; r < p(); ++r)
+    expected.insert(expected.end(), static_cast<std::size_t>(r), r);
+  EXPECT_EQ(root_result, expected);
+}
+
+TEST_P(Collectives, AllGatherGivesEveryoneEverything) {
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    results[static_cast<std::size_t>(world.rank())] =
+        world.all_gather(std::vector<int>{world.rank()});
+  });
+  std::vector<int> expected(static_cast<std::size_t>(p()));
+  std::iota(expected.begin(), expected.end(), 0);
+  for (const auto& r : results) EXPECT_EQ(r, expected);
+}
+
+TEST_P(Collectives, ReduceSumsAtRoot) {
+  Machine machine(p());
+  long root_sum = -1;
+  machine.run([&](Comm& world) {
+    const long value = world.rank() + 1;
+    const long sum = world.reduce(value, std::plus<long>{}, 0L);
+    if (world.rank() == 0) root_sum = sum;
+  });
+  EXPECT_EQ(root_sum, static_cast<long>(p()) * (p() + 1) / 2);
+}
+
+TEST_P(Collectives, AllReduceGivesEveryoneTheSum) {
+  Machine machine(p());
+  std::vector<long> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    results[static_cast<std::size_t>(world.rank())] =
+        world.all_reduce(static_cast<long>(world.rank() + 1),
+                         std::plus<long>{}, 0L);
+  });
+  for (const long r : results)
+    EXPECT_EQ(r, static_cast<long>(p()) * (p() + 1) / 2);
+}
+
+TEST_P(Collectives, ExclusiveScanComputesPrefixOffsets) {
+  Machine machine(p());
+  std::vector<long> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    // Each rank contributes rank+1; rank r's exclusive prefix sum is
+    // r(r+1)/2.
+    results[static_cast<std::size_t>(world.rank())] = world.exclusive_scan(
+        static_cast<long>(world.rank() + 1), std::plus<long>{}, 0L);
+  });
+  for (int r = 0; r < p(); ++r)
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              static_cast<long>(r) * (r + 1) / 2);
+}
+
+TEST_P(Collectives, ExclusiveScanIsOrderedNotCommutativeSafe) {
+  // The fold is in rank order, so non-commutative operators behave like a
+  // left fold (checked with string-length-free encoding: subtraction).
+  Machine machine(p());
+  std::vector<long> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    results[static_cast<std::size_t>(world.rank())] = world.exclusive_scan(
+        1L, [](long a, long b) { return a - b; }, 100L);
+  });
+  for (int r = 0; r < p(); ++r)
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], 100L - r);
+}
+
+TEST_P(Collectives, AllReduceVectorElementwiseMin) {
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    std::vector<int> mine{world.rank() + 1, 100 - world.rank()};
+    results[static_cast<std::size_t>(world.rank())] = world.all_reduce_vector(
+        mine, [](int a, int b) { return std::min(a, b); });
+  });
+  for (const auto& r : results)
+    EXPECT_EQ(r, (std::vector<int>{1, 100 - (p() - 1)}));
+}
+
+TEST_P(Collectives, ScattervSplitsByCounts) {
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    std::vector<int> data;
+    std::vector<std::uint64_t> counts;
+    if (world.rank() == 0) {
+      for (int r = 0; r < world.size(); ++r) {
+        counts.push_back(static_cast<std::uint64_t>(r + 1));
+        for (int k = 0; k <= r; ++k) data.push_back(r);
+      }
+    }
+    results[static_cast<std::size_t>(world.rank())] =
+        world.scatterv(data, counts);
+  });
+  for (int r = 0; r < p(); ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              std::vector<int>(static_cast<std::size_t>(r + 1), r));
+  }
+}
+
+TEST_P(Collectives, AlltoallvRoutesPersonalizedMessages) {
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    std::vector<std::vector<int>> outbox(
+        static_cast<std::size_t>(world.size()));
+    for (int dest = 0; dest < world.size(); ++dest)
+      outbox[static_cast<std::size_t>(dest)] = {world.rank() * 100 + dest};
+    results[static_cast<std::size_t>(world.rank())] =
+        world.alltoallv(outbox);
+  });
+  for (int r = 0; r < p(); ++r) {
+    std::vector<int> expected;
+    for (int src = 0; src < p(); ++src) expected.push_back(src * 100 + r);
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], expected);
+  }
+}
+
+TEST_P(Collectives, SplitFormsCorrectSubgroups) {
+  Machine machine(p());
+  std::vector<int> sub_sizes(static_cast<std::size_t>(p()));
+  std::vector<int> sub_ranks(static_cast<std::size_t>(p()));
+  std::vector<long> sub_sums(static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    const int color = world.rank() % 2;
+    Comm sub = world.split(color);
+    sub_sizes[static_cast<std::size_t>(world.rank())] = sub.size();
+    sub_ranks[static_cast<std::size_t>(world.rank())] = sub.rank();
+    // Sub-communicator collectives must work independently per group.
+    sub_sums[static_cast<std::size_t>(world.rank())] =
+        sub.all_reduce(static_cast<long>(world.rank()), std::plus<long>{},
+                       0L);
+  });
+  for (int r = 0; r < p(); ++r) {
+    const int color = r % 2;
+    const int expected_size = p() / 2 + ((p() % 2) && color == 0 ? 1 : 0);
+    EXPECT_EQ(sub_sizes[static_cast<std::size_t>(r)], expected_size);
+    EXPECT_EQ(sub_ranks[static_cast<std::size_t>(r)], r / 2);
+    long expected_sum = 0;
+    for (int q = color; q < p(); q += 2) expected_sum += q;
+    EXPECT_EQ(sub_sums[static_cast<std::size_t>(r)], expected_sum);
+  }
+}
+
+TEST_P(Collectives, RepeatedSplitsDoNotInterfere) {
+  Machine machine(p());
+  machine.run([&](Comm& world) {
+    for (int round = 0; round < 3; ++round) {
+      Comm sub = world.split(world.rank() % 2);
+      const int one = sub.all_reduce(1, std::plus<int>{}, 0);
+      ASSERT_EQ(one, sub.size());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(BspAccounting, CollectiveCountsOneSuperstep) {
+  Machine machine(4);
+  auto outcome = machine.run([&](Comm& world) {
+    std::vector<int> data{1};
+    world.broadcast(data);
+    world.all_reduce(1, std::plus<int>{}, 0);
+    world.barrier();
+  });
+  EXPECT_EQ(outcome.stats.supersteps, 3u);
+  EXPECT_EQ(outcome.stats.collective_calls, 3u);
+}
+
+TEST(BspAccounting, BroadcastVolumeIsPayloadSized) {
+  Machine machine(4);
+  auto outcome = machine.run([&](Comm& world) {
+    std::vector<std::uint64_t> data;
+    if (world.rank() == 0) data.assign(100, 7);
+    world.broadcast(data);
+  });
+  // Every non-root receives 100 words; root sends 100.
+  EXPECT_EQ(outcome.stats.max_words_communicated, 100u);
+}
+
+TEST(BspAccounting, SingleRankCommunicatesNothing) {
+  Machine machine(1);
+  auto outcome = machine.run([&](Comm& world) {
+    std::vector<std::uint64_t> data{1, 2, 3};
+    world.broadcast(data);
+    world.all_gather(data);
+    world.all_reduce(std::uint64_t{1}, std::plus<std::uint64_t>{},
+                     std::uint64_t{0});
+  });
+  EXPECT_EQ(outcome.stats.max_words_communicated, 0u);
+}
+
+TEST(BspAccounting, CommTimeIsRecorded) {
+  Machine machine(2);
+  auto outcome = machine.run([&](Comm& world) {
+    for (int i = 0; i < 10; ++i) world.barrier();
+  });
+  EXPECT_GT(outcome.stats.max_comm_seconds, 0.0);
+  EXPECT_LE(outcome.stats.max_comm_seconds, outcome.wall_seconds + 1.0);
+}
+
+TEST(Machine, RejectsNonPositiveProcessorCount) {
+  EXPECT_THROW(Machine(0), std::invalid_argument);
+  EXPECT_THROW(Machine(-3), std::invalid_argument);
+}
+
+TEST(Machine, PropagatesWorkerExceptions) {
+  Machine machine(1);
+  EXPECT_THROW(
+      machine.run([](Comm&) { throw std::runtime_error("worker failed"); }),
+      std::runtime_error);
+}
+
+TEST(Machine, RunReturnsPerRankStats) {
+  Machine machine(3);
+  auto outcome = machine.run([](Comm& world) { world.barrier(); });
+  ASSERT_EQ(outcome.per_rank.size(), 3u);
+  for (const RankStats& stats : outcome.per_rank)
+    EXPECT_EQ(stats.supersteps, 1u);
+}
+
+TEST(Machine, ManySmallRunsAreStable) {
+  for (int round = 0; round < 20; ++round) {
+    Machine machine(3);
+    auto outcome = machine.run([&](Comm& world) {
+      const int sum = world.all_reduce(world.rank(), std::plus<int>{}, 0);
+      ASSERT_EQ(sum, 3);
+    });
+    EXPECT_EQ(outcome.stats.supersteps, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace camc::bsp

@@ -1,0 +1,138 @@
+// Tests for the ideal-cache (CO model) simulator: LRU semantics, known
+// access-pattern miss counts, traced arrays, and session accounting.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/session.hpp"
+#include "cachesim/traced.hpp"
+
+namespace camc::cachesim {
+namespace {
+
+TEST(IdealCache, RejectsDegenerateGeometry) {
+  EXPECT_THROW(IdealCache(0, 8), std::invalid_argument);
+  EXPECT_THROW(IdealCache(4, 8), std::invalid_argument);
+  EXPECT_NO_THROW(IdealCache(8, 8));
+}
+
+TEST(IdealCache, SequentialScanMissesOncePerBlock) {
+  IdealCache cache(/*M=*/1024, /*B=*/8);
+  for (std::uint64_t w = 0; w < 800; ++w) cache.access(w);
+  EXPECT_EQ(cache.misses(), 100u);  // 800 words / 8 words per block
+  EXPECT_EQ(cache.hits(), 700u);
+}
+
+TEST(IdealCache, RepeatedAccessHitsAfterFirstMiss) {
+  IdealCache cache(64, 8);
+  cache.access(3);
+  for (int i = 0; i < 10; ++i) cache.access(3);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 10u);
+}
+
+TEST(IdealCache, LruEvictsLeastRecentlyUsed) {
+  // Capacity 2 blocks of 1 word each.
+  IdealCache cache(2, 1);
+  cache.access(0);  // miss
+  cache.access(1);  // miss
+  cache.access(0);  // hit; now 1 is LRU
+  cache.access(2);  // miss; evicts 1
+  cache.access(0);  // hit (still resident)
+  cache.access(1);  // miss (was evicted)
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(IdealCache, WorkingSetWithinCapacityNeverRemisses) {
+  IdealCache cache(/*M=*/256, /*B=*/8);  // 32 blocks
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t w = 0; w < 256; ++w) cache.access(w);
+  EXPECT_EQ(cache.misses(), 32u);  // cold misses only
+}
+
+TEST(IdealCache, CyclicScanLargerThanCacheAlwaysMisses) {
+  // Classic LRU pathology: scanning M+B words cyclically misses every block.
+  IdealCache cache(/*M=*/64, /*B=*/8);  // 8 blocks
+  const std::uint64_t span_words = 64 + 8;
+  std::uint64_t accesses = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t w = 0; w < span_words; w += 8) {
+      cache.access(w);
+      ++accesses;
+    }
+  }
+  EXPECT_EQ(cache.misses(), accesses);
+}
+
+TEST(IdealCache, FlushDropsResidency) {
+  IdealCache cache(64, 8);
+  cache.access(0);
+  cache.flush();
+  cache.access(0);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(IdealCache, AccessRangeTouchesEveryBlock) {
+  IdealCache cache(1024, 8);
+  cache.access_range(4, 20);  // words 4..23 -> blocks 0, 1, 2
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(Session, AllocatorSeparatesArraysByBlock) {
+  Session session(1024, 8);
+  const std::uint64_t a = session.allocate(3);
+  const std::uint64_t b = session.allocate(3);
+  EXPECT_NE(a / 8, b / 8);  // different blocks
+}
+
+TEST(Session, OpsCountTouchesAndExplicitOps) {
+  Session session;
+  session.touch(0);
+  session.touch(1);
+  session.add_ops(10);
+  EXPECT_EQ(session.ops(), 12u);
+}
+
+TEST(Session, IpmIsFiniteWithZeroMisses) {
+  Session session;
+  session.add_ops(100);
+  EXPECT_DOUBLE_EQ(session.ipm(), 100.0);
+}
+
+TEST(Traced, ActsAsArrayAndCountsMisses) {
+  Session session(/*M=*/128, /*B=*/8);
+  Traced<std::uint64_t> array(64, &session);
+  for (std::size_t i = 0; i < 64; ++i) array[i] = i;
+  EXPECT_EQ(session.cache().misses(), 8u);  // 64 words / 8 per block
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < 64; ++i) sum += array[i];
+  EXPECT_EQ(sum, 64u * 63 / 2);
+}
+
+TEST(Traced, NullSessionIsPlainArray) {
+  Traced<int> array(10, nullptr, 7);
+  EXPECT_EQ(array[9], 7);
+  array[3] = 1;
+  EXPECT_EQ(array[3], 1);
+}
+
+TEST(Traced, WrapsExistingContents) {
+  Session session;
+  std::vector<int> contents{1, 2, 3};
+  Traced<int> array(contents, &session);
+  EXPECT_EQ(array.size(), 3u);
+  EXPECT_EQ(array[2], 3);
+}
+
+TEST(Traced, SubWordElementsShareBlocks) {
+  Session session(/*M=*/1024, /*B=*/1);
+  Traced<std::uint32_t> array(16, &session);  // 2 elements per word
+  for (std::size_t i = 0; i < 16; ++i) array[i] = 1;
+  EXPECT_EQ(session.cache().misses(), 8u);
+}
+
+}  // namespace
+}  // namespace camc::cachesim

@@ -1,0 +1,100 @@
+// Connected components on the dense (adjacency matrix) representation:
+// must agree with the sequential oracle and the edge-array algorithm.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/connected_components.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+CcResult run_dense_cc(int p, Vertex n, const std::vector<WeightedEdge>& edges,
+                      std::uint64_t seed = 1) {
+  bsp::Machine machine(p);
+  std::vector<CcResult> results(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    auto matrix = DistributedMatrix::from_edges(world, n, dist.local());
+    CcOptions options;
+    options.seed = seed;
+    results[static_cast<std::size_t>(world.rank())] =
+        connected_components_dense(world, std::move(matrix), options);
+  });
+  for (const CcResult& r : results) {
+    EXPECT_EQ(r.components, results[0].components);
+    EXPECT_EQ(r.labels, results[0].labels);
+  }
+  return results[0];
+}
+
+class DenseCc : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseCc, VerificationSuite) {
+  const int p = GetParam();
+  for (const auto& g : gen::verification_suite()) {
+    const CcResult result = run_dense_cc(p, g.n, g.edges);
+    EXPECT_EQ(result.components, g.components) << g.name;
+    const auto oracle = seq::union_find_components(g.n, g.edges);
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle)) << g.name;
+  }
+}
+
+TEST_P(DenseCc, DenseRandomGraphMatchesOracle) {
+  const int p = GetParam();
+  const Vertex n = 96;
+  const auto edges = gen::erdos_renyi(n, 2000, 9);  // dense: m ~ n^2/4.6
+  const CcResult result = run_dense_cc(p, n, edges);
+  const auto oracle = seq::union_find_components(n, edges);
+  EXPECT_EQ(result.components, seq::component_count(oracle));
+  EXPECT_TRUE(seq::same_partition(result.labels, oracle));
+}
+
+TEST_P(DenseCc, FragmentedGraphMatchesOracle) {
+  const int p = GetParam();
+  const auto g = gen::disjoint_cycles(5, 7);
+  const CcResult result = run_dense_cc(p, g.n, g.edges);
+  EXPECT_EQ(result.components, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, DenseCc,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DenseCc, FewIterations) {
+  const Vertex n = 128;
+  const auto edges = gen::rmat(7, 4000, 5);
+  const CcResult result = run_dense_cc(2, n, edges, 6);
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 6u);  // the O(1)-iterations claim
+}
+
+TEST(DenseCc, AgreesWithEdgeArrayAlgorithm) {
+  const Vertex n = 200;
+  const auto edges = gen::erdos_renyi(n, 180, 12);  // subcritical
+  const CcResult dense = run_dense_cc(4, n, edges, 3);
+
+  bsp::Machine machine(4);
+  CcResult sparse;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    CcOptions options;
+    options.seed = 3;
+    auto r = connected_components(world, dist, options);
+    if (world.rank() == 0) sparse = r;
+  });
+  EXPECT_EQ(dense.components, sparse.components);
+  EXPECT_TRUE(seq::same_partition(dense.labels, sparse.labels));
+}
+
+}  // namespace
+}  // namespace camc::core

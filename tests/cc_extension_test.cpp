@@ -1,0 +1,92 @@
+// §3.2 remark extension: connected components with the per-iteration
+// component computation running in parallel over the distributed sample
+// (no root bottleneck) must agree with the default algorithm and the
+// sequential oracle.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/connected_components.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+CcResult run_parallel_root_cc(int p, Vertex n,
+                              const std::vector<WeightedEdge>& edges,
+                              std::uint64_t seed = 1) {
+  bsp::Machine machine(p);
+  std::vector<CcResult> results(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    CcOptions options;
+    options.seed = seed;
+    options.parallel_sample_components = true;
+    results[static_cast<std::size_t>(world.rank())] =
+        connected_components(world, dist, options);
+  });
+  for (const CcResult& r : results) {
+    EXPECT_EQ(r.components, results[0].components);
+    EXPECT_EQ(r.labels, results[0].labels);
+  }
+  return results[0];
+}
+
+class ParallelRootCc : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRootCc, VerificationSuite) {
+  const int p = GetParam();
+  for (const auto& g : gen::verification_suite()) {
+    const CcResult result = run_parallel_root_cc(p, g.n, g.edges);
+    EXPECT_EQ(result.components, g.components) << g.name;
+    const auto oracle = seq::union_find_components(g.n, g.edges);
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle)) << g.name;
+  }
+}
+
+TEST_P(ParallelRootCc, RandomGraphsMatchOracle) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Vertex n = 400;
+    const auto edges = gen::erdos_renyi(n, 350, seed);
+    const CcResult result = run_parallel_root_cc(p, n, edges, seed);
+    const auto oracle = seq::union_find_components(n, edges);
+    EXPECT_EQ(result.components, seq::component_count(oracle));
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, ParallelRootCc,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelRootCc, AgreesWithDefaultVariant) {
+  const auto edges = gen::rmat(9, 4000, 21);
+  bsp::Machine machine(4);
+  Vertex parallel_components = 0, default_components = 0;
+  machine.run([&](bsp::Comm& world) {
+    auto a = DistributedEdgeArray::scatter(
+        world, 512, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    DistributedEdgeArray b(512, a.local());
+    CcOptions parallel_options;
+    parallel_options.parallel_sample_components = true;
+    CcOptions default_options;
+    auto pr = connected_components(world, a, parallel_options);
+    auto dr = connected_components(world, b, default_options);
+    if (world.rank() == 0) {
+      parallel_components = pr.components;
+      default_components = dr.components;
+      EXPECT_TRUE(seq::same_partition(pr.labels, dr.labels));
+    }
+  });
+  EXPECT_EQ(parallel_components, default_components);
+}
+
+}  // namespace
+}  // namespace camc::core

@@ -1,0 +1,162 @@
+// Communication-avoiding connected components (§3.2): correctness against
+// the sequential oracle on the verification suite and random graphs, O(1)
+// iteration behaviour, and both sampling paths, across processor counts.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/connected_components.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+CcResult run_cc(int p, Vertex n, const std::vector<WeightedEdge>& edges,
+                const CcOptions& options = {}) {
+  bsp::Machine machine(p);
+  std::vector<CcResult> results(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    results[static_cast<std::size_t>(world.rank())] =
+        connected_components(world, dist, options);
+  });
+  // Labels must be replicated identically on every rank.
+  for (const CcResult& r : results) {
+    EXPECT_EQ(r.components, results[0].components);
+    EXPECT_EQ(r.labels, results[0].labels);
+  }
+  return results[0];
+}
+
+struct CcCase {
+  int p;
+  bool unweighted;
+};
+
+class CcParam : public ::testing::TestWithParam<CcCase> {
+ protected:
+  CcOptions options() const {
+    CcOptions o;
+    o.unweighted_fast_path = GetParam().unweighted;
+    return o;
+  }
+};
+
+TEST_P(CcParam, VerificationSuite) {
+  for (const auto& g : gen::verification_suite()) {
+    const CcResult result = run_cc(GetParam().p, g.n, g.edges, options());
+    EXPECT_EQ(result.components, g.components) << g.name;
+    const auto oracle = seq::union_find_components(g.n, g.edges);
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle)) << g.name;
+  }
+}
+
+TEST_P(CcParam, RandomSparseGraphsMatchOracle) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Vertex n = 500;
+    const auto edges = gen::erdos_renyi(n, 400, seed);  // subcritical
+    const CcResult result = run_cc(GetParam().p, n, edges, options());
+    const auto oracle = seq::union_find_components(n, edges);
+    EXPECT_EQ(result.components, seq::component_count(oracle));
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle));
+  }
+}
+
+TEST_P(CcParam, DenseConnectedGraphOneComponent) {
+  const Vertex n = 128;
+  const auto edges = gen::rmat(7, 4000, 77);
+  const CcResult result = run_cc(GetParam().p, n, edges, options());
+  const auto oracle = seq::union_find_components(n, edges);
+  EXPECT_EQ(result.components, seq::component_count(oracle));
+  EXPECT_TRUE(seq::same_partition(result.labels, oracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CcParam,
+    ::testing::Values(CcCase{1, true}, CcCase{2, true}, CcCase{4, true},
+                      CcCase{8, true}, CcCase{1, false}, CcCase{3, false},
+                      CcCase{4, false}),
+    [](const ::testing::TestParamInfo<CcCase>& info) {
+      return "p" + std::to_string(info.param.p) +
+             (info.param.unweighted ? "_fast" : "_weighted");
+    });
+
+TEST(Cc, LabelsAreDense) {
+  const auto g = gen::disjoint_cycles(4, 5);
+  const CcResult result = run_cc(3, g.n, g.edges);
+  EXPECT_EQ(result.components, 4u);
+  for (const Vertex l : result.labels) EXPECT_LT(l, 4u);
+}
+
+TEST(Cc, EdgelessGraph) {
+  const CcResult result = run_cc(2, 6, {});
+  EXPECT_EQ(result.components, 6u);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Cc, EmptyVertexSet) {
+  const CcResult result = run_cc(2, 0, {});
+  EXPECT_EQ(result.components, 0u);
+}
+
+TEST(Cc, FewIterationsOnRandomGraphs) {
+  // The paper's O(1)-iterations claim: even on a large sparse graph the
+  // loop terminates within a handful of sampling rounds.
+  const Vertex n = 2000;
+  const auto edges = gen::erdos_renyi(n, 16'000, 13);
+  const CcResult result = run_cc(4, n, edges);
+  EXPECT_LE(result.iterations, 6u);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(Cc, DeterministicPerSeed) {
+  const auto edges = gen::erdos_renyi(300, 500, 3);
+  CcOptions options;
+  options.seed = 42;
+  const CcResult a = run_cc(4, 300, edges, options);
+  const CcResult b = run_cc(4, 300, edges, options);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Cc, ConstantSupersteps) {
+  // Supersteps must not scale with the graph size (only with iterations,
+  // which are O(1) w.h.p.).
+  std::vector<std::uint64_t> counts;
+  for (const Vertex n : {200u, 800u, 3200u}) {
+    bsp::Machine machine(4);
+    const auto edges = gen::erdos_renyi(n, 8 * n, 17);
+    auto outcome = machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+      connected_components(world, dist);
+    });
+    counts.push_back(outcome.stats.supersteps);
+  }
+  // 16x more vertices may not even double the superstep count.
+  EXPECT_LE(counts.back(), 2 * counts.front());
+}
+
+TEST(Cc, TracedRunCountsWork) {
+  cachesim::Session session;
+  const auto edges = gen::erdos_renyi(200, 1000, 23);
+  bsp::Machine machine(1);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(world, 200, edges);
+    CcOptions options;
+    options.trace = &session;
+    connected_components(world, dist, options);
+  });
+  EXPECT_GT(session.ops(), 1000u);
+  EXPECT_GT(session.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace camc::core

@@ -1,0 +1,102 @@
+// Sparse k-connectivity certificates (Nagamochi-Ibaraki [29]): the
+// defining property min(k, cut_H) == min(k, cut_G) is checked exhaustively
+// on small graphs, plus size bounds and min-cut preservation.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/contraction_ref.hpp"
+#include "seq/certificate.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::seq {
+namespace {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Exhaustive check of the certificate property over all 2^(n-1) cuts.
+void expect_certificate_property(Vertex n,
+                                 std::span<const WeightedEdge> original,
+                                 std::span<const WeightedEdge> certificate,
+                                 Weight k) {
+  ASSERT_LE(n, 14u);
+  const std::uint32_t limit = 1u << (n - 1);
+  for (std::uint32_t high = 1; high < limit; ++high) {
+    std::vector<Vertex> side;
+    for (Vertex v = 1; v < n; ++v)
+      if ((high << 1) & (1u << v)) side.push_back(v);
+    if (side.empty()) continue;
+    const Weight g = graph::cut_value(n, original, side);
+    const Weight h = graph::cut_value(n, certificate, side);
+    EXPECT_EQ(std::min(k, g), std::min(k, h))
+        << "cut mask " << high << " g=" << g << " h=" << h;
+  }
+}
+
+TEST(Certificate, PropertyHoldsOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Vertex n = 10;
+    auto edges = gen::erdos_renyi(n, 40, seed);
+    gen::randomize_weights(edges, 4, seed + 3);
+    for (const Weight k : {1ull, 2ull, 5ull, 20ull}) {
+      const auto certificate = sparse_certificate(n, edges, k);
+      expect_certificate_property(n, edges, certificate.edges, k);
+    }
+  }
+}
+
+TEST(Certificate, TotalWeightBoundedByKTimesN) {
+  const auto edges = gen::erdos_renyi(50, 1000, 7);
+  for (const Weight k : {1ull, 3ull, 8ull}) {
+    const auto certificate = sparse_certificate(50, edges, k);
+    Weight total = 0;
+    for (const WeightedEdge& e : certificate.edges) total += e.weight;
+    EXPECT_LE(total, k * 49);
+  }
+}
+
+TEST(Certificate, PreservesMinimumCutWhenKCoversIt) {
+  for (const auto& g : gen::verification_suite()) {
+    if (g.components != 1 || g.n > 30) continue;
+    // Minimum weighted degree is always >= the minimum cut.
+    std::vector<Weight> degree(g.n, 0);
+    for (const WeightedEdge& e : g.edges) {
+      degree[e.u] += e.weight;
+      degree[e.v] += e.weight;
+    }
+    Weight k = degree[0];
+    for (const Weight d : degree) k = std::min(k, d);
+    ASSERT_GE(k, g.min_cut) << g.name;
+
+    const auto certificate = sparse_certificate(g.n, g.edges, k);
+    const auto cut = stoer_wagner_min_cut(g.n, certificate.edges);
+    EXPECT_EQ(cut.value, g.min_cut) << g.name;
+  }
+}
+
+TEST(Certificate, SparsifiesDenseUnweightedGraphs) {
+  // K_40 has 780 edges; a 5-certificate keeps at most 5 * 39 units.
+  const auto g = gen::complete_graph(40);
+  const auto certificate = sparse_certificate(g.n, g.edges, 5);
+  Weight total = 0;
+  for (const WeightedEdge& e : certificate.edges) total += e.weight;
+  EXPECT_LE(total, 5u * 39);
+  EXPECT_LT(certificate.edges.size(), g.edges.size() / 2);
+}
+
+TEST(Certificate, StopsEarlyWhenGraphExhausted) {
+  const auto g = gen::path_graph(6);
+  const auto certificate = sparse_certificate(g.n, g.edges, 100);
+  EXPECT_EQ(certificate.rounds, 1u);  // one forest consumes the whole path
+  EXPECT_EQ(certificate.edges.size(), 5u);
+}
+
+TEST(Certificate, RejectsZeroK) {
+  EXPECT_THROW(sparse_certificate(3, {}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camc::seq

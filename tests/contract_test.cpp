@@ -1,0 +1,194 @@
+// Bulk Edge Contraction (§4.1): the sparse (edge-array) and dense
+// (adjacency-matrix) paths must both match the sequential reference on
+// arbitrary mappings, across processor counts, including the boundary
+// fix-up cases of step 5.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/contract.hpp"
+#include "gen/generators.hpp"
+#include "graph/contraction_ref.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Canonical (endpoint -> weight) map for comparing edge multisets.
+std::map<std::pair<Vertex, Vertex>, Weight> edge_map(
+    std::span<const WeightedEdge> edges) {
+  std::map<std::pair<Vertex, Vertex>, Weight> out;
+  for (const WeightedEdge& e : edges) {
+    const WeightedEdge c = e.canonical();
+    out[{c.u, c.v}] += c.weight;
+  }
+  return out;
+}
+
+struct ContractCase {
+  int p;
+  Vertex n;
+  std::uint64_t m;
+  std::uint64_t seed;
+};
+
+class SparseContract : public ::testing::TestWithParam<ContractCase> {};
+
+TEST_P(SparseContract, MatchesSequentialReference) {
+  const auto [p, n, m, seed] = GetParam();
+  auto global = gen::erdos_renyi(n, m, seed);
+  gen::randomize_weights(global, 4, seed + 1);
+
+  // A random mapping onto ~n/3 labels.
+  rng::Philox map_gen(seed + 2, 0);
+  const Vertex new_n = std::max<Vertex>(2, n / 3);
+  std::vector<Vertex> mapping(n);
+  for (Vertex v = 0; v < n; ++v)
+    mapping[v] = static_cast<Vertex>(map_gen.bounded(new_n));
+
+  const auto expected = edge_map(
+      graph::contract_edges_reference(global, mapping));
+
+  bsp::Machine machine(p);
+  std::vector<std::vector<WeightedEdge>> slices(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    rng::Philox gen(seed + 3, static_cast<std::uint64_t>(world.rank()));
+    auto contracted = sparse_bulk_contract(world, dist, mapping, new_n, gen);
+    slices[static_cast<std::size_t>(world.rank())] = contracted.local();
+  });
+
+  std::vector<WeightedEdge> combined;
+  for (const auto& s : slices)
+    combined.insert(combined.end(), s.begin(), s.end());
+  EXPECT_EQ(edge_map(combined), expected);
+
+  // Global uniqueness: after contraction no endpoint pair may appear twice.
+  std::sort(combined.begin(), combined.end(), graph::EndpointLess{});
+  for (std::size_t i = 1; i < combined.size(); ++i)
+    EXPECT_FALSE(same_endpoints(combined[i - 1], combined[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SparseContract,
+    ::testing::Values(ContractCase{1, 30, 100, 1}, ContractCase{2, 30, 100, 2},
+                      ContractCase{3, 40, 200, 3}, ContractCase{4, 50, 400, 4},
+                      ContractCase{8, 60, 700, 5},
+                      ContractCase{4, 20, 2000, 6},  // heavy parallel edges
+                      ContractCase{8, 12, 40, 7}),   // more ranks than work
+    [](const ::testing::TestParamInfo<ContractCase>& info) {
+      return "p" + std::to_string(info.param.p) + "_n" +
+             std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(SparseContractEdgeCases, StraddlingRunsMergeToLeftmostOwner) {
+  // All edges identical after contraction: every rank holds copies of the
+  // same pair, exercising the multi-rank straddle path maximally.
+  constexpr int kP = 4;
+  std::vector<WeightedEdge> global;
+  for (int i = 0; i < 40; ++i)
+    global.push_back(WeightedEdge{static_cast<Vertex>(i % 2),
+                                  static_cast<Vertex>(2 + (i % 2)), 1});
+  const std::vector<Vertex> mapping{0, 0, 1, 1};
+
+  bsp::Machine machine(kP);
+  std::vector<std::vector<WeightedEdge>> slices(kP);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 4, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    rng::Philox gen(1, static_cast<std::uint64_t>(world.rank()));
+    auto contracted = sparse_bulk_contract(world, dist, mapping, 2, gen);
+    slices[static_cast<std::size_t>(world.rank())] = contracted.local();
+  });
+  std::vector<WeightedEdge> combined;
+  for (const auto& s : slices)
+    combined.insert(combined.end(), s.begin(), s.end());
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_EQ(combined[0].weight, 40u);
+}
+
+TEST(SparseContractEdgeCases, EverythingContractsToNothing) {
+  bsp::Machine machine(3);
+  const auto global = gen::erdos_renyi(10, 40, 9);
+  const std::vector<Vertex> mapping(10, 0);
+  std::vector<std::size_t> sizes(3);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 10, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    rng::Philox gen(2, static_cast<std::uint64_t>(world.rank()));
+    auto contracted = sparse_bulk_contract(world, dist, mapping, 1, gen);
+    sizes[static_cast<std::size_t>(world.rank())] = contracted.local().size();
+  });
+  for (const auto s : sizes) EXPECT_EQ(s, 0u);
+}
+
+class DenseContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseContract, MatchesSequentialReference) {
+  const int p = GetParam();
+  const Vertex n = 12;
+  auto global = gen::erdos_renyi(n, 60, 21);
+  gen::randomize_weights(global, 3, 22);
+  const std::vector<Vertex> mapping{0, 1, 2, 0, 1, 2, 3, 3, 4, 4, 0, 1};
+  const Vertex t = 5;
+
+  const auto expected_edges =
+      graph::contract_edges_reference(global, mapping);
+  std::vector<Weight> expected(static_cast<std::size_t>(t) * t, 0);
+  for (const WeightedEdge& e : expected_edges) {
+    expected[e.u * t + e.v] += e.weight;
+    expected[e.v * t + e.u] += e.weight;
+  }
+
+  bsp::Machine machine(p);
+  std::vector<Weight> dense;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    auto matrix = DistributedMatrix::from_edges(world, n, dist.local());
+    auto contracted = dense_bulk_contract(world, matrix, mapping, t);
+    EXPECT_EQ(contracted.rows(), t);
+    EXPECT_EQ(contracted.cols(), t);
+    auto gathered = contracted.to_dense(world);
+    if (world.rank() == 0) dense = gathered;
+  });
+  EXPECT_EQ(dense, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, DenseContract,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DenseContractProperties, PreservesTotalWeightMinusLoops) {
+  const Vertex n = 10;
+  auto global = gen::erdos_renyi(n, 45, 31);
+  std::vector<Vertex> mapping(n);
+  for (Vertex v = 0; v < n; ++v) mapping[v] = v % 4;
+
+  Weight kept = 0;
+  for (const WeightedEdge& e : global)
+    if (mapping[e.u] != mapping[e.v]) kept += e.weight;
+
+  bsp::Machine machine(4);
+  std::vector<Weight> totals(4);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    auto matrix = DistributedMatrix::from_edges(world, n, dist.local());
+    auto contracted = dense_bulk_contract(world, matrix, mapping, 4);
+    totals[static_cast<std::size_t>(world.rank())] = contracted.total(world);
+  });
+  for (const Weight t : totals) EXPECT_EQ(t, 2 * kept);
+}
+
+}  // namespace
+}  // namespace camc::core

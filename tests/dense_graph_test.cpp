@@ -1,0 +1,136 @@
+// Tests for the compact dense graph and its contraction operations —
+// the engine of (CO) Karger-Stein.
+
+#include <gtest/gtest.h>
+
+#include "gen/verification.hpp"
+#include "graph/dense_graph.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::graph {
+namespace {
+
+DenseGraph figure2() {
+  const auto g = gen::figure2_graph();
+  return DenseGraph(g.n, g.edges);
+}
+
+TEST(DenseGraph, BuildsFromEdgesWithDegrees) {
+  const DenseGraph g = figure2();
+  EXPECT_EQ(g.active_vertices(), 6u);
+  EXPECT_EQ(g.total_weight(), 14u);
+  EXPECT_EQ(g.weight(0, 1), 2u);
+  EXPECT_EQ(g.weight(1, 0), 2u);
+  EXPECT_EQ(g.degree(0), 3u);   // 2 + 1
+  EXPECT_EQ(g.degree(2), 5u);   // 1 + 2 + 1 + 1
+}
+
+TEST(DenseGraph, ContractCombinesParallelEdges) {
+  // The paper's Figure 2: contracting (v4, v5) = (3, 4) yields an edge of
+  // weight 5 to v6 and leaves the minimum cut at 2.
+  DenseGraph g = figure2();
+  g.contract(3, 4);
+  EXPECT_EQ(g.active_vertices(), 5u);
+  // Slot 3 now represents {v4, v5}; its edge to v6 (originally slot 5,
+  // compacted into slot 4) has weight 2 + 3 = 5.
+  EXPECT_EQ(g.total_weight(), 12u);  // lost the contracted weight-2 edge
+  const auto& merged = g.members(3);
+  EXPECT_EQ(merged.size(), 2u);
+  // Find the weight-5 edge.
+  bool found = false;
+  for (Vertex j = 0; j < g.active_vertices(); ++j)
+    if (g.weight(3, j) == 5) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DenseGraph, ContractPreservesTotalDegreeInvariant) {
+  DenseGraph g = figure2();
+  rng::Philox gen(1, 1);
+  while (g.active_vertices() > 2) {
+    g.contract_random_edge(gen);
+    Weight degree_sum = 0;
+    for (Vertex i = 0; i < g.active_vertices(); ++i)
+      degree_sum += g.degree(i);
+    EXPECT_EQ(degree_sum, 2 * g.total_weight());
+    // Matrix stays symmetric with zero diagonal.
+    for (Vertex i = 0; i < g.active_vertices(); ++i) {
+      EXPECT_EQ(g.weight(i, i), 0u);
+      for (Vertex j = 0; j < g.active_vertices(); ++j)
+        EXPECT_EQ(g.weight(i, j), g.weight(j, i));
+    }
+  }
+}
+
+TEST(DenseGraph, MembersPartitionOriginalVertices) {
+  DenseGraph g = figure2();
+  rng::Philox gen(2, 2);
+  g.contract_to(3, gen);
+  std::vector<bool> seen(6, false);
+  for (Vertex i = 0; i < g.active_vertices(); ++i) {
+    for (const Vertex v : g.members(i)) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DenseGraph, ContractToTwoLeavesACut) {
+  // Contracting a connected graph to 2 vertices leaves the cut between the
+  // two merged groups; its value equals either remaining degree.
+  DenseGraph g = figure2();
+  rng::Philox gen(3, 3);
+  g.contract_to(2, gen);
+  ASSERT_EQ(g.active_vertices(), 2u);
+  EXPECT_EQ(g.degree(0), g.degree(1));
+  EXPECT_EQ(g.degree(0), g.weight(0, 1));
+  EXPECT_GE(g.degree(0), 2u);  // >= min cut of figure2
+}
+
+TEST(DenseGraph, CompactCopyPreservesGraph) {
+  DenseGraph g = figure2();
+  rng::Philox gen(4, 4);
+  g.contract_to(4, gen);
+  const DenseGraph compact = g.compact_copy();
+  ASSERT_EQ(compact.active_vertices(), g.active_vertices());
+  EXPECT_EQ(compact.total_weight(), g.total_weight());
+  for (Vertex i = 0; i < g.active_vertices(); ++i) {
+    EXPECT_EQ(compact.degree(i), g.degree(i));
+    EXPECT_EQ(compact.members(i), g.members(i));
+    for (Vertex j = 0; j < g.active_vertices(); ++j)
+      EXPECT_EQ(compact.weight(i, j), g.weight(i, j));
+  }
+}
+
+TEST(DenseGraph, MatrixConstructorChecksShape) {
+  EXPECT_THROW(DenseGraph(3, std::vector<Weight>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(DenseGraph, MatrixConstructorIgnoresDiagonal) {
+  std::vector<Weight> matrix{9, 1,  //
+                             1, 9};
+  const DenseGraph g(2, std::move(matrix));
+  EXPECT_EQ(g.weight(0, 0), 0u);
+  EXPECT_EQ(g.total_weight(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(DenseGraph, ContractRejectsInvalidPairs) {
+  DenseGraph g = figure2();
+  EXPECT_THROW(g.contract(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.contract(0, 6), std::invalid_argument);
+}
+
+TEST(DenseGraph, ContractToStopsOnEdgelessGraph) {
+  // Two disconnected edges: contraction can reach 2 vertices but no fewer.
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {2, 3, 1}};
+  DenseGraph g(4, edges);
+  rng::Philox gen(5, 5);
+  g.contract_to(1, gen);
+  EXPECT_EQ(g.active_vertices(), 2u);
+  EXPECT_EQ(g.total_weight(), 0u);
+}
+
+}  // namespace
+}  // namespace camc::graph

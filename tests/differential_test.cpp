@@ -1,0 +1,159 @@
+// Differential testing: every implementation of the same problem must
+// agree on randomized inputs drawn from all four generator families.
+// This is the strongest net the suite has — five connected-components
+// implementations and four minimum-cut implementations are pitted against
+// each other across processor counts and seeds.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/baselines.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_matrix.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+struct Input {
+  std::string family;
+  Vertex n;
+  std::vector<WeightedEdge> edges;
+};
+
+std::vector<Input> cc_inputs(std::uint64_t seed) {
+  // Mix of connected and fragmented graphs.
+  return {
+      {"er-sub", 240, gen::erdos_renyi(240, 200, seed)},
+      {"er-super", 160, gen::erdos_renyi(160, 800, seed + 1)},
+      {"ws", 200, gen::watts_strogatz(200, 4, 0.3, seed + 2)},
+      {"ba", 150, gen::barabasi_albert(150, 2, seed + 3)},
+      {"rmat", 256, gen::rmat(8, 700, seed + 4)},
+  };
+}
+
+std::vector<Input> cut_inputs(std::uint64_t seed) {
+  auto weighted = [&](std::vector<WeightedEdge> edges, std::uint64_t s) {
+    gen::randomize_weights(edges, 5, s);
+    return edges;
+  };
+  return {
+      {"er", 36, weighted(gen::erdos_renyi(36, 240, seed), seed + 10)},
+      {"ws", 40, weighted(gen::watts_strogatz(40, 6, 0.3, seed + 1), seed + 11)},
+      {"ba", 32, weighted(gen::barabasi_albert(32, 4, seed + 2), seed + 12)},
+      {"rmat", 32, weighted(gen::rmat(5, 200, seed + 3), seed + 13)},
+  };
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, AllCcImplementationsAgree) {
+  const std::uint64_t seed = GetParam();
+  for (const Input& input : cc_inputs(seed)) {
+    // Sequential references.
+    const graph::LocalGraph csr(input.n, input.edges);
+    const auto dfs = seq::dfs_components(csr);
+    const auto uf = seq::union_find_components(input.n, input.edges);
+    ASSERT_TRUE(seq::same_partition(dfs, uf)) << input.family;
+
+    for (const int p : {2, 5}) {
+      bsp::Machine machine(p);
+      core::CcResult sampling, dense, parallel_root;
+      core::BspSvResult sv;
+      core::AsyncCcSharedState shared(input.n);
+      core::AsyncCcResult async;
+      machine.run([&](bsp::Comm& world) {
+        auto base = DistributedEdgeArray::scatter(
+            world, input.n,
+            world.rank() == 0 ? input.edges : std::vector<WeightedEdge>{});
+
+        DistributedEdgeArray a(input.n, base.local());
+        core::CcOptions options;
+        options.seed = seed;
+        auto r1 = core::connected_components(world, a, options);
+
+        auto matrix =
+            DistributedMatrix::from_edges(world, input.n, base.local());
+        auto r2 = core::connected_components_dense(world, std::move(matrix),
+                                                   options);
+
+        DistributedEdgeArray b(input.n, base.local());
+        core::CcOptions proot = options;
+        proot.parallel_sample_components = true;
+        auto r3 = core::connected_components(world, b, proot);
+
+        auto r4 = core::bsp_sv_components(world, base);
+        auto r5 = core::async_label_propagation(world, base, shared);
+        if (world.rank() == 0) {
+          sampling = r1;
+          dense = r2;
+          parallel_root = r3;
+          sv = r4;
+          async = r5;
+        }
+      });
+      for (const auto* labels :
+           {&sampling.labels, &dense.labels, &parallel_root.labels,
+            &sv.labels, &async.labels}) {
+        EXPECT_TRUE(seq::same_partition(*labels, dfs))
+            << input.family << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST_P(Differential, AllMinCutImplementationsAgree) {
+  const std::uint64_t seed = GetParam();
+  for (const Input& input : cut_inputs(seed)) {
+    const Weight truth =
+        seq::stoer_wagner_min_cut(input.n, input.edges).value;
+
+    // Sequential Karger-Stein.
+    seq::KargerSteinOptions ks;
+    ks.success_probability = 0.999;
+    EXPECT_EQ(seq::karger_stein_min_cut(input.n, input.edges, seed, ks).value,
+              truth)
+        << input.family;
+
+    // The paper's algorithm, replicated-trial regime.
+    core::MinCutOptions mc;
+    mc.success_probability = 0.999;
+    mc.seed = seed;
+    EXPECT_EQ(core::sequential_min_cut(input.n, input.edges, mc).value, truth)
+        << input.family;
+
+    // Parallel, both regimes, plus the previous-BSP baseline.
+    bsp::Machine machine(4);
+    Weight parallel_value = 0, baseline_value = 0;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, input.n,
+          world.rank() == 0 ? input.edges : std::vector<WeightedEdge>{});
+      auto r1 = core::min_cut(world, dist, mc);
+      auto r2 = core::min_cut_previous_bsp(world, dist, mc);
+      if (world.rank() == 0) {
+        parallel_value = r1.value;
+        baseline_value = r2.value;
+      }
+    });
+    EXPECT_EQ(parallel_value, truth) << input.family;
+    EXPECT_EQ(baseline_value, truth) << input.family;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace camc

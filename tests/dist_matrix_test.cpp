@@ -1,0 +1,156 @@
+// Tests for the row-distributed adjacency matrix: construction from edges,
+// distributed transpose, column combining, and gathering.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/dist_matrix.hpp"
+
+namespace camc::graph {
+namespace {
+
+TEST(RowDistribution, CoversAllRowsContiguously) {
+  const RowDistribution dist{10, 3};
+  EXPECT_EQ(dist.begin(0), 0u);
+  EXPECT_EQ(dist.end(2), 10u);
+  std::uint64_t covered = 0;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(dist.begin(r), covered);
+    covered += dist.count(r);
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(RowDistribution, OwnerIsConsistentWithRanges) {
+  const RowDistribution dist{17, 5};
+  for (std::uint64_t row = 0; row < 17; ++row) {
+    const int owner = dist.owner(row);
+    EXPECT_GE(row, dist.begin(owner));
+    EXPECT_LT(row, dist.end(owner));
+  }
+}
+
+TEST(RowDistribution, MoreRanksThanRows) {
+  const RowDistribution dist{2, 5};
+  int nonempty = 0;
+  for (int r = 0; r < 5; ++r)
+    if (dist.count(r) > 0) ++nonempty;
+  EXPECT_EQ(nonempty, 2);
+}
+
+class MatrixParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixParam, FromEdgesBuildsSymmetricAdjacency) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  // Triangle with weights + one parallel edge that must accumulate.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 2}, {1, 2, 3}, {0, 2, 4}, {0, 1, 5}};
+  std::vector<Weight> dense;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 3, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    auto matrix = DistributedMatrix::from_edges(world, 3, dist.local());
+    auto gathered = matrix.to_dense(world);
+    if (world.rank() == 0) dense = gathered;
+  });
+  const std::vector<Weight> expected{0, 7, 4,   //
+                                     7, 0, 3,   //
+                                     4, 3, 0};
+  EXPECT_EQ(dense, expected);
+}
+
+TEST_P(MatrixParam, TransposeOfRectangularMatrix) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  constexpr std::uint64_t kRows = 5, kCols = 3;
+  std::vector<Weight> transposed;
+  machine.run([&](bsp::Comm& world) {
+    DistributedMatrix matrix(world, kRows, kCols);
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i)
+      for (std::uint64_t j = 0; j < kCols; ++j)
+        matrix.row(i)[j] = i * 10 + j;
+    auto t = matrix.transpose(world);
+    EXPECT_EQ(t.rows(), kCols);
+    EXPECT_EQ(t.cols(), kRows);
+    auto gathered = t.to_dense(world);
+    if (world.rank() == 0) transposed = gathered;
+  });
+  ASSERT_EQ(transposed.size(), kRows * kCols);
+  for (std::uint64_t i = 0; i < kRows; ++i)
+    for (std::uint64_t j = 0; j < kCols; ++j)
+      EXPECT_EQ(transposed[j * kRows + i], i * 10 + j);
+}
+
+TEST_P(MatrixParam, DoubleTransposeIsIdentity) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  constexpr std::uint64_t kN = 7;
+  std::vector<Weight> result;
+  machine.run([&](bsp::Comm& world) {
+    DistributedMatrix matrix(world, kN, kN);
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i)
+      for (std::uint64_t j = 0; j < kN; ++j)
+        matrix.row(i)[j] = i * kN + j + 1;
+    auto round_trip = matrix.transpose(world).transpose(world);
+    auto gathered = round_trip.to_dense(world);
+    if (world.rank() == 0) result = gathered;
+  });
+  ASSERT_EQ(result.size(), kN * kN);
+  for (std::uint64_t k = 0; k < kN * kN; ++k) EXPECT_EQ(result[k], k + 1);
+}
+
+TEST_P(MatrixParam, CombineColumnsSumsMappedColumns) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  std::vector<Weight> result;
+  machine.run([&](bsp::Comm& world) {
+    DistributedMatrix matrix(world, 2, 4);
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i)
+      for (std::uint64_t j = 0; j < 4; ++j) matrix.row(i)[j] = j + 1;
+    // Columns {0, 2} -> 0 and {1, 3} -> 1.
+    const std::vector<Vertex> mapping{0, 1, 0, 1};
+    auto combined = matrix.combine_columns(world, mapping, 2);
+    auto gathered = combined.to_dense(world);
+    if (world.rank() == 0) result = gathered;
+  });
+  const std::vector<Weight> expected{4, 6, 4, 6};  // 1+3, 2+4 per row
+  EXPECT_EQ(result, expected);
+}
+
+TEST_P(MatrixParam, TotalSumsAllEntries) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  std::vector<Weight> totals(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    DistributedMatrix matrix(world, 4, 4);
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i)
+      matrix.row(i)[0] = 2;
+    totals[static_cast<std::size_t>(world.rank())] = matrix.total(world);
+  });
+  for (const Weight t : totals) EXPECT_EQ(t, 8u);
+}
+
+TEST_P(MatrixParam, ZeroDiagonalClearsSelfLoops) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  std::vector<Weight> result;
+  machine.run([&](bsp::Comm& world) {
+    DistributedMatrix matrix(world, 3, 3);
+    for (std::uint64_t i = matrix.row_begin(); i < matrix.row_end(); ++i)
+      for (std::uint64_t j = 0; j < 3; ++j) matrix.row(i)[j] = 1;
+    matrix.zero_diagonal();
+    auto gathered = matrix.to_dense(world);
+    if (world.rank() == 0) result = gathered;
+  });
+  for (std::uint64_t i = 0; i < 3; ++i)
+    for (std::uint64_t j = 0; j < 3; ++j)
+      EXPECT_EQ(result[i * 3 + j], i == j ? 0u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, MatrixParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace camc::graph

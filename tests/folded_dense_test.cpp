@@ -1,0 +1,145 @@
+// FoldedDense — the cache-oblivious contraction engine: equivalence with
+// DenseGraph on random contraction sequences, invariants, and compaction.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/dense_graph.hpp"
+#include "graph/folded_dense.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::graph {
+namespace {
+
+FoldedDense figure2() {
+  const auto g = gen::figure2_graph();
+  return FoldedDense(g.n, g.edges);
+}
+
+TEST(FoldedDense, BuildMatchesDenseGraph) {
+  const auto g = gen::figure2_graph();
+  const FoldedDense folded(g.n, g.edges);
+  const DenseGraph dense(g.n, g.edges);
+  EXPECT_EQ(folded.active_vertices(), dense.active_vertices());
+  EXPECT_EQ(folded.total_weight(), dense.total_weight());
+  for (Vertex v = 0; v < g.n; ++v)
+    EXPECT_EQ(folded.degree(v), dense.degree(v));
+}
+
+TEST(FoldedDense, ContractCombinesParallelEdges) {
+  FoldedDense g = figure2();
+  g.contract(3, 4);
+  EXPECT_EQ(g.active_vertices(), 5u);
+  EXPECT_EQ(g.total_weight(), 12u);  // the weight-2 edge became a loop
+  EXPECT_EQ(g.weight_between(3, 5), 5u);  // 2 + 3 combined (Figure 2b)
+  EXPECT_EQ(g.members(3).size(), 2u);
+}
+
+TEST(FoldedDense, MirrorsDenseGraphThroughIdenticalContractions) {
+  // Drive both engines through the same explicit contraction sequence and
+  // compare all pairwise weights at every step.
+  const auto n = static_cast<Vertex>(24);
+  auto edges = gen::erdos_renyi(n, 100, 3);
+  gen::randomize_weights(edges, 5, 4);
+  FoldedDense folded(n, edges);
+  DenseGraph dense(n, edges);
+
+  rng::Philox gen(9, 0);
+  while (dense.active_vertices() > 2 && dense.total_weight() > 0) {
+    // Pick a uniformly random live pair with an edge in the dense engine.
+    const auto a = static_cast<Vertex>(gen.bounded(dense.active_vertices()));
+    Vertex b = dense.active_vertices();
+    for (Vertex j = 0; j < dense.active_vertices(); ++j) {
+      if (dense.weight(a, j) > 0) {
+        b = j;
+        break;
+      }
+    }
+    if (b >= dense.active_vertices()) break;  // isolated slot; stop
+
+    // Map dense slots to folded representatives via member sets (the
+    // first original member identifies the group in both engines).
+    Vertex folded_a = 0, folded_b = 0;
+    for (const Vertex r : folded.alive()) {
+      if (folded.members(r).front() == dense.members(a).front()) folded_a = r;
+      if (folded.members(r).front() == dense.members(b).front()) folded_b = r;
+    }
+    EXPECT_EQ(folded.weight_between(folded_a, folded_b), dense.weight(a, b));
+
+    dense.contract(a, b);
+    folded.contract(folded_a, folded_b);
+    ASSERT_EQ(folded.active_vertices(), dense.active_vertices());
+    ASSERT_EQ(folded.total_weight(), dense.total_weight());
+  }
+}
+
+TEST(FoldedDense, CompactCopyPreservesEverything) {
+  FoldedDense g = figure2();
+  rng::Philox gen(5, 5);
+  g.contract_to(4, gen);
+  const FoldedDense compact = g.compact_copy();
+  EXPECT_EQ(compact.active_vertices(), g.active_vertices());
+  EXPECT_EQ(compact.total_weight(), g.total_weight());
+  // Member sets carry over (original vertex ids).
+  std::vector<bool> seen(6, false);
+  for (const Vertex r : compact.alive())
+    for (const Vertex v : compact.members(r)) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(FoldedDense, FoldedMatrixIsSymmetricLoopFree) {
+  FoldedDense g = figure2();
+  rng::Philox gen(6, 6);
+  g.contract_to(4, gen);
+  const auto a = g.active_vertices();
+  const auto matrix = g.folded_matrix();
+  for (Vertex i = 0; i < a; ++i) {
+    EXPECT_EQ(matrix[static_cast<std::size_t>(i) * a + i], 0u);
+    for (Vertex j = 0; j < a; ++j)
+      EXPECT_EQ(matrix[static_cast<std::size_t>(i) * a + j],
+                matrix[static_cast<std::size_t>(j) * a + i]);
+  }
+}
+
+TEST(FoldedDense, MatrixConstructorMatchesEdgeConstructor) {
+  const auto g = gen::weighted_ring(8);
+  const FoldedDense from_edges(g.n, g.edges);
+  std::vector<Weight> matrix(static_cast<std::size_t>(g.n) * g.n, 0);
+  for (const WeightedEdge& e : g.edges) {
+    matrix[static_cast<std::size_t>(e.u) * g.n + e.v] += e.weight;
+    matrix[static_cast<std::size_t>(e.v) * g.n + e.u] += e.weight;
+  }
+  const FoldedDense from_matrix(g.n, std::span<const Weight>(matrix));
+  EXPECT_EQ(from_edges.total_weight(), from_matrix.total_weight());
+  for (Vertex v = 0; v < g.n; ++v)
+    EXPECT_EQ(from_edges.degree(v), from_matrix.degree(v));
+}
+
+TEST(FoldedDense, ContractToStopsWhenEdgeless) {
+  const auto g = gen::disjoint_cycles(2, 4);
+  FoldedDense folded(g.n, g.edges);
+  rng::Philox gen(7, 7);
+  folded.contract_to(1, gen);
+  EXPECT_EQ(folded.active_vertices(), 2u);
+  EXPECT_EQ(folded.total_weight(), 0u);
+}
+
+TEST(FoldedDense, DegreeInvariantUnderRandomContraction) {
+  const auto n = static_cast<Vertex>(20);
+  auto edges = gen::erdos_renyi(n, 80, 8);
+  FoldedDense g(n, edges);
+  rng::Philox gen(10, 1);
+  while (g.active_vertices() > 2 && g.total_weight() > 0) {
+    g.contract_random_edge(gen);
+    Weight degree_sum = 0;
+    for (const Vertex r : g.alive()) degree_sum += g.degree(r);
+    EXPECT_EQ(degree_sum, 2 * g.total_weight());
+  }
+}
+
+}  // namespace
+}  // namespace camc::graph

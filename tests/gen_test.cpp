@@ -1,0 +1,172 @@
+// Tests for the synthetic graph generators: sizes, determinism, parallel
+// slice consistency, and distributional sanity checks.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "gen/generators.hpp"
+#include "seq/connected_components.hpp"
+#include "graph/local_graph.hpp"
+
+namespace camc::gen {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCountNoLoops) {
+  const auto edges = erdos_renyi(100, 500, 42);
+  EXPECT_EQ(edges.size(), 500u);
+  for (const WeightedEdge& e : edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    EXPECT_EQ(e.weight, 1u);
+  }
+}
+
+TEST(ErdosRenyi, DeterministicPerSeed) {
+  const auto a = erdos_renyi(50, 200, 7);
+  const auto b = erdos_renyi(50, 200, 7);
+  const auto c = erdos_renyi(50, 200, 8);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_FALSE(std::equal(a.begin(), a.end(), c.begin()));
+}
+
+TEST(ErdosRenyi, DegreesRoughlyUniform) {
+  const graph::Vertex n = 200;
+  const auto edges = erdos_renyi(n, 20 * n, 11);
+  std::vector<int> degree(n, 0);
+  for (const WeightedEdge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const double mean = 2.0 * edges.size() / n;  // 40
+  for (const int d : degree) EXPECT_NEAR(d, mean, 6 * std::sqrt(mean));
+}
+
+class GenParallelSlices : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenParallelSlices, ErdosRenyiLocalSlicesMatchSequential) {
+  const int p = GetParam();
+  const auto reference = erdos_renyi(64, 300, 99);
+  bsp::Machine machine(p);
+  std::vector<WeightedEdge> combined;
+  machine.run([&](bsp::Comm& world) {
+    auto local = erdos_renyi_local(world, 64, 300, 99);
+    auto gathered = world.gather(local);
+    if (world.rank() == 0) combined = gathered;
+  });
+  ASSERT_EQ(combined.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(combined[i], reference[i]);
+}
+
+TEST_P(GenParallelSlices, RmatLocalSlicesMatchSequential) {
+  const int p = GetParam();
+  const auto reference = rmat(6, 200, 123);
+  bsp::Machine machine(p);
+  std::vector<WeightedEdge> combined;
+  machine.run([&](bsp::Comm& world) {
+    auto local = rmat_local(world, 6, 200, 123);
+    auto gathered = world.gather(local);
+    if (world.rank() == 0) combined = gathered;
+  });
+  ASSERT_EQ(combined.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(combined[i], reference[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, GenParallelSlices,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // With a = 0.45 > d = 0.11, low-numbered vertices attract far more edges.
+  const auto edges = rmat(10, 20'000, 5);
+  std::vector<int> degree(1 << 10, 0);
+  for (const WeightedEdge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const int low = std::accumulate(degree.begin(), degree.begin() + 256, 0);
+  const int high = std::accumulate(degree.end() - 256, degree.end(), 0);
+  EXPECT_GT(low, 3 * high);
+}
+
+TEST(Rmat, RejectsBadScale) {
+  EXPECT_THROW(rmat(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(32, 10, 1), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, EdgeCountAndRingStructure) {
+  const auto edges = watts_strogatz(100, 4, 0.0, 3);
+  EXPECT_EQ(edges.size(), 200u);  // n * k/2
+  // With zero rewiring the result is the exact ring lattice.
+  for (const WeightedEdge& e : edges) {
+    const auto forward = (e.v + 100 - e.u) % 100;
+    EXPECT_TRUE(forward == 1 || forward == 2);
+  }
+}
+
+TEST(WattsStrogatz, RewiringKeepsCountAndAvoidsLoops) {
+  const auto edges = watts_strogatz(100, 4, 0.3, 4);
+  EXPECT_EQ(edges.size(), 200u);
+  for (const WeightedEdge& e : edges) EXPECT_NE(e.u, e.v);
+  // Some edges must have left the lattice (probability of none ~ 0).
+  int rewired = 0;
+  for (const WeightedEdge& e : edges) {
+    const auto forward = (e.v + 100 - e.u) % 100;
+    if (forward != 1 && forward != 2) ++rewired;
+  }
+  EXPECT_GT(rewired, 20);
+}
+
+TEST(WattsStrogatz, RejectsOddK) {
+  EXPECT_THROW(watts_strogatz(10, 3, 0.3, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 0, 0.3, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.3, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  const graph::Vertex n = 300;
+  const unsigned attach = 3;
+  const auto edges = barabasi_albert(n, attach, 17);
+  // Seed clique + attach per later vertex.
+  const std::size_t expected =
+      (attach + 1) * attach / 2 + (n - attach - 1) * attach;
+  EXPECT_EQ(edges.size(), expected);
+  // Preferential attachment always yields a connected graph.
+  const auto labels =
+      seq::union_find_components(n, edges);
+  EXPECT_TRUE(seq::single_component(labels));
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  const graph::Vertex n = 500;
+  const auto edges = barabasi_albert(n, 2, 23);
+  std::vector<int> degree(n, 0);
+  for (const WeightedEdge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const int max_degree = *std::max_element(degree.begin(), degree.end());
+  const double mean = 2.0 * edges.size() / n;
+  EXPECT_GT(max_degree, 5 * mean);  // scale-free hubs
+}
+
+TEST(RandomizeWeights, InRangeAndDeterministic) {
+  auto edges = erdos_renyi(50, 100, 1);
+  randomize_weights(edges, 10, 2);
+  for (const WeightedEdge& e : edges) {
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 10u);
+  }
+  auto edges2 = erdos_renyi(50, 100, 1);
+  randomize_weights(edges2, 10, 2);
+  EXPECT_TRUE(std::equal(edges.begin(), edges.end(), edges2.begin()));
+}
+
+}  // namespace
+}  // namespace camc::gen

@@ -1,0 +1,189 @@
+// Tests for the basic graph types: weighted edges, CSR adjacency, the
+// distributed edge array, and the sequential contraction reference.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "gen/verification.hpp"
+#include "graph/contraction_ref.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "graph/edge.hpp"
+#include "graph/local_graph.hpp"
+
+namespace camc::graph {
+namespace {
+
+TEST(WeightedEdge, CanonicalOrdersEndpoints) {
+  const WeightedEdge e{5, 2, 7};
+  const WeightedEdge c = e.canonical();
+  EXPECT_EQ(c.u, 2u);
+  EXPECT_EQ(c.v, 5u);
+  EXPECT_EQ(c.weight, 7u);
+  EXPECT_EQ(c.canonical().u, 2u);  // idempotent
+}
+
+TEST(WeightedEdge, EndpointLessSortsLexicographically) {
+  std::vector<WeightedEdge> edges{{2, 3, 1}, {1, 9, 1}, {2, 2, 1}, {1, 2, 1}};
+  std::sort(edges.begin(), edges.end(), EndpointLess{});
+  EXPECT_EQ(edges[0].v, 2u);
+  EXPECT_EQ(edges[1].v, 9u);
+  EXPECT_EQ(edges[2].v, 2u);
+  EXPECT_EQ(edges[3].v, 3u);
+}
+
+TEST(LocalGraph, BuildsSymmetricAdjacency) {
+  const std::vector<WeightedEdge> edges{{0, 1, 5}, {1, 2, 3}};
+  const LocalGraph g(3, edges);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  ASSERT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].vertex, 1u);
+  EXPECT_EQ(g.neighbors(0)[0].weight, 5u);
+}
+
+TEST(LocalGraph, DropsSelfLoopsKeepsParallelEdges) {
+  const std::vector<WeightedEdge> edges{{0, 0, 9}, {0, 1, 1}, {0, 1, 2}};
+  const LocalGraph g(2, edges);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);  // two parallel copies
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(LocalGraph, IsolatedVerticesHaveNoNeighbors) {
+  const LocalGraph g(4, std::vector<WeightedEdge>{{0, 1, 1}});
+  EXPECT_TRUE(g.neighbors(2).empty());
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(ContractionRef, MergesParallelEdgesAndDropsLoops) {
+  // Figure 2 of the paper: contracting (v4, v5) = (3, 4) combines the
+  // weight-2 and weight-3 edges into one of weight 5.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 2}, {0, 2, 1}, {1, 2, 2}, {3, 4, 2},
+      {3, 5, 2}, {4, 5, 3}, {2, 3, 1}, {2, 4, 1},
+  };
+  // Mapping merges 3 and 4 into label 3; 5 becomes 4.
+  const std::vector<Vertex> mapping{0, 1, 2, 3, 3, 4};
+  const auto contracted = contract_edges_reference(edges, mapping);
+
+  Weight total = 0;
+  bool found_combined = false;
+  for (const WeightedEdge& e : contracted) {
+    total += e.weight;
+    if (e.u == 3 && e.v == 4) {
+      found_combined = true;
+      EXPECT_EQ(e.weight, 5u);  // 2 + 3 combined
+    }
+    EXPECT_NE(e.u, e.v);
+  }
+  EXPECT_TRUE(found_combined);
+  // Total weight drops exactly by the contracted edge's weight (2).
+  EXPECT_EQ(total, 14u - 2u);
+}
+
+TEST(ContractionRef, IdentityMappingOnlyCanonicalizesAndCombines) {
+  const std::vector<WeightedEdge> edges{{1, 0, 2}, {0, 1, 3}, {2, 1, 1}};
+  const std::vector<Vertex> mapping{0, 1, 2};
+  const auto contracted = contract_edges_reference(edges, mapping);
+  ASSERT_EQ(contracted.size(), 2u);
+  EXPECT_EQ(contracted[0].weight, 5u);  // (0,1) combined
+}
+
+TEST(ContractionRef, AllToOneYieldsEmptyGraph) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 1}};
+  const std::vector<Vertex> mapping{0, 0, 0};
+  EXPECT_TRUE(contract_edges_reference(edges, mapping).empty());
+}
+
+TEST(CutValue, ComputesCrossingWeight) {
+  const auto g = gen::figure2_graph();
+  // The paper's minimum cut: {v1, v2, v3} = {0, 1, 2}, value 2.
+  EXPECT_EQ(cut_value(g.n, g.edges, std::vector<Vertex>{0, 1, 2}), 2u);
+  // Complement side gives the same value.
+  EXPECT_EQ(cut_value(g.n, g.edges, std::vector<Vertex>{3, 4, 5}), 2u);
+  // A single vertex's cut is its weighted degree.
+  EXPECT_EQ(cut_value(g.n, g.edges, std::vector<Vertex>{4}), 6u);
+}
+
+TEST(CutValue, EmptyAndFullSidesAreZero) {
+  const auto g = gen::cycle_graph(5);
+  EXPECT_EQ(cut_value(g.n, g.edges, {}), 0u);
+  EXPECT_EQ(cut_value(g.n, g.edges, std::vector<Vertex>{0, 1, 2, 3, 4}), 0u);
+}
+
+TEST(IsValidCutSide, ChecksShape) {
+  EXPECT_TRUE(is_valid_cut_side(4, std::vector<Vertex>{1, 3}));
+  EXPECT_FALSE(is_valid_cut_side(4, {}));                          // empty
+  EXPECT_FALSE(is_valid_cut_side(4, std::vector<Vertex>{0, 1, 2, 3}));  // full
+  EXPECT_FALSE(is_valid_cut_side(4, std::vector<Vertex>{1, 1}));   // dup
+  EXPECT_FALSE(is_valid_cut_side(4, std::vector<Vertex>{9}));      // range
+}
+
+TEST(NormalizeLabels, DensifiesPreservingPartition) {
+  std::vector<Vertex> labels{7, 3, 7, 9, 3};
+  const Vertex k = normalize_labels(labels);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3]);
+  for (const Vertex l : labels) EXPECT_LT(l, 3u);
+}
+
+class EdgeArrayParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeArrayParam, ScatterPartitionsAllEdges) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  std::vector<WeightedEdge> global;
+  for (Vertex i = 0; i < 25; ++i)
+    global.push_back(WeightedEdge{i, static_cast<Vertex>((i + 1) % 26), i + 1});
+
+  std::vector<std::size_t> local_sizes(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> global_counts(static_cast<std::size_t>(p));
+  std::vector<Weight> global_weights(static_cast<std::size_t>(p));
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 26, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    local_sizes[static_cast<std::size_t>(world.rank())] = dist.local().size();
+    global_counts[static_cast<std::size_t>(world.rank())] =
+        dist.global_edge_count(world);
+    global_weights[static_cast<std::size_t>(world.rank())] =
+        dist.global_weight(world);
+    EXPECT_EQ(dist.vertex_count(), 26u);
+  });
+
+  std::size_t total = 0;
+  for (const std::size_t s : local_sizes) {
+    total += s;
+    EXPECT_LE(s, 25u / static_cast<std::size_t>(p) + 1);
+  }
+  EXPECT_EQ(total, 25u);
+  for (const auto c : global_counts) EXPECT_EQ(c, 25u);
+  for (const auto w : global_weights) EXPECT_EQ(w, 25u * 26 / 2);
+}
+
+TEST_P(EdgeArrayParam, GatherRoundTripsScatter) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  std::vector<WeightedEdge> global{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4},
+                                   {0, 2, 5}};
+  std::vector<WeightedEdge> round_tripped;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 4, world.rank() == 0 ? global : std::vector<WeightedEdge>{});
+    auto gathered = dist.gather(world);
+    if (world.rank() == 0) round_tripped = gathered;
+  });
+  ASSERT_EQ(round_tripped.size(), global.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    EXPECT_EQ(round_tripped[i], global[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, EdgeArrayParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace camc::graph

@@ -1,0 +1,183 @@
+// Cross-module integration tests: full pipelines over generated inputs,
+// consistency between the three core algorithms, file round trips feeding
+// the distributed algorithms, and the artifact's repeated-seed protocol
+// (§A.6.2).
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/io.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+TEST(Integration, FileToDistributedMinCutPipeline) {
+  // Write a known graph to disk, read it back, scatter it, compute.
+  const auto g = gen::dumbbell_graph(7, 2);
+  const std::string path = ::testing::TempDir() + "/camc_integration.txt";
+  graph::write_edge_list_file(path, g.n, g.edges);
+  const auto parsed = graph::read_edge_list_file(path);
+
+  bsp::Machine machine(4);
+  Weight value = 0;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, parsed.n,
+        world.rank() == 0 ? parsed.edges : std::vector<WeightedEdge>{});
+    core::MinCutOptions options;
+    options.success_probability = 0.999;
+    options.seed = 5;
+    auto outcome = core::min_cut(world, dist, options);
+    if (world.rank() == 0) value = outcome.value;
+  });
+  EXPECT_EQ(value, g.min_cut);
+}
+
+TEST(Integration, MinCutZeroIffMoreThanOneComponent) {
+  // CC and MC must agree on connectivity for arbitrary inputs.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Vertex n = 60;
+    const auto edges = gen::erdos_renyi(n, 70, seed);  // near threshold
+    bsp::Machine machine(4);
+    Vertex components = 0;
+    Weight value = 1;
+    machine.run([&](bsp::Comm& world) {
+      DistributedEdgeArray for_cc = DistributedEdgeArray::scatter(
+          world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+      DistributedEdgeArray for_mc(n, for_cc.local());
+      core::CcOptions cc_options;
+      cc_options.seed = seed;
+      auto cc = core::connected_components(world, for_cc, cc_options);
+      core::MinCutOptions mc_options;
+      mc_options.success_probability = 0.999;
+      mc_options.seed = seed + 1;
+      auto mc = core::min_cut(world, for_mc, mc_options);
+      if (world.rank() == 0) {
+        components = cc.components;
+        value = mc.value;
+      }
+    });
+    EXPECT_EQ(components > 1, value == 0) << "seed " << seed;
+  }
+}
+
+TEST(Integration, ApproxUpperBoundsTrackExact) {
+  // §5.2/§A.6.2: the approximation stays within a modest multiplicative
+  // band of MC across generator families.
+  struct Input {
+    std::string name;
+    Vertex n;
+    std::vector<WeightedEdge> edges;
+  };
+  std::vector<Input> inputs;
+  inputs.push_back({"er", 64, gen::erdos_renyi(64, 1024, 3)});
+  inputs.push_back({"ws", 64, gen::watts_strogatz(64, 8, 0.3, 4)});
+  inputs.push_back({"ba", 64, gen::barabasi_albert(64, 6, 5)});
+  inputs.push_back({"rmat", 64, gen::rmat(6, 1024, 6)});
+
+  for (const auto& input : inputs) {
+    bsp::Machine machine(2);
+    Weight exact = 0, approx = 0;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, input.n,
+          world.rank() == 0 ? input.edges : std::vector<WeightedEdge>{});
+      core::MinCutOptions mc_options;
+      mc_options.success_probability = 0.999;
+      mc_options.seed = 8;
+      auto mc = core::min_cut(world, dist, mc_options);
+      core::ApproxMinCutOptions ax_options;
+      ax_options.seed = 9;
+      auto ax = core::approx_min_cut(world, dist, ax_options);
+      if (world.rank() == 0) {
+        exact = mc.value;
+        approx = ax.estimate;
+      }
+    });
+    if (exact == 0) {
+      EXPECT_EQ(approx, 0u) << input.name;
+      continue;
+    }
+    const double ratio =
+        static_cast<double>(approx) / static_cast<double>(exact);
+    EXPECT_GE(ratio, 1.0 / 16.0) << input.name;
+    EXPECT_LE(ratio, 16.0) << input.name;  // paper observed < 11
+  }
+}
+
+TEST(Integration, RepeatedSeedConsistencyProtocol) {
+  // §A.6.2: executions with the same seed produce the same result, and
+  // independently seeded runs agree on the value with overwhelming
+  // probability when each succeeds with >= 0.9.
+  const auto edges = gen::erdos_renyi(48, 480, 12);
+  std::vector<Weight> values;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    bsp::Machine machine(2);
+    Weight value = 0;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, 48, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+      core::MinCutOptions options;
+      options.success_probability = 0.95;
+      options.seed = seed;
+      auto outcome = core::min_cut(world, dist, options);
+      if (world.rank() == 0) value = outcome.value;
+    });
+    values.push_back(value);
+  }
+  // Majority agreement (all runs equal is the expected outcome).
+  const Weight mode = values[0];
+  int agree = 0;
+  for (const Weight v : values)
+    if (v == mode) ++agree;
+  EXPECT_GE(agree, 4);
+  // And against the deterministic oracle.
+  EXPECT_EQ(mode, seq::stoer_wagner_min_cut(48, edges).value);
+}
+
+TEST(Integration, LargerEndToEndRunStaysHealthy) {
+  // A moderately sized end-to-end exercise of all three algorithms under
+  // one machine, checking BSP accounting invariants along the way.
+  const Vertex n = 1024;
+  const auto edges = gen::rmat(10, 16'000, 99);
+  bsp::Machine machine(4);
+  auto outcome = machine.run([&](bsp::Comm& world) {
+    auto base = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    DistributedEdgeArray for_cc(n, base.local());
+    core::CcOptions cc_options;
+    auto cc = core::connected_components(world, for_cc, cc_options);
+    ASSERT_GE(cc.components, 1u);
+
+    core::ApproxMinCutOptions ax;
+    ax.seed = 2;
+    auto approx = core::approx_min_cut(world, base, ax);
+    (void)approx;
+
+    core::MinCutOptions mc;
+    mc.forced_trials = 8;
+    mc.seed = 3;
+    auto exact = core::min_cut(world, base, mc);
+    ASSERT_GE(exact.trials, 1u);
+  });
+  EXPECT_GT(outcome.stats.supersteps, 0u);
+  EXPECT_GT(outcome.stats.max_words_communicated, 0u);
+  EXPECT_GT(outcome.stats.max_comm_seconds, 0.0);
+  EXPECT_LT(outcome.stats.max_comm_seconds, outcome.wall_seconds + 1.0);
+}
+
+}  // namespace
+}  // namespace camc

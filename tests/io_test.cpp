@@ -1,0 +1,116 @@
+// Edge-list I/O: round trips, comments, optional weights, malformed input.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.hpp"
+
+namespace camc::graph {
+namespace {
+
+TEST(Io, RoundTrip) {
+  const std::vector<WeightedEdge> edges{{0, 1, 3}, {1, 2, 1}, {0, 2, 7}};
+  std::stringstream buffer;
+  write_edge_list(buffer, 3, edges);
+  const EdgeListFile parsed = read_edge_list(buffer);
+  EXPECT_EQ(parsed.n, 3u);
+  ASSERT_EQ(parsed.edges.size(), 3u);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    EXPECT_EQ(parsed.edges[i], edges[i]);
+}
+
+TEST(Io, DefaultWeightIsOne) {
+  std::stringstream input("2 1\n0 1\n");
+  const EdgeListFile parsed = read_edge_list(input);
+  ASSERT_EQ(parsed.edges.size(), 1u);
+  EXPECT_EQ(parsed.edges[0].weight, 1u);
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::stringstream input("# a comment\n\n% another\n3 2\n0 1 2\n# mid\n1 2 4\n");
+  const EdgeListFile parsed = read_edge_list(input);
+  EXPECT_EQ(parsed.n, 3u);
+  EXPECT_EQ(parsed.edges.size(), 2u);
+}
+
+TEST(Io, RejectsMissingHeader) {
+  std::stringstream input("# nothing\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsOutOfRangeEndpoint) {
+  std::stringstream input("2 1\n0 5 1\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsZeroWeight) {
+  std::stringstream input("2 1\n0 1 0\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsEdgeCountMismatch) {
+  std::stringstream input("3 5\n0 1 1\n1 2 1\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsMalformedEdgeLine) {
+  std::stringstream input("3 1\nzero one\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(Snap, RemapsSparseIdsDensely) {
+  std::stringstream input(
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "1000 2000\n"
+      "2000 77\n"
+      "77 1000\n");
+  const SnapFile parsed = read_snap(input);
+  EXPECT_EQ(parsed.n, 3u);
+  EXPECT_EQ(parsed.edges.size(), 3u);
+  ASSERT_EQ(parsed.original_ids.size(), 3u);
+  EXPECT_EQ(parsed.original_ids[0], 1000u);
+  EXPECT_EQ(parsed.original_ids[1], 2000u);
+  EXPECT_EQ(parsed.original_ids[2], 77u);
+  for (const WeightedEdge& e : parsed.edges) {
+    EXPECT_LT(e.u, 3u);
+    EXPECT_LT(e.v, 3u);
+    EXPECT_EQ(e.weight, 1u);
+  }
+}
+
+TEST(Snap, DropsSelfLoopsReadsWeights) {
+  std::stringstream input("5 5\n5 6 9\n");
+  const SnapFile parsed = read_snap(input);
+  EXPECT_EQ(parsed.n, 2u);
+  ASSERT_EQ(parsed.edges.size(), 1u);
+  EXPECT_EQ(parsed.edges[0].weight, 9u);
+}
+
+TEST(Snap, RejectsEmptyAndMalformed) {
+  std::stringstream empty("# only comments\n");
+  EXPECT_THROW(read_snap(empty), std::runtime_error);
+  std::stringstream malformed("abc def\n");
+  EXPECT_THROW(read_snap(malformed), std::runtime_error);
+  std::stringstream zero_weight("1 2 0\n");
+  EXPECT_THROW(read_snap(zero_weight), std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/camc_io_test_graph.txt";
+  const std::vector<WeightedEdge> edges{{0, 3, 2}, {3, 1, 9}};
+  write_edge_list_file(path, 4, edges);
+  const EdgeListFile parsed = read_edge_list_file(path);
+  EXPECT_EQ(parsed.n, 4u);
+  ASSERT_EQ(parsed.edges.size(), 2u);
+  EXPECT_EQ(parsed.edges[1].weight, 9u);
+}
+
+}  // namespace
+}  // namespace camc::graph

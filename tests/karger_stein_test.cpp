@@ -1,0 +1,127 @@
+// Karger-Stein recursive contraction: exactness against Stoer-Wagner and
+// the verification suite, run-count derivation, and the brute-force base
+// case.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/folded_dense.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::seq {
+namespace {
+
+using gen::KnownGraph;
+using graph::DenseGraph;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+Weight cut_value_of_side(Vertex n, std::span<const WeightedEdge> edges,
+                         std::span<const Vertex> side) {
+  std::vector<bool> in_side(n, false);
+  for (const Vertex v : side) in_side[v] = true;
+  Weight value = 0;
+  for (const WeightedEdge& e : edges)
+    if (in_side[e.u] != in_side[e.v]) value += e.weight;
+  return value;
+}
+
+TEST(BruteForce, KnowsTinyCuts) {
+  // Triangle with a pendant edge: cutting the pendant (weight 1) is best.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 3}, {1, 2, 3}, {0, 2, 3}, {2, 3, 1}};
+  const CutResult result = brute_force_min_cut(4, edges);
+  EXPECT_EQ(result.value, 1u);
+  ASSERT_EQ(result.side.size(), 1u);
+  EXPECT_EQ(result.side[0], 3u);
+}
+
+TEST(BruteForce, RejectsOutOfRangeSizes) {
+  EXPECT_THROW(brute_force_min_cut(1, {}), std::invalid_argument);
+  EXPECT_THROW(brute_force_min_cut(25, {}), std::invalid_argument);
+}
+
+TEST(RunCount, GrowsWithSuccessTarget) {
+  KargerSteinOptions tight;
+  tight.success_probability = 0.99;
+  KargerSteinOptions loose;
+  loose.success_probability = 0.5;
+  EXPECT_GT(karger_stein_run_count(1000, tight),
+            karger_stein_run_count(1000, loose));
+  EXPECT_GE(karger_stein_run_count(2, loose), 1u);
+}
+
+class SuiteKs : public ::testing::TestWithParam<KnownGraph> {};
+
+TEST_P(SuiteKs, FindsDeclaredMinimumCutWithHighProbability) {
+  const KnownGraph& g = GetParam();
+  KargerSteinOptions options;
+  options.success_probability = 0.999;  // test flakiness budget
+  const CutResult result = karger_stein_min_cut(g.n, g.edges, /*seed=*/7,
+                                                options);
+  EXPECT_EQ(result.value, g.min_cut) << g.name;
+  if (g.components == 1) {
+    ASSERT_FALSE(result.side.empty()) << g.name;
+    ASSERT_LT(result.side.size(), g.n) << g.name;
+    EXPECT_EQ(cut_value_of_side(g.n, g.edges, result.side), result.value)
+        << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnownGraphs, SuiteKs, ::testing::ValuesIn(gen::verification_suite()),
+    [](const ::testing::TestParamInfo<KnownGraph>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(KargerStein, AgreesWithStoerWagnerOnRandomWeightedGraphs) {
+  KargerSteinOptions options;
+  options.success_probability = 0.999;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Vertex n = 24;
+    auto edges = gen::erdos_renyi(n, 80, seed);
+    gen::randomize_weights(edges, 5, seed + 1);
+    const CutResult sw = stoer_wagner_min_cut(n, edges);
+    const CutResult ks = karger_stein_min_cut(n, edges, seed + 2, options);
+    EXPECT_EQ(ks.value, sw.value) << "seed " << seed;
+  }
+}
+
+TEST(KargerStein, NeverUnderestimates) {
+  // Any cut the algorithm reports is a real cut, so its value can never be
+  // below the true minimum, regardless of randomness.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Vertex n = 16;
+    const auto edges = gen::erdos_renyi(n, 48, seed);
+    const CutResult oracle = brute_force_min_cut(n, edges);
+    KargerSteinOptions cheap;
+    cheap.success_probability = 0.2;  // deliberately unreliable
+    const CutResult ks = karger_stein_min_cut(n, edges, seed, cheap);
+    EXPECT_GE(ks.value, oracle.value) << "seed " << seed;
+    EXPECT_EQ(cut_value_of_side(n, edges, ks.side), ks.value);
+  }
+}
+
+TEST(KargerStein, DisconnectedInputGivesZero) {
+  const auto g = gen::disjoint_cycles(2, 6);
+  const CutResult result = karger_stein_min_cut(g.n, g.edges, 1);
+  EXPECT_EQ(result.value, 0u);
+}
+
+TEST(RecursiveContraction, SingleRunReturnsAValidCut) {
+  const auto g = gen::dumbbell_graph(6, 2);
+  rng::Philox gen(11, 0);
+  const CutResult result =
+      recursive_contraction_run(graph::FoldedDense(g.n, g.edges), gen);
+  EXPECT_GE(result.value, g.min_cut);
+  EXPECT_EQ(cut_value_of_side(g.n, g.edges, result.side), result.value);
+}
+
+}  // namespace
+}  // namespace camc::seq

@@ -1,0 +1,82 @@
+// Matula's deterministic (2+eps)-approximation: band checks against exact
+// minimum cuts on the verification suite and random weighted graphs.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/matula.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::seq {
+namespace {
+
+using gen::KnownGraph;
+using graph::Vertex;
+using graph::Weight;
+
+class SuiteMatula : public ::testing::TestWithParam<KnownGraph> {};
+
+TEST_P(SuiteMatula, EstimateWithinTheBand) {
+  const KnownGraph& g = GetParam();
+  const double epsilon = 0.5;
+  const MatulaResult result = matula_approx_min_cut(g.n, g.edges, epsilon);
+  if (g.components > 1) {
+    EXPECT_EQ(result.estimate, 0u) << g.name;
+    return;
+  }
+  // Never below the true cut; at most (2 + eps) above it (+1 for the
+  // integer ceiling in k).
+  EXPECT_GE(result.estimate, g.min_cut) << g.name;
+  EXPECT_LE(static_cast<double>(result.estimate),
+            (2.0 + epsilon) * static_cast<double>(g.min_cut) + 1.0)
+      << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnownGraphs, SuiteMatula,
+    ::testing::ValuesIn(gen::verification_suite()),
+    [](const ::testing::TestParamInfo<KnownGraph>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Matula, BandHoldsOnRandomWeightedGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Vertex n = 40;
+    auto edges = gen::erdos_renyi(n, 320, seed);
+    gen::randomize_weights(edges, 6, seed + 7);
+    const Weight exact = stoer_wagner_min_cut(n, edges).value;
+    for (const double epsilon : {0.1, 0.5, 2.0}) {
+      const MatulaResult result = matula_approx_min_cut(n, edges, epsilon);
+      EXPECT_GE(result.estimate, exact) << "seed " << seed;
+      EXPECT_LE(static_cast<double>(result.estimate),
+                (2.0 + epsilon) * static_cast<double>(exact) + 1.0)
+          << "seed " << seed << " eps " << epsilon;
+    }
+  }
+}
+
+TEST(Matula, MuchTighterThanLogNFactorInPractice) {
+  // On unweighted near-regular graphs the estimate is typically delta of
+  // the original graph, i.e. within ~2x of the cut.
+  const auto g = gen::cycle_graph(100);
+  const MatulaResult result = matula_approx_min_cut(g.n, g.edges, 0.5);
+  EXPECT_GE(result.estimate, 2u);
+  EXPECT_LE(result.estimate, 5u);
+}
+
+TEST(Matula, RejectsBadArguments) {
+  EXPECT_THROW(matula_approx_min_cut(1, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(matula_approx_min_cut(4, {}, 0.0), std::invalid_argument);
+}
+
+TEST(Matula, DisconnectedGivesZero) {
+  const auto g = gen::disjoint_cycles(2, 6);
+  EXPECT_EQ(matula_approx_min_cut(g.n, g.edges).estimate, 0u);
+}
+
+}  // namespace
+}  // namespace camc::seq

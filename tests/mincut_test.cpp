@@ -1,0 +1,195 @@
+// Exact minimum cut (§4): verification suite and Stoer-Wagner agreement
+// across processor counts, both trial-scheduling regimes (p <= t sequential
+// trials, p > t distributed trials), never-underestimates property, side
+// validity, determinism.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+Weight cut_value_of_side(Vertex n, std::span<const WeightedEdge> edges,
+                         std::span<const Vertex> side) {
+  std::vector<bool> in_side(n, false);
+  for (const Vertex v : side) in_side[v] = true;
+  Weight value = 0;
+  for (const WeightedEdge& e : edges)
+    if (in_side[e.u] != in_side[e.v]) value += e.weight;
+  return value;
+}
+
+MinCutOutcome run_min_cut(int p, Vertex n,
+                          const std::vector<WeightedEdge>& edges,
+                          const MinCutOptions& options) {
+  bsp::Machine machine(p);
+  MinCutOutcome outcome;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    auto r = min_cut(world, dist, options);
+    if (world.rank() == 0) outcome = r;
+  });
+  return outcome;
+}
+
+MinCutOptions high_confidence(std::uint64_t seed) {
+  MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = seed;
+  return options;
+}
+
+class MinCutParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCutParam, VerificationSuite) {
+  const int p = GetParam();
+  for (const auto& g : gen::verification_suite()) {
+    const MinCutOutcome outcome =
+        run_min_cut(p, g.n, g.edges, high_confidence(13));
+    EXPECT_EQ(outcome.value, g.min_cut) << g.name << " p=" << p;
+    if (outcome.side_valid && g.components == 1 && outcome.value > 0) {
+      EXPECT_FALSE(outcome.side.empty()) << g.name;
+      EXPECT_LT(outcome.side.size(), g.n) << g.name;
+      EXPECT_EQ(cut_value_of_side(g.n, g.edges, outcome.side), outcome.value)
+          << g.name;
+    }
+  }
+}
+
+TEST_P(MinCutParam, AgreesWithStoerWagnerOnRandomGraphs) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Vertex n = 40;
+    auto edges = gen::erdos_renyi(n, 300, seed);
+    gen::randomize_weights(edges, 4, seed + 50);
+    const auto sw = seq::stoer_wagner_min_cut(n, edges);
+    const MinCutOutcome outcome =
+        run_min_cut(p, n, edges, high_confidence(seed + 100));
+    EXPECT_EQ(outcome.value, sw.value) << "seed " << seed << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, MinCutParam,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(MinCut, ResultIndependentOfProcessorCountInSequentialRegime) {
+  // With p <= t, trials are replicated deterministically by trial index, so
+  // the outcome must be bit-identical for every p.
+  const auto g = gen::dumbbell_graph(8, 2);
+  MinCutOptions options = high_confidence(21);
+  const MinCutOutcome reference = run_min_cut(1, g.n, g.edges, options);
+  for (const int p : {2, 3, 4, 8}) {
+    const MinCutOutcome outcome = run_min_cut(p, g.n, g.edges, options);
+    EXPECT_EQ(outcome.value, reference.value) << "p=" << p;
+    EXPECT_FALSE(outcome.used_distributed_trials);
+  }
+}
+
+TEST(MinCut, DistributedTrialRegimeIsExercisedAndCorrect) {
+  // Force t < p so ranks split into trial groups running the distributed
+  // Eager + Recursive steps.
+  for (const auto& g :
+       {gen::dumbbell_graph(8, 2), gen::cycle_graph(24), gen::figure2_graph(),
+        gen::complete_graph(12, 2), gen::weighted_ring(16)}) {
+    bool any_correct = true;
+    MinCutOptions options;
+    options.seed = 31;
+    options.forced_trials = 2;
+    options.leaf_size = 4;  // force distributed recursive-step levels
+    // Repeat a few seeds: two trials of a randomized algorithm; a single
+    // trial pair may legitimately miss the cut, so check >= and majority ==.
+    int exact = 0;
+    constexpr int kRepeats = 6;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      options.seed = 31 + static_cast<std::uint64_t>(repeat);
+      const MinCutOutcome outcome = run_min_cut(8, g.n, g.edges, options);
+      EXPECT_TRUE(outcome.used_distributed_trials);
+      EXPECT_GE(outcome.value, g.min_cut) << g.name;  // never underestimates
+      if (outcome.value == g.min_cut) ++exact;
+      if (outcome.side_valid && outcome.value > 0 && g.components == 1) {
+        EXPECT_EQ(cut_value_of_side(g.n, g.edges, outcome.side),
+                  outcome.value)
+            << g.name;
+      }
+      any_correct = any_correct && outcome.value >= g.min_cut;
+    }
+    EXPECT_TRUE(any_correct) << g.name;
+    EXPECT_GE(exact, kRepeats / 2) << g.name;
+  }
+}
+
+TEST(MinCut, NeverUnderestimatesEvenWithOneTrial) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Vertex n = 24;
+    const auto edges = gen::erdos_renyi(n, 96, seed);
+    const auto sw = seq::stoer_wagner_min_cut(n, edges);
+    MinCutOptions cheap;
+    cheap.forced_trials = 1;
+    cheap.seed = seed;
+    const MinCutOutcome outcome = run_min_cut(2, n, edges, cheap);
+    EXPECT_GE(outcome.value, sw.value) << "seed " << seed;
+    if (outcome.side_valid && outcome.value > 0) {
+      EXPECT_EQ(cut_value_of_side(n, edges, outcome.side), outcome.value);
+    }
+  }
+}
+
+TEST(MinCut, DisconnectedGraphIsZero) {
+  const auto g = gen::disjoint_cycles(2, 8);
+  const MinCutOutcome outcome = run_min_cut(4, g.n, g.edges, high_confidence(1));
+  EXPECT_EQ(outcome.value, 0u);
+  ASSERT_TRUE(outcome.side_valid);
+  EXPECT_EQ(cut_value_of_side(g.n, g.edges, outcome.side), 0u);
+  EXPECT_FALSE(outcome.side.empty());
+  EXPECT_LT(outcome.side.size(), g.n);
+}
+
+TEST(MinCut, EdgelessGraph) {
+  const MinCutOutcome outcome = run_min_cut(2, 5, {}, high_confidence(2));
+  EXPECT_EQ(outcome.value, 0u);
+}
+
+TEST(MinCut, TrialCountTracksDensity) {
+  // t = Theta((n^2 / m) log^2 n): denser graphs need fewer trials.
+  MinCutOptions options;
+  const auto sparse = min_cut_trial_count(1000, 4000, options);
+  const auto dense = min_cut_trial_count(1000, 400'000, options);
+  EXPECT_GT(sparse, dense);
+  EXPECT_GE(dense, 1u);
+
+  MinCutOptions forced;
+  forced.forced_trials = 17;
+  EXPECT_EQ(min_cut_trial_count(1000, 4000, forced), 17u);
+}
+
+TEST(MinCut, SequentialHelpersMatchParallelResult) {
+  const auto g = gen::weighted_ring(12);
+  MinCutOptions options = high_confidence(3);
+  const auto seq_result = sequential_min_cut(g.n, g.edges, options);
+  EXPECT_EQ(seq_result.value, g.min_cut);
+  const MinCutOutcome outcome = run_min_cut(1, g.n, g.edges, options);
+  EXPECT_EQ(outcome.value, seq_result.value);
+}
+
+TEST(MinCut, DeterministicPerSeed) {
+  const auto edges = gen::erdos_renyi(30, 120, 9);
+  MinCutOptions options;
+  options.seed = 77;
+  const MinCutOutcome a = run_min_cut(4, 30, edges, options);
+  const MinCutOutcome b = run_min_cut(4, 30, edges, options);
+  EXPECT_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace camc::core

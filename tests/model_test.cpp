@@ -1,0 +1,101 @@
+// Performance model: Table-1 bound relationships and least-squares fitting.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/bsp_model.hpp"
+
+namespace camc::model {
+namespace {
+
+TEST(Bounds, MinCutComputationScalesInverselyWithP) {
+  Instance one{10'000, 100'000, 1, 8};
+  Instance many{10'000, 100'000, 16, 8};
+  const Bounds b1 = min_cut_bounds(one);
+  const Bounds b16 = min_cut_bounds(many);
+  EXPECT_NEAR(b1.computation / b16.computation, 16.0, 1e-9);
+}
+
+TEST(Bounds, MinCutImprovesOnPreviousBsp) {
+  // Table 1's claim: both computation and communication are lower than the
+  // previous BSP algorithm by log factors.
+  const Instance inst{100'000, 1'000'000, 64, 8};
+  const Bounds ours = min_cut_bounds(inst);
+  const Bounds previous = previous_bsp_bounds(inst);
+  EXPECT_LT(ours.computation, previous.computation);
+  EXPECT_LT(ours.communication_volume, previous.communication_volume);
+  EXPECT_LT(ours.supersteps, previous.supersteps);
+}
+
+TEST(Bounds, MinCutCacheMissesMatchCoKargerSteinAtPEqualsOne) {
+  const Instance inst{50'000, 500'000, 1, 8};
+  const Bounds ours = min_cut_bounds(inst);
+  const Bounds ks = co_karger_stein_bounds(inst);
+  EXPECT_NEAR(ours.cache_misses, ks.cache_misses, 1e-6 * ks.cache_misses);
+}
+
+TEST(Bounds, SpaceIsCappedByM) {
+  const Instance sparse{100'000, 400'000, 2, 8};
+  const Bounds b = min_cut_bounds(sparse);
+  EXPECT_LE(b.space, 400'000.0);
+}
+
+TEST(Bounds, CcSuperstepsAreConstant) {
+  const Bounds small = connected_components_bounds({1000, 8000, 4, 8}, 0.2);
+  const Bounds large =
+      connected_components_bounds({1'000'000, 32'000'000, 64, 8}, 0.2);
+  EXPECT_EQ(small.supersteps, large.supersteps);
+}
+
+TEST(Bounds, ApproxMinCutCommunicationIndependentOfM) {
+  const Bounds thin = approx_min_cut_bounds({10'000, 50'000, 4, 8}, 0.2);
+  const Bounds fat = approx_min_cut_bounds({10'000, 5'000'000, 4, 8}, 0.2);
+  EXPECT_EQ(thin.communication_volume, fat.communication_volume);
+  EXPECT_LT(thin.computation, fat.computation);
+}
+
+TEST(Fit, RecoversPlantedLinearModel) {
+  // seconds = 3e-9 * comp + 2e-8 * vol * log2(p) + 0.5
+  std::vector<Observation> observations;
+  for (const double p : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    for (const double n : {1000.0, 2000.0, 4000.0}) {
+      Instance inst{n, 32 * n, p, 8};
+      const Bounds b = min_cut_bounds(inst);
+      Observation ob;
+      ob.instance = inst;
+      ob.seconds = 3e-9 * b.computation +
+                   2e-8 * b.communication_volume * std::log2(std::max(2.0, p)) +
+                   0.5;
+      observations.push_back(ob);
+    }
+  }
+  const FittedModel model = fit(observations, &min_cut_bounds);
+  EXPECT_NEAR(model.comp_constant, 3e-9, 3e-10);
+  EXPECT_NEAR(model.comm_constant, 2e-8, 2e-9);
+  EXPECT_NEAR(model.overhead, 0.5, 0.05);
+
+  // Predictions reproduce the observations.
+  for (const Observation& ob : observations) {
+    const double predicted =
+        model.predict(min_cut_bounds(ob.instance), ob.instance);
+    EXPECT_NEAR(predicted, ob.seconds, 0.01 * ob.seconds + 0.01);
+  }
+}
+
+TEST(Fit, HandlesTwoObservations) {
+  std::vector<Observation> observations(2);
+  observations[0].instance = {1000, 32'000, 1, 8};
+  observations[0].seconds = 1.0;
+  observations[1].instance = {2000, 64'000, 1, 8};
+  observations[1].seconds = 4.0;
+  const FittedModel model = fit(observations, &min_cut_bounds);
+  EXPECT_GE(model.comp_constant, 0.0);
+}
+
+TEST(Fit, RejectsEmptyInput) {
+  EXPECT_THROW(fit({}, &min_cut_bounds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camc::model

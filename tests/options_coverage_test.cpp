@@ -1,0 +1,154 @@
+// Option-space coverage: the algorithms must stay correct across their
+// tuning knobs (sigma, leaf sizes, trial multipliers, epsilon, deltas),
+// not just at the defaults.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+struct MinCutKnobs {
+  double sigma;
+  Vertex leaf_size;
+  double trial_multiplier;
+};
+
+class MinCutOptionSweep : public ::testing::TestWithParam<MinCutKnobs> {};
+
+TEST_P(MinCutOptionSweep, StillExactOnKnownCuts) {
+  const auto [sigma, leaf_size, multiplier] = GetParam();
+  MinCutOptions options;
+  options.sigma = sigma;
+  options.leaf_size = leaf_size;
+  options.trial_multiplier = multiplier;
+  options.success_probability = 0.999;
+  options.seed = 23;
+
+  for (const auto& g : {gen::dumbbell_graph(7, 2), gen::weighted_ring(14),
+                        gen::figure2_graph()}) {
+    bsp::Machine machine(4);
+    Weight value = 0;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
+      auto result = min_cut(world, dist, options);
+      if (world.rank() == 0) value = result.value;
+    });
+    EXPECT_EQ(value, g.min_cut) << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, MinCutOptionSweep,
+    ::testing::Values(MinCutKnobs{0.05, 64, 1.0}, MinCutKnobs{0.5, 64, 1.0},
+                      MinCutKnobs{0.2, 8, 1.0}, MinCutKnobs{0.2, 256, 1.0},
+                      MinCutKnobs{0.2, 64, 3.0}),
+    [](const ::testing::TestParamInfo<MinCutKnobs>& info) {
+      return "sigma" + std::to_string(static_cast<int>(info.param.sigma * 100)) +
+             "_leaf" + std::to_string(info.param.leaf_size) + "_mult" +
+             std::to_string(static_cast<int>(info.param.trial_multiplier * 10));
+    });
+
+TEST(OptionCoverage, CcEpsilonSweep) {
+  const Vertex n = 300;
+  const auto edges = gen::erdos_renyi(n, 900, 4);
+  const auto oracle = seq::union_find_components(n, edges);
+  for (const double epsilon : {0.05, 0.2, 0.6}) {
+    bsp::Machine machine(3);
+    CcResult result;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+      CcOptions options;
+      options.epsilon = epsilon;
+      options.seed = 5;
+      auto r = connected_components(world, dist, options);
+      if (world.rank() == 0) result = r;
+    });
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle))
+        << "epsilon " << epsilon;
+  }
+}
+
+TEST(OptionCoverage, CcDeltaSweep) {
+  const Vertex n = 300;
+  const auto edges = gen::erdos_renyi(n, 2000, 6);
+  const auto oracle = seq::union_find_components(n, edges);
+  for (const double delta : {0.1, 0.5, 0.9}) {
+    bsp::Machine machine(4);
+    CcResult result;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+      CcOptions options;
+      options.delta = delta;
+      options.seed = 7;
+      auto r = connected_components(world, dist, options);
+      if (world.rank() == 0) result = r;
+    });
+    EXPECT_TRUE(seq::same_partition(result.labels, oracle))
+        << "delta " << delta;
+  }
+}
+
+TEST(OptionCoverage, ApproxTrialOverrides) {
+  const auto g = gen::cycle_graph(48);
+  for (const std::uint32_t trials : {1u, 4u, 40u}) {
+    bsp::Machine machine(2);
+    ApproxMinCutResult result;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
+      ApproxMinCutOptions options;
+      options.trials = trials;
+      options.seed = 9;
+      auto r = approx_min_cut(world, dist, options);
+      if (world.rank() == 0) result = r;
+    });
+    EXPECT_EQ(result.trials_per_iteration, trials);
+    EXPECT_GT(result.estimate, 0u);
+  }
+}
+
+TEST(OptionCoverage, MinCutWithoutSideSkipsReconstruction) {
+  const auto g = gen::dumbbell_graph(6, 2);
+  bsp::Machine machine(4);
+  MinCutOutcome outcome;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
+    MinCutOptions options;
+    options.success_probability = 0.999;
+    options.seed = 2;
+    options.want_side = false;
+    auto r = min_cut(world, dist, options);
+    if (world.rank() == 0) outcome = r;
+  });
+  EXPECT_EQ(outcome.value, g.min_cut);
+  EXPECT_FALSE(outcome.side_valid);
+  EXPECT_TRUE(outcome.side.empty());
+}
+
+TEST(OptionCoverage, MaxTrialsCapIsRespected) {
+  MinCutOptions options;
+  options.max_trials = 5;
+  options.success_probability = 0.999999;
+  EXPECT_LE(min_cut_trial_count(10'000, 20'000, options), 5u);
+}
+
+}  // namespace
+}  // namespace camc::core

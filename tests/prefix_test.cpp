@@ -1,0 +1,64 @@
+// Prefix Selection (Iterated Sampling step 2): longest-prefix semantics and
+// the induced contraction mapping.
+
+#include <gtest/gtest.h>
+
+#include "core/prefix.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+TEST(PrefixSelection, StopsExactlyAtTargetComponents) {
+  // Path edges in order: each union reduces the count by one.
+  const std::vector<WeightedEdge> sample{
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}};
+  const PrefixSelection sel = select_prefix(5, sample, 3);
+  EXPECT_EQ(sel.components, 3u);
+  EXPECT_EQ(sel.prefix_length, 2u);
+  EXPECT_EQ(sel.mapping[0], sel.mapping[1]);
+  EXPECT_EQ(sel.mapping[1], sel.mapping[2]);
+  EXPECT_NE(sel.mapping[0], sel.mapping[3]);
+  EXPECT_NE(sel.mapping[3], sel.mapping[4]);
+}
+
+TEST(PrefixSelection, RedundantEdgesExtendThePrefix) {
+  // The second edge repeats the first union; it must not end the prefix.
+  const std::vector<WeightedEdge> sample{
+      {0, 1, 1}, {1, 0, 1}, {2, 3, 1}, {3, 4, 1}};
+  const PrefixSelection sel = select_prefix(5, sample, 3);
+  EXPECT_EQ(sel.components, 3u);
+  EXPECT_GE(sel.prefix_length, 3u);
+}
+
+TEST(PrefixSelection, WholeSampleWhenTargetUnreachable) {
+  const std::vector<WeightedEdge> sample{{0, 1, 1}};
+  const PrefixSelection sel = select_prefix(6, sample, 2);
+  EXPECT_EQ(sel.prefix_length, 1u);
+  EXPECT_EQ(sel.components, 5u);  // as low as the sample can go is 5
+}
+
+TEST(PrefixSelection, TargetEqualLabelSpaceKeepsEverythingSeparate) {
+  const std::vector<WeightedEdge> sample{{0, 1, 1}, {1, 2, 1}};
+  const PrefixSelection sel = select_prefix(3, sample, 3);
+  EXPECT_EQ(sel.components, 3u);
+  EXPECT_EQ(sel.prefix_length, 0u);
+}
+
+TEST(PrefixSelection, MappingIsDense) {
+  const std::vector<WeightedEdge> sample{{0, 5, 1}, {5, 9, 1}, {1, 2, 1}};
+  const PrefixSelection sel = select_prefix(10, sample, 7);
+  EXPECT_EQ(sel.components, 7u);
+  for (const Vertex l : sel.mapping) EXPECT_LT(l, 7u);
+}
+
+TEST(PrefixSelection, EmptySample) {
+  const PrefixSelection sel = select_prefix(4, {}, 2);
+  EXPECT_EQ(sel.components, 4u);
+  EXPECT_EQ(sel.prefix_length, 0u);
+}
+
+}  // namespace
+}  // namespace camc::core

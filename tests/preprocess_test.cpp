@@ -1,0 +1,134 @@
+// Weight preprocessing (§2.3 / [25 §7.1]): contracting overweight edges
+// preserves the minimum cut exactly and bounds remaining weights by the
+// minimum-degree bound.
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/preprocess.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// A graph whose weights span many orders of magnitude: two hubs joined by
+/// astronomically heavy edges, plus a light fringe whose cut is minimum.
+std::vector<WeightedEdge> heavy_tailed_graph(Vertex& n_out) {
+  std::vector<WeightedEdge> edges;
+  // Heavy core 0..5: a clique of weight ~1e15.
+  for (Vertex i = 0; i < 6; ++i)
+    for (Vertex j = i + 1; j < 6; ++j)
+      edges.push_back({i, j, 1'000'000'000'000'000ull});
+  // Light ring 6..13 (weight-4 edges, so any two ring edges cost 8) hangs
+  // off the core by a single weight-7 edge: the minimum cut is 7.
+  for (Vertex v = 6; v < 13; ++v)
+    edges.push_back({v, static_cast<Vertex>(v + 1), 4});
+  edges.push_back({13, 6, 4});
+  edges.push_back({0, 6, 7});  // the only core attachment; min cut = 7
+  n_out = 14;
+  return edges;
+}
+
+TEST(Preprocess, ContractsHeavyCorePreservingMinCut) {
+  Vertex n = 0;
+  auto edges = heavy_tailed_graph(n);
+  const Weight before = seq::stoer_wagner_min_cut(n, edges).value;
+
+  auto working = edges;
+  const PreprocessResult result = contract_heavy_edges(n, working);
+
+  EXPECT_LT(result.new_n, n);  // the heavy clique collapsed
+  EXPECT_GE(result.rounds, 1u);
+  // Remaining weights are bounded by the final min-degree bound.
+  for (const WeightedEdge& e : working)
+    EXPECT_LE(e.weight, result.degree_bound);
+  // The minimum cut value is unchanged.
+  const Weight after =
+      seq::stoer_wagner_min_cut(result.new_n, working).value;
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after, 7u);
+}
+
+TEST(Preprocess, MappingIsAValidContraction) {
+  Vertex n = 0;
+  auto edges = heavy_tailed_graph(n);
+  auto working = edges;
+  const PreprocessResult result = contract_heavy_edges(n, working);
+  ASSERT_EQ(result.mapping.size(), n);
+  for (const Vertex label : result.mapping) EXPECT_LT(label, result.new_n);
+  // All six heavy-core vertices map to the same label.
+  for (Vertex v = 1; v < 6; ++v)
+    EXPECT_EQ(result.mapping[v], result.mapping[0]);
+}
+
+TEST(Preprocess, NoOpOnUniformWeights) {
+  const auto g = gen::cycle_graph(10);
+  auto working = g.edges;
+  const PreprocessResult result = contract_heavy_edges(g.n, working);
+  EXPECT_EQ(result.new_n, g.n);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(working.size(), g.edges.size());
+}
+
+TEST(Preprocess, DisconnectedGraphIsLeftAlone) {
+  const auto g = gen::disjoint_cycles(2, 5);
+  auto working = g.edges;
+  const PreprocessResult result = contract_heavy_edges(g.n, working);
+  EXPECT_EQ(result.new_n, g.n);
+  EXPECT_EQ(result.rounds, 0u);
+  // The min-degree bound is still a valid (if loose) cut upper bound.
+  EXPECT_EQ(result.degree_bound, 2u);
+}
+
+TEST(Preprocess, IsolatedVertexShortCircuits) {
+  // An isolated vertex makes the minimum cut 0; preprocessing must bail
+  // out immediately rather than contract anything.
+  std::vector<WeightedEdge> edges{{0, 1, 100}, {1, 2, 100}, {2, 0, 100}};
+  auto working = edges;
+  const PreprocessResult result = contract_heavy_edges(4, working);
+  EXPECT_EQ(result.new_n, 4u);
+  EXPECT_EQ(result.degree_bound, 0u);
+  EXPECT_EQ(working.size(), edges.size());
+}
+
+class PreprocessParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessParallel, MatchesSequentialResult) {
+  const int p = GetParam();
+  Vertex n = 0;
+  const auto edges = heavy_tailed_graph(n);
+
+  auto sequential_edges = edges;
+  const PreprocessResult sequential = contract_heavy_edges(n, sequential_edges);
+
+  bsp::Machine machine(p);
+  PreprocessResult parallel;
+  Weight contracted_cut = 0;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = graph::DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    rng::Philox gen(3, static_cast<std::uint64_t>(world.rank()));
+    auto result = contract_heavy_edges(world, dist, gen);
+    auto remaining = dist.gather(world);
+    if (world.rank() == 0) {
+      parallel = result;
+      contracted_cut =
+          seq::stoer_wagner_min_cut(result.new_n, remaining).value;
+    }
+  });
+  EXPECT_EQ(parallel.new_n, sequential.new_n);
+  EXPECT_EQ(parallel.degree_bound, sequential.degree_bound);
+  EXPECT_EQ(contracted_cut, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, PreprocessParallel,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace camc::core

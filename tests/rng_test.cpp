@@ -1,0 +1,179 @@
+// Unit and property tests for the Philox PRNG, alias table, prefix-sum
+// sampler, and random permutations.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/alias_table.hpp"
+#include "rng/permutation.hpp"
+#include "rng/philox.hpp"
+#include "rng/weighted_sampler.hpp"
+
+namespace camc::rng {
+namespace {
+
+TEST(Philox, KnownRoundFunctionChanges) {
+  // The block function must be a nontrivial bijection-ish mixer: distinct
+  // counters map to distinct-looking outputs.
+  const PhiloxBlock a = philox4x32({0, 0, 0, 0}, {0, 0});
+  const PhiloxBlock b = philox4x32({1, 0, 0, 0}, {0, 0});
+  const PhiloxBlock c = philox4x32({0, 0, 0, 0}, {1, 0});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(Philox, DeterministicAcrossInstances) {
+  Philox g1(42, 7), g2(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(g1(), g2());
+}
+
+TEST(Philox, StreamsDiffer) {
+  Philox g1(42, 0), g2(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (g1() == g2()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Philox, SeedsDiffer) {
+  Philox g1(1, 0), g2(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (g1() == g2()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Philox, DiscardBlocksSkipsDeterministically) {
+  Philox base(9, 3);
+  std::vector<std::uint64_t> sequence;
+  for (int i = 0; i < 64; ++i) sequence.push_back(base());
+
+  Philox skipped(9, 3);
+  skipped.discard_blocks(4);  // 4 blocks = 8 64-bit outputs
+  EXPECT_EQ(skipped(), sequence[8]);
+}
+
+TEST(Philox, BoundedStaysInRange) {
+  Philox gen(5, 5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(gen.bounded(bound), bound);
+  }
+}
+
+TEST(Philox, BoundedIsRoughlyUniform) {
+  Philox gen(123, 0);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) ++histogram[gen.bounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int count : histogram)
+    EXPECT_NEAR(count, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Philox, UniformRealInUnitInterval) {
+  Philox gen(77, 0);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = gen.uniform_real();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+}
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(AliasTable, SingleCategory) {
+  const AliasTable table(std::vector<double>{3.0});
+  Philox gen(1, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(gen), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  Philox gen(2, 2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(table.sample(gen), 1u);
+}
+
+class SamplerDistribution
+    : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(SamplerDistribution, MatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0, 10.0};
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  constexpr int kDraws = 100'000;
+
+  Philox gen(31337, 0);
+  std::vector<int> histogram(weights.size(), 0);
+  const auto indices = sample_indices(weights, kDraws, gen, GetParam());
+  for (const std::size_t i : indices) ++histogram[i];
+
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kDraws * weights[i] / total;
+    EXPECT_NEAR(histogram[i], expected, 5 * std::sqrt(expected) + 5)
+        << "category " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSamplers, SamplerDistribution,
+                         ::testing::Values(SamplerKind::kAlias,
+                                           SamplerKind::kPrefixSum));
+
+TEST(PrefixSumSampler, RejectsBadInput) {
+  EXPECT_THROW(PrefixSumSampler(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(PrefixSumSampler(std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+TEST(Permutation, IsAPermutation) {
+  Philox gen(4, 4);
+  const auto perm = random_permutation(257, gen);
+  std::vector<std::uint64_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Permutation, FirstPositionUniform) {
+  // Every element should land in position 0 about equally often.
+  constexpr int kSize = 8;
+  constexpr int kRounds = 40'000;
+  std::array<int, kSize> histogram{};
+  for (int round = 0; round < kRounds; ++round) {
+    Philox gen(99, static_cast<std::uint64_t>(round));
+    std::vector<int> items(kSize);
+    std::iota(items.begin(), items.end(), 0);
+    shuffle(items, gen);
+    ++histogram[static_cast<std::size_t>(items[0])];
+  }
+  const double expected = static_cast<double>(kRounds) / kSize;
+  for (const int count : histogram)
+    EXPECT_NEAR(count, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Permutation, EmptyAndSingleton) {
+  Philox gen(1, 2);
+  std::vector<int> empty;
+  shuffle(empty, gen);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, gen);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace camc::rng

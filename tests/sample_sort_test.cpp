@@ -1,0 +1,126 @@
+// Distributed sample sort: global order, multiset preservation, degenerate
+// inputs, across processor counts.
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "bsp/sample_sort.hpp"
+#include "graph/edge.hpp"
+
+namespace camc::bsp {
+namespace {
+
+struct Case {
+  int p;
+  std::size_t per_rank;
+};
+
+class SampleSort : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SampleSort, SortsGloballyAndPreservesMultiset) {
+  const auto [p, per_rank] = GetParam();
+  Machine machine(p);
+  std::vector<std::vector<std::uint64_t>> slices(
+      static_cast<std::size_t>(p));
+  machine.run([&](Comm& world) {
+    rng::Philox gen(2024, 50 + static_cast<std::uint64_t>(world.rank()));
+    std::vector<std::uint64_t> local(per_rank);
+    for (auto& x : local) x = gen.bounded(1000);
+    const std::vector<std::uint64_t> original = local;
+
+    auto sorted = sample_sort(world, std::move(local),
+                              std::less<std::uint64_t>{}, gen);
+    // Locally sorted.
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    slices[static_cast<std::size_t>(world.rank())] = sorted;
+    // Re-generate input for the multiset check in the main thread.
+    (void)original;
+  });
+
+  // Concatenation is globally sorted.
+  std::vector<std::uint64_t> combined;
+  for (const auto& s : slices)
+    combined.insert(combined.end(), s.begin(), s.end());
+  EXPECT_TRUE(std::is_sorted(combined.begin(), combined.end()));
+  EXPECT_EQ(combined.size(), per_rank * static_cast<std::size_t>(p));
+
+  // Multiset equality against a sequential regeneration of the input.
+  std::vector<std::uint64_t> expected;
+  for (int r = 0; r < p; ++r) {
+    rng::Philox gen(2024, 50 + static_cast<std::uint64_t>(r));
+    for (std::size_t i = 0; i < per_rank; ++i)
+      expected.push_back(gen.bounded(1000));
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(combined, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleSort,
+    ::testing::Values(Case{1, 100}, Case{2, 1000}, Case{3, 97}, Case{4, 250},
+                      Case{8, 33}, Case{4, 1}, Case{4, 0}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "p" + std::to_string(info.param.p) + "_n" +
+             std::to_string(info.param.per_rank);
+    });
+
+TEST(SampleSortEdgeCases, AllEqualKeys) {
+  Machine machine(4);
+  std::vector<std::size_t> sizes(4);
+  machine.run([&](Comm& world) {
+    rng::Philox gen(1, static_cast<std::uint64_t>(world.rank()));
+    std::vector<int> local(50, 7);
+    auto sorted = sample_sort(world, std::move(local), std::less<int>{}, gen);
+    for (const int x : sorted) ASSERT_EQ(x, 7);
+    sizes[static_cast<std::size_t>(world.rank())] = sorted.size();
+  });
+  std::size_t total = 0;
+  for (const std::size_t s : sizes) total += s;
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(SampleSortEdgeCases, SkewedInputOneRankHasEverything) {
+  Machine machine(4);
+  std::vector<std::vector<int>> slices(4);
+  machine.run([&](Comm& world) {
+    rng::Philox gen(3, static_cast<std::uint64_t>(world.rank()));
+    std::vector<int> local;
+    if (world.rank() == 2) {
+      for (int i = 400; i-- > 0;) local.push_back(i);
+    }
+    slices[static_cast<std::size_t>(world.rank())] =
+        sample_sort(world, std::move(local), std::less<int>{}, gen);
+  });
+  std::vector<int> combined;
+  for (const auto& s : slices)
+    combined.insert(combined.end(), s.begin(), s.end());
+  EXPECT_EQ(combined.size(), 400u);
+  EXPECT_TRUE(std::is_sorted(combined.begin(), combined.end()));
+}
+
+TEST(SampleSortEdgeCases, SortsEdgesByEndpoint) {
+  Machine machine(3);
+  std::vector<std::vector<graph::WeightedEdge>> slices(3);
+  machine.run([&](Comm& world) {
+    rng::Philox gen(9, static_cast<std::uint64_t>(world.rank()));
+    std::vector<graph::WeightedEdge> local;
+    for (int i = 0; i < 100; ++i) {
+      const auto u = static_cast<graph::Vertex>(gen.bounded(20));
+      const auto v = static_cast<graph::Vertex>(gen.bounded(20));
+      local.push_back(graph::WeightedEdge{u, v, 1}.canonical());
+    }
+    slices[static_cast<std::size_t>(world.rank())] = sample_sort(
+        world, std::move(local), graph::EndpointLess{}, gen);
+  });
+  std::vector<graph::WeightedEdge> combined;
+  for (const auto& s : slices)
+    combined.insert(combined.end(), s.begin(), s.end());
+  EXPECT_TRUE(
+      std::is_sorted(combined.begin(), combined.end(), graph::EndpointLess{}));
+}
+
+}  // namespace
+}  // namespace camc::bsp

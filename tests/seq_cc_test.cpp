@@ -1,0 +1,102 @@
+// Sequential connected-components baselines: DFS (BGL stand-in) and
+// union-find (Galois stand-in) must agree with each other and with the
+// verification suite on every input.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::seq {
+namespace {
+
+using gen::KnownGraph;
+using graph::LocalGraph;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+TEST(UnionFind, BasicMergeSemantics) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already merged
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  dsu.unite(1, 3);
+  EXPECT_TRUE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.component_count(), 2u);
+}
+
+TEST(UnionFind, LabelsAreConsistentRoots) {
+  UnionFind dsu(6);
+  dsu.unite(0, 1);
+  dsu.unite(1, 2);
+  dsu.unite(4, 5);
+  const auto labels = dsu.labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(SamePartition, DetectsEquivalentAndDifferentPartitions) {
+  const std::vector<Vertex> a{0, 0, 1, 1};
+  const std::vector<Vertex> b{5, 5, 9, 9};
+  const std::vector<Vertex> c{5, 5, 9, 5};
+  EXPECT_TRUE(same_partition(a, b));
+  EXPECT_FALSE(same_partition(a, c));
+  EXPECT_FALSE(same_partition(a, std::vector<Vertex>{0, 0, 1}));
+}
+
+class SuiteCc : public ::testing::TestWithParam<KnownGraph> {};
+
+TEST_P(SuiteCc, DfsAndUnionFindAgree) {
+  const KnownGraph& g = GetParam();
+  const LocalGraph csr(g.n, g.edges);
+  const auto dfs = dfs_components(csr);
+  const auto uf = union_find_components(g.n, g.edges);
+  EXPECT_EQ(component_count(dfs), g.components) << g.name;
+  EXPECT_TRUE(same_partition(dfs, uf)) << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnownGraphs, SuiteCc, ::testing::ValuesIn(gen::verification_suite()),
+    [](const ::testing::TestParamInfo<KnownGraph>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(SeqCc, RandomGraphsAgreeAcrossAlgorithms) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Vertex n = 200;
+    const auto edges = gen::erdos_renyi(n, 150, seed);  // below threshold:
+    const LocalGraph csr(n, edges);                     // many components
+    const auto dfs = dfs_components(csr);
+    const auto uf = union_find_components(n, edges);
+    EXPECT_TRUE(same_partition(dfs, uf)) << "seed " << seed;
+    EXPECT_GT(component_count(dfs), 1u);
+  }
+}
+
+TEST(SeqCc, EmptyGraphIsAllSingletons) {
+  const auto labels = union_find_components(7, {});
+  EXPECT_EQ(component_count(labels), 7u);
+}
+
+TEST(SeqCc, DfsLabelsAreDense) {
+  const auto g = gen::disjoint_cycles(3, 4);
+  const LocalGraph csr(g.n, g.edges);
+  const auto labels = dfs_components(csr);
+  for (const Vertex l : labels) EXPECT_LT(l, 3u);
+}
+
+}  // namespace
+}  // namespace camc::seq

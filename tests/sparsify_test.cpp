@@ -1,0 +1,162 @@
+// Communication-avoiding sparsification (§3.1): Lemma 3.1's distribution
+// property, sample sizes, superstep counts, and the unweighted fast path.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/sparsify.hpp"
+#include "gen/generators.hpp"
+
+namespace camc::core {
+namespace {
+
+using graph::DistributedEdgeArray;
+
+class SparsifyParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparsifyParam, WeightedSampleMatchesLemma31Distribution) {
+  const int p = GetParam();
+  // Three edges with weights 1 : 2 : 5. Per Lemma 3.1, each sample position
+  // must hold edge e with probability w(e) / 8 regardless of which rank
+  // stores e.
+  const std::vector<graph::WeightedEdge> global{
+      {0, 1, 1}, {1, 2, 2}, {2, 3, 5}};
+  constexpr std::uint64_t kSamples = 40'000;
+
+  bsp::Machine machine(p);
+  std::vector<graph::WeightedEdge> sample;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 4, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+    rng::Philox gen(77, static_cast<std::uint64_t>(world.rank()));
+    auto s = sparsify_weighted(world, dist, kSamples, gen);
+    if (world.rank() == 0) sample = s;
+  });
+
+  ASSERT_EQ(sample.size(), kSamples);
+  std::map<graph::Vertex, std::uint64_t> histogram;  // by u endpoint
+  for (const auto& e : sample) ++histogram[e.u];
+  const double unit = static_cast<double>(kSamples) / 8.0;
+  EXPECT_NEAR(histogram[0], unit, 5 * std::sqrt(unit) + 5);
+  EXPECT_NEAR(histogram[1], 2 * unit, 5 * std::sqrt(2 * unit) + 5);
+  EXPECT_NEAR(histogram[2], 5 * unit, 5 * std::sqrt(5 * unit) + 5);
+}
+
+TEST_P(SparsifyParam, WeightedSamplePositionsAreExchangeable) {
+  // Lemma 3.1 requires every *position* to have the same distribution; a
+  // biased concatenation without the final permutation would fail this.
+  const int p = GetParam();
+  const std::vector<graph::WeightedEdge> global{
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}};
+  constexpr int kRounds = 4000;
+
+  bsp::Machine machine(p);
+  std::vector<std::uint64_t> first_pos_histogram(4, 0);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 4, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+    rng::Philox gen(123, 1000 + static_cast<std::uint64_t>(world.rank()));
+    for (int round = 0; round < kRounds; ++round) {
+      auto s = sparsify_weighted(world, dist, 4, gen);
+      if (world.rank() == 0) ++first_pos_histogram[s.at(0).u];
+    }
+  });
+  const double expected = kRounds / 4.0;
+  for (const auto count : first_pos_histogram)
+    EXPECT_NEAR(count, expected, 5 * std::sqrt(expected));
+}
+
+TEST_P(SparsifyParam, EmptyGraphYieldsEmptySample) {
+  const int p = GetParam();
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    DistributedEdgeArray dist(5, {});
+    rng::Philox gen(1, static_cast<std::uint64_t>(world.rank()));
+    EXPECT_TRUE(sparsify_weighted(world, dist, 10, gen).empty());
+    EXPECT_TRUE(sparsify_unweighted(world, dist, 10, gen).empty());
+  });
+}
+
+TEST_P(SparsifyParam, UnweightedOversamplesButCoversTarget) {
+  const int p = GetParam();
+  const auto global = gen::erdos_renyi(100, 2000, 5);
+  constexpr std::uint64_t kTarget = 500;
+
+  bsp::Machine machine(p);
+  std::size_t sample_size = 0;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 100, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+    rng::Philox gen(9, static_cast<std::uint64_t>(world.rank()));
+    auto s = sparsify_unweighted(world, dist, kTarget, gen);
+    if (world.rank() == 0) sample_size = s.size();
+  });
+  // Expected >= target (oversampled), but far below the full edge set.
+  EXPECT_GE(sample_size, kTarget);
+  EXPECT_LE(sample_size, 2000u);
+}
+
+TEST_P(SparsifyParam, UnweightedTakesEverythingFromTinySlices) {
+  const int p = GetParam();
+  // 3 edges total: every slice is far below the Chernoff threshold, so the
+  // "sample" is the whole edge set.
+  const std::vector<graph::WeightedEdge> global{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  bsp::Machine machine(p);
+  std::size_t sample_size = 0;
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, 3, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+    rng::Philox gen(2, static_cast<std::uint64_t>(world.rank()));
+    auto s = sparsify_unweighted(world, dist, 2, gen);
+    if (world.rank() == 0) sample_size = s.size();
+  });
+  EXPECT_EQ(sample_size, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, SparsifyParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Sparsify, UsesConstantSupersteps) {
+  // O(1) supersteps per sparsification call, independent of p and s.
+  for (const int p : {2, 4, 8}) {
+    bsp::Machine machine(p);
+    const auto global = gen::erdos_renyi(50, 400, 3);
+    auto outcome = machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, 50, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+      rng::Philox gen(4, static_cast<std::uint64_t>(world.rank()));
+      sparsify_weighted(world, dist, 100, gen);
+    });
+    // scatter (2 collectives) + sparsify; the whole thing stays O(1).
+    EXPECT_LE(outcome.stats.supersteps, 10u) << "p=" << p;
+  }
+}
+
+TEST(Sparsify, SamplerKindsAgreeInDistribution) {
+  const std::vector<graph::WeightedEdge> global{{0, 1, 3}, {1, 2, 1}};
+  for (const auto kind :
+       {rng::SamplerKind::kAlias, rng::SamplerKind::kPrefixSum}) {
+    bsp::Machine machine(2);
+    std::uint64_t heavy = 0;
+    constexpr std::uint64_t kSamples = 20'000;
+    machine.run([&](bsp::Comm& world) {
+      auto dist = DistributedEdgeArray::scatter(
+          world, 3, world.rank() == 0 ? global : std::vector<graph::WeightedEdge>{});
+      rng::Philox gen(6, static_cast<std::uint64_t>(world.rank()));
+      SparsifyOptions options;
+      options.sampler = kind;
+      auto s = sparsify_weighted(world, dist, kSamples, gen, options);
+      if (world.rank() == 0)
+        for (const auto& e : s)
+          if (e.weight == 3) ++heavy;
+    });
+    EXPECT_NEAR(static_cast<double>(heavy), kSamples * 0.75,
+                5 * std::sqrt(kSamples * 0.75));
+  }
+}
+
+}  // namespace
+}  // namespace camc::core

@@ -1,0 +1,98 @@
+// Stoer-Wagner exact minimum cut: verification suite, cut-side validity,
+// agreement with brute force on random small graphs.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::seq {
+namespace {
+
+using gen::KnownGraph;
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// Crossing weight of the (side, complement) partition.
+Weight cut_value_of_side(Vertex n, std::span<const WeightedEdge> edges,
+                         std::span<const Vertex> side) {
+  std::vector<bool> in_side(n, false);
+  for (const Vertex v : side) in_side[v] = true;
+  Weight value = 0;
+  for (const WeightedEdge& e : edges)
+    if (in_side[e.u] != in_side[e.v]) value += e.weight;
+  return value;
+}
+
+class SuiteSw : public ::testing::TestWithParam<KnownGraph> {};
+
+TEST_P(SuiteSw, FindsDeclaredMinimumCut) {
+  const KnownGraph& g = GetParam();
+  const CutResult result = stoer_wagner_min_cut(g.n, g.edges);
+  EXPECT_EQ(result.value, g.min_cut) << g.name;
+
+  // The reported side must be a nonempty proper subset realizing the value.
+  ASSERT_FALSE(result.side.empty()) << g.name;
+  ASSERT_LT(result.side.size(), g.n) << g.name;
+  EXPECT_EQ(cut_value_of_side(g.n, g.edges, result.side), result.value)
+      << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnownGraphs, SuiteSw, ::testing::ValuesIn(gen::verification_suite()),
+    [](const ::testing::TestParamInfo<KnownGraph>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(StoerWagner, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Vertex n = 9;
+    auto edges = gen::erdos_renyi(n, 20, seed);
+    gen::randomize_weights(edges, 6, seed + 100);
+    const CutResult sw = stoer_wagner_min_cut(n, edges);
+    const CutResult oracle = brute_force_min_cut(n, edges);
+    EXPECT_EQ(sw.value, oracle.value) << "seed " << seed;
+  }
+}
+
+TEST(StoerWagner, DisconnectedGraphHasZeroCut) {
+  const auto g = gen::disjoint_cycles(2, 5);
+  const CutResult result = stoer_wagner_min_cut(g.n, g.edges);
+  EXPECT_EQ(result.value, 0u);
+  EXPECT_EQ(cut_value_of_side(g.n, g.edges, result.side), 0u);
+}
+
+TEST(StoerWagner, TwoVerticesNoEdge) {
+  const CutResult result = stoer_wagner_min_cut(2, {});
+  EXPECT_EQ(result.value, 0u);
+}
+
+TEST(StoerWagner, TwoVerticesOneEdge) {
+  const std::vector<WeightedEdge> edges{{0, 1, 42}};
+  const CutResult result = stoer_wagner_min_cut(2, edges);
+  EXPECT_EQ(result.value, 42u);
+  EXPECT_EQ(result.side.size(), 1u);
+}
+
+TEST(StoerWagner, IgnoresSelfLoops) {
+  const std::vector<WeightedEdge> edges{{0, 0, 100}, {0, 1, 3}};
+  EXPECT_EQ(stoer_wagner_min_cut(2, edges).value, 3u);
+}
+
+TEST(StoerWagner, CombinesParallelEdges) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {0, 1, 2}, {1, 2, 5}};
+  EXPECT_EQ(stoer_wagner_min_cut(3, edges).value, 3u);
+}
+
+TEST(StoerWagner, RejectsSingleVertex) {
+  EXPECT_THROW(stoer_wagner_min_cut(1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace camc::seq

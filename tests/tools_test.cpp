@@ -1,0 +1,122 @@
+// End-to-end tests of the command-line tools: generate inputs with
+// camc_gen, run the three algorithm tools on them, and check both the
+// human-readable results and the PROF instrumentation lines. Tool binary
+// paths are injected by CMake (CAMC_TOOL_DIR).
+
+#ifndef CAMC_TOOL_DIR
+#define CAMC_TOOL_DIR ""
+#endif
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::string tool(const std::string& name) {
+  return std::string(CAMC_TOOL_DIR) + "/" + name;
+}
+
+/// Runs a command, returning (exit code, combined stdout).
+std::pair<int, std::string> run(const std::string& command) {
+  const std::string line = command + " 2>&1";
+  FILE* pipe = popen(line.c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+class ToolsEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+    temp_dir_ = ::testing::TempDir() + "/camc_tools";
+    (void)run("mkdir -p " + temp_dir_);
+  }
+  static std::string temp_dir_;
+};
+
+std::string ToolsEndToEnd::temp_dir_;
+
+TEST_F(ToolsEndToEnd, GenerateAndAnalyzePipeline) {
+  const std::string graph = temp_dir_ + "/dumbbellish.txt";
+  // Generate an ER graph, dense enough to be connected.
+  auto [gen_status, gen_out] =
+      run(tool("camc_gen") + " er 200 3000 " + graph + " --seed=11");
+  ASSERT_EQ(gen_status, 0) << gen_out;
+  EXPECT_NE(gen_out.find("n=200 m=3000"), std::string::npos) << gen_out;
+
+  auto [cc_status, cc_out] = run(tool("camc_cc") + " " + graph + " --p=3");
+  ASSERT_EQ(cc_status, 0) << cc_out;
+  EXPECT_NE(cc_out.find("components: 1"), std::string::npos) << cc_out;
+  EXPECT_NE(cc_out.find("PROF,"), std::string::npos) << cc_out;
+
+  auto [mc_status, mc_out] =
+      run(tool("camc_mincut") + " " + graph + " --p=2 --success=0.95");
+  ASSERT_EQ(mc_status, 0) << mc_out;
+  EXPECT_NE(mc_out.find("minimum cut: "), std::string::npos) << mc_out;
+
+  auto [ax_status, ax_out] = run(tool("camc_approx") + " " + graph + " --p=2");
+  ASSERT_EQ(ax_status, 0) << ax_out;
+  EXPECT_NE(ax_out.find("approximate minimum cut: "), std::string::npos)
+      << ax_out;
+}
+
+TEST_F(ToolsEndToEnd, SuiteGeneratorWritesKnownCuts) {
+  const std::string dir = temp_dir_ + "/suite";
+  (void)run("mkdir -p " + dir);
+  auto [status, out] = run(tool("camc_gen") + " suite " + dir);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("figure2.txt"), std::string::npos) << out;
+
+  // The known dumbbell cut comes out of the mincut tool exactly.
+  auto [mc_status, mc_out] = run(tool("camc_mincut") + " " + dir +
+                                 "/dumbbell-6x2.txt --p=2 --success=0.99");
+  ASSERT_EQ(mc_status, 0) << mc_out;
+  EXPECT_NE(mc_out.find("minimum cut: 2"), std::string::npos) << mc_out;
+}
+
+TEST_F(ToolsEndToEnd, SnapInputRoundTrip) {
+  const std::string path = temp_dir_ + "/snap.txt";
+  std::ofstream file(path);
+  file << "# comment\n100 200\n200 300\n300 100\n400 500\n";
+  file.close();
+  auto [status, out] = run(tool("camc_cc") + " " + path + " --snap --p=2");
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("components: 2"), std::string::npos) << out;
+}
+
+TEST_F(ToolsEndToEnd, BadUsageFailsCleanly) {
+  auto [status1, out1] = run(tool("camc_cc"));
+  EXPECT_EQ(status1, 2) << out1;
+  auto [status2, out2] = run(tool("camc_mincut") + " /nonexistent.txt");
+  EXPECT_NE(status2, 0) << out2;
+  auto [status3, out3] = run(tool("camc_gen") + " er bogus");
+  EXPECT_EQ(status3, 2) << out3;
+}
+
+TEST_F(ToolsEndToEnd, ProfLineIsParseable) {
+  const std::string graph = temp_dir_ + "/tiny.txt";
+  auto [gen_status, gen_out] =
+      run(tool("camc_gen") + " ws 64 4 300 " + graph);
+  ASSERT_EQ(gen_status, 0) << gen_out;
+  auto [status, out] = run(tool("camc_cc") + " " + graph + " --p=2 --seed=9");
+  ASSERT_EQ(status, 0) << out;
+
+  const auto pos = out.find("PROF,");
+  ASSERT_NE(pos, std::string::npos) << out;
+  std::istringstream line(out.substr(pos));
+  std::string field;
+  int fields = 0;
+  while (std::getline(line, field, ',')) ++fields;
+  EXPECT_EQ(fields, 10);  // PROF,file,seed,p,n,m,exec,mpi,algo,result
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// The verification suite's declared minimum cuts and component counts are
+// themselves verified against the brute-force oracle (small instances) and
+// the union-find component oracle (all instances). This is what makes the
+// suite trustworthy as a fixture for the randomized algorithms.
+
+#include <gtest/gtest.h>
+
+#include "gen/verification.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/karger_stein.hpp"
+
+namespace camc::gen {
+namespace {
+
+class Suite : public ::testing::TestWithParam<KnownGraph> {};
+
+TEST_P(Suite, ComponentCountMatchesOracle) {
+  const KnownGraph& g = GetParam();
+  const auto labels = seq::union_find_components(g.n, g.edges);
+  EXPECT_EQ(seq::component_count(labels), g.components) << g.name;
+}
+
+TEST_P(Suite, DeclaredCutMatchesBruteForceWhenSmall) {
+  const KnownGraph& g = GetParam();
+  if (g.n > 16) GTEST_SKIP() << "brute force limited to small n";
+  const auto result = seq::brute_force_min_cut(g.n, g.edges);
+  EXPECT_EQ(result.value, g.min_cut) << g.name;
+}
+
+TEST_P(Suite, EdgesAreWellFormed) {
+  const KnownGraph& g = GetParam();
+  for (const graph::WeightedEdge& e : g.edges) {
+    EXPECT_LT(e.u, g.n) << g.name;
+    EXPECT_LT(e.v, g.n) << g.name;
+    EXPECT_NE(e.u, e.v) << g.name;
+    EXPECT_GE(e.weight, 1u) << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnownGraphs, Suite, ::testing::ValuesIn(verification_suite()),
+    [](const ::testing::TestParamInfo<KnownGraph>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(VerificationGraphs, GeneratorsValidateArguments) {
+  EXPECT_THROW(path_graph(1), std::invalid_argument);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+  EXPECT_THROW(complete_graph(1), std::invalid_argument);
+  EXPECT_THROW(dumbbell_graph(2, 1), std::invalid_argument);
+  EXPECT_THROW(dumbbell_graph(5, 4), std::invalid_argument);
+  EXPECT_THROW(star_graph(1), std::invalid_argument);
+  EXPECT_THROW(grid_graph(1, 5), std::invalid_argument);
+  EXPECT_THROW(disjoint_cycles(0, 3), std::invalid_argument);
+  EXPECT_THROW(weighted_ring(3), std::invalid_argument);
+}
+
+TEST(VerificationGraphs, Figure2MatchesPaperDescription) {
+  const KnownGraph g = figure2_graph();
+  EXPECT_EQ(g.n, 6u);
+  EXPECT_EQ(g.edges.size(), 8u);
+  EXPECT_EQ(g.min_cut, 2u);
+  // Crossing weight of the shaded partition {v1,v2,v3} | {v4,v5,v6} is 2.
+  graph::Weight crossing = 0;
+  for (const graph::WeightedEdge& e : g.edges) {
+    const bool left_u = e.u < 3, left_v = e.v < 3;
+    if (left_u != left_v) crossing += e.weight;
+  }
+  EXPECT_EQ(crossing, 2u);
+}
+
+}  // namespace
+}  // namespace camc::gen

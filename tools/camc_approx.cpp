@@ -1,0 +1,36 @@
+// Approximate minimum cut tool — the artifact's `approx_cut`.
+//
+//   camc_approx <edge-list-file> [--p=N] [--seed=S]
+
+#include "core/approx_mincut.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto args = tools::parse_tool_args(
+      argc, argv, "usage: camc_approx <edge-list-file> [--p=N] [--seed=S] [--snap]");
+  if (!args.ok) return 2;
+
+  const graph::EdgeListFile input = tools::load_graph(args);
+
+  core::ApproxMinCutResult result;
+  bsp::Machine machine(args.p);
+  const auto outcome = machine.run([&](bsp::Comm& world) {
+    auto dist = graph::DistributedEdgeArray::scatter(
+        world, input.n,
+        world.rank() == 0 ? input.edges
+                          : std::vector<graph::WeightedEdge>{});
+    core::ApproxMinCutOptions options;
+    options.seed = args.seed;
+    auto r = core::approx_min_cut(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+
+  std::cout << "approximate minimum cut: " << result.estimate << "\n"
+            << "sampling levels run: " << result.iterations_run << " ("
+            << result.trials_per_iteration << " trials each)\n";
+  tools::print_profile_line(args, input.n, input.edges.size(), outcome,
+                            "approx", result.estimate);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Graph generator tool — the artifact's input_generators.
+//
+//   camc_gen er <n> <m> <out> [--seed=S] [--wmax=W]
+//   camc_gen ws <n> <k> <rewire-permille> <out> [--seed=S] [--wmax=W]
+//   camc_gen ba <n> <attach> <out> [--seed=S] [--wmax=W]
+//   camc_gen rmat <scale> <m> <out> [--seed=S] [--wmax=W]
+//   camc_gen suite <out-directory>          (the verification corner cases)
+//
+// Writes the "n m" + "u v w" edge-list format read by the other tools.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage:\n"
+         "  camc_gen er <n> <m> <out> [--seed=S] [--wmax=W]\n"
+         "  camc_gen ws <n> <k> <rewire-permille> <out> [--seed=S] [--wmax=W]\n"
+         "  camc_gen ba <n> <attach> <out> [--seed=S] [--wmax=W]\n"
+         "  camc_gen rmat <scale> <m> <out> [--seed=S] [--wmax=W]\n"
+         "  camc_gen suite <out-directory>\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  if (argc < 3) usage();
+  const std::string family = argv[1];
+
+  std::uint64_t seed = 5226, wmax = 1;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--seed=", 0) == 0)
+        seed = std::stoull(arg.substr(7));
+      else if (arg.rfind("--wmax=", 0) == 0)
+        wmax = std::stoull(arg.substr(7));
+      else
+        positional.push_back(arg);
+    } catch (const std::exception&) {
+      usage();
+    }
+  }
+
+  try {
+    if (family == "suite") {
+      if (positional.size() != 1) usage();
+      for (const auto& known : gen::verification_suite()) {
+        const std::string path = positional[0] + "/" + known.name + ".txt";
+        graph::write_edge_list_file(path, known.n, known.edges);
+        std::cout << path << ": n=" << known.n << " m=" << known.edges.size()
+                  << " mincut=" << known.min_cut
+                  << " components=" << known.components << "\n";
+      }
+      return 0;
+    }
+
+    std::vector<graph::WeightedEdge> edges;
+    graph::Vertex n = 0;
+    std::string out;
+    if (family == "er" && positional.size() == 3) {
+      n = static_cast<graph::Vertex>(std::stoull(positional[0]));
+      edges = gen::erdos_renyi(n, std::stoull(positional[1]), seed);
+      out = positional[2];
+    } else if (family == "ws" && positional.size() == 4) {
+      n = static_cast<graph::Vertex>(std::stoull(positional[0]));
+      edges = gen::watts_strogatz(
+          n, static_cast<unsigned>(std::stoul(positional[1])),
+          std::stod(positional[2]) / 1000.0, seed);
+      out = positional[3];
+    } else if (family == "ba" && positional.size() == 3) {
+      n = static_cast<graph::Vertex>(std::stoull(positional[0]));
+      edges = gen::barabasi_albert(
+          n, static_cast<unsigned>(std::stoul(positional[1])), seed);
+      out = positional[2];
+    } else if (family == "rmat" && positional.size() == 3) {
+      const auto scale = static_cast<unsigned>(std::stoul(positional[0]));
+      n = static_cast<graph::Vertex>(1u << scale);
+      edges = gen::rmat(scale, std::stoull(positional[1]), seed);
+      out = positional[2];
+    } else {
+      usage();
+    }
+    if (wmax > 1) gen::randomize_weights(edges, wmax, seed + 1);
+    graph::write_edge_list_file(out, n, edges);
+    std::cout << out << ": n=" << n << " m=" << edges.size() << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "camc_gen: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

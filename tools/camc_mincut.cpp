@@ -1,0 +1,48 @@
+// Exact minimum cut tool — the artifact's `square_root`.
+//
+//   camc_mincut <edge-list-file> [--p=N] [--seed=S] [--success=P]
+//
+// Prints the cut value, the smaller side's size, and the PROF line.
+
+#include "core/mincut.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const auto args = tools::parse_tool_args(
+      argc, argv,
+      "usage: camc_mincut <edge-list-file> [--p=N] [--seed=S] [--success=P] [--snap]");
+  if (!args.ok) return 2;
+
+  const graph::EdgeListFile input = tools::load_graph(args);
+
+  core::MinCutOutcome result;
+  bsp::Machine machine(args.p);
+  const auto outcome = machine.run([&](bsp::Comm& world) {
+    auto dist = graph::DistributedEdgeArray::scatter(
+        world, input.n,
+        world.rank() == 0 ? input.edges
+                          : std::vector<graph::WeightedEdge>{});
+    core::MinCutOptions options;
+    options.seed = args.seed;
+    options.success_probability = args.success;
+    auto r = core::min_cut(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+
+  std::cout << "minimum cut: " << result.value << "\n"
+            << "trials: " << result.trials
+            << (result.used_distributed_trials ? " (distributed)"
+                                               : " (replicated)")
+            << "\n";
+  if (result.side_valid) {
+    const std::size_t side = result.side.size();
+    const std::size_t other = input.n - side;
+    std::cout << "split: " << std::min(side, other) << " | "
+              << std::max(side, other) << " vertices\n";
+  }
+  tools::print_profile_line(args, input.n, input.edges.size(), outcome,
+                            "mincut", result.value);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared plumbing for the command-line tools, mirroring the paper's
+// artifact binaries (parallel_cc, approx_cut, square_root): each tool
+// loads an edge-list file, runs one algorithm over p BSP ranks, prints the
+// human-readable result, and emits one machine-readable profiling line in
+// the artifact's spirit (Listing 1):
+//
+//   PROF,<file>,<seed>,<p>,<n>,<m>,<exec_time>,<mpi_time>,<algo>,<result>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bsp/machine.hpp"
+#include "graph/io.hpp"
+
+namespace camc::tools {
+
+struct ToolArgs {
+  std::string input;
+  int p = 4;
+  std::uint64_t seed = 5226;
+  double success = 0.9;
+  bool snap = false;  ///< input is a SNAP-style headerless edge list
+  bool ok = false;
+};
+
+inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
+  ToolArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--p=", 0) == 0) {
+        args.p = std::stoi(arg.substr(4));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed = std::stoull(arg.substr(7));
+      } else if (arg.rfind("--success=", 0) == 0) {
+        args.success = std::stod(arg.substr(10));
+      } else if (arg == "--snap") {
+        args.snap = true;
+      } else if (!arg.empty() && arg[0] != '-' && args.input.empty()) {
+        args.input = arg;
+      } else {
+        std::cerr << usage << "\n";
+        return args;
+      }
+    } catch (const std::exception&) {
+      std::cerr << usage << "\n";
+      return args;
+    }
+  }
+  if (args.input.empty() || args.p < 1 || args.success <= 0 ||
+      args.success >= 1) {
+    std::cerr << usage << "\n";
+    return args;
+  }
+  args.ok = true;
+  return args;
+}
+
+/// Loads the input in either supported format.
+inline graph::EdgeListFile load_graph(const ToolArgs& args) {
+  if (!args.snap) return graph::read_edge_list_file(args.input);
+  graph::SnapFile snap = graph::read_snap_file(args.input);
+  graph::EdgeListFile out;
+  out.n = snap.n;
+  out.edges = std::move(snap.edges);
+  return out;
+}
+
+inline void print_profile_line(const ToolArgs& args, graph::Vertex n,
+                               std::size_t m, const bsp::RunOutcome& outcome,
+                               const std::string& algorithm,
+                               std::uint64_t result) {
+  std::cout << "PROF," << args.input << ',' << args.seed << ',' << args.p
+            << ',' << n << ',' << m << ',' << outcome.wall_seconds << ','
+            << outcome.stats.max_comm_seconds << ',' << algorithm << ','
+            << result << "\n";
+}
+
+}  // namespace camc::tools
