@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_appmc.dir/bench_ablation_appmc.cpp.o"
+  "CMakeFiles/bench_ablation_appmc.dir/bench_ablation_appmc.cpp.o.d"
+  "bench_ablation_appmc"
+  "bench_ablation_appmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_appmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appmc_quality.dir/bench_appmc_quality.cpp.o"
+  "CMakeFiles/bench_appmc_quality.dir/bench_appmc_quality.cpp.o.d"
+  "bench_appmc_quality"
+  "bench_appmc_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appmc_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

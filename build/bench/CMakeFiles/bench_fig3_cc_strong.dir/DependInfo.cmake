@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_cc_strong.cpp" "bench/CMakeFiles/bench_fig3_cc_strong.dir/bench_fig3_cc_strong.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_cc_strong.dir/bench_fig3_cc_strong.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/camc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/camc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/camc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/camc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/camc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/camc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

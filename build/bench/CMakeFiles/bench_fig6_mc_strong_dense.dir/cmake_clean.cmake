@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mc_strong_dense.dir/bench_fig6_mc_strong_dense.cpp.o"
+  "CMakeFiles/bench_fig6_mc_strong_dense.dir/bench_fig6_mc_strong_dense.cpp.o.d"
+  "bench_fig6_mc_strong_dense"
+  "bench_fig6_mc_strong_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mc_strong_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

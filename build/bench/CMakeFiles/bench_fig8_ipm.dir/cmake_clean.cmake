@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ipm.dir/bench_fig8_ipm.cpp.o"
+  "CMakeFiles/bench_fig8_ipm.dir/bench_fig8_ipm.cpp.o.d"
+  "bench_fig8_ipm"
+  "bench_fig8_ipm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

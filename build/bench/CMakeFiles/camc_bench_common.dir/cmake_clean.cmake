@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_bench_common.dir/common/harness.cpp.o"
+  "CMakeFiles/camc_bench_common.dir/common/harness.cpp.o.d"
+  "libcamc_bench_common.a"
+  "libcamc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

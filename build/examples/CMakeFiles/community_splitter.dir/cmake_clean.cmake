@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_splitter.dir/community_splitter.cpp.o"
+  "CMakeFiles/community_splitter.dir/community_splitter.cpp.o.d"
+  "community_splitter"
+  "community_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

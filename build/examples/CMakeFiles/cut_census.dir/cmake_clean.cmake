@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_census.dir/cut_census.cpp.o"
+  "CMakeFiles/cut_census.dir/cut_census.cpp.o.d"
+  "cut_census"
+  "cut_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_bsp.dir/comm.cpp.o"
+  "CMakeFiles/camc_bsp.dir/comm.cpp.o.d"
+  "libcamc_bsp.a"
+  "libcamc_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

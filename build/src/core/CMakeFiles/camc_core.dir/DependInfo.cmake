@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_mincut.cpp" "src/core/CMakeFiles/camc_core.dir/approx_mincut.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/approx_mincut.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/camc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/cc.cpp" "src/core/CMakeFiles/camc_core.dir/cc.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/cc.cpp.o.d"
+  "/root/repo/src/core/contract.cpp" "src/core/CMakeFiles/camc_core.dir/contract.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/contract.cpp.o.d"
+  "/root/repo/src/core/mincut.cpp" "src/core/CMakeFiles/camc_core.dir/mincut.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/mincut.cpp.o.d"
+  "/root/repo/src/core/prefix.cpp" "src/core/CMakeFiles/camc_core.dir/prefix.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/prefix.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/camc_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/sparsify.cpp" "src/core/CMakeFiles/camc_core.dir/sparsify.cpp.o" "gcc" "src/core/CMakeFiles/camc_core.dir/sparsify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/camc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/camc_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_core.dir/approx_mincut.cpp.o"
+  "CMakeFiles/camc_core.dir/approx_mincut.cpp.o.d"
+  "CMakeFiles/camc_core.dir/baselines.cpp.o"
+  "CMakeFiles/camc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/camc_core.dir/cc.cpp.o"
+  "CMakeFiles/camc_core.dir/cc.cpp.o.d"
+  "CMakeFiles/camc_core.dir/contract.cpp.o"
+  "CMakeFiles/camc_core.dir/contract.cpp.o.d"
+  "CMakeFiles/camc_core.dir/mincut.cpp.o"
+  "CMakeFiles/camc_core.dir/mincut.cpp.o.d"
+  "CMakeFiles/camc_core.dir/prefix.cpp.o"
+  "CMakeFiles/camc_core.dir/prefix.cpp.o.d"
+  "CMakeFiles/camc_core.dir/preprocess.cpp.o"
+  "CMakeFiles/camc_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/camc_core.dir/sparsify.cpp.o"
+  "CMakeFiles/camc_core.dir/sparsify.cpp.o.d"
+  "libcamc_core.a"
+  "libcamc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

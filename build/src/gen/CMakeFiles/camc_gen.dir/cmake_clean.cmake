@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_gen.dir/generators.cpp.o"
+  "CMakeFiles/camc_gen.dir/generators.cpp.o.d"
+  "CMakeFiles/camc_gen.dir/verification.cpp.o"
+  "CMakeFiles/camc_gen.dir/verification.cpp.o.d"
+  "libcamc_gen.a"
+  "libcamc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/contraction_ref.cpp" "src/graph/CMakeFiles/camc_graph.dir/contraction_ref.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/contraction_ref.cpp.o.d"
+  "/root/repo/src/graph/dense_graph.cpp" "src/graph/CMakeFiles/camc_graph.dir/dense_graph.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/dense_graph.cpp.o.d"
+  "/root/repo/src/graph/dist_matrix.cpp" "src/graph/CMakeFiles/camc_graph.dir/dist_matrix.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/graph/folded_dense.cpp" "src/graph/CMakeFiles/camc_graph.dir/folded_dense.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/folded_dense.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/camc_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/local_graph.cpp" "src/graph/CMakeFiles/camc_graph.dir/local_graph.cpp.o" "gcc" "src/graph/CMakeFiles/camc_graph.dir/local_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

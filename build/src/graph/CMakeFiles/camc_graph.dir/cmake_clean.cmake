@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_graph.dir/contraction_ref.cpp.o"
+  "CMakeFiles/camc_graph.dir/contraction_ref.cpp.o.d"
+  "CMakeFiles/camc_graph.dir/dense_graph.cpp.o"
+  "CMakeFiles/camc_graph.dir/dense_graph.cpp.o.d"
+  "CMakeFiles/camc_graph.dir/dist_matrix.cpp.o"
+  "CMakeFiles/camc_graph.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/camc_graph.dir/folded_dense.cpp.o"
+  "CMakeFiles/camc_graph.dir/folded_dense.cpp.o.d"
+  "CMakeFiles/camc_graph.dir/io.cpp.o"
+  "CMakeFiles/camc_graph.dir/io.cpp.o.d"
+  "CMakeFiles/camc_graph.dir/local_graph.cpp.o"
+  "CMakeFiles/camc_graph.dir/local_graph.cpp.o.d"
+  "libcamc_graph.a"
+  "libcamc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

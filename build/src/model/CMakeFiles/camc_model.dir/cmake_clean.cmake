@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_model.dir/bsp_model.cpp.o"
+  "CMakeFiles/camc_model.dir/bsp_model.cpp.o.d"
+  "libcamc_model.a"
+  "libcamc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcamc_model.a"
+)

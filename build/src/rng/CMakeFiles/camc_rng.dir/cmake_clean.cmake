@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_rng.dir/alias_table.cpp.o"
+  "CMakeFiles/camc_rng.dir/alias_table.cpp.o.d"
+  "CMakeFiles/camc_rng.dir/philox.cpp.o"
+  "CMakeFiles/camc_rng.dir/philox.cpp.o.d"
+  "CMakeFiles/camc_rng.dir/weighted_sampler.cpp.o"
+  "CMakeFiles/camc_rng.dir/weighted_sampler.cpp.o.d"
+  "libcamc_rng.a"
+  "libcamc_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

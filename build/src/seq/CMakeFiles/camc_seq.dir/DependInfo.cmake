@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/certificate.cpp" "src/seq/CMakeFiles/camc_seq.dir/certificate.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/certificate.cpp.o.d"
+  "/root/repo/src/seq/connected_components.cpp" "src/seq/CMakeFiles/camc_seq.dir/connected_components.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/connected_components.cpp.o.d"
+  "/root/repo/src/seq/instrumented.cpp" "src/seq/CMakeFiles/camc_seq.dir/instrumented.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/instrumented.cpp.o.d"
+  "/root/repo/src/seq/karger_stein.cpp" "src/seq/CMakeFiles/camc_seq.dir/karger_stein.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/karger_stein.cpp.o.d"
+  "/root/repo/src/seq/matula.cpp" "src/seq/CMakeFiles/camc_seq.dir/matula.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/matula.cpp.o.d"
+  "/root/repo/src/seq/stoer_wagner.cpp" "src/seq/CMakeFiles/camc_seq.dir/stoer_wagner.cpp.o" "gcc" "src/seq/CMakeFiles/camc_seq.dir/stoer_wagner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/camc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

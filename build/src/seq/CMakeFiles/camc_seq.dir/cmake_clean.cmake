@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_seq.dir/certificate.cpp.o"
+  "CMakeFiles/camc_seq.dir/certificate.cpp.o.d"
+  "CMakeFiles/camc_seq.dir/connected_components.cpp.o"
+  "CMakeFiles/camc_seq.dir/connected_components.cpp.o.d"
+  "CMakeFiles/camc_seq.dir/instrumented.cpp.o"
+  "CMakeFiles/camc_seq.dir/instrumented.cpp.o.d"
+  "CMakeFiles/camc_seq.dir/karger_stein.cpp.o"
+  "CMakeFiles/camc_seq.dir/karger_stein.cpp.o.d"
+  "CMakeFiles/camc_seq.dir/matula.cpp.o"
+  "CMakeFiles/camc_seq.dir/matula.cpp.o.d"
+  "CMakeFiles/camc_seq.dir/stoer_wagner.cpp.o"
+  "CMakeFiles/camc_seq.dir/stoer_wagner.cpp.o.d"
+  "libcamc_seq.a"
+  "libcamc_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/all_min_cuts_test.cpp" "tests/CMakeFiles/camc_tests.dir/all_min_cuts_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/all_min_cuts_test.cpp.o.d"
+  "/root/repo/tests/approx_mincut_test.cpp" "tests/CMakeFiles/camc_tests.dir/approx_mincut_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/approx_mincut_test.cpp.o.d"
+  "/root/repo/tests/baseline_mincut_test.cpp" "tests/CMakeFiles/camc_tests.dir/baseline_mincut_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/baseline_mincut_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/camc_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bsp_accounting_test.cpp" "tests/CMakeFiles/camc_tests.dir/bsp_accounting_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/bsp_accounting_test.cpp.o.d"
+  "/root/repo/tests/bsp_fuzz_test.cpp" "tests/CMakeFiles/camc_tests.dir/bsp_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/bsp_fuzz_test.cpp.o.d"
+  "/root/repo/tests/bsp_test.cpp" "tests/CMakeFiles/camc_tests.dir/bsp_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/bsp_test.cpp.o.d"
+  "/root/repo/tests/cachesim_test.cpp" "tests/CMakeFiles/camc_tests.dir/cachesim_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/cachesim_test.cpp.o.d"
+  "/root/repo/tests/cc_dense_test.cpp" "tests/CMakeFiles/camc_tests.dir/cc_dense_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/cc_dense_test.cpp.o.d"
+  "/root/repo/tests/cc_extension_test.cpp" "tests/CMakeFiles/camc_tests.dir/cc_extension_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/cc_extension_test.cpp.o.d"
+  "/root/repo/tests/cc_test.cpp" "tests/CMakeFiles/camc_tests.dir/cc_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/cc_test.cpp.o.d"
+  "/root/repo/tests/certificate_test.cpp" "tests/CMakeFiles/camc_tests.dir/certificate_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/certificate_test.cpp.o.d"
+  "/root/repo/tests/contract_test.cpp" "tests/CMakeFiles/camc_tests.dir/contract_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/contract_test.cpp.o.d"
+  "/root/repo/tests/dense_graph_test.cpp" "tests/CMakeFiles/camc_tests.dir/dense_graph_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/dense_graph_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/camc_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/dist_matrix_test.cpp" "tests/CMakeFiles/camc_tests.dir/dist_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/dist_matrix_test.cpp.o.d"
+  "/root/repo/tests/folded_dense_test.cpp" "tests/CMakeFiles/camc_tests.dir/folded_dense_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/folded_dense_test.cpp.o.d"
+  "/root/repo/tests/gen_test.cpp" "tests/CMakeFiles/camc_tests.dir/gen_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/gen_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/camc_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/instrumented_test.cpp" "tests/CMakeFiles/camc_tests.dir/instrumented_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/instrumented_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/camc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/camc_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/karger_stein_test.cpp" "tests/CMakeFiles/camc_tests.dir/karger_stein_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/karger_stein_test.cpp.o.d"
+  "/root/repo/tests/matula_test.cpp" "tests/CMakeFiles/camc_tests.dir/matula_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/matula_test.cpp.o.d"
+  "/root/repo/tests/mincut_test.cpp" "tests/CMakeFiles/camc_tests.dir/mincut_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/mincut_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/camc_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/options_coverage_test.cpp" "tests/CMakeFiles/camc_tests.dir/options_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/options_coverage_test.cpp.o.d"
+  "/root/repo/tests/prefix_test.cpp" "tests/CMakeFiles/camc_tests.dir/prefix_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/prefix_test.cpp.o.d"
+  "/root/repo/tests/preprocess_test.cpp" "tests/CMakeFiles/camc_tests.dir/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/preprocess_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/camc_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/sample_sort_test.cpp" "tests/CMakeFiles/camc_tests.dir/sample_sort_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/sample_sort_test.cpp.o.d"
+  "/root/repo/tests/seq_cc_test.cpp" "tests/CMakeFiles/camc_tests.dir/seq_cc_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/seq_cc_test.cpp.o.d"
+  "/root/repo/tests/sparsify_test.cpp" "tests/CMakeFiles/camc_tests.dir/sparsify_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/sparsify_test.cpp.o.d"
+  "/root/repo/tests/stoer_wagner_test.cpp" "tests/CMakeFiles/camc_tests.dir/stoer_wagner_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/stoer_wagner_test.cpp.o.d"
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/camc_tests.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/tools_test.cpp.o.d"
+  "/root/repo/tests/verification_test.cpp" "tests/CMakeFiles/camc_tests.dir/verification_test.cpp.o" "gcc" "tests/CMakeFiles/camc_tests.dir/verification_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/camc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/camc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/camc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/camc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/camc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

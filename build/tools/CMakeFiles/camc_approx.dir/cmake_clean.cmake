@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_approx.dir/camc_approx.cpp.o"
+  "CMakeFiles/camc_approx.dir/camc_approx.cpp.o.d"
+  "camc_approx"
+  "camc_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_cc.dir/camc_cc.cpp.o"
+  "CMakeFiles/camc_cc.dir/camc_cc.cpp.o.d"
+  "camc_cc"
+  "camc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

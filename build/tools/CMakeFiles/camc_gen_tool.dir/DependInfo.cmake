@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/camc_gen.cpp" "tools/CMakeFiles/camc_gen_tool.dir/camc_gen.cpp.o" "gcc" "tools/CMakeFiles/camc_gen_tool.dir/camc_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/camc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/camc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/camc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/camc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/camc_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/camc_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

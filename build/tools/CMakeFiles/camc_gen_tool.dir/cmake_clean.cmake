@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_gen_tool.dir/camc_gen.cpp.o"
+  "CMakeFiles/camc_gen_tool.dir/camc_gen.cpp.o.d"
+  "camc_gen"
+  "camc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_gen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

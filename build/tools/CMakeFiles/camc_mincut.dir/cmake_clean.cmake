@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camc_mincut.dir/camc_mincut.cpp.o"
+  "CMakeFiles/camc_mincut.dir/camc_mincut.cpp.o.d"
+  "camc_mincut"
+  "camc_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camc_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
