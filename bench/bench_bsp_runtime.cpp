@@ -1,0 +1,148 @@
+// BSP runtime fast-path benchmark: per-run() overhead (persistent pool
+// vs. spawn-per-run), collective latency on large payloads, and
+// distributed sample-sort throughput, swept over p. These are the numbers
+// DESIGN.md's "BSP runtime fast paths" section and EXPERIMENTS.md quote;
+// run with --json for the machine-readable form recorded there.
+//
+//   build/bench/bench_bsp_runtime --json
+//
+// Columns: primitive, p, words (payload words per rank where meaningful),
+// mode (pool|spawn for run overhead, else "-"), microseconds per
+// operation, and throughput in million items/s where meaningful (0 when
+// not).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "bsp/sample_sort.hpp"
+#include "common/harness.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+using namespace camc;
+
+double median_seconds(int reps, const std::function<double()>& once) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) times.push_back(once());
+  return bench::median(std::move(times));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse(argc, argv);
+  bench::Table table(options.json);
+  table.comment(
+      "BSP runtime fast paths: run() overhead (pool vs spawn), collective "
+      "latency, sample-sort throughput");
+  table.comment("payloads: collectives 2^16 words/rank, sample sort 2^15 "
+                "keys/rank (scaled by --scale)");
+  table.header("primitive", "p", "words", "mode", "us_per_op", "mitems_s");
+
+  const auto collective_words =
+      static_cast<std::size_t>(bench::scaled(1 << 16, options.scale));
+  const auto sort_keys =
+      static_cast<std::size_t>(bench::scaled(1 << 15, options.scale));
+  const int reps = options.repetitions;
+
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    if (p < 2) continue;
+
+    // Per-run() overhead: empty SPMD body, many runs per measurement.
+    for (const bool persistent : {true, false}) {
+      bsp::Machine machine(p, persistent);
+      constexpr int kRunsPerMeasurement = 200;
+      const double seconds = median_seconds(reps, [&] {
+        return bench::time_seconds([&] {
+          for (int i = 0; i < kRunsPerMeasurement; ++i)
+            machine.run([](bsp::Comm&) {});
+        });
+      });
+      table.row("run_overhead", p, 0, persistent ? "pool" : "spawn",
+                1e6 * seconds / kRunsPerMeasurement, 0.0);
+    }
+
+    bsp::Machine machine(p);
+
+    const double broadcast_seconds = median_seconds(reps, [&] {
+      return bench::time_seconds([&] {
+        machine.run([&](bsp::Comm& world) {
+          std::vector<std::uint64_t> data;
+          if (world.rank() == 0) data.assign(collective_words, 7);
+          world.broadcast(data);
+        });
+      });
+    });
+    table.row("broadcast", p, collective_words, "-", 1e6 * broadcast_seconds,
+              0.0);
+
+    const double gather_seconds = median_seconds(reps, [&] {
+      return bench::time_seconds([&] {
+        machine.run([&](bsp::Comm& world) {
+          const std::vector<std::uint64_t> mine(collective_words, 3);
+          const auto out = world.gather(mine);
+          if (world.rank() == 0 &&
+              out.size() != collective_words * static_cast<std::size_t>(p))
+            std::abort();
+        });
+      });
+    });
+    table.row("gather", p, collective_words, "-", 1e6 * gather_seconds, 0.0);
+
+    const double all_gather_seconds = median_seconds(reps, [&] {
+      return bench::time_seconds([&] {
+        machine.run([&](bsp::Comm& world) {
+          const std::vector<std::uint64_t> mine(collective_words, 3);
+          const auto out = world.all_gather(mine);
+          if (out.size() != collective_words * static_cast<std::size_t>(p))
+            std::abort();
+        });
+      });
+    });
+    table.row("all_gather", p, collective_words, "-", 1e6 * all_gather_seconds,
+              0.0);
+
+    const std::size_t per_destination =
+        collective_words / static_cast<std::size_t>(p);
+    const double alltoallv_seconds = median_seconds(reps, [&] {
+      return bench::time_seconds([&] {
+        machine.run([&](bsp::Comm& world) {
+          const std::vector<std::uint64_t> send(
+              per_destination * static_cast<std::size_t>(p), 1);
+          const std::vector<std::uint64_t> counts(
+              static_cast<std::size_t>(p), per_destination);
+          std::vector<std::uint64_t> inbox;
+          world.alltoallv_into(std::span<const std::uint64_t>(send),
+                               std::span<const std::uint64_t>(counts), inbox);
+        });
+      });
+    });
+    table.row("alltoallv", p, per_destination * static_cast<std::size_t>(p),
+              "-", 1e6 * alltoallv_seconds, 0.0);
+
+    const double sort_seconds = median_seconds(reps, [&] {
+      return bench::time_seconds([&] {
+        machine.run([&](bsp::Comm& world) {
+          bsp::SampleSortWorkspace<std::uint64_t> workspace;
+          rng::Philox gen(options.seed,
+                          static_cast<std::uint64_t>(world.rank()));
+          std::vector<std::uint64_t> local(sort_keys);
+          for (auto& x : local) x = gen();
+          const auto sorted =
+              bsp::sample_sort(world, std::move(local),
+                               std::less<std::uint64_t>{}, gen, &workspace);
+          if (sorted.capacity() == 0 && sort_keys > 0) std::abort();
+        });
+      });
+    });
+    const double keys = static_cast<double>(sort_keys) * p;
+    table.row("sample_sort", p, sort_keys, "-", 1e6 * sort_seconds,
+              1e-6 * keys / sort_seconds);
+  }
+  return 0;
+}

@@ -2,6 +2,8 @@
 // generation, weighted samplers, union-find, the simulated cache, BSP
 // collectives, and distributed sample sort.
 
+#include <span>
+
 #include <benchmark/benchmark.h>
 
 #include "bsp/machine.hpp"
@@ -84,11 +86,31 @@ void BM_IdealCacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_IdealCacheAccess);
 
+// -- BSP runtime -----------------------------------------------------------
+//
+// Machines are constructed OUTSIDE the timing loop: the collective benches
+// measure the collective, not thread startup. BM_RunPool/BM_RunSpawn
+// measure exactly that startup difference (the persistent-pool tentpole).
+
+void BM_RunPool(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  bsp::Machine machine(p, /*persistent=*/true);
+  for (auto _ : state) machine.run([](bsp::Comm&) {});
+}
+BENCHMARK(BM_RunPool)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RunSpawn(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  bsp::Machine machine(p, /*persistent=*/false);
+  for (auto _ : state) machine.run([](bsp::Comm&) {});
+}
+BENCHMARK(BM_RunSpawn)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_Broadcast(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto words = static_cast<std::size_t>(state.range(1));
+  bsp::Machine machine(p);
   for (auto _ : state) {
-    bsp::Machine machine(p);
     machine.run([&](bsp::Comm& world) {
       std::vector<std::uint64_t> data;
       if (world.rank() == 0) data.assign(words, 7);
@@ -97,13 +119,45 @@ void BM_Broadcast(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_Broadcast)->Args({2, 1 << 10})->Args({4, 1 << 10})->Args({4, 1 << 16});
+BENCHMARK(BM_Broadcast)
+    ->Args({2, 1 << 10})
+    ->Args({4, 1 << 10})
+    ->Args({4, 1 << 16})
+    ->Args({8, 1 << 16});
+
+void BM_Gather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  bsp::Machine machine(p);
+  for (auto _ : state) {
+    machine.run([&](bsp::Comm& world) {
+      const std::vector<std::uint64_t> mine(words, 3);
+      auto out = world.gather(mine);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+}
+BENCHMARK(BM_Gather)->Args({4, 1 << 16})->Args({8, 1 << 16});
+
+void BM_AllGather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  bsp::Machine machine(p);
+  for (auto _ : state) {
+    machine.run([&](bsp::Comm& world) {
+      const std::vector<std::uint64_t> mine(words, 3);
+      auto out = world.all_gather(mine);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 16})->Args({8, 1 << 16});
 
 void BM_Alltoallv(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const auto words = static_cast<std::size_t>(state.range(1));
+  bsp::Machine machine(p);
   for (auto _ : state) {
-    bsp::Machine machine(p);
     machine.run([&](bsp::Comm& world) {
       std::vector<std::vector<std::uint64_t>> outbox(
           static_cast<std::size_t>(world.size()));
@@ -113,19 +167,43 @@ void BM_Alltoallv(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_Alltoallv)->Args({4, 1 << 8})->Args({4, 1 << 14});
+BENCHMARK(BM_Alltoallv)->Args({4, 1 << 8})->Args({4, 1 << 14})->Args({8, 1 << 13});
+
+void BM_AlltoallvContiguous(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto words = static_cast<std::size_t>(state.range(1));
+  bsp::Machine machine(p);
+  for (auto _ : state) {
+    machine.run([&](bsp::Comm& world) {
+      const std::vector<std::uint64_t> send(
+          words * static_cast<std::size_t>(world.size()), 1);
+      const std::vector<std::uint64_t> counts(
+          static_cast<std::size_t>(world.size()), words);
+      std::vector<std::uint64_t> inbox;
+      world.alltoallv_into(std::span<const std::uint64_t>(send),
+                           std::span<const std::uint64_t>(counts), inbox);
+      benchmark::DoNotOptimize(inbox.data());
+    });
+  }
+}
+BENCHMARK(BM_AlltoallvContiguous)
+    ->Args({4, 1 << 8})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 13});
 
 void BM_SampleSort(benchmark::State& state) {
   const int p = 4;
   const auto per_rank = static_cast<std::size_t>(state.range(0));
+  bsp::Machine machine(p);
   for (auto _ : state) {
-    bsp::Machine machine(p);
     machine.run([&](bsp::Comm& world) {
+      bsp::SampleSortWorkspace<std::uint64_t> workspace;
       rng::Philox gen(9, static_cast<std::uint64_t>(world.rank()));
       std::vector<std::uint64_t> local(per_rank);
       for (auto& x : local) x = gen();
       auto sorted = bsp::sample_sort(world, std::move(local),
-                                     std::less<std::uint64_t>{}, gen);
+                                     std::less<std::uint64_t>{}, gen,
+                                     &workspace);
       benchmark::DoNotOptimize(sorted.data());
     });
   }

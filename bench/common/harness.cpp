@@ -8,7 +8,7 @@ namespace {
 
 [[noreturn]] void usage_and_exit(const char* binary) {
   std::cerr << "usage: " << binary
-            << " [--scale=F] [--seed=N] [--max-p=N] [--reps=N]\n";
+            << " [--scale=F] [--seed=N] [--max-p=N] [--reps=N] [--json]\n";
   std::exit(2);
 }
 
@@ -33,6 +33,8 @@ Options parse(int argc, char** argv) {
       } else if (arg.rfind("--reps=", 0) == 0) {
         options.repetitions = std::stoi(value_of("--reps="));
         if (options.repetitions < 1) usage_and_exit(argv[0]);
+      } else if (arg == "--json") {
+        options.json = true;
       } else {
         usage_and_exit(argv[0]);
       }

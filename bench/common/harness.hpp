@@ -1,6 +1,6 @@
 #pragma once
 
-// Shared benchmark harness: argument parsing, timing, CSV output.
+// Shared benchmark harness: argument parsing, timing, CSV/JSONL output.
 //
 // Every figure/table bench binary runs with no arguments at a scale that
 // finishes in tens of seconds on a small machine, and accepts:
@@ -9,9 +9,12 @@
 //   --seed=N    base PRNG seed (default 5226, the artifact's example seed)
 //   --max-p=N   largest BSP processor count in sweeps (default 8)
 //   --reps=N    repetitions per data point; the median is reported
+//   --json      emit JSON lines instead of CSV (machine-readable; one
+//               object per data point, comments as {"comment": ...})
 //
-// Output is CSV on stdout with '#' comment lines describing the experiment
-// and the paper series it reproduces.
+// Default output is CSV on stdout with '#' comment lines describing the
+// experiment and the paper series it reproduces; `Table` switches both
+// formats behind one interface.
 
 #include <algorithm>
 #include <chrono>
@@ -19,6 +22,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace camc::bench {
@@ -28,6 +32,7 @@ struct Options {
   std::uint64_t seed = 5226;
   int max_p = 8;
   int repetitions = 3;
+  bool json = false;
 };
 
 /// Parses the flags above; prints usage and exits on --help or bad input.
@@ -111,6 +116,83 @@ class Csv {
         ...);
     std::cout << line.str() << "\n" << std::flush;
   }
+};
+
+/// Format-switching writer with the Csv interface: CSV by default, JSON
+/// lines (one object per row, keys from header()) with Options::json.
+/// Numeric values are emitted as JSON numbers, everything else as strings.
+class Table {
+ public:
+  explicit Table(bool json) : json_(json) {}
+
+  void comment(const std::string& text) {
+    if (json_)
+      std::cout << "{\"comment\": " << quoted(text) << "}\n" << std::flush;
+    else
+      std::cout << "# " << text << "\n";
+  }
+
+  template <class... Columns>
+  void header(Columns&&... columns) {
+    keys_.clear();
+    (keys_.push_back(to_display(columns)), ...);
+    if (!json_) csv_.header(std::forward<Columns>(columns)...);
+  }
+
+  template <class... Values>
+  void row(Values&&... values) {
+    if (!json_) {
+      csv_.row(std::forward<Values>(values)...);
+      return;
+    }
+    std::ostringstream line;
+    line << '{';
+    std::size_t index = 0;
+    (
+        [&] {
+          if (index > 0) line << ", ";
+          line << quoted(index < keys_.size() ? keys_[index]
+                                              : "column" + std::to_string(index))
+               << ": " << json_value(values);
+          ++index;
+        }(),
+        ...);
+    line << '}';
+    std::cout << line.str() << "\n" << std::flush;
+  }
+
+ private:
+  template <class V>
+  static std::string to_display(const V& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+
+  static std::string quoted(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  template <class V>
+  static std::string json_value(const V& value) {
+    if constexpr (std::is_arithmetic_v<std::decay_t<V>>) {
+      std::ostringstream out;
+      out << value;
+      return out.str();
+    } else {
+      return quoted(to_display(value));
+    }
+  }
+
+  bool json_;
+  std::vector<std::string> keys_;
+  Csv csv_;
 };
 
 }  // namespace camc::bench

@@ -1,0 +1,95 @@
+#pragma once
+
+// Abortable spin-then-block barrier for the BSP runtime.
+//
+// Two departures from std::barrier, both needed by src/bsp:
+//
+// * abort(): releases every current and future waiter, making them throw
+//   RankAborted. A rank whose SPMD function throws would otherwise strand
+//   its peers forever inside arrive_and_wait() (the deadlock previously
+//   documented in machine.hpp); instead the Machine aborts the barrier
+//   tree and the peers unwind cleanly.
+// * a short adaptive spin before falling back to a futex-style blocking
+//   wait (std::atomic::wait). Collectives on small payloads are dominated
+//   by barrier latency, and peers almost always arrive within the spin
+//   window when ranks run in lockstep.
+//
+// The barrier is a classic sense-reversing central barrier: arrivals
+// increment `count_`; the last arriver resets the count and bumps the
+// `phase_` generation, which waiters observe. All operations are seq_cst,
+// which gives the happens-before edge collectives rely on: everything a
+// rank wrote before arriving is visible to every rank after the same
+// phase completes.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace camc::bsp {
+
+/// Thrown out of arrive_and_wait() on every rank parked in (or later
+/// entering) an aborted barrier. Machine::run treats it as a secondary
+/// casualty and rethrows the originating exception instead.
+class RankAborted : public std::runtime_error {
+ public:
+  RankAborted() : std::runtime_error("bsp: run aborted by a peer rank") {}
+};
+
+namespace detail {
+
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(int expected) : expected_(expected) {
+    if (expected <= 0)
+      throw std::invalid_argument("AbortableBarrier: expected must be > 0");
+  }
+
+  AbortableBarrier(const AbortableBarrier&) = delete;
+  AbortableBarrier& operator=(const AbortableBarrier&) = delete;
+
+  /// Blocks until all `expected` members arrive. Throws RankAborted if the
+  /// barrier is (or becomes) aborted; the phase the thrower arrived at is
+  /// then indeterminate and the communicator must not be used again.
+  void arrive_and_wait() {
+    if (aborted_.load()) throw RankAborted();
+    const std::uint64_t generation = phase_.load();
+    if (count_.fetch_add(1) + 1 == expected_) {
+      count_.store(0);
+      phase_.fetch_add(1);
+      phase_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < kSpinLimit; ++spin) {
+      if (phase_.load() != generation) {
+        if (aborted_.load()) throw RankAborted();
+        return;
+      }
+    }
+    while (phase_.load() == generation) phase_.wait(generation);
+    if (aborted_.load()) throw RankAborted();
+  }
+
+  /// Permanently aborts the barrier: wakes all waiters (they throw
+  /// RankAborted) and makes every future arrive_and_wait() throw.
+  /// Idempotent and callable from any thread, member or not.
+  void abort() noexcept {
+    aborted_.store(true);
+    phase_.fetch_add(1);
+    phase_.notify_all();
+  }
+
+  bool aborted() const noexcept { return aborted_.load(); }
+
+ private:
+  // Spin budget before blocking. Peers in lockstep arrive well within
+  // this window; under oversubscription the blocking wait yields the core.
+  static constexpr int kSpinLimit = 1024;
+
+  const int expected_;
+  std::atomic<int> count_{0};
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace detail
+}  // namespace camc::bsp

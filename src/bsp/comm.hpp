@@ -4,21 +4,35 @@
 //
 // Stand-in for MPI on the paper's testbed (see DESIGN.md §1): each BSP
 // "processor" is a thread, and collectives are implemented over shared
-// memory with two-phase publish/copy rounds separated by barriers. The
-// semantics deliberately mirror the MPI collectives the paper lists in
-// §2.1 (broadcast, reduce, gather, all-reduce, all-gather) plus the
-// variable all-to-all used by sample sort.
+// memory with publish/copy rounds separated by barriers. The semantics
+// deliberately mirror the MPI collectives the paper lists in §2.1
+// (broadcast, reduce, gather, all-reduce, all-gather) plus the variable
+// all-to-all used by sample sort.
 //
 // Contract: a collective must be called by every rank of the communicator
 // with matching root/shape arguments, like MPI. Source buffers passed to a
 // collective must stay alive until the call returns (the implementation
-// copies between the two internal barriers, so this is guaranteed by
+// copies between the internal barriers, so this is guaranteed by
 // construction for the caller).
 //
 // Every collective costs exactly one superstep, matching the O(1)-superstep
-// collective implementations the paper assumes (§2.1, [34]).
+// collective implementations the paper assumes (§2.1, [34]). The number of
+// internal barrier waits per collective is an implementation detail and
+// varies (data-parallel collectives use an extra publication round so that
+// every rank can copy its own slice into the shared output concurrently);
+// only the superstep *accounting* is part of the contract — see stats.hpp
+// for the word-counting convention.
+//
+// Fast paths (vs. the straightforward root-copies-everything layout):
+//  * gather / all_gather: the destination buffer is published once and
+//    every rank memcpy()s its own slice into it in parallel.
+//  * broadcast: each receiver copies the root's payload in a staggered
+//    chunk order so concurrent receivers stream different parts of the
+//    source instead of convoying on the same cache lines.
+//  * alltoallv: contiguous per-rank send buffers with a counts header —
+//    no nested vector allocations on the hot path. The
+//    vector<vector<T>> overload remains as a convenience wrapper.
 
-#include <barrier>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -32,22 +46,50 @@
 #include <type_traits>
 #include <vector>
 
+#include "bsp/barrier.hpp"
 #include "bsp/stats.hpp"
 
 namespace camc::bsp {
 
 namespace detail {
 
-/// One publication slot per rank; padded against false sharing.
+/// One publication slot per rank; padded against false sharing. pointer0/1
+/// publish read-only inputs; out0 publishes a writable destination that
+/// peer ranks fill in parallel (gather / all_gather fast paths).
 struct alignas(64) Slot {
   const void* pointer0 = nullptr;
   const void* pointer1 = nullptr;
+  void* out0 = nullptr;
   std::uint64_t count0 = 0;
   std::uint64_t count1 = 0;
 };
 
 inline std::uint64_t words_of_bytes(std::uint64_t bytes) noexcept {
   return (bytes + 7) / 8;
+}
+
+/// memcpy in ~64 KiB chunks, starting at a chunk offset that rotates with
+/// `which` of `of_n` concurrent copiers. All copiers cover the whole
+/// payload; staggering spreads them across the source so they stream
+/// different regions instead of convoying on the same lines.
+inline void staggered_copy(void* dst, const void* src, std::size_t bytes,
+                           int which, int of_n) {
+  constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  if (bytes == 0) return;
+  if (bytes <= kChunkBytes || of_n <= 1) {
+    std::memcpy(dst, src, bytes);
+    return;
+  }
+  const std::size_t chunks = (bytes + kChunkBytes - 1) / kChunkBytes;
+  const std::size_t start =
+      chunks * static_cast<std::size_t>(which) / static_cast<std::size_t>(of_n);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t index = (start + c) % chunks;
+    const std::size_t offset = index * kChunkBytes;
+    const std::size_t length = std::min(kChunkBytes, bytes - offset);
+    std::memcpy(static_cast<char*>(dst) + offset,
+                static_cast<const char*>(src) + offset, length);
+  }
 }
 
 class Clock {
@@ -79,26 +121,49 @@ class CommState {
   void arrive_and_wait() { barrier_.arrive_and_wait(); }
   detail::Slot& slot(int rank) { return slots_[static_cast<std::size_t>(rank)]; }
 
+  /// Aborts this communicator's barrier and (from the run's root state)
+  /// every communicator ever split off from it, releasing ranks parked in
+  /// any of their barriers. Called by Machine when a rank throws.
+  /// Idempotent; safe from any thread.
+  void abort_tree() noexcept {
+    barrier_.abort();
+    CommState* root = root_ ? root_ : this;
+    const std::lock_guard<std::mutex> lock(root->split_mutex_);
+    for (const std::weak_ptr<CommState>& weak : root->descendants_)
+      if (const std::shared_ptr<CommState> child = weak.lock())
+        child->barrier_.abort();
+  }
+
   // Split rendezvous -------------------------------------------------------
   void deposit_child(int color, std::shared_ptr<CommState> child) {
-    const std::lock_guard<std::mutex> lock(split_mutex_);
+    CommState* root = root_ ? root_ : this;
+    child->root_ = root;
+    const std::lock_guard<std::mutex> lock(root->split_mutex_);
+    root->descendants_.push_back(child);
     split_children_[color] = std::move(child);
   }
   std::shared_ptr<CommState> fetch_child(int color) {
-    const std::lock_guard<std::mutex> lock(split_mutex_);
+    CommState* root = root_ ? root_ : this;
+    const std::lock_guard<std::mutex> lock(root->split_mutex_);
     return split_children_.at(color);
   }
   void clear_children() {
-    const std::lock_guard<std::mutex> lock(split_mutex_);
+    CommState* root = root_ ? root_ : this;
+    const std::lock_guard<std::mutex> lock(root->split_mutex_);
     split_children_.clear();
   }
 
  private:
   int size_;
-  std::barrier<> barrier_;
+  detail::AbortableBarrier barrier_;
   std::vector<detail::Slot> slots_;
+  /// The run's world state; children point at it so that one abort reaches
+  /// every barrier a rank could be parked in. The world's own root_ is
+  /// null (it cannot name itself: shared_ptr identity is external).
+  CommState* root_ = nullptr;
   std::mutex split_mutex_;
   std::map<int, std::shared_ptr<CommState>> split_children_;
+  std::vector<std::weak_ptr<CommState>> descendants_;  // root only
 };
 
 /// Per-thread handle onto a communicator: (shared state, my rank, my stats).
@@ -133,8 +198,10 @@ class Comm {
     std::uint64_t received_words = 0;
     if (rank_ != root) {
       const auto& s = state_->slot(root);
-      data.assign(static_cast<const T*>(s.pointer0),
-                  static_cast<const T*>(s.pointer0) + s.count0);
+      data.resize(static_cast<std::size_t>(s.count0));
+      const int receiver = rank_ < root ? rank_ : rank_ - 1;
+      detail::staggered_copy(data.data(), s.pointer0,
+                             data.size() * sizeof(T), receiver, size() - 1);
       received_words = detail::words_of_bytes(data.size() * sizeof(T));
     }
     state_->arrive_and_wait();
@@ -158,6 +225,7 @@ class Comm {
 
   /// Concatenates every rank's `local` (in rank order) at `root`.
   /// Returns the concatenation at the root and an empty vector elsewhere.
+  /// Every rank copies its own slice into the root's output in parallel.
   template <class T>
   std::vector<T> gather(std::span<const T> local, int root = 0) const {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -168,15 +236,21 @@ class Comm {
     std::uint64_t received_words = 0;
     if (rank_ == root) {
       std::size_t total = 0;
-      for (int r = 0; r < size(); ++r) total += state_->slot(r).count0;
-      out.reserve(total);
       for (int r = 0; r < size(); ++r) {
         const auto& s = state_->slot(r);
-        const T* src = static_cast<const T*>(s.pointer0);
-        out.insert(out.end(), src, src + s.count0);
+        total += s.count0;
         if (r != root)
           received_words += detail::words_of_bytes(s.count0 * sizeof(T));
       }
+      out.resize(total);
+      state_->slot(root).out0 = out.data();
+    }
+    state_->arrive_and_wait();
+    if (local.size() > 0) {
+      T* base = static_cast<T*>(state_->slot(root).out0);
+      std::size_t offset = 0;
+      for (int r = 0; r < rank_; ++r) offset += state_->slot(r).count0;
+      std::memcpy(base + offset, local.data(), local.size() * sizeof(T));
     }
     state_->arrive_and_wait();
     const std::uint64_t sent_words =
@@ -191,26 +265,39 @@ class Comm {
   }
 
   /// gather + broadcast, in one superstep: every rank gets the rank-order
-  /// concatenation of all locals.
+  /// concatenation of all locals. The concatenation is built once, in
+  /// parallel, in rank 0's output; the other ranks then copy the finished
+  /// buffer with a single staggered pass each.
   template <class T>
   std::vector<T> all_gather(std::span<const T> local) const {
     static_assert(std::is_trivially_copyable_v<T>);
     publish(local.data(), local.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
-    std::vector<T> out;
     std::size_t total = 0;
-    for (int r = 0; r < size(); ++r) total += state_->slot(r).count0;
-    out.reserve(total);
+    std::size_t my_offset = 0;
     std::uint64_t received_words = 0;
     for (int r = 0; r < size(); ++r) {
       const auto& s = state_->slot(r);
-      const T* src = static_cast<const T*>(s.pointer0);
-      out.insert(out.end(), src, src + s.count0);
+      if (r < rank_) my_offset += s.count0;
+      total += s.count0;
       if (r != rank_)
         received_words += detail::words_of_bytes(s.count0 * sizeof(T));
     }
+    std::vector<T> out;
+    if (rank_ == 0) {
+      out.resize(total);
+      state_->slot(0).out0 = out.data();
+    }
     state_->arrive_and_wait();
+    T* shared = static_cast<T*>(state_->slot(0).out0);
+    if (local.size() > 0)
+      std::memcpy(shared + my_offset, local.data(), local.size() * sizeof(T));
+    state_->arrive_and_wait();
+    // Reading the finished concatenation is shareable across receivers;
+    // assign() copies it in one pass with no zero-initialization.
+    if (rank_ != 0) out.assign(shared, shared + total);
+    state_->arrive_and_wait();  // rank 0's buffer must outlive the readers
     account(detail::words_of_bytes(local.size() * sizeof(T)) *
                 static_cast<std::uint64_t>(size() > 1 ? 1 : 0),
             received_words, clock);
@@ -320,7 +407,8 @@ class Comm {
 
   /// Root splits `data` into consecutive chunks of sizes `counts[r]`
   /// (counts.size() == size(), meaningful at root only) and sends chunk r to
-  /// rank r. Returns each rank's chunk.
+  /// rank r. Returns each rank's chunk. Receivers copy their chunks in
+  /// parallel by construction.
   template <class T>
   std::vector<T> scatterv(const std::vector<T>& data,
                           const std::vector<std::uint64_t>& counts,
@@ -355,36 +443,96 @@ class Comm {
 
   // -- all-to-all ----------------------------------------------------------
 
-  /// Personalized all-to-all: `outbox[r]` goes to rank r; the return value
-  /// is the concatenation (in source-rank order) of what every rank sent to
-  /// this rank. outbox.size() must equal size().
+  /// Personalized all-to-all over contiguous send buffers: `send` holds the
+  /// messages for ranks 0..p-1 back to back, `counts[r]` elements destined
+  /// for rank r (sum(counts) == send.size()). Appends the concatenation (in
+  /// source-rank order) of what every rank sent to this rank into `inbox`
+  /// (which is cleared first; its capacity is reused across calls, and it
+  /// must not alias `send`). If `received_counts` is non-null it is filled
+  /// with the per-source-rank message lengths — the run boundaries sample
+  /// sort's k-way merge needs.
+  template <class T>
+  void alltoallv_into(std::span<const T> send,
+                      std::span<const std::uint64_t> counts,
+                      std::vector<T>& inbox,
+                      std::vector<std::uint64_t>* received_counts = nullptr)
+      const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (counts.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("alltoallv: counts.size() != comm size");
+    publish2(send.data(), send.size(), counts.data(), counts.size());
+    const detail::Clock clock;
+    state_->arrive_and_wait();
+    const int p = size();
+    std::size_t total = 0;
+    std::uint64_t received_words = 0;
+    if (received_counts) {
+      received_counts->clear();
+      received_counts->reserve(static_cast<std::size_t>(p));
+    }
+    for (int r = 0; r < p; ++r) {
+      const auto* their_counts =
+          static_cast<const std::uint64_t*>(state_->slot(r).pointer1);
+      const std::uint64_t length = their_counts[rank_];
+      total += length;
+      if (received_counts) received_counts->push_back(length);
+      if (r != rank_)
+        received_words += detail::words_of_bytes(length * sizeof(T));
+    }
+    inbox.clear();
+    inbox.resize(total);
+    std::size_t write = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto& s = state_->slot(r);
+      const auto* their_counts =
+          static_cast<const std::uint64_t*>(s.pointer1);
+      std::size_t read = 0;
+      for (int q = 0; q < rank_; ++q) read += their_counts[q];
+      const std::size_t length = their_counts[rank_];
+      if (length > 0)
+        std::memcpy(inbox.data() + write,
+                    static_cast<const T*>(s.pointer0) + read,
+                    length * sizeof(T));
+      write += length;
+    }
+    state_->arrive_and_wait();
+    std::uint64_t sent_words = 0;
+    for (int r = 0; r < p; ++r)
+      if (r != rank_)
+        sent_words += detail::words_of_bytes(
+            counts[static_cast<std::size_t>(r)] * sizeof(T));
+    account(sent_words, received_words, clock);
+  }
+
+  /// alltoallv_into returning a fresh inbox.
+  template <class T>
+  std::vector<T> alltoallv(std::span<const T> send,
+                           std::span<const std::uint64_t> counts) const {
+    std::vector<T> inbox;
+    alltoallv_into(send, counts, inbox);
+    return inbox;
+  }
+
+  /// Personalized all-to-all, nested-vector convenience form: `outbox[r]`
+  /// goes to rank r. Flattens into the contiguous fast path.
   template <class T>
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& outbox) const {
     static_assert(std::is_trivially_copyable_v<T>);
     if (outbox.size() != static_cast<std::size_t>(size()))
       throw std::invalid_argument("alltoallv: outbox.size() != comm size");
-    publish(&outbox, 1);
-    const detail::Clock clock;
-    state_->arrive_and_wait();
-    std::vector<T> inbox;
-    std::uint64_t received_words = 0;
-    for (int r = 0; r < size(); ++r) {
-      const auto& their_outbox =
-          *static_cast<const std::vector<std::vector<T>>*>(
-              state_->slot(r).pointer0);
-      const std::vector<T>& message = their_outbox[static_cast<std::size_t>(rank_)];
-      inbox.insert(inbox.end(), message.begin(), message.end());
-      if (r != rank_)
-        received_words +=
-            detail::words_of_bytes(message.size() * sizeof(T));
+    std::vector<std::uint64_t> counts;
+    counts.reserve(outbox.size());
+    std::size_t total = 0;
+    for (const std::vector<T>& box : outbox) {
+      counts.push_back(box.size());
+      total += box.size();
     }
-    state_->arrive_and_wait();
-    std::uint64_t sent_words = 0;
-    for (int r = 0; r < size(); ++r)
-      if (r != rank_)
-        sent_words += detail::words_of_bytes(outbox[static_cast<std::size_t>(r)].size() * sizeof(T));
-    account(sent_words, received_words, clock);
-    return inbox;
+    std::vector<T> flat;
+    flat.reserve(total);
+    for (const std::vector<T>& box : outbox)
+      flat.insert(flat.end(), box.begin(), box.end());
+    return alltoallv(std::span<const T>(flat),
+                     std::span<const std::uint64_t>(counts));
   }
 
   // -- split ---------------------------------------------------------------

@@ -6,13 +6,25 @@
 // their endpoints" so that parallel edges land on a single rank or adjacent
 // ranks. Sample sort does this in O(1) supersteps: local sort, splitter
 // selection from an oversampled all-gather, bucket exchange (alltoallv),
-// and a final local sort.
+// and a final k-way merge.
+//
+// Fast paths (all counter-neutral — the exchanged sizes are identical to
+// the straightforward implementation):
+//  * the buckets of the locally sorted slice are contiguous ranges, so the
+//    sorted slice itself is the alltoallv send buffer — no per-bucket
+//    copies or nested vectors;
+//  * the inbox is a concatenation of p sorted runs with known boundaries,
+//    merged in O((m/p) log p) instead of re-sorted in O((m/p) log(m/p));
+//  * scratch buffers live in a caller-owned SampleSortWorkspace so
+//    repeated invocations (contraction rounds, bench loops) reuse their
+//    capacity instead of reallocating.
 //
 // Postcondition: each rank holds a sorted slice, and the rank-order
 // concatenation of the slices is the sorted multiset union of the inputs.
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bsp/comm.hpp"
@@ -25,12 +37,81 @@ namespace camc::bsp {
 /// larger (still O(p^2 * factor)) splitter exchange.
 inline constexpr std::size_t kSampleSortOversampling = 16;
 
+/// Reusable scratch for sample_sort. Hand the same instance to repeated
+/// calls (same element type) to amortize allocations across rounds.
+template <class T>
+struct SampleSortWorkspace {
+  std::vector<T> inbox;       ///< bucket-exchange landing buffer
+  std::vector<T> scratch;     ///< merge ping-pong buffer
+  std::vector<std::uint64_t> bucket_counts;
+  std::vector<std::uint64_t> run_lengths;
+};
+
+namespace detail {
+
+/// Merges `runs` consecutive sorted runs of `cur` (boundaries in
+/// `offsets`, offsets.size() == runs + 1) into a sorted vector, using
+/// `scratch` for ping-pong passes. O(total * ceil(log2(runs))).
+template <class T, class Less>
+std::vector<T> merge_sorted_runs(std::vector<T>& cur,
+                                 std::vector<std::uint64_t> offsets,
+                                 Less less, std::vector<T>& scratch) {
+  std::size_t runs = offsets.size() - 1;
+  const std::size_t total = static_cast<std::size_t>(offsets.back());
+  std::vector<T> result;
+  if (runs <= 1) {
+    result.assign(cur.begin(), cur.begin() + static_cast<std::ptrdiff_t>(total));
+    return result;
+  }
+  scratch.clear();
+  scratch.resize(total);
+  std::vector<T>* src = &cur;
+  std::vector<T>* dst = &scratch;
+  std::vector<std::uint64_t> next_offsets;
+  while (runs > 2) {
+    next_offsets.clear();
+    next_offsets.push_back(0);
+    std::size_t write = 0;
+    for (std::size_t i = 0; i + 1 < runs; i += 2) {
+      const auto b0 = static_cast<std::ptrdiff_t>(offsets[i]);
+      const auto e0 = static_cast<std::ptrdiff_t>(offsets[i + 1]);
+      const auto e1 = static_cast<std::ptrdiff_t>(offsets[i + 2]);
+      std::merge(src->begin() + b0, src->begin() + e0, src->begin() + e0,
+                 src->begin() + e1, dst->begin() + b0, less);
+      write = static_cast<std::size_t>(e1);
+      next_offsets.push_back(static_cast<std::uint64_t>(write));
+    }
+    if (runs % 2 == 1) {  // odd run out: carry over unmerged
+      const auto b = static_cast<std::ptrdiff_t>(offsets[runs - 1]);
+      const auto e = static_cast<std::ptrdiff_t>(offsets[runs]);
+      std::copy(src->begin() + b, src->begin() + e, dst->begin() + b);
+      next_offsets.push_back(offsets[runs]);
+    }
+    offsets = next_offsets;
+    runs = offsets.size() - 1;
+    std::swap(src, dst);
+  }
+  result.resize(total);
+  const auto b0 = static_cast<std::ptrdiff_t>(offsets[0]);
+  const auto e0 = static_cast<std::ptrdiff_t>(offsets[1]);
+  const auto e1 = static_cast<std::ptrdiff_t>(offsets[2]);
+  std::merge(src->begin() + b0, src->begin() + e0, src->begin() + e0,
+             src->begin() + e1, result.begin(), less);
+  return result;
+}
+
+}  // namespace detail
+
 template <class T, class Less>
 std::vector<T> sample_sort(const Comm& comm, std::vector<T> local, Less less,
-                           rng::Philox& gen) {
+                           rng::Philox& gen,
+                           SampleSortWorkspace<T>* workspace = nullptr) {
   const int p = comm.size();
   std::sort(local.begin(), local.end(), less);
   if (p == 1) return local;
+
+  SampleSortWorkspace<T> fallback;
+  SampleSortWorkspace<T>& ws = workspace ? *workspace : fallback;
 
   // Draw candidate splitters uniformly from the local (sorted) slice. Ranks
   // with fewer elements than requested contribute everything they have.
@@ -61,10 +142,13 @@ std::vector<T> sample_sort(const Comm& comm, std::vector<T> local, Less less,
     }
   }
 
-  // Partition the local slice into p buckets by splitter upper bounds.
-  std::vector<std::vector<T>> outbox(static_cast<std::size_t>(p));
+  // The locally sorted slice is partitioned into p buckets by splitter
+  // upper bounds; the buckets are contiguous, so `local` itself is the
+  // contiguous alltoallv send buffer and only the counts are computed.
+  std::vector<std::uint64_t>& counts = ws.bucket_counts;
+  counts.assign(static_cast<std::size_t>(p), 0);
   if (splitters.empty()) {
-    outbox[0] = std::move(local);
+    counts[0] = local.size();
   } else {
     std::size_t begin = 0;
     for (int b = 0; b < p - 1; ++b) {
@@ -74,21 +158,22 @@ std::vector<T> sample_sort(const Comm& comm, std::vector<T> local, Less less,
                            less);
       const std::size_t end =
           static_cast<std::size_t>(end_it - local.begin());
-      outbox[static_cast<std::size_t>(b)]
-          .assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
-                  local.begin() + static_cast<std::ptrdiff_t>(end));
+      counts[static_cast<std::size_t>(b)] = end - begin;
       begin = end;
     }
-    outbox[static_cast<std::size_t>(p) - 1]
-        .assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
-                local.end());
+    counts[static_cast<std::size_t>(p) - 1] = local.size() - begin;
   }
 
-  std::vector<T> bucket = comm.alltoallv(outbox);
-  // The inbox is a concatenation of p sorted runs; a sort keeps the code
-  // simple and stays within the O((m/p) log m) local-work budget.
-  std::sort(bucket.begin(), bucket.end(), less);
-  return bucket;
+  comm.alltoallv_into(std::span<const T>(local),
+                      std::span<const std::uint64_t>(counts), ws.inbox,
+                      &ws.run_lengths);
+
+  // The inbox is p sorted runs with known boundaries: k-way merge.
+  std::vector<std::uint64_t> offsets(ws.run_lengths.size() + 1, 0);
+  for (std::size_t r = 0; r < ws.run_lengths.size(); ++r)
+    offsets[r + 1] = offsets[r] + ws.run_lengths[r];
+  return detail::merge_sorted_runs(ws.inbox, std::move(offsets), less,
+                                   ws.scratch);
 }
 
 }  // namespace camc::bsp

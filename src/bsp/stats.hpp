@@ -8,6 +8,27 @@
 // counts these quantities exactly, plus wall-time spent inside collective
 // operations — the equivalent of the paper's "time spent in MPI", which by
 // their definition also includes synchronization (imbalance) costs.
+//
+// Word-accounting convention (every collective follows it; pinned by
+// bsp_accounting_test.cpp):
+//
+// * `words_sent` charges a rank for each *distinct* 8-byte word it
+//   publishes into a superstep, counted once no matter how many peers
+//   read it — the one-copy convention of a replicating network, matching
+//   the O(1)-superstep collectives the paper assumes (§2.1, [34]). So a
+//   broadcast root is charged `size` once (not `(p-1) * size`), an
+//   all-reduce contributor is charged one word, and a scatterv root is
+//   charged the sum of the *remote* chunks (each chunk is distinct data,
+//   so per-receiver chunks and distinct words coincide there).
+// * `words_received` charges each receiving rank for every word it drains
+//   from another rank's publication; replication is paid on the receive
+//   side, once per reader.
+// * Traffic a rank addresses to itself (self-chunks, own all-gather
+//   slice) is a local copy and charges neither side.
+// * Collectives on a single-rank communicator charge nothing.
+//
+// These counters are the paper-facing contract: runtime rewrites may
+// change how bytes move (and therefore the time), but never the counts.
 
 #include <algorithm>
 #include <cstdint>

@@ -3,6 +3,7 @@
 // the communication-volume claims, so they are pinned down exactly.
 
 #include <functional>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -93,6 +94,105 @@ TEST(Accounting, ExclusiveScanChargesPrefixReads) {
   });
   // The last rank reads p-1 contributions and publishes one word.
   EXPECT_EQ(stats.max_words_communicated, 1u + (kP - 1));
+}
+
+// -- word-accounting convention (see stats.hpp) ----------------------------
+//
+// `words_sent` charges each *distinct* published word once, regardless of
+// how many peers read it (one-copy convention of a replicating network);
+// `words_received` is charged per reading rank. The tests below pin the
+// convention per collective on the per-rank counters so that a future
+// "fix" to either side shows up as a diff here, not as silently shifted
+// Table-1 numbers.
+
+std::vector<RankStats> run_per_rank(const std::function<void(Comm&)>& body) {
+  Machine machine(kP);
+  return machine.run(body).per_rank;
+}
+
+TEST(AccountingConvention, BroadcastRootChargeIsFanoutIndependent) {
+  const auto per_rank = run_per_rank([](Comm& world) {
+    std::vector<std::uint64_t> data;
+    if (world.rank() == 0) data.assign(kWords, 1);
+    world.broadcast(data);
+  });
+  // One copy of the payload, NOT (p-1) * kWords: replication is free on
+  // the send side.
+  EXPECT_EQ(per_rank[0].words_sent, kWords);
+  EXPECT_EQ(per_rank[0].words_received, 0u);
+  for (int r = 1; r < kP; ++r) {
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)].words_sent, 0u);
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)].words_received, kWords);
+  }
+}
+
+TEST(AccountingConvention, ScattervRootChargesDistinctRemoteChunks) {
+  const auto per_rank = run_per_rank([](Comm& world) {
+    std::vector<std::uint64_t> data;
+    std::vector<std::uint64_t> counts;
+    if (world.rank() == 0) {
+      counts.assign(static_cast<std::size_t>(world.size()), kWords);
+      data.assign(kWords * static_cast<std::size_t>(world.size()), 5);
+    }
+    world.scatterv(data, counts);
+  });
+  // Every remote chunk is distinct data, so the per-receiver sum and the
+  // distinct-words charge coincide; the root's own chunk is a local copy.
+  EXPECT_EQ(per_rank[0].words_sent, kWords * (kP - 1));
+  for (int r = 1; r < kP; ++r)
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)].words_received, kWords);
+}
+
+TEST(AccountingConvention, AllGatherSenderChargedOncePerDistinctWord) {
+  const auto per_rank = run_per_rank([](Comm& world) {
+    const std::vector<std::uint64_t> mine(kWords, 3);
+    world.all_gather(mine);
+  });
+  for (const RankStats& stats : per_rank) {
+    EXPECT_EQ(stats.words_sent, kWords);  // not (p-1) * kWords
+    EXPECT_EQ(stats.words_received, kWords * (kP - 1));
+  }
+}
+
+TEST(AccountingConvention, ScalarCollectivesChargeOneDistinctWord) {
+  const auto per_rank = run_per_rank([](Comm& world) {
+    world.all_reduce(std::uint64_t{7}, std::plus<std::uint64_t>{},
+                     std::uint64_t{0});
+    world.exclusive_scan(std::uint64_t{1}, std::plus<std::uint64_t>{},
+                         std::uint64_t{0});
+  });
+  for (int r = 0; r < kP; ++r) {
+    // One word per collective, even though up to p-1 peers read it.
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)].words_sent, 2u);
+    // all_reduce: everyone reads p-1 peers; exclusive_scan: rank r reads r.
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)].words_received,
+              static_cast<std::uint64_t>((kP - 1) + r));
+  }
+}
+
+TEST(AccountingConvention, AlltoallvContiguousMatchesNestedCharges) {
+  const auto nested = run_per_rank([](Comm& world) {
+    std::vector<std::vector<std::uint64_t>> outbox(
+        static_cast<std::size_t>(world.size()));
+    for (auto& box : outbox) box.assign(kWords, 4);
+    world.alltoallv(outbox);
+  });
+  const auto contiguous = run_per_rank([](Comm& world) {
+    std::vector<std::uint64_t> send(
+        kWords * static_cast<std::size_t>(world.size()), 4);
+    const std::vector<std::uint64_t> counts(
+        static_cast<std::size_t>(world.size()), kWords);
+    world.alltoallv(std::span<const std::uint64_t>(send),
+                    std::span<const std::uint64_t>(counts));
+  });
+  for (int r = 0; r < kP; ++r) {
+    EXPECT_EQ(nested[static_cast<std::size_t>(r)].words_sent,
+              contiguous[static_cast<std::size_t>(r)].words_sent);
+    EXPECT_EQ(nested[static_cast<std::size_t>(r)].words_received,
+              contiguous[static_cast<std::size_t>(r)].words_received);
+    EXPECT_EQ(contiguous[static_cast<std::size_t>(r)].words_sent,
+              kWords * (kP - 1));
+  }
 }
 
 TEST(Accounting, SuperstepsAccumulateAcrossCollectives) {

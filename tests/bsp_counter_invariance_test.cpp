@@ -1,0 +1,138 @@
+// Counter invariance: the BSP counters (supersteps, communicated words,
+// collective calls) of the paper's algorithms are the paper-facing
+// contract of the runtime. This test pins them for connected_components
+// and approx_min_cut on a fixed input at p in {1, 2, 4, 8} to the golden
+// values captured from the seed implementation, so that comm-layer
+// rewrites (worker pools, parallel copies, buffer layouts) can change how
+// bytes move — and therefore time — but never what is counted.
+//
+// If an *algorithmic* change legitimately alters these numbers, recapture
+// the goldens and say so in the commit; a runtime change must not.
+
+#include <cstdint>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+
+namespace camc::core {
+namespace {
+
+struct Golden {
+  int p;
+  std::uint64_t supersteps;
+  std::uint64_t max_words;
+  std::uint64_t collective_calls;
+  std::uint64_t total_words;
+};
+
+// Fixed input shared by both algorithms: ER graph, n = 512, m = 2048,
+// generator seed 42; algorithm seed 7.
+constexpr graph::Vertex kN = 512;
+constexpr std::uint64_t kM = 2048;
+constexpr std::uint64_t kGraphSeed = 42;
+constexpr std::uint64_t kAlgoSeed = 7;
+
+// Golden values captured from the seed implementation (commit 4ba6b1a).
+constexpr Golden kCcGolden[] = {
+    {1, 14, 0, 14, 0},
+    {2, 14, 3932, 14, 7864},
+    {4, 10, 6671, 10, 14396},
+    {8, 10, 7707, 10, 18648},
+};
+constexpr Golden kApproxMinCutGolden[] = {
+    {1, 21, 0, 21, 0},
+    {2, 21, 33116, 21, 66232},
+    {4, 17, 45696, 17, 111928},
+    {8, 17, 51354, 17, 164460},
+};
+
+bsp::MachineStats run_counters(
+    int p, const std::function<void(bsp::Comm&,
+                                    graph::DistributedEdgeArray&)>& body) {
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  bsp::Machine machine(p);
+  return machine
+      .run([&](bsp::Comm& world) {
+        auto dist = graph::DistributedEdgeArray::scatter(
+            world, kN,
+            world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+        body(world, dist);
+      })
+      .stats;
+}
+
+TEST(CounterInvariance, ConnectedComponentsMatchesSeedGoldens) {
+  for (const Golden& golden : kCcGolden) {
+    const auto stats =
+        run_counters(golden.p, [](bsp::Comm& world,
+                                  graph::DistributedEdgeArray& dist) {
+          CcOptions options;
+          options.seed = kAlgoSeed;
+          (void)connected_components(world, dist, options);
+        });
+    EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
+    EXPECT_EQ(stats.max_words_communicated, golden.max_words)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.collective_calls, golden.collective_calls)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.total_words_communicated, golden.total_words)
+        << "p=" << golden.p;
+  }
+}
+
+TEST(CounterInvariance, ApproxMinCutMatchesSeedGoldens) {
+  for (const Golden& golden : kApproxMinCutGolden) {
+    const auto stats =
+        run_counters(golden.p, [](bsp::Comm& world,
+                                  graph::DistributedEdgeArray& dist) {
+          ApproxMinCutOptions options;
+          options.seed = kAlgoSeed;
+          (void)approx_min_cut(world, dist, options);
+        });
+    EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
+    EXPECT_EQ(stats.max_words_communicated, golden.max_words)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.collective_calls, golden.collective_calls)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.total_words_communicated, golden.total_words)
+        << "p=" << golden.p;
+  }
+}
+
+TEST(CounterInvariance, RepeatedRunsOnOneMachineAreIdentical) {
+  // The persistent pool must not leak state between runs.
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  bsp::Machine machine(4);
+  bsp::MachineStats first;
+  for (int round = 0; round < 3; ++round) {
+    const auto stats =
+        machine
+            .run([&](bsp::Comm& world) {
+              auto dist = graph::DistributedEdgeArray::scatter(
+                  world, kN,
+                  world.rank() == 0 ? edges
+                                    : std::vector<graph::WeightedEdge>{});
+              CcOptions options;
+              options.seed = kAlgoSeed;
+              (void)connected_components(world, dist, options);
+            })
+            .stats;
+    if (round == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.supersteps, first.supersteps);
+      EXPECT_EQ(stats.max_words_communicated, first.max_words_communicated);
+      EXPECT_EQ(stats.collective_calls, first.collective_calls);
+      EXPECT_EQ(stats.total_words_communicated,
+                first.total_words_communicated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camc::core

@@ -3,6 +3,7 @@
 // propagation. Parameterized over p to sweep odd/even/power-of-two sizes.
 
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -167,6 +168,43 @@ TEST_P(Collectives, ScattervSplitsByCounts) {
   }
 }
 
+TEST_P(Collectives, AlltoallvContiguousMatchesNestedForm) {
+  // The contiguous fast path (send buffer + counts header) must route the
+  // same data as the vector<vector> convenience form, and report the
+  // per-source run lengths.
+  Machine machine(p());
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
+  std::vector<std::vector<std::uint64_t>> lengths(
+      static_cast<std::size_t>(p()));
+  machine.run([&](Comm& world) {
+    // Rank r sends (r + 1) copies of r*100+dest to every dest.
+    std::vector<int> send;
+    std::vector<std::uint64_t> counts;
+    for (int dest = 0; dest < world.size(); ++dest) {
+      counts.push_back(static_cast<std::uint64_t>(world.rank() + 1));
+      for (int k = 0; k <= world.rank(); ++k)
+        send.push_back(world.rank() * 100 + dest);
+    }
+    std::vector<int> inbox;
+    std::vector<std::uint64_t> run_lengths;
+    world.alltoallv_into(std::span<const int>(send),
+                         std::span<const std::uint64_t>(counts), inbox,
+                         &run_lengths);
+    results[static_cast<std::size_t>(world.rank())] = inbox;
+    lengths[static_cast<std::size_t>(world.rank())] = run_lengths;
+  });
+  for (int r = 0; r < p(); ++r) {
+    std::vector<int> expected;
+    std::vector<std::uint64_t> expected_lengths;
+    for (int src = 0; src < p(); ++src) {
+      expected_lengths.push_back(static_cast<std::uint64_t>(src + 1));
+      for (int k = 0; k <= src; ++k) expected.push_back(src * 100 + r);
+    }
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], expected);
+    EXPECT_EQ(lengths[static_cast<std::size_t>(r)], expected_lengths);
+  }
+}
+
 TEST_P(Collectives, AlltoallvRoutesPersonalizedMessages) {
   Machine machine(p());
   std::vector<std::vector<int>> results(static_cast<std::size_t>(p()));
@@ -278,6 +316,82 @@ TEST(Machine, PropagatesWorkerExceptions) {
   Machine machine(1);
   EXPECT_THROW(
       machine.run([](Comm&) { throw std::runtime_error("worker failed"); }),
+      std::runtime_error);
+}
+
+TEST(Machine, ThrowingRankReleasesPeersParkedInBarriers) {
+  // Regression: one rank throws while its peers are already inside a
+  // barrier. Before the abortable barrier this deadlocked (the peers
+  // waited for an arrival that never came); now the machine aborts the
+  // run, the peers unwind, and run() rethrows the original exception.
+  Machine machine(4);
+  try {
+    machine.run([](Comm& world) {
+      if (world.rank() == 2) throw std::runtime_error("rank 2 failed");
+      for (int i = 0; i < 1000; ++i) world.barrier();
+    });
+    FAIL() << "expected run() to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rank 2 failed");
+  }
+}
+
+TEST(Machine, ThrowingRankReleasesPeersParkedInCollectives) {
+  Machine machine(4);
+  EXPECT_THROW(machine.run([](Comm& world) {
+    std::vector<int> data{world.rank()};
+    for (int i = 0; i < 1000; ++i) {
+      world.all_gather(data);
+      if (world.rank() == 1 && i == 3)
+        throw std::runtime_error("rank 1 failed mid-collective");
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(Machine, ThrowingRankReleasesPeersParkedInSubCommunicators) {
+  // The abort must reach barriers of communicators created by split().
+  Machine machine(4);
+  EXPECT_THROW(machine.run([](Comm& world) {
+    Comm sub = world.split(world.rank() % 2);
+    if (world.rank() == 3) throw std::runtime_error("rank 3 failed");
+    for (int i = 0; i < 1000; ++i) sub.barrier();
+  }),
+               std::runtime_error);
+}
+
+TEST(Machine, UsableAfterAFailedRun) {
+  // The persistent worker pool must survive an aborted run intact.
+  Machine machine(3);
+  EXPECT_THROW(machine.run([](Comm& world) {
+    if (world.rank() == 0) throw std::runtime_error("boom");
+    world.barrier();
+    world.barrier();
+  }),
+               std::runtime_error);
+  auto outcome = machine.run([](Comm& world) {
+    const int sum = world.all_reduce(1, std::plus<int>{}, 0);
+    ASSERT_EQ(sum, world.size());
+  });
+  EXPECT_EQ(outcome.stats.supersteps, 1u);
+}
+
+TEST(Machine, SpawnPerRunModeStillWorks) {
+  // persistent = false preserves the old spawn-per-run behaviour (kept for
+  // the pool-overhead microbenchmark and as a fallback).
+  Machine machine(3, /*persistent=*/false);
+  for (int round = 0; round < 3; ++round) {
+    auto outcome = machine.run([](Comm& world) {
+      const int sum = world.all_reduce(world.rank(), std::plus<int>{}, 0);
+      ASSERT_EQ(sum, 3);
+    });
+    EXPECT_EQ(outcome.stats.supersteps, 1u);
+  }
+  EXPECT_THROW(
+      machine.run([](Comm& world) {
+        if (world.rank() == 1) throw std::runtime_error("boom");
+        world.barrier();
+      }),
       std::runtime_error);
 }
 

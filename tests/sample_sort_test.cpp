@@ -101,6 +101,34 @@ TEST(SampleSortEdgeCases, SkewedInputOneRankHasEverything) {
   EXPECT_TRUE(std::is_sorted(combined.begin(), combined.end()));
 }
 
+TEST(SampleSortEdgeCases, WorkspaceReuseAcrossInvocationsIsEquivalent) {
+  // Repeated calls with one workspace (the contraction-round shape) must
+  // produce the same slices as workspace-free calls, while reusing the
+  // inbox/scratch capacity.
+  constexpr int kP = 4;
+  constexpr int kRounds = 5;
+  Machine machine(kP);
+  std::vector<std::vector<std::uint64_t>> with_ws(kP), without_ws(kP);
+  for (int mode = 0; mode < 2; ++mode) {
+    machine.run([&](Comm& world) {
+      SampleSortWorkspace<std::uint64_t> workspace;
+      rng::Philox gen(77, static_cast<std::uint64_t>(world.rank()));
+      std::vector<std::uint64_t> last;
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::uint64_t> local(200 + 30 * round);
+        for (auto& x : local) x = gen.bounded(5000);
+        last = sample_sort(world, std::move(local),
+                           std::less<std::uint64_t>{}, gen,
+                           mode == 0 ? &workspace : nullptr);
+        ASSERT_TRUE(std::is_sorted(last.begin(), last.end()));
+      }
+      auto& out = (mode == 0 ? with_ws : without_ws);
+      out[static_cast<std::size_t>(world.rank())] = last;
+    });
+  }
+  EXPECT_EQ(with_ws, without_ws);
+}
+
 TEST(SampleSortEdgeCases, SortsEdgesByEndpoint) {
   Machine machine(3);
   std::vector<std::vector<graph::WeightedEdge>> slices(3);

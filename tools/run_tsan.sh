@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the BSP-runtime test subset under ThreadSanitizer.
+#
+# The bsp layer is the only concurrent code in the repo (persistent worker
+# pool, abortable barriers, receiver-parallel collectives), so this builds
+# the tsan preset and runs the tests that exercise it: Bsp*, Collectives*,
+# Accounting*, Machine*, SampleSort*, Fuzz*, CounterInvariance*.
+#
+#   tools/run_tsan.sh            # configure + build + filtered ctest
+#   tools/run_tsan.sh -R Machine # extra args are passed to ctest
+#
+# TSAN_OPTIONS can be set by the caller; halt_on_error=1 is the default so
+# the first race fails the run.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target camc_tests \
+  camc_cc camc_mincut camc_approx camc_gen_tool
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir build-tsan --output-on-failure "$@"
+else
+  ctest --preset tsan
+fi
