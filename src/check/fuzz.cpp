@@ -1,0 +1,117 @@
+#include "check/fuzz.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/mutate.hpp"
+#include "check/shrink.hpp"
+
+namespace camc::check {
+
+namespace {
+
+std::vector<const Oracle*> select_oracles(const FuzzOptions& options) {
+  std::vector<const Oracle*> selected;
+  if (options.oracle_names.empty()) {
+    for (const Oracle& oracle : all_oracles()) selected.push_back(&oracle);
+    return selected;
+  }
+  for (const std::string& name : options.oracle_names) {
+    const Oracle* oracle = find_oracle(name);
+    if (oracle == nullptr)
+      throw std::invalid_argument("unknown oracle: " + name);
+    selected.push_back(oracle);
+  }
+  return selected;
+}
+
+std::string corpus_file_name(const FuzzOptions& options, const Oracle& oracle,
+                             std::uint64_t index) {
+  std::ostringstream name;
+  name << oracle.name << "-seed" << options.seed << "-case" << index
+       << ".txt";
+  return name.str();
+}
+
+}  // namespace
+
+FuzzReport fuzz(const FuzzOptions& options, std::ostream* log) {
+  const std::vector<const Oracle*> oracles = select_oracles(options);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  FuzzReport report;
+  for (std::uint64_t index = 0;; ++index) {
+    if (options.max_cases != 0 && index >= options.max_cases) break;
+    if (options.seconds > 0 && elapsed() >= options.seconds) break;
+    if (report.failures.size() >= options.max_failures) break;
+
+    const TestCase tc = random_case(options.seed, index);
+    ++report.cases_run;
+
+    for (const Oracle* oracle : oracles) {
+      ++report.oracle_runs;
+      const Verdict verdict = oracle->run(tc);
+      if (verdict.outcome == Outcome::kRejected) {
+        ++report.rejected;
+        continue;
+      }
+      if (verdict.outcome == Outcome::kPass) continue;
+
+      if (log != nullptr)
+        *log << "FAIL case " << index << " [" << tc.origin << "] oracle "
+             << oracle->name << ": " << verdict.detail << "\n";
+
+      // Shrink: a candidate fails only if the SAME oracle still disagrees;
+      // rejected candidates count as non-failing so the minimized instance
+      // stays inside the contract.
+      ShrinkStats stats;
+      const TestCase shrunk = shrink(
+          tc,
+          [&](const TestCase& candidate) {
+            return oracle->run(candidate).outcome == Outcome::kFail;
+          },
+          &stats, options.shrink_budget);
+
+      FuzzFailure failure;
+      failure.oracle = oracle->name;
+      failure.shrunk = shrunk;
+      failure.verdict = oracle->run(shrunk);
+      if (!options.corpus_dir.empty()) {
+        failure.file = options.corpus_dir + "/" +
+                       corpus_file_name(options, *oracle, index);
+        CorpusCase entry;
+        entry.test_case = shrunk;
+        entry.oracle = oracle->name;
+        entry.expect = "fail";
+        write_corpus_file(failure.file, entry);
+      }
+      if (log != nullptr)
+        *log << "  shrunk to n=" << shrunk.n << " m=" << shrunk.edges.size()
+             << " in " << stats.predicate_calls << " predicate calls ("
+             << stats.rounds << " rounds)"
+             << (failure.file.empty() ? "" : " -> " + failure.file) << "\n"
+             << "  " << failure.verdict.detail << "\n";
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  report.elapsed_seconds = elapsed();
+  return report;
+}
+
+Verdict replay(const std::string& corpus_path) {
+  const CorpusCase entry = read_corpus_file(corpus_path);
+  const Oracle* oracle = find_oracle(entry.oracle);
+  if (oracle == nullptr)
+    throw std::runtime_error(corpus_path + ": unknown oracle " + entry.oracle);
+  return oracle->run(entry.test_case);
+}
+
+}  // namespace camc::check

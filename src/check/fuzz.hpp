@@ -1,0 +1,61 @@
+#pragma once
+
+// Time-boxed differential fuzz loop with deterministic replay.
+//
+// fuzz() draws cases from mutate::random_case, judges each against every
+// registered oracle, and on a failure shrinks the instance (treating
+// rejected candidates as non-failing) and writes the minimized reproducer
+// into the corpus directory with enough metadata for one-command replay:
+//
+//   camc_fuzz --replay tests/corpus/<file>
+//
+// The loop is fully deterministic given (seed, max_cases): wall-clock only
+// truncates how far the case sequence gets, it never changes a case.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/testcase.hpp"
+
+namespace camc::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Wall-clock box; <= 0 means no time limit (use max_cases instead).
+  double seconds = 60.0;
+  /// Stop after this many generated cases; 0 means unlimited.
+  std::uint64_t max_cases = 0;
+  /// Oracle names to run; empty means the full registry.
+  std::vector<std::string> oracle_names;
+  /// Where shrunk reproducers are written; empty disables writing.
+  std::string corpus_dir;
+  /// Stop after this many distinct failures (bounds shrink time).
+  std::uint32_t max_failures = 8;
+  std::size_t shrink_budget = 2000;
+};
+
+struct FuzzFailure {
+  std::string oracle;
+  TestCase shrunk;
+  Verdict verdict;       ///< verdict on the shrunk instance
+  std::string file;      ///< corpus path ("" when corpus_dir is empty)
+};
+
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t oracle_runs = 0;
+  std::uint64_t rejected = 0;
+  std::vector<FuzzFailure> failures;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs the loop; progress and failures are logged to `log` when non-null.
+FuzzReport fuzz(const FuzzOptions& options, std::ostream* log = nullptr);
+
+/// Re-runs a corpus file against its recorded oracle.
+Verdict replay(const std::string& corpus_path);
+
+}  // namespace camc::check

@@ -1,0 +1,224 @@
+#include "check/mutate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+
+namespace camc::check {
+
+namespace {
+
+/// Distinct Philox stream namespace for the fuzzer (generators use low
+/// streams, algorithms use 0x3C0000/0xCC00/0xD0000000-style namespaces).
+constexpr std::uint64_t kFuzzStream = 0xF0220000ull;
+
+void note(TestCase& tc, const char* what) {
+  tc.origin += '+';
+  tc.origin += what;
+}
+
+}  // namespace
+
+void mutate_duplicate_edges(TestCase& tc, rng::Philox& gen,
+                            std::uint32_t copies) {
+  if (tc.edges.empty()) return;
+  for (std::uint32_t k = 0; k < copies; ++k)
+    tc.edges.push_back(tc.edges[gen.bounded(tc.edges.size())]);
+  note(tc, "dup");
+}
+
+void mutate_add_self_loops(TestCase& tc, rng::Philox& gen,
+                           std::uint32_t count) {
+  if (tc.n == 0) return;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const auto v = static_cast<Vertex>(gen.bounded(tc.n));
+    tc.edges.push_back({v, v, 1 + gen.bounded(4)});
+  }
+  note(tc, "loops");
+}
+
+void mutate_near_disconnect(TestCase& tc, rng::Philox& gen) {
+  if (tc.n < 3) return;
+  const auto split = static_cast<Vertex>(1 + gen.bounded(tc.n - 1));
+  std::vector<WeightedEdge> kept;
+  kept.reserve(tc.edges.size());
+  for (const WeightedEdge& e : tc.edges)
+    if ((e.u < split) == (e.v < split)) kept.push_back(e);
+  // One unit bridge between the halves: cut algorithms must find exactly 1.
+  kept.push_back({static_cast<Vertex>(gen.bounded(split)),
+                  static_cast<Vertex>(split + gen.bounded(tc.n - split)), 1});
+  tc.edges = std::move(kept);
+  note(tc, "bridge");
+}
+
+void mutate_permute_ids(TestCase& tc, rng::Philox& gen) {
+  if (tc.n < 2) return;
+  std::vector<Vertex> perm(tc.n);
+  std::iota(perm.begin(), perm.end(), Vertex{0});
+  for (Vertex i = tc.n; i-- > 1;)
+    std::swap(perm[i], perm[gen.bounded(i + 1)]);
+  for (WeightedEdge& e : tc.edges) {
+    e.u = perm[e.u];
+    e.v = perm[e.v];
+  }
+  note(tc, "perm");
+}
+
+void mutate_add_isolated(TestCase& tc, rng::Philox& gen,
+                         std::uint32_t count) {
+  tc.n += static_cast<Vertex>(1 + gen.bounded(count));
+  note(tc, "isolated");
+}
+
+void mutate_drop_edges(TestCase& tc, rng::Philox& gen) {
+  if (tc.edges.empty()) return;
+  const double keep = 0.3 + 0.6 * gen.uniform_real();
+  std::vector<WeightedEdge> kept;
+  kept.reserve(tc.edges.size());
+  for (const WeightedEdge& e : tc.edges)
+    if (gen.bernoulli(keep)) kept.push_back(e);
+  tc.edges = std::move(kept);
+  note(tc, "drop");
+}
+
+void mutate_weights(TestCase& tc, rng::Philox& gen, std::uint32_t family) {
+  switch (family) {
+    case 0:  // unit
+      for (WeightedEdge& e : tc.edges) e.weight = 1;
+      break;
+    case 1:  // small random
+      for (WeightedEdge& e : tc.edges) e.weight = 1 + gen.bounded(8);
+      note(tc, "w-small");
+      break;
+    default: {
+      // Near the contract boundary: per-edge weights around 2^53 sized so
+      // that even summed over every edge (m <= ~2^8 here) twice the total
+      // stays below 2^62 — the checked arithmetic must ACCEPT these. A case
+      // from this family being rejected is a real finding.
+      const Weight base = Weight{1} << 53;
+      for (WeightedEdge& e : tc.edges)
+        e.weight = base + gen.bounded(Weight{1} << 20);
+      note(tc, "w-extreme");
+      break;
+    }
+  }
+}
+
+TestCase random_case(std::uint64_t fuzz_seed, std::uint64_t index) {
+  rng::Philox gen(fuzz_seed, kFuzzStream + index);
+
+  TestCase tc;
+  tc.seed = fuzz_seed * 1000003 + index + 1;
+
+  // Base family: the gen:: generators plus deterministic corner graphs.
+  const std::uint64_t family = gen.bounded(10);
+  const auto small_n = static_cast<Vertex>(4 + gen.bounded(28));
+  switch (family) {
+    case 0: {
+      const auto n = static_cast<Vertex>(6 + gen.bounded(42));
+      const std::uint64_t m = n + gen.bounded(3 * n);
+      tc.origin = "er";
+      tc.n = n;
+      tc.edges = gen::erdos_renyi(n, m, gen());
+      break;
+    }
+    case 1: {
+      const auto n = static_cast<Vertex>(8 + 2 * gen.bounded(20));
+      tc.origin = "ws";
+      tc.n = n;
+      tc.edges = gen::watts_strogatz(n, 4, 0.3, gen());
+      break;
+    }
+    case 2: {
+      const auto n = static_cast<Vertex>(8 + gen.bounded(32));
+      tc.origin = "ba";
+      tc.n = n;
+      tc.edges = gen::barabasi_albert(n, 2, gen());
+      break;
+    }
+    case 3: {
+      const unsigned scale = 3 + static_cast<unsigned>(gen.bounded(3));
+      tc.origin = "rmat";
+      tc.n = Vertex{1} << scale;
+      tc.edges = gen::rmat(scale, (Vertex{1} << scale) * 3, gen());
+      break;
+    }
+    case 4: {
+      const gen::KnownGraph g = gen::path_graph(small_n);
+      tc.origin = "path";
+      tc.n = g.n;
+      tc.edges = g.edges;
+      break;
+    }
+    case 5: {
+      const gen::KnownGraph g = gen::cycle_graph(small_n);
+      tc.origin = "cycle";
+      tc.n = g.n;
+      tc.edges = g.edges;
+      break;
+    }
+    case 6: {
+      const gen::KnownGraph g = gen::star_graph(small_n);
+      tc.origin = "star";
+      tc.n = g.n;
+      tc.edges = g.edges;
+      break;
+    }
+    case 7: {
+      // dumbbell requires 0 < bridges < half - 1.
+      const auto half = static_cast<Vertex>(4 + gen.bounded(5));
+      const gen::KnownGraph g = gen::dumbbell_graph(
+          half, static_cast<Vertex>(1 + gen.bounded(half - 2)));
+      tc.origin = "dumbbell";
+      tc.n = g.n;
+      tc.edges = g.edges;
+      break;
+    }
+    case 8: {
+      const gen::KnownGraph g =
+          gen::grid_graph(static_cast<Vertex>(2 + gen.bounded(4)),
+                          static_cast<Vertex>(2 + gen.bounded(4)));
+      tc.origin = "grid";
+      tc.n = g.n;
+      tc.edges = g.edges;
+      break;
+    }
+    default: {  // edgeless / single vertex
+      tc.origin = "edgeless";
+      tc.n = static_cast<Vertex>(1 + gen.bounded(6));
+      break;
+    }
+  }
+
+  mutate_weights(tc, gen, static_cast<std::uint32_t>(gen.bounded(3)));
+
+  // 0-3 structural mutations on top.
+  const std::uint64_t mutations = gen.bounded(4);
+  for (std::uint64_t k = 0; k < mutations; ++k) {
+    switch (gen.bounded(6)) {
+      case 0:
+        mutate_duplicate_edges(tc, gen);
+        break;
+      case 1:
+        mutate_add_self_loops(tc, gen);
+        break;
+      case 2:
+        mutate_near_disconnect(tc, gen);
+        break;
+      case 3:
+        mutate_permute_ids(tc, gen);
+        break;
+      case 4:
+        mutate_add_isolated(tc, gen);
+        break;
+      default:
+        mutate_drop_edges(tc, gen);
+        break;
+    }
+  }
+  return tc;
+}
+
+}  // namespace camc::check

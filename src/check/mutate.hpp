@@ -1,0 +1,54 @@
+#pragma once
+
+// Adversarial instance generation for the fuzz loop.
+//
+// A case is a deterministic function of (fuzz seed, case index): a base
+// graph drawn from the gen:: families plus the verification corner cases,
+// a weight family (unit, small, or near the Weight contract boundary), and
+// a randomized stack of adversarial mutations — duplicated parallel edges,
+// self-loops, a near-disconnected bridge, permuted vertex ids, isolated
+// vertices, dropped edges. The mutation trail is recorded in
+// TestCase::origin so a failure report says where the instance came from.
+
+#include <cstdint>
+
+#include "check/testcase.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::check {
+
+/// Deterministic case construction; same (seed, index) -> same case.
+TestCase random_case(std::uint64_t fuzz_seed, std::uint64_t index);
+
+// Individual mutators, exposed for targeted tests. Each appends its name
+// to tc.origin.
+
+/// Duplicates up to `copies` randomly chosen edges (parallel edges).
+void mutate_duplicate_edges(TestCase& tc, rng::Philox& gen,
+                            std::uint32_t copies = 4);
+
+/// Adds up to `count` random self-loops (weightless no-ops by contract).
+void mutate_add_self_loops(TestCase& tc, rng::Philox& gen,
+                           std::uint32_t count = 3);
+
+/// Splits the vertex range in two and reconnects the halves with a single
+/// unit-weight bridge — the minimum cut becomes 1 (or 0 if a half is
+/// empty), stressing cut algorithms near disconnection.
+void mutate_near_disconnect(TestCase& tc, rng::Philox& gen);
+
+/// Applies a random permutation to the vertex ids.
+void mutate_permute_ids(TestCase& tc, rng::Philox& gen);
+
+/// Appends `count` fresh isolated vertices (graph becomes disconnected).
+void mutate_add_isolated(TestCase& tc, rng::Philox& gen,
+                         std::uint32_t count = 2);
+
+/// Drops a random fraction of the edges.
+void mutate_drop_edges(TestCase& tc, rng::Philox& gen);
+
+/// Reassigns weights from one of the weight families; family 2 pushes
+/// weights toward the checked-arithmetic boundary (sums stay below
+/// 2^62, so rejecting such a case is itself a bug).
+void mutate_weights(TestCase& tc, rng::Philox& gen, std::uint32_t family);
+
+}  // namespace camc::check

@@ -1,0 +1,362 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/baselines.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "graph/contraction_ref.hpp"
+#include "graph/dist_matrix.hpp"
+#include "graph/local_graph.hpp"
+#include "seq/connected_components.hpp"
+#include "seq/karger_stein.hpp"
+#include "seq/stoer_wagner.hpp"
+
+namespace camc::check {
+
+using graph::DistributedEdgeArray;
+using graph::DistributedMatrix;
+
+namespace {
+
+Verdict pass() { return Verdict{Outcome::kPass, {}}; }
+
+Verdict fail(std::string detail) {
+  return Verdict{Outcome::kFail, std::move(detail)};
+}
+
+/// One persistent Machine per processor count: fuzzing runs thousands of
+/// cases and must not pay thread-pool start-up per case.
+bsp::Machine& machine(int p) {
+  static std::map<int, std::unique_ptr<bsp::Machine>> machines;
+  auto& slot = machines[p];
+  if (!slot) slot = std::make_unique<bsp::Machine>(p);
+  return *slot;
+}
+
+/// Scatters the instance and runs `body(world, dist)` on every rank.
+template <class Body>
+void run_distributed(int p, const TestCase& tc, Body&& body) {
+  machine(p).run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, tc.n,
+        world.rank() == 0 ? tc.edges : std::vector<WeightedEdge>{});
+    body(world, dist);
+  });
+}
+
+/// Reference component labeling (DFS over CSR; drops self-loops, which do
+/// not affect connectivity).
+std::vector<Vertex> reference_labels(const TestCase& tc) {
+  return seq::dfs_components(graph::LocalGraph(tc.n, tc.edges));
+}
+
+Verdict judge_partition(const TestCase& tc,
+                        const std::vector<Vertex>& candidate,
+                        const char* who) {
+  const std::vector<Vertex> truth = reference_labels(tc);
+  if (candidate.size() != truth.size()) {
+    std::ostringstream out;
+    out << who << ": " << candidate.size() << " labels for " << tc.n
+        << " vertices";
+    return fail(out.str());
+  }
+  if (!seq::same_partition(candidate, truth)) {
+    std::ostringstream out;
+    out << who << ": partition differs from DFS ("
+        << seq::component_count(candidate) << " vs "
+        << seq::component_count(truth) << " components)";
+    return fail(out.str());
+  }
+  return pass();
+}
+
+/// Deterministic cut-value truth. n < 2 has no cut; callers skip.
+Weight true_min_cut(const TestCase& tc) {
+  return seq::stoer_wagner_min_cut(tc.n, tc.edges).value;
+}
+
+/// Checks a (value, side) pair against the truth: the value must match and
+/// a non-empty side must be a valid vertex subset cutting exactly `value`.
+Verdict judge_cut(const TestCase& tc, Weight truth, Weight value,
+                  const std::vector<Vertex>& side, bool side_valid,
+                  const char* who) {
+  if (value != truth) {
+    std::ostringstream out;
+    out << who << ": cut " << value << ", Stoer-Wagner says " << truth;
+    return fail(out.str());
+  }
+  if (side_valid) {
+    if (!graph::is_valid_cut_side(tc.n, side))
+      return fail(std::string(who) + ": reported side is not a proper subset");
+    const Weight crossing = graph::cut_value(tc.n, tc.edges, side);
+    if (crossing != value) {
+      std::ostringstream out;
+      out << who << ": side cuts " << crossing << ", declared " << value;
+      return fail(out.str());
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------------
+
+Verdict seq_cc_oracle(const TestCase& tc) {
+  const std::vector<Vertex> dfs = reference_labels(tc);
+  const std::vector<Vertex> uf =
+      seq::union_find_components(tc.n, tc.edges);
+  if (!seq::same_partition(dfs, uf))
+    return fail("dfs and union-find partitions differ");
+  return pass();
+}
+
+Verdict cc_sparse_oracle(const TestCase& tc) {
+  for (const int p : {1, 3}) {
+    core::CcResult result;
+    run_distributed(p, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      options.seed = tc.seed;
+      auto r = core::connected_components(world, dist, options);
+      if (world.rank() == 0) result = r;
+    });
+    const Verdict v = judge_partition(tc, result.labels, "cc-sparse");
+    if (v.outcome != Outcome::kPass)
+      return fail(v.detail + " (p=" + std::to_string(p) + ")");
+  }
+  return pass();
+}
+
+Verdict cc_dense_oracle(const TestCase& tc) {
+  core::CcResult result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto matrix = DistributedMatrix::from_edges(world, tc.n, dist.local());
+    core::CcOptions options;
+    options.seed = tc.seed;
+    auto r = core::connected_components_dense(world, std::move(matrix),
+                                              options);
+    if (world.rank() == 0) result = r;
+  });
+  return judge_partition(tc, result.labels, "cc-dense");
+}
+
+Verdict cc_parallel_sample_oracle(const TestCase& tc) {
+  core::CcResult result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    core::CcOptions options;
+    options.seed = tc.seed;
+    options.parallel_sample_components = true;
+    auto r = core::connected_components(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+  return judge_partition(tc, result.labels, "cc-parallel-sample");
+}
+
+Verdict cc_sv_oracle(const TestCase& tc) {
+  core::BspSvResult result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto r = core::bsp_sv_components(world, dist);
+    if (world.rank() == 0) result = r;
+  });
+  return judge_partition(tc, result.labels, "cc-sv");
+}
+
+Verdict cc_async_oracle(const TestCase& tc) {
+  core::AsyncCcSharedState shared(tc.n);
+  core::AsyncCcResult result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto r = core::async_label_propagation(world, dist, shared);
+    if (world.rank() == 0) result = r;
+  });
+  return judge_partition(tc, result.labels, "cc-async");
+}
+
+// ---------------------------------------------------------------------------
+// Minimum cuts
+// ---------------------------------------------------------------------------
+
+Verdict mincut_sequential_oracle(const TestCase& tc) {
+  if (tc.n < 2) {
+    const auto result = core::sequential_min_cut(tc.n, tc.edges);
+    if (result.value != 0)
+      return fail("sequential_min_cut on n < 2 returned " +
+                  std::to_string(result.value));
+    return pass();
+  }
+  core::MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = tc.seed;
+  const auto result = core::sequential_min_cut(tc.n, tc.edges, options);
+  return judge_cut(tc, true_min_cut(tc), result.value, result.side,
+                   !result.side.empty(), "mincut-sequential");
+}
+
+Verdict mincut_karger_stein_oracle(const TestCase& tc) {
+  if (tc.n < 2) return pass();
+  seq::KargerSteinOptions options;
+  options.success_probability = 0.999;
+  const auto result =
+      seq::karger_stein_min_cut(tc.n, tc.edges, tc.seed, options);
+  return judge_cut(tc, true_min_cut(tc), result.value, result.side,
+                   !result.side.empty(), "mincut-karger-stein");
+}
+
+Verdict mincut_parallel_oracle(const TestCase& tc) {
+  if (tc.n < 2) return pass();
+  const Weight truth = true_min_cut(tc);
+  core::MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = tc.seed;
+  core::MinCutOutcome result;
+  run_distributed(4, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto r = core::min_cut(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+  return judge_cut(tc, truth, result.value, result.side, result.side_valid,
+                   "mincut-parallel");
+}
+
+Verdict mincut_baseline_oracle(const TestCase& tc) {
+  if (tc.n < 2) return pass();
+  const Weight truth = true_min_cut(tc);
+  core::MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = tc.seed;
+  core::BaselineMinCutOutcome result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto r = core::min_cut_previous_bsp(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+  if (tc.edges.empty()) return pass();  // baseline reports 0 on m = 0
+  if (result.value != truth) {
+    std::ostringstream out;
+    out << "mincut-baseline: cut " << result.value << ", Stoer-Wagner says "
+        << truth;
+    return fail(out.str());
+  }
+  return pass();
+}
+
+Verdict mincut_allcuts_oracle(const TestCase& tc) {
+  if (tc.n < 2) return pass();
+  const Weight truth = true_min_cut(tc);
+  core::MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = tc.seed;
+  const auto result = core::all_min_cuts(tc.n, tc.edges, options);
+  // Structural check only: the value must be right and every reported side
+  // must really cut that value. Completeness (every min cut found) is a
+  // w.h.p. guarantee, not a per-run one, so it is not judged here.
+  if (result.value != truth) {
+    std::ostringstream out;
+    out << "mincut-allcuts: value " << result.value << ", Stoer-Wagner says "
+        << truth;
+    return fail(out.str());
+  }
+  if (result.cuts.empty() && truth != 0)
+    return fail("mincut-allcuts: no cut reported for a finite value");
+  for (const auto& side : result.cuts) {
+    const Verdict v =
+        judge_cut(tc, truth, truth, side, true, "mincut-allcuts");
+    if (v.outcome != Outcome::kPass) return v;
+  }
+  return pass();
+}
+
+Verdict approx_mincut_oracle(const TestCase& tc) {
+  if (tc.n < 2) return pass();
+  const std::vector<Vertex> truth_labels = reference_labels(tc);
+  const bool connected = seq::single_component(truth_labels);
+  core::ApproxMinCutOptions options;
+  options.seed = tc.seed;
+  core::ApproxMinCutResult result;
+  run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    auto r = core::approx_min_cut(world, dist, options);
+    if (world.rank() == 0) result = r;
+  });
+  if (!connected) {
+    if (result.estimate != 0)
+      return fail("approx-mincut: nonzero estimate " +
+                  std::to_string(result.estimate) +
+                  " on a disconnected graph");
+    return pass();
+  }
+  if (result.estimate == 0)
+    return fail("approx-mincut: zero estimate on a connected graph");
+  // Sanity band only (the guarantee is O(log n)-approximate w.h.p.): the
+  // estimate is a power of two between 1 and far above the true cut. A
+  // generous upper slack keeps correct randomized runs out of the report.
+  const Weight truth = true_min_cut(tc);
+  const double slack =
+      64.0 * (2.0 + std::log2(static_cast<double>(std::max<Vertex>(tc.n, 2))));
+  if (static_cast<double>(result.estimate) >
+      slack * static_cast<double>(std::max<Weight>(truth, 1))) {
+    std::ostringstream out;
+    out << "approx-mincut: estimate " << result.estimate
+        << " implausibly above true cut " << truth;
+    return fail(out.str());
+  }
+  return pass();
+}
+
+/// Wraps an oracle body: checked-arithmetic rejections are the contract
+/// working (kRejected), anything else thrown is a bug surfaced loudly.
+std::function<Verdict(const TestCase&)> guarded(
+    Verdict (*body)(const TestCase&)) {
+  return [body](const TestCase& tc) -> Verdict {
+    try {
+      return body(tc);
+    } catch (const std::overflow_error& e) {
+      return Verdict{Outcome::kRejected, e.what()};
+    } catch (const std::exception& e) {
+      return fail(std::string("unexpected exception: ") + e.what());
+    }
+  };
+}
+
+}  // namespace
+
+const std::vector<Oracle>& all_oracles() {
+  static const std::vector<Oracle> oracles = {
+      {"seq-cc", "DFS vs union-find component partitions",
+       guarded(seq_cc_oracle)},
+      {"cc-sparse", "iterated-sampling CC (p=1,3) vs DFS",
+       guarded(cc_sparse_oracle)},
+      {"cc-dense", "dense-matrix CC (p=2) vs DFS", guarded(cc_dense_oracle)},
+      {"cc-parallel-sample", "CC with parallel sample components vs DFS",
+       guarded(cc_parallel_sample_oracle)},
+      {"cc-sv", "Shiloach-Vishkin baseline (p=2) vs DFS",
+       guarded(cc_sv_oracle)},
+      {"cc-async", "async label propagation (p=2) vs DFS",
+       guarded(cc_async_oracle)},
+      {"mincut-sequential", "sequential trials vs Stoer-Wagner + side check",
+       guarded(mincut_sequential_oracle)},
+      {"mincut-karger-stein", "Karger-Stein vs Stoer-Wagner + side check",
+       guarded(mincut_karger_stein_oracle)},
+      {"mincut-parallel", "distributed min cut (p=4) vs Stoer-Wagner",
+       guarded(mincut_parallel_oracle)},
+      {"mincut-baseline", "previous-BSP baseline (p=2) vs Stoer-Wagner",
+       guarded(mincut_baseline_oracle)},
+      {"mincut-allcuts", "all-min-cuts value + every side validated",
+       guarded(mincut_allcuts_oracle)},
+      {"approx-mincut", "estimate 0 iff disconnected + sanity band",
+       guarded(approx_mincut_oracle)},
+  };
+  return oracles;
+}
+
+const Oracle* find_oracle(const std::string& name) {
+  for (const Oracle& oracle : all_oracles())
+    if (oracle.name == name) return &oracle;
+  return nullptr;
+}
+
+}  // namespace camc::check

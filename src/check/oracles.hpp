@@ -1,0 +1,41 @@
+#pragma once
+
+// Oracle registry: every parallel algorithm in the repo paired with a
+// sequential reference (or structural validator) that judges its answer on
+// an arbitrary instance.
+//
+// Connected components are judged against depth-first traversal; minimum
+// cuts against Stoer-Wagner (deterministic, no shared randomness with the
+// candidates) plus side validation through graph::cut_value. The
+// approximate cut and all-min-cuts oracles are structural: they check the
+// properties the paper guarantees (estimate 0 iff disconnected; every
+// reported side is a valid cut of the declared value) rather than exact
+// equality, so a correct randomized run can never be reported as a bug.
+//
+// Any std::overflow_error thrown by either side maps to Outcome::kRejected:
+// the checked Weight arithmetic rejecting an instance is the contract
+// working, not a disagreement.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/testcase.hpp"
+
+namespace camc::check {
+
+struct Oracle {
+  std::string name;
+  /// One-line description for --list-oracles and DESIGN.md.
+  std::string description;
+  std::function<Verdict(const TestCase&)> run;
+};
+
+/// The full registry. Machines for the parallel oracles are constructed
+/// once and cached, so a fuzz loop pays pool start-up only on first use.
+const std::vector<Oracle>& all_oracles();
+
+/// Registry lookup; nullptr when no oracle has that name.
+const Oracle* find_oracle(const std::string& name);
+
+}  // namespace camc::check

@@ -1,0 +1,157 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace camc::check {
+
+namespace {
+
+struct Budget {
+  const StillFails& predicate;
+  ShrinkStats* stats;
+  std::size_t remaining;
+
+  /// Runs the predicate under the call budget; an exhausted budget reports
+  /// "no longer fails" so every pass terminates promptly.
+  bool fails(const TestCase& tc) {
+    if (remaining == 0) return false;
+    --remaining;
+    if (stats != nullptr) ++stats->predicate_calls;
+    return predicate(tc);
+  }
+};
+
+/// ddmin-style pass: remove contiguous edge chunks, halving the chunk size.
+bool pass_drop_edges(TestCase& tc, Budget& budget) {
+  bool reduced = false;
+  for (std::size_t chunk = std::max<std::size_t>(tc.edges.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    for (std::size_t at = 0; at < tc.edges.size();) {
+      TestCase candidate = tc;
+      const std::size_t end = std::min(at + chunk, candidate.edges.size());
+      candidate.edges.erase(candidate.edges.begin() +
+                                static_cast<std::ptrdiff_t>(at),
+                            candidate.edges.begin() +
+                                static_cast<std::ptrdiff_t>(end));
+      if (budget.fails(candidate)) {
+        tc = std::move(candidate);
+        reduced = true;
+        // Do not advance: the next chunk slid into this position.
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return reduced;
+}
+
+/// Deletes vertex `v`: incident edges dropped, ids above `v` shifted down.
+TestCase without_vertex(const TestCase& tc, Vertex v) {
+  TestCase out = tc;
+  out.n = tc.n - 1;
+  out.edges.clear();
+  for (const WeightedEdge& e : tc.edges) {
+    if (e.u == v || e.v == v) continue;
+    out.edges.push_back({e.u > v ? e.u - 1 : e.u, e.v > v ? e.v - 1 : e.v,
+                         e.weight});
+  }
+  return out;
+}
+
+/// Merges vertex `v` into vertex 0 (keeps parallel edges, drops loops).
+TestCase merged_into_zero(const TestCase& tc, Vertex v) {
+  TestCase out = without_vertex(tc, v);
+  for (const WeightedEdge& e : tc.edges) {
+    if (e.u != v && e.v != v) continue;
+    const Vertex other = e.u == v ? e.v : e.u;
+    if (other == v || other == 0) continue;  // became a loop on 0
+    out.edges.push_back({Vertex{0}, other > v ? other - 1 : other, e.weight});
+  }
+  return out;
+}
+
+bool pass_remove_vertices(TestCase& tc, Budget& budget) {
+  bool reduced = false;
+  for (Vertex v = tc.n; v-- > 0 && tc.n > 1;) {
+    if (v >= tc.n) continue;  // n shrank under us
+    TestCase candidate = without_vertex(tc, v);
+    if (budget.fails(candidate)) {
+      tc = std::move(candidate);
+      reduced = true;
+      continue;
+    }
+    if (v == 0) continue;
+    candidate = merged_into_zero(tc, v);
+    if (budget.fails(candidate)) {
+      tc = std::move(candidate);
+      reduced = true;
+    }
+  }
+  return reduced;
+}
+
+bool pass_simplify_weights(TestCase& tc, Budget& budget) {
+  bool reduced = false;
+  // All-units first: one predicate call often finishes the job.
+  if (std::any_of(tc.edges.begin(), tc.edges.end(),
+                  [](const WeightedEdge& e) { return e.weight != 1; })) {
+    TestCase candidate = tc;
+    for (WeightedEdge& e : candidate.edges) e.weight = 1;
+    if (budget.fails(candidate)) {
+      tc = std::move(candidate);
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < tc.edges.size(); ++i) {
+    while (tc.edges[i].weight > 1) {
+      TestCase candidate = tc;
+      candidate.edges[i].weight /= 2;
+      if (!budget.fails(candidate)) break;
+      tc = std::move(candidate);
+      reduced = true;
+    }
+  }
+  return reduced;
+}
+
+/// Removes ids no edge touches (keeps at least one vertex).
+bool pass_compact_ids(TestCase& tc, Budget& budget) {
+  std::vector<bool> used(tc.n, false);
+  for (const WeightedEdge& e : tc.edges) used[e.u] = used[e.v] = true;
+  TestCase candidate = tc;
+  candidate.edges.clear();
+  std::vector<Vertex> remap(tc.n, 0);
+  Vertex next = 0;
+  for (Vertex v = 0; v < tc.n; ++v)
+    if (used[v]) remap[v] = next++;
+  if (next == 0) next = 1;  // keep a vertex even for edgeless instances
+  if (next >= tc.n) return false;
+  candidate.n = next;
+  for (const WeightedEdge& e : tc.edges)
+    candidate.edges.push_back({remap[e.u], remap[e.v], e.weight});
+  if (!budget.fails(candidate)) return false;
+  tc = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+TestCase shrink(TestCase failing, const StillFails& still_fails,
+                ShrinkStats* stats, std::size_t max_predicate_calls) {
+  Budget budget{still_fails, stats, max_predicate_calls};
+  bool progress = true;
+  while (progress && budget.remaining > 0) {
+    if (stats != nullptr) ++stats->rounds;
+    progress = false;
+    progress |= pass_drop_edges(failing, budget);
+    progress |= pass_remove_vertices(failing, budget);
+    progress |= pass_simplify_weights(failing, budget);
+    progress |= pass_compact_ids(failing, budget);
+  }
+  failing.origin += "+shrunk";
+  return failing;
+}
+
+}  // namespace camc::check

@@ -1,0 +1,45 @@
+#pragma once
+
+// Greedy test-case shrinking (delta debugging over graphs).
+//
+// Given a failing TestCase and a predicate "does this still fail", the
+// shrinker runs reduction passes to a fixpoint:
+//
+//   1. edge-chunk removal — drop contiguous chunks of edges, chunk size
+//      halving from m/2 down to 1 (classic ddmin);
+//   2. vertex removal — delete a vertex and its incident edges, renumber;
+//   3. vertex merge — redirect a vertex's edges onto vertex 0 (contraction
+//      preserves many cut/connectivity bugs that deletion destroys);
+//   4. weight simplification — all weights to 1 at once, else per-edge
+//      halving toward 1;
+//   5. id compaction — drop unused vertex ids.
+//
+// Every candidate is accepted only if the predicate still fails on it, so
+// the result is a locally minimal failing instance. The predicate budget
+// bounds total work on stubborn cases.
+
+#include <cstddef>
+#include <functional>
+
+#include "check/testcase.hpp"
+
+namespace camc::check {
+
+struct ShrinkStats {
+  std::size_t predicate_calls = 0;
+  std::size_t rounds = 0;
+};
+
+/// Returns true when the candidate still exhibits the failure. Rejected
+/// (out-of-contract) candidates must return false: shrinking must not walk
+/// a genuine disagreement into a mere contract violation.
+using StillFails = std::function<bool(const TestCase&)>;
+
+/// Shrinks `failing` to a locally minimal instance for which `still_fails`
+/// holds. `failing` itself is assumed to fail (it is returned unchanged if
+/// nothing smaller fails).
+TestCase shrink(TestCase failing, const StillFails& still_fails,
+                ShrinkStats* stats = nullptr,
+                std::size_t max_predicate_calls = 2000);
+
+}  // namespace camc::check

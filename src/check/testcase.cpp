@@ -1,0 +1,82 @@
+#include "check/testcase.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+
+namespace camc::check {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kPass:
+      return "pass";
+    case Outcome::kFail:
+      return "fail";
+    case Outcome::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+void write_corpus_file(const std::string& path, const CorpusCase& entry) {
+  std::ostringstream meta;
+  meta << "camc-fuzz v1 oracle=" << entry.oracle << " seed="
+       << entry.test_case.seed << " expect=" << entry.expect;
+  if (!entry.test_case.origin.empty())
+    meta << " origin=" << entry.test_case.origin;
+  graph::write_edge_list_file(path, entry.test_case.n, entry.test_case.edges,
+                              meta.str());
+}
+
+namespace {
+
+/// Extracts "key=value" from a whitespace-split metadata token.
+bool split_token(const std::string& token, const std::string& key,
+                 std::string& value) {
+  if (token.rfind(key + "=", 0) != 0) return false;
+  value = token.substr(key.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+CorpusCase read_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+
+  // Metadata lives in the leading comment lines; find the camc-fuzz one.
+  CorpusCase entry;
+  bool have_meta = false;
+  std::string line;
+  while (in.peek() == '#' && std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string token;
+    fields >> token;  // '#'
+    if (!(fields >> token) || token != "camc-fuzz") continue;
+    fields >> token;  // version; only v1 exists
+    if (token != "v1")
+      throw std::runtime_error(path + ": unknown corpus version " + token);
+    while (fields >> token) {
+      std::string value;
+      if (split_token(token, "oracle", value)) entry.oracle = value;
+      else if (split_token(token, "seed", value))
+        entry.test_case.seed = std::stoull(value);
+      else if (split_token(token, "expect", value)) entry.expect = value;
+      else if (split_token(token, "origin", value))
+        entry.test_case.origin = value;
+    }
+    have_meta = true;
+    break;
+  }
+  if (!have_meta || entry.oracle.empty())
+    throw std::runtime_error(path + ": missing camc-fuzz metadata line");
+
+  const graph::EdgeListFile file = graph::read_edge_list(in);
+  entry.test_case.n = file.n;
+  entry.test_case.edges = file.edges;
+  return entry;
+}
+
+}  // namespace camc::check

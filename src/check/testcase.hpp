@@ -1,0 +1,68 @@
+#pragma once
+
+// Differential-testing instances and the on-disk fuzz corpus format.
+//
+// A TestCase is a graph plus the algorithm seed an oracle runs with. The
+// corpus format is the repo's standard edge-list file preceded by one
+// metadata comment line,
+//
+//   # camc-fuzz v1 oracle=<name> seed=<algoseed> expect=<outcome> origin=<...>
+//
+// so that a minimized failure replays with one command
+// (`camc_fuzz --replay <file>`) and doubles as a regression input: the
+// committed corpus under tests/corpus/ is re-run by the Check test suite
+// and each file's outcome is asserted against its `expect` field.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::check {
+
+using graph::Vertex;
+using graph::Weight;
+using graph::WeightedEdge;
+
+/// One differential-testing instance. `origin` records how the case was
+/// produced (generator family + mutation trail) for humans reading a
+/// failure report; it does not affect execution.
+struct TestCase {
+  std::string origin;
+  Vertex n = 0;
+  std::vector<WeightedEdge> edges;
+  /// Seed handed to the algorithm under test (not the generator seed).
+  std::uint64_t seed = 1;
+};
+
+enum class Outcome {
+  kPass,      ///< candidate agreed with its oracle
+  kFail,      ///< disagreement — a bug in one of the two
+  kRejected,  ///< input outside the contract (e.g. weight overflow)
+};
+
+struct Verdict {
+  Outcome outcome = Outcome::kPass;
+  /// Human-readable diagnosis, set on kFail / kRejected.
+  std::string detail;
+};
+
+const char* outcome_name(Outcome outcome);
+
+/// A corpus entry: the instance plus which oracle judges it and the
+/// outcome the committed file is expected to reproduce.
+struct CorpusCase {
+  TestCase test_case;
+  std::string oracle;
+  std::string expect = "fail";  ///< "fail" | "pass" | "rejected"
+};
+
+/// Writes `entry` in the corpus format (edge list + metadata comment).
+void write_corpus_file(const std::string& path, const CorpusCase& entry);
+
+/// Parses a corpus file back. Throws std::runtime_error on files without
+/// the camc-fuzz metadata line or with malformed graph data.
+CorpusCase read_corpus_file(const std::string& path);
+
+}  // namespace camc::check

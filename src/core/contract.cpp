@@ -24,7 +24,7 @@ std::vector<WeightedEdge> combine_sorted_run(std::vector<WeightedEdge> run) {
   out.reserve(run.size());
   for (const WeightedEdge& e : run) {
     if (!out.empty() && same_endpoints(out.back(), e))
-      out.back().weight += e.weight;
+      out.back().weight = graph::checked_add(out.back().weight, e.weight);
     else
       out.push_back(e);
   }
@@ -96,7 +96,8 @@ DistributedEdgeArray sparse_bulk_contract(const bsp::Comm& comm,
       for (int r = me + 1; r < p; ++r) {
         const Boundary& b = boundaries[static_cast<std::size_t>(r)];
         if (b.nonempty == 0) continue;
-        if (same_endpoints(b.first, owned)) owned.weight += b.first.weight;
+        if (same_endpoints(b.first, owned))
+          owned.weight = graph::checked_add(owned.weight, b.first.weight);
         // Runs are contiguous: once a later rank's first differs, stop.
         else
           break;
@@ -126,7 +127,8 @@ std::vector<WeightedEdge> sparsify_matrix(const bsp::Comm& comm,
                                           std::uint64_t s, rng::Philox& gen) {
   // (1) slice weights at root.
   Weight local_weight = 0;
-  for (const Weight w : matrix.local_storage()) local_weight += w;
+  for (const Weight w : matrix.local_storage())
+    local_weight = graph::checked_add(local_weight, w);
   const std::vector<Weight> slice_weights =
       comm.gather(std::vector<Weight>{local_weight});
 
@@ -135,7 +137,8 @@ std::vector<WeightedEdge> sparsify_matrix(const bsp::Comm& comm,
   if (comm.rank() == 0) {
     counts.assign(static_cast<std::size_t>(comm.size()), 0);
     Weight total = 0;
-    for (const Weight w : slice_weights) total += w;
+    for (const Weight w : slice_weights)
+      total = graph::checked_add(total, w);
     if (total > 0) {
       std::vector<double> rank_weights(slice_weights.size());
       for (std::size_t i = 0; i < slice_weights.size(); ++i)

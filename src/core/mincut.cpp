@@ -77,12 +77,21 @@ std::vector<WeightedEdge> weighted_sample(std::span<const WeightedEdge> edges,
   return sample;
 }
 
+/// See set_sequential_trial_fault_for_testing.
+bool g_sequential_trial_fault = false;
+
 }  // namespace
+
+void set_sequential_trial_fault_for_testing(bool enabled) {
+  g_sequential_trial_fault = enabled;
+}
 
 CutResult sequential_min_cut_trial(Vertex n,
                                    std::span<const WeightedEdge> input_edges,
                                    const MinCutOptions& options,
                                    rng::Philox& gen) {
+  if (g_sequential_trial_fault && !input_edges.empty())
+    input_edges = input_edges.subspan(0, input_edges.size() - 1);
   std::vector<WeightedEdge> edges(input_edges.begin(), input_edges.end());
   const Vertex t0 = std::min<Vertex>(n, eager_target(edges.size()));
 
@@ -138,6 +147,10 @@ std::uint32_t min_cut_trial_count(Vertex n, std::uint64_t m,
 
 CutResult sequential_min_cut(Vertex n, std::span<const WeightedEdge> edges,
                              const MinCutOptions& options) {
+  // n < 2 has no cut to report; without this, the trial's base case never
+  // enters its partition loop and the infinite sentinel leaked out as the
+  // "minimum cut" (found by the fuzzer's single-vertex corner).
+  if (n < 2) return CutResult{0, {}};
   const std::uint32_t trials = min_cut_trial_count(n, edges.size(), options);
   CutResult best;
   best.value = kInfiniteCut;
@@ -274,10 +287,21 @@ DistributedMatrix matrix_from_rows(const bsp::Comm& sub, std::uint64_t rows,
 /// Recursive Step (§4.3) over a processor group. `sample_fn` sets the
 /// iterated-sampling batch size: n^(1+sigma) is the communication-avoiding
 /// choice; the previous-BSP baseline passes small rounds instead.
+///
+/// `stream_base` carries the caller's (regime, trial) stream namespace and
+/// `path` the recursion path (root 1; each split appends its branch color
+/// bit). Branch generators are derived as
+///   Philox(seed, stream_base | path << 20 | sub_rank)
+/// — all streams of one root key, so Philox's counter-mode independence
+/// guarantee applies. The previous code seeded each branch from a single
+/// gen() draw with stream = color + 1: distinct random *keys* with reused
+/// stream ids, for which Philox promises nothing — sibling branches (and
+/// the two halves' ranks within one branch) could collide or correlate.
 Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
                       const MinCutOptions& options,
                       const std::function<std::uint64_t(Vertex)>& sample_fn,
-                      rng::Philox& gen, std::vector<Vertex>& to_current,
+                      rng::Philox& gen, std::uint64_t stream_base,
+                      std::uint64_t path, std::vector<Vertex>& to_current,
                       std::vector<Vertex>& side_labels) {
   const auto a = static_cast<Vertex>(matrix.rows());
   if (comm.size() == 1 || a <= options.leaf_size) {
@@ -309,11 +333,19 @@ Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
   DistributedMatrix sub_matrix =
       matrix_from_rows(sub, rows, cols, half.rows);
 
-  // Decorrelate the two branches (they share `gen` history up to here).
-  rng::Philox branch_gen(gen(), static_cast<std::uint64_t>(half.color) + 1);
+  // Decorrelate the two branches (they share `gen` history up to here):
+  // extend the recursion path by this branch's color and key the child
+  // stream on (path, sub-rank) under the root seed. The sub-rank component
+  // keeps per-rank sampling inside the branch independent.
+  const std::uint64_t child_path =
+      (path << 1) | static_cast<std::uint64_t>(half.color);
+  rng::Philox branch_gen(options.seed,
+                         stream_base | (child_path << 20) |
+                             static_cast<std::uint64_t>(sub.rank()));
   const Weight branch =
       recursive_step(sub, std::move(sub_matrix), options, sample_fn,
-                     branch_gen, to_current, side_labels);
+                     branch_gen, stream_base, child_path, to_current,
+                     side_labels);
 
   // Best of the two branches; the winning branch's ranks keep their side.
   const Weight best = comm.all_reduce(
@@ -389,7 +421,8 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
   const double sigma = options.sigma;
   const Weight value = recursive_step(
       group, std::move(matrix), options,
-      [sigma](Vertex a) { return sample_size(a, sigma); }, gen, to_current,
+      [sigma](Vertex a) { return sample_size(a, sigma); }, gen,
+      /*stream_base=*/(1ull << 63) | (trial << 40), /*path=*/1, to_current,
       side_labels);
 
   // Reconstruct the side in original ids on whichever ranks still hold it.
@@ -440,7 +473,8 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
     const Weight value = recursive_step(
         comm, std::move(matrix), options,
         [](Vertex a) { return std::max<std::uint64_t>(8, a / 16); }, gen,
-        to_current, side_labels);
+        /*stream_base=*/(3ull << 62) | (static_cast<std::uint64_t>(run) << 40),
+        /*path=*/1, to_current, side_labels);
     best = std::min(best, value);
     if (best == 0) break;
   }

@@ -77,6 +77,12 @@ MinCutOutcome min_cut(const bsp::Comm& comm,
                       const graph::DistributedEdgeArray& graph,
                       const MinCutOptions& options = {});
 
+/// Test-only fault injection: when enabled, sequential_min_cut_trial drops
+/// the last input edge (an off-by-one in the trial's edge range). Used by
+/// camc_fuzz --inject-bug to prove the differential fuzzer detects and
+/// shrinks a real class of bug; never enabled outside that harness.
+void set_sequential_trial_fault_for_testing(bool enabled);
+
 /// One fully sequential trial (Eager Step + sequential Recursive Step) —
 /// also the p = 1 algorithm measured in Figures 8 and 9. Exposed for tests
 /// and the instrumented (cache-traced) variant.

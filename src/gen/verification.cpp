@@ -127,6 +127,57 @@ KnownGraph figure2_graph() {
   return g;
 }
 
+KnownGraph single_vertex() { return KnownGraph{"single-vertex", 1, {}, 0, 1}; }
+
+KnownGraph empty_graph(Vertex n) {
+  if (n == 0) throw std::invalid_argument("empty_graph: n == 0");
+  return KnownGraph{"empty-" + std::to_string(n), n, {}, 0, n};
+}
+
+KnownGraph self_loop_path(Vertex n) {
+  KnownGraph g = path_graph(n);
+  g.name = "loopy-" + g.name;
+  for (Vertex i = 0; i < n; i += 2)
+    g.edges.push_back(WeightedEdge{i, i, 5});
+  return g;
+}
+
+KnownGraph parallel_edge_path(Vertex n) {
+  KnownGraph g = path_graph(n);
+  g.name = "parallel-" + g.name;
+  g.min_cut = 2;
+  const std::size_t m = g.edges.size();
+  for (std::size_t i = 0; i < m; ++i) g.edges.push_back(g.edges[i]);
+  return g;
+}
+
+KnownGraph disjoint_cliques(Vertex count, Vertex size) {
+  if (count == 0 || size < 2)
+    throw std::invalid_argument("disjoint_cliques: count >= 1, size >= 2");
+  KnownGraph g{"cliques-" + std::to_string(count) + "x" + std::to_string(size),
+               static_cast<Vertex>(count * size),
+               {},
+               0,
+               count};
+  for (Vertex c = 0; c < count; ++c) {
+    const Vertex base = c * size;
+    for (Vertex i = 0; i < size; ++i)
+      for (Vertex j = i + 1; j < size; ++j)
+        g.edges.push_back(WeightedEdge{static_cast<Vertex>(base + i),
+                                       static_cast<Vertex>(base + j), 1});
+  }
+  return g;
+}
+
+KnownGraph extreme_weight_star() {
+  // 3 spokes of 2^61: total weight 3 * 2^61, twice that is 1.5 * 2^63 —
+  // inside the checked-arithmetic contract, so every algorithm must accept
+  // and solve it rather than reject (let alone silently wrap).
+  KnownGraph g = star_graph(4, Weight{1} << 61);
+  g.name = "extreme-star-4";
+  return g;
+}
+
 std::vector<KnownGraph> verification_suite() {
   return {
       path_graph(2),          path_graph(10),
@@ -139,7 +190,10 @@ std::vector<KnownGraph> verification_suite() {
       grid_graph(3, 5),       grid_graph(4, 4),
       disjoint_cycles(2, 4),  disjoint_cycles(3, 5),
       weighted_ring(8),       weighted_ring(15),
-      figure2_graph(),
+      figure2_graph(),        single_vertex(),
+      empty_graph(5),         self_loop_path(6),
+      parallel_edge_path(7),  disjoint_cliques(2, 3),
+      extreme_weight_star(),
   };
 }
 

@@ -58,6 +58,30 @@ KnownGraph weighted_ring(Vertex n);
 /// The 6-vertex example of Figure 2 of the paper (min cut 2).
 KnownGraph figure2_graph();
 
+// Degenerate and adversarial corners (the fuzzer's base families; also run
+// through every algorithm by verification_test). The declared min_cut of a
+// graph with fewer than 2 vertices is 0 by convention.
+
+/// One vertex, no edges.
+KnownGraph single_vertex();
+
+/// n vertices, no edges: min cut 0, n components.
+KnownGraph empty_graph(Vertex n);
+
+/// Path with self-loops on every other vertex (loops are weightless no-ops
+/// by contract, so the declared values match path_graph's).
+KnownGraph self_loop_path(Vertex n);
+
+/// Path whose every edge is doubled into two parallel unit edges; min cut 2.
+KnownGraph parallel_edge_path(Vertex n);
+
+/// `count` disjoint K_size cliques: disconnected, min cut 0.
+KnownGraph disjoint_cliques(Vertex count, Vertex size);
+
+/// Star with spoke weights near the Weight contract boundary (2^61; the
+/// checked arithmetic must accept it: twice the total stays below 2^64).
+KnownGraph extreme_weight_star();
+
 /// The whole suite, for table-driven tests.
 std::vector<KnownGraph> verification_suite();
 

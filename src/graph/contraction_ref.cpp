@@ -19,7 +19,7 @@ std::vector<WeightedEdge> contract_edges_reference(
   std::vector<WeightedEdge> combined;
   for (const WeightedEdge& e : renamed) {
     if (!combined.empty() && same_endpoints(combined.back(), e))
-      combined.back().weight += e.weight;
+      combined.back().weight = checked_add(combined.back().weight, e.weight);
     else
       combined.push_back(e);
   }
@@ -32,7 +32,7 @@ Weight cut_value(Vertex n, std::span<const WeightedEdge> edges,
   for (const Vertex v : side) in_side[v] = true;
   Weight value = 0;
   for (const WeightedEdge& e : edges)
-    if (in_side[e.u] != in_side[e.v]) value += e.weight;
+    if (in_side[e.u] != in_side[e.v]) value = checked_add(value, e.weight);
   return value;
 }
 

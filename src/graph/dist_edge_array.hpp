@@ -67,16 +67,19 @@ class DistributedEdgeArray {
                            std::plus<std::uint64_t>{}, std::uint64_t{0});
   }
 
-  /// Sum of this rank's edge weights (W_i in §3.1).
-  Weight local_weight() const noexcept {
+  /// Sum of this rank's edge weights (W_i in §3.1). Checked: a wrapped
+  /// total silently corrupts every sampling probability downstream.
+  Weight local_weight() const {
     Weight total = 0;
-    for (const WeightedEdge& e : local_) total += e.weight;
+    for (const WeightedEdge& e : local_) total = checked_add(total, e.weight);
     return total;
   }
 
   /// Collective: W = sum of all edge weights.
   Weight global_weight(const bsp::Comm& comm) const {
-    return comm.all_reduce(local_weight(), std::plus<Weight>{}, Weight{0});
+    return comm.all_reduce(
+        local_weight(),
+        [](Weight a, Weight b) { return checked_add(a, b); }, Weight{0});
   }
 
   /// Collective: gathers the whole edge list at `root` (empty elsewhere).

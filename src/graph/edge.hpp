@@ -9,11 +9,34 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <stdexcept>
 
 namespace camc::graph {
 
 using Vertex = std::uint32_t;
 using Weight = std::uint64_t;
+
+/// Checked Weight addition: throws std::overflow_error instead of wrapping.
+///
+/// Weight accumulations (cut values, degrees, total graph weight, combined
+/// parallel edges) silently wrapping around 2^64 is a correctness bug the
+/// fuzzer's weight-extreme family hunts: a wrapped sum can report a bogus
+/// near-zero cut. Every accumulation that can see adversarial weights must
+/// go through this helper; the branch is never taken on sane inputs and
+/// predicts perfectly.
+inline Weight checked_add(Weight a, Weight b) {
+  if (b > std::numeric_limits<Weight>::max() - a)
+    throw std::overflow_error("Weight accumulation overflow");
+  return a + b;
+}
+
+/// Checked a + 2*b (the "twice total weight" accumulation pattern).
+inline Weight checked_add_twice(Weight a, Weight b) {
+  if (b > std::numeric_limits<Weight>::max() / 2)
+    throw std::overflow_error("Weight accumulation overflow");
+  return checked_add(a, 2 * b);
+}
 
 /// Undirected weighted edge. Callers may store endpoints in either order;
 /// `canonical()` orders them (smaller endpoint first) for sorting/combining.

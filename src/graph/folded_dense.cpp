@@ -19,11 +19,13 @@ FoldedDense::FoldedDense(Vertex n, std::span<const WeightedEdge> edges)
   }
   for (const WeightedEdge& e : edges) {
     if (e.u == e.v) continue;
+    // twice_total_ is checked first: once 2W fits in Weight, every row and
+    // degree sum below it fits too, so the later folds cannot overflow.
+    twice_total_ = checked_add_twice(twice_total_, e.weight);
     rows_[static_cast<std::size_t>(e.u) * n + e.v] += e.weight;
     rows_[static_cast<std::size_t>(e.v) * n + e.u] += e.weight;
     degree_[e.u] += e.weight;
     degree_[e.v] += e.weight;
-    twice_total_ += 2 * e.weight;
   }
 }
 
@@ -43,9 +45,9 @@ FoldedDense::FoldedDense(Vertex n, std::span<const Weight> matrix)
     rows_[static_cast<std::size_t>(i) * n + i] = 0;
     Weight deg = 0;
     for (Vertex j = 0; j < n; ++j)
-      deg += rows_[static_cast<std::size_t>(i) * n + j];
+      deg = checked_add(deg, rows_[static_cast<std::size_t>(i) * n + j]);
     degree_[i] = deg;
-    twice_total_ += deg;
+    twice_total_ = checked_add(twice_total_, deg);
   }
 }
 

@@ -1,11 +1,52 @@
 #include "graph/io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 namespace camc::graph {
+
+namespace {
+
+/// Throws when anything but whitespace remains on the line.
+void reject_trailing_garbage(std::istringstream& fields, const char* format,
+                             const std::string& line) {
+  std::string rest;
+  if (fields >> rest)
+    throw std::runtime_error(std::string(format) +
+                             ": trailing garbage on line: " + line);
+}
+
+/// All fields of both formats are unsigned. istream's unsigned extraction
+/// accepts a leading '-' and wraps the negated value (so "-1" silently
+/// becomes 2^64 - 1); reject the sign character outright instead.
+void reject_negative_fields(const char* format, const std::string& line) {
+  if (line.find('-') != std::string::npos)
+    throw std::runtime_error(std::string(format) +
+                             ": negative field on line: " + line);
+}
+
+/// Parses the optional weight column strictly: absent -> 1, present but
+/// malformed -> error (the silent weight-1 fallback hid corrupt inputs).
+std::uint64_t read_optional_weight(std::istringstream& fields,
+                                   const char* format,
+                                   const std::string& line) {
+  std::uint64_t w = 1;
+  if (!(fields >> w)) {
+    if (!fields.eof())
+      throw std::runtime_error(std::string(format) +
+                               ": malformed weight column: " + line);
+    return 1;  // no weight column
+  }
+  reject_trailing_garbage(fields, format, line);
+  if (w == 0)
+    throw std::runtime_error(std::string(format) + ": zero weight: " + line);
+  return w;
+}
+
+}  // namespace
 
 EdgeListFile read_edge_list(std::istream& in) {
   EdgeListFile out;
@@ -15,23 +56,33 @@ EdgeListFile read_edge_list(std::istream& in) {
 
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    reject_negative_fields("edge list", line);
     std::istringstream fields(line);
     if (!have_header) {
       std::uint64_t n_raw = 0;
       if (!(fields >> n_raw >> declared_m))
         throw std::runtime_error("edge list: malformed header (want 'n m')");
+      reject_trailing_garbage(fields, "edge list", line);
+      if (n_raw > std::numeric_limits<Vertex>::max())
+        throw std::runtime_error(
+            "edge list: header n " + std::to_string(n_raw) +
+            " exceeds the vertex id range");
       out.n = static_cast<Vertex>(n_raw);
-      out.edges.reserve(declared_m);
+      // Trust the header only up to a sane bound: a corrupt declared m must
+      // not trigger a huge allocation before the mismatch is detected.
+      out.edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(declared_m, 1u << 20)));
       have_header = true;
       continue;
     }
-    std::uint64_t u = 0, v = 0, w = 1;
+    std::uint64_t u = 0, v = 0;
     if (!(fields >> u >> v))
       throw std::runtime_error("edge list: malformed edge line: " + line);
-    fields >> w;  // optional weight
+    const std::uint64_t w = read_optional_weight(fields, "edge list", line);
     if (u >= out.n || v >= out.n)
       throw std::runtime_error("edge list: endpoint out of range: " + line);
-    if (w == 0) throw std::runtime_error("edge list: zero weight: " + line);
+    // Self-loops are preserved: the edge-list format is the exact (corpus)
+    // format, and every algorithm treats loops as weightless no-ops.
     out.edges.push_back(WeightedEdge{static_cast<Vertex>(u),
                                      static_cast<Vertex>(v), w});
   }
@@ -57,9 +108,16 @@ void write_edge_list(std::ostream& out, Vertex n,
 }
 
 void write_edge_list_file(const std::string& path, Vertex n,
-                          const std::vector<WeightedEdge>& edges) {
+                          const std::vector<WeightedEdge>& edges,
+                          const std::string& comment) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string comment_line;
+    while (std::getline(lines, comment_line))
+      out << "# " << comment_line << '\n';
+  }
   write_edge_list(out, n, edges);
   if (!out) throw std::runtime_error("write failed for " + path);
 }
@@ -79,13 +137,16 @@ SnapFile read_snap(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     any_line = true;
+    reject_negative_fields("snap", line);
     std::istringstream fields(line);
-    std::uint64_t u = 0, v = 0, w = 1;
+    std::uint64_t u = 0, v = 0;
     if (!(fields >> u >> v))
       throw std::runtime_error("snap: malformed line: " + line);
-    fields >> w;  // optional weight column
-    if (w == 0) throw std::runtime_error("snap: zero weight: " + line);
+    const std::uint64_t w = read_optional_weight(fields, "snap", line);
     if (u == v) continue;  // SNAP data occasionally carries self-loops
+    if (dense.size() + 2 >
+        static_cast<std::size_t>(std::numeric_limits<Vertex>::max()))
+      throw std::runtime_error("snap: more distinct ids than the vertex range");
     out.edges.push_back(WeightedEdge{id_of(u), id_of(v), w});
   }
   if (!any_line) throw std::runtime_error("snap: no edges in input");

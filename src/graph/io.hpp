@@ -3,6 +3,15 @@
 // Edge-list file I/O, artifact-style: a header line "n m" followed by m
 // lines "u v w" (weight optional; defaults to 1). Lines starting with '#'
 // or '%' are comments.
+//
+// Self-loop policy (deliberate, pinned by io_test): the edge-list format is
+// the EXACT format — self-loops are preserved, so a fuzz-corpus instance
+// replays byte-for-byte (every algorithm treats loops as weightless
+// no-ops). The SNAP reader is a lossy raw-data importer and drops loops as
+// part of its cleanup. Both readers are otherwise strict: a present but
+// malformed weight column, trailing garbage, negative fields, and header
+// values that would truncate through the Vertex type are all errors rather
+// than silent fallbacks.
 
 #include <iosfwd>
 #include <string>
@@ -18,7 +27,8 @@ struct EdgeListFile {
 };
 
 /// Parses an edge list stream. Throws std::runtime_error on malformed input
-/// (bad header, endpoint out of range, zero weight).
+/// (bad header, endpoint out of range, zero or malformed weight, trailing
+/// garbage, negative fields, header n beyond the Vertex range).
 EdgeListFile read_edge_list(std::istream& in);
 
 /// Convenience: reads from a file path.
@@ -28,8 +38,11 @@ EdgeListFile read_edge_list_file(const std::string& path);
 void write_edge_list(std::ostream& out, Vertex n,
                      const std::vector<WeightedEdge>& edges);
 
+/// When `comment` is nonempty, each of its lines is written first as a
+/// '#'-prefixed comment (used by the fuzz corpus for replay metadata).
 void write_edge_list_file(const std::string& path, Vertex n,
-                          const std::vector<WeightedEdge>& edges);
+                          const std::vector<WeightedEdge>& edges,
+                          const std::string& comment = {});
 
 /// SNAP-style edge lists (the paper's real-graph inputs): no header, one
 /// "u v" pair per line, '#' comments, arbitrary sparse vertex ids. Ids are

@@ -28,21 +28,33 @@ CertificateResult sparse_certificate(Vertex n,
     residual[i] = combined[i].weight;
 
   CertificateResult result;
-  for (Weight round = 0; round < k; ++round) {
-    // Maximal spanning forest over edges with residual weight.
+  for (Weight round = 0; round < k;) {
+    // Maximal spanning forest over edges with residual weight. The forest
+    // only depends on WHICH edges still have residual, so consecutive
+    // rounds rebuild the same forest until some forest edge is exhausted.
+    // Batch those rounds: move t units at once, where t is the smallest
+    // residual on the forest (capped by the rounds remaining). This keeps
+    // the certificate bit-identical to the unit-round loop but makes the
+    // runtime independent of the weights (k can be ~2^60 for inputs near
+    // the Weight range; the unit loop never terminated on those).
     UnionFind dsu(n);
+    std::vector<std::size_t> forest;
     bool any = false;
     for (std::size_t i = 0; i < combined.size(); ++i) {
       if (residual[i] == 0) continue;
       any = true;
-      if (dsu.unite(combined[i].u, combined[i].v)) {
-        // Forest edge: move one unit of weight into the certificate.
-        --residual[i];
-        ++certified[i];
-      }
+      if (dsu.unite(combined[i].u, combined[i].v)) forest.push_back(i);
     }
     if (!any) break;
-    ++result.rounds;
+    Weight t = k - round;  // stays k - round when only cycle/self-loop
+                           // residue is left (nothing to move, burn rounds)
+    for (const std::size_t i : forest) t = std::min(t, residual[i]);
+    for (const std::size_t i : forest) {
+      residual[i] -= t;
+      certified[i] += t;
+    }
+    round += t;
+    result.rounds += t;
   }
 
   for (std::size_t i = 0; i < combined.size(); ++i) {

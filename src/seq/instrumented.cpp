@@ -144,6 +144,9 @@ TraceReport traced_stoer_wagner(Vertex n,
                                 std::span<const WeightedEdge> edges,
                                 const TraceConfig& config) {
   Session session(config.cache_words, config.block_words);
+  // No cut exists below two vertices; without this the "best" sentinel
+  // (Weight max) leaked out as the result.
+  if (n < 2) return report_of(session, 0);
 
   Traced<Weight> matrix(static_cast<std::size_t>(n) * n, &session, 0);
   {

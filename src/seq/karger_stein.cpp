@@ -23,7 +23,7 @@ Weight cut_of_mask(const DenseGraph& g, std::uint32_t mask) {
     if (!(mask & (1u << i))) continue;
     for (Vertex j = 0; j < a; ++j) {
       if (mask & (1u << j)) continue;
-      value += g.weight(i, j);
+      value = graph::checked_add(value, g.weight(i, j));
     }
   }
   return value;
@@ -81,7 +81,8 @@ CutResult folded_exhaustive(const graph::FoldedDense& g, rng::Philox& gen) {
       if (!(mask & (1u << i))) continue;
       for (Vertex j = 0; j < a; ++j) {
         if (mask & (1u << j)) continue;
-        value += matrix[static_cast<std::size_t>(i) * a + j];
+        value = graph::checked_add(
+            value, matrix[static_cast<std::size_t>(i) * a + j]);
       }
     }
     if (value < best.value) {
@@ -184,7 +185,7 @@ std::vector<std::vector<Vertex>> brute_force_all_min_cuts(
       if (!(mask & (1u << i))) continue;
       for (Vertex j = 0; j < n; ++j) {
         if (mask & (1u << j)) continue;
-        value += g.weight(i, j);
+        value = graph::checked_add(value, g.weight(i, j));
       }
     }
     return value;

@@ -14,11 +14,15 @@ CutResult stoer_wagner_min_cut(Vertex n,
                                std::span<const WeightedEdge> edges) {
   if (n < 2) throw std::invalid_argument("stoer_wagner: n < 2");
 
+  // All accumulations below are checked: a wrapped sum would report a bogus
+  // near-zero cut instead of failing loudly (found by the fuzzer's
+  // weight-extreme family).
   std::vector<std::unordered_map<Vertex, Weight>> adj(n);
   for (const WeightedEdge& e : edges) {
     if (e.u == e.v) continue;
-    adj[e.u][e.v] += e.weight;
-    adj[e.v][e.u] += e.weight;
+    Weight& uv = adj[e.u][e.v];
+    uv = graph::checked_add(uv, e.weight);
+    adj[e.v][e.u] = uv;
   }
 
   std::vector<bool> merged(n, false);
@@ -68,7 +72,7 @@ CutResult stoer_wagner_min_cut(Vertex n,
       ++added;
       for (const auto& [to, w] : adj[v]) {
         if (merged[to] || in_order[to]) continue;
-        key[to] += w;
+        key[to] = graph::checked_add(key[to], w);
         heap.emplace(key[to], to);
       }
     }
@@ -82,8 +86,9 @@ CutResult stoer_wagner_min_cut(Vertex n,
     // Merge `last` into `previous`.
     for (const auto& [to, w] : adj[last]) {
       if (to == previous) continue;
-      adj[previous][to] += w;
-      adj[to][previous] += w;
+      Weight& pt = adj[previous][to];
+      pt = graph::checked_add(pt, w);
+      adj[to][previous] = pt;
       adj[to].erase(last);
     }
     adj[previous].erase(last);

@@ -17,6 +17,7 @@
 #include "bsp/machine.hpp"
 #include "core/approx_mincut.hpp"
 #include "core/cc.hpp"
+#include "core/mincut.hpp"
 #include "gen/generators.hpp"
 
 namespace camc::core {
@@ -49,6 +50,18 @@ constexpr Golden kApproxMinCutGolden[] = {
     {2, 21, 33116, 21, 66232},
     {4, 17, 45696, 17, 111928},
     {8, 17, 51354, 17, 164460},
+};
+// min_cut with forced_trials = 2 exercises both trial schedules: p <= t
+// replicates the graph (p = 1, 2 — counters unchanged from the seed, which
+// pins that the branch-stream RNG fix left the replicated path alone), and
+// p > t splits ranks into trial groups running the Recursive Step (p = 4,
+// 8 — recaptured after the fix gave each recursion branch its own Philox
+// stream; the seed implementation reused correlated streams there).
+constexpr Golden kMinCutGolden[] = {
+    {1, 8, 0, 8, 0},
+    {2, 8, 6408, 8, 12816},
+    {4, 24, 11018, 23, 38328},
+    {8, 24, 13360, 23, 67868},
 };
 
 bsp::MachineStats run_counters(
@@ -94,6 +107,31 @@ TEST(CounterInvariance, ApproxMinCutMatchesSeedGoldens) {
           options.seed = kAlgoSeed;
           (void)approx_min_cut(world, dist, options);
         });
+    EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
+    EXPECT_EQ(stats.max_words_communicated, golden.max_words)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.collective_calls, golden.collective_calls)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats.total_words_communicated, golden.total_words)
+        << "p=" << golden.p;
+  }
+}
+
+TEST(CounterInvariance, MinCutMatchesGoldensInBothTrialRegimes) {
+  for (const Golden& golden : kMinCutGolden) {
+    MinCutOutcome outcome;
+    const auto stats =
+        run_counters(golden.p, [&](bsp::Comm& world,
+                                   graph::DistributedEdgeArray& dist) {
+          MinCutOptions options;
+          options.seed = kAlgoSeed;
+          options.forced_trials = 2;
+          const auto result = min_cut(world, dist, options);
+          if (world.rank() == 0) outcome = result;
+        });
+    EXPECT_EQ(outcome.value, 1u) << "p=" << golden.p;
+    EXPECT_EQ(outcome.used_distributed_trials, golden.p > 2)
+        << "p=" << golden.p;
     EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
     EXPECT_EQ(stats.max_words_communicated, golden.max_words)
         << "p=" << golden.p;

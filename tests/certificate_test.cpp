@@ -60,7 +60,7 @@ TEST(Certificate, TotalWeightBoundedByKTimesN) {
 
 TEST(Certificate, PreservesMinimumCutWhenKCoversIt) {
   for (const auto& g : gen::verification_suite()) {
-    if (g.components != 1 || g.n > 30) continue;
+    if (g.components != 1 || g.n < 2 || g.n > 30) continue;
     // Minimum weighted degree is always >= the minimum cut.
     std::vector<Weight> degree(g.n, 0);
     for (const WeightedEdge& e : g.edges) {

@@ -1,0 +1,166 @@
+// The check:: subsystem tested on itself: registry sanity, corpus
+// round-trips, deterministic case generation, shrinker minimality on a
+// synthetic predicate, fault-injection end to end, and replay of every
+// committed corpus file against its recorded expectation.
+
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+#include "check/mutate.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+#include "core/mincut.hpp"
+#include "graph/io.hpp"
+
+namespace camc::check {
+namespace {
+
+TEST(Check, OracleRegistryIsWellFormed) {
+  std::set<std::string> names;
+  for (const Oracle& oracle : all_oracles()) {
+    EXPECT_TRUE(names.insert(oracle.name).second)
+        << "duplicate oracle " << oracle.name;
+    EXPECT_FALSE(oracle.description.empty()) << oracle.name;
+    EXPECT_EQ(find_oracle(oracle.name), &oracle);
+  }
+  EXPECT_GE(names.size(), 10u);
+  EXPECT_EQ(find_oracle("no-such-oracle"), nullptr);
+}
+
+TEST(Check, CorpusRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/camc_corpus_rt.txt";
+  CorpusCase entry;
+  entry.oracle = "mincut-sequential";
+  entry.expect = "pass";
+  entry.test_case = TestCase{"unit+test", 3, {{0, 1, 2}, {1, 2, 7}}, 99};
+  write_corpus_file(path, entry);
+
+  const CorpusCase parsed = read_corpus_file(path);
+  EXPECT_EQ(parsed.oracle, entry.oracle);
+  EXPECT_EQ(parsed.expect, entry.expect);
+  EXPECT_EQ(parsed.test_case.seed, 99u);
+  EXPECT_EQ(parsed.test_case.origin, "unit+test");
+  EXPECT_EQ(parsed.test_case.n, 3u);
+  ASSERT_EQ(parsed.test_case.edges.size(), 2u);
+  EXPECT_EQ(parsed.test_case.edges[1].weight, 7u);
+}
+
+TEST(Check, CorpusRejectsFilesWithoutMetadata) {
+  const std::string path = ::testing::TempDir() + "/camc_corpus_bad.txt";
+  graph::write_edge_list_file(path, 2, {{0, 1, 1}});
+  EXPECT_THROW(read_corpus_file(path), std::runtime_error);
+}
+
+TEST(Check, RandomCaseIsDeterministic) {
+  for (std::uint64_t index : {0ull, 7ull, 123ull}) {
+    const TestCase a = random_case(11, index);
+    const TestCase b = random_case(11, index);
+    EXPECT_EQ(a.origin, b.origin);
+    EXPECT_EQ(a.n, b.n);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t i = 0; i < a.edges.size(); ++i)
+      EXPECT_EQ(a.edges[i], b.edges[i]);
+  }
+}
+
+TEST(Check, RandomCasesStayInBounds) {
+  for (std::uint64_t index = 0; index < 200; ++index) {
+    const TestCase tc = random_case(3, index);
+    EXPECT_GE(tc.n, 1u) << index;
+    for (const WeightedEdge& e : tc.edges) {
+      EXPECT_LT(e.u, tc.n) << index << " " << tc.origin;
+      EXPECT_LT(e.v, tc.n) << index << " " << tc.origin;
+      EXPECT_GE(e.weight, 1u) << index << " " << tc.origin;
+    }
+  }
+}
+
+TEST(Check, ShrinkerMinimizesSyntheticFailure) {
+  // Synthetic "bug": any instance containing an edge of weight >= 4. The
+  // minimal such instance is a single edge; weight halving stops in [4, 7].
+  TestCase big = random_case(5, 3);
+  big.edges.push_back({0, 1, 1000});
+  const auto has_heavy = [](const TestCase& tc) {
+    for (const WeightedEdge& e : tc.edges)
+      if (e.weight >= 4) return true;
+    return false;
+  };
+  ASSERT_TRUE(has_heavy(big));
+
+  ShrinkStats stats;
+  const TestCase small = shrink(big, has_heavy, &stats);
+  EXPECT_TRUE(has_heavy(small));
+  ASSERT_EQ(small.edges.size(), 1u);
+  EXPECT_LE(small.n, 2u);
+  EXPECT_GE(small.edges[0].weight, 4u);
+  EXPECT_LT(small.edges[0].weight, 8u);
+  EXPECT_GT(stats.predicate_calls, 0u);
+}
+
+TEST(Check, ShrinkerKeepsOriginalWhenNothingSmallerFails) {
+  const TestCase minimal{"unit", 2, {{0, 1, 1}}, 1};
+  const auto exact = [](const TestCase& tc) {
+    return tc.edges.size() == 1 && tc.n == 2 && tc.edges[0].weight == 1;
+  };
+  const TestCase out = shrink(minimal, exact);
+  EXPECT_EQ(out.n, 2u);
+  ASSERT_EQ(out.edges.size(), 1u);
+}
+
+TEST(Check, FuzzSliceIsCleanAndDeterministic) {
+  FuzzOptions options;
+  options.seed = 2026;
+  options.seconds = 0;  // case-count bound only
+  options.max_cases = 8;
+  const FuzzReport a = fuzz(options);
+  const FuzzReport b = fuzz(options);
+  EXPECT_EQ(a.cases_run, 8u);
+  EXPECT_EQ(a.failures.size(), 0u)
+      << (a.failures.empty() ? "" : a.failures.front().verdict.detail);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.oracle_runs, b.oracle_runs);
+  EXPECT_EQ(a.rejected, b.rejected);
+}
+
+TEST(Check, InjectedFaultIsFoundAndShrunkSmall) {
+  core::set_sequential_trial_fault_for_testing(true);
+  FuzzOptions options;
+  options.seed = 20260805;
+  options.seconds = 0;
+  options.max_cases = 40;
+  options.max_failures = 1;
+  options.oracle_names = {"mincut-sequential"};
+  const FuzzReport report = fuzz(options);
+  core::set_sequential_trial_fault_for_testing(false);
+
+  ASSERT_GE(report.failures.size(), 1u);
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_LE(failure.shrunk.n, 16u);
+  EXPECT_LE(failure.shrunk.edges.size(), 16u);
+  // The same instance passes once the fault is gone — the disagreement was
+  // the planted bug, not the oracle.
+  const Oracle* oracle = find_oracle(failure.oracle);
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->run(failure.shrunk).outcome, Outcome::kPass);
+}
+
+TEST(Check, CommittedCorpusReplaysAsExpected) {
+  const std::filesystem::path dir(CAMC_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".txt") continue;
+    ++cases;
+    const CorpusCase parsed = read_corpus_file(entry.path().string());
+    const Verdict verdict = replay(entry.path().string());
+    EXPECT_EQ(outcome_name(verdict.outcome), parsed.expect)
+        << entry.path() << ": " << verdict.detail;
+  }
+  EXPECT_GE(cases, 3u) << "committed corpus went missing";
+}
+
+}  // namespace
+}  // namespace camc::check

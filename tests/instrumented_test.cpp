@@ -31,8 +31,11 @@ TEST_P(TracedSuite, TracedCcVariantsMatchOracle) {
   EXPECT_EQ(dfs.result, g.components) << g.name;
   EXPECT_EQ(bgl.result, g.components) << g.name;
   EXPECT_EQ(uf.result, g.components) << g.name;
-  EXPECT_GT(dfs.ops, 0u) << g.name;
-  EXPECT_GT(uf.ops, 0u) << g.name;
+  if (!g.edges.empty()) {
+    // Edgeless graphs legitimately do no per-edge work.
+    EXPECT_GT(dfs.ops, 0u) << g.name;
+    EXPECT_GT(uf.ops, 0u) << g.name;
+  }
 }
 
 TEST_P(TracedSuite, TracedStoerWagnerMatchesDeclaredCut) {

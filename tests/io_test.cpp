@@ -59,6 +59,76 @@ TEST(Io, RejectsMalformedEdgeLine) {
   EXPECT_THROW(read_edge_list(input), std::runtime_error);
 }
 
+// Regressions for the silent-fallback bugs: a present-but-malformed weight
+// column used to parse as weight 1, trailing garbage was ignored, and a
+// leading '-' wrapped through unsigned extraction ("-1" became 2^64 - 1).
+
+TEST(Io, RejectsMalformedWeightColumn) {
+  std::stringstream input("2 1\n0 1 abc\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsTrailingGarbageOnEdgeLine) {
+  std::stringstream input("2 1\n0 1 2 junk\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsTrailingGarbageOnHeader) {
+  std::stringstream input("2 1 junk\n0 1 2\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, RejectsNegativeFields) {
+  std::stringstream weight("2 1\n0 1 -5\n");
+  EXPECT_THROW(read_edge_list(weight), std::runtime_error);
+  std::stringstream endpoint("2 1\n-1 1 2\n");
+  EXPECT_THROW(read_edge_list(endpoint), std::runtime_error);
+  std::stringstream header("-2 1\n0 1 2\n");
+  EXPECT_THROW(read_edge_list(header), std::runtime_error);
+}
+
+TEST(Io, RejectsHeaderBeyondVertexRange) {
+  // 2^32 + 5 would truncate through static_cast<Vertex>.
+  std::stringstream input("4294967301 0\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, HugeDeclaredEdgeCountFailsWithoutPreallocating) {
+  // A corrupt declared m must produce the mismatch error, not a huge
+  // reserve() before the mismatch is even reachable.
+  std::stringstream input("2 18446744073709551615\n0 1 1\n");
+  EXPECT_THROW(read_edge_list(input), std::runtime_error);
+}
+
+TEST(Io, PreservesSelfLoops) {
+  // The edge-list format is the exact (fuzz-corpus) format: loops survive.
+  std::stringstream input("2 2\n0 0 4\n0 1 1\n");
+  const EdgeListFile parsed = read_edge_list(input);
+  ASSERT_EQ(parsed.edges.size(), 2u);
+  EXPECT_EQ(parsed.edges[0].u, parsed.edges[0].v);
+  EXPECT_EQ(parsed.edges[0].weight, 4u);
+}
+
+TEST(Io, WritesCommentBeforeBody) {
+  const std::string path = ::testing::TempDir() + "/camc_io_comment.txt";
+  write_edge_list_file(path, 2, {{0, 1, 3}}, "meta line one\nline two");
+  const EdgeListFile parsed = read_edge_list_file(path);
+  EXPECT_EQ(parsed.n, 2u);
+  ASSERT_EQ(parsed.edges.size(), 1u);
+}
+
+TEST(Snap, RejectsMalformedWeightAndTrailingGarbage) {
+  std::stringstream weight("1 2 abc\n");
+  EXPECT_THROW(read_snap(weight), std::runtime_error);
+  std::stringstream garbage("1 2 3 junk\n");
+  EXPECT_THROW(read_snap(garbage), std::runtime_error);
+}
+
+TEST(Snap, RejectsNegativeFields) {
+  std::stringstream input("-1 2\n");
+  EXPECT_THROW(read_snap(input), std::runtime_error);
+}
+
 TEST(Io, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
                std::runtime_error);

@@ -31,6 +31,7 @@ class SuiteSw : public ::testing::TestWithParam<KnownGraph> {};
 
 TEST_P(SuiteSw, FindsDeclaredMinimumCut) {
   const KnownGraph& g = GetParam();
+  if (g.n < 2) GTEST_SKIP() << "stoer_wagner requires n >= 2 by contract";
   const CutResult result = stoer_wagner_min_cut(g.n, g.edges);
   EXPECT_EQ(result.value, g.min_cut) << g.name;
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/oracles.hpp"
 #include "gen/verification.hpp"
 #include "seq/connected_components.hpp"
 #include "seq/karger_stein.hpp"
@@ -22,18 +23,31 @@ TEST_P(Suite, ComponentCountMatchesOracle) {
 
 TEST_P(Suite, DeclaredCutMatchesBruteForceWhenSmall) {
   const KnownGraph& g = GetParam();
-  if (g.n > 16) GTEST_SKIP() << "brute force limited to small n";
+  if (g.n < 2 || g.n > 16) GTEST_SKIP() << "brute force needs 2 <= n <= 16";
   const auto result = seq::brute_force_min_cut(g.n, g.edges);
   EXPECT_EQ(result.value, g.min_cut) << g.name;
 }
 
 TEST_P(Suite, EdgesAreWellFormed) {
   const KnownGraph& g = GetParam();
+  // Self-loops are allowed (weightless no-ops by contract); the suite's
+  // loopy corner exists precisely to pin that behaviour.
   for (const graph::WeightedEdge& e : g.edges) {
     EXPECT_LT(e.u, g.n) << g.name;
     EXPECT_LT(e.v, g.n) << g.name;
-    EXPECT_NE(e.u, e.v) << g.name;
     EXPECT_GE(e.weight, 1u) << g.name;
+  }
+}
+
+// Every registered differential oracle over every suite graph: all of them
+// are inside the Weight contract, so kRejected counts as a failure too.
+TEST_P(Suite, CheckOraclesAllPass) {
+  const KnownGraph& g = GetParam();
+  check::TestCase tc{g.name, g.n, g.edges, /*seed=*/97};
+  for (const check::Oracle& oracle : check::all_oracles()) {
+    const check::Verdict verdict = oracle.run(tc);
+    EXPECT_EQ(verdict.outcome, check::Outcome::kPass)
+        << g.name << " vs " << oracle.name << ": " << verdict.detail;
   }
 }
 

@@ -1,0 +1,134 @@
+// Differential fuzzing driver (the check:: subsystem's CLI).
+//
+//   camc_fuzz [--seconds=60] [--max-cases=N] [--seed=S] [--oracle=NAME]...
+//             [--corpus-dir=DIR] [--max-failures=K]
+//   camc_fuzz --replay=FILE          re-run one corpus file
+//   camc_fuzz --list-oracles
+//   camc_fuzz --inject-bug ...       enable the test-only sequential-trial
+//                                    fault; exit 0 iff the fuzzer finds it
+//                                    and shrinks the reproducer to <= 16
+//                                    vertices (the subsystem's self-test)
+//
+// Exit codes: 0 clean (or replay matched its expect field, or the injected
+// bug was caught), 1 failures found (or injected bug missed), 2 bad usage.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "core/mincut.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: camc_fuzz [--seconds=60] [--max-cases=N] [--seed=S]\n"
+    "                 [--oracle=NAME]... [--corpus-dir=DIR]\n"
+    "                 [--max-failures=K] [--inject-bug]\n"
+    "       camc_fuzz --replay=FILE\n"
+    "       camc_fuzz --list-oracles";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using camc::check::FuzzOptions;
+  using camc::check::Outcome;
+
+  FuzzOptions options;
+  options.seed = 1;
+  std::string replay_file;
+  bool inject_bug = false;
+  bool list_oracles = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--seconds=", 0) == 0) {
+        options.seconds = std::stod(arg.substr(10));
+      } else if (arg.rfind("--max-cases=", 0) == 0) {
+        options.max_cases = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        options.seed = std::stoull(arg.substr(7));
+      } else if (arg.rfind("--oracle=", 0) == 0) {
+        options.oracle_names.push_back(arg.substr(9));
+      } else if (arg.rfind("--corpus-dir=", 0) == 0) {
+        options.corpus_dir = arg.substr(13);
+      } else if (arg.rfind("--max-failures=", 0) == 0) {
+        options.max_failures =
+            static_cast<std::uint32_t>(std::stoul(arg.substr(15)));
+      } else if (arg.rfind("--replay=", 0) == 0) {
+        replay_file = arg.substr(9);
+      } else if (arg == "--inject-bug") {
+        inject_bug = true;
+      } else if (arg == "--list-oracles") {
+        list_oracles = true;
+      } else {
+        std::cerr << kUsage << "\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << kUsage << "\n";
+      return 2;
+    }
+  }
+
+  if (list_oracles) {
+    for (const auto& oracle : camc::check::all_oracles())
+      std::cout << oracle.name << "  " << oracle.description << "\n";
+    return 0;
+  }
+
+  try {
+    if (!replay_file.empty()) {
+      // --inject-bug composes with --replay so a fault-found corpus file
+      // can be re-run against the fault that produced it.
+      if (inject_bug) camc::core::set_sequential_trial_fault_for_testing(true);
+      const camc::check::CorpusCase entry =
+          camc::check::read_corpus_file(replay_file);
+      const camc::check::Verdict verdict = camc::check::replay(replay_file);
+      const char* outcome = camc::check::outcome_name(verdict.outcome);
+      std::cout << "replay " << replay_file << ": oracle=" << entry.oracle
+                << " outcome=" << outcome << " expect=" << entry.expect;
+      if (!verdict.detail.empty()) std::cout << " detail=" << verdict.detail;
+      std::cout << "\n";
+      return entry.expect == outcome ? 0 : 1;
+    }
+
+    if (inject_bug) {
+      // The fault drops the last edge of every sequential trial; the
+      // sequential min-cut oracle is the direct observer.
+      camc::core::set_sequential_trial_fault_for_testing(true);
+      if (options.oracle_names.empty())
+        options.oracle_names = {"mincut-sequential"};
+    }
+
+    const camc::check::FuzzReport report =
+        camc::check::fuzz(options, &std::cerr);
+    std::cout << "FUZZ,seed=" << options.seed << ",cases=" << report.cases_run
+              << ",oracle_runs=" << report.oracle_runs
+              << ",rejected=" << report.rejected
+              << ",failures=" << report.failures.size()
+              << ",seconds=" << report.elapsed_seconds << "\n";
+
+    if (inject_bug) {
+      camc::core::set_sequential_trial_fault_for_testing(false);
+      for (const auto& failure : report.failures) {
+        if (failure.shrunk.n <= 16) {
+          std::cout << "injected bug caught: shrunk to n=" << failure.shrunk.n
+                    << " m=" << failure.shrunk.edges.size()
+                    << (failure.file.empty() ? "" : " at " + failure.file)
+                    << "\n";
+          return 0;
+        }
+      }
+      std::cout << "injected bug NOT caught (or reproducer not <= 16 "
+                   "vertices)\n";
+      return 1;
+    }
+    return report.failures.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "camc_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}

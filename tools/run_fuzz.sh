@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Build and run a time-boxed differential-fuzzing session.
+#
+#   tools/run_fuzz.sh                 # default build, 60 s, fixed seed
+#   tools/run_fuzz.sh asan            # same session under ASan+UBSan
+#   tools/run_fuzz.sh default --seconds=300 --seed=$RANDOM
+#
+# The first argument selects the CMake preset (default | asan | tsan);
+# everything after it is passed straight to camc_fuzz. Failing cases are
+# shrunk and written to fuzz-out/<preset>/ — promote real finds into
+# tests/corpus/ so they are replayed by ctest forever.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+preset="${1:-default}"
+if [ "$#" -gt 0 ]; then shift; fi
+case "$preset" in
+  default) build_dir=build ;;
+  asan)    build_dir=build-asan ;;
+  tsan)    build_dir=build-tsan ;;
+  *) echo "unknown preset '$preset' (want default | asan | tsan)" >&2
+     exit 2 ;;
+esac
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)" --target camc_fuzz
+
+out_dir="fuzz-out/$preset"
+mkdir -p "$out_dir"
+exec "$build_dir/tools/camc_fuzz" \
+  --seconds=60 --seed=20260805 --corpus-dir="$out_dir" "$@"

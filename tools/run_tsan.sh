@@ -4,7 +4,9 @@
 # The bsp layer is the only concurrent code in the repo (persistent worker
 # pool, abortable barriers, receiver-parallel collectives), so this builds
 # the tsan preset and runs the tests that exercise it: Bsp*, Collectives*,
-# Accounting*, Machine*, SampleSort*, Fuzz*, CounterInvariance*.
+# Accounting*, Machine*, SampleSort*, Fuzz*, CounterInvariance*, and the
+# check:: differential-testing tests (whose oracles run BSP machines at
+# several processor counts).
 #
 #   tools/run_tsan.sh            # configure + build + filtered ctest
 #   tools/run_tsan.sh -R Machine # extra args are passed to ctest
@@ -18,7 +20,7 @@ cd "$repo_root"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target camc_tests \
-  camc_cc camc_mincut camc_approx camc_gen_tool
+  camc_cc camc_mincut camc_approx camc_gen_tool camc_fuzz
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 if [ "$#" -gt 0 ]; then
