@@ -3,7 +3,11 @@
 namespace camc::bsp {
 
 Comm Comm::split(int color) const {
-  if (color < 0) throw std::invalid_argument("split: color must be >= 0");
+  begin_collective("split");
+  if (color < 0) {
+    state_->abort_tree();  // see scatterv: do not strand peers
+    throw std::invalid_argument("split: color must be >= 0");
+  }
 
   // Superstep 1: publish colors.
   const std::int64_t my_color = color;
@@ -34,13 +38,17 @@ Comm Comm::split(int color) const {
   if (rank_ == 0) state_->clear_children();
 
   // Metadata exchange: p words of colors, O(1) handles.
+  maybe_corrupt("split", nullptr, 0);  // no data plane; clears any pending
   stats_->supersteps += 2;
   stats_->collective_calls += 1;
   stats_->words_sent += 1;
   stats_->words_received += static_cast<std::uint64_t>(size() > 0 ? size() - 1 : 0);
   stats_->comm_seconds += clock.seconds();
+  progress_idle();
 
-  return Comm(std::move(child), my_new_rank, stats_);
+  // The child communicator carries the rank's fault-hook state along, so
+  // injection and watchdog heartbeats keep working at any split depth.
+  return Comm(std::move(child), my_new_rank, stats_, control_);
 }
 
 }  // namespace camc::bsp

@@ -43,10 +43,12 @@
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "bsp/barrier.hpp"
+#include "bsp/fault.hpp"
 #include "bsp/stats.hpp"
 
 namespace camc::bsp {
@@ -119,6 +121,7 @@ class CommState {
 
   int size() const noexcept { return size_; }
   void arrive_and_wait() { barrier_.arrive_and_wait(); }
+  bool aborted() const noexcept { return barrier_.aborted(); }
   detail::Slot& slot(int rank) { return slots_[static_cast<std::size_t>(rank)]; }
 
   /// Aborts this communicator's barrier and (from the run's root state)
@@ -171,8 +174,12 @@ class CommState {
 class Comm {
  public:
   Comm() = default;
-  Comm(std::shared_ptr<CommState> state, int rank, RankStats* stats)
-      : state_(std::move(state)), rank_(rank), stats_(stats) {}
+  Comm(std::shared_ptr<CommState> state, int rank, RankStats* stats,
+       detail::RankControl* control = nullptr)
+      : state_(std::move(state)),
+        rank_(rank),
+        stats_(stats),
+        control_(control) {}
 
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return state_ ? state_->size() : 0; }
@@ -181,8 +188,10 @@ class Comm {
 
   /// Superstep boundary with no data exchange.
   void barrier() const {
+    begin_collective("barrier");
     const detail::Clock clock;
     state_->arrive_and_wait();
+    maybe_corrupt("barrier", nullptr, 0);  // no payload; clears any pending
     account(/*sent=*/0, /*received=*/0, clock);
   }
 
@@ -192,6 +201,7 @@ class Comm {
   template <class T>
   void broadcast(std::vector<T>& data, int root = 0) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("broadcast");
     if (rank_ == root) publish(data.data(), data.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -205,6 +215,8 @@ class Comm {
       received_words = detail::words_of_bytes(data.size() * sizeof(T));
     }
     state_->arrive_and_wait();
+    maybe_corrupt("broadcast", rank_ == root ? nullptr : data.data(),
+                  rank_ == root ? 0 : data.size() * sizeof(T));
     const std::uint64_t sent_words =
         (rank_ == root && size() > 1)
             ? detail::words_of_bytes(data.size() * sizeof(T))
@@ -229,6 +241,7 @@ class Comm {
   template <class T>
   std::vector<T> gather(std::span<const T> local, int root = 0) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("gather");
     publish(local.data(), local.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -253,6 +266,7 @@ class Comm {
       std::memcpy(base + offset, local.data(), local.size() * sizeof(T));
     }
     state_->arrive_and_wait();
+    maybe_corrupt("gather", out.data(), out.size() * sizeof(T));
     const std::uint64_t sent_words =
         rank_ == root ? 0 : detail::words_of_bytes(local.size() * sizeof(T));
     account(sent_words, received_words, clock);
@@ -271,6 +285,7 @@ class Comm {
   template <class T>
   std::vector<T> all_gather(std::span<const T> local) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("all_gather");
     publish(local.data(), local.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -298,6 +313,7 @@ class Comm {
     // assign() copies it in one pass with no zero-initialization.
     if (rank_ != 0) out.assign(shared, shared + total);
     state_->arrive_and_wait();  // rank 0's buffer must outlive the readers
+    maybe_corrupt("all_gather", out.data(), out.size() * sizeof(T));
     account(detail::words_of_bytes(local.size() * sizeof(T)) *
                 static_cast<std::uint64_t>(size() > 1 ? 1 : 0),
             received_words, clock);
@@ -316,6 +332,7 @@ class Comm {
   template <class T, class Op>
   T reduce(const T& value, Op op, T identity, int root = 0) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("reduce");
     publish(&value, 1);
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -330,6 +347,7 @@ class Comm {
       }
     }
     state_->arrive_and_wait();
+    maybe_corrupt("reduce", &result, sizeof(T));
     account(rank_ == root ? 0 : detail::words_of_bytes(sizeof(T)),
             received_words, clock);
     return result;
@@ -339,6 +357,7 @@ class Comm {
   template <class T, class Op>
   T all_reduce(const T& value, Op op, T identity) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("all_reduce");
     publish(&value, 1);
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -349,6 +368,7 @@ class Comm {
       if (r != rank_) received_words += detail::words_of_bytes(sizeof(T));
     }
     state_->arrive_and_wait();
+    maybe_corrupt("all_reduce", &result, sizeof(T));
     account(size() > 1 ? detail::words_of_bytes(sizeof(T)) : 0,
             received_words, clock);
     return result;
@@ -362,6 +382,7 @@ class Comm {
   template <class T, class Op>
   T exclusive_scan(const T& value, Op op, T identity) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("exclusive_scan");
     publish(&value, 1);
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -372,6 +393,7 @@ class Comm {
       received_words += detail::words_of_bytes(sizeof(T));
     }
     state_->arrive_and_wait();
+    maybe_corrupt("exclusive_scan", &result, sizeof(T));
     account(size() > 1 ? detail::words_of_bytes(sizeof(T)) : 0,
             received_words, clock);
     return result;
@@ -381,6 +403,7 @@ class Comm {
   template <class T, class Op>
   std::vector<T> all_reduce_vector(const std::vector<T>& values, Op op) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("all_reduce_vector");
     publish(values.data(), values.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -398,6 +421,8 @@ class Comm {
         received_words +=
             detail::words_of_bytes(values.size() * sizeof(T));
     state_->arrive_and_wait();
+    maybe_corrupt("all_reduce_vector", result.data(),
+                  result.size() * sizeof(T));
     account(size() > 1 ? detail::words_of_bytes(values.size() * sizeof(T)) : 0,
             received_words, clock);
     return result;
@@ -414,9 +439,15 @@ class Comm {
                           const std::vector<std::uint64_t>& counts,
                           int root = 0) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    begin_collective("scatterv");
     if (rank_ == root) {
-      if (counts.size() != static_cast<std::size_t>(size()))
+      if (counts.size() != static_cast<std::size_t>(size())) {
+        // Abort before throwing: peers are already entering the exchange
+        // barrier, and a caller that catches this throw and carries on
+        // must not strand them there.
+        state_->abort_tree();
         throw std::invalid_argument("scatterv: counts.size() != comm size");
+      }
       publish2(data.data(), data.size(), counts.data(), counts.size());
     }
     const detail::Clock clock;
@@ -429,6 +460,7 @@ class Comm {
     const std::uint64_t mine = all_counts[rank_];
     std::vector<T> out(base + offset, base + offset + mine);
     state_->arrive_and_wait();
+    maybe_corrupt("scatterv", out.data(), out.size() * sizeof(T));
     std::uint64_t sent = 0, received = 0;
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r)
@@ -458,8 +490,11 @@ class Comm {
                       std::vector<std::uint64_t>* received_counts = nullptr)
       const {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (counts.size() != static_cast<std::size_t>(size()))
+    begin_collective("alltoallv");
+    if (counts.size() != static_cast<std::size_t>(size())) {
+      state_->abort_tree();  // see scatterv: do not strand peers
       throw std::invalid_argument("alltoallv: counts.size() != comm size");
+    }
     publish2(send.data(), send.size(), counts.data(), counts.size());
     const detail::Clock clock;
     state_->arrive_and_wait();
@@ -496,6 +531,7 @@ class Comm {
       write += length;
     }
     state_->arrive_and_wait();
+    maybe_corrupt("alltoallv", inbox.data(), inbox.size() * sizeof(T));
     std::uint64_t sent_words = 0;
     for (int r = 0; r < p; ++r)
       if (r != rank_)
@@ -518,8 +554,10 @@ class Comm {
   template <class T>
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& outbox) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (outbox.size() != static_cast<std::size_t>(size()))
+    if (outbox.size() != static_cast<std::size_t>(size())) {
+      state_->abort_tree();  // see scatterv: do not strand peers
       throw std::invalid_argument("alltoallv: outbox.size() != comm size");
+    }
     std::vector<std::uint64_t> counts;
     counts.reserve(outbox.size());
     std::size_t total = 0;
@@ -543,6 +581,54 @@ class Comm {
   Comm split(int color) const;
 
  private:
+  // -- fault hooks (fault.hpp) ---------------------------------------------
+  // Every collective calls begin_collective(name) on entry and
+  // maybe_corrupt(name, payload) on its received payload just before
+  // returning. With no RankControl installed the entry hook is one store
+  // plus a null test; counters and behaviour are untouched.
+
+  void begin_collective(const char* name) const {
+    stats_->last_collective = name;
+    if (control_ == nullptr) return;
+    detail::RankProgress& progress = *control_->progress;
+    progress.superstep.store(stats_->supersteps, std::memory_order_relaxed);
+    progress.collective.store(name, std::memory_order_relaxed);
+    progress.state.store(RankState::kInCollective, std::memory_order_relaxed);
+    progress.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (control_->injector == nullptr) return;
+    const FaultSite site{control_->world_rank, stats_->supersteps, name};
+    switch (control_->injector->at_collective(site)) {
+      case FaultKind::kNone:
+        return;
+      case FaultKind::kCorrupt:
+        control_->corrupt_pending = true;
+        return;
+      case FaultKind::kCrash:
+        throw InjectedCrash(site);
+      case FaultKind::kStall: {
+        // Cooperative wedge: park (visibly, for the watchdog) until the
+        // run is aborted around us, then unwind. The fallback bound means
+        // a stall without any watchdog cannot hang a binary forever.
+        progress.state.store(RankState::kStalled, std::memory_order_relaxed);
+        const detail::Clock clock;
+        while (!state_->aborted() &&
+               clock.seconds() < detail::kStallFallbackSeconds)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw InjectedStall(site);
+      }
+    }
+  }
+
+  /// Consumes a pending corruption. Payloads below the data-plane floor
+  /// (control scalars) still clear the pending flag but are left intact.
+  void maybe_corrupt(const char* name, void* data, std::size_t bytes) const {
+    if (control_ == nullptr || !control_->corrupt_pending) return;
+    control_->corrupt_pending = false;
+    if (data == nullptr || bytes < detail::kMinCorruptiblePayloadBytes) return;
+    const FaultSite site{control_->world_rank, stats_->supersteps, name};
+    control_->injector->corrupt_payload(site, data, bytes);
+  }
+
   void publish(const void* pointer, std::uint64_t count) const {
     auto& s = state_->slot(rank_);
     s.pointer0 = pointer;
@@ -564,11 +650,22 @@ class Comm {
     stats_->words_sent += sent_words;
     stats_->words_received += received_words;
     stats_->comm_seconds += clock.seconds();
+    progress_idle();
+  }
+
+  /// Marks the rank as back in user code for the watchdog.
+  void progress_idle() const {
+    if (control_ == nullptr) return;
+    detail::RankProgress& progress = *control_->progress;
+    progress.superstep.store(stats_->supersteps, std::memory_order_relaxed);
+    progress.state.store(RankState::kComputing, std::memory_order_relaxed);
+    progress.heartbeat.fetch_add(1, std::memory_order_relaxed);
   }
 
   std::shared_ptr<CommState> state_;
   int rank_ = -1;
   RankStats* stats_ = nullptr;
+  detail::RankControl* control_ = nullptr;
 };
 
 }  // namespace camc::bsp

@@ -1,0 +1,86 @@
+#include "bsp/fault.hpp"
+
+#include <sstream>
+
+namespace camc::bsp {
+
+namespace {
+
+std::string site_suffix(const FaultSite& site) {
+  std::ostringstream out;
+  out << " at rank " << site.rank << " superstep " << site.superstep << " in "
+      << (site.collective ? site.collective : "?");
+  return out.str();
+}
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+std::atomic<double> g_watchdog_deadline{0.0};
+
+}  // namespace
+
+InjectedCrash::InjectedCrash(const FaultSite& site)
+    : FaultError("bsp: injected crash" + site_suffix(site)) {}
+
+InjectedStall::InjectedStall(const FaultSite& site)
+    : FaultError("bsp: injected stall" + site_suffix(site)) {}
+
+WatchdogTimeout::WatchdogTimeout(std::shared_ptr<const RunReport> report)
+    : FaultError("bsp: watchdog timeout — " +
+                 (report ? report->to_string() : std::string("(no report)"))),
+      report_(std::move(report)) {}
+
+const char* rank_state_name(RankState state) noexcept {
+  switch (state) {
+    case RankState::kComputing:
+      return "computing";
+    case RankState::kInCollective:
+      return "in-collective";
+    case RankState::kStalled:
+      return "stalled";
+    case RankState::kDone:
+      return "done";
+    case RankState::kCrashed:
+      return "crashed";
+    case RankState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+std::string RunReport::to_string() const {
+  std::ostringstream out;
+  if (watchdog_fired) {
+    out << "watchdog fired after " << detection_seconds
+        << "s without progress; stragglers:";
+    if (stragglers.empty()) out << " (none)";
+    for (const int rank : stragglers) out << " " << rank;
+    out << "; ";
+  }
+  out << "ranks:";
+  for (const RankOutcome& rank : ranks) {
+    out << " [" << rank.rank << " " << rank_state_name(rank.state)
+        << " superstep " << rank.last_superstep;
+    if (rank.last_collective) out << " " << rank.last_collective;
+    out << "]";
+  }
+  return out.str();
+}
+
+void set_global_fault_injector(FaultInjector* injector) noexcept {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* global_fault_injector() noexcept {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void set_global_watchdog_deadline(double seconds) noexcept {
+  g_watchdog_deadline.store(seconds < 0.0 ? 0.0 : seconds,
+                            std::memory_order_release);
+}
+
+double global_watchdog_deadline() noexcept {
+  return g_watchdog_deadline.load(std::memory_order_acquire);
+}
+
+}  // namespace camc::bsp

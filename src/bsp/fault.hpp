@@ -1,0 +1,194 @@
+#pragma once
+
+// Fault-injection and failure-reporting contract for the BSP runtime.
+//
+// The paper's target machine (1536 Cray ranks, §5) lives with stragglers
+// and rank failures; our thread-backed substitute previously turned any
+// failure into a diagnostics-free abort and any wedged rank into a hang.
+// This header defines the three pieces the runtime needs to do better:
+//
+// * FaultInjector — a deterministic oracle the collectives consult at
+//   every entry, keyed by FaultSite = (world rank, cumulative superstep
+//   index of this run, collective name). An injector can crash the rank
+//   (throw InjectedCrash), stall it (park until the run is aborted — the
+//   cooperative stand-in for a wedged rank), or mark the collective's
+//   received payload for corruption. When no injector is installed the
+//   hook is a single null-pointer test: zero overhead, bit-identical
+//   counters (pinned by bsp_counter_invariance_test).
+//
+// * RunReport — per-rank forensics assembled by Machine::run after every
+//   monitored run: last superstep reached, last collective entered, and a
+//   terminal RankState per rank, plus the watchdog's straggler list.
+//
+// * WatchdogTimeout — thrown by Machine::run when its deadline monitor
+//   (see machine.hpp) detects that no rank has made progress for the
+//   configured deadline while some rank is still running. It carries the
+//   RunReport so the caller can see exactly where the run died.
+//
+// Corruption is domain-safe by contract: corrupt_payload implementations
+// must keep every aligned 4-byte lane <= its original value (see
+// resilience::FaultPlan), so index-typed payloads (vertex labels, edge
+// endpoints — 4-byte graph::Vertex fields) stay in range and corruption produces wrong answers or
+// thrown errors — which the differential fuzzer detects — rather than
+// out-of-bounds UB. Payloads smaller than kMinCorruptiblePayloadBytes
+// (control scalars: reduced flags, broadcast_value headers) are exempt,
+// so a corrupted rank cannot diverge from the collective sequence its
+// peers execute.
+//
+// Global configuration: oracle code (src/check) runs algorithms through
+// cached Machines it does not construct, so the injector and watchdog
+// deadline can also be installed process-wide; per-run RunOptions (see
+// machine.hpp) take precedence. Installation is not synchronized against
+// concurrently running Machines — install while no run is in flight
+// (resilience::ScopedFaultInjection is the RAII helper).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace camc::bsp {
+
+/// What an injector asks a rank to do at a collective entry.
+enum class FaultKind : std::uint8_t { kNone = 0, kCrash, kStall, kCorrupt };
+
+/// Where a fault fires: the rank's world rank (stable across split()),
+/// the run-cumulative superstep index at collective entry, and the
+/// collective's name (a static string literal).
+struct FaultSite {
+  int rank = -1;
+  std::uint64_t superstep = 0;
+  const char* collective = nullptr;
+};
+
+/// Deterministic fault oracle consulted by every collective entry.
+/// Implementations must be safe to call concurrently from all ranks.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called once per collective entry per rank. Return kNone to do nothing.
+  virtual FaultKind at_collective(const FaultSite& site) noexcept = 0;
+
+  /// Called on the received payload of a collective whose entry returned
+  /// kCorrupt (only for payloads >= kMinCorruptiblePayloadBytes). Must keep
+  /// every aligned 4-byte lane <= its original value (domain safety: a
+  /// 64-bit decrease can still raise a packed 32-bit index via a borrow).
+  virtual void corrupt_payload(const FaultSite& site, void* data,
+                               std::size_t bytes) noexcept = 0;
+};
+
+/// Base of every injected/runtime-detected fault. Messages all start with
+/// "bsp: injected" or "bsp: watchdog" so downstream layers (retry driver,
+/// fault campaign) can tell injected faults from genuine algorithm bugs.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the faulted rank itself when an injector returns kCrash.
+class InjectedCrash : public FaultError {
+ public:
+  explicit InjectedCrash(const FaultSite& site);
+};
+
+/// Thrown by a stalled rank once the run is aborted around it (or after a
+/// long fallback if nothing aborts it — see detail::kStallFallbackSeconds).
+class InjectedStall : public FaultError {
+ public:
+  explicit InjectedStall(const FaultSite& site);
+};
+
+/// Where a rank ended the run (or is, in a provisional mid-run report).
+enum class RankState : std::uint8_t {
+  kComputing = 0,  ///< in user code between collectives
+  kInCollective,   ///< inside a collective (usually parked in its barrier)
+  kStalled,        ///< parked by an injected stall
+  kDone,           ///< SPMD function returned
+  kCrashed,        ///< unwound with a real exception (injected or genuine)
+  kAborted,        ///< unwound as a RankAborted casualty of a peer
+};
+
+const char* rank_state_name(RankState state) noexcept;
+
+/// One rank's line in a RunReport.
+struct RankOutcome {
+  int rank = -1;
+  RankState state = RankState::kComputing;
+  std::uint64_t last_superstep = 0;        ///< supersteps completed/entered
+  const char* last_collective = nullptr;   ///< static name; null if none yet
+  bool ok = false;                         ///< state == kDone
+};
+
+/// Forensics for one Machine::run. Built after every run; when the
+/// watchdog fires it names the stragglers (ranks that held the run up).
+struct RunReport {
+  bool watchdog_fired = false;
+  double detection_seconds = 0.0;  ///< no-progress time before firing
+  std::vector<RankOutcome> ranks;
+  std::vector<int> stragglers;     ///< empty unless watchdog_fired
+
+  std::string to_string() const;
+};
+
+/// Thrown by Machine::run when the watchdog fired. Carries the RunReport
+/// (shared, so retry layers can keep it after the exception dies).
+class WatchdogTimeout : public FaultError {
+ public:
+  explicit WatchdogTimeout(std::shared_ptr<const RunReport> report);
+  const RunReport& report() const noexcept { return *report_; }
+  const std::shared_ptr<const RunReport>& shared_report() const noexcept {
+    return report_;
+  }
+
+ private:
+  std::shared_ptr<const RunReport> report_;
+};
+
+/// Process-wide default fault injector (null = none). Per-run
+/// RunOptions::injector overrides. Install only while no run is in flight.
+void set_global_fault_injector(FaultInjector* injector) noexcept;
+FaultInjector* global_fault_injector() noexcept;
+
+/// Process-wide default watchdog deadline in seconds (0 = disabled).
+/// Per-run RunOptions::watchdog_deadline_seconds >= 0 overrides.
+void set_global_watchdog_deadline(double seconds) noexcept;
+double global_watchdog_deadline() noexcept;
+
+namespace detail {
+
+/// Received payloads below this size are control-plane scalars (reduced
+/// flags, value broadcasts) and are never corrupted: corrupting them could
+/// make one rank's collective sequence diverge from its peers'.
+inline constexpr std::size_t kMinCorruptiblePayloadBytes = 64;
+
+/// An injected stall parks until the run is aborted around it; this bounds
+/// the park so a stall without any watchdog cannot hang a test binary
+/// forever.
+inline constexpr double kStallFallbackSeconds = 30.0;
+
+/// Heartbeat block one rank publishes for the watchdog; padded so the
+/// watchdog's polling never false-shares with rank-local counters. All
+/// fields are atomics because the watchdog thread reads them mid-run.
+struct alignas(64) RankProgress {
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<std::uint64_t> superstep{0};
+  std::atomic<const char*> collective{nullptr};
+  std::atomic<RankState> state{RankState::kComputing};
+};
+
+/// Rank-local fault-hook state threaded through Comm (and into split()
+/// children). Only the owning rank thread touches it, except `progress`,
+/// which it shares with the watchdog through the atomics above.
+struct alignas(64) RankControl {
+  RankProgress* progress = nullptr;
+  FaultInjector* injector = nullptr;
+  int world_rank = 0;
+  bool corrupt_pending = false;
+};
+
+}  // namespace detail
+}  // namespace camc::bsp

@@ -26,24 +26,53 @@
 // a collective (they unwind with RankAborted — see barrier.hpp). run()
 // rethrows the originating exception; the machine stays usable for
 // subsequent run() calls.
+//
+// Resilience (fault.hpp): run() takes RunOptions carrying an optional
+// FaultInjector and watchdog deadline (both fall back to the process-wide
+// defaults). When either is active the ranks publish heartbeat atomics,
+// and a watchdog thread aborts the run — with a RunReport naming the
+// stragglers — if no rank makes progress for the deadline while some rank
+// is still running. Injected stalls are cooperative (they park watching
+// for the abort), so a watchdogged stall unwinds cleanly; a genuine
+// non-cooperative infinite loop in user code cannot be force-unwound, but
+// the watchdog still publishes its provisional report through
+// last_run_report() before aborting, so even then the straggler is named
+// somewhere a monitor thread can see it.
 
+#include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bsp/comm.hpp"
+#include "bsp/fault.hpp"
 #include "bsp/stats.hpp"
 
 namespace camc::bsp {
+
+/// Per-run resilience knobs; the zero-argument run() keeps the fast path.
+struct RunOptions {
+  /// Fault oracle for this run; null falls back to the process-wide
+  /// injector (which is itself null by default).
+  FaultInjector* injector = nullptr;
+  /// Watchdog deadline in seconds: < 0 falls back to the process-wide
+  /// deadline, 0 disables the watchdog for this run.
+  double watchdog_deadline_seconds = -1.0;
+  /// How often the watchdog samples the rank heartbeats.
+  double watchdog_poll_seconds = 0.001;
+};
 
 /// Result of one SPMD run: wall time plus the reduced BSP counters.
 struct RunOutcome {
   double wall_seconds = 0.0;
   MachineStats stats;
   std::vector<RankStats> per_rank;
+  RunReport report;
 };
 
 class Machine {
@@ -74,15 +103,42 @@ class Machine {
 
   int processors() const noexcept { return processors_; }
 
-  /// Runs `fn(world)` on every rank. Rethrows the first rank exception.
-  RunOutcome run(const std::function<void(Comm&)>& fn) {
+  /// Runs `fn(world)` on every rank. Rethrows the first rank exception;
+  /// throws WatchdogTimeout (with the report) if the watchdog fired.
+  RunOutcome run(const std::function<void(Comm&)>& fn,
+                 const RunOptions& options = {}) {
     Job job;
     job.fn = &fn;
     job.state = std::make_shared<CommState>(processors_);
     job.per_rank.resize(static_cast<std::size_t>(processors_));
     job.errors.resize(static_cast<std::size_t>(processors_));
 
+    FaultInjector* injector =
+        options.injector ? options.injector : global_fault_injector();
+    double deadline = options.watchdog_deadline_seconds;
+    if (deadline < 0.0) deadline = global_watchdog_deadline();
+    if (injector != nullptr || deadline > 0.0) {
+      job.progress = std::make_unique<detail::RankProgress[]>(
+          static_cast<std::size_t>(processors_));
+      job.controls.resize(static_cast<std::size_t>(processors_));
+      for (int r = 0; r < processors_; ++r) {
+        auto& control = job.controls[static_cast<std::size_t>(r)];
+        control.progress = &job.progress[static_cast<std::size_t>(r)];
+        control.injector = injector;
+        control.world_rank = r;
+      }
+    }
+
+    WatchdogData watchdog;
     const detail::Clock clock;
+    std::jthread monitor;
+    if (deadline > 0.0)
+      monitor = std::jthread([this, &job, &watchdog, deadline,
+                              poll = options.watchdog_poll_seconds](
+                                 std::stop_token token) {
+        watchdog_loop(token, job, watchdog, deadline, poll);
+      });
+
     if (persistent_) {
       job_ = &job;
       start_->arrive_and_wait();
@@ -93,16 +149,37 @@ class Machine {
       threads.reserve(static_cast<std::size_t>(processors_));
       for (int r = 0; r < processors_; ++r)
         threads.emplace_back([&job, r] { run_rank(job, r); });
+      // jthreads join at end of scope, before the watchdog is stopped.
+    }
+    if (monitor.joinable()) {
+      monitor.request_stop();
+      monitor.join();
     }
     const double wall = clock.seconds();
-
-    rethrow_first_real_error(job.errors);
 
     RunOutcome outcome;
     outcome.wall_seconds = wall;
     outcome.stats = MachineStats::summarize(job.per_rank);
+    outcome.report = build_report(job, watchdog, /*final_report=*/true);
+    {
+      const std::lock_guard<std::mutex> lock(report_mutex_);
+      last_report_ = std::make_shared<const RunReport>(outcome.report);
+    }
+    if (watchdog.fired) {
+      const std::lock_guard<std::mutex> lock(report_mutex_);
+      throw WatchdogTimeout(last_report_);
+    }
+    rethrow_first_real_error(job.errors);
+
     outcome.per_rank = std::move(job.per_rank);
     return outcome;
+  }
+
+  /// Report of the most recent run (or the provisional report the watchdog
+  /// published when it fired mid-run). Null before the first monitored run.
+  std::shared_ptr<const RunReport> last_run_report() const {
+    const std::lock_guard<std::mutex> lock(report_mutex_);
+    return last_report_;
   }
 
  private:
@@ -112,18 +189,171 @@ class Machine {
     std::shared_ptr<CommState> state;
     std::vector<RankStats> per_rank;
     std::vector<std::exception_ptr> errors;
+    // Monitored runs only (injector or watchdog active):
+    std::unique_ptr<detail::RankProgress[]> progress;
+    std::vector<detail::RankControl> controls;
+  };
+
+  /// What the watchdog thread hands back; read by run() after join.
+  struct WatchdogData {
+    bool fired = false;
+    double detection_seconds = 0.0;
+    std::vector<int> stragglers;
   };
 
   static void run_rank(Job& job, int r) {
-    Comm world(job.state, r, &job.per_rank[static_cast<std::size_t>(r)]);
+    const auto index = static_cast<std::size_t>(r);
+    detail::RankControl* control =
+        job.controls.empty() ? nullptr : &job.controls[index];
+    Comm world(job.state, r, &job.per_rank[index], control);
     try {
       (*job.fn)(world);
+      if (control)
+        control->progress->state.store(RankState::kDone,
+                                       std::memory_order_relaxed);
     } catch (...) {
-      job.errors[static_cast<std::size_t>(r)] = std::current_exception();
+      job.errors[index] = std::current_exception();
+      RankStats& stats = job.per_rank[index];
+      stats.aborted = true;
+      stats.abort_superstep = stats.supersteps;
+      if (control)
+        control->progress->state.store(classify_failure(job.errors[index]),
+                                       std::memory_order_relaxed);
       // Release peers parked in any barrier of this run's communicator
       // tree; they unwind with RankAborted and land here too.
       job.state->abort_tree();
     }
+  }
+
+  static RankState classify_failure(
+      const std::exception_ptr& error) noexcept {
+    try {
+      std::rethrow_exception(error);
+    } catch (const RankAborted&) {
+      return RankState::kAborted;
+    } catch (...) {
+      return RankState::kCrashed;
+    }
+  }
+
+  static bool is_terminal(RankState state) noexcept {
+    return state == RankState::kDone || state == RankState::kCrashed ||
+           state == RankState::kAborted;
+  }
+
+  /// Polls the rank heartbeats; fires (publishes a provisional report,
+  /// aborts the run) when the global heartbeat sum has not moved for
+  /// `deadline` seconds while some rank is still non-terminal.
+  void watchdog_loop(std::stop_token token, Job& job, WatchdogData& watchdog,
+                     double deadline, double poll) {
+    const std::chrono::duration<double> poll_duration(
+        poll > 0.0 ? poll : 0.001);
+    const detail::Clock clock;
+    std::uint64_t last_sum = ~std::uint64_t{0};
+    double last_change = clock.seconds();
+    while (!token.stop_requested()) {
+      std::this_thread::sleep_for(poll_duration);
+      if (token.stop_requested()) return;
+      std::uint64_t sum = 0;
+      bool all_terminal = true;
+      for (int r = 0; r < processors_; ++r) {
+        const auto& progress = job.progress[static_cast<std::size_t>(r)];
+        sum += progress.heartbeat.load(std::memory_order_relaxed);
+        if (!is_terminal(progress.state.load(std::memory_order_relaxed)))
+          all_terminal = false;
+      }
+      if (sum != last_sum) {
+        last_sum = sum;
+        last_change = clock.seconds();
+        continue;
+      }
+      if (all_terminal) continue;
+      const double stalled_for = clock.seconds() - last_change;
+      if (stalled_for < deadline) continue;
+
+      watchdog.fired = true;
+      watchdog.detection_seconds = stalled_for;
+      watchdog.stragglers = snapshot_stragglers(job);
+      {
+        // Publish a provisional report before aborting: if a genuinely
+        // wedged rank keeps run() from ever returning, this is still
+        // visible through last_run_report().
+        const std::lock_guard<std::mutex> lock(report_mutex_);
+        last_report_ = std::make_shared<const RunReport>(
+            build_report(job, watchdog, /*final_report=*/false));
+      }
+      job.state->abort_tree();
+      return;
+    }
+  }
+
+  /// Ranks holding the run up: those off in user code or stalled; if every
+  /// live rank is parked inside a collective, the ones that reached the
+  /// fewest supersteps (the barrier they never arrived at is further back).
+  std::vector<int> snapshot_stragglers(const Job& job) const {
+    std::vector<int> stragglers;
+    for (int r = 0; r < processors_; ++r) {
+      const RankState state = job.progress[static_cast<std::size_t>(r)]
+                                  .state.load(std::memory_order_relaxed);
+      if (state == RankState::kComputing || state == RankState::kStalled)
+        stragglers.push_back(r);
+    }
+    if (!stragglers.empty()) return stragglers;
+    std::uint64_t min_superstep = ~std::uint64_t{0};
+    for (int r = 0; r < processors_; ++r) {
+      const auto& progress = job.progress[static_cast<std::size_t>(r)];
+      if (is_terminal(progress.state.load(std::memory_order_relaxed)))
+        continue;
+      min_superstep = std::min(
+          min_superstep, progress.superstep.load(std::memory_order_relaxed));
+    }
+    for (int r = 0; r < processors_; ++r) {
+      const auto& progress = job.progress[static_cast<std::size_t>(r)];
+      if (is_terminal(progress.state.load(std::memory_order_relaxed)))
+        continue;
+      if (progress.superstep.load(std::memory_order_relaxed) == min_superstep)
+        stragglers.push_back(r);
+    }
+    return stragglers;
+  }
+
+  /// Assembles the per-rank outcomes. A final report (threads joined) may
+  /// read RankStats and errors; a provisional one — built mid-run by the
+  /// watchdog — reads only the progress atomics.
+  RunReport build_report(const Job& job, const WatchdogData& watchdog,
+                         bool final_report) const {
+    RunReport report;
+    report.watchdog_fired = watchdog.fired;
+    report.detection_seconds = watchdog.detection_seconds;
+    report.stragglers = watchdog.stragglers;
+    report.ranks.reserve(static_cast<std::size_t>(processors_));
+    for (int r = 0; r < processors_; ++r) {
+      const auto index = static_cast<std::size_t>(r);
+      RankOutcome outcome;
+      outcome.rank = r;
+      if (job.progress) {
+        const auto& progress = job.progress[index];
+        outcome.state = progress.state.load(std::memory_order_relaxed);
+        outcome.last_superstep =
+            progress.superstep.load(std::memory_order_relaxed);
+        outcome.last_collective =
+            progress.collective.load(std::memory_order_relaxed);
+      } else {
+        outcome.state = job.errors[index]
+                            ? classify_failure(job.errors[index])
+                            : RankState::kDone;
+        outcome.last_superstep = job.per_rank[index].supersteps;
+        outcome.last_collective = job.per_rank[index].last_collective;
+      }
+      if (final_report && job.progress) {
+        // RankStats are safe to read now and strictly fresher.
+        outcome.last_superstep = job.per_rank[index].supersteps;
+        outcome.last_collective = job.per_rank[index].last_collective;
+      }
+      outcome.ok = outcome.state == RankState::kDone;
+      report.ranks.push_back(outcome);
+    }
+    return report;
   }
 
   void worker_loop(int r) {
@@ -162,6 +392,8 @@ class Machine {
   std::unique_ptr<std::barrier<>> start_;
   std::unique_ptr<std::barrier<>> done_;
   std::vector<std::jthread> workers_;
+  mutable std::mutex report_mutex_;
+  std::shared_ptr<const RunReport> last_report_;
 };
 
 }  // namespace camc::bsp

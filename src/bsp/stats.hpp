@@ -45,6 +45,15 @@ struct alignas(64) RankStats {
   std::uint64_t collective_calls = 0;  ///< number of collective invocations
   double comm_seconds = 0.0;           ///< wall time inside collectives
 
+  // Abort forensics — where this rank last was, so a failed run can say
+  // where it died (fault.hpp's RunReport reads these). Not part of the
+  // counter contract above. `last_collective` always points at a static
+  // string literal (the collective's name), so the pointer stays valid
+  // after the run.
+  const char* last_collective = nullptr;  ///< last collective entered
+  std::uint64_t abort_superstep = 0;      ///< supersteps when the rank unwound
+  bool aborted = false;                   ///< rank unwound with an exception
+
   void reset() { *this = RankStats{}; }
 };
 

@@ -1,0 +1,173 @@
+#include "check/faultcampaign.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "bsp/comm.hpp"
+#include "bsp/fault.hpp"
+#include "bsp/machine.hpp"
+#include "check/mutate.hpp"
+#include "check/oracles.hpp"
+#include "resilience/fault_plan.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::check {
+
+namespace {
+
+/// Fault-marked verdict details: every message the abort/injection
+/// machinery can surface through an oracle's guarded() wrapper. Anything
+/// else is an algorithm-level disagreement.
+bool is_fault_marked(const std::string& detail) {
+  return detail.find("bsp: injected") != std::string::npos ||
+         detail.find("bsp: watchdog") != std::string::npos ||
+         detail.find("bsp: run aborted") != std::string::npos;
+}
+
+bool mentions_watchdog(const std::string& detail) {
+  return detail.find("bsp: watchdog") != std::string::npos;
+}
+
+/// Deterministic case cursor: walks the shared random_case sequence and
+/// returns the next case under the campaign's size caps.
+TestCase next_small_case(std::uint64_t seed, std::uint64_t& cursor,
+                         const FaultCampaignOptions& options) {
+  while (true) {
+    TestCase tc = random_case(seed, cursor++);
+    if (tc.n <= options.max_n && tc.edges.size() <= options.max_m) return tc;
+  }
+}
+
+}  // namespace
+
+double measure_watchdog_latency(double deadline_seconds) {
+  resilience::FaultPlan plan(/*seed=*/7);
+  plan.add_stall(/*rank=*/1, /*superstep=*/2);
+  bsp::Machine probe(4);
+  bsp::RunOptions run_options;
+  run_options.injector = &plan;
+  run_options.watchdog_deadline_seconds = deadline_seconds;
+  try {
+    probe.run(
+        [](bsp::Comm& world) {
+          for (int i = 0; i < 8; ++i) world.barrier();
+        },
+        run_options);
+  } catch (const bsp::WatchdogTimeout& timeout) {
+    return timeout.report().detection_seconds;
+  }
+  return -1.0;  // the stall was not detected: a watchdog bug
+}
+
+FaultCampaignReport run_fault_campaign(const FaultCampaignOptions& options,
+                                       std::ostream* log) {
+  const bsp::detail::Clock clock;
+  FaultCampaignReport report;
+
+  std::vector<const Oracle*> oracles;
+  if (options.oracle_names.empty()) {
+    for (const Oracle& oracle : all_oracles()) oracles.push_back(&oracle);
+  } else {
+    for (const std::string& name : options.oracle_names) {
+      const Oracle* oracle = find_oracle(name);
+      if (oracle == nullptr)
+        throw std::invalid_argument("fault campaign: unknown oracle " + name);
+      oracles.push_back(oracle);
+    }
+  }
+
+  std::uint64_t cursor = 0;
+  for (std::uint64_t schedule = 0; schedule < options.schedules; ++schedule) {
+    const Oracle& oracle =
+        *oracles[static_cast<std::size_t>(schedule % oracles.size())];
+    const TestCase tc = next_small_case(options.seed, cursor, options);
+
+    // The schedule: 1-3 faults at any collective, ranks up to the largest
+    // oracle machine (p=4), supersteps within a short run's reach (the
+    // campaign's small cases finish in a few dozen supersteps, and early
+    // supersteps are the collective-dense ones).
+    rng::Philox gen(options.seed, /*stream=*/0xCA3Bull + (schedule << 16));
+    const int faults = 1 + static_cast<int>(gen.bounded(3));
+    resilience::FaultPlan plan = resilience::FaultPlan::random(
+        /*seed=*/options.seed ^ (0xFA110000ull + schedule), /*ranks=*/4,
+        /*max_superstep=*/16, faults, /*allow_stalls=*/true);
+    const resilience::ScopedFaultInjection scoped(
+        &plan, options.watchdog_deadline_seconds);
+
+    const char* outcome_label = "?";
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const std::uint64_t applied_before = plan.corruptions_applied();
+      const Verdict verdict = oracle.run(tc);
+      ++report.oracle_runs;
+      const bool corrupted_this_attempt =
+          plan.corruptions_applied() > applied_before;
+
+      if (verdict.outcome == Outcome::kPass) {
+        if (plan.faults_fired() > 0) {
+          ++report.recovered;
+          outcome_label = "recovered";
+        } else {
+          ++report.clean_passes;
+          outcome_label = "clean-pass";
+        }
+        break;
+      }
+      if (verdict.outcome == Outcome::kRejected) {
+        ++report.rejected;
+        outcome_label = "rejected";
+        break;
+      }
+
+      // kFail — attribute it.
+      if (mentions_watchdog(verdict.detail)) ++report.watchdog_detections;
+      const bool marked = is_fault_marked(verdict.detail);
+      const bool last_attempt = attempt + 1 >= options.max_attempts;
+      if (marked) {
+        if (last_attempt) {
+          // Fault-class failures through the whole budget: the graceful
+          // degradation path — attributed, clean, no hang.
+          ++report.structured_failures;
+          outcome_label = "structured-failure";
+          break;
+        }
+        ++report.retries;
+        continue;
+      }
+      if (corrupted_this_attempt) {
+        // The differential check caught an injected corruption.
+        ++report.detected_corruptions;
+        if (last_attempt) {
+          ++report.structured_failures;
+          outcome_label = "structured-failure";
+          break;
+        }
+        ++report.retries;
+        continue;
+      }
+      // Unmarked failure, nothing corrupted: a genuine bug (or a silent
+      // wrong answer surfacing as a disagreement).
+      report.incidents.push_back(FaultIncident{schedule, oracle.name,
+                                               plan.to_string(),
+                                               verdict.detail});
+      outcome_label = "INCIDENT";
+      break;
+    }
+
+    report.crashes_fired += plan.crashes_fired();
+    report.stalls_fired += plan.stalls_fired();
+    report.corruptions_fired += plan.corruptions_fired();
+    report.corruptions_applied += plan.corruptions_applied();
+    ++report.schedules_run;
+
+    if (log != nullptr)
+      *log << "schedule " << schedule << " oracle=" << oracle.name << " "
+           << plan.to_string() << " -> " << outcome_label << "\n";
+  }
+
+  report.watchdog_latency_seconds =
+      measure_watchdog_latency(options.watchdog_deadline_seconds);
+  report.elapsed_seconds = clock.seconds();
+  return report;
+}
+
+}  // namespace camc::check

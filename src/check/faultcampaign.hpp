@@ -1,0 +1,104 @@
+#pragma once
+
+// Fault campaign: drive crash/stall/corruption schedules through every
+// oracle and assert the system either recovers or fails in a structured,
+// attributable way — never a hang, never a silent wrong answer.
+//
+// Each schedule is deterministic in (campaign seed, schedule index): a
+// resilience::FaultPlan derived from the seed is installed process-wide
+// (with a watchdog deadline, so even a stall or a corruption-induced
+// collective divergence terminates), one oracle judges one generated
+// case, and failed attempts are retried the way the recovery drivers
+// would. Every attempt is classified:
+//
+// * clean pass          — no fault fired (schedule missed the run);
+// * recovered           — pass after/with fired faults;
+// * detected corruption — wrong answer or unmarked error in an attempt
+//                         whose payloads were corrupted: the differential
+//                         check caught the corruption, retry continues;
+// * structured failure  — fault-marked errors ("bsp: injected...",
+//                         "bsp: watchdog...", abort casualties) through
+//                         the whole retry budget: a clean, attributed
+//                         failure report, the graceful-degradation path;
+// * INCIDENT            — an unmarked failure with no corruption applied:
+//                         a genuine bug or silent wrong answer. This is
+//                         the only outcome that fails the campaign.
+//
+// run_fault_campaign also measures watchdog detection latency with a
+// dedicated stall probe (reported, and asserted by the ctest slice).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::check {
+
+struct FaultCampaignOptions {
+  std::uint64_t seed = 1;
+  /// Fault schedules to sweep; oracles are visited round-robin.
+  std::uint64_t schedules = 40;
+  /// Oracle names to include; empty means the full registry.
+  std::vector<std::string> oracle_names;
+  /// Watchdog deadline for every run in the campaign. Keep comfortably
+  /// above per-superstep compute (the campaign's cases are tiny) and low
+  /// enough that stall schedules stay cheap.
+  double watchdog_deadline_seconds = 1.5;
+  /// Retry budget per schedule (mirrors resilience::RetryPolicy).
+  std::uint32_t max_attempts = 3;
+  /// Case-size caps: campaign cases stay small so a watchdog deadline in
+  /// seconds is unambiguous (compute can never look like a stall).
+  graph::Vertex max_n = 48;
+  std::size_t max_m = 256;
+};
+
+struct FaultIncident {
+  std::uint64_t schedule = 0;
+  std::string oracle;
+  std::string plan;    ///< FaultPlan::to_string()
+  std::string detail;  ///< verdict detail of the unmarked failure
+};
+
+struct FaultCampaignReport {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t oracle_runs = 0;
+  // Faults that actually fired, by kind (sum over all schedules' plans).
+  std::uint64_t crashes_fired = 0;
+  std::uint64_t stalls_fired = 0;
+  std::uint64_t corruptions_fired = 0;
+  std::uint64_t corruptions_applied = 0;
+  // Terminal schedule outcomes.
+  std::uint64_t clean_passes = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t structured_failures = 0;
+  // Attempt-level events.
+  std::uint64_t detected_corruptions = 0;
+  std::uint64_t watchdog_detections = 0;
+  std::uint64_t retries = 0;
+  /// Detection latency of the dedicated stall probe (seconds past the
+  /// last heartbeat before the watchdog fired).
+  double watchdog_latency_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  std::vector<FaultIncident> incidents;
+
+  std::uint64_t faults_fired() const noexcept {
+    return crashes_fired + stalls_fired + corruptions_fired;
+  }
+  /// The campaign's assertion: recovery or structured failure everywhere.
+  bool ok() const noexcept { return incidents.empty(); }
+};
+
+/// Sweeps `options.schedules` fault schedules; logs per-schedule lines to
+/// `log` when non-null. Deterministic in (seed, schedules, oracle set).
+FaultCampaignReport run_fault_campaign(const FaultCampaignOptions& options,
+                                       std::ostream* log = nullptr);
+
+/// Stall probe: injects a stall into a fresh 4-rank run under `deadline`
+/// and returns the watchdog's measured detection latency in seconds
+/// (negative if the watchdog failed to fire — a bug).
+double measure_watchdog_latency(double deadline_seconds);
+
+}  // namespace camc::check

@@ -56,15 +56,23 @@ ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
   const auto max_iteration = static_cast<std::uint32_t>(
       std::ceil(std::log2(static_cast<double>(total_weight))) + 1);
 
+  // Recovery attempts (resilience layer) salt the sampling stream and the
+  // inner CC seeds; both salts vanish at attempt 0, keeping no-fault runs
+  // bit-identical to the counter goldens.
+  const std::uint64_t attempt_stream =
+      static_cast<std::uint64_t>(options.attempt) << 32;
+  const std::uint64_t attempt_seed_salt =
+      static_cast<std::uint64_t>(options.attempt) * 0x9E3779B97F4A7C15ull;
   rng::Philox gen(options.seed,
-                  /*stream=*/0xA9900 + static_cast<std::uint64_t>(comm.rank()));
+                  /*stream=*/0xA9900 + static_cast<std::uint64_t>(comm.rank()) +
+                      attempt_stream);
 
   // A cut value this small can only come from a disconnected input; the
   // sampling estimate is only meaningful on connected graphs, so check once.
   {
     DistributedEdgeArray copy(n, graph.local());
     CcOptions cc_options = options.cc;
-    cc_options.seed = options.seed ^ 0x5EED;
+    cc_options.seed = (options.seed ^ 0x5EED) + attempt_seed_salt;
     const CcResult cc = connected_components(comm, copy, cc_options);
     if (cc.components > 1) return result;  // estimate 0, exact
   }
@@ -92,7 +100,8 @@ ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
     DistributedEdgeArray unioned(
         static_cast<Vertex>(iteration_count) * trials * n, std::move(local));
     CcOptions cc_options = options.cc;
-    cc_options.seed = options.seed ^ (0xF00 + first_iteration);
+    cc_options.seed =
+        (options.seed ^ (0xF00 + first_iteration)) + attempt_seed_salt;
     return connected_components(comm, unioned, cc_options).labels;
   };
 

@@ -33,6 +33,10 @@ struct ApproxMinCutOptions {
   std::uint64_t seed = 1;
   /// Options forwarded to the inner connected-components calls.
   CcOptions cc;
+  /// Recovery attempt index (resilience::resilient_approx_min_cut): salts
+  /// the sampling streams and inner CC seeds so a retried run draws fresh
+  /// randomness; attempt 0 is bit-identical to the pre-resilience streams.
+  std::uint32_t attempt = 0;
 };
 
 struct ApproxMinCutResult {

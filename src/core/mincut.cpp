@@ -31,6 +31,14 @@ namespace {
 
 constexpr Weight kInfiniteCut = static_cast<Weight>(-1);
 
+/// Recovery-attempt stream salt: shifts a stream family into a disjoint
+/// namespace per retry attempt (resilience::resilient_min_cut), leaving
+/// attempt 0 bit-identical to the original derivation. The shift places
+/// the attempt bits above each family's (trial, rank, path) bits.
+std::uint64_t attempt_salt(const MinCutOptions& options, unsigned shift) {
+  return static_cast<std::uint64_t>(options.attempt) << shift;
+}
+
 Vertex eager_target(std::uint64_t m) {
   return static_cast<Vertex>(
       std::ceil(std::sqrt(static_cast<double>(std::max<std::uint64_t>(m, 1)))) +
@@ -155,7 +163,8 @@ CutResult sequential_min_cut(Vertex n, std::span<const WeightedEdge> edges,
   CutResult best;
   best.value = kInfiniteCut;
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+    rng::Philox gen(options.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
     CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
     if (candidate.value < best.value) best = std::move(candidate);
     if (best.value == 0) break;
@@ -196,7 +205,8 @@ AllMinCutsResult all_min_cuts(Vertex n, std::span<const WeightedEdge> edges,
   };
 
   for (std::uint32_t trial = 0; trial < result.trials; ++trial) {
-    rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+    rng::Philox gen(options.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
     CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
     if (candidate.value > result.value) continue;
     if (candidate.value < result.value) {
@@ -365,7 +375,8 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
                          std::vector<Vertex>& side_out, bool& side_valid) {
   rng::Philox gen(options.seed,
                   /*stream=*/0xD0000000ull + (trial << 8) +
-                      static_cast<std::uint64_t>(group.rank()));
+                      static_cast<std::uint64_t>(group.rank()) +
+                      attempt_salt(options, 36));
   // Root-driven choices (prefix selection) must be deterministic per trial,
   // while local sampling needs per-rank streams; both hold by keying on
   // (trial, rank) and doing root work only at rank 0.
@@ -422,8 +433,9 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
   const Weight value = recursive_step(
       group, std::move(matrix), options,
       [sigma](Vertex a) { return sample_size(a, sigma); }, gen,
-      /*stream_base=*/(1ull << 63) | (trial << 40), /*path=*/1, to_current,
-      side_labels);
+      /*stream_base=*/(1ull << 63) | attempt_salt(options, 54) |
+          (trial << 40),
+      /*path=*/1, to_current, side_labels);
 
   // Reconstruct the side in original ids on whichever ranks still hold it.
   side_valid = !side_labels.empty();
@@ -461,7 +473,8 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
     rng::Philox gen(options.seed,
                     /*stream=*/0xBA5E0000ull + (static_cast<std::uint64_t>(run)
                                                 << 8) +
-                        static_cast<std::uint64_t>(comm.rank()));
+                        static_cast<std::uint64_t>(comm.rank()) +
+                        attempt_salt(options, 36));
     DistributedMatrix matrix =
         DistributedMatrix::from_edges(comm, n, graph.local());
     std::vector<Vertex> to_current(n);
@@ -473,7 +486,8 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
     const Weight value = recursive_step(
         comm, std::move(matrix), options,
         [](Vertex a) { return std::max<std::uint64_t>(8, a / 16); }, gen,
-        /*stream_base=*/(3ull << 62) | (static_cast<std::uint64_t>(run) << 40),
+        /*stream_base=*/(3ull << 62) | attempt_salt(options, 54) |
+            (static_cast<std::uint64_t>(run) << 40),
         /*path=*/1, to_current, side_labels);
     best = std::min(best, value);
     if (best == 0) break;
@@ -506,7 +520,8 @@ MinCutOutcome min_cut(const bsp::Comm& comm,
         comm.all_gather(graph.local());
     for (std::uint32_t trial = comm.rank(); trial < trials;
          trial += static_cast<std::uint32_t>(p)) {
-      rng::Philox gen(options.seed, /*stream=*/0x3C0000 + trial);
+      rng::Philox gen(options.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
       CutResult candidate =
           sequential_min_cut_trial(n, all_edges, options, gen);
       if (candidate.value < best_value) {

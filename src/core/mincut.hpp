@@ -56,6 +56,11 @@ struct MinCutOptions {
   bool want_side = true;
   /// Safety cap on trials.
   std::uint32_t max_trials = 1u << 20;
+  /// Recovery attempt index (resilience::resilient_min_cut). Folded into
+  /// every Philox stream so a retried run draws fresh, independent
+  /// randomness; attempt 0 is bit-identical to the pre-resilience streams
+  /// (pinned by the bsp_counter_invariance_test goldens).
+  std::uint32_t attempt = 0;
 };
 
 struct MinCutOutcome {

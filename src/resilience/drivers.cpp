@@ -1,0 +1,71 @@
+#include "resilience/drivers.hpp"
+
+#include "graph/dist_edge_array.hpp"
+
+namespace camc::resilience {
+
+ResilientMinCutResult resilient_min_cut(bsp::Machine& machine, graph::Vertex n,
+                                        const std::vector<graph::WeightedEdge>& edges,
+                                        const core::MinCutOptions& options,
+                                        const RetryPolicy& policy,
+                                        const bsp::RunOptions& run_options) {
+  ResilientMinCutResult out;
+  const std::function<core::MinCutOutcome(std::uint32_t)> attempt_fn =
+      [&](std::uint32_t attempt) {
+        core::MinCutOptions attempt_options = options;
+        attempt_options.attempt = options.attempt + attempt;
+        core::MinCutOutcome result;
+        machine.run(
+            [&](bsp::Comm& world) {
+              const graph::DistributedEdgeArray dist =
+                  graph::DistributedEdgeArray::scatter(world, n, edges);
+              core::MinCutOutcome mine =
+                  core::min_cut(world, dist, attempt_options);
+              if (world.rank() == 0) result = std::move(mine);
+            },
+            run_options);
+        return result;
+      };
+  std::optional<core::MinCutOutcome> result =
+      run_with_recovery<core::MinCutOutcome>(policy, attempt_fn,
+                                             &out.recovery);
+  if (result.has_value()) {
+    out.result = std::move(*result);
+    out.ok = true;
+  }
+  return out;
+}
+
+ResilientApproxMinCutResult resilient_approx_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges,
+    const core::ApproxMinCutOptions& options, const RetryPolicy& policy,
+    const bsp::RunOptions& run_options) {
+  ResilientApproxMinCutResult out;
+  const std::function<core::ApproxMinCutResult(std::uint32_t)> attempt_fn =
+      [&](std::uint32_t attempt) {
+        core::ApproxMinCutOptions attempt_options = options;
+        attempt_options.attempt = options.attempt + attempt;
+        core::ApproxMinCutResult result;
+        machine.run(
+            [&](bsp::Comm& world) {
+              const graph::DistributedEdgeArray dist =
+                  graph::DistributedEdgeArray::scatter(world, n, edges);
+              const core::ApproxMinCutResult mine =
+                  core::approx_min_cut(world, dist, attempt_options);
+              if (world.rank() == 0) result = mine;
+            },
+            run_options);
+        return result;
+      };
+  std::optional<core::ApproxMinCutResult> result =
+      run_with_recovery<core::ApproxMinCutResult>(policy, attempt_fn,
+                                                  &out.recovery);
+  if (result.has_value()) {
+    out.result = *result;
+    out.ok = true;
+  }
+  return out;
+}
+
+}  // namespace camc::resilience

@@ -1,0 +1,55 @@
+#pragma once
+
+// Recovery drivers for the Monte-Carlo layers.
+//
+// A min_cut / approx_min_cut run that dies from a fault (injected or
+// real: crash, stall + watchdog, corruption-induced error, RankAborted
+// cascade) is retried with bounded exponential backoff on fresh Philox
+// streams — the attempt index is folded into every stream derivation (see
+// MinCutOptions::attempt), so retries draw independent randomness while a
+// no-fault run (attempt 0) stays bit-identical to the unwrapped
+// algorithm. When the retry budget runs out the driver degrades
+// gracefully: ok = false plus the full RecoveryReport, never an exception
+// for a fault-class failure. Non-fault errors (contract rejections,
+// algorithm bugs) propagate unchanged.
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/mincut.hpp"
+#include "graph/edge.hpp"
+#include "resilience/retry.hpp"
+
+namespace camc::resilience {
+
+struct ResilientMinCutResult {
+  core::MinCutOutcome result;  ///< valid iff ok
+  bool ok = false;
+  RecoveryReport recovery;
+};
+
+/// Scatters `edges` and runs core::min_cut on `machine`, retrying
+/// fault-killed runs per `policy`. `run_options` (watchdog deadline,
+/// extra injector) applies to every attempt.
+ResilientMinCutResult resilient_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges,
+    const core::MinCutOptions& options = {}, const RetryPolicy& policy = {},
+    const bsp::RunOptions& run_options = {});
+
+struct ResilientApproxMinCutResult {
+  core::ApproxMinCutResult result;  ///< valid iff ok
+  bool ok = false;
+  RecoveryReport recovery;
+};
+
+/// Same shape for the O(log n)-approximate cut.
+ResilientApproxMinCutResult resilient_approx_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges,
+    const core::ApproxMinCutOptions& options = {},
+    const RetryPolicy& policy = {}, const bsp::RunOptions& run_options = {});
+
+}  // namespace camc::resilience

@@ -1,0 +1,191 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "rng/philox.hpp"
+
+namespace camc::resilience {
+
+namespace {
+
+const char* kind_name(bsp::FaultKind kind) {
+  switch (kind) {
+    case bsp::FaultKind::kNone:
+      return "none";
+    case bsp::FaultKind::kCrash:
+      return "crash";
+    case bsp::FaultKind::kStall:
+      return "stall";
+    case bsp::FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+/// FNV-1a over the collective name, so the corruption stream is a pure
+/// function of the fault site (not of string-literal addresses).
+std::uint64_t hash_name(const char* name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* c = name; c != nullptr && *c != '\0'; ++c) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*c));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind) << "@rank" << rank << ",superstep" << superstep;
+  out << "," << (collective.empty() ? "any" : collective);
+  if (max_fires != 1) out << ",fires<=" << max_fires;
+  return out.str();
+}
+
+void FaultPlan::add(FaultSpec spec) {
+  auto armed = std::make_unique<Armed>();
+  armed->spec = std::move(spec);
+  faults_.push_back(std::move(armed));
+}
+
+void FaultPlan::add_crash(int rank, std::uint64_t superstep,
+                          std::string collective, std::uint32_t max_fires) {
+  add(FaultSpec{rank, superstep, std::move(collective),
+                bsp::FaultKind::kCrash, max_fires});
+}
+
+void FaultPlan::add_stall(int rank, std::uint64_t superstep,
+                          std::string collective, std::uint32_t max_fires) {
+  add(FaultSpec{rank, superstep, std::move(collective),
+                bsp::FaultKind::kStall, max_fires});
+}
+
+void FaultPlan::add_corruption(int rank, std::uint64_t superstep,
+                               std::string collective,
+                               std::uint32_t max_fires) {
+  add(FaultSpec{rank, superstep, std::move(collective),
+                bsp::FaultKind::kCorrupt, max_fires});
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int ranks,
+                            std::uint64_t max_superstep, int faults,
+                            bool allow_stalls) {
+  FaultPlan plan(seed);
+  rng::Philox gen(seed, /*stream=*/0xFA017ull);
+  for (int i = 0; i < faults; ++i) {
+    FaultSpec spec;
+    spec.rank = static_cast<int>(
+        gen.bounded(static_cast<std::uint64_t>(ranks > 0 ? ranks : 1)));
+    spec.superstep = gen.bounded(max_superstep > 0 ? max_superstep : 1);
+    const std::uint64_t draw = gen.bounded(allow_stalls ? 3 : 2);
+    spec.kind = draw == 0   ? bsp::FaultKind::kCrash
+                : draw == 1 ? bsp::FaultKind::kCorrupt
+                            : bsp::FaultKind::kStall;
+    spec.max_fires = 1;
+    plan.add(std::move(spec));
+  }
+  return plan;
+}
+
+bsp::FaultKind FaultPlan::at_collective(const bsp::FaultSite& site) noexcept {
+  for (const std::unique_ptr<Armed>& armed : faults_) {
+    const FaultSpec& spec = armed->spec;
+    if (spec.kind == bsp::FaultKind::kNone) continue;
+    if (spec.rank != site.rank || spec.superstep != site.superstep) continue;
+    if (!spec.collective.empty() &&
+        (site.collective == nullptr || spec.collective != site.collective))
+      continue;
+    if (spec.max_fires != 0) {
+      // Claim one fire atomically; a spent spec never fires again, which
+      // is what lets a retried run get past the fault it died from.
+      std::uint32_t fired = armed->fires.load(std::memory_order_relaxed);
+      bool claimed = false;
+      while (fired < spec.max_fires) {
+        if (armed->fires.compare_exchange_weak(fired, fired + 1,
+                                               std::memory_order_relaxed)) {
+          claimed = true;
+          break;
+        }
+      }
+      if (!claimed) continue;
+    } else {
+      armed->fires.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (spec.kind) {
+      case bsp::FaultKind::kCrash:
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case bsp::FaultKind::kStall:
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case bsp::FaultKind::kCorrupt:
+        corruptions_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case bsp::FaultKind::kNone:
+        break;
+    }
+    return spec.kind;
+  }
+  return bsp::FaultKind::kNone;
+}
+
+void FaultPlan::corrupt_payload(const bsp::FaultSite& site, void* data,
+                                std::size_t bytes) noexcept {
+  // Corrupt 4-byte lanes, not 8-byte words: every index-typed field in a
+  // collective payload is a 4-byte graph::Vertex on a 4-byte boundary, so
+  // decreasing a lane strictly decreases any index it covers — whereas
+  // decreasing a 64-bit word can *increase* its low 32-bit lane through a
+  // borrow and push a packed vertex id out of range (found by the fault
+  // campaign as an OOB read in bsp_sv_components). A uint64 field also
+  // strictly decreases when either of its lanes does, so the fault.hpp
+  // domain-safety contract holds for both widths.
+  const std::size_t lanes = bytes / sizeof(std::uint32_t);
+  if (lanes == 0 || data == nullptr) return;
+  // Stream is a pure function of (plan seed, site) => the same schedule
+  // corrupts the same payload the same way on every run.
+  rng::Philox gen(seed_,
+                  /*stream=*/0xC0442ull ^
+                      (static_cast<std::uint64_t>(site.rank) << 48) ^
+                      (site.superstep << 16) ^ hash_name(site.collective));
+  const std::uint64_t flips = 1 + gen.bounded(std::min<std::uint64_t>(lanes, 4));
+  bool mutated = false;
+  auto* base = static_cast<unsigned char*>(data);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::uint64_t index = gen.bounded(lanes);
+    std::uint32_t lane;
+    std::memcpy(&lane, base + index * sizeof(lane), sizeof(lane));
+    if (lane == 0) continue;  // already the domain floor
+    const std::uint32_t corrupted =
+        static_cast<std::uint32_t>(gen.bounded(lane));
+    std::memcpy(base + index * sizeof(lane), &corrupted, sizeof(corrupted));
+    mutated = true;
+  }
+  if (mutated) corruptions_applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "plan(seed=" << seed_ << "):";
+  if (faults_.empty()) out << " (empty)";
+  for (const std::unique_ptr<Armed>& armed : faults_)
+    out << " " << armed->spec.to_string();
+  return out.str();
+}
+
+ScopedFaultInjection::ScopedFaultInjection(bsp::FaultInjector* injector,
+                                           double watchdog_deadline_seconds)
+    : previous_injector_(bsp::global_fault_injector()),
+      previous_deadline_(bsp::global_watchdog_deadline()) {
+  bsp::set_global_fault_injector(injector);
+  bsp::set_global_watchdog_deadline(watchdog_deadline_seconds);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  bsp::set_global_fault_injector(previous_injector_);
+  bsp::set_global_watchdog_deadline(previous_deadline_);
+}
+
+}  // namespace camc::resilience

@@ -1,0 +1,141 @@
+#pragma once
+
+// Deterministic, seeded fault plans — the standard bsp::FaultInjector.
+//
+// A FaultPlan is a list of armed fault specs, each keyed the same way the
+// runtime keys its injection hook: (world rank, run-cumulative superstep
+// index, collective name — empty matches any collective). Specs fire a
+// bounded number of times (once by default), so a retried run does not
+// re-hit the same fault: the recovery drivers rely on exactly this to make
+// "crash one trial, retry succeeds" deterministic.
+//
+// Payload corruption is deterministic (Philox keyed by the plan seed and
+// the fault site) and domain-safe per the fault.hpp contract: corrupted
+// 4-byte lanes only ever decrease, so index-typed payloads stay in range
+// and the corruption surfaces as a wrong answer or a thrown error, never
+// as out-of-bounds UB.
+//
+// FaultPlan::random derives a whole schedule from a seed — the fault
+// campaign (check::run_fault_campaign) sweeps such schedules across every
+// oracle.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bsp/fault.hpp"
+
+namespace camc::resilience {
+
+/// One armed fault. `collective` empty means "any collective at that
+/// (rank, superstep)"; `max_fires` 0 means unlimited.
+struct FaultSpec {
+  int rank = 0;
+  std::uint64_t superstep = 0;
+  std::string collective;
+  bsp::FaultKind kind = bsp::FaultKind::kNone;
+  std::uint32_t max_fires = 1;
+
+  std::string to_string() const;
+};
+
+class FaultPlan final : public bsp::FaultInjector {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // Movable (for the `random` factory); the atomic counters carry over by
+  // value. Not copyable, and must not be moved while installed in a run.
+  FaultPlan(FaultPlan&& other) noexcept
+      : seed_(other.seed_),
+        faults_(std::move(other.faults_)),
+        crashes_(other.crashes_.load()),
+        stalls_(other.stalls_.load()),
+        corruptions_(other.corruptions_.load()),
+        corruptions_applied_(other.corruptions_applied_.load()) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+  FaultPlan& operator=(FaultPlan&&) = delete;
+
+  void add(FaultSpec spec);
+  void add_crash(int rank, std::uint64_t superstep,
+                 std::string collective = "", std::uint32_t max_fires = 1);
+  void add_stall(int rank, std::uint64_t superstep,
+                 std::string collective = "", std::uint32_t max_fires = 1);
+  void add_corruption(int rank, std::uint64_t superstep,
+                      std::string collective = "",
+                      std::uint32_t max_fires = 1);
+
+  /// Derives a whole schedule from `seed`: `faults` specs with ranks below
+  /// `ranks`, supersteps below `max_superstep`, any-collective keys, and a
+  /// seed-chosen kind (stalls only when `allow_stalls` — a stall without a
+  /// watchdog parks for fault.hpp's long fallback).
+  static FaultPlan random(std::uint64_t seed, int ranks,
+                          std::uint64_t max_superstep, int faults,
+                          bool allow_stalls);
+
+  // bsp::FaultInjector -----------------------------------------------------
+  bsp::FaultKind at_collective(const bsp::FaultSite& site) noexcept override;
+  void corrupt_payload(const bsp::FaultSite& site, void* data,
+                       std::size_t bytes) noexcept override;
+
+  // Telemetry (cumulative; atomic — the drivers read them between runs).
+  std::uint64_t crashes_fired() const noexcept { return crashes_.load(); }
+  std::uint64_t stalls_fired() const noexcept { return stalls_.load(); }
+  std::uint64_t corruptions_fired() const noexcept {
+    return corruptions_.load();
+  }
+  /// Corruptions that actually mutated a data-plane payload (a fired
+  /// corruption on a control-sized payload leaves it intact).
+  std::uint64_t corruptions_applied() const noexcept {
+    return corruptions_applied_.load();
+  }
+  std::uint64_t faults_fired() const noexcept {
+    return crashes_fired() + stalls_fired() + corruptions_fired();
+  }
+
+  std::size_t fault_count() const noexcept { return faults_.size(); }
+  const FaultSpec& spec(std::size_t index) const {
+    return faults_[index]->spec;
+  }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::string to_string() const;
+
+ private:
+  /// A spec plus its atomic fire counter. Heap-held because atomics are
+  /// immovable and the plan's vector must stay growable while idle.
+  struct Armed {
+    FaultSpec spec;
+    std::atomic<std::uint32_t> fires{0};
+  };
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Armed>> faults_;
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> corruptions_applied_{0};
+};
+
+/// RAII installation of a process-wide injector and watchdog deadline
+/// (bsp::set_global_fault_injector / set_global_watchdog_deadline), for
+/// driving faults through code that owns its Machines — the oracle
+/// registry's cached pools, most notably. Restores the previous globals on
+/// destruction. Install only while no run is in flight.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(bsp::FaultInjector* injector,
+                                double watchdog_deadline_seconds = 0.0);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  bsp::FaultInjector* previous_injector_;
+  double previous_deadline_;
+};
+
+}  // namespace camc::resilience

@@ -1,0 +1,32 @@
+#include "resilience/retry.hpp"
+
+#include "bsp/barrier.hpp"
+
+namespace camc::resilience {
+
+bool is_transient_fault(const std::exception_ptr& error) noexcept {
+  if (!error) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const bsp::FaultError&) {
+    return true;  // injected crash/stall or watchdog timeout
+  } catch (const bsp::RankAborted&) {
+    return true;  // secondary casualty of a fault on a peer rank
+  } catch (...) {
+    return false;
+  }
+}
+
+double backoff_delay(const RetryPolicy& policy,
+                     std::uint32_t attempt) noexcept {
+  double delay = policy.backoff_base_seconds;
+  if (delay < 0.0) delay = 0.0;
+  for (std::uint32_t i = 0; i < attempt; ++i) {
+    delay *= 2.0;
+    if (delay >= policy.backoff_max_seconds) break;
+  }
+  if (delay > policy.backoff_max_seconds) delay = policy.backoff_max_seconds;
+  return delay < 0.0 ? 0.0 : delay;
+}
+
+}  // namespace camc::resilience

@@ -1,0 +1,126 @@
+#pragma once
+
+// Bounded-backoff retry of fault-killed work.
+//
+// run_with_recovery() retries an attempt function while its failures are
+// *transient faults* — injected crashes/stalls, watchdog timeouts, and
+// RankAborted casualties (the signatures of a run dying from a fault,
+// real or injected). Everything else — overflow_error from the checked
+// Weight contract, invalid_argument from collective validation, algorithm
+// bugs — propagates immediately: retrying a deterministic error would
+// loop forever, and swallowing a contract rejection would hide it from
+// the layers (the fuzzer) that classify it.
+//
+// The attempt function receives the attempt index; the Monte-Carlo
+// drivers (drivers.hpp) fold it into their Philox streams so each retry
+// draws fresh, independent randomness while attempt 0 stays bit-identical
+// to an unwrapped run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bsp/fault.hpp"
+
+namespace camc::resilience {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). At least 1 is always made.
+  std::uint32_t max_attempts = 3;
+  /// Exponential backoff before retry k is base * 2^k, capped below.
+  double backoff_base_seconds = 0.001;
+  double backoff_max_seconds = 0.25;
+};
+
+/// One line of the recovery log.
+struct AttemptRecord {
+  std::uint32_t attempt = 0;
+  bool ok = false;
+  bool transient_fault = false;  ///< failure was retryable
+  std::string error;             ///< what() of the failure, empty on ok
+  double backoff_seconds = 0.0;  ///< slept before the next attempt
+};
+
+/// What happened across all attempts of one recovered computation.
+struct RecoveryReport {
+  bool ok = false;
+  std::uint32_t attempts = 0;
+  std::vector<AttemptRecord> log;
+  /// The watchdog's forensics, when a watchdog timeout was among the
+  /// failures (the most recent one).
+  std::shared_ptr<const bsp::RunReport> last_run_report;
+
+  std::uint64_t faults_survived() const noexcept {
+    std::uint64_t count = 0;
+    for (const AttemptRecord& record : log)
+      if (record.transient_fault) ++count;
+    return count;
+  }
+};
+
+/// True for the failure classes retry can help with: bsp::FaultError
+/// (injected crash/stall, watchdog timeout) and bsp::RankAborted
+/// (secondary casualty of either). Deterministic errors are not transient.
+bool is_transient_fault(const std::exception_ptr& error) noexcept;
+
+/// Backoff before the retry following failed attempt `attempt` (0-based):
+/// min(base * 2^attempt, max), never negative.
+double backoff_delay(const RetryPolicy& policy, std::uint32_t attempt) noexcept;
+
+/// Runs `attempt_fn(attempt)` until it succeeds, a non-transient error
+/// propagates, or the attempt budget is exhausted (returns nullopt — the
+/// graceful-degradation path; the report says why). `report` (optional)
+/// receives the full attempt log either way.
+template <class T>
+std::optional<T> run_with_recovery(
+    const RetryPolicy& policy,
+    const std::function<T(std::uint32_t)>& attempt_fn,
+    RecoveryReport* report = nullptr) {
+  RecoveryReport local;
+  RecoveryReport& out = report != nullptr ? *report : local;
+  out = RecoveryReport{};
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    AttemptRecord record;
+    record.attempt = attempt;
+    try {
+      T value = attempt_fn(attempt);
+      record.ok = true;
+      out.log.push_back(std::move(record));
+      out.ok = true;
+      return value;
+    } catch (const std::exception& e) {
+      record.error = e.what();
+      const std::exception_ptr error = std::current_exception();
+      record.transient_fault = is_transient_fault(error);
+      try {
+        std::rethrow_exception(error);
+      } catch (const bsp::WatchdogTimeout& timeout) {
+        out.last_run_report = timeout.shared_report();
+      } catch (...) {
+      }
+      if (!record.transient_fault) {
+        out.log.push_back(std::move(record));
+        throw;
+      }
+      const bool last = attempt + 1 >= attempts;
+      if (!last) {
+        record.backoff_seconds = backoff_delay(policy, attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(record.backoff_seconds));
+      }
+      out.log.push_back(std::move(record));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace camc::resilience

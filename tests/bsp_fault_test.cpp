@@ -1,0 +1,288 @@
+// Fault-injection hooks in the BSP runtime: keyed crash/corruption firing,
+// fire-once semantics, abort forensics in RankStats/RunReport (superstep and
+// collective at abort time), validation throws that abort the tree before
+// stranding peers, and abort cascades through split() sub-communicators and
+// the spawn-per-run machine path.
+
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsp/comm.hpp"
+#include "bsp/fault.hpp"
+#include "bsp/machine.hpp"
+#include "resilience/fault_plan.hpp"
+
+namespace camc::bsp {
+namespace {
+
+using resilience::FaultPlan;
+
+RunOptions with_injector(FaultInjector& injector) {
+  RunOptions options;
+  options.injector = &injector;
+  return options;
+}
+
+TEST(FaultInjection, CrashFiresAtKeyedSiteOnly) {
+  FaultPlan plan(/*seed=*/11);
+  plan.add_crash(/*rank=*/1, /*superstep=*/2);
+  Machine machine(4);
+  std::atomic<int> crashes{0};
+  try {
+    machine.run(
+        [&](Comm& world) {
+          for (int i = 0; i < 5; ++i) world.barrier();
+        },
+        with_injector(plan));
+    FAIL() << "expected InjectedCrash";
+  } catch (const InjectedCrash& e) {
+    ++crashes;
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("superstep 2"), std::string::npos);
+  }
+  EXPECT_EQ(crashes.load(), 1);
+  EXPECT_EQ(plan.crashes_fired(), 1u);
+}
+
+TEST(FaultInjection, FireOnceFaultDoesNotRecurOnRetry) {
+  FaultPlan plan(/*seed=*/12);
+  plan.add_crash(/*rank=*/0, /*superstep=*/1);
+  Machine machine(3);
+  const auto spmd = [](Comm& world) {
+    for (int i = 0; i < 4; ++i) world.barrier();
+  };
+  EXPECT_THROW(machine.run(spmd, with_injector(plan)), InjectedCrash);
+  // The spec is spent: the identical run now passes (what the recovery
+  // drivers rely on).
+  EXPECT_NO_THROW(machine.run(spmd, with_injector(plan)));
+  EXPECT_EQ(plan.crashes_fired(), 1u);
+}
+
+TEST(FaultInjection, CollectiveKeyedFaultSkipsOtherCollectives) {
+  FaultPlan plan(/*seed=*/13);
+  plan.add_crash(/*rank=*/0, /*superstep=*/1, /*collective=*/"gather");
+  Machine machine(2);
+  // Superstep 1 is a barrier, not a gather: nothing fires.
+  EXPECT_NO_THROW(machine.run(
+      [](Comm& world) {
+        world.barrier();
+        world.barrier();
+        world.barrier();
+      },
+      with_injector(plan)));
+  EXPECT_EQ(plan.faults_fired(), 0u);
+}
+
+TEST(FaultInjection, CorruptionIsDeterministicAndLaneDecreasing) {
+  // Two identical plans corrupt the same broadcast payload identically,
+  // and every aligned 4-byte lane only ever decreases (the domain-safety
+  // contract that keeps vertex ids in range).
+  const std::vector<std::uint32_t> original(64, 0x01020304u);
+  auto corrupted_payload = [&](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.add_corruption(/*rank=*/1, /*superstep=*/0, "broadcast");
+    Machine machine(2);
+    std::vector<std::uint32_t> received;
+    machine.run(
+        [&](Comm& world) {
+          std::vector<std::uint32_t> data;
+          if (world.rank() == 0) data = original;
+          world.broadcast(data);
+          if (world.rank() == 1) received = data;
+        },
+        with_injector(plan));
+    EXPECT_EQ(plan.corruptions_fired(), 1u);
+    EXPECT_EQ(plan.corruptions_applied(), 1u);
+    return received;
+  };
+  const std::vector<std::uint32_t> first = corrupted_payload(99);
+  const std::vector<std::uint32_t> second = corrupted_payload(99);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, original);
+  ASSERT_EQ(first.size(), original.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_LE(first[i], original[i]) << "lane " << i << " increased";
+}
+
+TEST(FaultInjection, SmallPayloadsAreNeverCorrupted) {
+  FaultPlan plan(/*seed=*/14);
+  plan.add_corruption(/*rank=*/1, /*superstep=*/0, "broadcast");
+  Machine machine(2);
+  std::vector<int> received;
+  machine.run(
+      [&](Comm& world) {
+        std::vector<int> data;
+        if (world.rank() == 0) data = {7, 8, 9};  // 12 bytes: control-sized
+        world.broadcast(data);
+        if (world.rank() == 1) received = data;
+      },
+      with_injector(plan));
+  // The fault fires (the spec is consumed) but the payload is exempt.
+  EXPECT_EQ(plan.corruptions_fired(), 1u);
+  EXPECT_EQ(plan.corruptions_applied(), 0u);
+  EXPECT_EQ(received, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(FaultInjection, AbortForensicsRecordSuperstepAndCollective) {
+  FaultPlan plan(/*seed=*/15);
+  plan.add_crash(/*rank=*/2, /*superstep=*/3, "all_gather");
+  Machine machine(4);
+  EXPECT_THROW(machine.run(
+                   [](Comm& world) {
+                     world.barrier();
+                     world.barrier();
+                     world.barrier();
+                     const std::vector<int> mine{world.rank()};
+                     (void)world.all_gather(std::span<const int>(mine));
+                     world.barrier();
+                   },
+                   with_injector(plan)),
+               InjectedCrash);
+  const auto report = machine.last_run_report();
+  ASSERT_NE(report, nullptr);
+  ASSERT_EQ(report->ranks.size(), 4u);
+  const RankOutcome& crashed = report->ranks[2];
+  EXPECT_EQ(crashed.state, RankState::kCrashed);
+  EXPECT_FALSE(crashed.ok);
+  EXPECT_EQ(crashed.last_superstep, 3u);
+  ASSERT_NE(crashed.last_collective, nullptr);
+  EXPECT_STREQ(crashed.last_collective, "all_gather");
+  // Peers unwound as abort casualties, and their forensics name the
+  // collective they were parked in when the tree came down.
+  for (const int peer : {0, 1, 3}) {
+    EXPECT_EQ(report->ranks[static_cast<std::size_t>(peer)].state,
+              RankState::kAborted);
+    EXPECT_FALSE(report->ranks[static_cast<std::size_t>(peer)].ok);
+  }
+}
+
+// --- S2: validation throws must abort the tree before peers block ---------
+
+TEST(CollectiveValidation, ScattervCountMismatchDoesNotStrandPeers) {
+  Machine machine(4);
+  std::atomic<int> aborted_peers{0};
+  try {
+    machine.run([&](Comm& world) {
+      if (world.rank() == 0) {
+        // Root passes the wrong number of counts: peers are already
+        // heading into the data-exchange barrier and must be released.
+        const std::vector<int> data{1, 2, 3, 4};
+        const std::vector<std::uint64_t> counts{2, 2};  // comm size is 4
+        (void)world.scatterv(data, counts);
+      } else {
+        try {
+          (void)world.scatterv(std::vector<int>{},
+                               std::vector<std::uint64_t>{});
+        } catch (const RankAborted&) {
+          ++aborted_peers;
+          throw;
+        }
+      }
+    });
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scatterv"), std::string::npos);
+  }
+  EXPECT_EQ(aborted_peers.load(), 3);
+}
+
+TEST(CollectiveValidation, AlltoallvCountMismatchDoesNotStrandPeers) {
+  Machine machine(3);
+  std::atomic<int> aborted_peers{0};
+  try {
+    machine.run([&](Comm& world) {
+      try {
+        std::vector<std::vector<int>> outbox(
+            // Rank 1 brings a malformed outbox; everyone else is correct.
+            world.rank() == 1 ? 1u : static_cast<std::size_t>(world.size()));
+        (void)world.alltoallv(outbox);
+      } catch (const RankAborted&) {
+        ++aborted_peers;
+        throw;
+      }
+    });
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("alltoallv"), std::string::npos);
+  }
+  EXPECT_EQ(aborted_peers.load(), 2);
+}
+
+// --- S3: abort cascades through split() depth >= 2 and spawn-per-run ------
+
+TEST(AbortCascade, CrashInsideDepthTwoSplitReleasesAllRanks) {
+  Machine machine(4);
+  // One rank crashes while parked in a sub-sub-communicator collective;
+  // every other rank — in sibling sub-comms or the world — must unwind.
+  std::atomic<int> unwound{0};
+  EXPECT_THROW(
+      machine.run([&](Comm& world) {
+        try {
+          Comm half = world.split(world.rank() / 2);
+          Comm quarter = half.split(half.rank());
+          if (world.rank() == 3)
+            throw std::runtime_error("boom in the leaf comm");
+          for (int i = 0; i < 64; ++i) {
+            quarter.barrier();
+            half.barrier();
+            world.barrier();
+          }
+        } catch (...) {
+          ++unwound;
+          throw;
+        }
+      }),
+      std::runtime_error);
+  EXPECT_EQ(unwound.load(), 4);
+}
+
+TEST(AbortCascade, InjectedCrashAtSplitDepthTwoCollective) {
+  FaultPlan plan(/*seed=*/17);
+  // Supersteps are counted per rank across the whole tree; superstep 2 on
+  // rank 0 lands inside the depth-2 communicator's collective sequence.
+  plan.add_crash(/*rank=*/0, /*superstep=*/2);
+  Machine machine(4);
+  EXPECT_THROW(machine.run(
+                   [](Comm& world) {
+                     Comm half = world.split(world.rank() / 2);
+                     Comm pair = half.split(0);
+                     for (int i = 0; i < 8; ++i) pair.barrier();
+                     world.barrier();
+                   },
+                   with_injector(plan)),
+               InjectedCrash);
+  EXPECT_EQ(plan.crashes_fired(), 1u);
+}
+
+TEST(AbortCascade, SpawnPerRunMachineSurvivesInjectedCrash) {
+  FaultPlan plan(/*seed=*/18);
+  plan.add_crash(/*rank=*/1, /*superstep=*/1);
+  Machine machine(4, /*persistent=*/false);
+  const auto spmd = [](Comm& world) {
+    for (int i = 0; i < 3; ++i) world.barrier();
+  };
+  EXPECT_THROW(machine.run(spmd, with_injector(plan)), InjectedCrash);
+  // The machine is reusable after the crash, and a clean run stays clean.
+  const RunOutcome outcome = machine.run(spmd, with_injector(plan));
+  EXPECT_EQ(outcome.stats.supersteps, 3u);
+}
+
+TEST(FaultInjection, NoInjectorMeansNoReportMachinery) {
+  Machine machine(2);
+  const RunOutcome outcome = machine.run([](Comm& world) { world.barrier(); });
+  // Unmonitored runs still produce a (cheap) report from RankStats.
+  EXPECT_FALSE(outcome.report.watchdog_fired);
+  ASSERT_EQ(outcome.report.ranks.size(), 2u);
+  for (const RankOutcome& rank : outcome.report.ranks) {
+    EXPECT_TRUE(rank.ok);
+    EXPECT_EQ(rank.state, RankState::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace camc::bsp

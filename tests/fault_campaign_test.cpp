@@ -1,0 +1,74 @@
+// Fault campaign: a deterministic slice must classify every schedule as
+// recovery or structured failure (never an incident), measure watchdog
+// latency, and — the meta-test — flag a planted non-fault bug as an
+// INCIDENT instead of absorbing it into the retry machinery.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/faultcampaign.hpp"
+#include "core/mincut.hpp"
+
+namespace camc::check {
+namespace {
+
+TEST(FaultCampaign, SmallSliceRecoversOrFailsStructured) {
+  FaultCampaignOptions options;
+  options.seed = 20260805;
+  options.schedules = 12;  // one round through the full oracle registry
+  options.watchdog_deadline_seconds = 1.0;
+  std::ostringstream log;
+  const FaultCampaignReport report = run_fault_campaign(options, &log);
+  EXPECT_TRUE(report.ok()) << log.str();
+  EXPECT_EQ(report.schedules_run, 12u);
+  EXPECT_GE(report.oracle_runs, 12u);
+  // Every schedule landed in exactly one terminal bucket.
+  EXPECT_EQ(report.clean_passes + report.recovered + report.rejected +
+                report.structured_failures,
+            12u);
+  // The stall probe must have been detected, near the deadline.
+  EXPECT_GE(report.watchdog_latency_seconds, 1.0);
+  EXPECT_LT(report.watchdog_latency_seconds, 5.0);
+}
+
+TEST(FaultCampaign, DeterministicAcrossRuns) {
+  FaultCampaignOptions options;
+  options.seed = 4242;
+  options.schedules = 6;
+  options.watchdog_deadline_seconds = 1.0;
+  const FaultCampaignReport first = run_fault_campaign(options);
+  const FaultCampaignReport second = run_fault_campaign(options);
+  EXPECT_EQ(first.oracle_runs, second.oracle_runs);
+  EXPECT_EQ(first.faults_fired(), second.faults_fired());
+  EXPECT_EQ(first.recovered, second.recovered);
+  EXPECT_EQ(first.clean_passes, second.clean_passes);
+  EXPECT_EQ(first.structured_failures, second.structured_failures);
+  EXPECT_EQ(first.incidents.size(), second.incidents.size());
+}
+
+TEST(FaultCampaign, UnknownOracleIsRejectedUpFront) {
+  FaultCampaignOptions options;
+  options.oracle_names = {"no-such-oracle"};
+  EXPECT_THROW(run_fault_campaign(options), std::invalid_argument);
+}
+
+TEST(FaultCampaign, PlantedNonFaultBugBecomesIncident) {
+  // The test-only sequential-trial fault produces silent wrong answers with
+  // no collective faults in play: the campaign must attribute those to the
+  // algorithm (INCIDENT), not to its own injection.
+  core::set_sequential_trial_fault_for_testing(true);
+  FaultCampaignOptions options;
+  options.seed = 20260805;
+  options.schedules = 24;
+  options.oracle_names = {"mincut-sequential"};
+  options.watchdog_deadline_seconds = 1.0;
+  const FaultCampaignReport report = run_fault_campaign(options);
+  core::set_sequential_trial_fault_for_testing(false);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].oracle, "mincut-sequential");
+}
+
+}  // namespace
+}  // namespace camc::check

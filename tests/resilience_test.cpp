@@ -1,0 +1,191 @@
+// Recovery drivers: fault-killed min-cut / approx-cut runs are retried on
+// fresh attempt-salted Philox streams; no-fault runs are bit-identical to
+// the unwrapped algorithms; an exhausted budget degrades gracefully; and
+// non-fault errors propagate instead of being retried.
+
+#include <optional>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/mincut.hpp"
+#include "gen/verification.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "resilience/drivers.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/retry.hpp"
+
+namespace camc::resilience {
+namespace {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+core::MinCutOptions confident_options(std::uint64_t seed) {
+  core::MinCutOptions options;
+  options.success_probability = 0.999;
+  options.seed = seed;
+  return options;
+}
+
+// The acceptance scenario: a crash injected into one trial's collective
+// sequence must not change the answer — the driver retries on a fresh
+// stream and still lands the known minimum cut, for every graph of the
+// verification suite.
+TEST(Resilience, MinCutSurvivesInjectedCrashAcrossVerificationSuite) {
+  bsp::Machine machine(4);
+  for (const auto& g : gen::verification_suite()) {
+    FaultPlan plan(/*seed=*/31);
+    plan.add_crash(/*rank=*/1, /*superstep=*/1);
+    bsp::RunOptions run_options;
+    run_options.injector = &plan;
+    const ResilientMinCutResult out =
+        resilient_min_cut(machine, g.n, g.edges, confident_options(5),
+                          RetryPolicy{}, run_options);
+    ASSERT_TRUE(out.ok) << g.name;
+    EXPECT_EQ(out.result.value, g.min_cut) << g.name;
+    EXPECT_EQ(plan.crashes_fired(), 1u) << g.name;
+    ASSERT_GE(out.recovery.log.size(), 2u) << g.name;
+    EXPECT_FALSE(out.recovery.log[0].ok) << g.name;
+    EXPECT_TRUE(out.recovery.log[0].transient_fault) << g.name;
+    EXPECT_EQ(out.recovery.faults_survived(), 1u) << g.name;
+  }
+}
+
+TEST(Resilience, NoFaultRunMatchesUnwrappedMinCut) {
+  bsp::Machine machine(4);
+  const auto g = gen::dumbbell_graph(6, 2);
+  const core::MinCutOptions options = confident_options(7);
+
+  core::MinCutOutcome plain;
+  machine.run([&](bsp::Comm& world) {
+    const auto dist = graph::DistributedEdgeArray::scatter(world, g.n, g.edges);
+    auto mine = core::min_cut(world, dist, options);
+    if (world.rank() == 0) plain = std::move(mine);
+  });
+
+  const ResilientMinCutResult wrapped =
+      resilient_min_cut(machine, g.n, g.edges, options);
+  ASSERT_TRUE(wrapped.ok);
+  EXPECT_EQ(wrapped.recovery.attempts, 1u);
+  EXPECT_EQ(wrapped.recovery.faults_survived(), 0u);
+  // Attempt 0 draws the exact streams of the unwrapped run.
+  EXPECT_EQ(wrapped.result.value, plain.value);
+  EXPECT_EQ(wrapped.result.trials, plain.trials);
+  EXPECT_EQ(wrapped.result.side, plain.side);
+}
+
+TEST(Resilience, ExhaustedBudgetDegradesGracefully) {
+  bsp::Machine machine(2);
+  const auto g = gen::cycle_graph(8);
+  FaultPlan plan(/*seed=*/32);
+  // max_fires = 0: the crash hits every attempt.
+  plan.add_crash(/*rank=*/0, /*superstep=*/0, /*collective=*/"",
+                 /*max_fires=*/0);
+  bsp::RunOptions run_options;
+  run_options.injector = &plan;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_seconds = 0.0;
+  const ResilientMinCutResult out = resilient_min_cut(
+      machine, g.n, g.edges, confident_options(9), policy, run_options);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.recovery.attempts, 3u);
+  ASSERT_EQ(out.recovery.log.size(), 3u);
+  for (const AttemptRecord& record : out.recovery.log) {
+    EXPECT_FALSE(record.ok);
+    EXPECT_TRUE(record.transient_fault);
+    EXPECT_NE(record.error.find("bsp: injected crash"), std::string::npos);
+  }
+  EXPECT_EQ(plan.crashes_fired(), 3u);
+}
+
+TEST(Resilience, NonFaultErrorsPropagateImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RecoveryReport report;
+  std::uint32_t calls = 0;
+  const std::function<int(std::uint32_t)> attempt_fn =
+      [&](std::uint32_t) -> int {
+    ++calls;
+    throw std::invalid_argument("bad counts");
+  };
+  EXPECT_THROW(run_with_recovery<int>(policy, attempt_fn, &report),
+               std::invalid_argument);
+  // Deterministic errors burn one attempt, not the whole budget.
+  EXPECT_EQ(calls, 1u);
+  ASSERT_EQ(report.log.size(), 1u);
+  EXPECT_FALSE(report.log[0].transient_fault);
+}
+
+TEST(Resilience, WatchdogTimeoutIsTransientAndReportIsCaptured) {
+  bsp::Machine machine(2);
+  const auto g = gen::path_graph(6);
+  FaultPlan plan(/*seed=*/33);
+  plan.add_stall(/*rank=*/1, /*superstep=*/0);
+  bsp::RunOptions run_options;
+  run_options.injector = &plan;
+  run_options.watchdog_deadline_seconds = 0.4;
+  const ResilientMinCutResult out =
+      resilient_min_cut(machine, g.n, g.edges, confident_options(11),
+                        RetryPolicy{}, run_options);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.result.value, g.min_cut);
+  EXPECT_EQ(plan.stalls_fired(), 1u);
+  // The watchdog's forensics rode along on the recovery report.
+  ASSERT_NE(out.recovery.last_run_report, nullptr);
+  EXPECT_TRUE(out.recovery.last_run_report->watchdog_fired);
+}
+
+TEST(Resilience, ApproxMinCutRecoversFromCrash) {
+  bsp::Machine machine(2);
+  const auto g = gen::cycle_graph(16);
+  FaultPlan plan(/*seed=*/34);
+  plan.add_crash(/*rank=*/0, /*superstep=*/2);
+  bsp::RunOptions run_options;
+  run_options.injector = &plan;
+  core::ApproxMinCutOptions options;
+  options.seed = 13;
+  const ResilientApproxMinCutResult out = resilient_approx_min_cut(
+      machine, g.n, g.edges, options, RetryPolicy{}, run_options);
+  ASSERT_TRUE(out.ok);
+  EXPECT_GT(out.result.estimate, 0u);
+  EXPECT_EQ(plan.crashes_fired(), 1u);
+  EXPECT_EQ(out.recovery.faults_survived(), 1u);
+}
+
+TEST(Resilience, BackoffIsBoundedAndMonotone) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 0.001;
+  policy.backoff_max_seconds = 0.25;
+  double previous = 0.0;
+  for (std::uint32_t attempt = 0; attempt < 20; ++attempt) {
+    const double delay = backoff_delay(policy, attempt);
+    EXPECT_GE(delay, previous);
+    EXPECT_LE(delay, policy.backoff_max_seconds);
+    previous = delay;
+  }
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 0), 0.001);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 19), 0.25);
+}
+
+TEST(Resilience, RandomFaultPlansAreDeterministic) {
+  const FaultPlan a = FaultPlan::random(/*seed=*/77, /*ranks=*/4,
+                                        /*max_superstep=*/20, /*faults=*/3,
+                                        /*allow_stalls=*/true);
+  const FaultPlan b = FaultPlan::random(77, 4, 20, 3, true);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.fault_count(), 3u);
+  const FaultPlan c = FaultPlan::random(78, 4, 20, 3, true);
+  EXPECT_NE(a.to_string(), c.to_string());
+  // allow_stalls = false never draws a stall.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, 4, 20, 4, false);
+    for (std::size_t i = 0; i < plan.fault_count(); ++i)
+      EXPECT_NE(plan.spec(i).kind, bsp::FaultKind::kStall);
+  }
+}
+
+}  // namespace
+}  // namespace camc::resilience

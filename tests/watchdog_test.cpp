@@ -1,0 +1,163 @@
+// Watchdog: deadline monitoring of BSP runs. A stalled rank is detected and
+// named in the RunReport instead of hanging the run; clean and merely-slow
+// runs never trip the deadline; the process-wide scoped configuration
+// reaches Machines the caller does not construct.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsp/comm.hpp"
+#include "bsp/fault.hpp"
+#include "bsp/machine.hpp"
+#include "resilience/fault_plan.hpp"
+
+namespace camc::bsp {
+namespace {
+
+using resilience::FaultPlan;
+using resilience::ScopedFaultInjection;
+
+bool contains(const std::vector<int>& ranks, int rank) {
+  return std::find(ranks.begin(), ranks.end(), rank) != ranks.end();
+}
+
+TEST(Watchdog, StalledRankIsDetectedAndNamed) {
+  FaultPlan plan(/*seed=*/21);
+  plan.add_stall(/*rank=*/1, /*superstep=*/2);
+  Machine machine(4);
+  RunOptions options;
+  options.injector = &plan;
+  options.watchdog_deadline_seconds = 0.4;
+  try {
+    machine.run(
+        [](Comm& world) {
+          for (int i = 0; i < 6; ++i) world.barrier();
+        },
+        options);
+    FAIL() << "expected WatchdogTimeout";
+  } catch (const WatchdogTimeout& timeout) {
+    const RunReport& report = timeout.report();
+    EXPECT_TRUE(report.watchdog_fired);
+    EXPECT_GE(report.detection_seconds, 0.4);
+    EXPECT_LT(report.detection_seconds, 5.0);
+    EXPECT_TRUE(contains(report.stragglers, 1)) << report.to_string();
+    ASSERT_EQ(report.ranks.size(), 4u);
+    EXPECT_FALSE(report.ranks[1].ok);
+    // The straggler stalled at superstep 2; the peers got further (they
+    // park in the superstep-2 barrier, which they did enter).
+    EXPECT_EQ(report.ranks[1].last_superstep, 2u);
+  }
+  EXPECT_EQ(plan.stalls_fired(), 1u);
+  // The report is also retained on the machine.
+  const auto last = machine.last_run_report();
+  ASSERT_NE(last, nullptr);
+  EXPECT_TRUE(last->watchdog_fired);
+}
+
+TEST(Watchdog, CleanRunUnderWatchdogPasses) {
+  Machine machine(4);
+  RunOptions options;
+  options.watchdog_deadline_seconds = 5.0;
+  const RunOutcome outcome = machine.run(
+      [](Comm& world) {
+        for (int i = 0; i < 20; ++i) world.barrier();
+      },
+      options);
+  EXPECT_FALSE(outcome.report.watchdog_fired);
+  EXPECT_EQ(outcome.stats.supersteps, 20u);
+  for (const RankOutcome& rank : outcome.report.ranks) {
+    EXPECT_TRUE(rank.ok);
+    EXPECT_EQ(rank.state, RankState::kDone);
+  }
+}
+
+TEST(Watchdog, SlowComputePhaseIsNotAStall) {
+  Machine machine(2);
+  RunOptions options;
+  options.watchdog_deadline_seconds = 1.5;
+  // 300 ms of dead compute between collectives: well inside the deadline,
+  // so the heartbeat freeze never reaches it.
+  EXPECT_NO_THROW(machine.run(
+      [](Comm& world) {
+        world.barrier();
+        if (world.rank() == 1)
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        world.barrier();
+      },
+      options));
+}
+
+TEST(Watchdog, ScopedGlobalConfigurationReachesDefaultRuns) {
+  FaultPlan plan(/*seed=*/22);
+  plan.add_stall(/*rank=*/0, /*superstep=*/1);
+  Machine machine(2);
+  {
+    const ScopedFaultInjection scoped(&plan,
+                                      /*watchdog_deadline_seconds=*/0.4);
+    // No RunOptions at the call site: the run still picks up both the
+    // injector and the deadline from the process-wide configuration.
+    EXPECT_THROW(machine.run([](Comm& world) {
+                   for (int i = 0; i < 4; ++i) world.barrier();
+                 }),
+                 WatchdogTimeout);
+  }
+  // Restored on scope exit: the same schedule (spec already spent anyway)
+  // runs clean with no injector and no watchdog.
+  EXPECT_NO_THROW(machine.run([](Comm& world) {
+    for (int i = 0; i < 4; ++i) world.barrier();
+  }));
+}
+
+TEST(Watchdog, StallWithoutWatchdogUnwindsViaFallback) {
+  // Covered indirectly by fault.hpp's 30 s fallback; here we only assert
+  // that a stall *with* a watchdog does not rely on it: detection happens
+  // near the deadline, far below the fallback.
+  FaultPlan plan(/*seed=*/23);
+  plan.add_stall(/*rank=*/1, /*superstep=*/0);
+  Machine machine(2);
+  RunOptions options;
+  options.injector = &plan;
+  options.watchdog_deadline_seconds = 0.3;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(machine.run([](Comm& world) { world.barrier(); }, options),
+               WatchdogTimeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(Watchdog, ReportToStringNamesStragglersAndStates) {
+  FaultPlan plan(/*seed=*/24);
+  plan.add_stall(/*rank=*/2, /*superstep=*/1);
+  Machine machine(4);
+  RunOptions options;
+  options.injector = &plan;
+  options.watchdog_deadline_seconds = 0.4;
+  try {
+    machine.run(
+        [](Comm& world) {
+          for (int i = 0; i < 4; ++i) world.barrier();
+        },
+        options);
+    FAIL() << "expected WatchdogTimeout";
+  } catch (const WatchdogTimeout& timeout) {
+    EXPECT_TRUE(contains(timeout.report().stragglers, 2));
+    const std::string text = timeout.report().to_string();
+    EXPECT_NE(text.find("stragglers: 2"), std::string::npos) << text;
+    // By the time run() rethrows, the stalled rank has unwound with
+    // InjectedStall, so the final report shows it crashed ("stalled" is
+    // only ever in the provisional mid-run report).
+    EXPECT_NE(text.find("[2 crashed"), std::string::npos) << text;
+    // The exception message carries the same forensics for log scrapers.
+    EXPECT_NE(std::string(timeout.what()).find("bsp: watchdog"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace camc::bsp

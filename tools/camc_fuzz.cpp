@@ -2,6 +2,12 @@
 //
 //   camc_fuzz [--seconds=60] [--max-cases=N] [--seed=S] [--oracle=NAME]...
 //             [--corpus-dir=DIR] [--max-failures=K]
+//   camc_fuzz --faults ...           fault campaign: sweep crash/stall/
+//                                    corruption schedules across the
+//                                    oracles (--max-cases = schedules,
+//                                    --watchdog=SECONDS); exit 0 iff every
+//                                    schedule ended in recovery or a clean
+//                                    structured failure
 //   camc_fuzz --replay=FILE          re-run one corpus file
 //   camc_fuzz --list-oracles
 //   camc_fuzz --inject-bug ...       enable the test-only sequential-trial
@@ -10,13 +16,15 @@
 //                                    vertices (the subsystem's self-test)
 //
 // Exit codes: 0 clean (or replay matched its expect field, or the injected
-// bug was caught), 1 failures found (or injected bug missed), 2 bad usage.
+// bug was caught), 1 failures found (or injected bug missed, or a fault
+// campaign incident), 2 bad usage.
 
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "check/faultcampaign.hpp"
 #include "check/fuzz.hpp"
 #include "core/mincut.hpp"
 
@@ -26,6 +34,8 @@ constexpr const char* kUsage =
     "usage: camc_fuzz [--seconds=60] [--max-cases=N] [--seed=S]\n"
     "                 [--oracle=NAME]... [--corpus-dir=DIR]\n"
     "                 [--max-failures=K] [--inject-bug]\n"
+    "       camc_fuzz --faults [--max-cases=SCHEDULES] [--seed=S]\n"
+    "                 [--oracle=NAME]... [--watchdog=SECONDS]\n"
     "       camc_fuzz --replay=FILE\n"
     "       camc_fuzz --list-oracles";
 
@@ -40,6 +50,9 @@ int main(int argc, char** argv) {
   std::string replay_file;
   bool inject_bug = false;
   bool list_oracles = false;
+  bool fault_campaign = false;
+  bool max_cases_set = false;
+  double watchdog_seconds = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,6 +61,7 @@ int main(int argc, char** argv) {
         options.seconds = std::stod(arg.substr(10));
       } else if (arg.rfind("--max-cases=", 0) == 0) {
         options.max_cases = std::stoull(arg.substr(12));
+        max_cases_set = true;
       } else if (arg.rfind("--seed=", 0) == 0) {
         options.seed = std::stoull(arg.substr(7));
       } else if (arg.rfind("--oracle=", 0) == 0) {
@@ -57,8 +71,12 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         options.max_failures =
             static_cast<std::uint32_t>(std::stoul(arg.substr(15)));
+      } else if (arg.rfind("--watchdog=", 0) == 0) {
+        watchdog_seconds = std::stod(arg.substr(11));
       } else if (arg.rfind("--replay=", 0) == 0) {
         replay_file = arg.substr(9);
+      } else if (arg == "--faults") {
+        fault_campaign = true;
       } else if (arg == "--inject-bug") {
         inject_bug = true;
       } else if (arg == "--list-oracles") {
@@ -80,6 +98,42 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (fault_campaign) {
+      camc::check::FaultCampaignOptions campaign;
+      campaign.seed = options.seed;
+      if (max_cases_set) campaign.schedules = options.max_cases;
+      campaign.oracle_names = options.oracle_names;
+      if (watchdog_seconds >= 0.0)
+        campaign.watchdog_deadline_seconds = watchdog_seconds;
+      const camc::check::FaultCampaignReport report =
+          camc::check::run_fault_campaign(campaign, &std::cerr);
+      std::cout << "FAULTS,seed=" << campaign.seed
+                << ",schedules=" << report.schedules_run
+                << ",oracle_runs=" << report.oracle_runs
+                << ",crashes=" << report.crashes_fired
+                << ",stalls=" << report.stalls_fired
+                << ",corruptions=" << report.corruptions_fired
+                << ",corruptions_applied=" << report.corruptions_applied
+                << ",clean=" << report.clean_passes
+                << ",recovered=" << report.recovered
+                << ",rejected=" << report.rejected
+                << ",structured_failures=" << report.structured_failures
+                << ",detected_corruptions=" << report.detected_corruptions
+                << ",watchdog_detections=" << report.watchdog_detections
+                << ",retries=" << report.retries
+                << ",watchdog_latency=" << report.watchdog_latency_seconds
+                << ",seconds=" << report.elapsed_seconds << "\n";
+      for (const auto& incident : report.incidents)
+        std::cout << "INCIDENT schedule=" << incident.schedule
+                  << " oracle=" << incident.oracle << " " << incident.plan
+                  << " detail=" << incident.detail << "\n";
+      if (report.watchdog_latency_seconds < 0.0) {
+        std::cout << "watchdog failed to detect the stall probe\n";
+        return 1;
+      }
+      return report.ok() ? 0 : 1;
+    }
+
     if (!replay_file.empty()) {
       // --inject-bug composes with --replay so a fault-found corpus file
       // can be re-run against the fault that produced it.

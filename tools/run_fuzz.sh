@@ -4,11 +4,14 @@
 #   tools/run_fuzz.sh                 # default build, 60 s, fixed seed
 #   tools/run_fuzz.sh asan            # same session under ASan+UBSan
 #   tools/run_fuzz.sh default --seconds=300 --seed=$RANDOM
+#   tools/run_fuzz.sh faults          # fault campaign (default preset)
+#   tools/run_fuzz.sh faults --max-cases=200 --watchdog=2
 #
-# The first argument selects the CMake preset (default | asan | tsan);
-# everything after it is passed straight to camc_fuzz. Failing cases are
-# shrunk and written to fuzz-out/<preset>/ — promote real finds into
-# tests/corpus/ so they are replayed by ctest forever.
+# The first argument selects the CMake preset (default | asan | tsan) or
+# the `faults` mode (default preset + --faults campaign); everything after
+# it is passed straight to camc_fuzz. Failing cases are shrunk and written
+# to fuzz-out/<preset>/ — promote real finds into tests/corpus/ so they
+# are replayed by ctest forever.
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -16,16 +19,23 @@ cd "$repo_root"
 
 preset="${1:-default}"
 if [ "$#" -gt 0 ]; then shift; fi
+mode_args=()
 case "$preset" in
   default) build_dir=build ;;
   asan)    build_dir=build-asan ;;
   tsan)    build_dir=build-tsan ;;
-  *) echo "unknown preset '$preset' (want default | asan | tsan)" >&2
+  faults)  preset=default; build_dir=build; mode_args=(--faults) ;;
+  *) echo "unknown preset '$preset' (want default | asan | tsan | faults)" >&2
      exit 2 ;;
 esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)" --target camc_fuzz
+
+if [ "${#mode_args[@]}" -gt 0 ]; then
+  # Fault campaign: no corpus, no time box — a fixed schedule sweep.
+  exec "$build_dir/tools/camc_fuzz" "${mode_args[@]}" --seed=20260805 "$@"
+fi
 
 out_dir="fuzz-out/$preset"
 mkdir -p "$out_dir"
