@@ -1,0 +1,169 @@
+// Service-layer benchmark: queries/second and latency percentiles of the
+// in-process QueryEngine under workloads that isolate each serving layer.
+//
+// Series (one row per (workload, p) pair):
+//   cold      distinct queries, empty cache — raw batched execution
+//   warm      the same queries replayed — pure cache-hit serving
+//   coalesce  many concurrent duplicates of few queries — dedup in flight
+//   mixed     80/20 repeated/fresh cc + approx blend — the realistic mix
+//
+// The warm/cold throughput ratio here is the bench-harness version of the
+// camc_loadgen acceptance check (which measures the same thing through the
+// NDJSON pipe); both should show an order-of-magnitude cache effect.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "gen/generators.hpp"
+#include "svc/graph_store.hpp"
+#include "svc/metrics.hpp"
+#include "svc/query_engine.hpp"
+#include "svc/result_cache.hpp"
+
+namespace {
+
+using namespace camc;
+
+struct Measured {
+  double seconds = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t ok = 0;
+  double hit_rate = 0.0;
+};
+
+/// Submits `items` from `clients` closed-loop threads and waits for all.
+Measured drive(svc::QueryEngine& engine, svc::ResultCache& cache,
+               const std::shared_ptr<const svc::StoredGraph>& graph,
+               const std::vector<std::pair<svc::QueryKind, std::uint64_t>>& items,
+               int clients) {
+  std::mutex mutex;
+  std::vector<double> latencies;
+  std::uint64_t done = 0, ok = 0;
+  const auto hits_before = cache.stats().hits;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (std::size_t i = static_cast<std::size_t>(c); i < items.size();
+           i += static_cast<std::size_t>(clients)) {
+        svc::QueryRequest request;
+        request.graph = graph;
+        request.kind = items[i].first;
+        request.params.seed = items[i].second;
+        std::condition_variable wake;
+        bool finished = false;
+        engine.submit(request, [&](const svc::QueryResponse& response) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          ++done;
+          if (response.status == svc::QueryStatus::kOk) {
+            ++ok;
+            latencies.push_back(response.latency_seconds * 1e3);
+          }
+          finished = true;
+          wake.notify_all();
+        });
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&finished] { return finished; });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  Measured out;
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.ok = ok;
+  out.p50_ms = svc::percentile(latencies, 50);
+  out.p95_ms = svc::percentile(latencies, 95);
+  out.p99_ms = svc::percentile(latencies, 99);
+  const auto stats = cache.stats();
+  out.hit_rate = done > 0 ? static_cast<double>(stats.hits - hits_before) /
+                                static_cast<double>(done)
+                          : 0.0;
+  return out;
+}
+
+std::vector<std::pair<svc::QueryKind, std::uint64_t>> workload(
+    const std::string& name, std::size_t requests) {
+  std::vector<std::pair<svc::QueryKind, std::uint64_t>> items;
+  items.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (name == "cold" || name == "warm") {
+      items.emplace_back(svc::QueryKind::kCc, 1000 + i);  // all distinct
+    } else if (name == "coalesce") {
+      items.emplace_back(svc::QueryKind::kCc, 2000 + i % 4);  // 4 uniques
+    } else {  // mixed: 80% repeated cc, 20% fresh approx
+      if (i % 5 == 4)
+        items.emplace_back(svc::QueryKind::kApproxMinCut, 3000 + i);
+      else
+        items.emplace_back(svc::QueryKind::kCc, 4000 + i % 16);
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const bench::Options options = bench::parse(argc, argv);
+  const auto n =
+      static_cast<graph::Vertex>(bench::scaled(4000, options.scale));
+  const std::uint64_t m = bench::scaled(16000, options.scale);
+  const std::size_t requests = bench::scaled(
+      static_cast<std::uint64_t>(512), options.scale, /*min_value=*/32);
+
+  bench::Table table(options.json);
+  table.comment("query service: throughput and latency per serving layer");
+  table.comment("graph: er n=" + std::to_string(n) + " m=" +
+                std::to_string(m) + ", " + std::to_string(requests) +
+                " requests, 4 closed-loop clients");
+  table.header("workload", "p", "requests", "ok", "seconds", "qps", "p50_ms",
+               "p95_ms", "p99_ms", "cache_hit_rate");
+
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    svc::GraphStore store;
+    store.put("g", n, gen::erdos_renyi(n, m, options.seed));
+    const auto graph = store.get("g");
+
+    svc::QueryEngineOptions engine_options;
+    engine_options.threads = p;
+
+    const auto report = [&](const std::string& name,
+                            const Measured& measured, std::size_t count) {
+      table.row(name, p, count, measured.ok, measured.seconds,
+                measured.seconds > 0
+                    ? static_cast<double>(measured.ok) / measured.seconds
+                    : 0.0,
+                measured.p50_ms, measured.p95_ms, measured.p99_ms,
+                measured.hit_rate);
+    };
+
+    {
+      // cold/warm share one engine+cache pair: "warm" replays the cold
+      // workload into the now-populated cache.
+      svc::ResultCache cache(1 << 16);
+      svc::QueryEngine engine(cache, engine_options);
+      const auto items = workload("cold", requests);
+      report("cold", drive(engine, cache, graph, items, 4), items.size());
+      report("warm", drive(engine, cache, graph, items, 4), items.size());
+    }
+    for (const std::string name : {"coalesce", "mixed"}) {
+      svc::ResultCache cache(1 << 16);
+      svc::QueryEngine engine(cache, engine_options);
+      const auto items = workload(name, requests);
+      report(name, drive(engine, cache, graph, items, 4), items.size());
+    }
+  }
+  return 0;
+}

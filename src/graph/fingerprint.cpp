@@ -1,0 +1,46 @@
+#include "graph/fingerprint.hpp"
+
+#include "rng/philox.hpp"
+
+namespace camc::graph {
+
+namespace {
+
+// Fixed Philox keys; arbitrary odd constants, part of the stable format.
+constexpr std::array<std::uint32_t, 2> kEdgeKey = {0x9E3779B9u, 0x85EBCA6Bu};
+constexpr std::array<std::uint32_t, 2> kFinalKey = {0xC2B2AE35u, 0x27D4EB2Fu};
+
+std::uint64_t words_to_u64(const rng::PhiloxBlock& block) noexcept {
+  const std::uint64_t lo =
+      (static_cast<std::uint64_t>(block[1]) << 32) | block[0];
+  const std::uint64_t hi =
+      (static_cast<std::uint64_t>(block[3]) << 32) | block[2];
+  return lo ^ (hi * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace
+
+std::uint64_t edge_fingerprint(const WeightedEdge& edge) {
+  const WeightedEdge e = edge.canonical();
+  const rng::PhiloxBlock counter = {
+      e.u, e.v, static_cast<std::uint32_t>(e.weight),
+      static_cast<std::uint32_t>(e.weight >> 32)};
+  return words_to_u64(rng::philox4x32(counter, kEdgeKey));
+}
+
+std::uint64_t FingerprintAccumulator::finalize(Vertex n) const {
+  const rng::PhiloxBlock counter = {
+      static_cast<std::uint32_t>(sum), static_cast<std::uint32_t>(sum >> 32),
+      static_cast<std::uint32_t>(xored) ^ n,
+      static_cast<std::uint32_t>(xored >> 32) ^
+          static_cast<std::uint32_t>(count)};
+  return words_to_u64(rng::philox4x32(counter, kFinalKey));
+}
+
+std::uint64_t graph_fingerprint(Vertex n, std::span<const WeightedEdge> edges) {
+  FingerprintAccumulator acc;
+  for (const WeightedEdge& e : edges) acc.add(e);
+  return acc.finalize(n);
+}
+
+}  // namespace camc::graph

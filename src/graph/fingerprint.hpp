@@ -1,0 +1,65 @@
+#pragma once
+
+// Stable 64-bit graph fingerprint — the identity key of the service layer
+// (svc::GraphStore, svc::ResultCache).
+//
+// The fingerprint is a commutative hash over the edge *multiset*: each
+// canonical edge (min(u,v), max(u,v), w) is mixed through one Philox-4x32
+// block keyed by a fixed constant, and the per-edge hashes are combined
+// with order-independent reductions (a wrapping sum and an xor), then
+// folded together with n and m through a final Philox block. Properties:
+//
+//  * order-independent — permuting the edge list (or re-splitting it
+//    across ranks) does not change the fingerprint;
+//  * multiset-sensitive — duplicated parallel edges shift the sum lane, so
+//    {e, e} does not collide with {e};
+//  * weight-sensitive — the weight is part of the per-edge block, so any
+//    weight edit changes the fingerprint;
+//  * relabel-sensitive — vertex ids are part of the per-edge block, so an
+//    id permutation produces a different fingerprint unless it maps the
+//    edge multiset to itself (i.e. the relabeling is a graph automorphism).
+//
+// It is *not* a cryptographic hash and not an isomorphism invariant: it
+// identifies "the same loaded graph" cheaply, with a ~2^-64 accidental
+// collision rate per pair.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/edge.hpp"
+
+namespace camc::graph {
+
+/// Fingerprint of the graph on vertices [0, n) with the given edges.
+/// Deterministic across runs, platforms, and edge orderings.
+std::uint64_t graph_fingerprint(Vertex n, std::span<const WeightedEdge> edges);
+
+/// Per-edge hash (exposed so a distributed fingerprint can reduce the
+/// sum/xor lanes across ranks; see FingerprintAccumulator).
+std::uint64_t edge_fingerprint(const WeightedEdge& edge);
+
+/// Incremental, combinable form: accumulate edges (in any order, on any
+/// rank), merge accumulators, then finalize with (n, m). Guaranteed equal
+/// to graph_fingerprint over the union multiset.
+struct FingerprintAccumulator {
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  std::uint64_t count = 0;
+
+  void add(const WeightedEdge& edge) {
+    const std::uint64_t h = edge_fingerprint(edge);
+    sum += h;  // wrapping on purpose: commutative and associative
+    xored ^= h;
+    ++count;
+  }
+
+  void merge(const FingerprintAccumulator& other) {
+    sum += other.sum;
+    xored ^= other.xored;
+    count += other.count;
+  }
+
+  std::uint64_t finalize(Vertex n) const;
+};
+
+}  // namespace camc::graph

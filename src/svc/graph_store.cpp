@@ -1,0 +1,79 @@
+#include "svc/graph_store.hpp"
+
+#include "graph/fingerprint.hpp"
+
+namespace camc::svc {
+
+std::shared_ptr<const StoredGraph> GraphStore::put(
+    std::string name, graph::Vertex n,
+    std::vector<graph::WeightedEdge> edges) {
+  auto stored = std::make_shared<StoredGraph>();
+  stored->name = std::move(name);
+  stored->n = n;
+  stored->edges = std::move(edges);
+  stored->fingerprint = graph::graph_fingerprint(n, stored->edges);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(stored->name);
+  if (it != index_.end()) {
+    stats_.resident_bytes -= (*it->second)->resident_bytes();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(stored);
+  index_[stored->name] = lru_.begin();
+  stats_.resident_bytes += stored->resident_bytes();
+  ++stats_.loads;
+  if (max_bytes_ > 0) {
+    // Never evict the graph just loaded, even if it alone busts the
+    // budget — a graph too big for the budget is still servable.
+    while (stats_.resident_bytes > max_bytes_ && lru_.size() > 1)
+      evict_lru_locked();
+  }
+  stats_.resident_graphs = lru_.size();
+  return stored;
+}
+
+std::shared_ptr<const StoredGraph> GraphStore::get(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return lru_.front();
+}
+
+std::optional<std::uint64_t> GraphStore::evict(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  const std::uint64_t fingerprint = (*it->second)->fingerprint;
+  stats_.resident_bytes -= (*it->second)->resident_bytes();
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.evictions;
+  stats_.resident_graphs = lru_.size();
+  return fingerprint;
+}
+
+std::vector<std::string> GraphStore::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& entry : lru_) out.push_back(entry->name);
+  return out;
+}
+
+GraphStore::Stats GraphStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void GraphStore::evict_lru_locked() {
+  const std::shared_ptr<const StoredGraph>& victim = lru_.back();
+  stats_.resident_bytes -= victim->resident_bytes();
+  index_.erase(victim->name);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+}  // namespace camc::svc

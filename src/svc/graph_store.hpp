@@ -1,0 +1,78 @@
+#pragma once
+
+// GraphStore: the resident in-memory graphs the service answers queries
+// against (the GBBS model — many algorithms, one loaded graph).
+//
+// Graphs are named by the client and identified internally by their stable
+// fingerprint (graph/fingerprint.hpp). Entries are shared_ptr-held so an
+// eviction cannot pull a graph out from under an in-flight batch: the batch
+// keeps its reference, the store just stops handing the graph out.
+//
+// Capacity is bounded by resident edge bytes; loading past the budget
+// evicts least-recently-used graphs (never the one being loaded).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::svc {
+
+struct StoredGraph {
+  std::string name;
+  graph::Vertex n = 0;
+  std::vector<graph::WeightedEdge> edges;
+  std::uint64_t fingerprint = 0;
+
+  std::uint64_t resident_bytes() const noexcept {
+    return edges.size() * sizeof(graph::WeightedEdge) + sizeof(StoredGraph);
+  }
+};
+
+class GraphStore {
+ public:
+  struct Stats {
+    std::uint64_t loads = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resident_graphs = 0;
+    std::uint64_t resident_bytes = 0;
+  };
+
+  /// `max_bytes` bounds resident edge storage; 0 means unbounded.
+  explicit GraphStore(std::uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Registers (or replaces) a named graph; computes its fingerprint and
+  /// evicts LRU graphs if the byte budget is exceeded. Returns the entry.
+  std::shared_ptr<const StoredGraph> put(std::string name, graph::Vertex n,
+                                         std::vector<graph::WeightedEdge> edges);
+
+  /// Lookup by name; refreshes recency. Null when absent.
+  std::shared_ptr<const StoredGraph> get(const std::string& name);
+
+  /// Explicit eviction; returns the evicted graph's fingerprint (so the
+  /// caller can invalidate cached results) or nullopt when absent.
+  std::optional<std::uint64_t> evict(const std::string& name);
+
+  std::vector<std::string> names() const;
+  Stats stats() const;
+
+ private:
+  void evict_lru_locked();
+
+  std::uint64_t max_bytes_;
+  mutable std::mutex mutex_;
+  /// front = most recently used.
+  std::list<std::shared_ptr<const StoredGraph>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::shared_ptr<const StoredGraph>>::iterator>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace camc::svc

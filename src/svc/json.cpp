@@ -1,0 +1,427 @@
+#include "svc/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace camc::svc {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t at) {
+  throw std::runtime_error("json: " + std::string(what) + " at byte " +
+                           std::to_string(at));
+}
+
+/// Recursive-descent parser over a string_view with one cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage", pos_);
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'", pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    // Depth guard: the protocol never nests past ~4; a hostile client must
+    // not be able to overflow the parser's stack.
+    if (depth_ > 64) fail("nesting too deep", pos_);
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal", pos_);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json out = Json::object();
+    ++depth_;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out.set(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+    --depth_;
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json out = Json::array();
+    ++depth_;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+    --depth_;
+    return out;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string", pos_ - 1);
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) fail("unterminated \\u escape", pos_);
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape", pos_ - 1);
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // by this protocol; lone surrogates encode as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape", pos_ - 1);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    // JSON forbids a leading zero followed by more digits ("01").
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+      fail("leading zero", start);
+    bool integral = true;
+    bool any_digit = false;
+    std::uint64_t magnitude = 0;
+    bool overflow = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        any_digit = true;
+        if (magnitude > (~std::uint64_t{0} - static_cast<unsigned>(c - '0')) / 10)
+          overflow = true;
+        else
+          magnitude = magnitude * 10 + static_cast<unsigned>(c - '0');
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!any_digit) fail("bad number", start);
+    const std::string token(text_.substr(start, pos_ - start));
+    double real = 0.0;
+    try {
+      real = std::stod(token);
+    } catch (const std::exception&) {
+      fail("bad number", start);
+    }
+    if (integral && !overflow) {
+      if (negative) {
+        constexpr std::uint64_t kMinMagnitude =
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()) + 1;
+        if (magnitude > kMinMagnitude) return Json(real);
+        if (magnitude == kMinMagnitude)
+          return Json(std::numeric_limits<std::int64_t>::min());
+        return Json(-static_cast<std::int64_t>(magnitude));
+      }
+      return Json(magnitude);
+    }
+    return Json(real);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void append_quoted(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+const Json& shared_null() {
+  static const Json null;
+  return null;
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).document(); }
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  return real_;
+}
+
+std::uint64_t Json::as_u64() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  if (is_integer_) {
+    if (is_negative_) throw std::runtime_error("json: negative integer");
+    return integer_;
+  }
+  if (real_ < 0 || std::floor(real_) != real_)
+    throw std::runtime_error("json: not an unsigned integer");
+  return static_cast<std::uint64_t>(real_);
+}
+
+std::int64_t Json::as_i64() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  if (is_integer_) {
+    if (is_negative_) return static_cast<std::int64_t>(integer_);
+    if (integer_ > static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max()))
+      throw std::runtime_error("json: integer out of int64 range");
+    return static_cast<std::int64_t>(integer_);
+  }
+  if (std::floor(real_) != real_)
+    throw std::runtime_error("json: not an integer");
+  return static_cast<std::int64_t>(real_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+bool Json::has(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_)
+    if (k == key) return true;
+  return false;
+}
+
+const Json& Json::operator[](std::string_view key) const {
+  if (type_ == Type::kObject)
+    for (const auto& [k, v] : object_)
+      if (k == key) return v;
+  return shared_null();
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  throw std::runtime_error("json: no size");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  if (index >= array_.size()) throw std::runtime_error("json: index range");
+  return array_[index];
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      if (is_integer_) {
+        if (is_negative_)
+          out += std::to_string(static_cast<std::int64_t>(integer_));
+        else
+          out += std::to_string(integer_);
+        return;
+      }
+      if (!std::isfinite(real_)) {
+        out += "null";  // JSON has no inf/nan
+        return;
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", real_);
+      out += buffer;
+      return;
+    }
+    case Type::kString:
+      append_quoted(out, string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        append_quoted(out, k);
+        out += ':';
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace camc::svc

@@ -1,0 +1,104 @@
+#pragma once
+
+// Minimal JSON value type for the NDJSON line protocol (svc/protocol).
+//
+// Deliberately small and dependency-free: objects (insertion-ordered),
+// arrays, strings, booleans, null, and numbers. Numbers remember whether
+// they were written as integers so 64-bit ids, seeds, and fingerprints
+// round-trip exactly (a double-only representation would corrupt values
+// above 2^53 — seeds and fingerprints routinely are).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace camc::svc {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), real_(value) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber),
+        real_(static_cast<double>(value)),
+        integer_(static_cast<std::uint64_t>(value)),
+        is_integer_(true),
+        is_negative_(value < 0) {}
+  Json(std::uint64_t value)
+      : type_(Type::kNumber),
+        real_(static_cast<double>(value)),
+        integer_(value),
+        is_integer_(true) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(unsigned value) : Json(static_cast<std::uint64_t>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Parses one JSON document; throws std::runtime_error (with a byte
+  /// offset) on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+  // Typed reads; each throws std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;  ///< exact for integer-written numbers
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+
+  // Object access.
+  bool has(std::string_view key) const;
+  /// Member lookup; returns a shared null for missing keys so chained
+  /// lookups are safe: j["params"]["seed"].
+  const Json& operator[](std::string_view key) const;
+  Json& set(std::string key, Json value);  ///< insert or overwrite; *this
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Array access.
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+  Json& push_back(Json value);  ///< returns *this for chaining
+
+  /// Compact single-line serialization (NDJSON-safe: no raw newlines).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double real_ = 0.0;
+  std::uint64_t integer_ = 0;
+  bool is_integer_ = false;
+  bool is_negative_ = false;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace camc::svc

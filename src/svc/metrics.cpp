@@ -1,0 +1,125 @@
+#include "svc/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/philox.hpp"
+
+namespace camc::svc {
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double clamped = std::min(100.0, std::max(0.0, q));
+  // Nearest-rank: the smallest value with at least q% of the sample at or
+  // below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sample.size())));
+  return sample[rank > 0 ? rank - 1 : 0];
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t latency_capacity)
+    : latency_capacity_(std::max<std::size_t>(1, latency_capacity)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void MetricsRegistry::record(QueryKind kind, const QueryResponse& response) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  KindState& state = kinds_[static_cast<std::size_t>(kind)];
+  KindMetrics& counters = state.counters;
+  ++counters.submitted;
+  switch (response.status) {
+    case QueryStatus::kOk: ++counters.ok; break;
+    case QueryStatus::kRejected: ++counters.rejected; break;
+    case QueryStatus::kShed: ++counters.shed; break;
+    case QueryStatus::kFailed: ++counters.failed; break;
+    case QueryStatus::kError: ++counters.errors; break;
+  }
+  if (response.cache_hit) ++counters.cache_hits;
+  if (response.coalesced) ++counters.coalesced;
+  counters.faults_survived += response.faults_survived;
+  if (response.status != QueryStatus::kOk) return;
+
+  state.latency_sum += response.latency_seconds;
+  ++state.latency_seen;
+  if (state.latencies.size() < latency_capacity_) {
+    state.latencies.push_back(response.latency_seconds);
+  } else {
+    // Algorithm-R reservoir over the stream; Philox keyed by the draw
+    // index keeps it deterministic without a Date/until dependency.
+    rng::Philox gen(0x4D455452, reservoir_draws_++);
+    const std::uint64_t slot = gen.bounded(state.latency_seen);
+    if (slot < state.latencies.size())
+      state.latencies[static_cast<std::size_t>(slot)] =
+          response.latency_seconds;
+  }
+}
+
+void MetricsRegistry::record_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, depth);
+}
+
+void MetricsRegistry::record_batch(std::size_t size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_requests_ += size;
+  max_batch_ = std::max<std::uint64_t>(max_batch_, size);
+}
+
+namespace {
+
+LatencySummary summarize(const std::vector<double>& latencies,
+                         std::uint64_t seen, double sum) {
+  LatencySummary out;
+  out.count = seen;
+  if (latencies.empty()) return out;
+  out.mean_seconds = sum / static_cast<double>(seen);
+  out.max_seconds = *std::max_element(latencies.begin(), latencies.end());
+  out.p50_seconds = percentile(latencies, 50.0);
+  out.p95_seconds = percentile(latencies, 95.0);
+  out.p99_seconds = percentile(latencies, 99.0);
+  return out;
+}
+
+void accumulate(KindMetrics& total, const KindMetrics& part) {
+  total.submitted += part.submitted;
+  total.ok += part.ok;
+  total.rejected += part.rejected;
+  total.shed += part.shed;
+  total.failed += part.failed;
+  total.errors += part.errors;
+  total.cache_hits += part.cache_hits;
+  total.coalesced += part.coalesced;
+  total.faults_survived += part.faults_survived;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  std::vector<double> all;
+  std::uint64_t all_seen = 0;
+  double all_sum = 0.0;
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    const KindState& state = kinds_[k];
+    out.kinds[k] = state.counters;
+    out.kinds[k].latency =
+        summarize(state.latencies, state.latency_seen, state.latency_sum);
+    accumulate(out.total, state.counters);
+    all.insert(all.end(), state.latencies.begin(), state.latencies.end());
+    all_seen += state.latency_seen;
+    all_sum += state.latency_sum;
+  }
+  out.total.latency = summarize(all, all_seen, all_sum);
+  out.batches = batches_;
+  out.batched_requests = batched_requests_;
+  out.max_batch = max_batch_;
+  out.max_queue_depth = max_queue_depth_;
+  out.elapsed_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  return out;
+}
+
+}  // namespace camc::svc

@@ -1,0 +1,102 @@
+#pragma once
+
+// Service metrics: per-kind request counters and latency percentiles, plus
+// engine-level gauges (queue depth, batching). Thread-safe; snapshot()
+// returns a consistent copy the caller can serialize without holding the
+// registry lock.
+//
+// Latencies are kept exactly up to a fixed capacity, then reservoir-
+// sampled (seeded, deterministic), so percentile memory is bounded under a
+// multi-hour load test while the p50/p95/p99 of the acceptance workloads
+// (tens of thousands of requests) stay exact.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "svc/query.hpp"
+
+namespace camc::svc {
+
+/// Nearest-rank percentile of an unsorted sample (q in [0, 100]).
+/// Returns 0 for an empty sample. Copies and sorts; meant for snapshots
+/// and reports, not hot paths.
+double percentile(std::vector<double> sample, double q);
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+struct KindMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t faults_survived = 0;
+  LatencySummary latency;  ///< completed (ok) requests, cache hits included
+};
+
+struct MetricsSnapshot {
+  std::array<KindMetrics, 4> kinds;  ///< indexed by QueryKind
+  KindMetrics total;                 ///< all kinds combined
+  std::uint64_t batches = 0;         ///< epochs executed
+  std::uint64_t batched_requests = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t max_queue_depth = 0;
+  double elapsed_seconds = 0.0;  ///< since registry construction
+
+  double throughput_per_second() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(total.ok) / elapsed_seconds
+                               : 0.0;
+  }
+  double cache_hit_rate() const noexcept {
+    return total.ok > 0
+               ? static_cast<double>(total.cache_hits) / static_cast<double>(total.ok)
+               : 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t latency_capacity = 1 << 20);
+
+  /// Records one completed request (any terminal status).
+  void record(QueryKind kind, const QueryResponse& response);
+  /// Records the admission-queue depth after an enqueue.
+  void record_queue_depth(std::size_t depth);
+  /// Records one executed batch (epoch) of `size` requests.
+  void record_batch(std::size_t size);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct KindState {
+    KindMetrics counters;
+    std::vector<double> latencies;  ///< exact-then-reservoir sample
+    std::uint64_t latency_seen = 0;
+    double latency_sum = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t latency_capacity_;
+  std::array<KindState, 4> kinds_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::uint64_t max_batch_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
+  std::uint64_t reservoir_draws_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace camc::svc

@@ -1,0 +1,108 @@
+#pragma once
+
+// Typed query vocabulary of the service layer: what a client can ask of a
+// resident graph, and what comes back.
+//
+// Every query is a deterministic function of (graph fingerprint, kind,
+// parameters, seed) — the algorithms are seeded Monte Carlo, so the same
+// key always yields the same answer. That determinism is what makes the
+// result cache (result_cache.hpp) and in-flight coalescing sound: two
+// requests with equal keys are the *same* computation, not merely similar.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::svc {
+
+enum class QueryKind : std::uint8_t {
+  kCc = 0,            ///< connected components (core::connected_components)
+  kMinCut = 1,        ///< exact minimum cut (core::min_cut)
+  kApproxMinCut = 2,  ///< O(log n)-approximate cut (core::approx_min_cut)
+  kSparsify = 3,      ///< sparsification sample size probe (core::sparsify)
+};
+
+/// Parse/format the protocol's query names ("cc", "min_cut",
+/// "approx_min_cut", "sparsify"). parse throws std::runtime_error.
+const char* query_kind_name(QueryKind kind) noexcept;
+QueryKind parse_query_kind(const std::string& name);
+
+/// Union of the per-kind knobs; only the fields relevant to the kind are
+/// read (and only those are part of the cache key's parameter hash).
+struct QueryParams {
+  std::uint64_t seed = 1;
+  /// cc + sparsify: sample-size exponent (sample ~ n^(1+epsilon) / 2).
+  double epsilon = 0.2;
+  /// min_cut: success probability of the Monte-Carlo trial count.
+  double success_probability = 0.9;
+  /// min_cut: reconstruct one side of the best cut.
+  bool want_side = false;
+  /// approx_min_cut: trials per sampling level (0 derives from n).
+  std::uint32_t trials = 0;
+  /// sparsify: sample size override (0 derives from epsilon).
+  std::uint64_t sample_size = 0;
+};
+
+/// Hash of the kind-relevant parameters, seed excluded (the key keeps the
+/// seed as its own field, per the cache design).
+std::uint64_t params_fingerprint(QueryKind kind, const QueryParams& params);
+
+/// Identity of one deterministic computation.
+struct CacheKey {
+  std::uint64_t graph_fingerprint = 0;
+  QueryKind kind = QueryKind::kCc;
+  std::uint64_t params_hash = 0;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) noexcept = default;
+
+  struct Hash {
+    std::size_t operator()(const CacheKey& key) const noexcept {
+      std::uint64_t h = key.graph_fingerprint;
+      h ^= (key.params_hash + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+      h ^= (key.seed + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+      h ^= (static_cast<std::uint64_t>(key.kind) + 0x9E3779B97F4A7C15ull +
+            (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+};
+
+/// Result payload; which fields are meaningful depends on the kind.
+/// `value` is always the headline number (component count, cut value,
+/// estimate, or sample size) so generic consumers need no switch.
+struct QueryResult {
+  std::uint64_t value = 0;
+  std::uint32_t components = 0;        ///< cc
+  std::uint32_t largest_component = 0; ///< cc
+  std::uint32_t iterations = 0;        ///< cc / approx sampling levels
+  std::uint32_t trials = 0;            ///< min_cut / approx trials
+  std::vector<graph::Vertex> side;     ///< min_cut (want_side)
+  bool side_valid = false;
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,        ///< executed (or cache hit); result valid
+  kRejected = 1,  ///< admission queue full — backpressure
+  kShed = 2,      ///< deadline passed before execution started
+  kFailed = 3,    ///< retry budget exhausted on transient faults (degraded)
+  kError = 4,     ///< non-fault error (bad graph, overflow, ...)
+};
+
+const char* query_status_name(QueryStatus status) noexcept;
+
+/// What the engine hands the completion callback.
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kError;
+  QueryResult result;  ///< valid iff status == kOk
+  bool cache_hit = false;
+  bool coalesced = false;  ///< joined an identical in-flight execution
+  std::uint32_t attempts = 0;
+  std::uint64_t faults_survived = 0;
+  double latency_seconds = 0.0;  ///< submit-to-completion, queueing included
+  std::string error;             ///< nonempty for kFailed / kError
+};
+
+}  // namespace camc::svc

@@ -1,0 +1,393 @@
+#include "svc/query_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/approx_mincut.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "core/sparsify.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// Retry seed derivation for the kinds without a native attempt knob:
+/// attempt 0 keeps the caller's seed bit-identical; retries hop to an
+/// independent Philox-derived seed (mirrors MinCutOptions::attempt).
+std::uint64_t salted_seed(std::uint64_t seed, std::uint32_t attempt) {
+  if (attempt == 0) return seed;
+  const rng::PhiloxBlock block = rng::philox4x32(
+      {static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
+       attempt, 0x53564353u},
+      {0x243F6A88u, 0x85A308D3u});
+  return (static_cast<std::uint64_t>(block[1]) << 32) | block[0];
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(ResultCache& cache, const QueryEngineOptions& options)
+    : options_(options), cache_(cache) {
+  if (options_.threads < 1)
+    throw std::invalid_argument("QueryEngine: threads must be >= 1");
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  machine_ = std::make_unique<bsp::Machine>(options_.threads);
+  dispatcher_ = std::jthread([this] { dispatch_loop(); });
+}
+
+QueryEngine::~QueryEngine() {
+  std::vector<std::shared_ptr<Pending>> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    pending_.clear();
+  }
+  QueryResponse shutdown;
+  shutdown.status = QueryStatus::kRejected;
+  shutdown.error = "engine shutting down";
+  for (const auto& pending : orphans) complete(pending, shutdown);
+}
+
+void QueryEngine::submit(const QueryRequest& request, Completion done) {
+  const Clock::time_point now = Clock::now();
+  if (!request.graph) {
+    QueryResponse response;
+    response.status = QueryStatus::kError;
+    response.error = "no such graph";
+    metrics_.record(request.kind, response);
+    done(response);
+    return;
+  }
+
+  CacheKey key;
+  key.graph_fingerprint = request.graph->fingerprint;
+  key.kind = request.kind;
+  key.params_hash = params_fingerprint(request.kind, request.params);
+  key.seed = request.params.seed;
+
+  if (auto hit = cache_.get(key)) {
+    QueryResponse response;
+    response.status = QueryStatus::kOk;
+    response.result = std::move(*hit);
+    response.cache_hit = true;
+    response.attempts = 0;
+    response.latency_seconds = seconds_since(now);
+    metrics_.record(request.kind, response);
+    done(response);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // Identical computation queued or executing: join it.
+        it->second->waiters.push_back(Waiter{std::move(done), now, true});
+        return;
+      }
+      if (queue_.size() < options_.queue_capacity) {
+        auto pending = std::make_shared<Pending>();
+        pending->key = key;
+        pending->graph = request.graph;
+        pending->kind = request.kind;
+        pending->params = request.params;
+        if (request.timeout_seconds > 0.0)
+          pending->deadline =
+              now + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(request.timeout_seconds));
+        pending->waiters.push_back(Waiter{std::move(done), now, false});
+        queue_.push_back(pending);
+        pending_[key] = std::move(pending);
+        metrics_.record_queue_depth(queue_.size());
+        lock.unlock();
+        work_cv_.notify_one();
+        return;
+      }
+    }
+  }
+
+  // Backpressure (or shutdown): reject immediately — the client learns in
+  // O(1) that the server is saturated instead of waiting in an unbounded
+  // queue.
+  QueryResponse response;
+  response.status = QueryStatus::kRejected;
+  response.error = "admission queue full";
+  response.latency_seconds = seconds_since(now);
+  metrics_.record(request.kind, response);
+  done(response);
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || stopping_;
+  });
+}
+
+void QueryEngine::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void QueryEngine::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+EngineSnapshot QueryEngine::snapshot() const {
+  EngineSnapshot out;
+  out.metrics = metrics_.snapshot();
+  out.cache = cache_.stats();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.queue_depth = queue_.size();
+  out.in_flight = in_flight_;
+  return out;
+}
+
+void QueryEngine::dispatch_loop() {
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> epoch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!queue_.empty() && !paused_);
+      });
+      if (stopping_) return;
+      epoch = next_epoch(lock);
+      in_flight_ += epoch.size();
+    }
+    if (!epoch.empty()) {
+      const std::vector<QueryResponse> responses = execute_epoch(epoch);
+      finish_epoch(epoch, responses);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+/// Pops the head request plus every queued request on the same graph and
+/// kind (up to max_batch): one scatter, one recovery scope, one machine
+/// run for the whole epoch. Expired requests are shed here — before any
+/// execution cost is paid on them.
+std::vector<std::shared_ptr<QueryEngine::Pending>> QueryEngine::next_epoch(
+    std::unique_lock<std::mutex>&) {
+  std::vector<std::shared_ptr<Pending>> epoch;
+  std::vector<std::shared_ptr<Pending>> shed;
+  const Clock::time_point now = Clock::now();
+
+  const auto expired = [&](const std::shared_ptr<Pending>& pending) {
+    return pending->deadline != Clock::time_point{} && now > pending->deadline;
+  };
+
+  while (!queue_.empty() && epoch.empty()) {
+    auto head = queue_.front();
+    queue_.pop_front();
+    if (expired(head)) {
+      pending_.erase(head->key);
+      shed.push_back(std::move(head));
+      continue;
+    }
+    epoch.push_back(std::move(head));
+  }
+  if (!epoch.empty()) {
+    const std::uint64_t fingerprint = epoch.front()->graph->fingerprint;
+    const QueryKind kind = epoch.front()->kind;
+    for (auto it = queue_.begin();
+         it != queue_.end() && epoch.size() < options_.max_batch;) {
+      if ((*it)->graph->fingerprint == fingerprint && (*it)->kind == kind) {
+        if (expired(*it)) {
+          pending_.erase((*it)->key);
+          shed.push_back(*it);
+        } else {
+          epoch.push_back(*it);
+        }
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (const auto& pending : shed) {
+    QueryResponse response;
+    response.status = QueryStatus::kShed;
+    response.error = "deadline exceeded before execution";
+    complete(pending, response);
+  }
+  return epoch;
+}
+
+std::vector<QueryResponse> QueryEngine::execute_epoch(
+    const std::vector<std::shared_ptr<Pending>>& epoch) {
+  metrics_.record_batch(epoch.size());
+  const StoredGraph& graph = *epoch.front()->graph;
+
+  bsp::RunOptions run_options;
+  run_options.watchdog_deadline_seconds =
+      options_.watchdog_deadline_seconds > 0.0
+          ? options_.watchdog_deadline_seconds
+          : -1.0;
+
+  resilience::RecoveryReport recovery;
+  QueryResponse response;
+  const std::function<std::vector<QueryResult>(std::uint32_t)> attempt_fn =
+      [&](std::uint32_t attempt) {
+        std::vector<QueryResult> results(epoch.size());
+        machine_->run(
+            [&](bsp::Comm& world) {
+              const auto dist = graph::DistributedEdgeArray::scatter(
+                  world, graph.n, graph.edges);
+              for (std::size_t i = 0; i < epoch.size(); ++i) {
+                QueryResult result = run_one(world, dist, epoch[i]->kind,
+                                             epoch[i]->params, attempt);
+                if (world.rank() == 0) results[i] = std::move(result);
+              }
+            },
+            run_options);
+        return results;
+      };
+
+  try {
+    std::optional<std::vector<QueryResult>> results =
+        resilience::run_with_recovery<std::vector<QueryResult>>(
+            options_.retry, attempt_fn, &recovery);
+    if (results.has_value()) {
+      response.status = QueryStatus::kOk;
+      response.attempts = recovery.attempts;
+      response.faults_survived = recovery.faults_survived();
+      std::vector<QueryResponse> out;
+      out.reserve(epoch.size());
+      for (std::size_t i = 0; i < epoch.size(); ++i) {
+        cache_.put(epoch[i]->key, (*results)[i]);
+        QueryResponse one = response;
+        one.result = std::move((*results)[i]);
+        out.push_back(std::move(one));
+      }
+      return out;
+    }
+    response.status = QueryStatus::kFailed;
+    response.error = recovery.log.empty() ? "retry budget exhausted"
+                                          : recovery.log.back().error;
+  } catch (const std::exception& error) {
+    response.status = QueryStatus::kError;
+    response.error = error.what();
+  }
+  response.attempts = recovery.attempts;
+  response.faults_survived = recovery.faults_survived();
+  return std::vector<QueryResponse>(epoch.size(), response);
+}
+
+void QueryEngine::finish_epoch(
+    const std::vector<std::shared_ptr<Pending>>& epoch,
+    const std::vector<QueryResponse>& responses) {
+  {
+    // Unregister before completing: a duplicate arriving after this point
+    // starts fresh (and most likely hits the cache).
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& pending : epoch) pending_.erase(pending->key);
+    in_flight_ -= epoch.size();
+  }
+  for (std::size_t i = 0; i < epoch.size(); ++i)
+    complete(epoch[i], responses[i]);
+}
+
+void QueryEngine::complete(const std::shared_ptr<Pending>& pending,
+                           const QueryResponse& response) {
+  for (const Waiter& waiter : pending->waiters) {
+    QueryResponse mine = response;
+    mine.coalesced = waiter.coalesced;
+    mine.latency_seconds = seconds_since(waiter.submitted);
+    metrics_.record(pending->kind, mine);
+    waiter.done(mine);
+  }
+}
+
+QueryResult QueryEngine::run_one(bsp::Comm& world,
+                                 const graph::DistributedEdgeArray& dist,
+                                 QueryKind kind, const QueryParams& params,
+                                 std::uint32_t attempt) const {
+  QueryResult out;
+  switch (kind) {
+    case QueryKind::kCc: {
+      core::CcOptions options;
+      options.epsilon = params.epsilon;
+      options.seed = salted_seed(params.seed, attempt);
+      // connected_components consumes its edge array; copy this rank's
+      // slice so the epoch's shared scatter stays intact.
+      graph::DistributedEdgeArray scratch(dist.vertex_count(), dist.local());
+      const core::CcResult result =
+          core::connected_components(world, scratch, options);
+      out.value = result.components;
+      out.components = result.components;
+      out.iterations = result.iterations;
+      std::vector<std::uint32_t> sizes(result.components, 0);
+      for (const graph::Vertex label : result.labels) ++sizes[label];
+      out.largest_component =
+          sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+      return out;
+    }
+    case QueryKind::kMinCut: {
+      core::MinCutOptions options;
+      options.success_probability = params.success_probability;
+      options.seed = params.seed;
+      options.want_side = params.want_side;
+      options.attempt = attempt;
+      core::MinCutOutcome result = core::min_cut(world, dist, options);
+      out.value = result.value;
+      out.trials = result.trials;
+      out.side = std::move(result.side);
+      out.side_valid = result.side_valid;
+      return out;
+    }
+    case QueryKind::kApproxMinCut: {
+      core::ApproxMinCutOptions options;
+      options.trials = params.trials;
+      options.seed = params.seed;
+      options.attempt = attempt;
+      const core::ApproxMinCutResult result =
+          core::approx_min_cut(world, dist, options);
+      out.value = result.estimate;
+      out.iterations = result.iterations_run;
+      out.trials = result.trials_per_iteration;
+      return out;
+    }
+    case QueryKind::kSparsify: {
+      std::uint64_t sample_size = params.sample_size;
+      if (sample_size == 0) {
+        const double n = std::max(2.0, static_cast<double>(dist.vertex_count()));
+        sample_size = static_cast<std::uint64_t>(
+            std::ceil(std::pow(n, 1.0 + params.epsilon) / 2.0));
+      }
+      rng::Philox gen(salted_seed(params.seed, attempt),
+                      0x53500000ull + static_cast<std::uint64_t>(world.rank()));
+      const std::vector<graph::WeightedEdge> sample =
+          core::sparsify_unweighted(world, dist, sample_size, gen);
+      out.value = sample.size();  // gathered at root; 0 elsewhere
+      out.iterations = 1;
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown query kind");
+}
+
+}  // namespace camc::svc

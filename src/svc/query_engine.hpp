@@ -1,0 +1,153 @@
+#pragma once
+
+// QueryEngine: long-lived, concurrent query execution on one persistent
+// bsp::Machine pool.
+//
+// Request lifecycle:
+//
+//   submit ── cache hit? ──────────────────────────► complete (kOk, cached)
+//      │
+//      ├─ identical query in flight? ──────────────► join it (coalesced)
+//      ├─ admission queue full? ────────────────────► complete (kRejected)
+//      └─ enqueue ──► dispatcher pops an epoch:
+//            · deadline already passed ────────────► complete (kShed)
+//            · batch = head + every queued request on the same graph and
+//              kind (one scatter serves the whole epoch)
+//            · execute under resilience::run_with_recovery — a fault-killed
+//              epoch retries on attempt-salted streams; an exhausted budget
+//              degrades to kFailed instead of killing the server
+//            · cache results, complete every waiter (kOk / kFailed / kError)
+//
+// Threading: submit() may be called from any thread; completions fire on
+// the caller thread for the fast paths (hit / reject) and on the dispatcher
+// thread otherwise. The dispatcher is the only thread that touches the BSP
+// machine, so query execution is serialized per engine — parallelism comes
+// from the machine's p ranks, batching amortizes the per-run costs, and the
+// cache/coalescing layers keep repeated work off the machine entirely.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "resilience/retry.hpp"
+#include "svc/graph_store.hpp"
+#include "svc/metrics.hpp"
+#include "svc/query.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+
+struct QueryEngineOptions {
+  /// BSP ranks of the engine's machine.
+  int threads = 4;
+  /// Admission-queue bound; a submit finding the queue full is rejected.
+  std::size_t queue_capacity = 256;
+  /// Largest epoch: requests on one (graph, kind) executed per machine run.
+  std::size_t max_batch = 16;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 4096;
+  /// Retry policy for fault-killed epochs.
+  resilience::RetryPolicy retry;
+  /// Watchdog deadline for each run; 0 uses the process-wide default.
+  double watchdog_deadline_seconds = 0.0;
+};
+
+struct QueryRequest {
+  std::shared_ptr<const StoredGraph> graph;
+  QueryKind kind = QueryKind::kCc;
+  QueryParams params;
+  /// Shedding deadline, seconds from submit; 0 = never shed.
+  double timeout_seconds = 0.0;
+};
+
+struct EngineSnapshot {
+  MetricsSnapshot metrics;
+  ResultCache::Stats cache;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+};
+
+class QueryEngine {
+ public:
+  using Completion = std::function<void(const QueryResponse&)>;
+
+  QueryEngine(ResultCache& cache, const QueryEngineOptions& options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Submits one query; `done` is invoked exactly once, possibly before
+  /// submit returns (cache hit / rejection / shutdown).
+  void submit(const QueryRequest& request, Completion done);
+
+  /// Blocks until the queue is empty and nothing is in flight.
+  void drain();
+
+  /// Test hooks: freeze/unfreeze the dispatcher so queue states (full,
+  /// expired, coalescable) can be constructed deterministically.
+  void pause();
+  void resume();
+
+  EngineSnapshot snapshot() const;
+  const QueryEngineOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Waiter {
+    Completion done;
+    std::chrono::steady_clock::time_point submitted;
+    bool coalesced = false;
+  };
+
+  /// One queued (or in-flight) unique computation with all its waiters.
+  struct Pending {
+    CacheKey key;
+    std::shared_ptr<const StoredGraph> graph;
+    QueryKind kind = QueryKind::kCc;
+    QueryParams params;
+    std::chrono::steady_clock::time_point deadline{};  ///< epoch() = none
+    std::vector<Waiter> waiters;
+  };
+
+  void dispatch_loop();
+  std::vector<std::shared_ptr<Pending>> next_epoch(
+      std::unique_lock<std::mutex>& lock);
+  /// Executes an epoch under run_with_recovery; returns one response per
+  /// epoch entry (all sharing status on failure paths).
+  std::vector<QueryResponse> execute_epoch(
+      const std::vector<std::shared_ptr<Pending>>& epoch);
+  QueryResult run_one(bsp::Comm& world,
+                      const graph::DistributedEdgeArray& dist,
+                      QueryKind kind, const QueryParams& params,
+                      std::uint32_t attempt) const;
+  void complete(const std::shared_ptr<Pending>& pending,
+                const QueryResponse& response);
+  void finish_epoch(const std::vector<std::shared_ptr<Pending>>& epoch,
+                    const std::vector<QueryResponse>& responses);
+
+  QueryEngineOptions options_;
+  ResultCache& cache_;
+  std::unique_ptr<bsp::Machine> machine_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::unordered_map<CacheKey, std::shared_ptr<Pending>, CacheKey::Hash>
+      pending_;  ///< queued + in-flight (coalescing index)
+  std::size_t in_flight_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::jthread dispatcher_;
+};
+
+}  // namespace camc::svc

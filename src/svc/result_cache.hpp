@@ -1,0 +1,115 @@
+#pragma once
+
+// Seeded LRU result cache.
+//
+// Keyed by (graph fingerprint, query kind, parameter hash, seed) — the full
+// identity of a deterministic computation, so a hit can be served without
+// touching the BSP machine at all. This is the FastSV-motivated workload
+// optimization: connectivity-style queries repeat heavily, and a repeated
+// query's cost drops from a full parallel run to one hash lookup.
+//
+// The cache is exact (no stale entries by construction: a graph edit means
+// a new fingerprint, hence disjoint keys) and thread-safe. Counters are
+// cumulative and survive eviction.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "svc/query.hpp"
+
+namespace camc::svc {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  ///< current size
+
+    double hit_rate() const noexcept {
+      const std::uint64_t lookups = hits + misses;
+      return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                         : 0.0;
+    }
+  };
+
+  /// capacity 0 disables caching (every lookup is a miss, puts are no-ops).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Lookup; records a hit or miss and refreshes the entry's recency.
+  std::optional<QueryResult> get(const CacheKey& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) a result, evicting the least recently used
+  /// entry when over capacity.
+  void put(const CacheKey& key, QueryResult result) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(result);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(result));
+    index_[key] = entries_.begin();
+    ++stats_.insertions;
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  /// Drops every entry whose graph fingerprint matches (graph eviction).
+  std::size_t invalidate_graph(std::uint64_t graph_fingerprint) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.graph_fingerprint == graph_fingerprint) {
+        index_.erase(it->first);
+        it = entries_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
+  Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.entries = entries_.size();
+    return out;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using Entry = std::pair<CacheKey, QueryResult>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKey::Hash>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace camc::svc

@@ -1,0 +1,316 @@
+#include "svc/service.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+
+namespace camc::svc {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+  return buffer;
+}
+
+Json error_response(std::uint64_t id, const std::string& message) {
+  return Json::object()
+      .set("id", id)
+      .set("status", "error")
+      .set("error", message);
+}
+
+Json graph_response(std::uint64_t id, const StoredGraph& graph) {
+  return Json::object()
+      .set("id", id)
+      .set("status", "ok")
+      .set("result", Json::object()
+                         .set("graph", graph.name)
+                         .set("n", static_cast<std::uint64_t>(graph.n))
+                         .set("m", static_cast<std::uint64_t>(graph.edges.size()))
+                         .set("fingerprint", hex64(graph.fingerprint)));
+}
+
+QueryParams parse_params(const Json& params, std::uint64_t default_seed) {
+  QueryParams out;
+  out.seed = default_seed;
+  if (params.is_null()) return out;
+  if (!params.is_object()) throw std::runtime_error("params must be an object");
+  if (params.has("seed")) out.seed = params["seed"].as_u64();
+  if (params.has("epsilon")) out.epsilon = params["epsilon"].as_double();
+  if (params.has("success"))
+    out.success_probability = params["success"].as_double();
+  if (params.has("want_side")) out.want_side = params["want_side"].as_bool();
+  if (params.has("trials"))
+    out.trials = static_cast<std::uint32_t>(params["trials"].as_u64());
+  if (params.has("sample_size"))
+    out.sample_size = params["sample_size"].as_u64();
+  if (out.epsilon <= 0.0 || out.epsilon > 1.0)
+    throw std::runtime_error("epsilon out of (0, 1]");
+  if (out.success_probability <= 0.0 || out.success_probability >= 1.0)
+    throw std::runtime_error("success out of (0, 1)");
+  return out;
+}
+
+Json latency_json(const LatencySummary& latency) {
+  return Json::object()
+      .set("count", latency.count)
+      .set("mean_ms", latency.mean_seconds * 1e3)
+      .set("p50_ms", latency.p50_seconds * 1e3)
+      .set("p95_ms", latency.p95_seconds * 1e3)
+      .set("p99_ms", latency.p99_seconds * 1e3)
+      .set("max_ms", latency.max_seconds * 1e3);
+}
+
+Json kind_metrics_json(const KindMetrics& metrics) {
+  return Json::object()
+      .set("submitted", metrics.submitted)
+      .set("ok", metrics.ok)
+      .set("rejected", metrics.rejected)
+      .set("shed", metrics.shed)
+      .set("failed", metrics.failed)
+      .set("errors", metrics.errors)
+      .set("cache_hits", metrics.cache_hits)
+      .set("coalesced", metrics.coalesced)
+      .set("faults_survived", metrics.faults_survived)
+      .set("latency", latency_json(metrics.latency));
+}
+
+}  // namespace
+
+Json response_to_json(std::uint64_t id, QueryKind kind,
+                      const QueryResponse& response) {
+  Json out = Json::object()
+                 .set("id", id)
+                 .set("status", query_status_name(response.status))
+                 .set("query", query_kind_name(kind));
+  if (response.status == QueryStatus::kOk) {
+    Json result = Json::object().set("value", response.result.value);
+    switch (kind) {
+      case QueryKind::kCc:
+        result.set("components", response.result.components)
+            .set("largest_component", response.result.largest_component)
+            .set("iterations", response.result.iterations);
+        break;
+      case QueryKind::kMinCut:
+        result.set("trials", response.result.trials);
+        if (response.result.side_valid)
+          result.set("side_size",
+                     static_cast<std::uint64_t>(response.result.side.size()));
+        break;
+      case QueryKind::kApproxMinCut:
+        result.set("iterations", response.result.iterations)
+            .set("trials", response.result.trials);
+        break;
+      case QueryKind::kSparsify:
+        result.set("sample_size", response.result.value);
+        break;
+    }
+    out.set("result", std::move(result));
+  } else {
+    out.set("error", response.error);
+  }
+  out.set("cached", response.cache_hit)
+      .set("coalesced", response.coalesced)
+      .set("attempts", response.attempts);
+  if (response.faults_survived > 0)
+    out.set("faults_survived", response.faults_survived);
+  out.set("latency_ms", response.latency_seconds * 1e3);
+  return out;
+}
+
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      store_(options.store_max_bytes),
+      cache_(options.engine.cache_capacity),
+      engine_(std::make_unique<QueryEngine>(cache_, options.engine)) {}
+
+Service::~Service() = default;
+
+void Service::drain() { engine_->drain(); }
+
+bool Service::handle_line(const std::string& line, const Emit& emit) {
+  std::uint64_t id = 0;
+  try {
+    const Json request = Json::parse(line);
+    if (!request.is_object())
+      throw std::runtime_error("request must be a JSON object");
+    if (request.has("id")) id = request["id"].as_u64();
+    bool shutdown = false;
+    const Json response = handle_request(request, emit, shutdown);
+    if (!response.is_null()) emit(response.dump());
+    return !shutdown;
+  } catch (const std::exception& error) {
+    emit(error_response(id, error.what()).dump());
+    return true;
+  }
+}
+
+Json Service::handle_request(const Json& request, const Emit& emit,
+                             bool& shutdown) {
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& op = request["op"].is_string()
+                              ? request["op"].as_string()
+                              : throw std::runtime_error("missing op");
+  if (op == "query") {
+    handle_query(request, id, emit);
+    return Json();  // response emitted asynchronously
+  }
+  if (op == "load") return handle_load(request);
+  if (op == "gen") return handle_gen(request);
+  if (op == "evict") return handle_evict(request);
+  if (op == "stats")
+    return Json::object().set("id", id).set("status", "ok").set(
+        "result", stats_json());
+  if (op == "ping")
+    return Json::object().set("id", id).set("status", "ok");
+  if (op == "shutdown") {
+    shutdown = true;
+    return Json::object().set("id", id).set("status", "ok");
+  }
+  throw std::runtime_error("unknown op '" + op + "'");
+}
+
+Json Service::handle_load(const Json& request) {
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& name = request["graph"].as_string();
+  const std::string& path = request["path"].as_string();
+  const std::string format =
+      request.has("format") ? request["format"].as_string() : "edgelist";
+  graph::Vertex n = 0;
+  std::vector<graph::WeightedEdge> edges;
+  if (format == "edgelist") {
+    graph::EdgeListFile file = graph::read_edge_list_file(path);
+    n = file.n;
+    edges = std::move(file.edges);
+  } else if (format == "snap") {
+    graph::SnapFile file = graph::read_snap_file(path);
+    n = file.n;
+    edges = std::move(file.edges);
+  } else {
+    throw std::runtime_error("unknown format '" + format + "'");
+  }
+  const auto stored = store_.put(name, n, std::move(edges));
+  return graph_response(id, *stored);
+}
+
+Json Service::handle_gen(const Json& request) {
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& name = request["graph"].as_string();
+  const std::string& family = request["family"].as_string();
+  const std::uint64_t seed =
+      request.has("seed") ? request["seed"].as_u64() : 5226;
+  const std::uint64_t wmax = request.has("wmax") ? request["wmax"].as_u64() : 1;
+
+  graph::Vertex n = 0;
+  std::vector<graph::WeightedEdge> edges;
+  if (family == "er") {
+    n = static_cast<graph::Vertex>(request["n"].as_u64());
+    edges = gen::erdos_renyi(n, request["m"].as_u64(), seed);
+  } else if (family == "ws") {
+    n = static_cast<graph::Vertex>(request["n"].as_u64());
+    const auto k = static_cast<unsigned>(
+        request.has("k") ? request["k"].as_u64() : 4);
+    const double rewire =
+        request.has("rewire") ? request["rewire"].as_double() : 0.3;
+    edges = gen::watts_strogatz(n, k, rewire, seed);
+  } else if (family == "ba") {
+    n = static_cast<graph::Vertex>(request["n"].as_u64());
+    const auto attach = static_cast<unsigned>(
+        request.has("attach") ? request["attach"].as_u64() : 3);
+    edges = gen::barabasi_albert(n, attach, seed);
+  } else if (family == "rmat") {
+    const auto scale = static_cast<unsigned>(request["scale"].as_u64());
+    if (scale >= 31) throw std::runtime_error("rmat scale too large");
+    n = static_cast<graph::Vertex>(1u << scale);
+    edges = gen::rmat(scale, request["m"].as_u64(), seed);
+  } else {
+    throw std::runtime_error("unknown family '" + family + "'");
+  }
+  if (wmax > 1) gen::randomize_weights(edges, wmax, seed + 1);
+  const auto stored = store_.put(name, n, std::move(edges));
+  return graph_response(id, *stored);
+}
+
+bool Service::handle_query(const Json& request, std::uint64_t id,
+                           const Emit& emit) {
+  QueryRequest query;
+  query.kind = parse_query_kind(request["query"].is_string()
+                                    ? request["query"].as_string()
+                                    : throw std::runtime_error("missing query"));
+  query.params = parse_params(request["params"], options_.default_seed);
+  if (request.has("timeout_ms"))
+    query.timeout_seconds = request["timeout_ms"].as_double() / 1e3;
+  query.graph = store_.get(request["graph"].is_string()
+                               ? request["graph"].as_string()
+                               : throw std::runtime_error("missing graph"));
+  const QueryKind kind = query.kind;
+  engine_->submit(query, [id, kind, emit](const QueryResponse& response) {
+    emit(response_to_json(id, kind, response).dump());
+  });
+  return true;
+}
+
+Json Service::handle_evict(const Json& request) {
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& name = request["graph"].as_string();
+  const std::optional<std::uint64_t> fingerprint = store_.evict(name);
+  if (!fingerprint.has_value())
+    throw std::runtime_error("no such graph '" + name + "'");
+  const std::size_t dropped = cache_.invalidate_graph(*fingerprint);
+  return Json::object()
+      .set("id", id)
+      .set("status", "ok")
+      .set("result", Json::object()
+                         .set("graph", name)
+                         .set("cache_entries_dropped",
+                              static_cast<std::uint64_t>(dropped)));
+}
+
+Json Service::stats_json() const {
+  const EngineSnapshot snapshot = engine_->snapshot();
+  const GraphStore::Stats store = store_.stats();
+  Json kinds = Json::object();
+  for (std::size_t k = 0; k < snapshot.metrics.kinds.size(); ++k) {
+    const KindMetrics& metrics = snapshot.metrics.kinds[k];
+    if (metrics.submitted == 0) continue;
+    kinds.set(query_kind_name(static_cast<QueryKind>(k)),
+              kind_metrics_json(metrics));
+  }
+  return Json::object()
+      .set("total", kind_metrics_json(snapshot.metrics.total))
+      .set("kinds", std::move(kinds))
+      .set("throughput_per_s", snapshot.metrics.throughput_per_second())
+      .set("cache",
+           Json::object()
+               .set("hits", snapshot.cache.hits)
+               .set("misses", snapshot.cache.misses)
+               .set("insertions", snapshot.cache.insertions)
+               .set("evictions", snapshot.cache.evictions)
+               .set("entries", snapshot.cache.entries)
+               .set("hit_rate", snapshot.cache.hit_rate()))
+      .set("queue",
+           Json::object()
+               .set("depth", static_cast<std::uint64_t>(snapshot.queue_depth))
+               .set("in_flight",
+                    static_cast<std::uint64_t>(snapshot.in_flight))
+               .set("capacity", static_cast<std::uint64_t>(
+                                    engine_->options().queue_capacity))
+               .set("max_depth", snapshot.metrics.max_queue_depth))
+      .set("batching",
+           Json::object()
+               .set("batches", snapshot.metrics.batches)
+               .set("batched_requests", snapshot.metrics.batched_requests)
+               .set("max_batch", snapshot.metrics.max_batch))
+      .set("store",
+           Json::object()
+               .set("graphs", store.resident_graphs)
+               .set("bytes", store.resident_bytes)
+               .set("loads", store.loads)
+               .set("evictions", store.evictions));
+}
+
+}  // namespace camc::svc

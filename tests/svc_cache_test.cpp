@@ -1,0 +1,115 @@
+// Result-cache unit tests: keying, LRU eviction, counters, graph
+// invalidation. The "Svc" suite prefix routes these through the tsan
+// preset's filter alongside the engine tests.
+
+#include <gtest/gtest.h>
+
+#include "svc/query.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+namespace {
+
+CacheKey key_of(std::uint64_t graph, QueryKind kind, std::uint64_t seed,
+                const QueryParams& params = {}) {
+  CacheKey key;
+  key.graph_fingerprint = graph;
+  key.kind = kind;
+  key.params_hash = params_fingerprint(kind, params);
+  key.seed = seed;
+  return key;
+}
+
+QueryResult value_of(std::uint64_t value) {
+  QueryResult result;
+  result.value = value;
+  return result;
+}
+
+TEST(SvcCache, MissThenHit) {
+  ResultCache cache(4);
+  const CacheKey key = key_of(1, QueryKind::kCc, 7);
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key, value_of(42));
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 42u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SvcCache, KeyDiscriminatesEveryField) {
+  ResultCache cache(16);
+  const CacheKey base = key_of(1, QueryKind::kCc, 7);
+  cache.put(base, value_of(1));
+
+  EXPECT_FALSE(cache.get(key_of(2, QueryKind::kCc, 7)).has_value());
+  EXPECT_FALSE(cache.get(key_of(1, QueryKind::kMinCut, 7)).has_value());
+  EXPECT_FALSE(cache.get(key_of(1, QueryKind::kCc, 8)).has_value());
+
+  // Parameter changes move the params hash — for fields the kind uses.
+  QueryParams params;
+  params.epsilon = 0.5;
+  EXPECT_FALSE(
+      cache.get(key_of(1, QueryKind::kCc, 7, params)).has_value());
+
+  // ...but min_cut-only fields don't perturb a cc key.
+  QueryParams unrelated;
+  unrelated.success_probability = 0.95;
+  EXPECT_EQ(params_fingerprint(QueryKind::kCc, unrelated),
+            params_fingerprint(QueryKind::kCc, QueryParams{}));
+}
+
+TEST(SvcCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const CacheKey a = key_of(1, QueryKind::kCc, 1);
+  const CacheKey b = key_of(1, QueryKind::kCc, 2);
+  const CacheKey c = key_of(1, QueryKind::kCc, 3);
+  cache.put(a, value_of(1));
+  cache.put(b, value_of(2));
+  EXPECT_TRUE(cache.get(a).has_value());  // refresh a; b is now LRU
+  cache.put(c, value_of(3));              // evicts b
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(c).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SvcCache, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  const CacheKey a = key_of(1, QueryKind::kCc, 1);
+  const CacheKey b = key_of(1, QueryKind::kCc, 2);
+  cache.put(a, value_of(1));
+  cache.put(b, value_of(2));
+  cache.put(a, value_of(10));  // refresh, not insert
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.get(a)->value, 10u);
+  cache.put(key_of(1, QueryKind::kCc, 3), value_of(3));  // evicts b
+  EXPECT_FALSE(cache.get(b).has_value());
+}
+
+TEST(SvcCache, InvalidateGraphDropsOnlyThatGraph) {
+  ResultCache cache(8);
+  cache.put(key_of(1, QueryKind::kCc, 1), value_of(1));
+  cache.put(key_of(1, QueryKind::kMinCut, 1), value_of(2));
+  cache.put(key_of(2, QueryKind::kCc, 1), value_of(3));
+  EXPECT_EQ(cache.invalidate_graph(1), 2u);
+  EXPECT_FALSE(cache.get(key_of(1, QueryKind::kCc, 1)).has_value());
+  EXPECT_TRUE(cache.get(key_of(2, QueryKind::kCc, 1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SvcCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  const CacheKey key = key_of(1, QueryKind::kCc, 1);
+  cache.put(key, value_of(1));
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+}  // namespace
+}  // namespace camc::svc

@@ -1,0 +1,284 @@
+// QueryEngine behavior tests: coalescing, cache integration, backpressure,
+// deadline shedding, and fault recovery through the server path. The
+// pause()/resume() hooks freeze the dispatcher so queue states (full,
+// expired, coalescable) are constructed deterministically — no sleeps, no
+// races on "did the dispatcher get there first".
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "resilience/fault_plan.hpp"
+#include "svc/graph_store.hpp"
+#include "svc/query_engine.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+namespace {
+
+using resilience::FaultPlan;
+using resilience::ScopedFaultInjection;
+
+/// Thread-safe completion sink the tests block on.
+class Collector {
+ public:
+  QueryEngine::Completion sink() {
+    return [this](const QueryResponse& response) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      responses_.push_back(response);
+      // Notify under the lock: a waiter may destroy this Collector the
+      // moment the predicate holds, so the cv must not be touched after
+      // the mutex is released.
+      cv_.notify_all();
+    };
+  }
+
+  std::vector<QueryResponse> wait_for(std::size_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return responses_.size() >= count; });
+    return responses_;
+  }
+
+  std::size_t count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return responses_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<QueryResponse> responses_;
+};
+
+std::shared_ptr<const StoredGraph> test_graph(GraphStore& store,
+                                              std::uint64_t seed = 11) {
+  store.put("g", 200, gen::erdos_renyi(200, 800, seed));
+  return store.get("g");
+}
+
+QueryRequest cc_request(std::shared_ptr<const StoredGraph> graph,
+                        std::uint64_t seed) {
+  QueryRequest request;
+  request.graph = std::move(graph);
+  request.kind = QueryKind::kCc;
+  request.params.seed = seed;
+  return request;
+}
+
+QueryEngineOptions small_engine() {
+  QueryEngineOptions options;
+  options.threads = 2;
+  options.retry.backoff_base_seconds = 0.0;
+  return options;
+}
+
+TEST(SvcEngine, CoalescesIdenticalQueriesIntoOneExecution) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngine engine(cache, small_engine());
+
+  engine.pause();  // every submit lands in the queue before any executes
+  Collector collector;
+  constexpr std::size_t kClients = 8;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back(
+        [&] { engine.submit(cc_request(graph, 7), collector.sink()); });
+  for (auto& thread : clients) thread.join();
+  engine.resume();
+
+  const auto responses = collector.wait_for(kClients);
+  std::size_t coalesced = 0;
+  for (const QueryResponse& response : responses) {
+    EXPECT_EQ(response.status, QueryStatus::kOk);
+    EXPECT_EQ(response.result.components, responses[0].result.components);
+    if (response.coalesced) ++coalesced;
+  }
+  EXPECT_EQ(coalesced, kClients - 1);
+  // One unique computation: one insertion, one batch.
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(engine.snapshot().metrics.batches, 1u);
+}
+
+TEST(SvcEngine, ServesRepeatsFromCacheWithoutTheMachine) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngine engine(cache, small_engine());
+
+  Collector first;
+  engine.submit(cc_request(graph, 3), first.sink());
+  const auto cold = first.wait_for(1);
+  EXPECT_EQ(cold[0].status, QueryStatus::kOk);
+  EXPECT_FALSE(cold[0].cache_hit);
+
+  Collector second;
+  engine.submit(cc_request(graph, 3), second.sink());
+  const auto warm = second.wait_for(1);
+  EXPECT_EQ(warm[0].status, QueryStatus::kOk);
+  EXPECT_TRUE(warm[0].cache_hit);
+  EXPECT_EQ(warm[0].result.value, cold[0].result.value);
+  EXPECT_EQ(warm[0].attempts, 0u);  // no machine run behind a hit
+  EXPECT_EQ(engine.snapshot().metrics.batches, 1u);
+}
+
+TEST(SvcEngine, RejectsWhenAdmissionQueueIsFull) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngineOptions options = small_engine();
+  options.queue_capacity = 2;
+  QueryEngine engine(cache, options);
+
+  engine.pause();
+  Collector accepted;
+  engine.submit(cc_request(graph, 1), accepted.sink());
+  engine.submit(cc_request(graph, 2), accepted.sink());
+
+  // Queue full: the next distinct query is rejected synchronously...
+  Collector rejected;
+  engine.submit(cc_request(graph, 3), rejected.sink());
+  const auto over = rejected.wait_for(1);
+  EXPECT_EQ(over[0].status, QueryStatus::kRejected);
+
+  // ...but a duplicate of a queued query still coalesces (no new slot).
+  Collector joined;
+  engine.submit(cc_request(graph, 2), joined.sink());
+
+  engine.resume();
+  const auto ok = accepted.wait_for(2);
+  EXPECT_EQ(ok[0].status, QueryStatus::kOk);
+  EXPECT_EQ(ok[1].status, QueryStatus::kOk);
+  EXPECT_EQ(joined.wait_for(1)[0].status, QueryStatus::kOk);
+  EXPECT_TRUE(joined.wait_for(1)[0].coalesced);
+  EXPECT_EQ(engine.snapshot().metrics.total.rejected, 1u);
+}
+
+TEST(SvcEngine, ShedsExpiredQueriesAtDispatch) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngine engine(cache, small_engine());
+
+  engine.pause();
+  Collector collector;
+  QueryRequest doomed = cc_request(graph, 5);
+  doomed.timeout_seconds = 0.005;
+  engine.submit(doomed, collector.sink());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.resume();
+
+  const auto responses = collector.wait_for(1);
+  EXPECT_EQ(responses[0].status, QueryStatus::kShed);
+  EXPECT_EQ(engine.snapshot().metrics.total.shed, 1u);
+
+  // The shed query left no cache entry; a fresh submit recomputes fine.
+  Collector retry;
+  engine.submit(cc_request(graph, 5), retry.sink());
+  EXPECT_EQ(retry.wait_for(1)[0].status, QueryStatus::kOk);
+}
+
+TEST(SvcEngine, RecoversFromInjectedCrash) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngine engine(cache, small_engine());
+
+  // Baseline answer with no faults.
+  Collector baseline;
+  engine.submit(cc_request(graph, 9), baseline.sink());
+  const auto clean = baseline.wait_for(1);
+  ASSERT_EQ(clean[0].status, QueryStatus::kOk);
+
+  FaultPlan plan(/*seed=*/41);
+  plan.add_crash(/*rank=*/1, /*superstep=*/1);  // fires once, retry is clean
+  ScopedFaultInjection scope(&plan);
+
+  Collector collector;
+  engine.submit(cc_request(graph, 10), collector.sink());  // distinct key
+  const auto responses = collector.wait_for(1);
+  EXPECT_EQ(responses[0].status, QueryStatus::kOk);
+  EXPECT_GT(responses[0].attempts, 1u);
+  EXPECT_GE(responses[0].faults_survived, 1u);
+  EXPECT_EQ(responses[0].result.components, clean[0].result.components);
+  EXPECT_GE(engine.snapshot().metrics.total.faults_survived, 1u);
+}
+
+TEST(SvcEngine, ExhaustedRetryBudgetDegradesToFailed) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngineOptions options = small_engine();
+  options.retry.max_attempts = 2;
+  QueryEngine engine(cache, options);
+
+  FaultPlan plan(/*seed=*/42);
+  plan.add_crash(/*rank=*/0, /*superstep=*/0, /*collective=*/"",
+                 /*max_fires=*/0);  // every attempt dies
+  {
+    ScopedFaultInjection scope(&plan);
+    Collector collector;
+    engine.submit(cc_request(graph, 20), collector.sink());
+    const auto responses = collector.wait_for(1);
+    EXPECT_EQ(responses[0].status, QueryStatus::kFailed);
+    EXPECT_FALSE(responses[0].error.empty());
+    engine.drain();
+  }
+
+  // The engine survives: the same query succeeds once the faults stop.
+  Collector after;
+  engine.submit(cc_request(graph, 20), after.sink());
+  EXPECT_EQ(after.wait_for(1)[0].status, QueryStatus::kOk);
+}
+
+TEST(SvcEngine, NullGraphIsAnError) {
+  ResultCache cache(4);
+  QueryEngine engine(cache, small_engine());
+  Collector collector;
+  engine.submit(cc_request(nullptr, 1), collector.sink());
+  EXPECT_EQ(collector.wait_for(1)[0].status, QueryStatus::kError);
+}
+
+TEST(SvcEngine, BatchesCompatibleQueriesIntoOneEpoch) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  QueryEngine engine(cache, small_engine());
+
+  engine.pause();
+  Collector collector;
+  constexpr std::size_t kDistinct = 6;
+  for (std::uint64_t seed = 1; seed <= kDistinct; ++seed)
+    engine.submit(cc_request(graph, 100 + seed), collector.sink());
+  engine.resume();
+
+  const auto responses = collector.wait_for(kDistinct);
+  for (const QueryResponse& response : responses)
+    EXPECT_EQ(response.status, QueryStatus::kOk);
+  const auto snapshot = engine.snapshot();
+  EXPECT_EQ(snapshot.metrics.batches, 1u);  // one epoch, one scatter
+  EXPECT_EQ(snapshot.metrics.max_batch, kDistinct);
+}
+
+TEST(SvcEngine, ShutdownRejectsQueuedWork) {
+  GraphStore store;
+  const auto graph = test_graph(store);
+  ResultCache cache(64);
+  Collector collector;
+  {
+    QueryEngine engine(cache, small_engine());
+    engine.pause();
+    engine.submit(cc_request(graph, 55), collector.sink());
+  }  // destroyed while paused with work queued
+  const auto responses = collector.wait_for(1);
+  EXPECT_EQ(responses[0].status, QueryStatus::kRejected);
+}
+
+}  // namespace
+}  // namespace camc::svc

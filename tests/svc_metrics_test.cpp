@@ -1,0 +1,105 @@
+// Metrics-registry unit tests: percentile math, per-status tallies, and
+// the engine-level gauges.
+
+#include <gtest/gtest.h>
+
+#include "svc/metrics.hpp"
+
+namespace camc::svc {
+namespace {
+
+QueryResponse response_with(QueryStatus status, double latency_seconds = 0.0) {
+  QueryResponse response;
+  response.status = status;
+  response.latency_seconds = latency_seconds;
+  return response;
+}
+
+TEST(SvcMetrics, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  std::vector<double> sample;
+  for (int i = 100; i >= 1; --i) sample.push_back(i);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(sample, 50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 95), 95.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 100), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0), 1.0);
+}
+
+TEST(SvcMetrics, TalliesPerStatusAndKind) {
+  MetricsRegistry registry;
+  registry.record(QueryKind::kCc, response_with(QueryStatus::kOk, 0.010));
+  registry.record(QueryKind::kCc, response_with(QueryStatus::kOk, 0.030));
+  registry.record(QueryKind::kCc, response_with(QueryStatus::kRejected));
+  registry.record(QueryKind::kMinCut, response_with(QueryStatus::kShed));
+  registry.record(QueryKind::kMinCut, response_with(QueryStatus::kFailed));
+  registry.record(QueryKind::kSparsify, response_with(QueryStatus::kError));
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const KindMetrics& cc = snapshot.kinds[static_cast<std::size_t>(QueryKind::kCc)];
+  EXPECT_EQ(cc.submitted, 3u);
+  EXPECT_EQ(cc.ok, 2u);
+  EXPECT_EQ(cc.rejected, 1u);
+  EXPECT_EQ(cc.latency.count, 2u);
+  EXPECT_DOUBLE_EQ(cc.latency.mean_seconds, 0.020);
+  EXPECT_DOUBLE_EQ(cc.latency.max_seconds, 0.030);
+
+  EXPECT_EQ(snapshot.total.submitted, 6u);
+  EXPECT_EQ(snapshot.total.ok, 2u);
+  EXPECT_EQ(snapshot.total.shed, 1u);
+  EXPECT_EQ(snapshot.total.failed, 1u);
+  EXPECT_EQ(snapshot.total.errors, 1u);
+}
+
+TEST(SvcMetrics, CacheAndCoalescedCounters) {
+  MetricsRegistry registry;
+  QueryResponse hit = response_with(QueryStatus::kOk, 0.001);
+  hit.cache_hit = true;
+  QueryResponse joined = response_with(QueryStatus::kOk, 0.002);
+  joined.coalesced = true;
+  joined.faults_survived = 2;
+  registry.record(QueryKind::kCc, hit);
+  registry.record(QueryKind::kCc, joined);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.total.cache_hits, 1u);
+  EXPECT_EQ(snapshot.total.coalesced, 1u);
+  EXPECT_EQ(snapshot.total.faults_survived, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.cache_hit_rate(), 0.5);
+}
+
+TEST(SvcMetrics, GaugesTrackMaxima) {
+  MetricsRegistry registry;
+  registry.record_queue_depth(3);
+  registry.record_queue_depth(9);
+  registry.record_queue_depth(4);
+  registry.record_batch(2);
+  registry.record_batch(5);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.max_queue_depth, 9u);
+  EXPECT_EQ(snapshot.batches, 2u);
+  EXPECT_EQ(snapshot.batched_requests, 7u);
+  EXPECT_EQ(snapshot.max_batch, 5u);
+  EXPECT_GE(snapshot.elapsed_seconds, 0.0);
+}
+
+TEST(SvcMetrics, LatencyReservoirStaysBounded) {
+  MetricsRegistry registry(/*latency_capacity=*/64);
+  for (int i = 0; i < 1000; ++i)
+    registry.record(QueryKind::kCc,
+                    response_with(QueryStatus::kOk, 0.001 * (i + 1)));
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const KindMetrics& cc = snapshot.kinds[static_cast<std::size_t>(QueryKind::kCc)];
+  EXPECT_EQ(cc.latency.count, 1000u);  // count is exact
+  // Percentiles come from the reservoir but must stay within the sample
+  // range and ordered.
+  EXPECT_GT(cc.latency.p50_seconds, 0.0);
+  EXPECT_LE(cc.latency.p50_seconds, cc.latency.p95_seconds);
+  EXPECT_LE(cc.latency.p95_seconds, cc.latency.p99_seconds);
+  EXPECT_LE(cc.latency.p99_seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace camc::svc

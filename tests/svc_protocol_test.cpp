@@ -1,0 +1,235 @@
+// Protocol tests: the JSON value type, golden response serialization, the
+// Service request loop driven in-process, and the camc_serve binary end to
+// end over a shell pipeline.
+
+#ifndef CAMC_TOOL_DIR
+#define CAMC_TOOL_DIR ""
+#endif
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "svc/service.hpp"
+
+namespace camc::svc {
+namespace {
+
+TEST(SvcJson, RoundTripsExactIntegers) {
+  const std::uint64_t big = 18446744073709551615ull;  // > 2^53
+  const Json value = Json::object()
+                         .set("seed", big)
+                         .set("small", 7)
+                         .set("negative", std::int64_t{-12})
+                         .set("real", 0.25)
+                         .set("flag", true)
+                         .set("name", "g");
+  const Json parsed = Json::parse(value.dump());
+  EXPECT_EQ(parsed["seed"].as_u64(), big);
+  EXPECT_EQ(parsed["small"].as_u64(), 7u);
+  EXPECT_EQ(parsed["negative"].as_i64(), -12);
+  EXPECT_DOUBLE_EQ(parsed["real"].as_double(), 0.25);
+  EXPECT_TRUE(parsed["flag"].as_bool());
+  EXPECT_EQ(parsed["name"].as_string(), "g");
+}
+
+TEST(SvcJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{}trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":01}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(SvcJson, EscapesStrings) {
+  const Json value = Json::object().set("s", "a\"b\\c\nd");
+  const std::string dumped = value.dump();
+  EXPECT_EQ(dumped, "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+  EXPECT_EQ(Json::parse(dumped)["s"].as_string(), "a\"b\\c\nd");
+}
+
+TEST(SvcProtocol, GoldenOkResponse) {
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 1;
+  response.result.components = 2;
+  response.result.largest_component = 150;
+  response.result.iterations = 4;
+  response.attempts = 1;
+  response.latency_seconds = 0.25;  // exact in binary: 250 ms
+  EXPECT_EQ(response_to_json(3, QueryKind::kCc, response).dump(),
+            "{\"id\":3,\"status\":\"ok\",\"query\":\"cc\","
+            "\"result\":{\"value\":1,\"components\":2,"
+            "\"largest_component\":150,\"iterations\":4},"
+            "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
+            "\"latency_ms\":250}");
+}
+
+TEST(SvcProtocol, GoldenRejectedResponse) {
+  QueryResponse response;
+  response.status = QueryStatus::kRejected;
+  response.error = "admission queue full";
+  EXPECT_EQ(response_to_json(9, QueryKind::kMinCut, response).dump(),
+            "{\"id\":9,\"status\":\"rejected\",\"query\":\"min_cut\","
+            "\"error\":\"admission queue full\","
+            "\"cached\":false,\"coalesced\":false,\"attempts\":0,"
+            "\"latency_ms\":0}");
+}
+
+TEST(SvcProtocol, GoldenRecoveredResponseRoundTrips) {
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 6;
+  response.result.trials = 12;
+  response.attempts = 2;
+  response.faults_survived = 1;
+  response.latency_seconds = 0.5;
+  const Json parsed =
+      Json::parse(response_to_json(4, QueryKind::kApproxMinCut, response).dump());
+  EXPECT_EQ(parsed["status"].as_string(), "ok");
+  EXPECT_EQ(parsed["query"].as_string(), "approx_min_cut");
+  EXPECT_EQ(parsed["attempts"].as_u64(), 2u);
+  EXPECT_EQ(parsed["faults_survived"].as_u64(), 1u);
+  EXPECT_EQ(parsed["result"]["value"].as_u64(), 6u);
+}
+
+/// Emit sink for in-process Service runs; queries complete asynchronously,
+/// so collection blocks on a condition variable.
+class Emitted {
+ public:
+  Service::Emit sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(Json::parse(line));
+      // Under the lock: the waiter may destroy this sink once the
+      // predicate holds.
+      cv_.notify_all();
+    };
+  }
+
+  Json wait_for_id(std::uint64_t id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Json found;
+    cv_.wait(lock, [&] {
+      for (const Json& line : lines_)
+        if (line["id"].as_u64() == id) {
+          found = line;
+          return true;
+        }
+      return false;
+    });
+    return found;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Json> lines_;
+};
+
+TEST(SvcProtocol, ServiceHandlesFullSession) {
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  EXPECT_TRUE(service.handle_line("{\"id\":1,\"op\":\"ping\"}", emit));
+  EXPECT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":2,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+      "\"n\":300,\"m\":1200,\"seed\":5}",
+      emit));
+  const Json loaded = emitted.wait_for_id(2);
+  EXPECT_EQ(loaded["status"].as_string(), "ok");
+  EXPECT_EQ(loaded["result"]["n"].as_u64(), 300u);
+  EXPECT_EQ(loaded["result"]["fingerprint"].as_string().size(), 16u);
+
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":3,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"seed\":7}}",
+      emit));
+  const Json cold = emitted.wait_for_id(3);
+  EXPECT_EQ(cold["status"].as_string(), "ok");
+  EXPECT_FALSE(cold["cached"].as_bool());
+
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":4,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"seed\":7}}",
+      emit));
+  const Json warm = emitted.wait_for_id(4);
+  EXPECT_EQ(warm["status"].as_string(), "ok");
+  EXPECT_TRUE(warm["cached"].as_bool());
+  EXPECT_EQ(warm["result"]["components"].as_u64(),
+            cold["result"]["components"].as_u64());
+
+  EXPECT_TRUE(service.handle_line("{\"id\":5,\"op\":\"stats\"}", emit));
+  const Json stats = emitted.wait_for_id(5);
+  EXPECT_EQ(stats["result"]["cache"]["hits"].as_u64(), 1u);
+  EXPECT_EQ(stats["result"]["store"]["graphs"].as_u64(), 1u);
+
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":6,\"op\":\"evict\",\"graph\":\"g\"}", emit));
+  EXPECT_EQ(emitted.wait_for_id(6)["status"].as_string(), "ok");
+
+  // Querying the evicted graph is a structured error, not a crash.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":7,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\"}", emit));
+  EXPECT_EQ(emitted.wait_for_id(7)["status"].as_string(), "error");
+
+  // Malformed lines get an error response and keep the session alive.
+  EXPECT_TRUE(service.handle_line("this is not json", emit));
+  EXPECT_TRUE(service.handle_line("{\"id\":8,\"op\":\"nope\"}", emit));
+  EXPECT_EQ(emitted.wait_for_id(8)["status"].as_string(), "error");
+
+  EXPECT_FALSE(service.handle_line("{\"id\":9,\"op\":\"shutdown\"}", emit));
+  EXPECT_EQ(emitted.wait_for_id(9)["status"].as_string(), "ok");
+}
+
+TEST(SvcProtocol, ServeBinaryEndToEnd) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  const std::string command =
+      "printf '%s\\n' "
+      "'{\"id\":1,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+      "\"n\":200,\"m\":800,\"seed\":3}' "
+      "'{\"id\":2,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\"}' "
+      "'{\"id\":3,\"op\":\"shutdown\"}' | " +
+      std::string(CAMC_TOOL_DIR) + "/camc_serve --threads=2 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  ASSERT_EQ(WEXITSTATUS(status), 0) << output;
+
+  // Every line must parse; collect statuses by id.
+  std::size_t seen = 0;
+  bool query_ok = false;
+  std::size_t start = 0;
+  while (start < output.size()) {
+    std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) end = output.size();
+    const std::string line = output.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const Json parsed = Json::parse(line);
+    EXPECT_EQ(parsed["status"].as_string(), "ok") << line;
+    if (parsed["id"].as_u64() == 2 &&
+        parsed["result"]["components"].as_u64() >= 1)
+      query_ok = true;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 3u) << output;
+  EXPECT_TRUE(query_ok) << output;
+}
+
+}  // namespace
+}  // namespace camc::svc

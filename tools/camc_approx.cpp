@@ -1,6 +1,6 @@
 // Approximate minimum cut tool — the artifact's `approx_cut`.
 //
-//   camc_approx <edge-list-file> [--p=N] [--seed=S]
+//   camc_approx <edge-list-file> [--threads=N] [--seed=S] [--json]
 
 #include "core/approx_mincut.hpp"
 #include "graph/dist_edge_array.hpp"
@@ -9,7 +9,9 @@
 int main(int argc, char** argv) {
   using namespace camc;
   const auto args = tools::parse_tool_args(
-      argc, argv, "usage: camc_approx <edge-list-file> [--p=N] [--seed=S] [--snap]");
+      argc, argv,
+      "usage: camc_approx <edge-list-file> [--threads=N] [--seed=S] [--snap] "
+      "[--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);

@@ -1,6 +1,6 @@
 // Connected components tool — the artifact's `parallel_cc`.
 //
-//   camc_cc <edge-list-file> [--p=N] [--seed=S]
+//   camc_cc <edge-list-file> [--threads=N] [--seed=S] [--json]
 //
 // Prints the component count, the largest component's size, and the
 // PROF instrumentation line.
@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace camc;
   const auto args = tools::parse_tool_args(
-      argc, argv, "usage: camc_cc <edge-list-file> [--p=N] [--seed=S] [--snap]");
+      argc, argv,
+      "usage: camc_cc <edge-list-file> [--threads=N] [--seed=S] [--snap] "
+      "[--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);

@@ -16,6 +16,7 @@
 #include "gen/generators.hpp"
 #include "gen/verification.hpp"
 #include "graph/io.hpp"
+#include "tool_common.hpp"
 
 namespace {
 
@@ -38,20 +39,14 @@ int main(int argc, char** argv) {
   const std::string family = argv[1];
 
   std::uint64_t seed = 5226, wmax = 1;
+  tools::FlagParser parser;
+  parser.flag("seed", &seed);
+  parser.flag("wmax", &wmax);
   std::vector<std::string> positional;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg.rfind("--seed=", 0) == 0)
-        seed = std::stoull(arg.substr(7));
-      else if (arg.rfind("--wmax=", 0) == 0)
-        wmax = std::stoull(arg.substr(7));
-      else
-        positional.push_back(arg);
-    } catch (const std::exception&) {
-      usage();
-    }
-  }
+  // Skip argv[1] (the family) by parsing from there.
+  if (!parser.parse(argc - 1, argv + 1,
+                    "camc_gen: bad flag (see usage below)", &positional))
+    usage();
 
   try {
     if (family == "suite") {

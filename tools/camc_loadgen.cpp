@@ -1,0 +1,669 @@
+// Load generator for camc_serve — drives the NDJSON protocol over a pipe
+// pair and reports client-side latency percentiles plus the server's own
+// stats.
+//
+//   camc_loadgen [--serve=PATH] [--threads=N] [--seed=S]
+//                [--clients=N | --rate=R] [--requests=N] [--phases=K]
+//                [--mix=cc:8,min_cut:1] [--graphs=er:2000:8000[,...]]
+//                [--distinct-seeds=K] [--timeout-ms=T]
+//                [--queue=N] [--batch=N] [--cache=N]
+//                [--json] [--strict]
+//
+// The workload is a deterministic function of --seed: a fixed tuple list
+// of (graph, query kind, query seed) is drawn once, then replayed --phases
+// times. Phase 0 runs cache-cold; later phases replay the same tuples and
+// measure the warm (cache-served) throughput, so the report's
+// warm_cold_speedup is the cache's end-to-end effect.
+//
+// Closed loop (--clients=N): N client threads each keep one request
+// outstanding. Open loop (--rate=R): one sender issues requests at R/s
+// regardless of completions — queue growth then shows up as shed/rejected
+// responses rather than sender back-off.
+//
+// A protocol error (unparseable response line, unknown id, premature
+// server exit) is counted and, under --strict, fails the run; the
+// acceptance workloads require zero.
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rng/philox.hpp"
+#include "svc/json.hpp"
+#include "svc/metrics.hpp"
+#include "svc/query.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace camc;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string serve_path;
+  int threads = 4;
+  std::uint64_t seed = 5226;
+  int clients = 4;
+  double rate = 0.0;  // >0 selects open-loop mode
+  std::size_t requests = 1000;
+  int phases = 1;
+  std::string mix = "cc:1";
+  std::string graphs = "er:2000:8000";
+  std::uint64_t distinct_seeds = 16;
+  double timeout_ms = 0.0;
+  std::size_t queue = 256, batch = 16, cache = 4096;
+  bool json = false;
+  bool strict = false;
+};
+
+struct GraphSpec {
+  std::string name;
+  std::string family;
+  std::uint64_t a = 0, b = 0;  // er/rmat: n,m; ba: n,attach; ws: n,k
+};
+
+struct WorkItem {
+  std::size_t graph_index = 0;
+  svc::QueryKind kind = svc::QueryKind::kCc;
+  std::uint64_t seed = 1;
+};
+
+/// One in-flight request awaiting its response line.
+struct Outstanding {
+  Clock::time_point sent;
+  int phase = -1;  // -1: control op (gen/stats/shutdown)
+  svc::QueryKind kind = svc::QueryKind::kCc;
+  svc::Json* result = nullptr;            // filled for control ops
+  std::condition_variable* wake = nullptr;  // notified on completion
+  bool* done_flag = nullptr;
+};
+
+struct PhaseTally {
+  std::vector<double> latencies_ms;  ///< ok responses only
+  std::uint64_t sent = 0, ok = 0, rejected = 0, shed = 0, failed = 0,
+                errors = 0, cached = 0, coalesced = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Client side of the pipe pair: serialized writes, a reader thread that
+/// demultiplexes response lines by id, and per-phase tallies.
+class Client {
+ public:
+  Client(int write_fd, int read_fd, int phases)
+      : write_fd_(write_fd), tallies_(static_cast<std::size_t>(phases)) {
+    reader_ = std::thread([this, read_fd] { read_loop(read_fd); });
+  }
+
+  ~Client() {
+    if (write_fd_ >= 0) close(write_fd_);
+    if (reader_.joinable()) reader_.join();
+  }
+
+  /// Sends one line and registers the id; thread-safe.
+  void send(std::uint64_t id, const std::string& line, Outstanding pending) {
+    pending.sent = Clock::now();
+    {
+      std::lock_guard<std::mutex> hold(state_mutex_);
+      outstanding_.emplace(id, pending);
+      if (pending.phase >= 0)
+        ++tallies_[static_cast<std::size_t>(pending.phase)].sent;
+    }
+    std::string framed = line + "\n";
+    std::lock_guard<std::mutex> hold(write_mutex_);
+    if (write_fd_ < 0 ||
+        write(write_fd_, framed.data(), framed.size()) !=
+            static_cast<ssize_t>(framed.size())) {
+      note_protocol_error();
+      complete_locked_erase(id);
+    }
+  }
+
+  /// Sends a control op and blocks for its response; returns the parsed
+  /// response (null Json if the server died first).
+  svc::Json call(std::uint64_t id, const std::string& line) {
+    svc::Json result;
+    std::condition_variable wake;
+    bool done = false;
+    Outstanding pending;
+    pending.result = &result;
+    pending.wake = &wake;
+    pending.done_flag = &done;
+    send(id, line, pending);
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    wake.wait(lock, [&done] { return done; });
+    return result;
+  }
+
+  /// Closed-loop wait for one query id previously sent with wake/done set.
+  void wait(std::condition_variable& wake, bool& done) {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    wake.wait(lock, [&done] { return done; });
+  }
+
+  /// Blocks until no requests are outstanding (open-loop drain).
+  void drain() {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    idle_cv_.wait(lock, [this] { return outstanding_.empty() || eof_; });
+  }
+
+  void close_write() {
+    std::lock_guard<std::mutex> hold(write_mutex_);
+    if (write_fd_ >= 0) close(write_fd_);
+    write_fd_ = -1;
+  }
+
+  std::mutex& state_mutex() { return state_mutex_; }
+  std::vector<PhaseTally>& tallies() { return tallies_; }
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  void note_protocol_error() { ++protocol_errors_; }
+
+ private:
+  void read_loop(int read_fd) {
+    FILE* stream = fdopen(read_fd, "r");
+    if (stream == nullptr) {
+      close(read_fd);
+      on_eof();
+      return;
+    }
+    char* buffer = nullptr;
+    std::size_t capacity = 0;
+    ssize_t length;
+    while ((length = getline(&buffer, &capacity, stream)) != -1) {
+      while (length > 0 &&
+             (buffer[length - 1] == '\n' || buffer[length - 1] == '\r'))
+        buffer[--length] = '\0';
+      if (length == 0) continue;
+      handle_response(std::string(buffer, static_cast<std::size_t>(length)));
+    }
+    free(buffer);
+    fclose(stream);
+    on_eof();
+  }
+
+  void handle_response(const std::string& line) {
+    svc::Json response;
+    try {
+      response = svc::Json::parse(line);
+      if (!response.is_object() || !response.has("id"))
+        throw std::runtime_error("response without id");
+    } catch (const std::exception&) {
+      note_protocol_error();
+      return;
+    }
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> hold(state_mutex_);
+    const auto it = outstanding_.find(response["id"].as_u64());
+    if (it == outstanding_.end()) {
+      ++protocol_errors_;
+      return;
+    }
+    Outstanding pending = it->second;
+    outstanding_.erase(it);
+    if (pending.phase >= 0) {
+      PhaseTally& tally = tallies_[static_cast<std::size_t>(pending.phase)];
+      const std::string status = response["status"].is_string()
+                                     ? response["status"].as_string()
+                                     : "error";
+      if (status == "ok") {
+        ++tally.ok;
+        tally.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - pending.sent)
+                .count());
+        if (response["cached"].is_bool() && response["cached"].as_bool())
+          ++tally.cached;
+        if (response["coalesced"].is_bool() &&
+            response["coalesced"].as_bool())
+          ++tally.coalesced;
+      } else if (status == "rejected") {
+        ++tally.rejected;
+      } else if (status == "shed") {
+        ++tally.shed;
+      } else if (status == "failed") {
+        ++tally.failed;
+      } else {
+        ++tally.errors;
+      }
+    }
+    if (pending.result != nullptr) *pending.result = std::move(response);
+    finish(pending);
+    if (outstanding_.empty()) idle_cv_.notify_all();
+  }
+
+  void on_eof() {
+    std::lock_guard<std::mutex> hold(state_mutex_);
+    eof_ = true;
+    for (auto& [id, pending] : outstanding_) {
+      ++protocol_errors_;  // server exited with the request unanswered
+      finish(pending);
+    }
+    outstanding_.clear();
+    idle_cv_.notify_all();
+  }
+
+  // Callers hold state_mutex_.
+  void finish(Outstanding& pending) {
+    if (pending.done_flag != nullptr) *pending.done_flag = true;
+    if (pending.wake != nullptr) pending.wake->notify_all();
+  }
+
+  void complete_locked_erase(std::uint64_t id) {
+    std::lock_guard<std::mutex> hold(state_mutex_);
+    const auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) return;
+    finish(it->second);
+    outstanding_.erase(it);
+  }
+
+  int write_fd_;
+  std::mutex write_mutex_;
+  std::mutex state_mutex_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::vector<PhaseTally> tallies_;
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  bool eof_ = false;
+  std::thread reader_;
+};
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(delimiter, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::vector<GraphSpec> parse_graphs(const std::string& spec) {
+  std::vector<GraphSpec> out;
+  for (const std::string& part : split(spec, ',')) {
+    const auto fields = split(part, ':');
+    if (fields.size() != 3) throw std::runtime_error("bad graph spec " + part);
+    GraphSpec graph;
+    graph.name = "g" + std::to_string(out.size());
+    graph.family = fields[0];
+    graph.a = std::stoull(fields[1]);
+    graph.b = std::stoull(fields[2]);
+    out.push_back(std::move(graph));
+  }
+  if (out.empty()) throw std::runtime_error("no graphs");
+  return out;
+}
+
+std::vector<std::pair<svc::QueryKind, std::uint64_t>> parse_mix(
+    const std::string& spec) {
+  std::vector<std::pair<svc::QueryKind, std::uint64_t>> out;
+  for (const std::string& part : split(spec, ',')) {
+    const auto fields = split(part, ':');
+    if (fields.empty() || fields.size() > 2)
+      throw std::runtime_error("bad mix entry " + part);
+    const std::uint64_t weight =
+        fields.size() == 2 ? std::stoull(fields[1]) : 1;
+    if (weight > 0) out.emplace_back(svc::parse_query_kind(fields[0]), weight);
+  }
+  if (out.empty()) throw std::runtime_error("empty mix");
+  return out;
+}
+
+/// Deterministic workload: requests drawn with a counter-based RNG so the
+/// same --seed replays the same tuple list.
+std::vector<WorkItem> draw_workload(const Options& options,
+                                    std::size_t graph_count) {
+  const auto mix = parse_mix(options.mix);
+  std::uint64_t total_weight = 0;
+  for (const auto& [kind, weight] : mix) total_weight += weight;
+  rng::Philox rng(options.seed, /*stream=*/0x4C4F4144);  // "LOAD"
+  std::vector<WorkItem> items;
+  items.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    WorkItem item;
+    item.graph_index = rng() % graph_count;
+    std::uint64_t roll = rng() % total_weight;
+    for (const auto& [kind, weight] : mix) {
+      if (roll < weight) {
+        item.kind = kind;
+        break;
+      }
+      roll -= weight;
+    }
+    item.seed = 1 + rng() % options.distinct_seeds;
+    items.push_back(item);
+  }
+  return items;
+}
+
+std::string query_line(std::uint64_t id, const GraphSpec& graph,
+                       const WorkItem& item, double timeout_ms) {
+  svc::Json request = svc::Json::object()
+                          .set("id", id)
+                          .set("op", "query")
+                          .set("graph", graph.name)
+                          .set("query", svc::query_kind_name(item.kind))
+                          .set("params",
+                               svc::Json::object().set("seed", item.seed));
+  if (timeout_ms > 0) request.set("timeout_ms", timeout_ms);
+  return request.dump();
+}
+
+struct Spawned {
+  pid_t pid = -1;
+  int to_child = -1;
+  int from_child = -1;
+};
+
+Spawned spawn_serve(const Options& options) {
+  int in_pipe[2], out_pipe[2];
+  if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0)
+    throw std::runtime_error("pipe() failed");
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+  if (pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    const std::string threads = "--threads=" + std::to_string(options.threads);
+    const std::string queue = "--queue=" + std::to_string(options.queue);
+    const std::string batch = "--batch=" + std::to_string(options.batch);
+    const std::string cache = "--cache=" + std::to_string(options.cache);
+    execl(options.serve_path.c_str(), options.serve_path.c_str(),
+          threads.c_str(), queue.c_str(), batch.c_str(), cache.c_str(),
+          static_cast<char*>(nullptr));
+    std::perror("camc_loadgen: exec camc_serve");
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  Spawned spawned;
+  spawned.pid = pid;
+  spawned.to_child = in_pipe[1];
+  spawned.from_child = out_pipe[0];
+  return spawned;
+}
+
+svc::Json phase_report(const PhaseTally& tally) {
+  // Copy: percentile() sorts its argument.
+  const std::vector<double>& lat = tally.latencies_ms;
+  double mean = 0.0;
+  for (const double v : lat) mean += v;
+  if (!lat.empty()) mean /= static_cast<double>(lat.size());
+  const double throughput =
+      tally.elapsed_seconds > 0
+          ? static_cast<double>(tally.ok) / tally.elapsed_seconds
+          : 0.0;
+  return svc::Json::object()
+      .set("sent", tally.sent)
+      .set("ok", tally.ok)
+      .set("rejected", tally.rejected)
+      .set("shed", tally.shed)
+      .set("failed", tally.failed)
+      .set("errors", tally.errors)
+      .set("cached", tally.cached)
+      .set("coalesced", tally.coalesced)
+      .set("elapsed_s", tally.elapsed_seconds)
+      .set("throughput_per_s", throughput)
+      .set("mean_ms", mean)
+      .set("p50_ms", svc::percentile(lat, 50))
+      .set("p95_ms", svc::percentile(lat, 95))
+      .set("p99_ms", svc::percentile(lat, 99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* usage =
+      "usage: camc_loadgen [--serve=PATH] [--threads=N] [--seed=S]\n"
+      "                    [--clients=N | --rate=R] [--requests=N]\n"
+      "                    [--phases=K] [--mix=cc:8,min_cut:1]\n"
+      "                    [--graphs=er:2000:8000[,...]]\n"
+      "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
+      "                    [--queue=N] [--batch=N] [--cache=N]\n"
+      "                    [--json] [--strict]";
+
+  Options options;
+  tools::FlagParser parser;
+  parser.flag("serve", &options.serve_path);
+  parser.flag("threads", &options.threads);
+  parser.flag("p", &options.threads);
+  parser.flag("seed", &options.seed);
+  parser.flag("clients", &options.clients);
+  parser.flag("rate", &options.rate);
+  parser.flag("requests", &options.requests);
+  parser.flag("phases", &options.phases);
+  parser.flag("mix", &options.mix);
+  parser.flag("graphs", &options.graphs);
+  parser.flag("distinct-seeds", &options.distinct_seeds);
+  parser.flag("timeout-ms", &options.timeout_ms);
+  parser.flag("queue", &options.queue);
+  parser.flag("batch", &options.batch);
+  parser.flag("cache", &options.cache);
+  parser.toggle("json", &options.json);
+  parser.toggle("strict", &options.strict);
+  if (!parser.parse(argc, argv, usage)) return 2;
+  if (options.threads < 1 || options.clients < 1 || options.phases < 1 ||
+      options.requests == 0 || options.distinct_seeds == 0) {
+    std::cerr << usage << "\n";
+    return 2;
+  }
+  if (options.serve_path.empty()) {
+    // Default: camc_serve next to this binary.
+    std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    options.serve_path =
+        (slash == std::string::npos ? std::string(".")
+                                    : self.substr(0, slash)) +
+        "/camc_serve";
+  }
+
+  try {
+    const std::vector<GraphSpec> graphs = parse_graphs(options.graphs);
+    const std::vector<WorkItem> workload =
+        draw_workload(options, graphs.size());
+
+    Spawned serve = spawn_serve(options);
+    Client client(serve.to_child, serve.from_child, options.phases);
+    std::uint64_t next_id = 1;
+
+    // Stage the graphs; any non-ok response here is fatal.
+    for (const GraphSpec& graph : graphs) {
+      svc::Json request = svc::Json::object()
+                              .set("id", next_id)
+                              .set("op", "gen")
+                              .set("graph", graph.name)
+                              .set("family", graph.family)
+                              .set("seed", options.seed);
+      if (graph.family == "rmat")
+        request.set("scale", graph.a).set("m", graph.b);
+      else if (graph.family == "ba")
+        request.set("n", graph.a).set("attach", graph.b);
+      else if (graph.family == "ws")
+        request.set("n", graph.a).set("k", graph.b);
+      else
+        request.set("n", graph.a).set("m", graph.b);
+      const svc::Json response = client.call(next_id++, request.dump());
+      if (!response.is_object() || !response["status"].is_string() ||
+          response["status"].as_string() != "ok")
+        throw std::runtime_error("failed to stage graph " + graph.name);
+    }
+
+    std::atomic<std::uint64_t> id_counter{next_id};
+    for (int phase = 0; phase < options.phases; ++phase) {
+      const auto phase_start = Clock::now();
+      if (options.rate > 0) {
+        // Open loop: fixed inter-arrival schedule, completions ignored.
+        const auto interval = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(1.0 / options.rate));
+        auto due = Clock::now();
+        for (const WorkItem& item : workload) {
+          std::this_thread::sleep_until(due);
+          due += interval;
+          const std::uint64_t id = id_counter++;
+          Outstanding pending;
+          pending.phase = phase;
+          pending.kind = item.kind;
+          client.send(id,
+                      query_line(id, graphs[item.graph_index], item,
+                                 options.timeout_ms),
+                      pending);
+        }
+        client.drain();
+      } else {
+        // Closed loop: each client thread keeps one request outstanding.
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<std::size_t>(options.clients));
+        for (int c = 0; c < options.clients; ++c) {
+          clients.emplace_back([&, c, phase] {
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < workload.size();
+                 i += static_cast<std::size_t>(options.clients)) {
+              const WorkItem& item = workload[i];
+              const std::uint64_t id = id_counter++;
+              std::condition_variable wake;
+              bool done = false;
+              Outstanding pending;
+              pending.phase = phase;
+              pending.kind = item.kind;
+              pending.wake = &wake;
+              pending.done_flag = &done;
+              client.send(id,
+                          query_line(id, graphs[item.graph_index], item,
+                                     options.timeout_ms),
+                          pending);
+              client.wait(wake, done);
+            }
+          });
+        }
+        for (std::thread& thread : clients) thread.join();
+      }
+      client.tallies()[static_cast<std::size_t>(phase)].elapsed_seconds =
+          std::chrono::duration<double>(Clock::now() - phase_start).count();
+    }
+
+    // Pull the server's own counters, then shut it down cleanly.
+    const std::uint64_t stats_id = id_counter++;
+    const svc::Json stats_response = client.call(
+        stats_id,
+        svc::Json::object().set("id", stats_id).set("op", "stats").dump());
+    const std::uint64_t bye_id = id_counter++;
+    client.call(bye_id, svc::Json::object()
+                            .set("id", bye_id)
+                            .set("op", "shutdown")
+                            .dump());
+    client.close_write();
+    int wait_status = 0;
+    waitpid(serve.pid, &wait_status, 0);
+
+    // Report.
+    std::uint64_t total_sent = 0, total_ok = 0, total_rejected = 0,
+                  total_shed = 0, total_failed = 0, total_errors = 0,
+                  total_cached = 0, total_coalesced = 0;
+    svc::Json phases = svc::Json::array();
+    for (const PhaseTally& tally : client.tallies()) {
+      total_sent += tally.sent;
+      total_ok += tally.ok;
+      total_rejected += tally.rejected;
+      total_shed += tally.shed;
+      total_failed += tally.failed;
+      total_errors += tally.errors;
+      total_cached += tally.cached;
+      total_coalesced += tally.coalesced;
+      phases.push_back(phase_report(tally));
+    }
+    const PhaseTally& cold = client.tallies().front();
+    const PhaseTally& warm = client.tallies().back();
+    const double cold_tput =
+        cold.elapsed_seconds > 0
+            ? static_cast<double>(cold.ok) / cold.elapsed_seconds
+            : 0.0;
+    const double warm_tput =
+        warm.elapsed_seconds > 0
+            ? static_cast<double>(warm.ok) / warm.elapsed_seconds
+            : 0.0;
+    const bool clean_exit =
+        WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
+    const std::uint64_t protocol_errors =
+        client.protocol_errors() + (clean_exit ? 0 : 1);
+
+    svc::Json report =
+        svc::Json::object()
+            .set("mode", options.rate > 0 ? "open" : "closed")
+            .set("threads", options.threads)
+            .set("seed", options.seed)
+            .set("requests_per_phase",
+                 static_cast<std::uint64_t>(options.requests))
+            .set("phases", std::move(phases))
+            .set("sent", total_sent)
+            .set("ok", total_ok)
+            .set("rejected", total_rejected)
+            .set("shed", total_shed)
+            .set("failed", total_failed)
+            .set("errors", total_errors)
+            .set("cached", total_cached)
+            .set("coalesced", total_coalesced)
+            .set("protocol_errors", protocol_errors)
+            .set("warm_cold_speedup",
+                 options.phases > 1 && cold_tput > 0 ? warm_tput / cold_tput
+                                                     : 0.0);
+    if (options.rate > 0)
+      report.set("rate_per_s", options.rate);
+    else
+      report.set("clients", options.clients);
+    if (stats_response.is_object() && stats_response.has("result"))
+      report.set("server", stats_response["result"]);
+
+    if (options.json) {
+      std::cout << report.dump() << "\n";
+    } else {
+      std::cout << "sent " << total_sent << " requests (" << options.phases
+                << " phase" << (options.phases > 1 ? "s" : "") << "): ok "
+                << total_ok << ", rejected " << total_rejected << ", shed "
+                << total_shed << ", failed " << total_failed << ", errors "
+                << total_errors << ", protocol errors " << protocol_errors
+                << "\n";
+      for (std::size_t p = 0; p < client.tallies().size(); ++p) {
+        const PhaseTally& tally = client.tallies()[p];
+        std::cout << "phase " << p << ": "
+                  << (tally.elapsed_seconds > 0
+                          ? static_cast<double>(tally.ok) /
+                                tally.elapsed_seconds
+                          : 0.0)
+                  << " req/s, p50 "
+                  << svc::percentile(tally.latencies_ms, 50) << " ms, p95 "
+                  << svc::percentile(tally.latencies_ms, 95) << " ms, p99 "
+                  << svc::percentile(tally.latencies_ms, 99) << " ms, cached "
+                  << tally.cached << "\n";
+      }
+      if (options.phases > 1 && cold_tput > 0)
+        std::cout << "warm/cold speedup: " << warm_tput / cold_tput << "x\n";
+    }
+
+    if (options.strict &&
+        (protocol_errors > 0 || total_errors > 0 || total_failed > 0))
+      return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "camc_loadgen: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 // Exact minimum cut tool — the artifact's `square_root`.
 //
-//   camc_mincut <edge-list-file> [--p=N] [--seed=S] [--success=P]
+//   camc_mincut <edge-list-file> [--threads=N] [--seed=S] [--success=P] [--json]
 //
 // Prints the cut value, the smaller side's size, and the PROF line.
 
@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   using namespace camc;
   const auto args = tools::parse_tool_args(
       argc, argv,
-      "usage: camc_mincut <edge-list-file> [--p=N] [--seed=S] [--success=P] [--snap]");
+      "usage: camc_mincut <edge-list-file> [--threads=N] [--seed=S] "
+      "[--success=P] [--snap] [--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);

@@ -1,0 +1,71 @@
+// Query server — NDJSON line protocol on stdin/stdout.
+//
+//   camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N]
+//              [--store-mb=N] [--seed=S]
+//
+// Reads one JSON request per stdin line, writes one JSON response per
+// request to stdout (see src/svc/service.hpp for the protocol). Responses
+// to concurrent queries interleave in completion order; the "id" field
+// correlates them. Exits on a {"op":"shutdown"} request or stdin EOF,
+// draining in-flight queries first.
+//
+// --seed sets the default query seed used when a query omits
+// "params.seed"; everything else about the server is deterministic given
+// the request stream.
+
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "svc/service.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const char* usage =
+      "usage: camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
+      "[--store-mb=N] [--seed=S]";
+
+  int threads = 4;
+  std::size_t queue = 256, batch = 16, cache = 4096, store_mb = 0;
+  std::uint64_t seed = 1;
+  tools::FlagParser parser;
+  parser.flag("threads", &threads);
+  parser.flag("p", &threads);
+  parser.flag("queue", &queue);
+  parser.flag("batch", &batch);
+  parser.flag("cache", &cache);
+  parser.flag("store-mb", &store_mb);
+  parser.flag("seed", &seed);
+  if (!parser.parse(argc, argv, usage)) return 2;
+  if (threads < 1 || batch < 1) {
+    std::cerr << usage << "\n";
+    return 2;
+  }
+
+  svc::ServiceOptions options;
+  options.engine.threads = threads;
+  options.engine.queue_capacity = queue;
+  options.engine.max_batch = batch;
+  options.engine.cache_capacity = cache;
+  options.store_max_bytes = static_cast<std::uint64_t>(store_mb) << 20;
+  options.default_seed = seed;
+  svc::Service service(options);
+
+  // Completions arrive from the submitting thread and from the engine's
+  // dispatcher; serialize writes so response lines never interleave.
+  std::mutex out_mutex;
+  const svc::Service::Emit emit = [&out_mutex](const std::string& line) {
+    std::lock_guard<std::mutex> hold(out_mutex);
+    std::cout << line << "\n" << std::flush;
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!service.handle_line(line, emit)) break;
+  }
+  service.drain();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Build and run a camc_loadgen session against a freshly built camc_serve.
+#
+#   tools/run_loadtest.sh                  # default build, acceptance mix
+#   tools/run_loadtest.sh asan             # same load under ASan+UBSan
+#   tools/run_loadtest.sh tsan             # race-check the serving path
+#   tools/run_loadtest.sh default --requests=10000 --phases=3 --json
+#
+# The first argument selects the CMake preset (default | asan | tsan);
+# everything after it is passed straight to camc_loadgen, overriding the
+# defaults below. The default workload is the acceptance configuration:
+# 4 ranks, mixed cc/min_cut, two phases (cold then cache-warm), strict —
+# any protocol error fails the run.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+preset="${1:-default}"
+if [ "$#" -gt 0 ]; then shift; fi
+case "$preset" in
+  default) build_dir=build ;;
+  asan)    build_dir=build-asan ;;
+  tsan)    build_dir=build-tsan ;;
+  *) echo "unknown preset '$preset' (want default | asan | tsan)" >&2
+     exit 2 ;;
+esac
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)" \
+  --target camc_serve camc_loadgen
+
+exec "$build_dir/tools/camc_loadgen" \
+  --serve="$build_dir/tools/camc_serve" \
+  --threads=4 --clients=8 --requests=5000 --phases=2 \
+  --mix=cc:8,min_cut:1 --graphs=er:600:2400,ba:400:3 \
+  --distinct-seeds=8 --seed=20260805 --strict "$@"

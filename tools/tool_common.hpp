@@ -1,21 +1,128 @@
 #pragma once
 
-// Shared plumbing for the command-line tools, mirroring the paper's
-// artifact binaries (parallel_cc, approx_cut, square_root): each tool
-// loads an edge-list file, runs one algorithm over p BSP ranks, prints the
-// human-readable result, and emits one machine-readable profiling line in
-// the artifact's spirit (Listing 1):
+// Shared plumbing for the command-line tools.
+//
+// FlagParser is the one flag grammar every camc_* binary uses — algorithm
+// tools (camc_cc, camc_mincut, camc_approx), the generator (camc_gen), and
+// the service pair (camc_serve, camc_loadgen) — so flags mean the same
+// thing everywhere:
+//
+//   --threads=N (alias --p=N)   BSP ranks
+//   --seed=S                    base PRNG seed
+//   --json                      machine-readable output
+//
+// plus whatever tool-specific flags each binary registers. Unknown flags
+// and malformed values print the usage string and fail parse().
+//
+// The algorithm tools additionally share the artifact-style result
+// plumbing: each loads an edge-list file, runs one algorithm over p BSP
+// ranks, prints the human-readable result, and emits one machine-readable
+// profiling line in the paper artifact's spirit (Listing 1):
 //
 //   PROF,<file>,<seed>,<p>,<n>,<m>,<exec_time>,<mpi_time>,<algo>,<result>
+//
+// (or, under --json, the same fields as one JSON object).
 
 #include <cstdint>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "bsp/machine.hpp"
 #include "graph/io.hpp"
 
 namespace camc::tools {
+
+/// Declarative "--name=value" / "--name" parser; every tool registers its
+/// flags and calls parse(). Values convert via std::sto*; conversion
+/// errors and unknown flags fail the parse.
+class FlagParser {
+ public:
+  /// Numeric flag; T is any arithmetic type (--name=value, std::sto*
+  /// conversion semantics, range-checked by the conversion).
+  template <typename T>
+  void flag(std::string name, T* target) {
+    static_assert(std::is_arithmetic_v<T>);
+    add(std::move(name), [target](const std::string& v) {
+      if constexpr (std::is_floating_point_v<T>)
+        *target = static_cast<T>(std::stod(v));
+      else if constexpr (std::is_signed_v<T>)
+        *target = static_cast<T>(std::stoll(v));
+      else
+        *target = static_cast<T>(std::stoull(v));
+      return true;
+    });
+  }
+  void flag(std::string name, std::string* target) {
+    add(std::move(name), [target](const std::string& v) {
+      *target = v;
+      return true;
+    });
+  }
+  /// Boolean switch: "--name" (no value) sets true.
+  void toggle(std::string name, bool* target) {
+    switches_.emplace_back(std::move(name), target);
+  }
+
+  /// Parses argv; non-flag arguments are appended to `positional`.
+  /// Returns false (after printing `usage` to stderr) on any error.
+  bool parse(int argc, char** argv, const char* usage,
+             std::vector<std::string>* positional = nullptr) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        if (positional != nullptr) {
+          positional->push_back(arg);
+          continue;
+        }
+        return fail(usage);
+      }
+      bool handled = false;
+      for (auto& [name, target] : switches_) {
+        if (arg == "--" + name) {
+          *target = true;
+          handled = true;
+          break;
+        }
+      }
+      if (handled) continue;
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) return fail(usage);
+      const std::string name = arg.substr(2, eq - 2);
+      const std::string value = arg.substr(eq + 1);
+      for (auto& [flag_name, setter] : setters_) {
+        if (flag_name == name) {
+          try {
+            handled = setter(value);
+          } catch (const std::exception&) {
+            return fail(usage);
+          }
+          break;
+        }
+      }
+      if (!handled) return fail(usage);
+    }
+    return true;
+  }
+
+ private:
+  using Setter = std::function<bool(const std::string&)>;
+
+  void add(std::string name, Setter setter) {
+    setters_.emplace_back(std::move(name), std::move(setter));
+  }
+
+  static bool fail(const char* usage) {
+    std::cerr << usage << "\n";
+    return false;
+  }
+
+  std::vector<std::pair<std::string, Setter>> setters_;
+  std::vector<std::pair<std::string, bool*>> switches_;
+};
 
 struct ToolArgs {
   std::string input;
@@ -23,38 +130,30 @@ struct ToolArgs {
   std::uint64_t seed = 5226;
   double success = 0.9;
   bool snap = false;  ///< input is a SNAP-style headerless edge list
+  bool json = false;  ///< machine-readable profile output
   bool ok = false;
 };
 
+/// The shared grammar of the algorithm tools:
+///   <edge-list-file> [--threads=N|--p=N] [--seed=S] [--success=P]
+///   [--snap] [--json]
 inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
   ToolArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg.rfind("--p=", 0) == 0) {
-        args.p = std::stoi(arg.substr(4));
-      } else if (arg.rfind("--seed=", 0) == 0) {
-        args.seed = std::stoull(arg.substr(7));
-      } else if (arg.rfind("--success=", 0) == 0) {
-        args.success = std::stod(arg.substr(10));
-      } else if (arg == "--snap") {
-        args.snap = true;
-      } else if (!arg.empty() && arg[0] != '-' && args.input.empty()) {
-        args.input = arg;
-      } else {
-        std::cerr << usage << "\n";
-        return args;
-      }
-    } catch (const std::exception&) {
-      std::cerr << usage << "\n";
-      return args;
-    }
-  }
-  if (args.input.empty() || args.p < 1 || args.success <= 0 ||
+  FlagParser parser;
+  parser.flag("threads", &args.p);
+  parser.flag("p", &args.p);  // historical alias, kept for scripts
+  parser.flag("seed", &args.seed);
+  parser.flag("success", &args.success);
+  parser.toggle("snap", &args.snap);
+  parser.toggle("json", &args.json);
+  std::vector<std::string> positional;
+  if (!parser.parse(argc, argv, usage, &positional)) return args;
+  if (positional.size() != 1 || args.p < 1 || args.success <= 0 ||
       args.success >= 1) {
     std::cerr << usage << "\n";
     return args;
   }
+  args.input = positional[0];
   args.ok = true;
   return args;
 }
@@ -73,6 +172,15 @@ inline void print_profile_line(const ToolArgs& args, graph::Vertex n,
                                std::size_t m, const bsp::RunOutcome& outcome,
                                const std::string& algorithm,
                                std::uint64_t result) {
+  if (args.json) {
+    std::cout << "{\"file\": \"" << args.input << "\", \"seed\": " << args.seed
+              << ", \"p\": " << args.p << ", \"n\": " << n << ", \"m\": " << m
+              << ", \"exec_seconds\": " << outcome.wall_seconds
+              << ", \"mpi_seconds\": " << outcome.stats.max_comm_seconds
+              << ", \"algorithm\": \"" << algorithm
+              << "\", \"result\": " << result << "}\n";
+    return;
+  }
   std::cout << "PROF," << args.input << ',' << args.seed << ',' << args.p
             << ',' << n << ',' << m << ',' << outcome.wall_seconds << ','
             << outcome.stats.max_comm_seconds << ',' << algorithm << ','
