@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
             world.rank() == 0 ? input.edges
                               : std::vector<graph::WeightedEdge>{});
         core::ApproxMinCutOptions ax;
-        ax.seed = options.seed;
         ax.pipelined = pipelined;
         const double t = bench::time_seconds([&] {
-          auto result = core::approx_min_cut(world, dist, ax);
+          auto result =
+              core::approx_min_cut(Context(world, options.seed), dist, ax);
           if (world.rank() == 0) {
             iterations = result.iterations_run;
             estimate = result.estimate;

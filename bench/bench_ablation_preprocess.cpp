@@ -47,11 +47,10 @@ int main(int argc, char** argv) {
   // Without preprocessing.
   {
     core::MinCutOptions mc;
-    mc.seed = options.seed;
     mc.want_side = false;
     seq::CutResult result;
     const double seconds = bench::time_median(options.repetitions, [&] {
-      result = core::sequential_min_cut(n, edges, mc);
+      result = core::sequential_min_cut(Context(options.seed), n, edges, mc);
     });
     csv.row("raw", n, edges.size(), n, seconds, result.value,
             core::min_cut_trial_count(n, edges.size(), mc));
@@ -60,7 +59,6 @@ int main(int argc, char** argv) {
   // With preprocessing: the heavy clique collapses to one vertex first.
   {
     core::MinCutOptions mc;
-    mc.seed = options.seed;
     mc.want_side = false;
     seq::CutResult result;
     graph::Vertex n_after = 0;
@@ -70,7 +68,8 @@ int main(int argc, char** argv) {
       const auto pre = core::contract_heavy_edges(n, working);
       n_after = pre.new_n;
       m_after = working.size();
-      result = core::sequential_min_cut(pre.new_n, working, mc);
+      result = core::sequential_min_cut(Context(options.seed), pre.new_n,
+                                        working, mc);
     });
     csv.row("preprocessed", n, edges.size(), n_after, seconds, result.value,
             core::min_cut_trial_count(n_after, m_after, mc));

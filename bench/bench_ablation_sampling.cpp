@@ -41,10 +41,9 @@ int main(int argc, char** argv) {
               world, n,
               world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
           core::CcOptions cc;
-          cc.seed = options.seed;
           cc.unweighted_fast_path = variant.fast_path;
           cc.parallel_sample_components = variant.parallel_root;
-          core::connected_components(world, dist, cc);
+          core::connected_components(Context(world, options.seed), dist, cc);
         });
         return bench::TimedStats{outcome.wall_seconds,
                                  outcome.stats.max_comm_seconds,

@@ -53,14 +53,16 @@ int main(int argc, char** argv) {
           world.rank() == 0 ? input.edges
                             : std::vector<graph::WeightedEdge>{});
       core::MinCutOptions mc;
-      mc.seed = options.seed;
       mc.want_side = false;
-      const double t0 = bench::time_seconds(
-          [&] { exact = core::min_cut(world, dist, mc).value; });
+      const double t0 = bench::time_seconds([&] {
+        exact = core::min_cut(Context(world, options.seed), dist, mc).value;
+      });
       core::ApproxMinCutOptions ax;
-      ax.seed = options.seed + 1;
-      const double t1 = bench::time_seconds(
-          [&] { estimate = core::approx_min_cut(world, dist, ax).estimate; });
+      const double t1 = bench::time_seconds([&] {
+        estimate =
+            core::approx_min_cut(Context(world, options.seed + 1), dist, ax)
+                .estimate;
+      });
       if (world.rank() == 0) {
         mc_seconds = t0;
         ax_seconds = t1;

@@ -52,10 +52,11 @@ int main(int argc, char** argv) {
             world, n,
             world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
         core::MinCutOptions mc;
-        mc.seed = options.seed + static_cast<std::uint64_t>(rep);
         mc.success_probability = 0.9;  // the artifact's setting
         mc.want_side = false;
-        auto result = core::min_cut(world, dist, mc);
+        const Context ctx(world,
+                          options.seed + static_cast<std::uint64_t>(rep));
+        auto result = core::min_cut(ctx, dist, mc);
         if (world.rank() == 0) {
           value = result.value;
           trials = result.trials;
@@ -116,9 +117,8 @@ int main(int argc, char** argv) {
             world.rank() == 0 ? family.edges
                               : std::vector<graph::WeightedEdge>{});
         core::MinCutOptions mc;
-        mc.seed = options.seed;
         mc.want_side = false;
-        auto result = core::min_cut(world, dist, mc);
+        auto result = core::min_cut(Context(world, options.seed), dist, mc);
         if (world.rank() == 0) value = result.value;
       });
       csv.row(std::string("c_structure_") + family.name, options.max_p,

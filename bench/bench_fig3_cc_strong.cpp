@@ -41,8 +41,7 @@ void run_panel(bench::Csv& csv, const std::string& panel, graph::Vertex n,
               world, n,
               world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
           core::CcOptions cc;
-          cc.seed = options.seed;
-          core::connected_components(world, dist, cc);
+          core::connected_components(Context(world, options.seed), dist, cc);
         });
         return bench::TimedStats{outcome.wall_seconds,
                                  outcome.stats.max_comm_seconds,

@@ -33,9 +33,8 @@ std::pair<std::uint64_t, std::uint64_t> trace_ours(
     auto dist = graph::DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
     core::CcOptions cc;
-    cc.seed = seed;
     cc.trace = &sessions[static_cast<std::size_t>(world.rank())];
-    core::connected_components(world, dist, cc);
+    core::connected_components(Context(world, seed), dist, cc);
   });
   std::uint64_t ops = 0, misses = 0;
   for (const auto& s : sessions) {
@@ -133,8 +132,7 @@ int main(int argc, char** argv) {
         machine.run([&](bsp::Comm& world) {
           auto dist = graph::DistributedEdgeArray::scatter(world, n, edges);
           core::CcOptions cc;
-          cc.seed = options.seed;
-          core::connected_components(world, dist, cc);
+          core::connected_components(Context(world, options.seed), dist, cc);
         });
       });
       csv.row("b_time", "BGL", n, 1, 0, 0, 0, bgl_seconds, 0);
@@ -165,8 +163,7 @@ int main(int argc, char** argv) {
               world, n,
               world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
           core::CcOptions cc;
-          cc.seed = options.seed;
-          core::connected_components(world, dist, cc);
+          core::connected_components(Context(world, options.seed), dist, cc);
         });
         return bench::TimedStats{outcome.wall_seconds,
                                  outcome.stats.max_comm_seconds,

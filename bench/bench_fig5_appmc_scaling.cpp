@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
           const auto ring = ring_slice(world, n);
           dist.local().insert(dist.local().end(), ring.begin(), ring.end());
           core::ApproxMinCutOptions ax;
-          ax.seed = options.seed;
-          auto result = core::approx_min_cut(world, dist, ax);
+          auto result =
+              core::approx_min_cut(Context(world, options.seed), dist, ax);
           if (world.rank() == 0) {
             estimate = result.estimate;
             iterations = result.iterations_run;
@@ -88,8 +88,8 @@ int main(int argc, char** argv) {
           const auto ring = ring_slice(world, n);
           dist.local().insert(dist.local().end(), ring.begin(), ring.end());
           core::ApproxMinCutOptions ax;
-          ax.seed = options.seed;
-          auto result = core::approx_min_cut(world, dist, ax);
+          auto result =
+              core::approx_min_cut(Context(world, options.seed), dist, ax);
           if (world.rank() == 0) {
             estimate = result.estimate;
             iterations = result.iterations_run;

@@ -43,9 +43,10 @@ int main(int argc, char** argv) {
             world, n,
             world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
         core::MinCutOptions mc;
-        mc.seed = options.seed + static_cast<std::uint64_t>(rep);
         mc.want_side = false;
-        auto result = core::min_cut(world, dist, mc);
+        const Context ctx(world,
+                          options.seed + static_cast<std::uint64_t>(rep));
+        auto result = core::min_cut(ctx, dist, mc);
         if (world.rank() == 0) {
           value = result.value;
           trials = result.trials;

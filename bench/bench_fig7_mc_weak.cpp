@@ -26,9 +26,9 @@ void weak_point(bench::Csv& csv, const std::string& panel, graph::Vertex n,
           world, n,
           world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
       core::MinCutOptions mc;
-      mc.seed = options.seed + static_cast<std::uint64_t>(rep);
       mc.want_side = false;
-      auto result = core::min_cut(world, dist, mc);
+      const Context ctx(world, options.seed + static_cast<std::uint64_t>(rep));
+      auto result = core::min_cut(ctx, dist, mc);
       if (world.rank() == 0) value = result.value;
     });
     if (best < 0 || outcome.wall_seconds < best) {

@@ -55,9 +55,8 @@ int main(int argc, char** argv) {
     machine.run([&](bsp::Comm& world) {
       auto dist = graph::DistributedEdgeArray::scatter(world, n, edges);
       core::CcOptions cc;
-      cc.seed = options.seed;
       cc.trace = &session;
-      core::connected_components(world, dist, cc);
+      core::connected_components(Context(world, options.seed), dist, cc);
     });
     csv.row("b_cc", "BGL", n, bgl.ops, bgl.misses, bgl.ipm);
     csv.row("b_cc", "Galois", n, galois.ops, galois.misses, galois.ipm);

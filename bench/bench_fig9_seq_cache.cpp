@@ -32,7 +32,6 @@ int main(int argc, char** argv) {
     // Full algorithm run counts at success probability 0.9.
     const std::uint32_t ks_runs = seq::karger_stein_run_count(n);
     core::MinCutOptions mc_options;
-    mc_options.seed = options.seed;
     const std::uint32_t mc_trials = core::min_cut_trial_count(n, m, mc_options);
 
     // (a) misses.
@@ -75,7 +74,8 @@ int main(int argc, char** argv) {
     const double mc_measured = bench::time_median(1, [&] {
       core::MinCutOptions few = mc_options;
       few.forced_trials = mc_timed;
-      mc_value = core::sequential_min_cut(n, edges, few).value;
+      mc_value =
+          core::sequential_min_cut(Context(options.seed), n, edges, few).value;
     });
     const double mc_seconds =
         mc_measured * mc_trials / std::max<std::uint32_t>(mc_timed, 1);

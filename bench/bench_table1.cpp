@@ -64,7 +64,6 @@ int main(int argc, char** argv) {
   const auto edges = gen::erdos_renyi(n, m, options.seed);
   for (const int p : bench::processor_sweep(options.max_p)) {
     core::MinCutOptions mc;
-    mc.seed = options.seed;
     mc.forced_trials = 8;  // fixed trial count isolates the BSP profile
     {
       bsp::Machine machine(p);

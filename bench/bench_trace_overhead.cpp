@@ -1,0 +1,135 @@
+// Tracing cost contract (DESIGN.md "Tracing", EXPERIMENTS.md): a disabled
+// sink costs one branch per hook, an enabled recorder stays within a few
+// percent of the untraced run. Three measurements, swept at p = 2 (the
+// bench_bsp_runtime configuration the acceptance bound quotes):
+//
+//   span_hook   ns per Context::span() call, disabled and enabled
+//   cc          full connected_components run, recorder off vs on
+//   min_cut     full min_cut run (forced_trials = 8), recorder off vs on
+//
+// Columns: workload, p, mode (off|on), us_per_op (span hook; 0 for full
+// runs), seconds (median full-run wall; 0 for the hook), overhead_pct
+// (on-vs-off inflation; reported on the "on" rows).
+//
+//   build/bench/bench_trace_overhead --json
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "trace/context.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace camc;
+
+double run_workload(bench::Options options, int p, trace::Recorder* recorder,
+                    const std::function<void(const Context&,
+                                             graph::DistributedEdgeArray&)>&
+                        body) {
+  const auto n = static_cast<graph::Vertex>(
+      bench::scaled(20'000, options.scale, 512));
+  const auto edges =
+      gen::erdos_renyi(n, 8 * static_cast<std::uint64_t>(n), options.seed);
+  bsp::Machine machine(p);
+  Context host;
+  host.seed = options.seed;
+  host.recorder = recorder;
+  return bench::time_median(options.repetitions, [&] {
+    if (recorder != nullptr) recorder->clear();
+    machine.run([&](bsp::Comm& world) {
+      auto dist = graph::DistributedEdgeArray::scatter(
+          world, n,
+          world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+      body(host.bind(world), dist);
+    });
+  });
+}
+
+double overhead_pct(double off, double on) {
+  return off > 0.0 ? 100.0 * (on - off) / off : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse(argc, argv);
+  bench::Table table(options.json);
+  table.comment(
+      "tracing overhead: Context::span() hook cost and full-run inflation "
+      "with the recorder off vs on");
+  table.header("workload", "p", "mode", "us_per_op", "seconds",
+               "overhead_pct");
+
+  const int p = 2;
+
+  // Span-hook microcost. The disabled side is the single-branch path every
+  // untraced run pays at each hook site.
+  {
+    constexpr int kCalls = 2'000'000;
+    trace::Recorder recorder(p);
+    bsp::Machine machine(p);
+    double off_seconds = 0.0, on_seconds = 0.0;
+    machine.run([&](bsp::Comm& world) {
+      Context off;
+      const Context disabled = off.bind(world);
+      const double mine = bench::time_median(options.repetitions, [&] {
+        for (int i = 0; i < kCalls; ++i) {
+          const trace::Span span = disabled.span("hook", 0, 0);
+          (void)span;
+        }
+      });
+      if (world.rank() == 0) off_seconds = mine;
+    });
+    machine.run([&](bsp::Comm& world) {
+      Context on;
+      on.recorder = &recorder;
+      const Context enabled = on.bind(world);
+      const double mine = bench::time_median(options.repetitions, [&] {
+        recorder.rank(world.rank()).events.clear();
+        for (int i = 0; i < kCalls; ++i) {
+          const trace::Span span = enabled.span("hook", 0, 0);
+          (void)span;
+        }
+      });
+      if (world.rank() == 0) on_seconds = mine;
+    });
+    table.row("span_hook", p, "off", 1e6 * off_seconds / kCalls, 0.0, 0.0);
+    table.row("span_hook", p, "on", 1e6 * on_seconds / kCalls, 0.0,
+              overhead_pct(off_seconds, on_seconds));
+  }
+
+  // Full algorithm runs, recorder off vs on.
+  {
+    const auto cc = [](const Context& ctx, graph::DistributedEdgeArray& dist) {
+      core::CcOptions cc_options;
+      (void)core::connected_components(ctx, dist, cc_options);
+    };
+    trace::Recorder recorder(p);
+    const double off = run_workload(options, p, nullptr, cc);
+    const double on = run_workload(options, p, &recorder, cc);
+    table.row("cc", p, "off", 0.0, off, 0.0);
+    table.row("cc", p, "on", 0.0, on, overhead_pct(off, on));
+  }
+  {
+    const auto mc = [](const Context& ctx, graph::DistributedEdgeArray& dist) {
+      core::MinCutOptions mc_options;
+      mc_options.forced_trials = 8;
+      mc_options.want_side = false;
+      (void)core::min_cut(ctx, dist, mc_options);
+    };
+    trace::Recorder recorder(p);
+    const double off = run_workload(options, p, nullptr, mc);
+    const double on = run_workload(options, p, &recorder, mc);
+    table.row("min_cut", p, "off", 0.0, off, 0.0);
+    table.row("min_cut", p, "on", 0.0, on, overhead_pct(off, on));
+  }
+  return 0;
+}

@@ -56,14 +56,12 @@ int main(int argc, char** argv) {
 
     // Cheap screen: a small approximate cut means a weak seam exists.
     core::ApproxMinCutOptions ax_options;
-    ax_options.seed = 5;
-    const auto screen = core::approx_min_cut(world, dist, ax_options);
+    const auto screen = core::approx_min_cut(Context(world, 5), dist, ax_options);
 
     // Exact split.
     core::MinCutOptions mc_options;
-    mc_options.seed = 6;
     mc_options.success_probability = 0.99;
-    const auto cut = core::min_cut(world, dist, mc_options);
+    const auto cut = core::min_cut(Context(world, 6), dist, mc_options);
 
     if (world.rank() == 0) {
       std::cout << "approximate seam weight screen: " << screen.estimate

@@ -40,9 +40,8 @@ int main() {
   // Step 2: enumerate all minimum cuts on the original network.
   core::MinCutOptions options;
   options.success_probability = 0.9999;
-  options.seed = 77;
   const core::AllMinCutsResult census =
-      core::all_min_cuts(n, links, options, /*max_cuts=*/128);
+      core::all_min_cuts(Context(77), n, links, options, /*max_cuts=*/128);
 
   std::cout << "minimum cut value: " << census.value << "\n";
   std::cout << "distinct minimum cuts found: " << census.cuts.size()

@@ -63,8 +63,7 @@ int main(int argc, char** argv) {
     auto dist = graph::DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
     core::CcOptions options;
-    options.seed = 99;
-    auto result = core::connected_components(world, dist, options);
+    auto result = core::connected_components(Context(world, 99), dist, options);
     if (world.rank() == 0) {
       labels = result.labels;
       segments = result.components;

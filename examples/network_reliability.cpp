@@ -56,13 +56,13 @@ int main(int argc, char** argv) {
         world, n, world.rank() == 0 ? links : std::vector<graph::WeightedEdge>{});
 
     core::MinCutOptions mc_options;
-    mc_options.seed = 2024;
     mc_options.success_probability = 0.99;
-    const core::MinCutOutcome cut = core::min_cut(world, dist, mc_options);
+    const core::MinCutOutcome cut =
+        core::min_cut(Context(world, 2024), dist, mc_options);
 
     core::ApproxMinCutOptions ax_options;
-    ax_options.seed = 2025;
-    const auto estimate = core::approx_min_cut(world, dist, ax_options);
+    const auto estimate =
+        core::approx_min_cut(Context(world, 2025), dist, ax_options);
 
     if (world.rank() == 0) {
       std::cout << "minimum total capacity whose failure splits the "

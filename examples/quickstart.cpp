@@ -36,21 +36,19 @@ int main(int argc, char** argv) {
     // 1. Connected components (consumes its copy of the edge array).
     graph::DistributedEdgeArray for_cc(input.n, edges.local());
     core::CcOptions cc_options;
-    cc_options.seed = 42;
-    const core::CcResult cc = core::connected_components(world, for_cc,
-                                                         cc_options);
+    const core::CcResult cc =
+        core::connected_components(Context(world, 42), for_cc, cc_options);
 
     // 2. Exact minimum cut, success probability 0.99.
     core::MinCutOptions mc_options;
-    mc_options.seed = 42;
     mc_options.success_probability = 0.99;
-    const core::MinCutOutcome mc = core::min_cut(world, edges, mc_options);
+    const core::MinCutOutcome mc =
+        core::min_cut(Context(world, 42), edges, mc_options);
 
     // 3. Approximate minimum cut.
     core::ApproxMinCutOptions ax_options;
-    ax_options.seed = 43;
     const core::ApproxMinCutResult ax =
-        core::approx_min_cut(world, edges, ax_options);
+        core::approx_min_cut(Context(world, 43), edges, ax_options);
 
     if (world.rank() == 0) {
       std::cout << "connected components : " << cc.components << " ("

@@ -123,9 +123,7 @@ Verdict cc_sparse_oracle(const TestCase& tc) {
   for (const int p : {1, 3}) {
     core::CcResult result;
     run_distributed(p, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
-      core::CcOptions options;
-      options.seed = tc.seed;
-      auto r = core::connected_components(world, dist, options);
+      auto r = core::connected_components(Context(world, tc.seed), dist);
       if (world.rank() == 0) result = r;
     });
     const Verdict v = judge_partition(tc, result.labels, "cc-sparse");
@@ -139,10 +137,8 @@ Verdict cc_dense_oracle(const TestCase& tc) {
   core::CcResult result;
   run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
     auto matrix = DistributedMatrix::from_edges(world, tc.n, dist.local());
-    core::CcOptions options;
-    options.seed = tc.seed;
-    auto r = core::connected_components_dense(world, std::move(matrix),
-                                              options);
+    auto r = core::connected_components_dense(Context(world, tc.seed),
+                                              std::move(matrix));
     if (world.rank() == 0) result = r;
   });
   return judge_partition(tc, result.labels, "cc-dense");
@@ -152,9 +148,8 @@ Verdict cc_parallel_sample_oracle(const TestCase& tc) {
   core::CcResult result;
   run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
     core::CcOptions options;
-    options.seed = tc.seed;
     options.parallel_sample_components = true;
-    auto r = core::connected_components(world, dist, options);
+    auto r = core::connected_components(Context(world, tc.seed), dist, options);
     if (world.rank() == 0) result = r;
   });
   return judge_partition(tc, result.labels, "cc-parallel-sample");
@@ -193,8 +188,8 @@ Verdict mincut_sequential_oracle(const TestCase& tc) {
   }
   core::MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = tc.seed;
-  const auto result = core::sequential_min_cut(tc.n, tc.edges, options);
+  const auto result =
+      core::sequential_min_cut(Context(tc.seed), tc.n, tc.edges, options);
   return judge_cut(tc, true_min_cut(tc), result.value, result.side,
                    !result.side.empty(), "mincut-sequential");
 }
@@ -214,10 +209,9 @@ Verdict mincut_parallel_oracle(const TestCase& tc) {
   const Weight truth = true_min_cut(tc);
   core::MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = tc.seed;
   core::MinCutOutcome result;
   run_distributed(4, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
-    auto r = core::min_cut(world, dist, options);
+    auto r = core::min_cut(Context(world, tc.seed), dist, options);
     if (world.rank() == 0) result = r;
   });
   return judge_cut(tc, truth, result.value, result.side, result.side_valid,
@@ -229,10 +223,9 @@ Verdict mincut_baseline_oracle(const TestCase& tc) {
   const Weight truth = true_min_cut(tc);
   core::MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = tc.seed;
   core::BaselineMinCutOutcome result;
   run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
-    auto r = core::min_cut_previous_bsp(world, dist, options);
+    auto r = core::min_cut_previous_bsp(Context(world, tc.seed), dist, options);
     if (world.rank() == 0) result = r;
   });
   if (tc.edges.empty()) return pass();  // baseline reports 0 on m = 0
@@ -250,8 +243,8 @@ Verdict mincut_allcuts_oracle(const TestCase& tc) {
   const Weight truth = true_min_cut(tc);
   core::MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = tc.seed;
-  const auto result = core::all_min_cuts(tc.n, tc.edges, options);
+  const auto result =
+      core::all_min_cuts(Context(tc.seed), tc.n, tc.edges, options);
   // Structural check only: the value must be right and every reported side
   // must really cut that value. Completeness (every min cut found) is a
   // w.h.p. guarantee, not a per-run one, so it is not judged here.
@@ -275,11 +268,9 @@ Verdict approx_mincut_oracle(const TestCase& tc) {
   if (tc.n < 2) return pass();
   const std::vector<Vertex> truth_labels = reference_labels(tc);
   const bool connected = seq::single_component(truth_labels);
-  core::ApproxMinCutOptions options;
-  options.seed = tc.seed;
   core::ApproxMinCutResult result;
   run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
-    auto r = core::approx_min_cut(world, dist, options);
+    auto r = core::approx_min_cut(Context(world, tc.seed), dist);
     if (world.rank() == 0) result = r;
   });
   if (!connected) {

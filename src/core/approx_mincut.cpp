@@ -36,12 +36,14 @@ bool block_disconnected(const std::vector<Vertex>& labels, Vertex n,
 
 }  // namespace
 
-ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
+ApproxMinCutResult approx_min_cut(const Context& ctx,
                                   const DistributedEdgeArray& graph,
                                   const ApproxMinCutOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
   const Vertex n = graph.vertex_count();
   ApproxMinCutResult result;
   if (n < 2) return result;
+  const trace::Span all = ctx.span("approx_min_cut", n);
 
   const Weight total_weight = graph.global_weight(comm);
   if (total_weight == 0) return result;  // edgeless => disconnected => 0
@@ -60,26 +62,29 @@ ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
   // inner CC seeds; both salts vanish at attempt 0, keeping no-fault runs
   // bit-identical to the counter goldens.
   const std::uint64_t attempt_stream =
-      static_cast<std::uint64_t>(options.attempt) << 32;
+      static_cast<std::uint64_t>(ctx.attempt) << 32;
   const std::uint64_t attempt_seed_salt =
-      static_cast<std::uint64_t>(options.attempt) * 0x9E3779B97F4A7C15ull;
-  rng::Philox gen(options.seed,
+      static_cast<std::uint64_t>(ctx.attempt) * 0x9E3779B97F4A7C15ull;
+  rng::Philox gen(ctx.seed,
                   /*stream=*/0xA9900 + static_cast<std::uint64_t>(comm.rank()) +
                       attempt_stream);
 
   // A cut value this small can only come from a disconnected input; the
   // sampling estimate is only meaningful on connected graphs, so check once.
   {
+    const trace::Span span = ctx.span("connectivity_check", n);
     DistributedEdgeArray copy(n, graph.local());
-    CcOptions cc_options = options.cc;
-    cc_options.seed = (options.seed ^ 0x5EED) + attempt_seed_salt;
-    const CcResult cc = connected_components(comm, copy, cc_options);
+    const CcResult cc = connected_components(
+        ctx.with_seed((ctx.seed ^ 0x5EED) + attempt_seed_salt), copy,
+        options.cc);
     if (cc.components > 1) return result;  // estimate 0, exact
   }
 
   const auto run_query = [&](std::uint32_t first_iteration,
                              std::uint32_t iteration_count)
       -> std::vector<Vertex> {
+    const trace::Span span =
+        ctx.span("sampling_level", first_iteration, iteration_count);
     std::vector<WeightedEdge> local;
     for (std::uint32_t k = 0; k < iteration_count; ++k) {
       const double keep = keep_probability(first_iteration + k, 1);
@@ -99,10 +104,11 @@ ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
     }
     DistributedEdgeArray unioned(
         static_cast<Vertex>(iteration_count) * trials * n, std::move(local));
-    CcOptions cc_options = options.cc;
-    cc_options.seed =
-        (options.seed ^ (0xF00 + first_iteration)) + attempt_seed_salt;
-    return connected_components(comm, unioned, cc_options).labels;
+    return connected_components(
+               ctx.with_seed((ctx.seed ^ (0xF00 + first_iteration)) +
+                             attempt_seed_salt),
+               unioned, options.cc)
+        .labels;
   };
 
   if (options.pipelined) {

@@ -24,19 +24,17 @@
 
 namespace camc::core {
 
+// Seed and recovery-attempt salt moved to camc::Context (ctx.seed /
+// ctx.attempt); the comm-first overload below is a deprecated shim.
+
 struct ApproxMinCutOptions {
   /// Trials per iteration; 0 derives ceil(trial_constant * ln n).
   std::uint32_t trials = 0;
   double trial_constant = 3.0;
   /// Run all iterations in one connected-components query.
   bool pipelined = false;
-  std::uint64_t seed = 1;
   /// Options forwarded to the inner connected-components calls.
   CcOptions cc;
-  /// Recovery attempt index (resilience::resilient_approx_min_cut): salts
-  /// the sampling streams and inner CC seeds so a retried run draws fresh
-  /// randomness; attempt 0 is bit-identical to the pre-resilience streams.
-  std::uint32_t attempt = 0;
 };
 
 struct ApproxMinCutResult {
@@ -47,9 +45,18 @@ struct ApproxMinCutResult {
   std::uint32_t trials_per_iteration = 0;
 };
 
-/// Collective. Does not modify the input edge array.
-ApproxMinCutResult approx_min_cut(const bsp::Comm& comm,
+/// Collective over ctx.comm. Does not modify the input edge array.
+/// Randomness derives from (ctx.seed, ctx.attempt); attempt 0 stays
+/// bit-identical to the pre-resilience streams.
+ApproxMinCutResult approx_min_cut(const Context& ctx,
                                   const graph::DistributedEdgeArray& graph,
                                   const ApproxMinCutOptions& options = {});
+
+/// Deprecated shim (pre-Context signature): default Context over `comm`.
+inline ApproxMinCutResult approx_min_cut(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    const ApproxMinCutOptions& options = {}) {
+  return approx_min_cut(Context(comm), graph, options);
+}
 
 }  // namespace camc::core

@@ -27,16 +27,18 @@ std::vector<Vertex> root_component_mapping(Vertex label_space,
 
 }  // namespace
 
-CcResult connected_components(const bsp::Comm& comm,
+CcResult connected_components(const Context& ctx,
                               graph::DistributedEdgeArray& graph,
                               const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
   const Vertex n = graph.vertex_count();
   cachesim::Session* trace = options.trace;
-  rng::Philox gen(options.seed,
+  rng::Philox gen(ctx.seed,
                   /*stream=*/0xCC00 + static_cast<std::uint64_t>(comm.rank()));
 
   CcResult result;
   if (n == 0) return result;
+  const trace::Span all = ctx.span("cc", n);
 
   // Trace regions: the local edge slice, the broadcast mapping g, and (at
   // the root) the vertex-indexed component array C.
@@ -59,6 +61,8 @@ CcResult connected_components(const bsp::Comm& comm,
   std::uint64_t edges_left = graph.global_edge_count(comm);
   while (edges_left > 0) {
     ++result.iterations;
+    const trace::Span round = ctx.span("cc_round", result.iterations,
+                                       edges_left);
 
     // (1) Sparsify. Once the sample budget covers the whole graph — or the
     // iteration cap trips — the whole edge set acts as the sample. In the
@@ -76,7 +80,7 @@ CcResult connected_components(const bsp::Comm& comm,
         unweighted.trace = trace;
         unweighted.trace_base = edges_base;
         sample =
-            sparsify_unweighted_local(comm, graph, sample_target, gen,
+            sparsify_unweighted_local(ctx, graph, sample_target, gen,
                                       unweighted);
       }
     } else if (sample_target >= edges_left ||
@@ -87,12 +91,12 @@ CcResult connected_components(const bsp::Comm& comm,
       unweighted.delta = options.delta;
       unweighted.trace = trace;
       unweighted.trace_base = edges_base;
-      sample = sparsify_unweighted(comm, graph, sample_target, gen, unweighted);
+      sample = sparsify_unweighted(ctx, graph, sample_target, gen, unweighted);
     } else {
       SparsifyOptions weighted;
       weighted.trace = trace;
       weighted.trace_base = edges_base;
-      sample = sparsify_weighted(comm, graph, sample_target, gen, weighted);
+      sample = sparsify_weighted(ctx, graph, sample_target, gen, weighted);
     }
 
     // (2) Components of the sample: sequentially at the root (the paper's
@@ -100,6 +104,7 @@ CcResult connected_components(const bsp::Comm& comm,
     // suggested extension).
     std::vector<Vertex> mapping;
     Vertex components = 0;
+    trace::Span comp = ctx.span("components", label_space);
     if (options.parallel_sample_components) {
       graph::DistributedEdgeArray sample_graph(label_space,
                                                std::move(sample));
@@ -126,8 +131,10 @@ CcResult connected_components(const bsp::Comm& comm,
       comm.broadcast(mapping);
       components = comm.broadcast_value(components);
     }
+    comp.end();
 
     // (3) Local relabeling; loops vanish.
+    const trace::Span relabel = ctx.span("relabel", graph.local().size());
     std::vector<WeightedEdge>& local = graph.local();
     std::size_t kept = 0;
     for (std::size_t i = 0; i < local.size(); ++i) {
@@ -155,14 +162,16 @@ CcResult connected_components(const bsp::Comm& comm,
   return result;
 }
 
-CcResult connected_components_dense(const bsp::Comm& comm,
+CcResult connected_components_dense(const Context& ctx,
                                     graph::DistributedMatrix matrix,
                                     const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
   const auto n = static_cast<Vertex>(matrix.rows());
-  rng::Philox gen(options.seed,
+  rng::Philox gen(ctx.seed,
                   /*stream=*/0xDC00 + static_cast<std::uint64_t>(comm.rank()));
   CcResult result;
   if (n == 0) return result;
+  const trace::Span all = ctx.span("cc_dense", n);
 
   std::vector<Vertex> component(comm.rank() == 0 ? n : 0);
   for (Vertex v = 0; v < static_cast<Vertex>(component.size()); ++v)
@@ -173,12 +182,17 @@ CcResult connected_components_dense(const bsp::Comm& comm,
 
   while (matrix.total(comm) > 0) {
     ++result.iterations;
+    const trace::Span round = ctx.span("cc_round", result.iterations);
     const auto label_space = static_cast<Vertex>(matrix.rows());
-    const std::vector<WeightedEdge> sample =
-        sparsify_matrix(comm, matrix, sample_target, gen);
+    std::vector<WeightedEdge> sample;
+    {
+      const trace::Span span = ctx.span("sparsify", sample_target);
+      sample = sparsify_matrix(comm, matrix, sample_target, gen);
+    }
 
     std::vector<Vertex> mapping;
     Vertex components = 0;
+    trace::Span comp = ctx.span("components", label_space);
     if (comm.rank() == 0) {
       mapping = root_component_mapping(label_space, sample, components,
                                        options.trace);
@@ -186,10 +200,12 @@ CcResult connected_components_dense(const bsp::Comm& comm,
     }
     comm.broadcast(mapping);
     components = comm.broadcast_value(components);
+    comp.end();
     if (components == label_space) {
       if (result.iterations >= options.max_iterations) break;  // safety
       continue;  // sample missed every remaining edge; redraw
     }
+    const trace::Span contract = ctx.span("contract", components);
     matrix = dense_bulk_contract(comm, matrix, mapping, components);
   }
 

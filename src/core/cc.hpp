@@ -14,6 +14,7 @@
 // round) is on by default — the paper found it "crucial in practice".
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bsp/comm.hpp"
@@ -21,8 +22,14 @@
 #include "graph/dist_edge_array.hpp"
 #include "graph/dist_matrix.hpp"
 #include "graph/edge.hpp"
+#include "trace/context.hpp"
 
 namespace camc::core {
+
+// Entrypoints take a camc::Context (comm + seed + trace sink — see
+// trace/context.hpp); the comm-first overloads are deprecated shims that
+// wrap the comm in a default Context (seed 1, tracing off). The seed that
+// used to live here moved to Context::seed.
 
 struct CcOptions {
   /// Sample size per iteration is ceil(n^(1+epsilon) / 2).
@@ -31,8 +38,6 @@ struct CcOptions {
   bool unweighted_fast_path = true;
   /// Oversampling slack of the unweighted path.
   double delta = 0.5;
-  /// All randomness derives from this seed (per-rank streams are derived).
-  std::uint64_t seed = 1;
   /// Safety valve: after this many iterations the remaining edges are
   /// gathered at the root and finished sequentially. W.h.p. unused.
   std::uint32_t max_iterations = 60;
@@ -55,10 +60,18 @@ struct CcResult {
   std::uint32_t iterations = 0;
 };
 
-/// Collective. Consumes the edge array (it is relabeled in place).
-CcResult connected_components(const bsp::Comm& comm,
+/// Collective over ctx.comm. Consumes the edge array (it is relabeled in
+/// place). Randomness derives from ctx.seed.
+CcResult connected_components(const Context& ctx,
                               graph::DistributedEdgeArray& graph,
                               const CcOptions& options = {});
+
+/// Deprecated shim (pre-Context signature): default Context over `comm`.
+inline CcResult connected_components(const bsp::Comm& comm,
+                                     graph::DistributedEdgeArray& graph,
+                                     const CcOptions& options = {}) {
+  return connected_components(Context(comm), graph, options);
+}
 
 /// Collective. Connected components on the dense representation (§3,
 /// "Graph Representation": for m >= n^2/log n the paper stores the graph
@@ -66,8 +79,15 @@ CcResult connected_components(const bsp::Comm& comm,
 /// edge contraction: sample entries, compute the sample's components at
 /// the root, contract the matrix, repeat until edgeless — O(1) iterations
 /// w.h.p. Consumes the matrix.
-CcResult connected_components_dense(const bsp::Comm& comm,
+CcResult connected_components_dense(const Context& ctx,
                                     graph::DistributedMatrix matrix,
                                     const CcOptions& options = {});
+
+/// Deprecated shim (pre-Context signature): default Context over `comm`.
+inline CcResult connected_components_dense(const bsp::Comm& comm,
+                                           graph::DistributedMatrix matrix,
+                                           const CcOptions& options = {}) {
+  return connected_components_dense(Context(comm), std::move(matrix), options);
+}
 
 }  // namespace camc::core

@@ -35,8 +35,8 @@ constexpr Weight kInfiniteCut = static_cast<Weight>(-1);
 /// namespace per retry attempt (resilience::resilient_min_cut), leaving
 /// attempt 0 bit-identical to the original derivation. The shift places
 /// the attempt bits above each family's (trial, rank, path) bits.
-std::uint64_t attempt_salt(const MinCutOptions& options, unsigned shift) {
-  return static_cast<std::uint64_t>(options.attempt) << shift;
+std::uint64_t attempt_salt(const Context& ctx, unsigned shift) {
+  return static_cast<std::uint64_t>(ctx.attempt) << shift;
 }
 
 Vertex eager_target(std::uint64_t m) {
@@ -94,7 +94,7 @@ void set_sequential_trial_fault_for_testing(bool enabled) {
   g_sequential_trial_fault = enabled;
 }
 
-CutResult sequential_min_cut_trial(Vertex n,
+CutResult sequential_min_cut_trial(const Context& ctx, Vertex n,
                                    std::span<const WeightedEdge> input_edges,
                                    const MinCutOptions& options,
                                    rng::Philox& gen) {
@@ -109,6 +109,7 @@ CutResult sequential_min_cut_trial(Vertex n,
   // Eager Step: iterated sampling until t0 vertices remain.
   Vertex n_cur = n;
   while (n_cur > t0) {
+    const trace::Span round = ctx.span("eager_round", n_cur, edges.size());
     if (edges.empty()) {
       // Disconnected: label 0's vertices form a zero cut.
       std::vector<Vertex> zero{0};
@@ -123,6 +124,7 @@ CutResult sequential_min_cut_trial(Vertex n,
   }
 
   // Recursive Step, sequential: full Karger-Stein on the dense remainder.
+  const trace::Span leaf = ctx.span("karger_stein", n_cur);
   CutResult best = seq::recursive_contraction_run(
       graph::FoldedDense(n_cur, edges), gen);
   best.side = expand_side(to_current, best.side);
@@ -153,26 +155,30 @@ std::uint32_t min_cut_trial_count(Vertex n, std::uint64_t m,
       std::ceil(trials), 1.0, static_cast<double>(options.max_trials)));
 }
 
-CutResult sequential_min_cut(Vertex n, std::span<const WeightedEdge> edges,
+CutResult sequential_min_cut(const Context& ctx, Vertex n,
+                             std::span<const WeightedEdge> edges,
                              const MinCutOptions& options) {
   // n < 2 has no cut to report; without this, the trial's base case never
   // enters its partition loop and the infinite sentinel leaked out as the
   // "minimum cut" (found by the fuzzer's single-vertex corner).
   if (n < 2) return CutResult{0, {}};
+  const trace::Span all = ctx.span("min_cut", n, edges.size());
   const std::uint32_t trials = min_cut_trial_count(n, edges.size(), options);
   CutResult best;
   best.value = kInfiniteCut;
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    rng::Philox gen(options.seed,
-                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
-    CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
+    const trace::Span span = ctx.span("trial", trial);
+    rng::Philox gen(ctx.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(ctx, 32));
+    CutResult candidate = sequential_min_cut_trial(ctx, n, edges, options, gen);
     if (candidate.value < best.value) best = std::move(candidate);
     if (best.value == 0) break;
   }
   return best;
 }
 
-AllMinCutsResult all_min_cuts(Vertex n, std::span<const WeightedEdge> edges,
+AllMinCutsResult all_min_cuts(const Context& ctx, Vertex n,
+                              std::span<const WeightedEdge> edges,
                               const MinCutOptions& options,
                               std::size_t max_cuts) {
   AllMinCutsResult result;
@@ -205,9 +211,10 @@ AllMinCutsResult all_min_cuts(Vertex n, std::span<const WeightedEdge> edges,
   };
 
   for (std::uint32_t trial = 0; trial < result.trials; ++trial) {
-    rng::Philox gen(options.seed,
-                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
-    CutResult candidate = sequential_min_cut_trial(n, edges, options, gen);
+    const trace::Span span = ctx.span("trial", trial);
+    rng::Philox gen(ctx.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(ctx, 32));
+    CutResult candidate = sequential_min_cut_trial(ctx, n, edges, options, gen);
     if (candidate.value > result.value) continue;
     if (candidate.value < result.value) {
       result.value = candidate.value;
@@ -307,15 +314,18 @@ DistributedMatrix matrix_from_rows(const bsp::Comm& sub, std::uint64_t rows,
 /// gen() draw with stream = color + 1: distinct random *keys* with reused
 /// stream ids, for which Philox promises nothing — sibling branches (and
 /// the two halves' ranks within one branch) could collide or correlate.
-Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
+Weight recursive_step(const Context& ctx, DistributedMatrix matrix,
                       const MinCutOptions& options,
                       const std::function<std::uint64_t(Vertex)>& sample_fn,
                       rng::Philox& gen, std::uint64_t stream_base,
                       std::uint64_t path, std::vector<Vertex>& to_current,
                       std::vector<Vertex>& side_labels) {
+  const bsp::Comm& comm = ctx.comm;
   const auto a = static_cast<Vertex>(matrix.rows());
+  const trace::Span recursion = ctx.span("recursion", a, path);
   if (comm.size() == 1 || a <= options.leaf_size) {
     // Leaf: solve sequentially at the group root with full Karger-Stein.
+    const trace::Span span = ctx.span("leaf", a);
     const std::vector<Weight> dense = matrix.to_dense(comm);
     Weight value = kInfiniteCut;
     std::vector<Vertex> side;
@@ -333,8 +343,11 @@ Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
 
   const auto target = static_cast<Vertex>(
       std::ceil(static_cast<double>(a) / std::sqrt(2.0)) + 1);
-  matrix = dense_contract_to(comm, std::move(matrix), target, gen, sample_fn,
-                             to_current);
+  {
+    const trace::Span span = ctx.span("dense_contract", a, target);
+    matrix = dense_contract_to(comm, std::move(matrix), target, gen, sample_fn,
+                               to_current);
+  }
 
   const HalfCopy half = redistribute_to_halves(comm, matrix);
   const std::uint64_t rows = matrix.rows();
@@ -349,11 +362,11 @@ Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
   // keeps per-rank sampling inside the branch independent.
   const std::uint64_t child_path =
       (path << 1) | static_cast<std::uint64_t>(half.color);
-  rng::Philox branch_gen(options.seed,
+  rng::Philox branch_gen(ctx.seed,
                          stream_base | (child_path << 20) |
                              static_cast<std::uint64_t>(sub.rank()));
   const Weight branch =
-      recursive_step(sub, std::move(sub_matrix), options, sample_fn,
+      recursive_step(ctx.fork(sub), std::move(sub_matrix), options, sample_fn,
                      branch_gen, stream_base, child_path, to_current,
                      side_labels);
 
@@ -369,14 +382,16 @@ Weight recursive_step(const bsp::Comm& comm, DistributedMatrix matrix,
 /// replicated edge list (the p > t regime replicates the graph, exactly as
 /// the p <= t regime "broadcasts the graph"); the group re-partitions it
 /// across its own ranks.
-Weight distributed_trial(const bsp::Comm& group, Vertex n,
+Weight distributed_trial(const Context& ctx, Vertex n,
                          const std::vector<WeightedEdge>& all_edges,
                          const MinCutOptions& options, std::uint64_t trial,
                          std::vector<Vertex>& side_out, bool& side_valid) {
-  rng::Philox gen(options.seed,
+  const bsp::Comm& group = ctx.comm;
+  const trace::Span span_trial = ctx.span("trial", trial);
+  rng::Philox gen(ctx.seed,
                   /*stream=*/0xD0000000ull + (trial << 8) +
                       static_cast<std::uint64_t>(group.rank()) +
-                      attempt_salt(options, 36));
+                      attempt_salt(ctx, 36));
   // Root-driven choices (prefix selection) must be deterministic per trial,
   // while local sampling needs per-rank streams; both hold by keying on
   // (trial, rank) and doing root work only at rank 0.
@@ -397,6 +412,7 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
   // Eager Step (§4.2): sparsify + prefix selection + sparse contraction.
   Vertex n_cur = n;
   while (n_cur > t0) {
+    const trace::Span round = ctx.span("eager_round", n_cur);
     if (graph.global_edge_count(group) == 0) {
       // Disconnected input: zero cut, one side = label 0.
       side_out.clear();
@@ -407,7 +423,7 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
     }
     const std::uint64_t s = sample_size(n_cur, options.sigma);
     const std::vector<WeightedEdge> sample =
-        sparsify_weighted(group, graph, s, gen);
+        sparsify_weighted(ctx, graph, s, gen);
 
     std::vector<Vertex> mapping;
     Vertex components = 0;
@@ -420,20 +436,24 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
     components = group.broadcast_value(components);
     if (components == n_cur) continue;  // useless sample; draw again
 
-    graph = sparse_bulk_contract(group, graph, mapping, components, gen);
+    {
+      const trace::Span contract = ctx.span("contract", components);
+      graph = sparse_bulk_contract(group, graph, mapping, components, gen);
+    }
     compose(to_current, mapping);
     n_cur = components;
   }
 
   // Recursive Step on the dense representation.
+  const trace::Span recursive = ctx.span("recursive", n_cur);
   DistributedMatrix matrix =
       DistributedMatrix::from_edges(group, n_cur, graph.local());
   std::vector<Vertex> side_labels;
   const double sigma = options.sigma;
   const Weight value = recursive_step(
-      group, std::move(matrix), options,
+      ctx, std::move(matrix), options,
       [sigma](Vertex a) { return sample_size(a, sigma); }, gen,
-      /*stream_base=*/(1ull << 63) | attempt_salt(options, 54) |
+      /*stream_base=*/(1ull << 63) | attempt_salt(ctx, 54) |
           (trial << 40),
       /*path=*/1, to_current, side_labels);
 
@@ -445,9 +465,10 @@ Weight distributed_trial(const bsp::Comm& group, Vertex n,
 
 }  // namespace
 
-BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
+BaselineMinCutOutcome min_cut_previous_bsp(const Context& ctx,
                                            const DistributedEdgeArray& graph,
                                            const MinCutOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
   const Vertex n = graph.vertex_count();
   BaselineMinCutOutcome outcome;
   if (n < 2) return outcome;
@@ -467,14 +488,16 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
         static_cast<double>(options.max_trials)));
   }
   outcome.runs = runs;
+  const trace::Span all = ctx.span("baseline", n, runs);
 
   Weight best = kInfiniteCut;
   for (std::uint32_t run = 0; run < runs; ++run) {
-    rng::Philox gen(options.seed,
+    const trace::Span span = ctx.span("run", run);
+    rng::Philox gen(ctx.seed,
                     /*stream=*/0xBA5E0000ull + (static_cast<std::uint64_t>(run)
                                                 << 8) +
                         static_cast<std::uint64_t>(comm.rank()) +
-                        attempt_salt(options, 36));
+                        attempt_salt(ctx, 36));
     DistributedMatrix matrix =
         DistributedMatrix::from_edges(comm, n, graph.local());
     std::vector<Vertex> to_current(n);
@@ -484,9 +507,9 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
     // rounds per contraction phase): small batches, many supersteps —
     // the non-communication-avoiding profile.
     const Weight value = recursive_step(
-        comm, std::move(matrix), options,
+        ctx, std::move(matrix), options,
         [](Vertex a) { return std::max<std::uint64_t>(8, a / 16); }, gen,
-        /*stream_base=*/(3ull << 62) | attempt_salt(options, 54) |
+        /*stream_base=*/(3ull << 62) | attempt_salt(ctx, 54) |
             (static_cast<std::uint64_t>(run) << 40),
         /*path=*/1, to_current, side_labels);
     best = std::min(best, value);
@@ -496,13 +519,15 @@ BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
   return outcome;
 }
 
-MinCutOutcome min_cut(const bsp::Comm& comm,
+MinCutOutcome min_cut(const Context& ctx,
                       const DistributedEdgeArray& graph,
                       const MinCutOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
   const Vertex n = graph.vertex_count();
   const std::uint64_t m = graph.global_edge_count(comm);
   MinCutOutcome outcome;
   if (n < 2) return outcome;
+  const trace::Span all = ctx.span("min_cut", n, m);
 
   const std::uint32_t trials = min_cut_trial_count(n, m, options);
   outcome.trials = trials;
@@ -516,14 +541,18 @@ MinCutOutcome min_cut(const bsp::Comm& comm,
     // Replicate the graph; every rank runs trials rank, rank+p, rank+2p, ...
     // sequentially. The per-trial RNG stream depends only on the trial
     // index, so results are independent of p.
-    const std::vector<WeightedEdge> all_edges =
-        comm.all_gather(graph.local());
+    std::vector<WeightedEdge> all_edges;
+    {
+      const trace::Span replicate = ctx.span("replicate", m);
+      all_edges = comm.all_gather(graph.local());
+    }
     for (std::uint32_t trial = comm.rank(); trial < trials;
          trial += static_cast<std::uint32_t>(p)) {
-      rng::Philox gen(options.seed,
-                    /*stream=*/0x3C0000 + trial + attempt_salt(options, 32));
+      const trace::Span span = ctx.span("trial", trial);
+      rng::Philox gen(ctx.seed,
+                    /*stream=*/0x3C0000 + trial + attempt_salt(ctx, 32));
       CutResult candidate =
-          sequential_min_cut_trial(n, all_edges, options, gen);
+          sequential_min_cut_trial(ctx, n, all_edges, options, gen);
       if (candidate.value < best_value) {
         best_value = candidate.value;
         best_side = std::move(candidate.side);
@@ -534,8 +563,11 @@ MinCutOutcome min_cut(const bsp::Comm& comm,
   } else {
     // p > t: replicate the graph, then one group of ~p/t ranks per trial.
     outcome.used_distributed_trials = true;
-    const std::vector<WeightedEdge> all_edges =
-        comm.all_gather(graph.local());
+    std::vector<WeightedEdge> all_edges;
+    {
+      const trace::Span replicate = ctx.span("replicate", m);
+      all_edges = comm.all_gather(graph.local());
+    }
     const auto t64 = static_cast<std::uint64_t>(trials);
     const auto group_index = static_cast<int>(
         static_cast<std::uint64_t>(comm.rank()) * t64 /
@@ -543,7 +575,7 @@ MinCutOutcome min_cut(const bsp::Comm& comm,
     bsp::Comm group = comm.split(group_index);
     best_side_valid = false;
     best_value =
-        distributed_trial(group, n, all_edges, options,
+        distributed_trial(ctx.fork(group), n, all_edges, options,
                           static_cast<std::uint64_t>(group_index), best_side,
                           best_side_valid);
   }

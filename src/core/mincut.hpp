@@ -34,8 +34,15 @@
 #include "graph/edge.hpp"
 #include "rng/philox.hpp"
 #include "seq/stoer_wagner.hpp"
+#include "trace/context.hpp"
 
 namespace camc::core {
+
+// All entrypoints take a camc::Context carrying the cross-cutting state
+// (comm, seed, recovery attempt, trace sink — see trace/context.hpp);
+// MinCutOptions keeps only the algorithm-shape knobs. The comm-first
+// overloads below are deprecated back-compat shims that wrap the comm in
+// a default Context (seed 1, attempt 0, tracing off).
 
 struct MinCutOptions {
   /// Probability that the result is an exact minimum cut.
@@ -50,17 +57,11 @@ struct MinCutOptions {
   /// Recursive Step leaf: groups of one rank — or matrices at most this
   /// large — are solved with sequential Karger-Stein.
   graph::Vertex leaf_size = 64;
-  std::uint64_t seed = 1;
   /// Whether to reconstruct one side of the best cut (costs an extra
   /// O(n)-volume round at the end).
   bool want_side = true;
   /// Safety cap on trials.
   std::uint32_t max_trials = 1u << 20;
-  /// Recovery attempt index (resilience::resilient_min_cut). Folded into
-  /// every Philox stream so a retried run draws fresh, independent
-  /// randomness; attempt 0 is bit-identical to the pre-resilience streams
-  /// (pinned by the bsp_counter_invariance_test goldens).
-  std::uint32_t attempt = 0;
 };
 
 struct MinCutOutcome {
@@ -77,10 +78,21 @@ struct MinCutOutcome {
 std::uint32_t min_cut_trial_count(graph::Vertex n, std::uint64_t m,
                                   const MinCutOptions& options = {});
 
-/// Collective over `comm`. Does not modify the input array.
-MinCutOutcome min_cut(const bsp::Comm& comm,
+/// Collective over ctx.comm. Does not modify the input array. Randomness
+/// derives from (ctx.seed, ctx.attempt); ctx.attempt is folded into every
+/// Philox stream so a recovery retry draws fresh, independent randomness
+/// while attempt 0 stays bit-identical to the pre-resilience streams
+/// (pinned by the bsp_counter_invariance_test goldens).
+MinCutOutcome min_cut(const Context& ctx,
                       const graph::DistributedEdgeArray& graph,
                       const MinCutOptions& options = {});
+
+/// Deprecated shim (pre-Context signature): default Context over `comm`.
+inline MinCutOutcome min_cut(const bsp::Comm& comm,
+                             const graph::DistributedEdgeArray& graph,
+                             const MinCutOptions& options = {}) {
+  return min_cut(Context(comm), graph, options);
+}
 
 /// Test-only fault injection: when enabled, sequential_min_cut_trial drops
 /// the last input edge (an off-by-one in the trial's edge range). Used by
@@ -90,16 +102,32 @@ void set_sequential_trial_fault_for_testing(bool enabled);
 
 /// One fully sequential trial (Eager Step + sequential Recursive Step) —
 /// also the p = 1 algorithm measured in Figures 8 and 9. Exposed for tests
-/// and the instrumented (cache-traced) variant.
-seq::CutResult sequential_min_cut_trial(graph::Vertex n,
+/// and the instrumented (cache-traced) variant. The Context supplies only
+/// the trace sink here — randomness comes from the caller's `gen`.
+seq::CutResult sequential_min_cut_trial(const Context& ctx, graph::Vertex n,
                                         std::span<const graph::WeightedEdge> edges,
                                         const MinCutOptions& options,
                                         rng::Philox& gen);
 
+/// Deprecated shim: untraced trial.
+inline seq::CutResult sequential_min_cut_trial(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges,
+    const MinCutOptions& options, rng::Philox& gen) {
+  return sequential_min_cut_trial(Context{}, n, edges, options, gen);
+}
+
 /// Sequential full algorithm: `trials` sequential trials, best kept.
-seq::CutResult sequential_min_cut(graph::Vertex n,
+/// Accepts a comm-less Context (seed + trace sink).
+seq::CutResult sequential_min_cut(const Context& ctx, graph::Vertex n,
                                   std::span<const graph::WeightedEdge> edges,
                                   const MinCutOptions& options = {});
+
+/// Deprecated shim: default Context (seed 1).
+inline seq::CutResult sequential_min_cut(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges,
+    const MinCutOptions& options = {}) {
+  return sequential_min_cut(Context{}, n, edges, options);
+}
 
 /// All distinct minimum cuts (Lemma 4.3: the trials find every minimum cut
 /// w.h.p. when the trial count targets the success probability). Each cut
@@ -112,10 +140,18 @@ struct AllMinCutsResult {
   bool truncated = false;  ///< hit max_cuts
 };
 
-AllMinCutsResult all_min_cuts(graph::Vertex n,
+AllMinCutsResult all_min_cuts(const Context& ctx, graph::Vertex n,
                               std::span<const graph::WeightedEdge> edges,
                               const MinCutOptions& options = {},
                               std::size_t max_cuts = 64);
+
+/// Deprecated shim: default Context (seed 1).
+inline AllMinCutsResult all_min_cuts(graph::Vertex n,
+                                     std::span<const graph::WeightedEdge> edges,
+                                     const MinCutOptions& options = {},
+                                     std::size_t max_cuts = 64) {
+  return all_min_cuts(Context{}, n, edges, options, max_cuts);
+}
 
 /// Minimum cut in the style of the previous BSP algorithm [4] — Table 1's
 /// first row, implemented as the comparison baseline: no Eager Step, no
@@ -130,8 +166,15 @@ struct BaselineMinCutOutcome {
   std::uint32_t runs = 0;
 };
 
-BaselineMinCutOutcome min_cut_previous_bsp(const bsp::Comm& comm,
+BaselineMinCutOutcome min_cut_previous_bsp(const Context& ctx,
                                            const graph::DistributedEdgeArray& graph,
                                            const MinCutOptions& options = {});
+
+/// Deprecated shim (pre-Context signature): default Context over `comm`.
+inline BaselineMinCutOutcome min_cut_previous_bsp(
+    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
+    const MinCutOptions& options = {}) {
+  return min_cut_previous_bsp(Context(comm), graph, options);
+}
 
 }  // namespace camc::core

@@ -26,6 +26,7 @@
 #include "graph/edge.hpp"
 #include "rng/philox.hpp"
 #include "rng/weighted_sampler.hpp"
+#include "trace/context.hpp"
 
 namespace camc::core {
 
@@ -51,6 +52,16 @@ std::vector<WeightedEdge> sparsify_weighted(const bsp::Comm& comm,
                                             const SparsifyOptions& options = {},
                                             int root = 0);
 
+/// Context overload: identical sampling (randomness comes from `gen`, not
+/// the Context), plus a "sparsify" trace span over the collective.
+inline std::vector<WeightedEdge> sparsify_weighted(
+    const Context& ctx, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen, const SparsifyOptions& options = {},
+    int root = 0) {
+  const trace::Span span = ctx.span("sparsify", s);
+  return sparsify_weighted(ctx.comm, graph, s, gen, options, root);
+}
+
 struct UnweightedSparsifyOptions {
   /// Oversampling slack (0 < delta < 1).
   double delta = 0.5;
@@ -69,6 +80,15 @@ std::vector<WeightedEdge> sparsify_unweighted(
     std::uint64_t s, rng::Philox& gen,
     const UnweightedSparsifyOptions& options = {}, int root = 0);
 
+/// Context overload, traced as "sparsify_unweighted".
+inline std::vector<WeightedEdge> sparsify_unweighted(
+    const Context& ctx, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options = {}, int root = 0) {
+  const trace::Span span = ctx.span("sparsify_unweighted", s);
+  return sparsify_unweighted(ctx.comm, graph, s, gen, options, root);
+}
+
 /// Collective (one all-reduce for the global edge count); the sample stays
 /// distributed — this rank's slice is returned. Used by the §3.2 remark's
 /// extension where the per-iteration component computation itself runs in
@@ -77,5 +97,14 @@ std::vector<WeightedEdge> sparsify_unweighted_local(
     const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
     std::uint64_t s, rng::Philox& gen,
     const UnweightedSparsifyOptions& options = {});
+
+/// Context overload, traced as "sparsify_unweighted".
+inline std::vector<WeightedEdge> sparsify_unweighted_local(
+    const Context& ctx, const graph::DistributedEdgeArray& graph,
+    std::uint64_t s, rng::Philox& gen,
+    const UnweightedSparsifyOptions& options = {}) {
+  const trace::Span span = ctx.span("sparsify_unweighted", s);
+  return sparsify_unweighted_local(ctx.comm, graph, s, gen, options);
+}
 
 }  // namespace camc::core

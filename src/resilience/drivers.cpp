@@ -6,31 +6,68 @@ namespace camc::resilience {
 
 ResilientMinCutResult resilient_min_cut(bsp::Machine& machine, graph::Vertex n,
                                         const std::vector<graph::WeightedEdge>& edges,
+                                        const Context& ctx,
                                         const core::MinCutOptions& options,
-                                        const RetryPolicy& policy,
-                                        const bsp::RunOptions& run_options) {
+                                        const RetryPolicy& policy) {
   ResilientMinCutResult out;
-  const std::function<core::MinCutOutcome(std::uint32_t)> attempt_fn =
-      [&](std::uint32_t attempt) {
-        core::MinCutOptions attempt_options = options;
-        attempt_options.attempt = options.attempt + attempt;
+  const std::function<core::MinCutOutcome(const Context&)> attempt_fn =
+      [&](const Context& attempt_ctx) {
         core::MinCutOutcome result;
         machine.run(
             [&](bsp::Comm& world) {
               const graph::DistributedEdgeArray dist =
                   graph::DistributedEdgeArray::scatter(world, n, edges);
               core::MinCutOutcome mine =
-                  core::min_cut(world, dist, attempt_options);
+                  core::min_cut(attempt_ctx.bind(world), dist, options);
               if (world.rank() == 0) result = std::move(mine);
             },
-            run_options);
+            ctx.run);
         return result;
       };
   std::optional<core::MinCutOutcome> result =
-      run_with_recovery<core::MinCutOutcome>(policy, attempt_fn,
+      run_with_recovery<core::MinCutOutcome>(ctx, policy, attempt_fn,
                                              &out.recovery);
   if (result.has_value()) {
     out.result = std::move(*result);
+    out.ok = true;
+  }
+  return out;
+}
+
+ResilientMinCutResult resilient_min_cut(bsp::Machine& machine, graph::Vertex n,
+                                        const std::vector<graph::WeightedEdge>& edges,
+                                        const core::MinCutOptions& options,
+                                        const RetryPolicy& policy,
+                                        const bsp::RunOptions& run_options) {
+  Context ctx;
+  ctx.run = run_options;
+  return resilient_min_cut(machine, n, edges, ctx, options, policy);
+}
+
+ResilientApproxMinCutResult resilient_approx_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
+    const core::ApproxMinCutOptions& options, const RetryPolicy& policy) {
+  ResilientApproxMinCutResult out;
+  const std::function<core::ApproxMinCutResult(const Context&)> attempt_fn =
+      [&](const Context& attempt_ctx) {
+        core::ApproxMinCutResult result;
+        machine.run(
+            [&](bsp::Comm& world) {
+              const graph::DistributedEdgeArray dist =
+                  graph::DistributedEdgeArray::scatter(world, n, edges);
+              const core::ApproxMinCutResult mine =
+                  core::approx_min_cut(attempt_ctx.bind(world), dist, options);
+              if (world.rank() == 0) result = mine;
+            },
+            ctx.run);
+        return result;
+      };
+  std::optional<core::ApproxMinCutResult> result =
+      run_with_recovery<core::ApproxMinCutResult>(ctx, policy, attempt_fn,
+                                                  &out.recovery);
+  if (result.has_value()) {
+    out.result = *result;
     out.ok = true;
   }
   return out;
@@ -41,31 +78,9 @@ ResilientApproxMinCutResult resilient_approx_min_cut(
     const std::vector<graph::WeightedEdge>& edges,
     const core::ApproxMinCutOptions& options, const RetryPolicy& policy,
     const bsp::RunOptions& run_options) {
-  ResilientApproxMinCutResult out;
-  const std::function<core::ApproxMinCutResult(std::uint32_t)> attempt_fn =
-      [&](std::uint32_t attempt) {
-        core::ApproxMinCutOptions attempt_options = options;
-        attempt_options.attempt = options.attempt + attempt;
-        core::ApproxMinCutResult result;
-        machine.run(
-            [&](bsp::Comm& world) {
-              const graph::DistributedEdgeArray dist =
-                  graph::DistributedEdgeArray::scatter(world, n, edges);
-              const core::ApproxMinCutResult mine =
-                  core::approx_min_cut(world, dist, attempt_options);
-              if (world.rank() == 0) result = mine;
-            },
-            run_options);
-        return result;
-      };
-  std::optional<core::ApproxMinCutResult> result =
-      run_with_recovery<core::ApproxMinCutResult>(policy, attempt_fn,
-                                                  &out.recovery);
-  if (result.has_value()) {
-    out.result = *result;
-    out.ok = true;
-  }
-  return out;
+  Context ctx;
+  ctx.run = run_options;
+  return resilient_approx_min_cut(machine, n, edges, ctx, options, policy);
 }
 
 }  // namespace camc::resilience

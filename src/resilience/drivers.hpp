@@ -6,12 +6,17 @@
 // real: crash, stall + watchdog, corruption-induced error, RankAborted
 // cascade) is retried with bounded exponential backoff on fresh Philox
 // streams — the attempt index is folded into every stream derivation (see
-// MinCutOptions::attempt), so retries draw independent randomness while a
+// Context::attempt), so retries draw independent randomness while a
 // no-fault run (attempt 0) stays bit-identical to the unwrapped
 // algorithm. When the retry budget runs out the driver degrades
 // gracefully: ok = false plus the full RecoveryReport, never an exception
 // for a fault-class failure. Non-fault errors (contract rejections,
 // algorithm bugs) propagate unchanged.
+//
+// The drivers take a camc::Context: seed and base attempt come from
+// ctx.seed / ctx.attempt, fault hooks and the watchdog from ctx.run, and
+// a trace recorder (ctx.recorder) is re-bound per rank inside each
+// attempt. The pre-Context overloads remain as deprecated shims.
 
 #include <cstdint>
 #include <vector>
@@ -31,8 +36,16 @@ struct ResilientMinCutResult {
 };
 
 /// Scatters `edges` and runs core::min_cut on `machine`, retrying
-/// fault-killed runs per `policy`. `run_options` (watchdog deadline,
-/// extra injector) applies to every attempt.
+/// fault-killed runs per `policy`. ctx.run (watchdog deadline, extra
+/// injector) applies to every attempt; attempt k runs with
+/// ctx.with_attempt(ctx.attempt + k).
+ResilientMinCutResult resilient_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
+    const core::MinCutOptions& options = {}, const RetryPolicy& policy = {});
+
+/// Deprecated shim (pre-Context signature): default Context (seed 1) with
+/// `run_options` as the per-attempt bsp::RunOptions.
 ResilientMinCutResult resilient_min_cut(
     bsp::Machine& machine, graph::Vertex n,
     const std::vector<graph::WeightedEdge>& edges,
@@ -46,6 +59,13 @@ struct ResilientApproxMinCutResult {
 };
 
 /// Same shape for the O(log n)-approximate cut.
+ResilientApproxMinCutResult resilient_approx_min_cut(
+    bsp::Machine& machine, graph::Vertex n,
+    const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
+    const core::ApproxMinCutOptions& options = {},
+    const RetryPolicy& policy = {});
+
+/// Deprecated shim (pre-Context signature).
 ResilientApproxMinCutResult resilient_approx_min_cut(
     bsp::Machine& machine, graph::Vertex n,
     const std::vector<graph::WeightedEdge>& edges,

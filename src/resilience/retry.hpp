@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bsp/fault.hpp"
+#include "trace/context.hpp"
 
 namespace camc::resilience {
 
@@ -121,6 +122,22 @@ std::optional<T> run_with_recovery(
     }
   }
   return std::nullopt;
+}
+
+/// Context flavor: attempt k calls `attempt_fn(ctx.with_attempt(
+/// ctx.attempt + k))`, so the callee's stream derivations shift per retry
+/// exactly as with the raw-index overload, and the Context's trace sink /
+/// fault hooks ride along unchanged.
+template <class T>
+std::optional<T> run_with_recovery(
+    const Context& ctx, const RetryPolicy& policy,
+    const std::function<T(const Context&)>& attempt_fn,
+    RecoveryReport* report = nullptr) {
+  const std::function<T(std::uint32_t)> indexed =
+      [&](std::uint32_t attempt) {
+        return attempt_fn(ctx.with_attempt(ctx.attempt + attempt));
+      };
+  return run_with_recovery<T>(policy, indexed, report);
 }
 
 }  // namespace camc::resilience

@@ -66,6 +66,28 @@ void MetricsRegistry::record_batch(std::size_t size) {
   max_batch_ = std::max<std::uint64_t>(max_batch_, size);
 }
 
+void MetricsRegistry::record_phases(
+    QueryKind kind, const std::vector<trace::PhaseSummary>& phases) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<trace::PhaseSummary>& into =
+      kinds_[static_cast<std::size_t>(kind)].counters.phases;
+  for (const trace::PhaseSummary& phase : phases) {
+    trace::PhaseSummary* slot = nullptr;
+    for (trace::PhaseSummary& existing : into)
+      if (existing.name == phase.name) { slot = &existing; break; }
+    if (slot == nullptr) {
+      into.push_back(phase);
+      continue;
+    }
+    slot->spans += phase.spans;
+    slot->supersteps += phase.supersteps;
+    slot->words += phase.words;
+    slot->comm_seconds += phase.comm_seconds;
+    slot->wall_seconds += phase.wall_seconds;
+    slot->cache_misses += phase.cache_misses;
+  }
+}
+
 namespace {
 
 LatencySummary summarize(const std::vector<double>& latencies,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "svc/query.hpp"
+#include "trace/export.hpp"
 
 namespace camc::svc {
 
@@ -45,6 +46,9 @@ struct KindMetrics {
   std::uint64_t coalesced = 0;
   std::uint64_t faults_survived = 0;
   LatencySummary latency;  ///< completed (ok) requests, cache hits included
+  /// Accumulated per-phase trace totals over every traced execution of
+  /// this kind (merged by phase name; spans/supersteps/words/times sum).
+  std::vector<trace::PhaseSummary> phases;
 };
 
 struct MetricsSnapshot {
@@ -77,6 +81,10 @@ class MetricsRegistry {
   void record_queue_depth(std::size_t depth);
   /// Records one executed batch (epoch) of `size` requests.
   void record_batch(std::size_t size);
+  /// Folds one traced execution's per-phase summary into the kind's
+  /// accumulated phase totals.
+  void record_phases(QueryKind kind,
+                     const std::vector<trace::PhaseSummary>& phases);
 
   MetricsSnapshot snapshot() const;
 

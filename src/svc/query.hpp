@@ -10,10 +10,12 @@
 // requests with equal keys are the *same* computation, not merely similar.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/edge.hpp"
+#include "trace/export.hpp"
 
 namespace camc::svc {
 
@@ -103,6 +105,9 @@ struct QueryResponse {
   std::uint64_t faults_survived = 0;
   double latency_seconds = 0.0;  ///< submit-to-completion, queueing included
   std::string error;             ///< nonempty for kFailed / kError
+  /// Per-phase trace summary, present iff the request asked for tracing
+  /// (QueryRequest::trace) and the query executed (not a cache hit).
+  std::shared_ptr<const std::vector<trace::PhaseSummary>> trace;
 };
 
 }  // namespace camc::svc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "core/approx_mincut.hpp"
 #include "core/cc.hpp"
@@ -9,6 +10,7 @@
 #include "core/sparsify.hpp"
 #include "graph/dist_edge_array.hpp"
 #include "rng/philox.hpp"
+#include "trace/export.hpp"
 
 namespace camc::svc {
 
@@ -99,7 +101,8 @@ void QueryEngine::submit(const QueryRequest& request, Completion done) {
     if (!stopping_) {
       const auto it = pending_.find(key);
       if (it != pending_.end()) {
-        // Identical computation queued or executing: join it.
+        // Identical computation queued or executing: join it. The joined
+        // execution keeps its own trace flag (it may already be running).
         it->second->waiters.push_back(Waiter{std::move(done), now, true});
         return;
       }
@@ -109,6 +112,7 @@ void QueryEngine::submit(const QueryRequest& request, Completion done) {
         pending->graph = request.graph;
         pending->kind = request.kind;
         pending->params = request.params;
+        pending->trace = request.trace;
         if (request.timeout_seconds > 0.0)
           pending->deadline =
               now + std::chrono::duration_cast<Clock::duration>(
@@ -153,6 +157,21 @@ void QueryEngine::resume() {
     paused_ = false;
   }
   work_cv_.notify_all();
+}
+
+void QueryEngine::enable_trace_capture(std::size_t max_epochs) {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  capture_traces_ = true;
+  max_captured_epochs_ = max_epochs;
+}
+
+std::size_t QueryEngine::write_captured_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  std::vector<const trace::Recorder*> recorders;
+  recorders.reserve(captured_.size());
+  for (const auto& recorder : captured_) recorders.push_back(recorder.get());
+  trace::write_chrome_trace(recorders, out);
+  return recorders.size();
 }
 
 EngineSnapshot QueryEngine::snapshot() const {
@@ -248,17 +267,34 @@ std::vector<QueryResponse> QueryEngine::execute_epoch(
           ? options_.watchdog_deadline_seconds
           : -1.0;
 
+  bool capture;
+  {
+    const std::lock_guard<std::mutex> lock(trace_mutex_);
+    capture = capture_traces_;
+  }
+  // One recorder per traced query in the epoch, so batched queries get
+  // separate, accurate per-phase summaries.
+  std::vector<std::unique_ptr<trace::Recorder>> recorders(epoch.size());
+  for (std::size_t i = 0; i < epoch.size(); ++i)
+    if (epoch[i]->trace || capture)
+      recorders[i] = std::make_unique<trace::Recorder>(options_.threads);
+
   resilience::RecoveryReport recovery;
   QueryResponse response;
   const std::function<std::vector<QueryResult>(std::uint32_t)> attempt_fn =
       [&](std::uint32_t attempt) {
+        // A retried attempt restarts every trace from scratch: the summary
+        // describes the run that produced the result, not the casualties.
+        for (const auto& recorder : recorders)
+          if (recorder) recorder->clear();
         std::vector<QueryResult> results(epoch.size());
         machine_->run(
             [&](bsp::Comm& world) {
               const auto dist = graph::DistributedEdgeArray::scatter(
                   world, graph.n, graph.edges);
               for (std::size_t i = 0; i < epoch.size(); ++i) {
-                QueryResult result = run_one(world, dist, epoch[i]->kind,
+                Context ctx(world, epoch[i]->params.seed, recorders[i].get());
+                QueryResult result = run_one(ctx, dist, epoch[i]->kind,
                                              epoch[i]->params, attempt);
                 if (world.rank() == 0) results[i] = std::move(result);
               }
@@ -281,7 +317,19 @@ std::vector<QueryResponse> QueryEngine::execute_epoch(
         cache_.put(epoch[i]->key, (*results)[i]);
         QueryResponse one = response;
         one.result = std::move((*results)[i]);
+        if (recorders[i]) {
+          auto phases = std::make_shared<std::vector<trace::PhaseSummary>>(
+              trace::summarize(*recorders[i]));
+          metrics_.record_phases(epoch[i]->kind, *phases);
+          if (epoch[i]->trace) one.trace = std::move(phases);
+        }
         out.push_back(std::move(one));
+      }
+      if (capture) {
+        const std::lock_guard<std::mutex> lock(trace_mutex_);
+        for (auto& recorder : recorders)
+          if (recorder && captured_.size() < max_captured_epochs_)
+            captured_.push_back(std::move(recorder));
       }
       return out;
     }
@@ -322,7 +370,7 @@ void QueryEngine::complete(const std::shared_ptr<Pending>& pending,
   }
 }
 
-QueryResult QueryEngine::run_one(bsp::Comm& world,
+QueryResult QueryEngine::run_one(const Context& ctx,
                                  const graph::DistributedEdgeArray& dist,
                                  QueryKind kind, const QueryParams& params,
                                  std::uint32_t attempt) const {
@@ -331,12 +379,11 @@ QueryResult QueryEngine::run_one(bsp::Comm& world,
     case QueryKind::kCc: {
       core::CcOptions options;
       options.epsilon = params.epsilon;
-      options.seed = salted_seed(params.seed, attempt);
       // connected_components consumes its edge array; copy this rank's
       // slice so the epoch's shared scatter stays intact.
       graph::DistributedEdgeArray scratch(dist.vertex_count(), dist.local());
-      const core::CcResult result =
-          core::connected_components(world, scratch, options);
+      const core::CcResult result = core::connected_components(
+          ctx.with_seed(salted_seed(params.seed, attempt)), scratch, options);
       out.value = result.components;
       out.components = result.components;
       out.iterations = result.iterations;
@@ -349,10 +396,9 @@ QueryResult QueryEngine::run_one(bsp::Comm& world,
     case QueryKind::kMinCut: {
       core::MinCutOptions options;
       options.success_probability = params.success_probability;
-      options.seed = params.seed;
       options.want_side = params.want_side;
-      options.attempt = attempt;
-      core::MinCutOutcome result = core::min_cut(world, dist, options);
+      core::MinCutOutcome result =
+          core::min_cut(ctx.with_attempt(attempt), dist, options);
       out.value = result.value;
       out.trials = result.trials;
       out.side = std::move(result.side);
@@ -362,10 +408,8 @@ QueryResult QueryEngine::run_one(bsp::Comm& world,
     case QueryKind::kApproxMinCut: {
       core::ApproxMinCutOptions options;
       options.trials = params.trials;
-      options.seed = params.seed;
-      options.attempt = attempt;
       const core::ApproxMinCutResult result =
-          core::approx_min_cut(world, dist, options);
+          core::approx_min_cut(ctx.with_attempt(attempt), dist, options);
       out.value = result.estimate;
       out.iterations = result.iterations_run;
       out.trials = result.trials_per_iteration;
@@ -378,10 +422,11 @@ QueryResult QueryEngine::run_one(bsp::Comm& world,
         sample_size = static_cast<std::uint64_t>(
             std::ceil(std::pow(n, 1.0 + params.epsilon) / 2.0));
       }
-      rng::Philox gen(salted_seed(params.seed, attempt),
-                      0x53500000ull + static_cast<std::uint64_t>(world.rank()));
+      rng::Philox gen(
+          salted_seed(params.seed, attempt),
+          0x53500000ull + static_cast<std::uint64_t>(ctx.comm.rank()));
       const std::vector<graph::WeightedEdge> sample =
-          core::sparsify_unweighted(world, dist, sample_size, gen);
+          core::sparsify_unweighted(ctx, dist, sample_size, gen);
       out.value = sample.size();  // gathered at root; 0 elsewhere
       out.iterations = 1;
       return out;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,6 +43,8 @@
 #include "svc/metrics.hpp"
 #include "svc/query.hpp"
 #include "svc/result_cache.hpp"
+#include "trace/context.hpp"
+#include "trace/trace.hpp"
 
 namespace camc::svc {
 
@@ -66,6 +69,10 @@ struct QueryRequest {
   QueryParams params;
   /// Shedding deadline, seconds from submit; 0 = never shed.
   double timeout_seconds = 0.0;
+  /// Record a per-phase trace of the execution and return its summary on
+  /// the response. Not part of the cache key: a traced request can still
+  /// hit the cache (the hit simply carries no trace).
+  bool trace = false;
 };
 
 struct EngineSnapshot {
@@ -100,6 +107,14 @@ class QueryEngine {
   EngineSnapshot snapshot() const;
   const QueryEngineOptions& options() const noexcept { return options_; }
 
+  /// Keeps the per-epoch trace recorders of traced executions (bounded by
+  /// `max_epochs`) so a merged Chrome trace can be written at shutdown
+  /// (camc_serve --trace-out). Once enabled, every execution is traced.
+  void enable_trace_capture(std::size_t max_epochs = 1024);
+  /// Writes every captured recorder as one Chrome trace (pid = capture
+  /// index). Returns the number of recorders written.
+  std::size_t write_captured_trace(std::ostream& out) const;
+
  private:
   struct Waiter {
     Completion done;
@@ -115,6 +130,7 @@ class QueryEngine {
     QueryParams params;
     std::chrono::steady_clock::time_point deadline{};  ///< epoch() = none
     std::vector<Waiter> waiters;
+    bool trace = false;
   };
 
   void dispatch_loop();
@@ -124,7 +140,7 @@ class QueryEngine {
   /// epoch entry (all sharing status on failure paths).
   std::vector<QueryResponse> execute_epoch(
       const std::vector<std::shared_ptr<Pending>>& epoch);
-  QueryResult run_one(bsp::Comm& world,
+  QueryResult run_one(const Context& ctx,
                       const graph::DistributedEdgeArray& dist,
                       QueryKind kind, const QueryParams& params,
                       std::uint32_t attempt) const;
@@ -147,6 +163,14 @@ class QueryEngine {
   std::size_t in_flight_ = 0;
   bool paused_ = false;
   bool stopping_ = false;
+
+  /// Trace capture (camc_serve --trace-out). Guarded by trace_mutex_ so
+  /// snapshot/write can run while the dispatcher appends.
+  mutable std::mutex trace_mutex_;
+  bool capture_traces_ = false;
+  std::size_t max_captured_epochs_ = 0;
+  std::vector<std::unique_ptr<trace::Recorder>> captured_;
+
   std::jthread dispatcher_;
 };
 

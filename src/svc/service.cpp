@@ -16,16 +16,20 @@ std::string hex64(std::uint64_t value) {
   return buffer;
 }
 
+/// Every response line leads with the protocol version (docs/PROTOCOL.md):
+/// clients gate parsing on "v", and unknown *request* fields are ignored,
+/// so the protocol can grow fields in either direction without breaking
+/// old peers.
+Json base_response(std::uint64_t id) {
+  return Json::object().set("v", 1).set("id", id);
+}
+
 Json error_response(std::uint64_t id, const std::string& message) {
-  return Json::object()
-      .set("id", id)
-      .set("status", "error")
-      .set("error", message);
+  return base_response(id).set("status", "error").set("error", message);
 }
 
 Json graph_response(std::uint64_t id, const StoredGraph& graph) {
-  return Json::object()
-      .set("id", id)
+  return base_response(id)
       .set("status", "ok")
       .set("result", Json::object()
                          .set("graph", graph.name)
@@ -65,26 +69,42 @@ Json latency_json(const LatencySummary& latency) {
       .set("max_ms", latency.max_seconds * 1e3);
 }
 
+Json phases_json(const std::vector<trace::PhaseSummary>& phases) {
+  Json out = Json::array();
+  for (const trace::PhaseSummary& phase : phases) {
+    out.push_back(Json::object()
+                      .set("name", phase.name)
+                      .set("spans", phase.spans)
+                      .set("supersteps", phase.supersteps)
+                      .set("words", phase.words)
+                      .set("comm_ms", phase.comm_seconds * 1e3)
+                      .set("wall_ms", phase.wall_seconds * 1e3)
+                      .set("cache_misses", phase.cache_misses));
+  }
+  return out;
+}
+
 Json kind_metrics_json(const KindMetrics& metrics) {
-  return Json::object()
-      .set("submitted", metrics.submitted)
-      .set("ok", metrics.ok)
-      .set("rejected", metrics.rejected)
-      .set("shed", metrics.shed)
-      .set("failed", metrics.failed)
-      .set("errors", metrics.errors)
-      .set("cache_hits", metrics.cache_hits)
-      .set("coalesced", metrics.coalesced)
-      .set("faults_survived", metrics.faults_survived)
-      .set("latency", latency_json(metrics.latency));
+  Json out = Json::object()
+                 .set("submitted", metrics.submitted)
+                 .set("ok", metrics.ok)
+                 .set("rejected", metrics.rejected)
+                 .set("shed", metrics.shed)
+                 .set("failed", metrics.failed)
+                 .set("errors", metrics.errors)
+                 .set("cache_hits", metrics.cache_hits)
+                 .set("coalesced", metrics.coalesced)
+                 .set("faults_survived", metrics.faults_survived)
+                 .set("latency", latency_json(metrics.latency));
+  if (!metrics.phases.empty()) out.set("phases", phases_json(metrics.phases));
+  return out;
 }
 
 }  // namespace
 
 Json response_to_json(std::uint64_t id, QueryKind kind,
                       const QueryResponse& response) {
-  Json out = Json::object()
-                 .set("id", id)
+  Json out = base_response(id)
                  .set("status", query_status_name(response.status))
                  .set("query", query_kind_name(kind));
   if (response.status == QueryStatus::kOk) {
@@ -119,6 +139,7 @@ Json response_to_json(std::uint64_t id, QueryKind kind,
   if (response.faults_survived > 0)
     out.set("faults_survived", response.faults_survived);
   out.set("latency_ms", response.latency_seconds * 1e3);
+  if (response.trace) out.set("trace", phases_json(*response.trace));
   return out;
 }
 
@@ -163,13 +184,11 @@ Json Service::handle_request(const Json& request, const Emit& emit,
   if (op == "gen") return handle_gen(request);
   if (op == "evict") return handle_evict(request);
   if (op == "stats")
-    return Json::object().set("id", id).set("status", "ok").set(
-        "result", stats_json());
-  if (op == "ping")
-    return Json::object().set("id", id).set("status", "ok");
+    return base_response(id).set("status", "ok").set("result", stats_json());
+  if (op == "ping") return base_response(id).set("status", "ok");
   if (op == "shutdown") {
     shutdown = true;
-    return Json::object().set("id", id).set("status", "ok");
+    return base_response(id).set("status", "ok");
   }
   throw std::runtime_error("unknown op '" + op + "'");
 }
@@ -244,6 +263,7 @@ bool Service::handle_query(const Json& request, std::uint64_t id,
   query.params = parse_params(request["params"], options_.default_seed);
   if (request.has("timeout_ms"))
     query.timeout_seconds = request["timeout_ms"].as_double() / 1e3;
+  if (request.has("trace")) query.trace = request["trace"].as_bool();
   query.graph = store_.get(request["graph"].is_string()
                                ? request["graph"].as_string()
                                : throw std::runtime_error("missing graph"));
@@ -261,8 +281,7 @@ Json Service::handle_evict(const Json& request) {
   if (!fingerprint.has_value())
     throw std::runtime_error("no such graph '" + name + "'");
   const std::size_t dropped = cache_.invalidate_graph(*fingerprint);
-  return Json::object()
-      .set("id", id)
+  return base_response(id)
       .set("status", "ok")
       .set("result", Json::object()
                          .set("graph", name)

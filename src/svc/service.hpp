@@ -3,25 +3,32 @@
 // Service: the NDJSON line protocol over GraphStore + QueryEngine — the
 // layer camc_serve exposes on stdin/stdout and the tests drive directly.
 //
-// One request per line, one response line per request. Requests:
+// One request per line, one response line per request. The normative
+// protocol spec (with golden request/response pairs) is docs/PROTOCOL.md.
+// Requests:
 //
 //   {"id":1,"op":"load","graph":"g","path":"g.txt","format":"edgelist"}
 //   {"id":2,"op":"gen","graph":"g","family":"er","n":1000,"m":8000,
 //    "seed":7,"wmax":1}
 //   {"id":3,"op":"query","graph":"g","query":"cc",
-//    "params":{"seed":1,"epsilon":0.2},"timeout_ms":250}
+//    "params":{"seed":1,"epsilon":0.2},"timeout_ms":250,"trace":true}
 //   {"id":4,"op":"stats"}     {"id":5,"op":"evict","graph":"g"}
 //   {"id":6,"op":"ping"}      {"id":7,"op":"shutdown"}
 //
+// Unknown request fields are accepted and ignored (forward compatibility).
 // Query names: cc | min_cut | approx_min_cut | sparsify. Query params:
 // seed, epsilon (cc/sparsify), success (min_cut), want_side (min_cut),
 // trials (approx_min_cut), sample_size (sparsify).
 //
-// Responses always carry the request id and a status string:
-//   {"id":3,"status":"ok","query":"cc","result":{"value":4,...},
+// Responses always carry "v" (protocol version, currently 1), the request
+// id, and a status string:
+//   {"v":1,"id":3,"status":"ok","query":"cc","result":{"value":4,...},
 //    "cached":false,"coalesced":false,"attempts":1,"latency_ms":2.125}
 // status ∈ ok | rejected | shed | failed | error; non-ok responses carry
 // "error". Graph fingerprints are serialized as 16-digit hex strings.
+// A query with "trace":true that executes (not a cache hit) carries a
+// "trace" array of per-phase summaries; "stats" carries per-kind "phases"
+// accumulated over every traced execution.
 //
 // Threading: handle_line() may emit synchronously (control ops, cache
 // hits, rejections) or later from the engine's dispatcher thread, so the

@@ -1,0 +1,115 @@
+#pragma once
+
+// camc::Context — the unified execution-context carrier of the core
+// algorithms (the PR-5 api_redesign).
+//
+// Before it, every entrypoint had drifted into an ad-hoc parameter list:
+// a comm here, a seed buried in an options struct there, an attempt salt
+// in two of the five, fault hooks in a third place entirely. Context
+// carries the cross-cutting state in one value:
+//
+//   comm      the rank's communicator (empty for sequential entrypoints)
+//   seed      base Philox seed (was MinCutOptions/CcOptions/... ::seed)
+//   attempt   recovery-attempt salt (was MinCutOptions::attempt)
+//   recorder  trace sink; null = tracing disabled (the single-branch path)
+//   tracer    this rank's bound trace handle (derived, see bind())
+//   cache     optional cachesim session snapshotted at span boundaries
+//   run       fault hooks + watchdog (bsp::RunOptions) for the drivers
+//
+// Algorithm option structs keep only algorithm-shape knobs (trial counts,
+// epsilon, leaf sizes, ...). The old comm-first overloads remain as thin
+// deprecated shims that wrap the comm in a default Context.
+//
+// Lifecycle idiom:
+//
+//   trace::Recorder recorder(p);               // host side, optional
+//   Context ctx;                               // host-side carrier
+//   ctx.seed = 7; ctx.recorder = &recorder;
+//   machine.run([&](bsp::Comm& world) {
+//     const Context rank_ctx = ctx.bind(world);   // comm + rank tracer
+//     auto result = core::min_cut(rank_ctx, dist, options);
+//   }, ctx.run);
+//
+// bind() attaches a communicator and resolves the rank's trace sink;
+// fork() swaps in a sub-communicator (trial groups, recursion halves)
+// while keeping the already-bound tracer, so a rank's spans stay on its
+// world-rank track. Both return copies — a Context is a cheap value.
+
+#include <cstdint>
+
+#include "bsp/comm.hpp"
+#include "bsp/machine.hpp"
+#include "cachesim/session.hpp"
+#include "trace/trace.hpp"
+
+namespace camc {
+
+struct Context {
+  bsp::Comm comm;
+  std::uint64_t seed = 1;
+  std::uint32_t attempt = 0;
+  trace::Recorder* recorder = nullptr;
+  trace::Tracer tracer;
+  const cachesim::Session* cache = nullptr;
+  bsp::RunOptions run;
+
+  Context() = default;
+  explicit Context(std::uint64_t seed_value) : seed(seed_value) {}
+  explicit Context(const bsp::Comm& world, std::uint64_t seed_value = 1,
+                   trace::Recorder* trace_recorder = nullptr)
+      : comm(world), seed(seed_value), recorder(trace_recorder) {
+    rebind_tracer();
+  }
+
+  /// Rank-side binding: attach `world` and resolve this rank's trace sink.
+  Context bind(const bsp::Comm& world) const {
+    Context out = *this;
+    out.comm = world;
+    out.rebind_tracer();
+    return out;
+  }
+
+  /// Sub-communicator hop (trial group, recursion half): swap the comm but
+  /// keep the tracer bound to the original world rank's track.
+  Context fork(const bsp::Comm& sub) const {
+    Context out = *this;
+    out.comm = sub;
+    return out;
+  }
+
+  Context with_seed(std::uint64_t seed_value) const {
+    Context out = *this;
+    out.seed = seed_value;
+    return out;
+  }
+
+  Context with_attempt(std::uint32_t attempt_value) const {
+    Context out = *this;
+    out.attempt = attempt_value;
+    return out;
+  }
+
+  /// The tracing hook: one branch when disabled, a begin event (ended by
+  /// the returned RAII span) when enabled.
+  trace::Span span(const char* name, std::uint64_t arg0 = 0,
+                   std::uint64_t arg1 = 0) const {
+    if (!tracer.enabled()) return {};
+    return trace::Span(tracer, stats_or_null(), cache, name, arg0, arg1);
+  }
+
+  const bsp::RankStats* stats_or_null() const noexcept {
+    return comm.size() > 0 ? &comm.stats() : nullptr;
+  }
+
+ private:
+  void rebind_tracer() {
+    if (recorder != nullptr && comm.size() > 0 &&
+        comm.rank() < recorder->ranks()) {
+      tracer = trace::Tracer(&recorder->rank(comm.rank()), recorder->epoch());
+    } else {
+      tracer = trace::Tracer();
+    }
+  }
+};
+
+}  // namespace camc

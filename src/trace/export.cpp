@@ -1,0 +1,239 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace camc::trace {
+
+namespace {
+
+/// Per-rank span frame while replaying a rank's event log.
+struct Frame {
+  const Event* begin = nullptr;
+  bool outermost_of_name = false;
+};
+
+/// Walks one rank's log, invoking `on_pair(begin, end, outermost)` for
+/// every matched begin/end pair in end order. `outermost` is false when an
+/// enclosing open span has the same name (recursive phases), letting
+/// aggregation count self-nested time once.
+template <class OnPair>
+void for_each_pair(const RankTrace& rank, OnPair&& on_pair) {
+  std::vector<Frame> stack;
+  for (const Event& event : rank.events) {
+    if (event.kind == EventKind::kBegin) {
+      Frame frame;
+      frame.begin = &event;
+      frame.outermost_of_name = true;
+      for (const Frame& open : stack) {
+        if (open.begin->name == event.name ||
+            std::string_view(open.begin->name) == event.name) {
+          frame.outermost_of_name = false;
+          break;
+        }
+      }
+      stack.push_back(frame);
+    } else if (event.kind == EventKind::kEnd && !stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      on_pair(*frame.begin, event, frame.outermost_of_name);
+    }
+  }
+}
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c == '"' || *c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(*c) < 0x20) continue;  // names are ours
+    out.push_back(*c);
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out += buffer;
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out += buffer;
+}
+
+void append_metadata(std::string& out, int pid, int ranks, bool& first) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"tid\":0,\"args\":{\"name\":\"camc run %d\"}}",
+                first ? "" : ",\n", pid, pid);
+  first = false;
+  out += buffer;
+  for (int r = 0; r < ranks; ++r) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"rank %d\"}}",
+                  pid, r, r);
+    out += buffer;
+  }
+}
+
+void append_events(std::string& out, const Recorder& recorder, int pid,
+                   bool& first) {
+  append_metadata(out, pid, recorder.ranks(), first);
+  for (int r = 0; r < recorder.ranks(); ++r) {
+    for (const Event& event : recorder.rank(r).events) {
+      const char ph = event.kind == EventKind::kBegin  ? 'B'
+                      : event.kind == EventKind::kEnd  ? 'E'
+                                                       : 'i';
+      out += ",\n{\"name\":\"";
+      append_escaped(out, event.name);
+      out += "\",\"cat\":\"camc\",\"ph\":\"";
+      out.push_back(ph);
+      out += "\",\"pid\":";
+      append_u64(out, static_cast<std::uint64_t>(pid));
+      out += ",\"tid\":";
+      append_u64(out, static_cast<std::uint64_t>(r));
+      out += ",\"ts\":";
+      append_double(out, event.wall_seconds * 1e6);
+      if (event.kind == EventKind::kInstant) out += ",\"s\":\"t\"";
+      out += ",\"args\":{";
+      if (event.kind == EventKind::kEnd) {
+        out += "\"supersteps\":";
+        append_u64(out, event.counters.supersteps);
+        out += ",\"words_sent\":";
+        append_u64(out, event.counters.words_sent);
+        out += ",\"words_received\":";
+        append_u64(out, event.counters.words_received);
+        out += ",\"cache_misses\":";
+        append_u64(out, event.counters.cache_misses);
+      } else {
+        out += "\"arg0\":";
+        append_u64(out, event.arg0);
+        out += ",\"arg1\":";
+        append_u64(out, event.arg1);
+      }
+      out += "}}";
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PhaseSummary> summarize(const Recorder& recorder) {
+  std::vector<PhaseSummary> phases;
+  std::unordered_map<std::string, std::size_t> index;
+  // Per-rank accumulation, reduced by max over ranks below.
+  struct RankTotals {
+    std::uint64_t supersteps = 0;
+    std::uint64_t words = 0;
+    double comm_seconds = 0.0;
+    double wall_seconds = 0.0;
+    std::uint64_t cache_misses = 0;
+  };
+  std::vector<std::vector<RankTotals>> per_rank;  // [phase][rank]
+
+  for (int r = 0; r < recorder.ranks(); ++r) {
+    for_each_pair(recorder.rank(r), [&](const Event& begin, const Event& end,
+                                        bool outermost) {
+      auto [it, inserted] = index.try_emplace(begin.name, phases.size());
+      if (inserted) {
+        PhaseSummary phase;
+        phase.name = begin.name;
+        phases.push_back(std::move(phase));
+        per_rank.emplace_back(
+            static_cast<std::size_t>(recorder.ranks()));
+      }
+      const std::size_t k = it->second;
+      phases[k].spans += 1;
+      if (!outermost) return;  // self-nested: counted by the outer span
+      RankTotals& totals = per_rank[k][static_cast<std::size_t>(r)];
+      totals.supersteps += end.counters.supersteps - begin.counters.supersteps;
+      totals.words += (end.counters.words_sent - begin.counters.words_sent) +
+                      (end.counters.words_received -
+                       begin.counters.words_received);
+      totals.comm_seconds +=
+          end.counters.comm_seconds - begin.counters.comm_seconds;
+      totals.wall_seconds += end.wall_seconds - begin.wall_seconds;
+      totals.cache_misses +=
+          end.counters.cache_misses - begin.counters.cache_misses;
+    });
+  }
+
+  for (std::size_t k = 0; k < phases.size(); ++k) {
+    for (const RankTotals& totals : per_rank[k]) {
+      phases[k].supersteps = std::max(phases[k].supersteps, totals.supersteps);
+      phases[k].words = std::max(phases[k].words, totals.words);
+      phases[k].comm_seconds =
+          std::max(phases[k].comm_seconds, totals.comm_seconds);
+      phases[k].wall_seconds =
+          std::max(phases[k].wall_seconds, totals.wall_seconds);
+      phases[k].cache_misses =
+          std::max(phases[k].cache_misses, totals.cache_misses);
+    }
+  }
+  return phases;
+}
+
+std::string format_summary(const std::vector<PhaseSummary>& phases) {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-20s %6s %10s %12s %10s %10s\n", "phase",
+                "spans", "supersteps", "words", "comm_ms", "wall_ms");
+  out << line;
+  for (const PhaseSummary& phase : phases) {
+    std::snprintf(line, sizeof(line),
+                  "%-20s %6" PRIu64 " %10" PRIu64 " %12" PRIu64
+                  " %10.3f %10.3f\n",
+                  phase.name.c_str(), phase.spans, phase.supersteps,
+                  phase.words, phase.comm_seconds * 1e3,
+                  phase.wall_seconds * 1e3);
+    out << line;
+  }
+  return out.str();
+}
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& out,
+                        int pid) {
+  std::string body;
+  bool first = true;
+  append_events(body, recorder, pid, first);
+  out << "{\"traceEvents\":[\n"
+      << body << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(const std::vector<const Recorder*>& recorders,
+                        std::ostream& out) {
+  std::string body;
+  bool first = true;
+  int pid = 0;
+  for (const Recorder* recorder : recorders) {
+    if (recorder != nullptr) append_events(body, *recorder, pid, first);
+    ++pid;
+  }
+  out << "{\"traceEvents\":[\n"
+      << body << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::ostringstream out;
+  write_chrome_trace(recorder, out);
+  return out.str();
+}
+
+bool write_chrome_trace_file(const Recorder& recorder,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_chrome_trace(recorder, file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace camc::trace

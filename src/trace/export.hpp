@@ -1,0 +1,60 @@
+#pragma once
+
+// Trace exporters: Chrome trace-event JSON (Perfetto-loadable, one track
+// per rank) and the compact per-phase text summary (the paper's Table-1
+// shape: supersteps / words / time per phase).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace camc::trace {
+
+/// Per-phase aggregate over one Recorder. Counter fields are BSP-reduced:
+/// the per-rank deltas are summed over that rank's spans of the phase,
+/// then the maximum over ranks is reported (the h-relation convention of
+/// bsp::MachineStats). `spans` counts completed spans over all ranks.
+/// Self-nested spans (recursion) contribute only their outermost
+/// occurrence to the totals so nothing is double-counted.
+struct PhaseSummary {
+  std::string name;
+  std::uint64_t spans = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t words = 0;  ///< sent + received
+  double comm_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Aggregates matched begin/end pairs by phase name, in first-seen order
+/// (rank-major scan, so the order is deterministic for a deterministic
+/// span structure). Unmatched begins (a span alive when the recorder was
+/// read) are ignored.
+std::vector<PhaseSummary> summarize(const Recorder& recorder);
+
+/// Fixed-width text table of a summary; one line per phase.
+std::string format_summary(const std::vector<PhaseSummary>& phases);
+
+/// Writes the Chrome trace-event JSON object form:
+///   {"traceEvents":[...], "displayTimeUnit":"ms"}
+/// B/E events carry pid, tid = rank, ts in microseconds, and the span's
+/// args (arg0/arg1 at begin; counter snapshot at end). Metadata events
+/// name the process and the per-rank threads.
+void write_chrome_trace(const Recorder& recorder, std::ostream& out,
+                        int pid = 0);
+
+/// Multi-recorder form: each recorder becomes one process (pid = index) —
+/// how camc_serve merges per-epoch traces into a single timeline file.
+void write_chrome_trace(const std::vector<const Recorder*>& recorders,
+                        std::ostream& out);
+
+/// write_chrome_trace into a string (tests, svc payloads).
+std::string chrome_trace_json(const Recorder& recorder);
+
+/// Writes the single-recorder form to `path`; returns false on I/O error.
+bool write_chrome_trace_file(const Recorder& recorder,
+                             const std::string& path);
+
+}  // namespace camc::trace

@@ -1,0 +1,215 @@
+#pragma once
+
+// Structured tracing (camc::trace): per-rank span recorders aligned to BSP
+// supersteps.
+//
+// The paper argues entirely in observable quantities — supersteps, words
+// moved per superstep, time inside collectives (§2.1, Table 1) — but
+// bsp::RankStats only reports end-of-run aggregates. A Recorder attributes
+// those counters to *phases*: every Span boundary snapshots the owning
+// rank's RankStats (and, when attached, a cachesim::Session's miss count),
+// so the per-phase deltas reconstruct exactly where inside a run the
+// supersteps and words were spent. export.hpp turns a Recorder into a
+// Chrome trace-event JSON (one track per rank, loads in Perfetto) or the
+// paper's Table-1-shaped text summary.
+//
+// Cost contract (pinned by bench_trace_overhead and the counter goldens):
+//
+// * A disabled sink costs a single branch per hook — Context::span()
+//   tests one pointer and returns an inert Span; nothing else runs.
+// * Tracing draws no randomness and calls no collective, so Philox
+//   streams and BSP counters are bit-identical with tracing on or off.
+//
+// Threading: each rank writes only its own RankTrace (cache-line aligned
+// against false sharing); the Recorder may only be read after the
+// machine run that filled it has completed. No locks anywhere.
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bsp/stats.hpp"
+#include "cachesim/session.hpp"
+
+namespace camc::trace {
+
+/// RankStats + cachesim view captured at one span boundary; per-phase
+/// costs are the end-minus-begin deltas.
+struct CounterSnapshot {
+  std::uint64_t supersteps = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_received = 0;
+  double comm_seconds = 0.0;
+  std::uint64_t cache_misses = 0;
+};
+
+enum class EventKind : std::uint8_t { kBegin, kEnd, kInstant };
+
+struct Event {
+  /// Static string literal (phase name); never owned, never freed.
+  const char* name = nullptr;
+  EventKind kind = EventKind::kInstant;
+  /// Nesting depth of the span this event begins/ends (root spans are 0).
+  std::uint32_t depth = 0;
+  /// Seconds since the Recorder's epoch.
+  double wall_seconds = 0.0;
+  /// Phase-specific arguments (vertex counts, trial indices, ...).
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  CounterSnapshot counters;
+};
+
+/// One rank's event log. Aligned so neighbouring ranks' appends do not
+/// false-share.
+struct alignas(64) RankTrace {
+  std::vector<Event> events;
+  std::uint32_t open_depth = 0;  ///< live nesting depth while recording
+};
+
+/// Owns the per-rank traces of one traced execution. Construct with the
+/// machine's rank count before the run; read after it.
+class Recorder {
+ public:
+  explicit Recorder(int ranks)
+      : epoch_(std::chrono::steady_clock::now()),
+        ranks_(static_cast<std::size_t>(ranks < 0 ? 0 : ranks)) {}
+
+  int ranks() const noexcept { return static_cast<int>(ranks_.size()); }
+  RankTrace& rank(int r) { return ranks_[static_cast<std::size_t>(r)]; }
+  const RankTrace& rank(int r) const {
+    return ranks_[static_cast<std::size_t>(r)];
+  }
+  std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+  std::size_t total_events() const noexcept {
+    std::size_t n = 0;
+    for (const RankTrace& r : ranks_) n += r.events.size();
+    return n;
+  }
+
+  void clear() {
+    for (RankTrace& r : ranks_) {
+      r.events.clear();
+      r.open_depth = 0;
+    }
+    epoch_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<RankTrace> ranks_;
+};
+
+/// Per-rank handle a Context carries: the rank's sink plus the recorder's
+/// epoch (copied so the hot path needs no Recorder indirection). A
+/// default-constructed Tracer is the disabled sink.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(RankTrace* sink, std::chrono::steady_clock::time_point epoch)
+      : sink_(sink), epoch_(epoch) {}
+
+  bool enabled() const noexcept { return sink_ != nullptr; }
+  RankTrace* sink() const noexcept { return sink_; }
+  std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+ private:
+  RankTrace* sink_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII phase span: records a begin event at construction and the matching
+/// end event (with a fresh counter snapshot) at destruction or end().
+/// Move-only; a default-constructed or moved-from Span is inert. Obtained
+/// from Context::span() — never constructed enabled unless tracing is on.
+class Span {
+ public:
+  Span() = default;
+  Span(const Tracer& tracer, const bsp::RankStats* stats,
+       const cachesim::Session* cache, const char* name, std::uint64_t arg0,
+       std::uint64_t arg1)
+      : sink_(tracer.sink()),
+        stats_(stats),
+        cache_(cache),
+        name_(name),
+        epoch_(tracer.epoch()) {
+    if (sink_ == nullptr) return;
+    Event event;
+    event.name = name_;
+    event.kind = EventKind::kBegin;
+    event.depth = sink_->open_depth++;
+    event.wall_seconds = now();
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    event.counters = snapshot();
+    sink_->events.push_back(event);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept
+      : sink_(std::exchange(other.sink_, nullptr)),
+        stats_(other.stats_),
+        cache_(other.cache_),
+        name_(other.name_),
+        epoch_(other.epoch_) {}
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      sink_ = std::exchange(other.sink_, nullptr);
+      stats_ = other.stats_;
+      cache_ = other.cache_;
+      name_ = other.name_;
+      epoch_ = other.epoch_;
+    }
+    return *this;
+  }
+  ~Span() { end(); }
+
+  /// Ends the span early (idempotent).
+  void end() {
+    if (sink_ == nullptr) return;
+    Event event;
+    event.name = name_;
+    event.kind = EventKind::kEnd;
+    event.depth = --sink_->open_depth;
+    event.wall_seconds = now();
+    event.counters = snapshot();
+    sink_->events.push_back(event);
+    sink_ = nullptr;
+  }
+
+  bool active() const noexcept { return sink_ != nullptr; }
+
+ private:
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  CounterSnapshot snapshot() const {
+    CounterSnapshot out;
+    if (stats_ != nullptr) {
+      out.supersteps = stats_->supersteps;
+      out.words_sent = stats_->words_sent;
+      out.words_received = stats_->words_received;
+      out.comm_seconds = stats_->comm_seconds;
+    }
+    if (cache_ != nullptr) out.cache_misses = cache_->misses();
+    return out;
+  }
+
+  RankTrace* sink_ = nullptr;
+  const bsp::RankStats* stats_ = nullptr;
+  const cachesim::Session* cache_ = nullptr;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace camc::trace

@@ -16,10 +16,9 @@ namespace {
 using graph::Vertex;
 using graph::WeightedEdge;
 
-MinCutOptions confident(std::uint64_t seed) {
+MinCutOptions confident() {
   MinCutOptions options;
   options.success_probability = 0.9999;
-  options.seed = seed;
   return options;
 }
 
@@ -32,7 +31,7 @@ std::vector<std::vector<Vertex>> sorted_cuts(
 
 TEST(AllMinCuts, UniqueCutIsFoundExactlyOnce) {
   const auto g = gen::dumbbell_graph(5, 1);
-  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(2));
+  const AllMinCutsResult result = all_min_cuts(Context(2), g.n, g.edges, confident());
   EXPECT_EQ(result.value, 1u);
   ASSERT_EQ(result.cuts.size(), 1u);
   EXPECT_EQ(result.cuts[0].size(), 5u);  // one clique side
@@ -41,7 +40,7 @@ TEST(AllMinCuts, UniqueCutIsFoundExactlyOnce) {
 TEST(AllMinCuts, CycleHasAllEdgePairCuts) {
   // A 5-cycle has C(5,2) = 10 minimum cuts (any two edges).
   const auto g = gen::cycle_graph(5);
-  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(3));
+  const AllMinCutsResult result = all_min_cuts(Context(3), g.n, g.edges, confident());
   EXPECT_EQ(result.value, 2u);
   const auto oracle = seq::brute_force_all_min_cuts(g.n, g.edges);
   EXPECT_EQ(oracle.size(), 10u);
@@ -50,7 +49,7 @@ TEST(AllMinCuts, CycleHasAllEdgePairCuts) {
 
 TEST(AllMinCuts, PathHasOneCutPerEdge) {
   const auto g = gen::path_graph(7);
-  const AllMinCutsResult result = all_min_cuts(g.n, g.edges, confident(4));
+  const AllMinCutsResult result = all_min_cuts(Context(4), g.n, g.edges, confident());
   EXPECT_EQ(result.value, 1u);
   const auto oracle = seq::brute_force_all_min_cuts(g.n, g.edges);
   EXPECT_EQ(oracle.size(), 6u);  // each edge separates a suffix
@@ -63,7 +62,7 @@ TEST(AllMinCuts, MatchesOracleOnRandomWeightedGraphs) {
     auto edges = gen::erdos_renyi(n, 24, seed);
     gen::randomize_weights(edges, 3, seed + 9);
     const auto oracle = seq::brute_force_all_min_cuts(n, edges);
-    const AllMinCutsResult result = all_min_cuts(n, edges, confident(seed));
+    const AllMinCutsResult result = all_min_cuts(Context(seed), n, edges, confident());
     EXPECT_EQ(sorted_cuts(result.cuts), sorted_cuts(oracle))
         << "seed " << seed;
   }
@@ -72,7 +71,7 @@ TEST(AllMinCuts, MatchesOracleOnRandomWeightedGraphs) {
 TEST(AllMinCuts, TruncationCapsOutput) {
   const auto g = gen::cycle_graph(12);  // C(12,2) = 66 minimum cuts
   const AllMinCutsResult result =
-      all_min_cuts(g.n, g.edges, confident(5), /*max_cuts=*/8);
+      all_min_cuts(Context(5), g.n, g.edges, confident(), /*max_cuts=*/8);
   EXPECT_EQ(result.cuts.size(), 8u);
   EXPECT_TRUE(result.truncated);
 }

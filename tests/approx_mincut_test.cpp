@@ -20,13 +20,14 @@ using graph::WeightedEdge;
 
 ApproxMinCutResult run_approx(int p, Vertex n,
                               const std::vector<WeightedEdge>& edges,
-                              const ApproxMinCutOptions& options = {}) {
+                              const ApproxMinCutOptions& options = {},
+                              std::uint64_t seed = 1) {
   bsp::Machine machine(p);
   ApproxMinCutResult result;
   machine.run([&](bsp::Comm& world) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
-    auto r = approx_min_cut(world, dist, options);
+    auto r = approx_min_cut(Context(world, seed), dist, options);
     if (world.rank() == 0) result = r;
   });
   return result;
@@ -39,10 +40,9 @@ struct ApproxCase {
 
 class ApproxParam : public ::testing::TestWithParam<ApproxCase> {
  protected:
-  ApproxMinCutOptions options(std::uint64_t seed = 1) const {
+  ApproxMinCutOptions options() const {
     ApproxMinCutOptions o;
     o.pipelined = GetParam().pipelined;
-    o.seed = seed;
     return o;
   }
 };
@@ -59,7 +59,7 @@ TEST_P(ApproxParam, EstimateWithinLogFactorOnKnownCuts) {
   // robust while still catching broken estimates.
   for (const auto& g : gen::verification_suite()) {
     if (g.components != 1 || g.n < 4) continue;
-    const auto result = run_approx(GetParam().p, g.n, g.edges, options(3));
+    const auto result = run_approx(GetParam().p, g.n, g.edges, options(), 3);
     const double ratio = static_cast<double>(result.estimate) /
                          static_cast<double>(g.min_cut);
     EXPECT_GE(ratio, 1.0 / 16.0) << g.name;
@@ -73,9 +73,9 @@ TEST_P(ApproxParam, ScalesWithTheActualCut) {
   const auto narrow = gen::dumbbell_graph(12, 1);
   const auto wide = gen::complete_graph(12, 2);  // min cut 22
   const auto narrow_result =
-      run_approx(GetParam().p, narrow.n, narrow.edges, options(5));
+      run_approx(GetParam().p, narrow.n, narrow.edges, options(), 5);
   const auto wide_result =
-      run_approx(GetParam().p, wide.n, wide.edges, options(5));
+      run_approx(GetParam().p, wide.n, wide.edges, options(), 5);
   EXPECT_LT(narrow_result.estimate, wide_result.estimate);
 }
 
@@ -94,14 +94,12 @@ TEST(ApproxMinCut, EarlyStoppingRunsFewerIterationsOnSmallCuts) {
   // variant should stop in the first couple of iterations while the
   // pipelined variant always runs all ceil(log2 W) of them.
   const auto g = gen::dumbbell_graph(10, 1);
-  ApproxMinCutOptions early;
-  early.seed = 7;
+  const ApproxMinCutOptions early;
   ApproxMinCutOptions pipelined;
-  pipelined.seed = 7;
   pipelined.pipelined = true;
 
-  const auto early_result = run_approx(2, g.n, g.edges, early);
-  const auto pipe_result = run_approx(2, g.n, g.edges, pipelined);
+  const auto early_result = run_approx(2, g.n, g.edges, early, 7);
+  const auto pipe_result = run_approx(2, g.n, g.edges, pipelined, 7);
   EXPECT_LT(early_result.iterations_run, pipe_result.iterations_run);
 }
 
@@ -112,10 +110,9 @@ TEST(ApproxMinCut, TrivialInputs) {
 
 TEST(ApproxMinCut, DeterministicPerSeed) {
   const auto g = gen::cycle_graph(40);
-  ApproxMinCutOptions options;
-  options.seed = 11;
-  const auto a = run_approx(3, g.n, g.edges, options);
-  const auto b = run_approx(3, g.n, g.edges, options);
+  const ApproxMinCutOptions options;
+  const auto a = run_approx(3, g.n, g.edges, options, 11);
+  const auto b = run_approx(3, g.n, g.edges, options, 11);
   EXPECT_EQ(a.estimate, b.estimate);
   EXPECT_EQ(a.iterations_run, b.iterations_run);
 }

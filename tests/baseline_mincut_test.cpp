@@ -22,13 +22,14 @@ using graph::WeightedEdge;
 BaselineMinCutOutcome run_baseline(int p, Vertex n,
                                    const std::vector<WeightedEdge>& edges,
                                    const MinCutOptions& options,
+                                   std::uint64_t seed,
                                    bsp::MachineStats* stats = nullptr) {
   bsp::Machine machine(p);
   BaselineMinCutOutcome result;
   auto outcome = machine.run([&](bsp::Comm& world) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
-    auto r = min_cut_previous_bsp(world, dist, options);
+    auto r = min_cut_previous_bsp(Context(world, seed), dist, options);
     if (world.rank() == 0) result = r;
   });
   if (stats != nullptr) *stats = outcome.stats;
@@ -41,10 +42,9 @@ TEST_P(BaselineMcParam, VerificationSuite) {
   const int p = GetParam();
   MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = 17;
   for (const auto& g : gen::verification_suite()) {
     if (g.n > 40) continue;  // the baseline is slow by design
-    const auto result = run_baseline(p, g.n, g.edges, options);
+    const auto result = run_baseline(p, g.n, g.edges, options, 17);
     EXPECT_EQ(result.value, g.min_cut) << g.name << " p=" << p;
   }
 }
@@ -59,8 +59,7 @@ TEST(BaselineMinCut, NeverUnderestimates) {
     const auto oracle = seq::brute_force_min_cut(n, edges);
     MinCutOptions cheap;
     cheap.forced_trials = 1;
-    cheap.seed = seed;
-    const auto result = run_baseline(2, n, edges, cheap);
+    const auto result = run_baseline(2, n, edges, cheap, seed);
     EXPECT_GE(result.value, oracle.value) << "seed " << seed;
   }
 }
@@ -74,18 +73,17 @@ TEST(BaselineMinCut, UsesMoreSuperstepsThanCommunicationAvoiding) {
   const auto oracle = seq::stoer_wagner_min_cut(n, edges);
   MinCutOptions options;
   options.forced_trials = 2;
-  options.seed = 5;
   options.leaf_size = 16;
 
   bsp::MachineStats baseline_stats;
-  const auto baseline = run_baseline(4, n, edges, options, &baseline_stats);
+  const auto baseline = run_baseline(4, n, edges, options, 5, &baseline_stats);
 
   bsp::Machine machine(4);
   Weight ca_value = 0;
   auto ca_outcome = machine.run([&](bsp::Comm& world) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
-    auto r = min_cut(world, dist, options);
+    auto r = min_cut(Context(world, 5), dist, options);
     if (world.rank() == 0) ca_value = r.value;
   });
 

@@ -19,6 +19,7 @@
 #include "core/cc.hpp"
 #include "core/mincut.hpp"
 #include "gen/generators.hpp"
+#include "trace/trace.hpp"
 
 namespace camc::core {
 namespace {
@@ -85,8 +86,7 @@ TEST(CounterInvariance, ConnectedComponentsMatchesSeedGoldens) {
         run_counters(golden.p, [](bsp::Comm& world,
                                   graph::DistributedEdgeArray& dist) {
           CcOptions options;
-          options.seed = kAlgoSeed;
-          (void)connected_components(world, dist, options);
+          (void)connected_components(Context(world, kAlgoSeed), dist, options);
         });
     EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
     EXPECT_EQ(stats.max_words_communicated, golden.max_words)
@@ -104,8 +104,7 @@ TEST(CounterInvariance, ApproxMinCutMatchesSeedGoldens) {
         run_counters(golden.p, [](bsp::Comm& world,
                                   graph::DistributedEdgeArray& dist) {
           ApproxMinCutOptions options;
-          options.seed = kAlgoSeed;
-          (void)approx_min_cut(world, dist, options);
+          (void)approx_min_cut(Context(world, kAlgoSeed), dist, options);
         });
     EXPECT_EQ(stats.supersteps, golden.supersteps) << "p=" << golden.p;
     EXPECT_EQ(stats.max_words_communicated, golden.max_words)
@@ -124,9 +123,8 @@ TEST(CounterInvariance, MinCutMatchesGoldensInBothTrialRegimes) {
         run_counters(golden.p, [&](bsp::Comm& world,
                                    graph::DistributedEdgeArray& dist) {
           MinCutOptions options;
-          options.seed = kAlgoSeed;
           options.forced_trials = 2;
-          const auto result = min_cut(world, dist, options);
+          const auto result = min_cut(Context(world, kAlgoSeed), dist, options);
           if (world.rank() == 0) outcome = result;
         });
     EXPECT_EQ(outcome.value, 1u) << "p=" << golden.p;
@@ -139,6 +137,54 @@ TEST(CounterInvariance, MinCutMatchesGoldensInBothTrialRegimes) {
         << "p=" << golden.p;
     EXPECT_EQ(stats.total_words_communicated, golden.total_words)
         << "p=" << golden.p;
+  }
+}
+
+TEST(CounterInvariance, TracingLeavesCountersAndResultBitIdentical) {
+  // Attaching a trace recorder must not change what the algorithms count
+  // or compute: trace hooks snapshot RankStats, never touch them, and the
+  // Philox streams never see the recorder.
+  for (const Golden& golden : kMinCutGolden) {
+    trace::Recorder recorder(golden.p);
+    MinCutOutcome plain, traced;
+    const auto stats_plain =
+        run_counters(golden.p, [&](bsp::Comm& world,
+                                   graph::DistributedEdgeArray& dist) {
+          MinCutOptions options;
+          options.forced_trials = 2;
+          const auto result = min_cut(Context(world, kAlgoSeed), dist, options);
+          if (world.rank() == 0) plain = result;
+        });
+    const auto stats_traced =
+        run_counters(golden.p, [&](bsp::Comm& world,
+                                   graph::DistributedEdgeArray& dist) {
+          MinCutOptions options;
+          options.forced_trials = 2;
+          Context ctx(world, kAlgoSeed, &recorder);
+          const auto result = min_cut(ctx, dist, options);
+          if (world.rank() == 0) traced = result;
+        });
+    EXPECT_EQ(traced.value, plain.value) << "p=" << golden.p;
+    EXPECT_EQ(traced.trials, plain.trials) << "p=" << golden.p;
+    EXPECT_EQ(traced.side, plain.side) << "p=" << golden.p;
+    EXPECT_EQ(stats_traced.supersteps, stats_plain.supersteps)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats_traced.max_words_communicated,
+              stats_plain.max_words_communicated)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats_traced.collective_calls, stats_plain.collective_calls)
+        << "p=" << golden.p;
+    EXPECT_EQ(stats_traced.total_words_communicated,
+              stats_plain.total_words_communicated)
+        << "p=" << golden.p;
+    // And the traced run must match the pinned goldens too.
+    EXPECT_EQ(stats_traced.supersteps, golden.supersteps) << "p=" << golden.p;
+    EXPECT_EQ(stats_traced.total_words_communicated, golden.total_words)
+        << "p=" << golden.p;
+    // The recorder actually saw the run: events exist on every rank.
+    for (int rank = 0; rank < recorder.ranks(); ++rank)
+      EXPECT_FALSE(recorder.rank(rank).events.empty())
+          << "p=" << golden.p << " rank=" << rank;
   }
 }
 
@@ -156,8 +202,8 @@ TEST(CounterInvariance, RepeatedRunsOnOneMachineAreIdentical) {
                   world.rank() == 0 ? edges
                                     : std::vector<graph::WeightedEdge>{});
               CcOptions options;
-              options.seed = kAlgoSeed;
-              (void)connected_components(world, dist, options);
+              (void)connected_components(Context(world, kAlgoSeed), dist,
+                                         options);
             })
             .stats;
     if (round == 0) {

@@ -26,9 +26,9 @@ CcResult run_dense_cc(int p, Vertex n, const std::vector<WeightedEdge>& edges,
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
     auto matrix = DistributedMatrix::from_edges(world, n, dist.local());
     CcOptions options;
-    options.seed = seed;
     results[static_cast<std::size_t>(world.rank())] =
-        connected_components_dense(world, std::move(matrix), options);
+        connected_components_dense(Context(world, seed), std::move(matrix),
+                                   options);
   });
   for (const CcResult& r : results) {
     EXPECT_EQ(r.components, results[0].components);
@@ -88,8 +88,7 @@ TEST(DenseCc, AgreesWithEdgeArrayAlgorithm) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
     CcOptions options;
-    options.seed = 3;
-    auto r = connected_components(world, dist, options);
+    auto r = connected_components(Context(world, 3), dist, options);
     if (world.rank() == 0) sparse = r;
   });
   EXPECT_EQ(dense.components, sparse.components);

@@ -27,10 +27,9 @@ CcResult run_parallel_root_cc(int p, Vertex n,
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
     CcOptions options;
-    options.seed = seed;
     options.parallel_sample_components = true;
     results[static_cast<std::size_t>(world.rank())] =
-        connected_components(world, dist, options);
+        connected_components(Context(world, seed), dist, options);
   });
   for (const CcResult& r : results) {
     EXPECT_EQ(r.components, results[0].components);

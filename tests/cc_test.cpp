@@ -18,14 +18,14 @@ using graph::Vertex;
 using graph::WeightedEdge;
 
 CcResult run_cc(int p, Vertex n, const std::vector<WeightedEdge>& edges,
-                const CcOptions& options = {}) {
+                const CcOptions& options = {}, std::uint64_t seed = 1) {
   bsp::Machine machine(p);
   std::vector<CcResult> results(static_cast<std::size_t>(p));
   machine.run([&](bsp::Comm& world) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
     results[static_cast<std::size_t>(world.rank())] =
-        connected_components(world, dist, options);
+        connected_components(Context(world, seed), dist, options);
   });
   // Labels must be replicated identically on every rank.
   for (const CcResult& r : results) {
@@ -118,10 +118,9 @@ TEST(Cc, FewIterationsOnRandomGraphs) {
 
 TEST(Cc, DeterministicPerSeed) {
   const auto edges = gen::erdos_renyi(300, 500, 3);
-  CcOptions options;
-  options.seed = 42;
-  const CcResult a = run_cc(4, 300, edges, options);
-  const CcResult b = run_cc(4, 300, edges, options);
+  const CcOptions options;
+  const CcResult a = run_cc(4, 300, edges, options, 42);
+  const CcResult b = run_cc(4, 300, edges, options, 42);
   EXPECT_EQ(a.labels, b.labels);
   EXPECT_EQ(a.iterations, b.iterations);
 }

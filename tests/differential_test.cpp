@@ -80,18 +80,17 @@ TEST_P(Differential, AllCcImplementationsAgree) {
 
         DistributedEdgeArray a(input.n, base.local());
         core::CcOptions options;
-        options.seed = seed;
-        auto r1 = core::connected_components(world, a, options);
+        auto r1 = core::connected_components(Context(world, seed), a, options);
 
         auto matrix =
             DistributedMatrix::from_edges(world, input.n, base.local());
-        auto r2 = core::connected_components_dense(world, std::move(matrix),
-                                                   options);
+        auto r2 = core::connected_components_dense(Context(world, seed),
+                                                   std::move(matrix), options);
 
         DistributedEdgeArray b(input.n, base.local());
         core::CcOptions proot = options;
         proot.parallel_sample_components = true;
-        auto r3 = core::connected_components(world, b, proot);
+        auto r3 = core::connected_components(Context(world, seed), b, proot);
 
         auto r4 = core::bsp_sv_components(world, base);
         auto r5 = core::async_label_propagation(world, base, shared);
@@ -129,8 +128,9 @@ TEST_P(Differential, AllMinCutImplementationsAgree) {
     // The paper's algorithm, replicated-trial regime.
     core::MinCutOptions mc;
     mc.success_probability = 0.999;
-    mc.seed = seed;
-    EXPECT_EQ(core::sequential_min_cut(input.n, input.edges, mc).value, truth)
+    EXPECT_EQ(core::sequential_min_cut(Context(seed), input.n, input.edges, mc)
+                  .value,
+              truth)
         << input.family;
 
     // Parallel, both regimes, plus the previous-BSP baseline.
@@ -140,8 +140,8 @@ TEST_P(Differential, AllMinCutImplementationsAgree) {
       auto dist = DistributedEdgeArray::scatter(
           world, input.n,
           world.rank() == 0 ? input.edges : std::vector<WeightedEdge>{});
-      auto r1 = core::min_cut(world, dist, mc);
-      auto r2 = core::min_cut_previous_bsp(world, dist, mc);
+      auto r1 = core::min_cut(Context(world, seed), dist, mc);
+      auto r2 = core::min_cut_previous_bsp(Context(world, seed), dist, mc);
       if (world.rank() == 0) {
         parallel_value = r1.value;
         baseline_value = r2.value;

@@ -39,8 +39,7 @@ TEST(Integration, FileToDistributedMinCutPipeline) {
         world.rank() == 0 ? parsed.edges : std::vector<WeightedEdge>{});
     core::MinCutOptions options;
     options.success_probability = 0.999;
-    options.seed = 5;
-    auto outcome = core::min_cut(world, dist, options);
+    auto outcome = core::min_cut(Context(world, 5), dist, options);
     if (world.rank() == 0) value = outcome.value;
   });
   EXPECT_EQ(value, g.min_cut);
@@ -59,12 +58,11 @@ TEST(Integration, MinCutZeroIffMoreThanOneComponent) {
           world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
       DistributedEdgeArray for_mc(n, for_cc.local());
       core::CcOptions cc_options;
-      cc_options.seed = seed;
-      auto cc = core::connected_components(world, for_cc, cc_options);
+      auto cc =
+          core::connected_components(Context(world, seed), for_cc, cc_options);
       core::MinCutOptions mc_options;
       mc_options.success_probability = 0.999;
-      mc_options.seed = seed + 1;
-      auto mc = core::min_cut(world, for_mc, mc_options);
+      auto mc = core::min_cut(Context(world, seed + 1), for_mc, mc_options);
       if (world.rank() == 0) {
         components = cc.components;
         value = mc.value;
@@ -97,11 +95,9 @@ TEST(Integration, ApproxUpperBoundsTrackExact) {
           world.rank() == 0 ? input.edges : std::vector<WeightedEdge>{});
       core::MinCutOptions mc_options;
       mc_options.success_probability = 0.999;
-      mc_options.seed = 8;
-      auto mc = core::min_cut(world, dist, mc_options);
+      auto mc = core::min_cut(Context(world, 8), dist, mc_options);
       core::ApproxMinCutOptions ax_options;
-      ax_options.seed = 9;
-      auto ax = core::approx_min_cut(world, dist, ax_options);
+      auto ax = core::approx_min_cut(Context(world, 9), dist, ax_options);
       if (world.rank() == 0) {
         exact = mc.value;
         approx = ax.estimate;
@@ -132,8 +128,7 @@ TEST(Integration, RepeatedSeedConsistencyProtocol) {
           world, 48, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
       core::MinCutOptions options;
       options.success_probability = 0.95;
-      options.seed = seed;
-      auto outcome = core::min_cut(world, dist, options);
+      auto outcome = core::min_cut(Context(world, seed), dist, options);
       if (world.rank() == 0) value = outcome.value;
     });
     values.push_back(value);
@@ -163,14 +158,12 @@ TEST(Integration, LargerEndToEndRunStaysHealthy) {
     ASSERT_GE(cc.components, 1u);
 
     core::ApproxMinCutOptions ax;
-    ax.seed = 2;
-    auto approx = core::approx_min_cut(world, base, ax);
+    auto approx = core::approx_min_cut(Context(world, 2), base, ax);
     (void)approx;
 
     core::MinCutOptions mc;
     mc.forced_trials = 8;
-    mc.seed = 3;
-    auto exact = core::min_cut(world, base, mc);
+    auto exact = core::min_cut(Context(world, 3), base, mc);
     ASSERT_GE(exact.trials, 1u);
   });
   EXPECT_GT(outcome.stats.supersteps, 0u);

@@ -31,22 +31,21 @@ Weight cut_value_of_side(Vertex n, std::span<const WeightedEdge> edges,
 
 MinCutOutcome run_min_cut(int p, Vertex n,
                           const std::vector<WeightedEdge>& edges,
-                          const MinCutOptions& options) {
+                          const MinCutOptions& options, std::uint64_t seed) {
   bsp::Machine machine(p);
   MinCutOutcome outcome;
   machine.run([&](bsp::Comm& world) {
     auto dist = DistributedEdgeArray::scatter(
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
-    auto r = min_cut(world, dist, options);
+    auto r = min_cut(Context(world, seed), dist, options);
     if (world.rank() == 0) outcome = r;
   });
   return outcome;
 }
 
-MinCutOptions high_confidence(std::uint64_t seed) {
+MinCutOptions high_confidence() {
   MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = seed;
   return options;
 }
 
@@ -56,7 +55,7 @@ TEST_P(MinCutParam, VerificationSuite) {
   const int p = GetParam();
   for (const auto& g : gen::verification_suite()) {
     const MinCutOutcome outcome =
-        run_min_cut(p, g.n, g.edges, high_confidence(13));
+        run_min_cut(p, g.n, g.edges, high_confidence(), 13);
     EXPECT_EQ(outcome.value, g.min_cut) << g.name << " p=" << p;
     if (outcome.side_valid && g.components == 1 && outcome.value > 0) {
       EXPECT_FALSE(outcome.side.empty()) << g.name;
@@ -75,7 +74,7 @@ TEST_P(MinCutParam, AgreesWithStoerWagnerOnRandomGraphs) {
     gen::randomize_weights(edges, 4, seed + 50);
     const auto sw = seq::stoer_wagner_min_cut(n, edges);
     const MinCutOutcome outcome =
-        run_min_cut(p, n, edges, high_confidence(seed + 100));
+        run_min_cut(p, n, edges, high_confidence(), seed + 100);
     EXPECT_EQ(outcome.value, sw.value) << "seed " << seed << " p=" << p;
   }
 }
@@ -87,10 +86,10 @@ TEST(MinCut, ResultIndependentOfProcessorCountInSequentialRegime) {
   // With p <= t, trials are replicated deterministically by trial index, so
   // the outcome must be bit-identical for every p.
   const auto g = gen::dumbbell_graph(8, 2);
-  MinCutOptions options = high_confidence(21);
-  const MinCutOutcome reference = run_min_cut(1, g.n, g.edges, options);
+  const MinCutOptions options = high_confidence();
+  const MinCutOutcome reference = run_min_cut(1, g.n, g.edges, options, 21);
   for (const int p : {2, 3, 4, 8}) {
-    const MinCutOutcome outcome = run_min_cut(p, g.n, g.edges, options);
+    const MinCutOutcome outcome = run_min_cut(p, g.n, g.edges, options, 21);
     EXPECT_EQ(outcome.value, reference.value) << "p=" << p;
     EXPECT_FALSE(outcome.used_distributed_trials);
   }
@@ -104,7 +103,6 @@ TEST(MinCut, DistributedTrialRegimeIsExercisedAndCorrect) {
         gen::complete_graph(12, 2), gen::weighted_ring(16)}) {
     bool any_correct = true;
     MinCutOptions options;
-    options.seed = 31;
     options.forced_trials = 2;
     options.leaf_size = 4;  // force distributed recursive-step levels
     // Repeat a few seeds: two trials of a randomized algorithm; a single
@@ -112,8 +110,8 @@ TEST(MinCut, DistributedTrialRegimeIsExercisedAndCorrect) {
     int exact = 0;
     constexpr int kRepeats = 6;
     for (int repeat = 0; repeat < kRepeats; ++repeat) {
-      options.seed = 31 + static_cast<std::uint64_t>(repeat);
-      const MinCutOutcome outcome = run_min_cut(8, g.n, g.edges, options);
+      const std::uint64_t seed = 31 + static_cast<std::uint64_t>(repeat);
+      const MinCutOutcome outcome = run_min_cut(8, g.n, g.edges, options, seed);
       EXPECT_TRUE(outcome.used_distributed_trials);
       EXPECT_GE(outcome.value, g.min_cut) << g.name;  // never underestimates
       if (outcome.value == g.min_cut) ++exact;
@@ -136,8 +134,7 @@ TEST(MinCut, NeverUnderestimatesEvenWithOneTrial) {
     const auto sw = seq::stoer_wagner_min_cut(n, edges);
     MinCutOptions cheap;
     cheap.forced_trials = 1;
-    cheap.seed = seed;
-    const MinCutOutcome outcome = run_min_cut(2, n, edges, cheap);
+    const MinCutOutcome outcome = run_min_cut(2, n, edges, cheap, seed);
     EXPECT_GE(outcome.value, sw.value) << "seed " << seed;
     if (outcome.side_valid && outcome.value > 0) {
       EXPECT_EQ(cut_value_of_side(n, edges, outcome.side), outcome.value);
@@ -147,7 +144,7 @@ TEST(MinCut, NeverUnderestimatesEvenWithOneTrial) {
 
 TEST(MinCut, DisconnectedGraphIsZero) {
   const auto g = gen::disjoint_cycles(2, 8);
-  const MinCutOutcome outcome = run_min_cut(4, g.n, g.edges, high_confidence(1));
+  const MinCutOutcome outcome = run_min_cut(4, g.n, g.edges, high_confidence(), 1);
   EXPECT_EQ(outcome.value, 0u);
   ASSERT_TRUE(outcome.side_valid);
   EXPECT_EQ(cut_value_of_side(g.n, g.edges, outcome.side), 0u);
@@ -156,7 +153,7 @@ TEST(MinCut, DisconnectedGraphIsZero) {
 }
 
 TEST(MinCut, EdgelessGraph) {
-  const MinCutOutcome outcome = run_min_cut(2, 5, {}, high_confidence(2));
+  const MinCutOutcome outcome = run_min_cut(2, 5, {}, high_confidence(), 2);
   EXPECT_EQ(outcome.value, 0u);
 }
 
@@ -175,19 +172,18 @@ TEST(MinCut, TrialCountTracksDensity) {
 
 TEST(MinCut, SequentialHelpersMatchParallelResult) {
   const auto g = gen::weighted_ring(12);
-  MinCutOptions options = high_confidence(3);
-  const auto seq_result = sequential_min_cut(g.n, g.edges, options);
+  const MinCutOptions options = high_confidence();
+  const auto seq_result = sequential_min_cut(Context(3), g.n, g.edges, options);
   EXPECT_EQ(seq_result.value, g.min_cut);
-  const MinCutOutcome outcome = run_min_cut(1, g.n, g.edges, options);
+  const MinCutOutcome outcome = run_min_cut(1, g.n, g.edges, options, 3);
   EXPECT_EQ(outcome.value, seq_result.value);
 }
 
 TEST(MinCut, DeterministicPerSeed) {
   const auto edges = gen::erdos_renyi(30, 120, 9);
-  MinCutOptions options;
-  options.seed = 77;
-  const MinCutOutcome a = run_min_cut(4, 30, edges, options);
-  const MinCutOutcome b = run_min_cut(4, 30, edges, options);
+  const MinCutOptions options;
+  const MinCutOutcome a = run_min_cut(4, 30, edges, options, 77);
+  const MinCutOutcome b = run_min_cut(4, 30, edges, options, 77);
   EXPECT_EQ(a.value, b.value);
 }
 

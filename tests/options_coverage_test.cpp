@@ -36,7 +36,6 @@ TEST_P(MinCutOptionSweep, StillExactOnKnownCuts) {
   options.leaf_size = leaf_size;
   options.trial_multiplier = multiplier;
   options.success_probability = 0.999;
-  options.seed = 23;
 
   for (const auto& g : {gen::dumbbell_graph(7, 2), gen::weighted_ring(14),
                         gen::figure2_graph()}) {
@@ -45,7 +44,7 @@ TEST_P(MinCutOptionSweep, StillExactOnKnownCuts) {
     machine.run([&](bsp::Comm& world) {
       auto dist = DistributedEdgeArray::scatter(
           world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
-      auto result = min_cut(world, dist, options);
+      auto result = min_cut(Context(world, 23), dist, options);
       if (world.rank() == 0) value = result.value;
     });
     EXPECT_EQ(value, g.min_cut) << g.name;
@@ -75,8 +74,7 @@ TEST(OptionCoverage, CcEpsilonSweep) {
           world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
       CcOptions options;
       options.epsilon = epsilon;
-      options.seed = 5;
-      auto r = connected_components(world, dist, options);
+      auto r = connected_components(Context(world, 5), dist, options);
       if (world.rank() == 0) result = r;
     });
     EXPECT_TRUE(seq::same_partition(result.labels, oracle))
@@ -96,8 +94,7 @@ TEST(OptionCoverage, CcDeltaSweep) {
           world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
       CcOptions options;
       options.delta = delta;
-      options.seed = 7;
-      auto r = connected_components(world, dist, options);
+      auto r = connected_components(Context(world, 7), dist, options);
       if (world.rank() == 0) result = r;
     });
     EXPECT_TRUE(seq::same_partition(result.labels, oracle))
@@ -115,8 +112,7 @@ TEST(OptionCoverage, ApproxTrialOverrides) {
           world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
       ApproxMinCutOptions options;
       options.trials = trials;
-      options.seed = 9;
-      auto r = approx_min_cut(world, dist, options);
+      auto r = approx_min_cut(Context(world, 9), dist, options);
       if (world.rank() == 0) result = r;
     });
     EXPECT_EQ(result.trials_per_iteration, trials);
@@ -133,9 +129,8 @@ TEST(OptionCoverage, MinCutWithoutSideSkipsReconstruction) {
         world, g.n, world.rank() == 0 ? g.edges : std::vector<WeightedEdge>{});
     MinCutOptions options;
     options.success_probability = 0.999;
-    options.seed = 2;
     options.want_side = false;
-    auto r = min_cut(world, dist, options);
+    auto r = min_cut(Context(world, 2), dist, options);
     if (world.rank() == 0) outcome = r;
   });
   EXPECT_EQ(outcome.value, g.min_cut);

@@ -22,11 +22,16 @@ namespace {
 using graph::Vertex;
 using graph::WeightedEdge;
 
-core::MinCutOptions confident_options(std::uint64_t seed) {
+core::MinCutOptions confident_options() {
   core::MinCutOptions options;
   options.success_probability = 0.999;
-  options.seed = seed;
   return options;
+}
+
+Context seeded_context(std::uint64_t seed, const bsp::RunOptions& run = {}) {
+  Context ctx(seed);
+  ctx.run = run;
+  return ctx;
 }
 
 // The acceptance scenario: a crash injected into one trial's collective
@@ -41,8 +46,8 @@ TEST(Resilience, MinCutSurvivesInjectedCrashAcrossVerificationSuite) {
     bsp::RunOptions run_options;
     run_options.injector = &plan;
     const ResilientMinCutResult out =
-        resilient_min_cut(machine, g.n, g.edges, confident_options(5),
-                          RetryPolicy{}, run_options);
+        resilient_min_cut(machine, g.n, g.edges,
+                          seeded_context(5, run_options), confident_options());
     ASSERT_TRUE(out.ok) << g.name;
     EXPECT_EQ(out.result.value, g.min_cut) << g.name;
     EXPECT_EQ(plan.crashes_fired(), 1u) << g.name;
@@ -56,17 +61,17 @@ TEST(Resilience, MinCutSurvivesInjectedCrashAcrossVerificationSuite) {
 TEST(Resilience, NoFaultRunMatchesUnwrappedMinCut) {
   bsp::Machine machine(4);
   const auto g = gen::dumbbell_graph(6, 2);
-  const core::MinCutOptions options = confident_options(7);
+  const core::MinCutOptions options = confident_options();
 
   core::MinCutOutcome plain;
   machine.run([&](bsp::Comm& world) {
     const auto dist = graph::DistributedEdgeArray::scatter(world, g.n, g.edges);
-    auto mine = core::min_cut(world, dist, options);
+    auto mine = core::min_cut(Context(world, 7), dist, options);
     if (world.rank() == 0) plain = std::move(mine);
   });
 
   const ResilientMinCutResult wrapped =
-      resilient_min_cut(machine, g.n, g.edges, options);
+      resilient_min_cut(machine, g.n, g.edges, seeded_context(7), options);
   ASSERT_TRUE(wrapped.ok);
   EXPECT_EQ(wrapped.recovery.attempts, 1u);
   EXPECT_EQ(wrapped.recovery.faults_survived(), 0u);
@@ -88,8 +93,9 @@ TEST(Resilience, ExhaustedBudgetDegradesGracefully) {
   RetryPolicy policy;
   policy.max_attempts = 3;
   policy.backoff_base_seconds = 0.0;
-  const ResilientMinCutResult out = resilient_min_cut(
-      machine, g.n, g.edges, confident_options(9), policy, run_options);
+  const ResilientMinCutResult out =
+      resilient_min_cut(machine, g.n, g.edges, seeded_context(9, run_options),
+                        confident_options(), policy);
   EXPECT_FALSE(out.ok);
   EXPECT_EQ(out.recovery.attempts, 3u);
   ASSERT_EQ(out.recovery.log.size(), 3u);
@@ -128,8 +134,8 @@ TEST(Resilience, WatchdogTimeoutIsTransientAndReportIsCaptured) {
   run_options.injector = &plan;
   run_options.watchdog_deadline_seconds = 0.4;
   const ResilientMinCutResult out =
-      resilient_min_cut(machine, g.n, g.edges, confident_options(11),
-                        RetryPolicy{}, run_options);
+      resilient_min_cut(machine, g.n, g.edges, seeded_context(11, run_options),
+                        confident_options());
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.result.value, g.min_cut);
   EXPECT_EQ(plan.stalls_fired(), 1u);
@@ -145,10 +151,8 @@ TEST(Resilience, ApproxMinCutRecoversFromCrash) {
   plan.add_crash(/*rank=*/0, /*superstep=*/2);
   bsp::RunOptions run_options;
   run_options.injector = &plan;
-  core::ApproxMinCutOptions options;
-  options.seed = 13;
   const ResilientApproxMinCutResult out = resilient_approx_min_cut(
-      machine, g.n, g.edges, options, RetryPolicy{}, run_options);
+      machine, g.n, g.edges, seeded_context(13, run_options));
   ASSERT_TRUE(out.ok);
   EXPECT_GT(out.result.estimate, 0u);
   EXPECT_EQ(plan.crashes_fired(), 1u);

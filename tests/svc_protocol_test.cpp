@@ -63,8 +63,9 @@ TEST(SvcProtocol, GoldenOkResponse) {
   response.result.iterations = 4;
   response.attempts = 1;
   response.latency_seconds = 0.25;  // exact in binary: 250 ms
+  // The golden pair mirrored in docs/PROTOCOL.md: "v" leads every response.
   EXPECT_EQ(response_to_json(3, QueryKind::kCc, response).dump(),
-            "{\"id\":3,\"status\":\"ok\",\"query\":\"cc\","
+            "{\"v\":1,\"id\":3,\"status\":\"ok\",\"query\":\"cc\","
             "\"result\":{\"value\":1,\"components\":2,"
             "\"largest_component\":150,\"iterations\":4},"
             "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
@@ -76,7 +77,7 @@ TEST(SvcProtocol, GoldenRejectedResponse) {
   response.status = QueryStatus::kRejected;
   response.error = "admission queue full";
   EXPECT_EQ(response_to_json(9, QueryKind::kMinCut, response).dump(),
-            "{\"id\":9,\"status\":\"rejected\",\"query\":\"min_cut\","
+            "{\"v\":1,\"id\":9,\"status\":\"rejected\",\"query\":\"min_cut\","
             "\"error\":\"admission queue full\","
             "\"cached\":false,\"coalesced\":false,\"attempts\":0,"
             "\"latency_ms\":0}");
@@ -141,7 +142,9 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
   const auto emit = emitted.sink();
 
   EXPECT_TRUE(service.handle_line("{\"id\":1,\"op\":\"ping\"}", emit));
-  EXPECT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+  const Json pong = emitted.wait_for_id(1);
+  EXPECT_EQ(pong["status"].as_string(), "ok");
+  EXPECT_EQ(pong["v"].as_u64(), 1u);
 
   EXPECT_TRUE(service.handle_line(
       "{\"id\":2,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
@@ -170,10 +173,33 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
   EXPECT_EQ(warm["result"]["components"].as_u64(),
             cold["result"]["components"].as_u64());
 
+  // v1 forward compatibility: unknown request fields are ignored, and a
+  // "trace":true query returns the per-phase summary inline.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":40,\"op\":\"query\",\"graph\":\"g\",\"query\":\"min_cut\","
+      "\"trace\":true,\"future_knob\":\"ignored\",\"params\":{\"seed\":7,"
+      "\"unknown_param\":3}}",
+      emit));
+  const Json traced = emitted.wait_for_id(40);
+  EXPECT_EQ(traced["status"].as_string(), "ok") << traced.dump();
+  ASSERT_TRUE(traced.has("trace")) << traced.dump();
+  ASSERT_GT(traced["trace"].size(), 0u);
+  bool saw_supersteps = false;
+  for (std::size_t i = 0; i < traced["trace"].size(); ++i) {
+    const Json& phase = traced["trace"].at(i);
+    EXPECT_FALSE(phase["name"].as_string().empty());
+    if (phase["supersteps"].as_u64() > 0) saw_supersteps = true;
+  }
+  EXPECT_TRUE(saw_supersteps) << traced.dump();
+
   EXPECT_TRUE(service.handle_line("{\"id\":5,\"op\":\"stats\"}", emit));
   const Json stats = emitted.wait_for_id(5);
   EXPECT_EQ(stats["result"]["cache"]["hits"].as_u64(), 1u);
   EXPECT_EQ(stats["result"]["store"]["graphs"].as_u64(), 1u);
+  // Per-kind phase timings reached the metrics registry via the traced run.
+  ASSERT_TRUE(stats["result"]["kinds"].has("min_cut")) << stats.dump();
+  EXPECT_TRUE(stats["result"]["kinds"]["min_cut"].has("phases"))
+      << stats.dump();
 
   EXPECT_TRUE(service.handle_line(
       "{\"id\":6,\"op\":\"evict\",\"graph\":\"g\"}", emit));

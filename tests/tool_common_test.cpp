@@ -1,0 +1,211 @@
+// FlagParser: the one flag grammar shared by all seven camc_* tools. The
+// contract under test is uniformity — unknown flags, duplicate flags,
+// malformed values, and value-less value flags behave identically no
+// matter which binary registers them.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tool_common.hpp"
+
+namespace camc::tools {
+namespace {
+
+/// argv shim: parse() wants mutable char**.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("tool"));
+    for (std::string& arg : storage_)
+      pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+constexpr const char* kUsage = "usage: tool [--flags]";
+
+/// Runs one parse with stderr captured; returns (ok, stderr text).
+template <typename Register>
+std::pair<bool, std::string> run_parse(std::vector<std::string> args,
+                                       const Register& register_flags,
+                                       std::vector<std::string>* positional =
+                                           nullptr) {
+  FlagParser parser;
+  register_flags(parser);
+  Argv argv(std::move(args));
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  const bool ok = parser.parse(argv.argc(), argv.argv(), kUsage, positional);
+  std::cerr.rdbuf(old);
+  return {ok, captured.str()};
+}
+
+TEST(FlagParser, ParsesEveryRegisteredKind) {
+  int threads = 0;
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  std::string out;
+  bool flag = false;
+  std::vector<std::string> names;
+  const auto [ok, err] = run_parse(
+      {"--threads=8", "--seed=42", "--rate=0.5", "--out=x.json", "--flag",
+       "--name=a", "--name=b"},
+      [&](FlagParser& parser) {
+        parser.flag("threads", &threads);
+        parser.flag("seed", &seed);
+        parser.flag("rate", &rate);
+        parser.flag("out", &out);
+        parser.toggle("flag", &flag);
+        parser.list("name", &names);
+      });
+  EXPECT_TRUE(ok) << err;
+  EXPECT_EQ(threads, 8);
+  EXPECT_EQ(seed, 42u);
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_EQ(out, "x.json");
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FlagParser, UnknownFlagFailsWithDiagnosticAndUsage) {
+  int threads = 0;
+  const auto [ok, err] =
+      run_parse({"--nope=1"},
+                [&](FlagParser& parser) { parser.flag("threads", &threads); });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("error: unknown flag '--nope=1'"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find(kUsage), std::string::npos) << err;
+}
+
+TEST(FlagParser, DuplicateValueFlagFails) {
+  int threads = 0;
+  const auto [ok, err] =
+      run_parse({"--threads=2", "--threads=4"},
+                [&](FlagParser& parser) { parser.flag("threads", &threads); });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("error: duplicate flag '--threads'"), std::string::npos)
+      << err;
+}
+
+TEST(FlagParser, DuplicateSwitchFails) {
+  bool json = false;
+  const auto [ok, err] =
+      run_parse({"--json", "--json"},
+                [&](FlagParser& parser) { parser.toggle("json", &json); });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("error: duplicate flag '--json'"), std::string::npos)
+      << err;
+}
+
+TEST(FlagParser, RepeatableListFlagMayRepeat) {
+  std::vector<std::string> oracles;
+  const auto [ok, err] =
+      run_parse({"--oracle=a", "--oracle=b", "--oracle=c"},
+                [&](FlagParser& parser) { parser.list("oracle", &oracles); });
+  EXPECT_TRUE(ok) << err;
+  EXPECT_EQ(oracles.size(), 3u);
+}
+
+TEST(FlagParser, ValueFlagWithoutValueFails) {
+  int threads = 0;
+  const auto [ok, err] =
+      run_parse({"--threads"},
+                [&](FlagParser& parser) { parser.flag("threads", &threads); });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("error: flag '--threads' needs a value"),
+            std::string::npos)
+      << err;
+}
+
+TEST(FlagParser, MalformedValueFails) {
+  int threads = 0;
+  const auto [ok, err] =
+      run_parse({"--threads=lots"},
+                [&](FlagParser& parser) { parser.flag("threads", &threads); });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(err.find("error: bad value for '--threads'"), std::string::npos)
+      << err;
+}
+
+TEST(FlagParser, AliasesAreDistinctFlags) {
+  // --threads and --p write the same target but are tracked separately:
+  // repeating either one errors, using both is allowed (last wins).
+  int threads = 0;
+  const auto register_flags = [&](FlagParser& parser) {
+    parser.flag("threads", &threads);
+    parser.flag("p", &threads);
+  };
+  auto [ok, err] = run_parse({"--threads=2", "--p=4"}, register_flags);
+  EXPECT_TRUE(ok) << err;
+  EXPECT_EQ(threads, 4);
+  auto [ok2, err2] = run_parse({"--p=2", "--p=4"}, register_flags);
+  EXPECT_FALSE(ok2);
+  EXPECT_NE(err2.find("duplicate flag '--p'"), std::string::npos) << err2;
+}
+
+TEST(FlagParser, PositionalArgumentsCollectOnlyWhenRequested) {
+  int threads = 0;
+  std::vector<std::string> positional;
+  const auto [ok, err] = run_parse(
+      {"input.txt", "--threads=2"},
+      [&](FlagParser& parser) { parser.flag("threads", &threads); },
+      &positional);
+  EXPECT_TRUE(ok) << err;
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "input.txt");
+
+  const auto [ok2, err2] = run_parse({"stray"}, [&](FlagParser& parser) {
+    parser.flag("threads", &threads);
+  });
+  EXPECT_FALSE(ok2);
+  EXPECT_NE(err2.find("error: unexpected argument 'stray'"),
+            std::string::npos)
+      << err2;
+}
+
+TEST(FlagParser, SeenReportsOnlyParsedFlags) {
+  int threads = 0;
+  bool json = false;
+  FlagParser parser;
+  parser.flag("threads", &threads);
+  parser.toggle("json", &json);
+  Argv argv({"--threads=2"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), kUsage));
+  EXPECT_TRUE(parser.seen("threads"));
+  EXPECT_FALSE(parser.seen("json"));
+  EXPECT_FALSE(parser.seen("never-registered"));
+}
+
+TEST(ToolArgs, SharedGrammarParsesTraceOut) {
+  Argv argv({"graph.txt", "--threads=2", "--seed=9", "--trace-out=t.json"});
+  testing::internal::CaptureStderr();
+  const ToolArgs args = parse_tool_args(argv.argc(), argv.argv(), kUsage);
+  testing::internal::GetCapturedStderr();
+  ASSERT_TRUE(args.ok);
+  EXPECT_EQ(args.input, "graph.txt");
+  EXPECT_EQ(args.p, 2);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_EQ(args.trace_out, "t.json");
+}
+
+TEST(ToolArgs, RejectsMissingInputAndBadThreadCount) {
+  testing::internal::CaptureStderr();
+  Argv no_input({"--threads=2"});
+  EXPECT_FALSE(parse_tool_args(no_input.argc(), no_input.argv(), kUsage).ok);
+  Argv bad_p({"graph.txt", "--threads=0"});
+  EXPECT_FALSE(parse_tool_args(bad_p.argc(), bad_p.argv(), kUsage).ok);
+  testing::internal::GetCapturedStderr();
+}
+
+}  // namespace
+}  // namespace camc::tools

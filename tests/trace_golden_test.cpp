@@ -1,0 +1,198 @@
+// Golden trace structure: the span sequence the core algorithms emit is
+// part of the tracing contract — deterministic per (input, seed, p), with
+// the documented phase names, balanced nesting, and a Perfetto-loadable
+// JSON export. A change to the span structure is an API change to every
+// downstream trace consumer; recapture deliberately or not at all.
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "svc/json.hpp"
+#include "trace/context.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace camc {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+constexpr Vertex kN = 96;
+constexpr std::uint64_t kM = 384;
+constexpr std::uint64_t kGraphSeed = 11;
+constexpr std::uint64_t kAlgoSeed = 7;
+
+/// Structural skeleton of one rank's trace: (name, depth, kind) triples.
+struct Shape {
+  std::string name;
+  std::uint32_t depth;
+  bool begin;
+  bool operator==(const Shape& other) const {
+    return name == other.name && depth == other.depth && begin == other.begin;
+  }
+};
+
+std::vector<std::vector<Shape>> run_traced(
+    int p, const std::function<void(const Context&,
+                                    DistributedEdgeArray&)>& body) {
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  trace::Recorder recorder(p);
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, kN, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    body(Context(world, kAlgoSeed, &recorder), dist);
+  });
+  std::vector<std::vector<Shape>> shapes(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    for (const trace::Event& event : recorder.rank(rank).events)
+      shapes[static_cast<std::size_t>(rank)].push_back(
+          {event.name, event.depth, event.kind == trace::EventKind::kBegin});
+    EXPECT_EQ(recorder.rank(rank).open_depth, 0u) << "rank " << rank;
+  }
+  return shapes;
+}
+
+void expect_balanced_root(const std::vector<Shape>& shape,
+                          const std::string& root) {
+  ASSERT_GE(shape.size(), 2u);
+  EXPECT_EQ(shape.front().name, root);
+  EXPECT_EQ(shape.front().depth, 0u);
+  EXPECT_TRUE(shape.front().begin);
+  EXPECT_EQ(shape.back().name, root);
+  EXPECT_EQ(shape.back().depth, 0u);
+  EXPECT_FALSE(shape.back().begin);
+  std::int64_t depth = 0;
+  for (const Shape& event : shape) {
+    depth += event.begin ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+bool contains(const std::vector<Shape>& shape, const std::string& name) {
+  return std::any_of(shape.begin(), shape.end(),
+                     [&](const Shape& s) { return s.name == name; });
+}
+
+TEST(TraceGolden, MinCutSpanStructureIsDeterministicAcrossP) {
+  for (const int p : {1, 2, 4}) {
+    const auto run = [](const Context& ctx, DistributedEdgeArray& dist) {
+      core::MinCutOptions options;
+      options.forced_trials = 2;  // both trial schedules: p<=t and p>t
+      (void)core::min_cut(ctx, dist, options);
+    };
+    const auto first = run_traced(p, run);
+    const auto second = run_traced(p, run);
+    ASSERT_EQ(first.size(), second.size()) << "p=" << p;
+    for (std::size_t rank = 0; rank < first.size(); ++rank)
+      EXPECT_EQ(first[rank], second[rank]) << "p=" << p << " rank=" << rank;
+    for (std::size_t rank = 0; rank < first.size(); ++rank) {
+      expect_balanced_root(first[rank], "min_cut");
+      // Every rank runs trials (replicated regime) or the recursive path
+      // of its trial group (distributed regime).
+      EXPECT_TRUE(contains(first[rank], "trial")) << "p=" << p;
+    }
+    if (p > 2) {
+      // forced_trials = 2 < p: the distributed trial schedule nests the
+      // Recursive Step under each trial.
+      EXPECT_TRUE(contains(first[0], "recursion")) << "p=" << p;
+    }
+  }
+}
+
+TEST(TraceGolden, CcSpanStructureIsDeterministicAcrossP) {
+  for (const int p : {1, 2, 4}) {
+    const auto run = [](const Context& ctx, DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      (void)core::connected_components(ctx, dist, options);
+    };
+    const auto first = run_traced(p, run);
+    const auto second = run_traced(p, run);
+    for (std::size_t rank = 0; rank < first.size(); ++rank)
+      EXPECT_EQ(first[rank], second[rank]) << "p=" << p << " rank=" << rank;
+    for (std::size_t rank = 0; rank < first.size(); ++rank) {
+      expect_balanced_root(first[rank], "cc");
+      EXPECT_TRUE(contains(first[rank], "cc_round")) << "p=" << p;
+      EXPECT_TRUE(contains(first[rank], "components")) << "p=" << p;
+    }
+  }
+}
+
+TEST(TraceGolden, ExportedMinCutTraceIsValidTraceEventJson) {
+  // The acceptance artifact: a p=4 min_cut trace must load as trace-event
+  // JSON — object form, one named track per rank, nested B/E spans.
+  const int p = 4;
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  trace::Recorder recorder(p);
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, kN, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    core::MinCutOptions options;
+    options.forced_trials = 2;
+    (void)core::min_cut(Context(world, kAlgoSeed, &recorder), dist, options);
+  });
+
+  const svc::Json trace = svc::Json::parse(trace::chrome_trace_json(recorder));
+  EXPECT_EQ(trace["displayTimeUnit"].as_string(), "ms");
+  const svc::Json& events = trace["traceEvents"];
+  ASSERT_GT(events.size(), 0u);
+
+  std::vector<bool> rank_has_events(static_cast<std::size_t>(p), false);
+  std::vector<std::int64_t> open(static_cast<std::size_t>(p), 0);
+  bool saw_nested = false;
+  double last_ts = -1.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const svc::Json& event = events.at(i);
+    const std::string ph = event["ph"].as_string();
+    if (ph == "M") continue;  // metadata rows
+    ASSERT_TRUE(ph == "B" || ph == "E") << ph;
+    const auto tid = static_cast<std::size_t>(event["tid"].as_u64());
+    ASSERT_LT(tid, rank_has_events.size());
+    rank_has_events[tid] = true;
+    if (ph == "B") {
+      if (open[tid] > 0) saw_nested = true;
+      ++open[tid];
+      EXPECT_FALSE(event["name"].as_string().empty());
+    } else {
+      --open[tid];
+      EXPECT_GE(open[tid], 0);
+      // End rows carry the counter snapshot for phase-delta tooling.
+      EXPECT_TRUE(event["args"].has("supersteps")) << event.dump();
+    }
+    const double ts = event["ts"].as_double();
+    EXPECT_GE(ts, 0.0);
+    last_ts = std::max(last_ts, ts);
+  }
+  for (int rank = 0; rank < p; ++rank) {
+    EXPECT_TRUE(rank_has_events[static_cast<std::size_t>(rank)])
+        << "rank " << rank;
+    EXPECT_EQ(open[static_cast<std::size_t>(rank)], 0) << "rank " << rank;
+  }
+  EXPECT_TRUE(saw_nested);
+  EXPECT_GE(last_ts, 0.0);
+
+  // The per-phase summary built from the same recorder names the root
+  // (phases appear in completion order, so the root completes last).
+  const auto phases = trace::summarize(recorder);
+  ASSERT_FALSE(phases.empty());
+  EXPECT_TRUE(std::any_of(
+      phases.begin(), phases.end(),
+      [](const trace::PhaseSummary& phase) { return phase.name == "min_cut"; }))
+      << trace::format_summary(phases);
+}
+
+}  // namespace
+}  // namespace camc

@@ -1,0 +1,216 @@
+// camc::trace unit tests: Recorder/Span mechanics, the disabled-sink
+// contract, summarize()'s aggregation rules, and both exporter forms.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/context.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace camc::trace {
+namespace {
+
+TEST(Trace, DisabledContextSpanIsInert) {
+  // No recorder: span() must return an inactive span and record nothing.
+  Context ctx;
+  ctx.seed = 5;
+  const Span span = ctx.span("phase", 1, 2);
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(ctx.tracer.enabled());
+}
+
+TEST(Trace, SpansNestAndBalance) {
+  Recorder recorder(1);
+  Tracer tracer(&recorder.rank(0), recorder.epoch());
+  {
+    Span outer(tracer, nullptr, nullptr, "outer", 7, 0);
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner(tracer, nullptr, nullptr, "inner", 0, 0);
+      EXPECT_TRUE(inner.active());
+    }
+  }
+  const RankTrace& track = recorder.rank(0);
+  ASSERT_EQ(track.events.size(), 4u);
+  EXPECT_EQ(track.open_depth, 0u);
+  EXPECT_EQ(track.events[0].kind, EventKind::kBegin);
+  EXPECT_STREQ(track.events[0].name, "outer");
+  EXPECT_EQ(track.events[0].depth, 0u);
+  EXPECT_EQ(track.events[0].arg0, 7u);
+  EXPECT_EQ(track.events[1].depth, 1u);
+  EXPECT_STREQ(track.events[1].name, "inner");
+  EXPECT_EQ(track.events[2].kind, EventKind::kEnd);
+  EXPECT_STREQ(track.events[3].name, "outer");
+  EXPECT_EQ(track.events[3].kind, EventKind::kEnd);
+}
+
+TEST(Trace, EndIsIdempotentAndMoveTransfersOwnership) {
+  Recorder recorder(1);
+  Tracer tracer(&recorder.rank(0), recorder.epoch());
+  Span span(tracer, nullptr, nullptr, "phase", 0, 0);
+  Span moved = std::move(span);
+  EXPECT_FALSE(span.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.active());
+  moved.end();
+  moved.end();  // second end is a no-op
+  EXPECT_EQ(recorder.rank(0).events.size(), 2u);
+}
+
+TEST(Trace, SummarizeComputesDeltasAndMaxOverRanks) {
+  // Hand-build two ranks with known counter snapshots.
+  Recorder recorder(2);
+  const auto add = [](RankTrace& track, const char* name, EventKind kind,
+                      std::uint32_t depth, std::uint64_t supersteps,
+                      std::uint64_t sent, double wall) {
+    Event event;
+    event.name = name;
+    event.kind = kind;
+    event.depth = depth;
+    event.wall_seconds = wall;
+    event.counters.supersteps = supersteps;
+    event.counters.words_sent = sent;
+    track.events.push_back(event);
+  };
+  // rank 0: one "work" span covering 3 supersteps, 100 words sent.
+  add(recorder.rank(0), "work", EventKind::kBegin, 0, 2, 50, 0.0);
+  add(recorder.rank(0), "work", EventKind::kEnd, 0, 5, 150, 0.25);
+  // rank 1: same phase, larger delta (4 supersteps, 300 words sent).
+  add(recorder.rank(1), "work", EventKind::kBegin, 0, 0, 0, 0.0);
+  add(recorder.rank(1), "work", EventKind::kEnd, 0, 4, 300, 0.5);
+
+  const auto phases = summarize(recorder);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "work");
+  EXPECT_EQ(phases[0].spans, 2u);
+  // Max over ranks of the per-rank deltas.
+  EXPECT_EQ(phases[0].supersteps, 4u);
+  EXPECT_EQ(phases[0].words, 300u);
+  EXPECT_DOUBLE_EQ(phases[0].wall_seconds, 0.5);
+}
+
+TEST(Trace, SummarizeCountsSelfNestedSpansOnce) {
+  // Recursion: "rec" inside "rec". Only the outermost occurrence may
+  // contribute, or the recursion's costs would be double-counted.
+  Recorder recorder(1);
+  RankTrace& track = recorder.rank(0);
+  const auto add = [&](EventKind kind, std::uint32_t depth,
+                       std::uint64_t supersteps) {
+    Event event;
+    event.name = "rec";
+    event.kind = kind;
+    event.depth = depth;
+    event.counters.supersteps = supersteps;
+    track.events.push_back(event);
+  };
+  add(EventKind::kBegin, 0, 0);
+  add(EventKind::kBegin, 1, 2);
+  add(EventKind::kEnd, 1, 6);
+  add(EventKind::kEnd, 0, 8);
+  const auto phases = summarize(recorder);
+  ASSERT_EQ(phases.size(), 1u);
+  // Outermost delta only: 8 - 0, not (8 - 0) + (6 - 2).
+  EXPECT_EQ(phases[0].supersteps, 8u);
+  // Both completed spans are still counted as spans.
+  EXPECT_EQ(phases[0].spans, 2u);
+}
+
+TEST(Trace, FormatSummaryHasOneRowPerPhase) {
+  std::vector<PhaseSummary> phases(2);
+  phases[0].name = "alpha";
+  phases[0].spans = 3;
+  phases[1].name = "beta";
+  phases[1].supersteps = 9;
+  const std::string table = format_summary(phases);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("phase"), std::string::npos);  // header
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormedAndPerRank) {
+  Recorder recorder(2);
+  for (int rank = 0; rank < 2; ++rank) {
+    Tracer tracer(&recorder.rank(rank), recorder.epoch());
+    Span outer(tracer, nullptr, nullptr, "outer", 1, 2);
+    Span inner(tracer, nullptr, nullptr, "inner", 0, 0);
+  }
+  const std::string json = chrome_trace_json(recorder);
+  // Object form with the required keys (a trailing newline is fine).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.find_last_not_of('\n'), json.size() - 2);
+  EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // One B and one E per span per rank.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 8;
+  }
+  EXPECT_EQ(begins, 4u);
+  EXPECT_EQ(ends, 4u);
+  // Thread metadata names both rank tracks.
+  EXPECT_NE(json.find("rank 0"), std::string::npos);
+  EXPECT_NE(json.find("rank 1"), std::string::npos);
+}
+
+TEST(Trace, MultiRecorderExportAssignsOnePidPerRecorder) {
+  Recorder first(1), second(1);
+  {
+    Tracer tracer(&first.rank(0), first.epoch());
+    Span span(tracer, nullptr, nullptr, "a", 0, 0);
+  }
+  {
+    Tracer tracer(&second.rank(0), second.epoch());
+    Span span(tracer, nullptr, nullptr, "b", 0, 0);
+  }
+  std::ostringstream out;
+  write_chrome_trace({&first, &second}, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(Trace, RecorderClearResetsTracks) {
+  Recorder recorder(2);
+  {
+    Tracer tracer(&recorder.rank(1), recorder.epoch());
+    Span span(tracer, nullptr, nullptr, "x", 0, 0);
+  }
+  EXPECT_GT(recorder.total_events(), 0u);
+  recorder.clear();
+  EXPECT_EQ(recorder.total_events(), 0u);
+  EXPECT_EQ(recorder.rank(1).open_depth, 0u);
+}
+
+TEST(Trace, ContextForkKeepsTracerBindKeepsSeed) {
+  Recorder recorder(1);
+  bsp::Machine machine(1);
+  machine.run([&](bsp::Comm& world) {
+    Context host;
+    host.seed = 9;
+    host.recorder = &recorder;
+    const Context bound = host.bind(world);
+    EXPECT_EQ(bound.seed, 9u);
+    EXPECT_TRUE(bound.tracer.enabled());
+    // fork() onto the same comm stands in for a sub-communicator hop: the
+    // tracer binding must survive unchanged.
+    const Context forked = bound.fork(world);
+    EXPECT_TRUE(forked.tracer.enabled());
+    EXPECT_EQ(forked.tracer.sink(), bound.tracer.sink());
+    const Context salted = bound.with_attempt(3).with_seed(11);
+    EXPECT_EQ(salted.attempt, 3u);
+    EXPECT_EQ(salted.seed, 11u);
+    EXPECT_EQ(salted.tracer.sink(), bound.tracer.sink());
+  });
+}
+
+}  // namespace
+}  // namespace camc::trace

@@ -1,6 +1,7 @@
 // Approximate minimum cut tool — the artifact's `approx_cut`.
 //
-//   camc_approx <edge-list-file> [--threads=N] [--seed=S] [--json]
+//   camc_approx <edge-list-file> [--threads=N] [--seed=S]
+//               [--trace-out=FILE] [--json]
 
 #include "core/approx_mincut.hpp"
 #include "graph/dist_edge_array.hpp"
@@ -10,11 +11,16 @@ int main(int argc, char** argv) {
   using namespace camc;
   const auto args = tools::parse_tool_args(
       argc, argv,
-      "usage: camc_approx <edge-list-file> [--threads=N] [--seed=S] [--snap] "
-      "[--json]");
+      "usage: camc_approx <edge-list-file> [--threads=N] [--seed=S] "
+      "[--trace-out=FILE] [--snap] [--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);
+
+  trace::Recorder recorder(args.p);
+  Context ctx;
+  ctx.seed = args.seed;
+  if (!args.trace_out.empty()) ctx.recorder = &recorder;
 
   core::ApproxMinCutResult result;
   bsp::Machine machine(args.p);
@@ -24,10 +30,10 @@ int main(int argc, char** argv) {
         world.rank() == 0 ? input.edges
                           : std::vector<graph::WeightedEdge>{});
     core::ApproxMinCutOptions options;
-    options.seed = args.seed;
-    auto r = core::approx_min_cut(world, dist, options);
+    auto r = core::approx_min_cut(ctx.bind(world), dist, options);
     if (world.rank() == 0) result = r;
   });
+  tools::write_trace_artifacts(recorder, args.trace_out);
 
   std::cout << "approximate minimum cut: " << result.estimate << "\n"
             << "sampling levels run: " << result.iterations_run << " ("

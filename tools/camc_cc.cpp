@@ -1,9 +1,11 @@
 // Connected components tool — the artifact's `parallel_cc`.
 //
-//   camc_cc <edge-list-file> [--threads=N] [--seed=S] [--json]
+//   camc_cc <edge-list-file> [--threads=N] [--seed=S] [--trace-out=FILE]
+//           [--json]
 //
 // Prints the component count, the largest component's size, and the
-// PROF instrumentation line.
+// PROF instrumentation line. --trace-out writes a Chrome trace-event
+// JSON and prints the per-phase table to stderr.
 
 #include <algorithm>
 
@@ -15,11 +17,16 @@ int main(int argc, char** argv) {
   using namespace camc;
   const auto args = tools::parse_tool_args(
       argc, argv,
-      "usage: camc_cc <edge-list-file> [--threads=N] [--seed=S] [--snap] "
-      "[--json]");
+      "usage: camc_cc <edge-list-file> [--threads=N] [--seed=S] "
+      "[--trace-out=FILE] [--snap] [--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);
+
+  trace::Recorder recorder(args.p);
+  Context ctx;
+  ctx.seed = args.seed;
+  if (!args.trace_out.empty()) ctx.recorder = &recorder;
 
   core::CcResult result;
   bsp::Machine machine(args.p);
@@ -29,10 +36,10 @@ int main(int argc, char** argv) {
         world.rank() == 0 ? input.edges
                           : std::vector<graph::WeightedEdge>{});
     core::CcOptions options;
-    options.seed = args.seed;
-    auto r = core::connected_components(world, dist, options);
+    auto r = core::connected_components(ctx.bind(world), dist, options);
     if (world.rank() == 0) result = r;
   });
+  tools::write_trace_artifacts(recorder, args.trace_out);
 
   std::vector<std::uint32_t> sizes(result.components, 0);
   for (const graph::Vertex label : result.labels) ++sizes[label];

@@ -27,6 +27,7 @@
 #include "check/faultcampaign.hpp"
 #include "check/fuzz.hpp"
 #include "core/mincut.hpp"
+#include "tool_common.hpp"
 
 namespace {
 
@@ -51,45 +52,24 @@ int main(int argc, char** argv) {
   bool inject_bug = false;
   bool list_oracles = false;
   bool fault_campaign = false;
-  bool max_cases_set = false;
   double watchdog_seconds = -1.0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg.rfind("--seconds=", 0) == 0) {
-        options.seconds = std::stod(arg.substr(10));
-      } else if (arg.rfind("--max-cases=", 0) == 0) {
-        options.max_cases = std::stoull(arg.substr(12));
-        max_cases_set = true;
-      } else if (arg.rfind("--seed=", 0) == 0) {
-        options.seed = std::stoull(arg.substr(7));
-      } else if (arg.rfind("--oracle=", 0) == 0) {
-        options.oracle_names.push_back(arg.substr(9));
-      } else if (arg.rfind("--corpus-dir=", 0) == 0) {
-        options.corpus_dir = arg.substr(13);
-      } else if (arg.rfind("--max-failures=", 0) == 0) {
-        options.max_failures =
-            static_cast<std::uint32_t>(std::stoul(arg.substr(15)));
-      } else if (arg.rfind("--watchdog=", 0) == 0) {
-        watchdog_seconds = std::stod(arg.substr(11));
-      } else if (arg.rfind("--replay=", 0) == 0) {
-        replay_file = arg.substr(9);
-      } else if (arg == "--faults") {
-        fault_campaign = true;
-      } else if (arg == "--inject-bug") {
-        inject_bug = true;
-      } else if (arg == "--list-oracles") {
-        list_oracles = true;
-      } else {
-        std::cerr << kUsage << "\n";
-        return 2;
-      }
-    } catch (const std::exception&) {
-      std::cerr << kUsage << "\n";
-      return 2;
-    }
-  }
+  // The shared FlagParser (tool_common.hpp) so flag errors — unknown
+  // flags, duplicates, malformed values — behave like every other tool.
+  camc::tools::FlagParser parser;
+  parser.flag("seconds", &options.seconds);
+  parser.flag("max-cases", &options.max_cases);
+  parser.flag("seed", &options.seed);
+  parser.list("oracle", &options.oracle_names);
+  parser.flag("corpus-dir", &options.corpus_dir);
+  parser.flag("max-failures", &options.max_failures);
+  parser.flag("watchdog", &watchdog_seconds);
+  parser.flag("replay", &replay_file);
+  parser.toggle("faults", &fault_campaign);
+  parser.toggle("inject-bug", &inject_bug);
+  parser.toggle("list-oracles", &list_oracles);
+  if (!parser.parse(argc, argv, kUsage)) return 2;
+  const bool max_cases_set = parser.seen("max-cases");
 
   if (list_oracles) {
     for (const auto& oracle : camc::check::all_oracles())

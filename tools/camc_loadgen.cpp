@@ -7,7 +7,11 @@
 //                [--mix=cc:8,min_cut:1] [--graphs=er:2000:8000[,...]]
 //                [--distinct-seeds=K] [--timeout-ms=T]
 //                [--queue=N] [--batch=N] [--cache=N]
-//                [--json] [--strict]
+//                [--trace-out=FILE] [--json] [--strict]
+//
+// --trace-out marks every query request "trace":true and appends each
+// returned per-phase summary as one NDJSON line to FILE (cache hits carry
+// no trace, so the file holds one line per executed query).
 //
 // The workload is a deterministic function of --seed: a fixed tuple list
 // of (graph, query kind, query seed) is drawn once, then replayed --phases
@@ -34,6 +38,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -65,6 +70,7 @@ struct Options {
   std::uint64_t distinct_seeds = 16;
   double timeout_ms = 0.0;
   std::size_t queue = 256, batch = 16, cache = 4096;
+  std::string trace_out;
   bool json = false;
   bool strict = false;
 };
@@ -170,6 +176,10 @@ class Client {
   std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
   void note_protocol_error() { ++protocol_errors_; }
 
+  /// Routes each response's "trace" array (one NDJSON line per executed
+  /// traced query) to `out`; call before any request is sent.
+  void set_trace_sink(std::ostream* out) { trace_sink_ = out; }
+
  private:
   void read_loop(int read_fd) {
     FILE* stream = fdopen(read_fd, "r");
@@ -237,6 +247,13 @@ class Client {
         ++tally.errors;
       }
     }
+    if (trace_sink_ != nullptr && response.has("trace")) {
+      *trace_sink_ << svc::Json::object()
+                          .set("query", svc::query_kind_name(pending.kind))
+                          .set("trace", response["trace"])
+                          .dump()
+                   << "\n";
+    }
     if (pending.result != nullptr) *pending.result = std::move(response);
     finish(pending);
     if (outstanding_.empty()) idle_cv_.notify_all();
@@ -274,6 +291,7 @@ class Client {
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
   std::vector<PhaseTally> tallies_;
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::ostream* trace_sink_ = nullptr;  ///< writes under state_mutex_
   bool eof_ = false;
   std::thread reader_;
 };
@@ -352,7 +370,7 @@ std::vector<WorkItem> draw_workload(const Options& options,
 }
 
 std::string query_line(std::uint64_t id, const GraphSpec& graph,
-                       const WorkItem& item, double timeout_ms) {
+                       const WorkItem& item, double timeout_ms, bool trace) {
   svc::Json request = svc::Json::object()
                           .set("id", id)
                           .set("op", "query")
@@ -361,6 +379,7 @@ std::string query_line(std::uint64_t id, const GraphSpec& graph,
                           .set("params",
                                svc::Json::object().set("seed", item.seed));
   if (timeout_ms > 0) request.set("timeout_ms", timeout_ms);
+  if (trace) request.set("trace", true);
   return request.dump();
 }
 
@@ -439,7 +458,7 @@ int main(int argc, char** argv) {
       "                    [--graphs=er:2000:8000[,...]]\n"
       "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
       "                    [--queue=N] [--batch=N] [--cache=N]\n"
-      "                    [--json] [--strict]";
+      "                    [--trace-out=FILE] [--json] [--strict]";
 
   Options options;
   tools::FlagParser parser;
@@ -458,6 +477,7 @@ int main(int argc, char** argv) {
   parser.flag("queue", &options.queue);
   parser.flag("batch", &options.batch);
   parser.flag("cache", &options.cache);
+  parser.flag("trace-out", &options.trace_out);
   parser.toggle("json", &options.json);
   parser.toggle("strict", &options.strict);
   if (!parser.parse(argc, argv, usage)) return 2;
@@ -483,6 +503,13 @@ int main(int argc, char** argv) {
 
     Spawned serve = spawn_serve(options);
     Client client(serve.to_child, serve.from_child, options.phases);
+    std::ofstream trace_file;
+    if (!options.trace_out.empty()) {
+      trace_file.open(options.trace_out);
+      if (!trace_file)
+        throw std::runtime_error("cannot open " + options.trace_out);
+      client.set_trace_sink(&trace_file);
+    }
     std::uint64_t next_id = 1;
 
     // Stage the graphs; any non-ok response here is fatal.
@@ -524,7 +551,8 @@ int main(int argc, char** argv) {
           pending.kind = item.kind;
           client.send(id,
                       query_line(id, graphs[item.graph_index], item,
-                                 options.timeout_ms),
+                                 options.timeout_ms,
+                                 !options.trace_out.empty()),
                       pending);
         }
         client.drain();
@@ -548,7 +576,8 @@ int main(int argc, char** argv) {
               pending.done_flag = &done;
               client.send(id,
                           query_line(id, graphs[item.graph_index], item,
-                                     options.timeout_ms),
+                                     options.timeout_ms,
+                                     !options.trace_out.empty()),
                           pending);
               client.wait(wake, done);
             }

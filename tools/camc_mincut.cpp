@@ -1,8 +1,11 @@
 // Exact minimum cut tool — the artifact's `square_root`.
 //
-//   camc_mincut <edge-list-file> [--threads=N] [--seed=S] [--success=P] [--json]
+//   camc_mincut <edge-list-file> [--threads=N] [--seed=S] [--success=P]
+//               [--trace-out=FILE] [--json]
 //
 // Prints the cut value, the smaller side's size, and the PROF line.
+// --trace-out writes a Chrome trace-event JSON (one track per rank) and
+// prints the per-phase supersteps/words/time table to stderr.
 
 #include "core/mincut.hpp"
 #include "graph/dist_edge_array.hpp"
@@ -13,10 +16,15 @@ int main(int argc, char** argv) {
   const auto args = tools::parse_tool_args(
       argc, argv,
       "usage: camc_mincut <edge-list-file> [--threads=N] [--seed=S] "
-      "[--success=P] [--snap] [--json]");
+      "[--success=P] [--trace-out=FILE] [--snap] [--json]");
   if (!args.ok) return 2;
 
   const graph::EdgeListFile input = tools::load_graph(args);
+
+  trace::Recorder recorder(args.p);
+  Context ctx;
+  ctx.seed = args.seed;
+  if (!args.trace_out.empty()) ctx.recorder = &recorder;
 
   core::MinCutOutcome result;
   bsp::Machine machine(args.p);
@@ -26,11 +34,11 @@ int main(int argc, char** argv) {
         world.rank() == 0 ? input.edges
                           : std::vector<graph::WeightedEdge>{});
     core::MinCutOptions options;
-    options.seed = args.seed;
     options.success_probability = args.success;
-    auto r = core::min_cut(world, dist, options);
+    auto r = core::min_cut(ctx.bind(world), dist, options);
     if (world.rank() == 0) result = r;
   });
+  tools::write_trace_artifacts(recorder, args.trace_out);
 
   std::cout << "minimum cut: " << result.value << "\n"
             << "trials: " << result.trials

@@ -1,7 +1,7 @@
 // Query server — NDJSON line protocol on stdin/stdout.
 //
 //   camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N]
-//              [--store-mb=N] [--seed=S]
+//              [--store-mb=N] [--seed=S] [--trace-out=FILE]
 //
 // Reads one JSON request per stdin line, writes one JSON response per
 // request to stdout (see src/svc/service.hpp for the protocol). Responses
@@ -11,9 +11,11 @@
 //
 // --seed sets the default query seed used when a query omits
 // "params.seed"; everything else about the server is deterministic given
-// the request stream.
+// the request stream. --trace-out traces every executed epoch and writes
+// one merged Chrome trace file (pid = epoch) on exit.
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -25,11 +27,12 @@ int main(int argc, char** argv) {
   using namespace camc;
   const char* usage =
       "usage: camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
-      "[--store-mb=N] [--seed=S]";
+      "[--store-mb=N] [--seed=S] [--trace-out=FILE]";
 
   int threads = 4;
   std::size_t queue = 256, batch = 16, cache = 4096, store_mb = 0;
   std::uint64_t seed = 1;
+  std::string trace_out;
   tools::FlagParser parser;
   parser.flag("threads", &threads);
   parser.flag("p", &threads);
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   parser.flag("cache", &cache);
   parser.flag("store-mb", &store_mb);
   parser.flag("seed", &seed);
+  parser.flag("trace-out", &trace_out);
   if (!parser.parse(argc, argv, usage)) return 2;
   if (threads < 1 || batch < 1) {
     std::cerr << usage << "\n";
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   options.store_max_bytes = static_cast<std::uint64_t>(store_mb) << 20;
   options.default_seed = seed;
   svc::Service service(options);
+  if (!trace_out.empty()) service.engine().enable_trace_capture();
 
   // Completions arrive from the submitting thread and from the engine's
   // dispatcher; serialize writes so response lines never interleave.
@@ -67,5 +72,15 @@ int main(int argc, char** argv) {
     if (!service.handle_line(line, emit)) break;
   }
   service.drain();
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "warning: could not write trace to " << trace_out << "\n";
+    } else {
+      const std::size_t epochs = service.engine().write_captured_trace(out);
+      std::cerr << "wrote " << epochs << " traced epoch"
+                << (epochs == 1 ? "" : "s") << " to " << trace_out << "\n";
+    }
+  }
   return 0;
 }

@@ -10,9 +10,12 @@
 //   --threads=N (alias --p=N)   BSP ranks
 //   --seed=S                    base PRNG seed
 //   --json                      machine-readable output
+//   --trace-out=FILE            write a Chrome trace-event JSON file
 //
-// plus whatever tool-specific flags each binary registers. Unknown flags
-// and malformed values print the usage string and fail parse().
+// plus whatever tool-specific flags each binary registers. Error handling
+// is uniform across every tool: an unknown flag, a malformed value, a
+// value-less value flag, or a repeated non-list flag names the offending
+// argument on stderr, prints the usage string, and fails parse().
 //
 // The algorithm tools additionally share the artifact-style result
 // plumbing: each loads an edge-list file, runs one algorithm over p BSP
@@ -33,12 +36,21 @@
 
 #include "bsp/machine.hpp"
 #include "graph/io.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace camc::tools {
 
 /// Declarative "--name=value" / "--name" parser; every tool registers its
-/// flags and calls parse(). Values convert via std::sto*; conversion
-/// errors and unknown flags fail the parse.
+/// flags and calls parse(). Values convert via std::sto*.
+///
+/// Error handling is deliberately identical everywhere FlagParser is used
+/// (all seven camc_* tools): unknown flags, malformed values, a value flag
+/// without "=value", and a repeat of any non-list flag each print
+/// "<tool-agnostic diagnostic naming the argument>" then the usage string
+/// to stderr and fail parse(). Repeatable flags (list()) may appear any
+/// number of times; distinct aliases for the same target (--threads/--p)
+/// are tracked as distinct flags.
 class FlagParser {
  public:
   /// Numeric flag; T is any arithmetic type (--name=value, std::sto*
@@ -62,13 +74,32 @@ class FlagParser {
       return true;
     });
   }
+  /// Repeatable string flag: each occurrence appends to `target`.
+  void list(std::string name, std::vector<std::string>* target) {
+    add(std::move(name),
+        [target](const std::string& v) {
+          target->push_back(v);
+          return true;
+        },
+        /*repeatable=*/true);
+  }
   /// Boolean switch: "--name" (no value) sets true.
   void toggle(std::string name, bool* target) {
     switches_.emplace_back(std::move(name), target);
   }
 
+  /// True iff `name` appeared at least once in the last parse().
+  bool seen(const std::string& name) const {
+    for (const auto& entry : setters_)
+      if (entry.name == name && entry.count > 0) return true;
+    for (const auto& [switch_name, target, count] : switches_)
+      if (switch_name == name && count > 0) return true;
+    return false;
+  }
+
   /// Parses argv; non-flag arguments are appended to `positional`.
-  /// Returns false (after printing `usage` to stderr) on any error.
+  /// Returns false (after printing a diagnostic and `usage` to stderr)
+  /// on any error.
   bool parse(int argc, char** argv, const char* usage,
              std::vector<std::string>* positional = nullptr) {
     for (int i = 1; i < argc; ++i) {
@@ -78,11 +109,13 @@ class FlagParser {
           positional->push_back(arg);
           continue;
         }
-        return fail(usage);
+        return fail(usage, "unexpected argument '" + arg + "'");
       }
       bool handled = false;
-      for (auto& [name, target] : switches_) {
+      for (auto& [name, target, count] : switches_) {
         if (arg == "--" + name) {
+          if (++count > 1)
+            return fail(usage, "duplicate flag '--" + name + "'");
           *target = true;
           handled = true;
           break;
@@ -90,20 +123,23 @@ class FlagParser {
       }
       if (handled) continue;
       const std::size_t eq = arg.find('=');
-      if (eq == std::string::npos) return fail(usage);
-      const std::string name = arg.substr(2, eq - 2);
-      const std::string value = arg.substr(eq + 1);
-      for (auto& [flag_name, setter] : setters_) {
-        if (flag_name == name) {
+      const std::string name =
+          arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+      for (auto& entry : setters_) {
+        if (entry.name == name) {
+          if (eq == std::string::npos)
+            return fail(usage, "flag '--" + name + "' needs a value");
+          if (++entry.count > 1 && !entry.repeatable)
+            return fail(usage, "duplicate flag '--" + name + "'");
           try {
-            handled = setter(value);
+            handled = entry.setter(arg.substr(eq + 1));
           } catch (const std::exception&) {
-            return fail(usage);
+            return fail(usage, "bad value for '--" + name + "'");
           }
           break;
         }
       }
-      if (!handled) return fail(usage);
+      if (!handled) return fail(usage, "unknown flag '" + arg + "'");
     }
     return true;
   }
@@ -111,17 +147,31 @@ class FlagParser {
  private:
   using Setter = std::function<bool(const std::string&)>;
 
-  void add(std::string name, Setter setter) {
-    setters_.emplace_back(std::move(name), std::move(setter));
+  struct ValueFlag {
+    std::string name;
+    Setter setter;
+    bool repeatable = false;
+    int count = 0;
+  };
+
+  struct Switch {
+    std::string name;
+    bool* target;
+    int count = 0;
+  };
+
+  void add(std::string name, Setter setter, bool repeatable = false) {
+    setters_.push_back(
+        ValueFlag{std::move(name), std::move(setter), repeatable, 0});
   }
 
-  static bool fail(const char* usage) {
-    std::cerr << usage << "\n";
+  static bool fail(const char* usage, const std::string& what) {
+    std::cerr << "error: " << what << "\n" << usage << "\n";
     return false;
   }
 
-  std::vector<std::pair<std::string, Setter>> setters_;
-  std::vector<std::pair<std::string, bool*>> switches_;
+  std::vector<ValueFlag> setters_;
+  std::vector<Switch> switches_;
 };
 
 struct ToolArgs {
@@ -129,6 +179,7 @@ struct ToolArgs {
   int p = 4;
   std::uint64_t seed = 5226;
   double success = 0.9;
+  std::string trace_out;  ///< Chrome trace JSON output path ("" disables)
   bool snap = false;  ///< input is a SNAP-style headerless edge list
   bool json = false;  ///< machine-readable profile output
   bool ok = false;
@@ -136,7 +187,7 @@ struct ToolArgs {
 
 /// The shared grammar of the algorithm tools:
 ///   <edge-list-file> [--threads=N|--p=N] [--seed=S] [--success=P]
-///   [--snap] [--json]
+///   [--trace-out=FILE] [--snap] [--json]
 inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
   ToolArgs args;
   FlagParser parser;
@@ -144,6 +195,7 @@ inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
   parser.flag("p", &args.p);  // historical alias, kept for scripts
   parser.flag("seed", &args.seed);
   parser.flag("success", &args.success);
+  parser.flag("trace-out", &args.trace_out);
   parser.toggle("snap", &args.snap);
   parser.toggle("json", &args.json);
   std::vector<std::string> positional;
@@ -166,6 +218,19 @@ inline graph::EdgeListFile load_graph(const ToolArgs& args) {
   out.n = snap.n;
   out.edges = std::move(snap.edges);
   return out;
+}
+
+/// --trace-out plumbing of the algorithm tools: writes the Chrome trace
+/// file and prints the per-phase text table to stderr (stdout stays
+/// parseable PROF/JSON output).
+inline void write_trace_artifacts(const trace::Recorder& recorder,
+                                  const std::string& path) {
+  if (path.empty()) return;
+  if (!trace::write_chrome_trace_file(recorder, path)) {
+    std::cerr << "warning: could not write trace to " << path << "\n";
+    return;
+  }
+  std::cerr << trace::format_summary(trace::summarize(recorder));
 }
 
 inline void print_profile_line(const ToolArgs& args, graph::Vertex n,
