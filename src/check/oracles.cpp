@@ -155,6 +155,55 @@ Verdict cc_parallel_sample_oracle(const TestCase& tc) {
   return judge_partition(tc, result.labels, "cc-parallel-sample");
 }
 
+/// Shared body of the portfolio-engine oracles: runs the dispatcher with
+/// `engine` at each of `ps`, judges every labeling against DFS, and checks
+/// the runs agree exactly across p (the engines' min-reduce / root
+/// union-find structure makes labels partition-independent, not merely
+/// partition-equivalent).
+Verdict cc_engine_oracle(const TestCase& tc, core::CcEngine engine,
+                         std::initializer_list<int> ps, const char* who) {
+  std::vector<Vertex> first;
+  bool have_first = false;
+  for (const int p : ps) {
+    core::CcResult result;
+    run_distributed(p, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      options.engine = engine;
+      auto r = core::connected_components(Context(world, tc.seed), dist,
+                                          options);
+      if (world.rank() == 0) result = r;
+    });
+    const Verdict v = judge_partition(tc, result.labels, who);
+    if (v.outcome != Outcome::kPass)
+      return fail(v.detail + " (p=" + std::to_string(p) + ")");
+    if (!have_first) {
+      first = std::move(result.labels);
+      have_first = true;
+    } else if (result.labels != first) {
+      return fail(std::string(who) + ": labels differ across p (p=" +
+                  std::to_string(p) + ")");
+    }
+  }
+  return pass();
+}
+
+Verdict cc_fastsv_oracle(const TestCase& tc) {
+  return cc_engine_oracle(tc, core::CcEngine::kFastSv, {1, 3}, "cc-fastsv");
+}
+
+Verdict cc_afforest_oracle(const TestCase& tc) {
+  return cc_engine_oracle(tc, core::CcEngine::kAfforest, {1, 2},
+                          "cc-afforest");
+}
+
+Verdict cc_ldd_oracle(const TestCase& tc) {
+  return cc_engine_oracle(tc, core::CcEngine::kLdd, {1, 2}, "cc-ldd");
+}
+
+Verdict cc_auto_oracle(const TestCase& tc) {
+  return cc_engine_oracle(tc, core::CcEngine::kAuto, {1, 2}, "cc-auto");
+}
+
 Verdict cc_sv_oracle(const TestCase& tc) {
   core::BspSvResult result;
   run_distributed(2, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
@@ -324,6 +373,14 @@ const std::vector<Oracle>& all_oracles() {
       {"cc-dense", "dense-matrix CC (p=2) vs DFS", guarded(cc_dense_oracle)},
       {"cc-parallel-sample", "CC with parallel sample components vs DFS",
        guarded(cc_parallel_sample_oracle)},
+      {"cc-fastsv", "FastSV portfolio engine (p=1,3) vs DFS + cross-p labels",
+       guarded(cc_fastsv_oracle)},
+      {"cc-afforest", "Afforest portfolio engine (p=1,2) vs DFS + cross-p labels",
+       guarded(cc_afforest_oracle)},
+      {"cc-ldd", "low-diameter-decomposition engine (p=1,2) vs DFS + cross-p labels",
+       guarded(cc_ldd_oracle)},
+      {"cc-auto", "auto-selected engine (p=1,2) vs DFS + cross-p labels",
+       guarded(cc_auto_oracle)},
       {"cc-sv", "Shiloach-Vishkin baseline (p=2) vs DFS",
        guarded(cc_sv_oracle)},
       {"cc-async", "async label propagation (p=2) vs DFS",

@@ -1,8 +1,11 @@
 #include "core/cc.hpp"
 
 #include <cmath>
+#include <memory>
 
+#include "bsp/fault.hpp"
 #include "core/baselines.hpp"
+#include "core/cc_features.hpp"
 #include "core/contract.hpp"
 #include "core/sparsify.hpp"
 #include "graph/contraction_ref.hpp"
@@ -25,11 +28,13 @@ std::vector<Vertex> root_component_mapping(Vertex label_space,
   return mapping;
 }
 
-}  // namespace
-
-CcResult connected_components(const Context& ctx,
-                              graph::DistributedEdgeArray& graph,
-                              const CcOptions& options) {
+/// The paper's §3.2 iterated-sampling kernel — the portfolio's default
+/// engine. The body predates the dispatcher and is collective-for-
+/// collective identical to the pre-portfolio `connected_components`
+/// (pinned by the CounterInvariance goldens).
+CcResult sampling_components(const Context& ctx,
+                             graph::DistributedEdgeArray& graph,
+                             const CcOptions& options) {
   const bsp::Comm& comm = ctx.comm;
   const Vertex n = graph.vertex_count();
   cachesim::Session* trace = options.trace;
@@ -160,6 +165,100 @@ CcResult connected_components(const Context& ctx,
   result.components = label_space;
   graph.set_vertex_count(label_space);
   return result;
+}
+
+/// kSv adapter: the Shiloach-Vishkin baseline behind the consume contract.
+/// Adds no collectives over a direct bsp_sv_components call (pinned by the
+/// dispatch bit-identity test).
+CcResult sv_adapter(const Context& ctx, graph::DistributedEdgeArray& graph,
+                    const CcOptions& options) {
+  CcResult result;
+  result.engine = CcEngine::kSv;
+  if (graph.vertex_count() == 0) return result;
+  const trace::Span all = ctx.span("cc_sv", graph.vertex_count());
+  BspSvOptions sv;
+  sv.max_rounds = options.max_rounds;
+  sv.trace = options.trace;
+  BspSvResult r = bsp_sv_components(ctx.comm, graph, sv);
+  result.labels = std::move(r.labels);
+  result.components = r.components;
+  result.iterations = r.rounds;
+  graph.local().clear();
+  graph.set_vertex_count(result.components);
+  return result;
+}
+
+constexpr std::uint64_t kLabelPropGuard = 0x6C61626C70726FB5ull;
+
+/// kLabelProp adapter: the async shared-memory baseline needs one
+/// AsyncCcSharedState shared by every rank, which the pre-dispatch callers
+/// constructed outside the SPMD region. Here rank 0 owns it and hands the
+/// pointer around with a guard word, so an injected payload corruption of
+/// the rendezvous broadcast surfaces as a structured fault instead of a
+/// wild dereference. Costs one broadcast + one barrier on top of a direct
+/// async_label_propagation call (pinned by the dispatch bit-identity test).
+CcResult labelprop_adapter(const Context& ctx,
+                           graph::DistributedEdgeArray& graph,
+                           const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
+  const Vertex n = graph.vertex_count();
+  CcResult result;
+  result.engine = CcEngine::kLabelProp;
+  if (n == 0) return result;
+  const trace::Span all = ctx.span("cc_labelprop", n);
+  std::unique_ptr<AsyncCcSharedState> owned;
+  std::vector<std::uint64_t> handoff;
+  if (comm.rank() == 0) {
+    owned = std::make_unique<AsyncCcSharedState>(n);
+    const auto bits = reinterpret_cast<std::uint64_t>(owned.get());
+    handoff = {bits, bits ^ kLabelPropGuard};
+  }
+  comm.broadcast(handoff);
+  if (handoff.size() != 2 || (handoff[0] ^ kLabelPropGuard) != handoff[1])
+    throw bsp::FaultError(
+        "bsp: injected corruption detected in cc labelprop rendezvous");
+  auto* shared = reinterpret_cast<AsyncCcSharedState*>(handoff[0]);
+  AsyncCcResult r = async_label_propagation(comm, graph, *shared,
+                                            options.trace);
+  // Every rank must be done with *shared before rank 0's owner dies.
+  comm.barrier();
+  result.labels = std::move(r.labels);
+  result.components = r.components;
+  result.iterations = r.sweeps;
+  graph.local().clear();
+  graph.set_vertex_count(result.components);
+  return result;
+}
+
+}  // namespace
+
+CcResult connected_components(const Context& ctx,
+                              graph::DistributedEdgeArray& graph,
+                              const CcOptions& options) {
+  CcEngine engine = options.engine;
+  if (engine == CcEngine::kAuto) {
+    // The communication-free probe, not the full one: the fitted table
+    // only reads n, and the full probe's O(n) reduces cost as much as
+    // the engine it would pick (see cc_features.hpp).
+    const CcFeatures features = probe_cc_features_cheap(ctx, graph);
+    engine = select_cc_engine(features);
+  }
+  switch (engine) {
+    case CcEngine::kSv:
+      return sv_adapter(ctx, graph, options);
+    case CcEngine::kLabelProp:
+      return labelprop_adapter(ctx, graph, options);
+    case CcEngine::kFastSv:
+      return fastsv_components(ctx, graph, options);
+    case CcEngine::kAfforest:
+      return afforest_components(ctx, graph, options);
+    case CcEngine::kLdd:
+      return ldd_components(ctx, graph, options);
+    case CcEngine::kSampling:
+    case CcEngine::kAuto:
+      break;
+  }
+  return sampling_components(ctx, graph, options);
 }
 
 CcResult connected_components_dense(const Context& ctx,

@@ -14,6 +14,7 @@
 // round) is on by default — the paper found it "crucial in practice".
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,37 @@
 #include "trace/context.hpp"
 
 namespace camc::core {
+
+// -- engine portfolio --------------------------------------------------------
+//
+// `connected_components` is a dispatcher over a portfolio of CC engines.
+// kSampling is the paper's iterated-sampling kernel and the default; the
+// rest trade its O(1)-superstep guarantee for less total work on graph
+// families where sampling's root gather dominates. kAuto probes graph
+// features (see cc_features.hpp — density, degree skew, and pseudo-
+// diameter in the fitting loop; a communication-free probe at dispatch
+// time) and picks from a crossover table fitted from the committed
+// benchmark matrix (EXPERIMENTS.md, bench_fig3_cc_strong).
+
+enum class CcEngine : std::uint8_t {
+  kSampling = 0,   ///< §3.2 iterated sampling (default, O(1) supersteps)
+  kSv = 1,         ///< Shiloach-Vishkin hooking + pointer jumping
+  kLabelProp = 2,  ///< async shared-memory min-label propagation (non-BSP)
+  kFastSv = 3,     ///< FastSV: stochastic+aggressive hooking, shortcutting
+  kAfforest = 4,   ///< Afforest: sampled union-find, skip settled edges
+  kLdd = 5,        ///< low-diameter decomposition + contraction
+  kAuto = 6,       ///< probe features, pick from the crossover table
+};
+
+/// Number of concrete engines (kAuto resolves to one of these).
+inline constexpr std::size_t kCcEngineCount = 6;
+
+/// Stable wire/CLI name ("sampling", "sv", "labelprop", "fastsv",
+/// "afforest", "ldd", "auto").
+const char* cc_engine_name(CcEngine engine) noexcept;
+
+/// Inverse of cc_engine_name. Returns false on an unknown name.
+bool parse_cc_engine(std::string_view name, CcEngine* out) noexcept;
 
 // Entrypoints take a camc::Context (comm + seed + trace sink — see
 // trace/context.hpp); the comm-first overloads are deprecated shims that
@@ -47,6 +79,15 @@ struct CcOptions {
   /// Shiloach-Vishkin kernel. Trades the O(1)-superstep guarantee for a
   /// root-bottleneck-free iteration (O(log n) supersteps per iteration).
   bool parallel_sample_components = false;
+  /// Which portfolio engine `connected_components` dispatches to.
+  CcEngine engine = CcEngine::kSampling;
+  /// Round cap for the label-fixpoint engines (sv, labelprop, fastsv).
+  std::uint32_t max_rounds = 200;
+  /// Afforest: sampled neighbor rounds before the skip-settled final pass.
+  std::uint32_t neighbor_rounds = 2;
+  /// LDD: per-tick cluster-start probability (higher = more, smaller
+  /// clusters = fewer rounds per level but less contraction).
+  double ldd_beta = 0.25;
   /// Optional per-rank cache-tracing hook (Figures 4 and 8). May be null.
   cachesim::Session* trace = nullptr;
 };
@@ -56,8 +97,10 @@ struct CcResult {
   /// every rank.
   std::vector<graph::Vertex> labels;
   graph::Vertex components = 0;
-  /// Sampling iterations performed (the paper's O(1) claim is observable).
+  /// Sampling iterations / fixpoint rounds / LDD levels performed.
   std::uint32_t iterations = 0;
+  /// The concrete engine that ran (kAuto resolves before recording).
+  CcEngine engine = CcEngine::kSampling;
 };
 
 /// Collective over ctx.comm. Consumes the edge array (it is relabeled in
@@ -89,5 +132,37 @@ inline CcResult connected_components_dense(const bsp::Comm& comm,
                                            const CcOptions& options = {}) {
   return connected_components_dense(Context(comm), std::move(matrix), options);
 }
+
+// -- portfolio engine entrypoints (cc_engines.cpp) ---------------------------
+//
+// All are collectives over ctx.comm, consume the edge array like the
+// sampling kernel (local edges cleared, vertex count set to the component
+// count), and return replicated dense labels. Prefer the dispatcher; these
+// exist for targeted tests and oracles.
+
+/// FastSV (Zhang, Azad, Hu): stochastic hooking f[f[u]] <- gp[v],
+/// aggressive hooking f[u] <- gp[v], and shortcutting f[v] <- f[f[v]], all
+/// min-combined per round over replicated parent arrays. Monotone
+/// decreasing, so the per-round vector all-reduce doubles as the
+/// termination detector. O(log n) rounds worst case, typically far fewer.
+CcResult fastsv_components(const Context& ctx,
+                           graph::DistributedEdgeArray& graph,
+                           const CcOptions& options = {});
+
+/// Afforest (Sutton, Ben-Nun, Barak): bounded edge-sample rounds feed a
+/// root union-find; the final pass gathers only edges whose endpoints the
+/// sample has not already settled into one component — on graphs with a
+/// giant component nearly every edge is skipped.
+CcResult afforest_components(const Context& ctx,
+                             graph::DistributedEdgeArray& graph,
+                             const CcOptions& options = {});
+
+/// Low-diameter decomposition (Miller-Peng-Xu style): per-level, vertices
+/// start clusters after Philox-drawn geometric delays; unlabeled vertices
+/// adopt the min neighboring frozen label; clusters contract and the next
+/// level recurses on the quotient. Deterministic for a given (seed, p).
+CcResult ldd_components(const Context& ctx,
+                        graph::DistributedEdgeArray& graph,
+                        const CcOptions& options = {});
 
 }  // namespace camc::core

@@ -1,0 +1,359 @@
+// Portfolio CC engines behind the connected_components dispatcher: FastSV,
+// Afforest, and low-diameter decomposition. Each is a collective over
+// ctx.comm, consumes the edge array like the sampling kernel, returns
+// replicated dense labels, and is deterministic given (seed, p). Because
+// every cross-rank combine is a min-reduction (or a root union-find over
+// the full remaining edge set) followed by normalize_labels, the final
+// labels are in fact identical across p as well.
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/cc.hpp"
+#include "graph/contraction_ref.hpp"
+#include "rng/philox.hpp"
+#include "seq/union_find.hpp"
+
+namespace camc::core {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+const char* cc_engine_name(CcEngine engine) noexcept {
+  switch (engine) {
+    case CcEngine::kSampling: return "sampling";
+    case CcEngine::kSv: return "sv";
+    case CcEngine::kLabelProp: return "labelprop";
+    case CcEngine::kFastSv: return "fastsv";
+    case CcEngine::kAfforest: return "afforest";
+    case CcEngine::kLdd: return "ldd";
+    case CcEngine::kAuto: return "auto";
+  }
+  return "sampling";
+}
+
+bool parse_cc_engine(std::string_view name, CcEngine* out) noexcept {
+  for (const CcEngine engine :
+       {CcEngine::kSampling, CcEngine::kSv, CcEngine::kLabelProp,
+        CcEngine::kFastSv, CcEngine::kAfforest, CcEngine::kLdd,
+        CcEngine::kAuto}) {
+    if (name == cc_engine_name(engine)) {
+      if (out != nullptr) *out = engine;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+constexpr Vertex kNoLabel = std::numeric_limits<Vertex>::max();
+
+Vertex min_vertex(Vertex a, Vertex b) noexcept { return a < b ? a : b; }
+
+/// The consume contract shared with the sampling kernel: the caller's edge
+/// array ends up edgeless over the quotient vertex set.
+void consume_graph(graph::DistributedEdgeArray& graph, Vertex components) {
+  graph.local().clear();
+  graph.set_vertex_count(components);
+}
+
+}  // namespace
+
+CcResult fastsv_components(const Context& ctx,
+                           graph::DistributedEdgeArray& graph,
+                           const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
+  const Vertex n = graph.vertex_count();
+  cachesim::Session* trace = options.trace;
+
+  CcResult result;
+  result.engine = CcEngine::kFastSv;
+  if (n == 0) return result;
+  const trace::Span all = ctx.span("cc_fastsv", n);
+
+  std::uint64_t f_base = 0, gp_base = 0, edges_base = 0;
+  if (trace != nullptr) {
+    f_base = trace->allocate(n);
+    gp_base = trace->allocate(n);
+    edges_base = trace->allocate(2 * graph.local().size() + 2);
+  }
+
+  // f: parent array, replicated and identical on every rank after each
+  // round's min all-reduce. gp: grandparents, recomputed locally. next:
+  // this round's proposals, seeded from f so the reduce can only lower.
+  std::vector<Vertex> f(n), gp(n), next(n);
+  for (Vertex v = 0; v < n; ++v) f[v] = v;
+
+  const std::vector<WeightedEdge>& local = graph.local();
+  while (result.iterations < options.max_rounds) {
+    ++result.iterations;
+    const trace::Span round = ctx.span("fastsv_round", result.iterations);
+
+    for (Vertex v = 0; v < n; ++v) {
+      if (trace != nullptr) {
+        trace->touch(f_base + v);
+        trace->touch(gp_base + v);
+      }
+      gp[v] = f[f[v]];
+    }
+    next = f;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const WeightedEdge& e = local[i];
+      if (trace != nullptr) trace->touch(edges_base + 2 * i);
+      const Vertex gu = gp[e.u], gv = gp[e.v];
+      // Stochastic hooking: f[f[u]] <- gp[v] and the symmetric move.
+      next[f[e.u]] = min_vertex(next[f[e.u]], gv);
+      next[f[e.v]] = min_vertex(next[f[e.v]], gu);
+      // Aggressive hooking: f[u] <- gp[v] and the symmetric move.
+      next[e.u] = min_vertex(next[e.u], gv);
+      next[e.v] = min_vertex(next[e.v], gu);
+    }
+    // Shortcutting: f[v] <- f[f[v]].
+    for (Vertex v = 0; v < n; ++v) next[v] = min_vertex(next[v], gp[v]);
+
+    // One reduce both combines the three hooking rules across ranks and
+    // detects termination: f is monotone non-increasing, so "no entry
+    // changed" is a globally consistent fixpoint test on the replicated
+    // reduced array — no separate changed-flag collective.
+    std::vector<Vertex> reduced = comm.all_reduce_vector(next, min_vertex);
+    const bool changed = reduced != f;
+    f.swap(reduced);
+    if (!changed) break;
+  }
+
+  // At the fixpoint f is flat (f[f[v]] == f[v]) and constant on every
+  // component; normalize to dense first-occurrence labels.
+  result.labels = std::move(f);
+  result.components = graph::normalize_labels(result.labels);
+  consume_graph(graph, result.components);
+  return result;
+}
+
+CcResult afforest_components(const Context& ctx,
+                             graph::DistributedEdgeArray& graph,
+                             const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
+  const Vertex n = graph.vertex_count();
+  cachesim::Session* trace = options.trace;
+
+  CcResult result;
+  result.engine = CcEngine::kAfforest;
+  if (n == 0) return result;
+  const trace::Span all = ctx.span("cc_afforest", n);
+
+  std::uint64_t edges_base = 0;
+  if (trace != nullptr) edges_base = trace->allocate(2 * graph.local().size() + 2);
+
+  // Sampled neighbor rounds: round r contributes each rank's r-th block of
+  // ~n/p local edges (the edge array is unordered, so consecutive blocks
+  // stand in for Afforest's per-vertex neighbor samples) to a root-held
+  // union-find over the full vertex space.
+  const auto budget = static_cast<std::size_t>(
+      std::max<Vertex>(1, n / static_cast<Vertex>(comm.size())));
+  const std::uint32_t rounds = std::max<std::uint32_t>(1, options.neighbor_rounds);
+  seq::UnionFind dsu(comm.rank() == 0 ? n : 0, trace);
+  const std::vector<WeightedEdge>& local = graph.local();
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const trace::Span sample_span = ctx.span("afforest_sample", r + 1);
+    const std::size_t begin = std::min<std::size_t>(r * budget, local.size());
+    const std::size_t end = std::min<std::size_t>(begin + budget, local.size());
+    const std::vector<WeightedEdge> sampled = comm.gather(
+        std::span<const WeightedEdge>(local.data() + begin, end - begin));
+    if (comm.rank() == 0)
+      for (const WeightedEdge& e : sampled) dsu.unite(e.u, e.v);
+  }
+
+  // Settle: broadcast the sampled components (raw union-find roots). Any
+  // edge inside one of them — in particular the giant component that the
+  // sample has already stitched together — is skipped by the final pass.
+  std::vector<Vertex> settled;
+  {
+    const trace::Span settle_span = ctx.span("afforest_settle", n);
+    if (comm.rank() == 0) settled = dsu.labels();
+    comm.broadcast(settled);
+  }
+
+  // Final pass: gather only the still-crossing edges.
+  std::uint64_t crossing = 0;
+  {
+    std::vector<WeightedEdge>& mine = graph.local();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (trace != nullptr) trace->touch(edges_base + 2 * i);
+      if (settled[mine[i].u] == settled[mine[i].v]) continue;
+      mine[kept++] = mine[i];
+    }
+    mine.resize(kept);
+    crossing = graph.global_edge_count(comm);
+  }
+  const trace::Span final_span = ctx.span("afforest_final", crossing);
+  const std::vector<WeightedEdge> rest = graph.gather(comm);
+  std::vector<Vertex> mapping;
+  Vertex components = 0;
+  if (comm.rank() == 0) {
+    for (const WeightedEdge& e : rest) dsu.unite(e.u, e.v);
+    mapping = dsu.labels();
+    components = graph::normalize_labels(mapping);
+  }
+  comm.broadcast(mapping);
+  components = comm.broadcast_value(components);
+
+  result.labels = std::move(mapping);
+  result.components = components;
+  result.iterations = rounds + 1;
+  consume_graph(graph, components);
+  return result;
+}
+
+namespace {
+
+/// Geometric cluster-start delay for LDD: the number of leading Philox
+/// lanes >= beta (failure) before the first success, capped at 8. Keyed by
+/// (seed, attempt, level, vertex) only — identical on every rank, so the
+/// decomposition is partition-independent.
+std::uint8_t ldd_delay(std::uint64_t seed, std::uint32_t attempt,
+                       std::uint32_t level, Vertex v,
+                       std::uint32_t threshold) noexcept {
+  std::uint8_t delay = 0;
+  for (std::uint32_t block = 0; block < 2; ++block) {
+    const rng::PhiloxBlock out = rng::philox4x32(
+        {v, level, 0x4C4400u + block, attempt},
+        {static_cast<std::uint32_t>(seed),
+         static_cast<std::uint32_t>(seed >> 32)});
+    for (const std::uint32_t lane : out) {
+      if (lane < threshold) return delay;
+      ++delay;
+    }
+  }
+  return delay;  // 8: the cap
+}
+
+}  // namespace
+
+CcResult ldd_components(const Context& ctx,
+                        graph::DistributedEdgeArray& graph,
+                        const CcOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
+  const Vertex n0 = graph.vertex_count();
+  cachesim::Session* trace = options.trace;
+
+  CcResult result;
+  result.engine = CcEngine::kLdd;
+  if (n0 == 0) return result;
+  const trace::Span all = ctx.span("cc_ldd", n0);
+
+  std::uint64_t edges_base = 0;
+  if (trace != nullptr) edges_base = trace->allocate(2 * graph.local().size() + 2);
+
+  const double beta = std::clamp(options.ldd_beta, 0.01, 0.99);
+  const auto threshold = static_cast<std::uint32_t>(beta * 4294967296.0);
+
+  // comp: original vertex -> current quotient label; composed through each
+  // level's cluster labeling. Replicated (every level's labels are).
+  std::vector<Vertex> comp(n0);
+  for (Vertex v = 0; v < n0; ++v) comp[v] = v;
+
+  Vertex ns = n0;
+  std::uint64_t edges_left = graph.global_edge_count(comm);
+  std::uint32_t level = 0;
+  while (edges_left > 0) {
+    ++level;
+    const bool give_up = level > options.max_iterations;
+
+    Vertex nc = ns;
+    std::vector<Vertex> labels;
+    if (!give_up) {
+      const trace::Span level_span = ctx.span("ldd_level", level, edges_left);
+
+      // Per-vertex geometric start delays, then frozen-label ball growing:
+      // a vertex that is labeled never changes within the level, an
+      // unlabeled vertex adopts the min neighboring label (or starts its
+      // own cluster once its delay expires). Every vertex self-activates
+      // by round delay[v] <= 8, so a level runs at most 9 rounds.
+      std::vector<std::uint8_t> delay(ns);
+      for (Vertex v = 0; v < ns; ++v)
+        delay[v] = ldd_delay(ctx.seed, ctx.attempt, level, v, threshold);
+
+      labels.assign(ns, kNoLabel);
+      const std::vector<WeightedEdge>& local = graph.local();
+      std::uint32_t round = 0;
+      for (;;) {
+        const trace::Span round_span = ctx.span("ldd_round", round + 1);
+        bool any_unlabeled = false;
+        for (Vertex v = 0; v < ns; ++v)
+          if (labels[v] == kNoLabel) {
+            if (delay[v] <= round) labels[v] = v;
+            else any_unlabeled = true;
+          }
+        if (!any_unlabeled && round > 0) break;
+        std::vector<Vertex> prop = labels;
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          const WeightedEdge& e = local[i];
+          if (trace != nullptr) trace->touch(edges_base + 2 * i);
+          if (labels[e.u] != kNoLabel && labels[e.v] == kNoLabel)
+            prop[e.v] = min_vertex(prop[e.v], labels[e.u]);
+          if (labels[e.v] != kNoLabel && labels[e.u] == kNoLabel)
+            prop[e.u] = min_vertex(prop[e.u], labels[e.v]);
+        }
+        // Labeled entries are identical on all ranks and only unlabeled
+        // entries are proposed lower, so the min-reduce freezes the former
+        // and commits the first arrival for the latter.
+        prop = comm.all_reduce_vector(prop, min_vertex);
+        labels.swap(prop);
+        ++round;
+      }
+      nc = graph::normalize_labels(labels);
+    }
+
+    if (give_up || nc == ns) {
+      // No contraction progress (every cluster was a singleton) or the
+      // level cap tripped: finish the remainder at the root. W.h.p. unused
+      // — a redraw at the next level would almost surely make progress —
+      // but it bounds the worst case like the sampling kernel's valve.
+      const trace::Span finish_span = ctx.span("ldd_finish", ns, edges_left);
+      const std::vector<WeightedEdge> rest = graph.gather(comm);
+      std::vector<Vertex> mapping;
+      Vertex components = 0;
+      if (comm.rank() == 0) {
+        seq::UnionFind dsu(ns, trace);
+        for (const WeightedEdge& e : rest) dsu.unite(e.u, e.v);
+        mapping = dsu.labels();
+        components = graph::normalize_labels(mapping);
+      }
+      comm.broadcast(mapping);
+      components = comm.broadcast_value(components);
+      for (Vertex v = 0; v < n0; ++v) comp[v] = mapping[comp[v]];
+      graph.local().clear();
+      ns = components;
+      break;
+    }
+
+    // Contract: relabel edges into the quotient, drop intra-cluster loops.
+    std::vector<WeightedEdge>& mine = graph.local();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const Vertex u = labels[mine[i].u];
+      const Vertex v = labels[mine[i].v];
+      if (u == v) continue;
+      mine[kept++] = WeightedEdge{u, v, mine[i].weight};
+    }
+    mine.resize(kept);
+    for (Vertex v = 0; v < n0; ++v) comp[v] = labels[comp[v]];
+    ns = nc;
+    graph.set_vertex_count(ns);
+    edges_left = graph.global_edge_count(comm);
+  }
+
+  result.labels = std::move(comp);
+  result.components = ns;
+  result.iterations = level;
+  consume_graph(graph, ns);
+  return result;
+}
+
+}  // namespace camc::core

@@ -1,0 +1,131 @@
+#include "core/cc_features.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace camc::core {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+namespace {
+
+constexpr Vertex kUnreached = std::numeric_limits<Vertex>::max();
+
+Vertex min_vertex(Vertex a, Vertex b) noexcept { return a < b ? a : b; }
+
+}  // namespace
+
+CcFeatures probe_cc_features(const Context& ctx,
+                             const graph::DistributedEdgeArray& graph,
+                             const CcProbeOptions& options) {
+  const bsp::Comm& comm = ctx.comm;
+  CcFeatures features;
+  features.n = graph.vertex_count();
+  if (features.n == 0) return features;
+  const trace::Span all = ctx.span("cc_probe", features.n);
+
+  const std::vector<WeightedEdge>& local = graph.local();
+
+  // Degrees: one O(n)-word sum all-reduce. Self-loops count twice; the
+  // probe only needs the shape, not exactness.
+  std::vector<Vertex> degree(features.n, 0);
+  Vertex source = 0;
+  {
+    const trace::Span span = ctx.span("probe_degrees", local.size());
+    for (const WeightedEdge& e : local) {
+      ++degree[e.u];
+      ++degree[e.v];
+    }
+    degree = comm.all_reduce_vector(
+        degree, [](Vertex a, Vertex b) noexcept { return a + b; });
+    Vertex max_degree = 0;
+    std::uint64_t total = 0;
+    for (Vertex v = 0; v < features.n; ++v) {
+      total += degree[v];
+      if (degree[v] > max_degree) {
+        max_degree = degree[v];
+        source = v;  // deterministic argmax: smallest id wins ties
+      }
+    }
+    features.m = total / 2;
+    features.avg_degree =
+        static_cast<double>(total) / static_cast<double>(features.n);
+    features.degree_skew =
+        features.avg_degree > 0.0
+            ? static_cast<double>(max_degree) / features.avg_degree
+            : 0.0;
+  }
+  if (features.m == 0) return features;
+
+  // Pseudo-diameter: replicated BFS from the max-degree vertex with a hard
+  // round cap. Closure within the cap gives the eccentricity of `source`
+  // restricted to its component; hitting the cap flags a deep graph.
+  {
+    const trace::Span span = ctx.span("probe_bfs", source,
+                                      options.bfs_round_cap);
+    std::vector<Vertex> dist(features.n, kUnreached);
+    dist[source] = 0;
+    bool converged = false;
+    for (std::uint32_t round = 1; round <= options.bfs_round_cap; ++round) {
+      std::vector<Vertex> prop = dist;
+      for (const WeightedEdge& e : local) {
+        if (dist[e.u] != kUnreached)
+          prop[e.v] = min_vertex(prop[e.v], dist[e.u] + 1);
+        if (dist[e.v] != kUnreached)
+          prop[e.u] = min_vertex(prop[e.u], dist[e.v] + 1);
+      }
+      prop = comm.all_reduce_vector(prop, min_vertex);
+      if (prop == dist) {
+        converged = true;
+        break;
+      }
+      dist = std::move(prop);
+      features.pseudo_diameter = round;
+    }
+    features.diameter_capped = !converged;
+  }
+  return features;
+}
+
+CcFeatures probe_cc_features_cheap(const Context& ctx,
+                                   const graph::DistributedEdgeArray& graph) {
+  // Zero communication: the fitted table branches on n alone, and n is
+  // replicated. (Local edge counts differ per rank, so any m-dependent
+  // branch here would need a collective — measured at ~10% of an entire
+  // afforest run on the smallest benchmarked family, which is exactly the
+  // overhead budget kAuto has to stay inside.) m stays 0 = "not probed".
+  CcFeatures features;
+  features.n = graph.vertex_count();
+  if (features.n == 0) return features;
+  const trace::Span all = ctx.span("cc_probe", features.n);
+  return features;
+}
+
+CcEngine select_cc_engine(const CcFeatures& features) noexcept {
+  // Crossover table fitted from the engines-by-families benchmark matrix
+  // (EXPERIMENTS.md "CC engine portfolio crossover"; bench_fig3_cc_strong
+  // --json, p = 4). What the measurements showed:
+  //  * Afforest won or tied every benchmarked family — ER (3.1x over
+  //    sampling), BA (2.1x), RMAT (1.3x), rewired WS (1.1x), and a dead
+  //    tie with sampling on the deep WS ring. Its sampled neighbor rounds
+  //    settle the bulk of the vertices for one bounded root union-find,
+  //    and the skip-settled final gather ships almost nothing on every
+  //    family tried, heavy-tailed or not.
+  //  * The pre-fit hypotheses did not survive contact: FastSV never beat
+  //    Afforest on near-regular graphs (its per-round O(n)-word reduces
+  //    dominate), and deep graphs did not favor sampling — Afforest's
+  //    cost is diameter-independent, so the BFS pseudo-diameter carries
+  //    no decision weight at these scales. The full probe keeps
+  //    measuring it for the fitting loop; the table ignores it.
+  //  * Sampling remains the choice below the smallest benchmarked size,
+  //    where its single gather is optimal and the paper's O(1)-superstep
+  //    guarantee costs nothing. The branch reads only n so the dispatch
+  //    probe needs no communication; edgeless inputs cost Afforest a few
+  //    empty gathers, which is noise at any n the floor admits.
+  if (features.n < 256) return CcEngine::kSampling;
+  return CcEngine::kAfforest;
+}
+
+}  // namespace camc::core

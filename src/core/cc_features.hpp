@@ -1,0 +1,66 @@
+#pragma once
+
+// Graph feature probes and the fitted engine-selection policy behind
+// CcEngine::kAuto.
+//
+// Two probes. The full probe (probe_cc_features) measures density, degree
+// skew, and a capped-BFS pseudo-diameter — one O(n)-word degree all-reduce
+// plus <= bfs_round_cap O(n)-word BFS all-reduces. That is what the
+// crossover bench (bench_fig3_cc_strong) prints next to each family's
+// timings, and what the selection thresholds were fitted against. The
+// cheap probe (probe_cc_features_cheap) is what kAuto actually pays at
+// dispatch time: the fitted table turned out to need only n, which is
+// replicated, so the runtime probe communicates nothing — the full
+// probe's O(n) reduces would cost more than the engines they choose
+// between (measured: comparable to an entire afforest run on the
+// benchmarked families).
+
+#include <cstdint>
+
+#include "core/cc.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "trace/context.hpp"
+
+namespace camc::core {
+
+struct CcFeatures {
+  graph::Vertex n = 0;
+  std::uint64_t m = 0;
+  double avg_degree = 0.0;
+  /// max degree / average degree; ~1 for regular graphs, large for
+  /// heavy-tailed (BA, RMAT) families.
+  double degree_skew = 0.0;
+  /// BFS rounds to closure from the max-degree vertex, capped at
+  /// CcProbeOptions::bfs_round_cap. A lower bound on the eccentricity of
+  /// that vertex — enough to separate "shallow" from "deep" graphs.
+  std::uint32_t pseudo_diameter = 0;
+  /// True when the BFS hit the round cap before closing (deep graph).
+  bool diameter_capped = false;
+};
+
+struct CcProbeOptions {
+  /// BFS rounds before giving up and declaring the graph "deep". Each
+  /// round is one O(n)-word all-reduce, so keep this small.
+  std::uint32_t bfs_round_cap = 6;
+};
+
+/// Collective over ctx.comm. Does not modify the edge array. Spans:
+/// "cc_probe" > "probe_degrees", "probe_bfs".
+CcFeatures probe_cc_features(const Context& ctx,
+                             const graph::DistributedEdgeArray& graph,
+                             const CcProbeOptions& options = {});
+
+/// The dispatch-time probe: n only (replicated, so no communication at
+/// all); m, degree, and diameter fields stay zero. Span: "cc_probe".
+/// Deterministic and identical across ranks, so kAuto's resolution — and
+/// therefore the result cache's soundness under engine "auto" — is a pure
+/// function of (graph, seed).
+CcFeatures probe_cc_features_cheap(const Context& ctx,
+                                   const graph::DistributedEdgeArray& graph);
+
+/// The crossover table: pure function of the probed features, fitted from
+/// the benchmark matrix in EXPERIMENTS.md. Never returns kAuto. Works on
+/// the output of either probe (it reads only fields both populate).
+CcEngine select_cc_engine(const CcFeatures& features) noexcept;
+
+}  // namespace camc::core

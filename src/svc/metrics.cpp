@@ -24,7 +24,17 @@ MetricsRegistry::MetricsRegistry(std::size_t latency_capacity)
 
 void MetricsRegistry::record(QueryKind kind, const QueryResponse& response) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  KindState& state = kinds_[static_cast<std::size_t>(kind)];
+  record_locked(kinds_[static_cast<std::size_t>(kind)], response);
+  // Completed cc requests additionally fold into the per-engine aggregate
+  // under the concrete engine that ran (cache hits echo the stored one).
+  const auto engine = static_cast<std::size_t>(response.result.engine);
+  if (kind == QueryKind::kCc && response.status == QueryStatus::kOk &&
+      engine < cc_engines_.size())
+    record_locked(cc_engines_[engine], response);
+}
+
+void MetricsRegistry::record_locked(KindState& state,
+                                    const QueryResponse& response) {
   KindMetrics& counters = state.counters;
   ++counters.submitted;
   switch (response.status) {
@@ -132,6 +142,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     all.insert(all.end(), state.latencies.begin(), state.latencies.end());
     all_seen += state.latency_seen;
     all_sum += state.latency_sum;
+  }
+  for (std::size_t e = 0; e < cc_engines_.size(); ++e) {
+    const KindState& state = cc_engines_[e];
+    out.cc_engines[e] = state.counters;
+    out.cc_engines[e].latency =
+        summarize(state.latencies, state.latency_seen, state.latency_sum);
   }
   out.total.latency = summarize(all, all_seen, all_sum);
   out.batches = batches_;

@@ -53,6 +53,10 @@ struct KindMetrics {
 
 struct MetricsSnapshot {
   std::array<KindMetrics, 4> kinds;  ///< indexed by QueryKind
+  /// Per-engine aggregates of completed (ok) cc requests, indexed by the
+  /// concrete core::CcEngine that ran (auto resolves before recording), so
+  /// a mixed-engine load shows per-engine p50/p95/p99 in `stats`.
+  std::array<KindMetrics, core::kCcEngineCount> cc_engines;
   KindMetrics total;                 ///< all kinds combined
   std::uint64_t batches = 0;         ///< epochs executed
   std::uint64_t batched_requests = 0;
@@ -96,9 +100,12 @@ class MetricsRegistry {
     double latency_sum = 0.0;
   };
 
+  void record_locked(KindState& state, const QueryResponse& response);
+
   mutable std::mutex mutex_;
   std::size_t latency_capacity_;
   std::array<KindState, 4> kinds_;
+  std::array<KindState, core::kCcEngineCount> cc_engines_;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::uint64_t max_batch_ = 0;

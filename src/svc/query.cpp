@@ -45,6 +45,7 @@ std::uint64_t params_fingerprint(QueryKind kind, const QueryParams& params) {
   switch (kind) {
     case QueryKind::kCc:
       a = std::bit_cast<std::uint64_t>(params.epsilon);
+      b = static_cast<std::uint64_t>(params.engine);  // 0 for the default
       break;
     case QueryKind::kMinCut:
       a = std::bit_cast<std::uint64_t>(params.success_probability);

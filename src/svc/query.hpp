@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cc.hpp"
 #include "graph/edge.hpp"
 #include "trace/export.hpp"
 
@@ -45,6 +46,12 @@ struct QueryParams {
   std::uint32_t trials = 0;
   /// sparsify: sample size override (0 derives from epsilon).
   std::uint64_t sample_size = 0;
+  /// cc: portfolio engine (protocol "params.engine"). kAuto probes the
+  /// resident graph and resolves per query; the key still hashes the
+  /// *requested* engine — auto is itself deterministic given (graph, seed),
+  /// so caching under "auto" is sound and an explicit request for the same
+  /// concrete engine is a distinct computation.
+  core::CcEngine engine = core::CcEngine::kSampling;
 };
 
 /// Hash of the kind-relevant parameters, seed excluded (the key keeps the
@@ -83,6 +90,8 @@ struct QueryResult {
   std::uint32_t trials = 0;            ///< min_cut / approx trials
   std::vector<graph::Vertex> side;     ///< min_cut (want_side)
   bool side_valid = false;
+  /// cc: the concrete engine that ran (auto requests echo the resolution).
+  core::CcEngine engine = core::CcEngine::kSampling;
 };
 
 enum class QueryStatus : std::uint8_t {

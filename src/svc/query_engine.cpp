@@ -379,6 +379,7 @@ QueryResult QueryEngine::run_one(const Context& ctx,
     case QueryKind::kCc: {
       core::CcOptions options;
       options.epsilon = params.epsilon;
+      options.engine = params.engine;
       // connected_components consumes its edge array; copy this rank's
       // slice so the epoch's shared scatter stays intact.
       graph::DistributedEdgeArray scratch(dist.vertex_count(), dist.local());
@@ -387,6 +388,7 @@ QueryResult QueryEngine::run_one(const Context& ctx,
       out.value = result.components;
       out.components = result.components;
       out.iterations = result.iterations;
+      out.engine = result.engine;
       std::vector<std::uint32_t> sizes(result.components, 0);
       for (const graph::Vertex label : result.labels) ++sizes[label];
       out.largest_component =

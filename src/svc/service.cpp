@@ -38,13 +38,20 @@ Json graph_response(std::uint64_t id, const StoredGraph& graph) {
                          .set("fingerprint", hex64(graph.fingerprint)));
 }
 
-QueryParams parse_params(const Json& params, std::uint64_t default_seed) {
+QueryParams parse_params(const Json& params, std::uint64_t default_seed,
+                         core::CcEngine default_cc_engine) {
   QueryParams out;
   out.seed = default_seed;
+  out.engine = default_cc_engine;
   if (params.is_null()) return out;
   if (!params.is_object()) throw std::runtime_error("params must be an object");
   if (params.has("seed")) out.seed = params["seed"].as_u64();
   if (params.has("epsilon")) out.epsilon = params["epsilon"].as_double();
+  if (params.has("engine")) {
+    const std::string& name = params["engine"].as_string();
+    if (!core::parse_cc_engine(name, &out.engine))
+      throw std::runtime_error("unknown cc engine '" + name + "'");
+  }
   if (params.has("success"))
     out.success_probability = params["success"].as_double();
   if (params.has("want_side")) out.want_side = params["want_side"].as_bool();
@@ -113,7 +120,8 @@ Json response_to_json(std::uint64_t id, QueryKind kind,
       case QueryKind::kCc:
         result.set("components", response.result.components)
             .set("largest_component", response.result.largest_component)
-            .set("iterations", response.result.iterations);
+            .set("iterations", response.result.iterations)
+            .set("engine", core::cc_engine_name(response.result.engine));
         break;
       case QueryKind::kMinCut:
         result.set("trials", response.result.trials);
@@ -260,7 +268,8 @@ bool Service::handle_query(const Json& request, std::uint64_t id,
   query.kind = parse_query_kind(request["query"].is_string()
                                     ? request["query"].as_string()
                                     : throw std::runtime_error("missing query"));
-  query.params = parse_params(request["params"], options_.default_seed);
+  query.params = parse_params(request["params"], options_.default_seed,
+                              options_.default_cc_engine);
   if (request.has("timeout_ms"))
     query.timeout_seconds = request["timeout_ms"].as_double() / 1e3;
   if (request.has("trace")) query.trace = request["trace"].as_bool();
@@ -296,8 +305,23 @@ Json Service::stats_json() const {
   for (std::size_t k = 0; k < snapshot.metrics.kinds.size(); ++k) {
     const KindMetrics& metrics = snapshot.metrics.kinds[k];
     if (metrics.submitted == 0) continue;
-    kinds.set(query_kind_name(static_cast<QueryKind>(k)),
-              kind_metrics_json(metrics));
+    Json entry = kind_metrics_json(metrics);
+    if (static_cast<QueryKind>(k) == QueryKind::kCc) {
+      // Per-engine aggregates of completed cc requests (the concrete
+      // engine that ran; "auto" requests land under their resolution).
+      Json engines = Json::object();
+      for (std::size_t e = 0; e < snapshot.metrics.cc_engines.size(); ++e) {
+        const KindMetrics& per = snapshot.metrics.cc_engines[e];
+        if (per.ok == 0) continue;
+        engines.set(core::cc_engine_name(static_cast<core::CcEngine>(e)),
+                    Json::object()
+                        .set("ok", per.ok)
+                        .set("cache_hits", per.cache_hits)
+                        .set("latency", latency_json(per.latency)));
+      }
+      entry.set("engines", std::move(engines));
+    }
+    kinds.set(query_kind_name(static_cast<QueryKind>(k)), std::move(entry));
   }
   return Json::object()
       .set("total", kind_metrics_json(snapshot.metrics.total))

@@ -54,6 +54,10 @@ struct ServiceOptions {
   std::uint64_t store_max_bytes = 0;
   /// Query seed used when a query omits "params.seed".
   std::uint64_t default_seed = 1;
+  /// CC engine used when a cc query omits "params.engine" (camc_serve
+  /// --cc-engine). kSampling keeps pre-portfolio responses bit-compatible;
+  /// kAuto turns on per-graph selection for the whole server.
+  core::CcEngine default_cc_engine = core::CcEngine::kSampling;
 };
 
 class Service {

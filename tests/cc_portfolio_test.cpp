@@ -1,0 +1,319 @@
+// CC portfolio contract tests.
+//
+// * Golden trace shapes: fastsv and afforest emit deterministic, balanced
+//   span structures per (input, seed, p) with the documented phase names —
+//   the same contract trace_golden_test pins for the sampling kernel.
+// * Dispatch bit-identity: routing the pre-existing engines (sv,
+//   labelprop) through the `connected_components` dispatcher must not
+//   change their BSP counters — sv adds nothing, labelprop adds exactly
+//   the one rendezvous broadcast + one barrier its adapter documents.
+// * Determinism: every new engine's labels are a pure function of
+//   (graph, seed), identical across reruns and across p.
+// * Engine naming: cc_engine_name / parse_cc_engine round-trip, and auto
+//   resolves to a concrete engine before the result is recorded.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsp/machine.hpp"
+#include "core/baselines.hpp"
+#include "core/cc.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "trace/context.hpp"
+#include "trace/trace.hpp"
+
+namespace camc {
+namespace {
+
+using graph::DistributedEdgeArray;
+using graph::Vertex;
+using graph::WeightedEdge;
+
+constexpr Vertex kN = 96;
+constexpr std::uint64_t kM = 384;
+constexpr std::uint64_t kGraphSeed = 11;
+constexpr std::uint64_t kAlgoSeed = 7;
+
+/// Structural skeleton of one rank's trace: (name, depth, kind) triples.
+struct Shape {
+  std::string name;
+  std::uint32_t depth;
+  bool begin;
+  bool operator==(const Shape& other) const {
+    return name == other.name && depth == other.depth && begin == other.begin;
+  }
+};
+
+std::vector<std::vector<Shape>> run_traced(
+    int p, const std::function<void(const Context&,
+                                    DistributedEdgeArray&)>& body) {
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  trace::Recorder recorder(p);
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, kN, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    body(Context(world, kAlgoSeed, &recorder), dist);
+  });
+  std::vector<std::vector<Shape>> shapes(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    for (const trace::Event& event : recorder.rank(rank).events)
+      shapes[static_cast<std::size_t>(rank)].push_back(
+          {event.name, event.depth, event.kind == trace::EventKind::kBegin});
+    EXPECT_EQ(recorder.rank(rank).open_depth, 0u) << "rank " << rank;
+  }
+  return shapes;
+}
+
+void expect_balanced_root(const std::vector<Shape>& shape,
+                          const std::string& root) {
+  ASSERT_GE(shape.size(), 2u);
+  EXPECT_EQ(shape.front().name, root);
+  EXPECT_EQ(shape.front().depth, 0u);
+  EXPECT_TRUE(shape.front().begin);
+  EXPECT_EQ(shape.back().name, root);
+  EXPECT_EQ(shape.back().depth, 0u);
+  EXPECT_FALSE(shape.back().begin);
+  std::int64_t depth = 0;
+  for (const Shape& event : shape) {
+    depth += event.begin ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+bool contains(const std::vector<Shape>& shape, const std::string& name) {
+  return std::any_of(shape.begin(), shape.end(),
+                     [&](const Shape& s) { return s.name == name; });
+}
+
+TEST(CcPortfolio, FastSvSpanStructureIsDeterministicAcrossP) {
+  for (const int p : {1, 2, 4}) {
+    const auto run = [](const Context& ctx, DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      options.engine = core::CcEngine::kFastSv;
+      (void)core::connected_components(ctx, dist, options);
+    };
+    const auto first = run_traced(p, run);
+    const auto second = run_traced(p, run);
+    ASSERT_EQ(first.size(), second.size()) << "p=" << p;
+    for (std::size_t rank = 0; rank < first.size(); ++rank)
+      EXPECT_EQ(first[rank], second[rank]) << "p=" << p << " rank=" << rank;
+    for (std::size_t rank = 0; rank < first.size(); ++rank) {
+      expect_balanced_root(first[rank], "cc_fastsv");
+      EXPECT_TRUE(contains(first[rank], "fastsv_round"))
+          << "p=" << p << " rank=" << rank;
+    }
+  }
+}
+
+TEST(CcPortfolio, AfforestSpanStructureIsDeterministicAcrossP) {
+  for (const int p : {1, 2, 4}) {
+    const auto run = [](const Context& ctx, DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      options.engine = core::CcEngine::kAfforest;
+      (void)core::connected_components(ctx, dist, options);
+    };
+    const auto first = run_traced(p, run);
+    const auto second = run_traced(p, run);
+    ASSERT_EQ(first.size(), second.size()) << "p=" << p;
+    for (std::size_t rank = 0; rank < first.size(); ++rank)
+      EXPECT_EQ(first[rank], second[rank]) << "p=" << p << " rank=" << rank;
+    for (std::size_t rank = 0; rank < first.size(); ++rank) {
+      expect_balanced_root(first[rank], "cc_afforest");
+      EXPECT_TRUE(contains(first[rank], "afforest_sample"))
+          << "p=" << p << " rank=" << rank;
+      EXPECT_TRUE(contains(first[rank], "afforest_settle"))
+          << "p=" << p << " rank=" << rank;
+      EXPECT_TRUE(contains(first[rank], "afforest_final"))
+          << "p=" << p << " rank=" << rank;
+    }
+  }
+}
+
+// -- dispatch bit-identity ---------------------------------------------------
+
+// Same fixed input as bsp_counter_invariance_test: ER n = 512, m = 2048,
+// generator seed 42, algorithm seed 7.
+constexpr Vertex kPinN = 512;
+constexpr std::uint64_t kPinM = 2048;
+constexpr std::uint64_t kPinGraphSeed = 42;
+
+struct CountedRun {
+  bsp::MachineStats stats;
+  std::vector<Vertex> labels;  // rank 0's
+};
+
+CountedRun run_counted(
+    int p, const std::function<std::vector<Vertex>(
+               bsp::Comm&, graph::DistributedEdgeArray&)>& body) {
+  const auto edges = gen::erdos_renyi(kPinN, kPinM, kPinGraphSeed);
+  CountedRun run;
+  bsp::Machine machine(p);
+  run.stats = machine
+                  .run([&](bsp::Comm& world) {
+                    auto dist = DistributedEdgeArray::scatter(
+                        world, kPinN,
+                        world.rank() == 0 ? edges
+                                          : std::vector<WeightedEdge>{});
+                    auto labels = body(world, dist);
+                    if (world.rank() == 0) run.labels = std::move(labels);
+                  })
+                  .stats;
+  return run;
+}
+
+void expect_stats_eq(const bsp::MachineStats& got, const bsp::MachineStats& want,
+                     int p) {
+  EXPECT_EQ(got.supersteps, want.supersteps) << "p=" << p;
+  EXPECT_EQ(got.max_words_communicated, want.max_words_communicated)
+      << "p=" << p;
+  EXPECT_EQ(got.collective_calls, want.collective_calls) << "p=" << p;
+  EXPECT_EQ(got.total_words_communicated, want.total_words_communicated)
+      << "p=" << p;
+}
+
+TEST(CcPortfolio, SvDispatchIsCounterBitIdenticalToDirectCall) {
+  // The kSv adapter documents that it adds no collectives over a direct
+  // bsp_sv_components call; the counters must therefore be bit-identical.
+  for (const int p : {1, 2, 4}) {
+    const auto direct = run_counted(p, [](bsp::Comm& world,
+                                          DistributedEdgeArray& dist) {
+      return core::bsp_sv_components(world, dist).labels;
+    });
+    const auto dispatched = run_counted(p, [](bsp::Comm& world,
+                                              DistributedEdgeArray& dist) {
+      core::CcOptions options;
+      options.engine = core::CcEngine::kSv;
+      return core::connected_components(Context(world, kAlgoSeed), dist,
+                                        options)
+          .labels;
+    });
+    expect_stats_eq(dispatched.stats, direct.stats, p);
+    EXPECT_EQ(dispatched.labels, direct.labels) << "p=" << p;
+  }
+}
+
+TEST(CcPortfolio, LabelPropDispatchAddsExactlyTheRendezvousHandoff) {
+  // The kLabelProp adapter costs one broadcast of the two-word guarded
+  // pointer plus one barrier on top of a direct async_label_propagation
+  // call. Pinned at p = 1, where the async sweep count is deterministic
+  // (at p > 1 the lock-free sweeps depend on thread interleaving, so the
+  // direct baseline itself is not reproducible counter-for-counter).
+  const int p = 1;
+  const auto direct =
+      run_counted(p, [](bsp::Comm& world, DistributedEdgeArray& dist) {
+        core::AsyncCcSharedState shared(dist.vertex_count());
+        return core::async_label_propagation(world, dist, shared).labels;
+      });
+  const auto dispatched = run_counted(p, [](bsp::Comm& world,
+                                            DistributedEdgeArray& dist) {
+    core::CcOptions options;
+    options.engine = core::CcEngine::kLabelProp;
+    return core::connected_components(Context(world, kAlgoSeed), dist, options)
+        .labels;
+  });
+  // Self-calibrating handoff cost: exactly the adapter's rendezvous —
+  // a broadcast of two uint64 words from rank 0 plus a barrier.
+  bsp::Machine machine(p);
+  const auto handoff = machine
+                           .run([](bsp::Comm& world) {
+                             std::vector<std::uint64_t> words;
+                             if (world.rank() == 0) words = {1u, 2u};
+                             world.broadcast(words);
+                             world.barrier();
+                           })
+                           .stats;
+  EXPECT_EQ(dispatched.stats.supersteps,
+            direct.stats.supersteps + handoff.supersteps);
+  EXPECT_EQ(dispatched.stats.collective_calls,
+            direct.stats.collective_calls + handoff.collective_calls);
+  EXPECT_EQ(dispatched.stats.total_words_communicated,
+            direct.stats.total_words_communicated +
+                handoff.total_words_communicated);
+  EXPECT_EQ(dispatched.labels, direct.labels);
+}
+
+// -- determinism -------------------------------------------------------------
+
+std::vector<Vertex> engine_labels(core::CcEngine engine, int p,
+                                  std::uint64_t seed) {
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  std::vector<Vertex> labels;
+  bsp::Machine machine(p);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, kN, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    core::CcOptions options;
+    options.engine = engine;
+    auto result = core::connected_components(Context(world, seed), dist,
+                                             options);
+    if (world.rank() == 0) labels = std::move(result.labels);
+  });
+  return labels;
+}
+
+TEST(CcPortfolio, NewEnginesAreDeterministicGivenSeedAndAgreeAcrossP) {
+  for (const core::CcEngine engine :
+       {core::CcEngine::kFastSv, core::CcEngine::kAfforest,
+        core::CcEngine::kLdd, core::CcEngine::kAuto}) {
+    const auto baseline = engine_labels(engine, 1, kAlgoSeed);
+    ASSERT_EQ(baseline.size(), static_cast<std::size_t>(kN))
+        << core::cc_engine_name(engine);
+    for (const int p : {1, 2, 4}) {
+      EXPECT_EQ(engine_labels(engine, p, kAlgoSeed), baseline)
+          << core::cc_engine_name(engine) << " p=" << p;
+      EXPECT_EQ(engine_labels(engine, p, kAlgoSeed), baseline)
+          << core::cc_engine_name(engine) << " p=" << p << " (rerun)";
+    }
+  }
+}
+
+// -- naming and auto resolution ----------------------------------------------
+
+TEST(CcPortfolio, EngineNamesRoundTripAndRejectUnknowns) {
+  for (const core::CcEngine engine :
+       {core::CcEngine::kSampling, core::CcEngine::kSv,
+        core::CcEngine::kLabelProp, core::CcEngine::kFastSv,
+        core::CcEngine::kAfforest, core::CcEngine::kLdd,
+        core::CcEngine::kAuto}) {
+    core::CcEngine parsed;
+    ASSERT_TRUE(core::parse_cc_engine(core::cc_engine_name(engine), &parsed))
+        << core::cc_engine_name(engine);
+    EXPECT_EQ(parsed, engine);
+  }
+  core::CcEngine parsed;
+  EXPECT_FALSE(core::parse_cc_engine("", &parsed));
+  EXPECT_FALSE(core::parse_cc_engine("bogus", &parsed));
+  EXPECT_FALSE(core::parse_cc_engine("FASTSV", &parsed));
+}
+
+TEST(CcPortfolio, AutoResolvesToAConcreteEngineAndRecordsIt) {
+  const auto edges = gen::erdos_renyi(kN, kM, kGraphSeed);
+  core::CcResult result;
+  bsp::Machine machine(2);
+  machine.run([&](bsp::Comm& world) {
+    auto dist = DistributedEdgeArray::scatter(
+        world, kN, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    core::CcOptions options;
+    options.engine = core::CcEngine::kAuto;
+    auto r = core::connected_components(Context(world, kAlgoSeed), dist,
+                                        options);
+    if (world.rank() == 0) result = r;
+  });
+  EXPECT_NE(result.engine, core::CcEngine::kAuto);
+  // The crossover table routes inputs below the benchmarked size floor
+  // (n < 256) to the sampling kernel, whose single gather is optimal at
+  // this scale.
+  EXPECT_EQ(result.engine, core::CcEngine::kSampling);
+  EXPECT_EQ(result.labels.size(), static_cast<std::size_t>(kN));
+}
+
+}  // namespace
+}  // namespace camc

@@ -67,9 +67,32 @@ TEST(SvcProtocol, GoldenOkResponse) {
   EXPECT_EQ(response_to_json(3, QueryKind::kCc, response).dump(),
             "{\"v\":1,\"id\":3,\"status\":\"ok\",\"query\":\"cc\","
             "\"result\":{\"value\":1,\"components\":2,"
-            "\"largest_component\":150,\"iterations\":4},"
+            "\"largest_component\":150,\"iterations\":4,"
+            "\"engine\":\"sampling\"},"
             "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
             "\"latency_ms\":250}");
+}
+
+TEST(SvcProtocol, GoldenCcEngineResponse) {
+  // The portfolio golden pair mirrored in docs/PROTOCOL.md: a cc response
+  // always echoes the concrete engine that ran ("auto" never appears —
+  // it resolves before the result is recorded).
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 1;
+  response.result.components = 1;
+  response.result.largest_component = 4000;
+  response.result.iterations = 3;
+  response.result.engine = core::CcEngine::kAfforest;
+  response.attempts = 1;
+  response.latency_seconds = 0.125;  // exact in binary: 125 ms
+  EXPECT_EQ(response_to_json(11, QueryKind::kCc, response).dump(),
+            "{\"v\":1,\"id\":11,\"status\":\"ok\",\"query\":\"cc\","
+            "\"result\":{\"value\":1,\"components\":1,"
+            "\"largest_component\":4000,\"iterations\":3,"
+            "\"engine\":\"afforest\"},"
+            "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
+            "\"latency_ms\":125}");
 }
 
 TEST(SvcProtocol, GoldenRejectedResponse) {
@@ -172,6 +195,30 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
   EXPECT_TRUE(warm["cached"].as_bool());
   EXPECT_EQ(warm["result"]["components"].as_u64(),
             cold["result"]["components"].as_u64());
+  // The default engine echoes in every cc response.
+  EXPECT_EQ(warm["result"]["engine"].as_string(), "sampling");
+
+  // params.engine selects a portfolio engine; the cache keys on the
+  // requested engine, so this is a miss despite the identical seed, and
+  // the response echoes the engine that ran.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":20,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"seed\":7,\"engine\":\"fastsv\"}}",
+      emit));
+  const Json fastsv = emitted.wait_for_id(20);
+  EXPECT_EQ(fastsv["status"].as_string(), "ok") << fastsv.dump();
+  EXPECT_FALSE(fastsv["cached"].as_bool());
+  EXPECT_EQ(fastsv["result"]["engine"].as_string(), "fastsv");
+  EXPECT_EQ(fastsv["result"]["components"].as_u64(),
+            cold["result"]["components"].as_u64());
+
+  // An unknown engine name is a structured per-request error.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":21,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"engine\":\"quantum\"}}",
+      emit));
+  const Json bad_engine = emitted.wait_for_id(21);
+  EXPECT_EQ(bad_engine["status"].as_string(), "error");
 
   // v1 forward compatibility: unknown request fields are ignored, and a
   // "trace":true query returns the per-phase summary inline.
@@ -200,6 +247,12 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
   ASSERT_TRUE(stats["result"]["kinds"].has("min_cut")) << stats.dump();
   EXPECT_TRUE(stats["result"]["kinds"]["min_cut"].has("phases"))
       << stats.dump();
+  // The cc aggregates break down per portfolio engine.
+  ASSERT_TRUE(stats["result"]["kinds"].has("cc")) << stats.dump();
+  const Json& cc_engines = stats["result"]["kinds"]["cc"]["engines"];
+  EXPECT_TRUE(cc_engines.has("sampling")) << stats.dump();
+  EXPECT_TRUE(cc_engines.has("fastsv")) << stats.dump();
+  EXPECT_GE(cc_engines["fastsv"]["ok"].as_u64(), 1u) << stats.dump();
 
   EXPECT_TRUE(service.handle_line(
       "{\"id\":6,\"op\":\"evict\",\"graph\":\"g\"}", emit));

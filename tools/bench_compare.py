@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Tolerance-based regression gate over BENCH_*.json files.
+
+Each file is the JSON-lines output of a bench binary run with --json
+(tools/run_bench.sh): one object per data point, {"comment": ...} lines
+ignored. Rows are matched between baseline and candidate on their identity
+— the sorted set of non-numeric fields (panel, impl, engine, primitive,
+mode, ...) plus any numeric field named in --key (p and friends are keys
+by default). For every matched row, numeric measurement fields are gated:
+
+  * columns in --exact must be equal (use for deterministic counters like
+    supersteps / max_words when comparing the same code);
+  * every other numeric column is a one-sided check: candidate must not
+    exceed baseline * (1 + --rtol). Speedups never fail, and values below
+    --floor (seconds-scale noise) are skipped.
+
+Missing or extra rows fail the gate unless --allow-missing: a silently
+shrinking matrix would read as "no regressions" forever.
+
+Exit status: 0 clean, 1 regressions found, 2 usage error.
+
+Example (structure + counters strict, timings within 50%):
+  tools/bench_compare.py BENCH_cc.json /tmp/now/BENCH_cc.json \
+      --exact supersteps,max_words --rtol 0.5
+"""
+
+import argparse
+import json
+import sys
+
+
+# Numeric fields that identify a row rather than measure it.
+DEFAULT_KEYS = {"p", "words", "n", "m", "clients", "threads", "requests"}
+
+
+def load_rows(path):
+    rows = []
+    try:
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise SystemExit(
+                        f"{path}:{line_number}: not JSON ({error}); "
+                        "re-run the bench with --json")
+                if isinstance(row, dict) and "comment" not in row:
+                    rows.append(row)
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    return rows
+
+
+def identity(row, keys):
+    parts = []
+    for field, value in sorted(row.items()):
+        if isinstance(value, str) or field in keys:
+            parts.append((field, value))
+    return tuple(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare two BENCH_*.json files with tolerances")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--rtol", type=float, default=0.5,
+                        help="allowed relative slowdown per numeric column "
+                             "(default 0.5 = 50%%)")
+    parser.add_argument("--floor", type=float, default=1e-4,
+                        help="skip values whose baseline is below this "
+                             "(noise floor, default 1e-4)")
+    parser.add_argument("--exact", default="",
+                        help="comma-separated columns that must be equal")
+    parser.add_argument("--ignore", default="",
+                        help="comma-separated columns to skip entirely")
+    parser.add_argument("--key", default="",
+                        help="extra comma-separated numeric identity columns")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail on rows present only in one file")
+    args = parser.parse_args()
+
+    exact = {c for c in args.exact.split(",") if c}
+    ignore = {c for c in args.ignore.split(",") if c}
+    keys = DEFAULT_KEYS | {c for c in args.key.split(",") if c}
+
+    base = {}
+    for row in load_rows(args.baseline):
+        base[identity(row, keys)] = row
+    cand = {}
+    for row in load_rows(args.candidate):
+        cand[identity(row, keys)] = row
+
+    failures = []
+    compared = 0
+    for ident, base_row in base.items():
+        cand_row = cand.get(ident)
+        label = " ".join(f"{k}={v}" for k, v in ident)
+        if cand_row is None:
+            if not args.allow_missing:
+                failures.append(f"row missing from candidate: {label}")
+            continue
+        for column, base_value in base_row.items():
+            if column in ignore or column in keys:
+                continue
+            if not isinstance(base_value, (int, float)) or \
+                    isinstance(base_value, bool):
+                continue
+            cand_value = cand_row.get(column)
+            if not isinstance(cand_value, (int, float)):
+                failures.append(f"{label}: {column} missing from candidate")
+                continue
+            compared += 1
+            if column in exact:
+                if cand_value != base_value:
+                    failures.append(
+                        f"{label}: {column} changed {base_value} -> "
+                        f"{cand_value} (exact column)")
+            elif base_value >= args.floor and \
+                    cand_value > base_value * (1.0 + args.rtol):
+                failures.append(
+                    f"{label}: {column} regressed {base_value:.6g} -> "
+                    f"{cand_value:.6g} "
+                    f"(+{100.0 * (cand_value / base_value - 1.0):.0f}%, "
+                    f"tolerance {100.0 * args.rtol:.0f}%)")
+    if not args.allow_missing:
+        for ident in cand:
+            if ident not in base:
+                label = " ".join(f"{k}={v}" for k, v in ident)
+                failures.append(f"row missing from baseline: {label}")
+
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(f"{len(base)} baseline rows, {compared} values compared, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

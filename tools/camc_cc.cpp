@@ -1,13 +1,16 @@
 // Connected components tool — the artifact's `parallel_cc`.
 //
-//   camc_cc <edge-list-file> [--threads=N] [--seed=S] [--trace-out=FILE]
-//           [--json]
+//   camc_cc <edge-list-file> [--threads=N] [--seed=S] [--cc-engine=NAME]
+//           [--trace-out=FILE] [--json]
 //
-// Prints the component count, the largest component's size, and the
-// PROF instrumentation line. --trace-out writes a Chrome trace-event
-// JSON and prints the per-phase table to stderr.
+// --cc-engine picks the portfolio engine (sampling | sv | labelprop |
+// fastsv | afforest | ldd | auto; default sampling). Prints the component
+// count, the largest component's size, the engine that ran, and the PROF
+// instrumentation line. --trace-out writes a Chrome trace-event JSON and
+// prints the per-phase table to stderr.
 
 #include <algorithm>
+#include <iostream>
 
 #include "core/cc.hpp"
 #include "graph/dist_edge_array.hpp"
@@ -18,8 +21,15 @@ int main(int argc, char** argv) {
   const auto args = tools::parse_tool_args(
       argc, argv,
       "usage: camc_cc <edge-list-file> [--threads=N] [--seed=S] "
-      "[--trace-out=FILE] [--snap] [--json]");
+      "[--cc-engine=NAME] [--trace-out=FILE] [--snap] [--json]");
   if (!args.ok) return 2;
+  core::CcEngine engine = core::CcEngine::kSampling;
+  if (!core::parse_cc_engine(args.cc_engine, &engine)) {
+    std::cerr << "unknown cc engine '" << args.cc_engine
+              << "' (sampling | sv | labelprop | fastsv | afforest | ldd | "
+                 "auto)\n";
+    return 2;
+  }
 
   const graph::EdgeListFile input = tools::load_graph(args);
 
@@ -36,6 +46,7 @@ int main(int argc, char** argv) {
         world.rank() == 0 ? input.edges
                           : std::vector<graph::WeightedEdge>{});
     core::CcOptions options;
+    options.engine = engine;
     auto r = core::connected_components(ctx.bind(world), dist, options);
     if (world.rank() == 0) result = r;
   });
@@ -48,6 +59,7 @@ int main(int argc, char** argv) {
 
   std::cout << "components: " << result.components << "\n"
             << "largest component: " << largest << " vertices\n"
+            << "engine: " << core::cc_engine_name(result.engine) << "\n"
             << "sampling iterations: " << result.iterations << "\n";
   tools::print_profile_line(args, input.n, input.edges.size(), outcome,
                             "cc", result.components);

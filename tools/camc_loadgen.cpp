@@ -5,6 +5,7 @@
 //   camc_loadgen [--serve=PATH] [--threads=N] [--seed=S]
 //                [--clients=N | --rate=R] [--requests=N] [--phases=K]
 //                [--mix=cc:8,min_cut:1] [--graphs=er:2000:8000[,...]]
+//                [--cc-engine-mix=fastsv:2,afforest:1[,...]]
 //                [--distinct-seeds=K] [--timeout-ms=T]
 //                [--queue=N] [--batch=N] [--cache=N]
 //                [--trace-out=FILE] [--json] [--strict]
@@ -23,6 +24,12 @@
 // outstanding. Open loop (--rate=R): one sender issues requests at R/s
 // regardless of completions — queue growth then shows up as shed/rejected
 // responses rather than sender back-off.
+//
+// --cc-engine-mix spreads the cc share of the mix over the portfolio
+// engines by weight (names as in camc_serve --cc-engine); each cc request
+// then carries an explicit "params.engine", so the server's stats (echoed
+// in the report's "server" object) break the cc aggregates down into
+// per-engine p50/p95/p99.
 //
 // A protocol error (unparseable response line, unknown id, premature
 // server exit) is counted and, under --strict, fails the run; the
@@ -66,6 +73,7 @@ struct Options {
   std::size_t requests = 1000;
   int phases = 1;
   std::string mix = "cc:1";
+  std::string cc_engine_mix;  ///< empty: queries omit params.engine
   std::string graphs = "er:2000:8000";
   std::uint64_t distinct_seeds = 16;
   double timeout_ms = 0.0;
@@ -85,6 +93,7 @@ struct WorkItem {
   std::size_t graph_index = 0;
   svc::QueryKind kind = svc::QueryKind::kCc;
   std::uint64_t seed = 1;
+  std::string engine;  ///< cc only; empty omits params.engine
 };
 
 /// One in-flight request awaiting its response line.
@@ -342,6 +351,26 @@ std::vector<std::pair<svc::QueryKind, std::uint64_t>> parse_mix(
   return out;
 }
 
+/// Weighted cc-engine list ("fastsv:2,afforest:1"); weight defaults to 1.
+std::vector<std::pair<std::string, std::uint64_t>> parse_engine_mix(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (spec.empty()) return out;
+  for (const std::string& part : split(spec, ',')) {
+    const auto fields = split(part, ':');
+    if (fields.empty() || fields.size() > 2)
+      throw std::runtime_error("bad engine mix entry " + part);
+    core::CcEngine parsed;
+    if (!core::parse_cc_engine(fields[0], &parsed))
+      throw std::runtime_error("unknown cc engine '" + fields[0] + "'");
+    const std::uint64_t weight =
+        fields.size() == 2 ? std::stoull(fields[1]) : 1;
+    if (weight > 0) out.emplace_back(fields[0], weight);
+  }
+  if (out.empty()) throw std::runtime_error("empty engine mix");
+  return out;
+}
+
 /// Deterministic workload: requests drawn with a counter-based RNG so the
 /// same --seed replays the same tuple list.
 std::vector<WorkItem> draw_workload(const Options& options,
@@ -349,6 +378,9 @@ std::vector<WorkItem> draw_workload(const Options& options,
   const auto mix = parse_mix(options.mix);
   std::uint64_t total_weight = 0;
   for (const auto& [kind, weight] : mix) total_weight += weight;
+  const auto engine_mix = parse_engine_mix(options.cc_engine_mix);
+  std::uint64_t engine_weight = 0;
+  for (const auto& [name, weight] : engine_mix) engine_weight += weight;
   rng::Philox rng(options.seed, /*stream=*/0x4C4F4144);  // "LOAD"
   std::vector<WorkItem> items;
   items.reserve(options.requests);
@@ -364,6 +396,16 @@ std::vector<WorkItem> draw_workload(const Options& options,
       roll -= weight;
     }
     item.seed = 1 + rng() % options.distinct_seeds;
+    if (item.kind == svc::QueryKind::kCc && engine_weight > 0) {
+      std::uint64_t engine_roll = rng() % engine_weight;
+      for (const auto& [name, weight] : engine_mix) {
+        if (engine_roll < weight) {
+          item.engine = name;
+          break;
+        }
+        engine_roll -= weight;
+      }
+    }
     items.push_back(item);
   }
   return items;
@@ -371,13 +413,14 @@ std::vector<WorkItem> draw_workload(const Options& options,
 
 std::string query_line(std::uint64_t id, const GraphSpec& graph,
                        const WorkItem& item, double timeout_ms, bool trace) {
+  svc::Json params = svc::Json::object().set("seed", item.seed);
+  if (!item.engine.empty()) params.set("engine", item.engine);
   svc::Json request = svc::Json::object()
                           .set("id", id)
                           .set("op", "query")
                           .set("graph", graph.name)
                           .set("query", svc::query_kind_name(item.kind))
-                          .set("params",
-                               svc::Json::object().set("seed", item.seed));
+                          .set("params", std::move(params));
   if (timeout_ms > 0) request.set("timeout_ms", timeout_ms);
   if (trace) request.set("trace", true);
   return request.dump();
@@ -456,6 +499,7 @@ int main(int argc, char** argv) {
       "                    [--clients=N | --rate=R] [--requests=N]\n"
       "                    [--phases=K] [--mix=cc:8,min_cut:1]\n"
       "                    [--graphs=er:2000:8000[,...]]\n"
+      "                    [--cc-engine-mix=fastsv:2,afforest:1[,...]]\n"
       "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
       "                    [--queue=N] [--batch=N] [--cache=N]\n"
       "                    [--trace-out=FILE] [--json] [--strict]";
@@ -471,6 +515,7 @@ int main(int argc, char** argv) {
   parser.flag("requests", &options.requests);
   parser.flag("phases", &options.phases);
   parser.flag("mix", &options.mix);
+  parser.flag("cc-engine-mix", &options.cc_engine_mix);
   parser.flag("graphs", &options.graphs);
   parser.flag("distinct-seeds", &options.distinct_seeds);
   parser.flag("timeout-ms", &options.timeout_ms);

@@ -1,7 +1,8 @@
 // Query server — NDJSON line protocol on stdin/stdout.
 //
 //   camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N]
-//              [--store-mb=N] [--seed=S] [--trace-out=FILE]
+//              [--store-mb=N] [--seed=S] [--cc-engine=NAME]
+//              [--trace-out=FILE]
 //
 // Reads one JSON request per stdin line, writes one JSON response per
 // request to stdout (see src/svc/service.hpp for the protocol). Responses
@@ -10,7 +11,9 @@
 // draining in-flight queries first.
 //
 // --seed sets the default query seed used when a query omits
-// "params.seed"; everything else about the server is deterministic given
+// "params.seed"; --cc-engine the default cc engine used when a cc query
+// omits "params.engine" (sampling | sv | labelprop | fastsv | afforest |
+// ldd | auto); everything else about the server is deterministic given
 // the request stream. --trace-out traces every executed epoch and writes
 // one merged Chrome trace file (pid = epoch) on exit.
 
@@ -27,12 +30,13 @@ int main(int argc, char** argv) {
   using namespace camc;
   const char* usage =
       "usage: camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
-      "[--store-mb=N] [--seed=S] [--trace-out=FILE]";
+      "[--store-mb=N] [--seed=S] [--cc-engine=NAME] [--trace-out=FILE]";
 
   int threads = 4;
   std::size_t queue = 256, batch = 16, cache = 4096, store_mb = 0;
   std::uint64_t seed = 1;
   std::string trace_out;
+  std::string cc_engine = "sampling";
   tools::FlagParser parser;
   parser.flag("threads", &threads);
   parser.flag("p", &threads);
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   parser.flag("cache", &cache);
   parser.flag("store-mb", &store_mb);
   parser.flag("seed", &seed);
+  parser.flag("cc-engine", &cc_engine);
   parser.flag("trace-out", &trace_out);
   if (!parser.parse(argc, argv, usage)) return 2;
   if (threads < 1 || batch < 1) {
@@ -49,6 +54,10 @@ int main(int argc, char** argv) {
   }
 
   svc::ServiceOptions options;
+  if (!core::parse_cc_engine(cc_engine, &options.default_cc_engine)) {
+    std::cerr << "unknown cc engine '" << cc_engine << "'\n" << usage << "\n";
+    return 2;
+  }
   options.engine.threads = threads;
   options.engine.queue_capacity = queue;
   options.engine.max_batch = batch;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Canonical benchmark runner: executes the four tracked bench binaries with
+# --json and writes one BENCH_<area>.json per area at the repo root (the
+# committed copies are the baselines tools/bench_compare.py gates against).
+#
+#   tools/run_bench.sh [out-dir]
+#
+# Environment overrides:
+#   BUILD_DIR  cmake build tree holding the bench binaries (default: build)
+#   CC_REPS    repetitions for the cc engine matrix (default: 21 — the
+#              crossover rows interleave engines per repetition and report
+#              paired mins, so more reps tighten the auto-vs-best
+#              comparison; the committed BENCH_cc.json used 21)
+#   BENCH_ARGS extra flags appended to every bench invocation
+#
+# Typical regression check against the committed baselines:
+#   tools/run_bench.sh /tmp/bench_now
+#   tools/bench_compare.py BENCH_cc.json /tmp/bench_now/BENCH_cc.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${1:-.}"
+CC_REPS="${CC_REPS:-21}"
+BENCH_ARGS="${BENCH_ARGS:-}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "run_bench.sh: no bench binaries under $BUILD_DIR (configure with" >&2
+  echo "  cmake --preset default && cmake --build build)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+run() {
+  local area="$1" binary="$2"
+  shift 2
+  local out="$OUT_DIR/BENCH_${area}.json"
+  echo "== $binary $* -> $out" >&2
+  # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+  "$BUILD_DIR/bench/$binary" --json "$@" $BENCH_ARGS > "$out"
+  echo "   $(grep -vc '"comment"' "$out") rows" >&2
+}
+
+run cc      bench_fig3_cc_strong --reps="$CC_REPS"
+run bsp     bench_bsp_runtime
+run service bench_service
+run trace   bench_trace_overhead
+
+echo "done: $(ls "$OUT_DIR"/BENCH_*.json | tr '\n' ' ')" >&2

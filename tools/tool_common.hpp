@@ -180,6 +180,7 @@ struct ToolArgs {
   std::uint64_t seed = 5226;
   double success = 0.9;
   std::string trace_out;  ///< Chrome trace JSON output path ("" disables)
+  std::string cc_engine = "sampling";  ///< cc tools: portfolio engine name
   bool snap = false;  ///< input is a SNAP-style headerless edge list
   bool json = false;  ///< machine-readable profile output
   bool ok = false;
@@ -187,7 +188,9 @@ struct ToolArgs {
 
 /// The shared grammar of the algorithm tools:
 ///   <edge-list-file> [--threads=N|--p=N] [--seed=S] [--success=P]
-///   [--trace-out=FILE] [--snap] [--json]
+///   [--cc-engine=NAME] [--trace-out=FILE] [--snap] [--json]
+/// (--cc-engine is read by the cc tool only, like --success by the cut
+/// tools.)
 inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
   ToolArgs args;
   FlagParser parser;
@@ -195,6 +198,7 @@ inline ToolArgs parse_tool_args(int argc, char** argv, const char* usage) {
   parser.flag("p", &args.p);  // historical alias, kept for scripts
   parser.flag("seed", &args.seed);
   parser.flag("success", &args.success);
+  parser.flag("cc-engine", &args.cc_engine);
   parser.flag("trace-out", &args.trace_out);
   parser.toggle("snap", &args.snap);
   parser.toggle("json", &args.json);
