@@ -1,7 +1,11 @@
 #include "check/oracles.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -12,12 +16,16 @@
 #include "core/baselines.hpp"
 #include "core/cc.hpp"
 #include "core/mincut.hpp"
+#include "core/preprocess.hpp"
 #include "graph/contraction_ref.hpp"
 #include "graph/dist_matrix.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/local_graph.hpp"
+#include "seq/certificate.hpp"
 #include "seq/connected_components.hpp"
 #include "seq/karger_stein.hpp"
 #include "seq/stoer_wagner.hpp"
+#include "store/store.hpp"
 
 namespace camc::check {
 
@@ -347,6 +355,137 @@ Verdict approx_mincut_oracle(const TestCase& tc) {
   return pass();
 }
 
+// ---------------------------------------------------------------------------
+// Persistent store
+// ---------------------------------------------------------------------------
+
+/// Unique temp file set for one oracle run, removed on scope exit.
+class TempArtifacts {
+ public:
+  TempArtifacts() {
+    static std::atomic<std::uint64_t> sequence{0};
+    stem_ = (std::filesystem::temp_directory_path() /
+             ("camc-oracle-" + std::to_string(::getpid()) + "-" +
+              std::to_string(sequence.fetch_add(1))))
+                .string();
+  }
+  ~TempArtifacts() {
+    std::error_code ignored;
+    for (const std::string& path : files_)
+      std::filesystem::remove(path, ignored);
+  }
+  std::string path(const char* tag) {
+    files_.push_back(stem_ + "." + tag + ".camc");
+    return files_.back();
+  }
+
+ private:
+  std::string stem_;
+  std::vector<std::string> files_;
+};
+
+/// Round-trips every artifact kind through camc::store and checks the
+/// loaded copies bit-identical AND in agreement with recomputation — a
+/// loaded artifact must never claim something a fresh run would not.
+Verdict store_roundtrip_oracle(const TestCase& tc) {
+  TempArtifacts temp;
+
+  // Graph artifact: save -> load is bit-identical, fingerprint verified.
+  store::GraphArtifact graph_out;
+  graph_out.name = "oracle";
+  graph_out.n = tc.n;
+  graph_out.edges = tc.edges;
+  const std::string graph_path = temp.path("graph");
+  const std::uint64_t fp = store::write_graph(graph_path, graph_out);
+  const store::GraphArtifact graph_in = store::read_graph(graph_path);
+  if (graph_in.name != graph_out.name || graph_in.n != tc.n ||
+      graph_in.edges != tc.edges)
+    return fail("store-roundtrip: loaded graph differs from the saved one");
+  if (graph_in.fingerprint != fp ||
+      fp != graph::graph_fingerprint(
+                tc.n, std::span<const WeightedEdge>(tc.edges)))
+    return fail("store-roundtrip: graph fingerprint drifted");
+
+  // CC labeling: dense labels from union-find; the loaded labeling must
+  // still be the same partition a fresh run computes.
+  {
+    const std::vector<Vertex> raw = seq::union_find_components(tc.n, tc.edges);
+    store::CcLabelingArtifact cc_out;
+    cc_out.graph_fingerprint = fp;
+    cc_out.engine = core::CcEngine::kSampling;
+    cc_out.seed = tc.seed;
+    cc_out.iterations = 1;
+    std::vector<Vertex> dense(tc.n, 0);
+    std::map<Vertex, Vertex> densify;
+    for (Vertex v = 0; v < tc.n; ++v)
+      dense[v] = densify.emplace(raw[v], static_cast<Vertex>(densify.size()))
+                     .first->second;
+    cc_out.components = static_cast<std::uint32_t>(densify.size());
+    cc_out.labels = std::move(dense);
+    const std::string path = temp.path("cc");
+    store::write_cc_labeling(path, cc_out);
+    const store::CcLabelingArtifact cc_in = store::read_cc_labeling(path);
+    if (cc_in.graph_fingerprint != fp || cc_in.engine != cc_out.engine ||
+        cc_in.seed != cc_out.seed || cc_in.components != cc_out.components ||
+        cc_in.iterations != cc_out.iterations || cc_in.labels != cc_out.labels)
+      return fail("store-roundtrip: loaded cc labeling differs");
+    if (tc.n > 0 && !seq::same_partition(cc_in.labels, reference_labels(tc)))
+      return fail("store-roundtrip: loaded cc labeling disagrees with DFS");
+  }
+
+  // Sparse certificate: construction is deterministic, so the loaded edges
+  // must equal a recomputed certificate exactly.
+  if (tc.n > 0) {
+    const Weight k = 3;
+    const seq::CertificateResult cert =
+        seq::sparse_certificate(tc.n, tc.edges, k);
+    store::CertificateArtifact cert_out;
+    cert_out.graph_fingerprint = fp;
+    cert_out.k = k;
+    cert_out.rounds = cert.rounds;
+    cert_out.n = tc.n;
+    cert_out.edges = cert.edges;
+    const std::string path = temp.path("cert");
+    store::write_certificate(path, cert_out);
+    const store::CertificateArtifact cert_in = store::read_certificate(path);
+    if (cert_in.graph_fingerprint != fp || cert_in.k != k ||
+        cert_in.rounds != cert.rounds || cert_in.n != tc.n ||
+        cert_in.edges != cert.edges)
+      return fail("store-roundtrip: loaded certificate differs");
+    const seq::CertificateResult again =
+        seq::sparse_certificate(tc.n, tc.edges, k);
+    if (cert_in.edges != again.edges || cert_in.rounds != again.rounds)
+      return fail("store-roundtrip: certificate disagrees with recomputation");
+  }
+
+  // Contraction level: also deterministic given the input graph.
+  {
+    std::vector<WeightedEdge> contracted = tc.edges;
+    const core::PreprocessResult pre =
+        core::contract_heavy_edges(tc.n, contracted);
+    store::ContractionArtifact con_out;
+    con_out.graph_fingerprint = fp;
+    con_out.new_n = pre.new_n;
+    con_out.rounds = pre.rounds;
+    con_out.degree_bound = pre.degree_bound;
+    con_out.mapping = pre.mapping;
+    const std::string path = temp.path("contraction");
+    store::write_contraction(path, con_out);
+    const store::ContractionArtifact con_in = store::read_contraction(path);
+    if (con_in.graph_fingerprint != fp || con_in.new_n != pre.new_n ||
+        con_in.rounds != pre.rounds ||
+        con_in.degree_bound != pre.degree_bound ||
+        con_in.mapping != pre.mapping)
+      return fail("store-roundtrip: loaded contraction differs");
+    std::vector<WeightedEdge> again_edges = tc.edges;
+    const core::PreprocessResult again =
+        core::contract_heavy_edges(tc.n, again_edges);
+    if (con_in.mapping != again.mapping || con_in.new_n != again.new_n)
+      return fail("store-roundtrip: contraction disagrees with recomputation");
+  }
+  return pass();
+}
+
 /// Wraps an oracle body: checked-arithmetic rejections are the contract
 /// working (kRejected), anything else thrown is a bug surfaced loudly.
 std::function<Verdict(const TestCase&)> guarded(
@@ -397,6 +536,9 @@ const std::vector<Oracle>& all_oracles() {
        guarded(mincut_allcuts_oracle)},
       {"approx-mincut", "estimate 0 iff disconnected + sanity band",
        guarded(approx_mincut_oracle)},
+      {"store-roundtrip",
+       "save/load every artifact kind bit-identical + recompute agreement",
+       guarded(store_roundtrip_oracle)},
   };
   return oracles;
 }

@@ -105,6 +105,9 @@ void write_edge_list(std::ostream& out, Vertex n,
   out << n << ' ' << edges.size() << '\n';
   for (const WeightedEdge& e : edges)
     out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  // A full disk or broken pipe must fail here, at the writer, not as a
+  // confusing strict-reader rejection of the truncated file much later.
+  if (!out.good()) throw std::runtime_error("edge list: write failed");
 }
 
 void write_edge_list_file(const std::string& path, Vertex n,
@@ -119,7 +122,8 @@ void write_edge_list_file(const std::string& path, Vertex n,
       out << "# " << comment_line << '\n';
   }
   write_edge_list(out, n, edges);
-  if (!out) throw std::runtime_error("write failed for " + path);
+  out.flush();
+  if (!out.good()) throw std::runtime_error("write failed for " + path);
 }
 
 SnapFile read_snap(std::istream& in) {

@@ -1,0 +1,104 @@
+#pragma once
+
+// camc::store — the on-disk artifact format shared by every persisted
+// graph and derived result (docs/USAGE.md "Warm restart", DESIGN.md §2
+// Store).
+//
+// Every store file is
+//
+//   [ 64-byte header ][ payload, 8-byte aligned fixed-width records ]
+//
+// and the header carries, in order: an 8-byte magic, the format version,
+// the artifact kind, the 64-bit content fingerprint of the graph the
+// artifact belongs to (graph/fingerprint.hpp), the payload byte count,
+// and a CRC-64 over the payload. Loading is staged, after the OSRM
+// FileReader::VerifyFingerprint idiom: (1) the header is read and each
+// field validated before a single payload byte is trusted, (2) the
+// payload is read whole and its CRC checked against the header, and only
+// then (3) typed records are parsed with bounds checks on every count
+// field. Any failure at any stage throws StoreError with a machine-
+// readable code — a truncated, bit-flipped, or mismatched file is
+// rejected with a structured error, never parsed into a partial object.
+//
+// The layout is deliberately mmap-friendly: the header is exactly 64
+// bytes, strings are length-prefixed and padded to 8 bytes, and all
+// record types are trivially copyable with fixed width, so a future
+// reader can map the payload and cast record spans in place.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace camc::store {
+
+/// Leading 8 bytes of every store file.
+inline constexpr std::array<char, 8> kMagic = {'C', 'A', 'M', 'C',
+                                               'S', 'T', 'O', 'R'};
+
+/// Bumped on any incompatible layout change; readers reject other values.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What the payload holds. The kind is part of the header so a file can
+/// never be parsed as the wrong artifact type.
+enum class ArtifactKind : std::uint32_t {
+  kGraph = 1,        ///< named edge list (rehydrates svc::GraphStore)
+  kCcLabeling = 2,   ///< per-engine component labeling of a graph
+  kCertificate = 3,  ///< Nagamochi-Ibaraki sparse k-certificate
+  kContraction = 4,  ///< heavy-edge contraction level (preprocess mapping)
+  kResultSet = 5,    ///< cached query results (pre-seeds svc::ResultCache)
+};
+
+const char* artifact_kind_name(ArtifactKind kind) noexcept;
+
+/// Machine-readable failure class of a store operation. Every reader and
+/// writer failure maps to exactly one code; tests assert codes, not
+/// message text.
+enum class StoreErrc : std::uint8_t {
+  kCannotOpen = 0,           ///< open/stat failed
+  kTruncated = 1,            ///< file shorter than the header declares
+  kBadMagic = 2,             ///< leading bytes are not CAMCSTOR
+  kBadVersion = 3,           ///< format version unknown to this reader
+  kBadKind = 4,              ///< header kind unknown or not the expected one
+  kBadCrc = 5,               ///< payload CRC does not match the header
+  kFingerprintMismatch = 6,  ///< content fingerprint disagrees
+  kBadPayload = 7,           ///< typed parse failed (counts, bounds, trailing)
+  kWriteFailed = 8,          ///< stream went bad while writing / flushing
+};
+
+const char* store_errc_name(StoreErrc code) noexcept;
+
+/// Structured store failure: code + offending path + human detail. The
+/// what() string contains all three.
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrc code, std::string path, const std::string& detail);
+
+  StoreErrc code() const noexcept { return code_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  StoreErrc code_;
+  std::string path_;
+};
+
+/// Fixed 64-byte header. Written and read as raw bytes; all fields are
+/// little-endian on every platform this repo targets (asserted by the
+/// store tests against a committed golden file).
+struct Header {
+  std::array<char, 8> magic = kMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t kind = 0;
+  std::uint64_t fingerprint = 0;    ///< graph content fingerprint
+  std::uint64_t payload_bytes = 0;  ///< bytes following the header
+  std::uint64_t payload_crc = 0;    ///< CRC-64/XZ over the payload
+  std::uint64_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(Header) == 64);
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected). Incremental: feed chunks
+/// with the previous return value as `crc` (start at 0).
+std::uint64_t crc64(const void* data, std::size_t bytes,
+                    std::uint64_t crc = 0) noexcept;
+
+}  // namespace camc::store

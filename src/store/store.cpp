@@ -1,0 +1,382 @@
+#include "store/store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/fingerprint.hpp"
+
+namespace camc::store {
+
+namespace {
+
+/// Hard bound on any single count field, far above real artifacts but
+/// small enough that a corrupt count can never drive a pathological
+/// allocation before the remaining-bytes check trips.
+constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 40;
+
+std::string hex16(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+  return buffer;
+}
+
+constexpr char kZeroPad[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+}  // namespace
+
+const char* artifact_kind_name(ArtifactKind kind) noexcept {
+  switch (kind) {
+    case ArtifactKind::kGraph: return "graph";
+    case ArtifactKind::kCcLabeling: return "cc";
+    case ArtifactKind::kCertificate: return "cert";
+    case ArtifactKind::kContraction: return "contraction";
+    case ArtifactKind::kResultSet: return "results";
+  }
+  return "unknown";
+}
+
+const char* store_errc_name(StoreErrc code) noexcept {
+  switch (code) {
+    case StoreErrc::kCannotOpen: return "cannot-open";
+    case StoreErrc::kTruncated: return "truncated";
+    case StoreErrc::kBadMagic: return "bad-magic";
+    case StoreErrc::kBadVersion: return "bad-version";
+    case StoreErrc::kBadKind: return "bad-kind";
+    case StoreErrc::kBadCrc: return "bad-crc";
+    case StoreErrc::kFingerprintMismatch: return "fingerprint-mismatch";
+    case StoreErrc::kBadPayload: return "bad-payload";
+    case StoreErrc::kWriteFailed: return "write-failed";
+  }
+  return "unknown";
+}
+
+StoreError::StoreError(StoreErrc code, std::string path,
+                       const std::string& detail)
+    : std::runtime_error("store: " + std::string(store_errc_name(code)) +
+                         ": " + detail + " (" + path + ")"),
+      code_(code),
+      path_(std::move(path)) {}
+
+std::uint64_t crc64(const void* data, std::size_t bytes,
+                    std::uint64_t crc) noexcept {
+  // CRC-64/XZ: reflected ECMA-182 polynomial, one table built on first use.
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t value = i;
+      for (int bit = 0; bit < 8; ++bit)
+        value = (value >> 1) ^ ((value & 1) ? 0xC96C5795D7870F42ull : 0);
+      t[i] = value;
+    }
+    return t;
+  }();
+  const auto* bytes_ptr = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < bytes; ++i)
+    crc = table[(crc ^ bytes_ptr[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+// -- Writer ------------------------------------------------------------------
+
+Writer::Writer(const std::string& path, ArtifactKind kind,
+               std::uint64_t fingerprint)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw StoreError(StoreErrc::kCannotOpen, path, "cannot open for writing");
+  header_.kind = static_cast<std::uint32_t>(kind);
+  header_.fingerprint = fingerprint;
+  // Placeholder header; finish() seeks back and writes the real one.
+  out_.write(reinterpret_cast<const char*>(&header_), sizeof(Header));
+  if (!out_) throw StoreError(StoreErrc::kWriteFailed, path, "header write failed");
+}
+
+Writer::~Writer() {
+  if (!finished_) {
+    // Abandoned (an exception unwound past the caller): never leave a
+    // half-written file behind for a later reader to trip over.
+    out_.close();
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+}
+
+void Writer::write_raw(const void* data, std::size_t bytes) {
+  if (bytes == 0) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_) throw StoreError(StoreErrc::kWriteFailed, path_, "payload write failed");
+  crc_ = crc64(data, bytes, crc_);
+  payload_bytes_ += bytes;
+}
+
+void Writer::write_string(const std::string& text) {
+  write_pod(static_cast<std::uint64_t>(text.size()));
+  write_raw(text.data(), text.size());
+  pad_to_alignment();
+}
+
+void Writer::pad_to_alignment() {
+  const std::size_t tail = payload_bytes_ % 8;
+  if (tail != 0) write_raw(kZeroPad, 8 - tail);
+}
+
+void Writer::finish() {
+  header_.payload_bytes = payload_bytes_;
+  header_.payload_crc = crc_;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header_), sizeof(Header));
+  out_.flush();
+  // The satellite rule io.cpp also follows: a writer that does not check
+  // the stream after flushing turns a full disk into a file the reader
+  // rejects much later, far from the cause.
+  if (!out_.good())
+    throw StoreError(StoreErrc::kWriteFailed, path_, "flush failed");
+  out_.close();
+  if (out_.fail())
+    throw StoreError(StoreErrc::kWriteFailed, path_, "close failed");
+  finished_ = true;
+}
+
+// -- Reader ------------------------------------------------------------------
+
+Reader::Reader(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreError(StoreErrc::kCannotOpen, path, "cannot open");
+
+  // Stage 1: the header, each field validated before the payload is read.
+  if (!in.read(reinterpret_cast<char*>(&header_), sizeof(Header)))
+    throw StoreError(StoreErrc::kTruncated, path,
+                     "file shorter than the 64-byte header");
+  if (header_.magic != kMagic)
+    throw StoreError(StoreErrc::kBadMagic, path, "not a camc store file");
+  if (header_.version != kFormatVersion)
+    throw StoreError(StoreErrc::kBadVersion, path,
+                     "format version " + std::to_string(header_.version) +
+                         " (this reader speaks " +
+                         std::to_string(kFormatVersion) + ")");
+  if (header_.kind < static_cast<std::uint32_t>(ArtifactKind::kGraph) ||
+      header_.kind > static_cast<std::uint32_t>(ArtifactKind::kResultSet))
+    throw StoreError(StoreErrc::kBadKind, path,
+                     "unknown artifact kind " + std::to_string(header_.kind));
+
+  // Stage 2: the whole payload, sized exactly as declared, CRC-verified
+  // before any typed parse touches it. The declared size is checked
+  // against the real file size first — a corrupt header must surface as
+  // kTruncated, not as a pathological allocation.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(in.tellg()) - sizeof(Header);
+  in.seekg(static_cast<std::streamoff>(sizeof(Header)));
+  if (header_.payload_bytes > available)
+    throw StoreError(StoreErrc::kTruncated, path,
+                     "payload declares " +
+                         std::to_string(header_.payload_bytes) +
+                         " bytes, file holds " + std::to_string(available));
+  payload_.resize(static_cast<std::size_t>(header_.payload_bytes));
+  if (!in.read(payload_.data(),
+               static_cast<std::streamsize>(payload_.size())))
+    throw StoreError(StoreErrc::kTruncated, path,
+                     "payload declares " +
+                         std::to_string(header_.payload_bytes) +
+                         " bytes, file holds fewer");
+  char extra;
+  if (in.read(&extra, 1))
+    throw StoreError(StoreErrc::kBadPayload, path,
+                     "trailing bytes after the declared payload");
+  const std::uint64_t crc = crc64(payload_.data(), payload_.size());
+  if (crc != header_.payload_crc)
+    throw StoreError(StoreErrc::kBadCrc, path,
+                     "payload CRC " + hex16(crc) + " != header " +
+                         hex16(header_.payload_crc));
+}
+
+Reader::Reader(const std::string& path, ArtifactKind expected)
+    : Reader(path) {
+  if (kind() != expected)
+    throw StoreError(StoreErrc::kBadKind, path,
+                     std::string("expected a ") + artifact_kind_name(expected) +
+                         " artifact, found " + artifact_kind_name(kind()));
+}
+
+void Reader::read_raw(void* into, std::size_t bytes) {
+  if (bytes == 0) return;  // memcpy from an empty payload's data() is UB
+  if (bytes > remaining())
+    fail_payload("read of " + std::to_string(bytes) +
+                 " bytes overruns the payload");
+  std::memcpy(into, payload_.data() + cursor_, bytes);
+  cursor_ += bytes;
+}
+
+void Reader::skip_alignment() {
+  const std::size_t tail = cursor_ % 8;
+  if (tail == 0) return;
+  char pad[8];
+  read_raw(pad, 8 - tail);
+  for (std::size_t i = 0; i < 8 - tail; ++i)
+    if (pad[i] != 0) fail_payload("nonzero alignment padding");
+}
+
+std::string Reader::read_string(std::uint64_t max_bytes) {
+  const std::uint64_t length = read_pod<std::uint64_t>();
+  if (length > max_bytes)
+    fail_payload("string length " + std::to_string(length) +
+                 " exceeds limit " + std::to_string(max_bytes));
+  if (length > remaining()) fail_payload("string overruns the payload");
+  std::string text(static_cast<std::size_t>(length), '\0');
+  read_raw(text.data(), text.size());
+  skip_alignment();
+  return text;
+}
+
+void Reader::expect_exhausted() const {
+  if (cursor_ != payload_.size())
+    fail_payload(std::to_string(payload_.size() - cursor_) +
+                 " unparsed payload bytes");
+}
+
+void Reader::verify_fingerprint(std::uint64_t recomputed) const {
+  if (recomputed != header_.fingerprint)
+    throw StoreError(StoreErrc::kFingerprintMismatch, path_,
+                     "content fingerprint " + hex16(recomputed) +
+                         " != header " + hex16(header_.fingerprint));
+}
+
+void Reader::fail_payload(const std::string& detail) const {
+  throw StoreError(StoreErrc::kBadPayload, path_, detail);
+}
+
+// -- typed artifacts ---------------------------------------------------------
+
+std::uint64_t write_graph(const std::string& path, GraphArtifact& artifact) {
+  artifact.fingerprint =
+      graph::graph_fingerprint(artifact.n, artifact.edges);
+  Writer writer(path, ArtifactKind::kGraph, artifact.fingerprint);
+  writer.write_string(artifact.name);
+  writer.write_pod(artifact.n);
+  writer.write_pod(std::uint32_t{0});  // alignment
+  writer.write_vector(artifact.edges);
+  writer.finish();
+  return artifact.fingerprint;
+}
+
+GraphArtifact read_graph(const std::string& path) {
+  Reader reader(path, ArtifactKind::kGraph);
+  GraphArtifact artifact;
+  artifact.name = reader.read_string(/*max_bytes=*/1 << 16);
+  artifact.n = reader.read_pod<graph::Vertex>();
+  if (reader.read_pod<std::uint32_t>() != 0)
+    throw StoreError(StoreErrc::kBadPayload, path, "nonzero pad word");
+  artifact.edges = reader.read_vector<graph::WeightedEdge>(kMaxCount);
+  reader.expect_exhausted();
+  for (const graph::WeightedEdge& edge : artifact.edges)
+    if (edge.u >= artifact.n || edge.v >= artifact.n)
+      throw StoreError(StoreErrc::kBadPayload, path,
+                       "edge endpoint out of range");
+  // The CRC already proved the bytes are what was written; recomputing the
+  // content fingerprint additionally proves they are the *graph* the
+  // header names (a stale or cross-copied file fails here).
+  artifact.fingerprint =
+      graph::graph_fingerprint(artifact.n, artifact.edges);
+  reader.verify_fingerprint(artifact.fingerprint);
+  return artifact;
+}
+
+void write_cc_labeling(const std::string& path,
+                       const CcLabelingArtifact& artifact) {
+  Writer writer(path, ArtifactKind::kCcLabeling, artifact.graph_fingerprint);
+  writer.write_pod(static_cast<std::uint32_t>(artifact.engine));
+  writer.write_pod(artifact.components);
+  writer.write_pod(artifact.seed);
+  writer.write_pod(artifact.iterations);
+  writer.write_pod(std::uint32_t{0});  // alignment
+  writer.write_vector(artifact.labels);
+  writer.finish();
+}
+
+CcLabelingArtifact read_cc_labeling(const std::string& path) {
+  Reader reader(path, ArtifactKind::kCcLabeling);
+  CcLabelingArtifact artifact;
+  artifact.graph_fingerprint = reader.fingerprint();
+  const auto engine = reader.read_pod<std::uint32_t>();
+  if (engine >= core::kCcEngineCount)
+    throw StoreError(StoreErrc::kBadPayload, path,
+                     "unknown cc engine " + std::to_string(engine));
+  artifact.engine = static_cast<core::CcEngine>(engine);
+  artifact.components = reader.read_pod<std::uint32_t>();
+  artifact.seed = reader.read_pod<std::uint64_t>();
+  artifact.iterations = reader.read_pod<std::uint32_t>();
+  if (reader.read_pod<std::uint32_t>() != 0)
+    throw StoreError(StoreErrc::kBadPayload, path, "nonzero pad word");
+  artifact.labels = reader.read_vector<graph::Vertex>(
+      std::numeric_limits<graph::Vertex>::max());
+  reader.expect_exhausted();
+  if (artifact.components > artifact.labels.size() &&
+      !artifact.labels.empty())
+    throw StoreError(StoreErrc::kBadPayload, path,
+                     "more components than vertices");
+  for (const graph::Vertex label : artifact.labels)
+    if (label >= artifact.components)
+      throw StoreError(StoreErrc::kBadPayload, path,
+                       "label out of the dense component range");
+  return artifact;
+}
+
+void write_certificate(const std::string& path,
+                       const CertificateArtifact& artifact) {
+  Writer writer(path, ArtifactKind::kCertificate, artifact.graph_fingerprint);
+  writer.write_pod(artifact.k);
+  writer.write_pod(artifact.rounds);
+  writer.write_pod(artifact.n);
+  writer.write_vector(artifact.edges);
+  writer.finish();
+}
+
+CertificateArtifact read_certificate(const std::string& path) {
+  Reader reader(path, ArtifactKind::kCertificate);
+  CertificateArtifact artifact;
+  artifact.graph_fingerprint = reader.fingerprint();
+  artifact.k = reader.read_pod<graph::Weight>();
+  artifact.rounds = reader.read_pod<std::uint32_t>();
+  artifact.n = reader.read_pod<graph::Vertex>();
+  artifact.edges = reader.read_vector<graph::WeightedEdge>(kMaxCount);
+  reader.expect_exhausted();
+  for (const graph::WeightedEdge& edge : artifact.edges)
+    if (edge.u >= artifact.n || edge.v >= artifact.n)
+      throw StoreError(StoreErrc::kBadPayload, path,
+                       "certificate edge endpoint out of range");
+  return artifact;
+}
+
+void write_contraction(const std::string& path,
+                       const ContractionArtifact& artifact) {
+  Writer writer(path, ArtifactKind::kContraction, artifact.graph_fingerprint);
+  writer.write_pod(artifact.new_n);
+  writer.write_pod(artifact.rounds);
+  writer.write_pod(artifact.degree_bound);
+  writer.write_vector(artifact.mapping);
+  writer.finish();
+}
+
+ContractionArtifact read_contraction(const std::string& path) {
+  Reader reader(path, ArtifactKind::kContraction);
+  ContractionArtifact artifact;
+  artifact.graph_fingerprint = reader.fingerprint();
+  artifact.new_n = reader.read_pod<graph::Vertex>();
+  artifact.rounds = reader.read_pod<std::uint32_t>();
+  artifact.degree_bound = reader.read_pod<graph::Weight>();
+  artifact.mapping = reader.read_vector<graph::Vertex>(
+      std::numeric_limits<graph::Vertex>::max());
+  reader.expect_exhausted();
+  for (const graph::Vertex label : artifact.mapping)
+    if (label >= artifact.new_n)
+      throw StoreError(StoreErrc::kBadPayload, path,
+                       "mapping label out of the contracted range");
+  return artifact;
+}
+
+std::string artifact_file_name(std::uint64_t fingerprint, ArtifactKind kind) {
+  return hex16(fingerprint) + "." + artifact_kind_name(kind) + ".camc";
+}
+
+}  // namespace camc::store

@@ -1,0 +1,216 @@
+#pragma once
+
+// Staged readers and writers over the camc::store format (format.hpp),
+// plus the typed artifacts themselves: graphs, per-engine CC labelings,
+// sparse certificates, and contraction levels. The svc layer adds the
+// result-set artifact on top of the same Writer/Reader (svc/persist.hpp).
+//
+// Write pipeline: header placeholder → payload records (CRC accumulated
+// as bytes are written) → seek back and finalize the header. The stream
+// state is checked after every stage and after the final flush, so a full
+// disk or failed close is an immediate StoreError{kWriteFailed} with the
+// path — never a silently truncated file discovered at load time (the
+// same rule graph::write_edge_list_file follows).
+//
+// Read pipeline (the VerifyFingerprint idiom): header validation →
+// whole-payload CRC check → typed parse with bounds checks. Typed readers
+// additionally recompute the graph content fingerprint where the payload
+// permits and compare it with the header, so even a CRC-consistent file
+// written for a different graph is rejected.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/cc.hpp"
+#include "graph/edge.hpp"
+#include "store/format.hpp"
+
+namespace camc::store {
+
+// -- staged low-level pipelines ----------------------------------------------
+
+/// Streaming artifact writer. Usage:
+///   Writer w(path, ArtifactKind::kGraph, fingerprint);
+///   w.write_pod(...); w.write_vector(...); w.write_string(...);
+///   w.finish();  // mandatory; a destructed-unfinished Writer deletes the file
+class Writer {
+ public:
+  Writer(const std::string& path, ArtifactKind kind, std::uint64_t fingerprint);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends raw bytes to the payload, folding them into the CRC.
+  void write_raw(const void* data, std::size_t bytes);
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_raw(&value, sizeof(T));
+  }
+
+  /// u64 element count, then the elements back to back. T must be a
+  /// fixed-width record; 8-byte payload alignment is preserved because
+  /// every record type used is 4- or 8-byte sized and padded below.
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_pod(static_cast<std::uint64_t>(values.size()));
+    write_raw(values.data(), values.size() * sizeof(T));
+    pad_to_alignment();
+  }
+
+  /// u64 byte length, the bytes, then zero padding to an 8-byte boundary.
+  void write_string(const std::string& text);
+
+  /// Finalizes the header (payload size + CRC), flushes, and verifies the
+  /// stream survived. Throws StoreError{kWriteFailed} on any failure.
+  void finish();
+
+ private:
+  void pad_to_alignment();
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t crc_ = 0;
+  Header header_;
+  bool finished_ = false;
+};
+
+/// Validated artifact reader. The constructor performs stages 1 and 2
+/// (header + CRC); the typed read_* accessors are stage 3 and bounds-check
+/// every count against the remaining payload, so a corrupt count field can
+/// never trigger a huge allocation or an out-of-bounds read.
+class Reader {
+ public:
+  /// Pass kExpected to reject files of any other kind up front; omit it
+  /// (or pass std::nullopt semantics via the 1-arg form) to accept any
+  /// valid kind and dispatch on kind().
+  explicit Reader(const std::string& path);
+  Reader(const std::string& path, ArtifactKind expected);
+
+  ArtifactKind kind() const noexcept {
+    return static_cast<ArtifactKind>(header_.kind);
+  }
+  std::uint64_t fingerprint() const noexcept { return header_.fingerprint; }
+  const std::string& path() const noexcept { return path_; }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read_raw(&value, sizeof(T));
+    return value;
+  }
+
+  /// Reads a u64 count + elements. `max_count` bounds the count before
+  /// any allocation (independently of the remaining-bytes check).
+  template <typename T>
+  std::vector<T> read_vector(std::uint64_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = read_pod<std::uint64_t>();
+    if (count > max_count)
+      fail_payload("count " + std::to_string(count) + " exceeds limit " +
+                   std::to_string(max_count));
+    if (count > remaining() / sizeof(T))
+      fail_payload("count " + std::to_string(count) +
+                   " overruns the payload");
+    std::vector<T> values(static_cast<std::size_t>(count));
+    read_raw(values.data(), values.size() * sizeof(T));
+    skip_alignment();
+    return values;
+  }
+
+  std::string read_string(std::uint64_t max_bytes);
+
+  /// Stage-3 epilogue: throws StoreError{kBadPayload} unless the payload
+  /// was consumed exactly (trailing garbage rejection).
+  void expect_exhausted() const;
+
+  /// Throws StoreError{kFingerprintMismatch} unless the recomputed
+  /// content fingerprint equals the header's.
+  void verify_fingerprint(std::uint64_t recomputed) const;
+
+  std::uint64_t remaining() const noexcept {
+    return payload_.size() - cursor_;
+  }
+
+ private:
+  void read_raw(void* into, std::size_t bytes);
+  void skip_alignment();
+  [[noreturn]] void fail_payload(const std::string& detail) const;
+
+  std::string path_;
+  Header header_;
+  std::vector<char> payload_;
+  std::size_t cursor_ = 0;
+};
+
+// -- typed artifacts ---------------------------------------------------------
+
+/// A named graph, exactly as svc::GraphStore holds it. `fingerprint` is
+/// computed on write and verified (recomputed over the loaded edges) on
+/// read, so save→load is bit-identical or it throws.
+struct GraphArtifact {
+  std::string name;
+  graph::Vertex n = 0;
+  std::vector<graph::WeightedEdge> edges;
+  std::uint64_t fingerprint = 0;  ///< filled by write_graph / read_graph
+};
+
+std::uint64_t write_graph(const std::string& path, GraphArtifact& artifact);
+GraphArtifact read_graph(const std::string& path);
+
+/// A component labeling produced by one concrete portfolio engine.
+struct CcLabelingArtifact {
+  std::uint64_t graph_fingerprint = 0;
+  core::CcEngine engine = core::CcEngine::kSampling;
+  std::uint64_t seed = 0;
+  std::uint32_t components = 0;
+  std::uint32_t iterations = 0;
+  std::vector<graph::Vertex> labels;  ///< dense in [0, components)
+};
+
+void write_cc_labeling(const std::string& path,
+                       const CcLabelingArtifact& artifact);
+CcLabelingArtifact read_cc_labeling(const std::string& path);
+
+/// Nagamochi-Ibaraki sparse k-certificate of a graph (seq/certificate.hpp).
+struct CertificateArtifact {
+  std::uint64_t graph_fingerprint = 0;
+  graph::Weight k = 0;
+  std::uint32_t rounds = 0;
+  graph::Vertex n = 0;
+  std::vector<graph::WeightedEdge> edges;
+};
+
+void write_certificate(const std::string& path,
+                       const CertificateArtifact& artifact);
+CertificateArtifact read_certificate(const std::string& path);
+
+/// Heavy-edge contraction level (core/preprocess.hpp): the vertex mapping
+/// plus the bound the preprocessing terminated with.
+struct ContractionArtifact {
+  std::uint64_t graph_fingerprint = 0;
+  graph::Vertex new_n = 0;
+  std::uint32_t rounds = 0;
+  graph::Weight degree_bound = 0;
+  std::vector<graph::Vertex> mapping;  ///< original vertex -> [0, new_n)
+};
+
+void write_contraction(const std::string& path,
+                       const ContractionArtifact& artifact);
+ContractionArtifact read_contraction(const std::string& path);
+
+/// Canonical file name of an artifact: "<16-hex-fingerprint>.<tag>.camc"
+/// where tag is "graph", "cc", "cert", "contraction", or "results".
+std::string artifact_file_name(std::uint64_t fingerprint, ArtifactKind kind);
+
+}  // namespace camc::store

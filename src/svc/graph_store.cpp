@@ -16,9 +16,13 @@ std::shared_ptr<const StoredGraph> GraphStore::put(
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(stored->name);
   if (it != index_.end()) {
+    // Replacing a name drops the old graph — that is an eviction like any
+    // other, and must count as one or the eviction gauge drifts from the
+    // store's real churn under re-loads.
     stats_.resident_bytes -= (*it->second)->resident_bytes();
     lru_.erase(it->second);
     index_.erase(it);
+    ++stats_.evictions;
   }
   lru_.push_front(stored);
   index_[stored->name] = lru_.begin();

@@ -1,0 +1,204 @@
+#include "svc/persist.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "store/store.hpp"
+
+namespace camc::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fixed-width result record; the variable-length min_cut side vector
+/// follows each record that declares side_valid.
+struct ResultRecord {
+  std::uint64_t graph_fingerprint = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t engine = 0;
+  std::uint64_t params_hash = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t value = 0;
+  std::uint32_t components = 0;
+  std::uint32_t largest_component = 0;
+  std::uint32_t iterations = 0;
+  std::uint32_t trials = 0;
+  std::uint32_t side_valid = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(ResultRecord) == 64);
+
+constexpr std::uint32_t kQueryKindCount = 4;
+
+std::string results_sibling(const std::string& graph_path,
+                            std::uint64_t fingerprint) {
+  return (fs::path(graph_path).parent_path() /
+          store::artifact_file_name(fingerprint,
+                                    store::ArtifactKind::kResultSet))
+      .string();
+}
+
+}  // namespace
+
+void save_results(
+    const std::string& path, std::uint64_t graph_fingerprint,
+    const std::vector<std::pair<CacheKey, QueryResult>>& entries) {
+  store::Writer writer(path, store::ArtifactKind::kResultSet,
+                       graph_fingerprint);
+  writer.write_pod(static_cast<std::uint64_t>(entries.size()));
+  for (const auto& [key, result] : entries) {
+    ResultRecord record;
+    record.graph_fingerprint = key.graph_fingerprint;
+    record.kind = static_cast<std::uint32_t>(key.kind);
+    record.engine = static_cast<std::uint32_t>(result.engine);
+    record.params_hash = key.params_hash;
+    record.seed = key.seed;
+    record.value = result.value;
+    record.components = result.components;
+    record.largest_component = result.largest_component;
+    record.iterations = result.iterations;
+    record.trials = result.trials;
+    record.side_valid = result.side_valid ? 1 : 0;
+    writer.write_pod(record);
+    writer.write_vector(result.side_valid ? result.side
+                                          : std::vector<graph::Vertex>{});
+  }
+  writer.finish();
+}
+
+std::vector<std::pair<CacheKey, QueryResult>> load_results(
+    const std::string& path) {
+  store::Reader reader(path, store::ArtifactKind::kResultSet);
+  const std::uint64_t count = reader.read_pod<std::uint64_t>();
+  // Each entry is at least one record + an empty side vector's count.
+  if (count > reader.remaining() / (sizeof(ResultRecord) + 8))
+    throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                            "entry count overruns the payload");
+  std::vector<std::pair<CacheKey, QueryResult>> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto record = reader.read_pod<ResultRecord>();
+    if (record.graph_fingerprint != reader.fingerprint())
+      throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                              "entry keyed to a different graph");
+    if (record.kind >= kQueryKindCount)
+      throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                              "unknown query kind " +
+                                  std::to_string(record.kind));
+    if (record.engine >= core::kCcEngineCount)
+      throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                              "unknown cc engine " +
+                                  std::to_string(record.engine));
+    if (record.side_valid > 1 || record.pad != 0)
+      throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                              "malformed result record");
+    CacheKey key;
+    key.graph_fingerprint = record.graph_fingerprint;
+    key.kind = static_cast<QueryKind>(record.kind);
+    key.params_hash = record.params_hash;
+    key.seed = record.seed;
+    QueryResult result;
+    result.value = record.value;
+    result.components = record.components;
+    result.largest_component = record.largest_component;
+    result.iterations = record.iterations;
+    result.trials = record.trials;
+    result.engine = static_cast<core::CcEngine>(record.engine);
+    result.side = reader.read_vector<graph::Vertex>(
+        std::numeric_limits<graph::Vertex>::max());
+    result.side_valid = record.side_valid != 0;
+    if (!result.side_valid && !result.side.empty())
+      throw store::StoreError(store::StoreErrc::kBadPayload, path,
+                              "side vector on a side-less result");
+    entries.emplace_back(key, std::move(result));
+  }
+  reader.expect_exhausted();
+  return entries;
+}
+
+SaveReport save_graph_bundle(const std::string& dir, const StoredGraph& graph,
+                             const ResultCache& cache) {
+  std::error_code mkdir_error;
+  fs::create_directories(dir, mkdir_error);
+  if (mkdir_error)
+    throw store::StoreError(store::StoreErrc::kCannotOpen, dir,
+                            "cannot create store directory: " +
+                                mkdir_error.message());
+  SaveReport report;
+  report.fingerprint = graph.fingerprint;
+  store::GraphArtifact artifact;
+  artifact.name = graph.name;
+  artifact.n = graph.n;
+  artifact.edges = graph.edges;
+  report.graph_path =
+      (fs::path(dir) / store::artifact_file_name(
+                           graph.fingerprint, store::ArtifactKind::kGraph))
+          .string();
+  store::write_graph(report.graph_path, artifact);
+
+  const auto entries = cache.entries_for(graph.fingerprint);
+  if (!entries.empty()) {
+    report.results_path = results_sibling(report.graph_path, graph.fingerprint);
+    save_results(report.results_path, graph.fingerprint, entries);
+    report.results_saved = entries.size();
+  }
+  return report;
+}
+
+LoadReport load_graph_bundle(const std::string& graph_path,
+                             const std::string& name, GraphStore& store,
+                             ResultCache& cache) {
+  store::GraphArtifact artifact = store::read_graph(graph_path);
+  LoadReport report;
+  report.graph = store.put(name.empty() ? artifact.name : name, artifact.n,
+                           std::move(artifact.edges));
+
+  const std::string results_path =
+      results_sibling(graph_path, artifact.fingerprint);
+  std::error_code stat_error;
+  if (!fs::exists(results_path, stat_error)) return report;
+  try {
+    // Seed oldest-first so the cache's recency order matches the saved
+    // one (entries are stored most recently used first).
+    auto entries = load_results(results_path);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+      cache.put(it->first, std::move(it->second));
+    report.results_loaded = entries.size();
+  } catch (const store::StoreError& error) {
+    // A bad results file only costs warm hits, not correctness: the graph
+    // itself is already verified and staged.
+    report.results_error = error.what();
+  }
+  return report;
+}
+
+WarmRestartReport warm_restart(const std::string& dir, GraphStore& store,
+                               ResultCache& cache) {
+  WarmRestartReport report;
+  std::error_code dir_error;
+  fs::directory_iterator it(dir, dir_error);
+  if (dir_error) return report;  // fresh store dir: nothing to restore
+  std::vector<std::string> graph_files;
+  for (const auto& entry : it) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() > 11 && file.ends_with(".graph.camc"))
+      graph_files.push_back(entry.path().string());
+  }
+  // Deterministic boot order whatever the directory iteration order.
+  std::sort(graph_files.begin(), graph_files.end());
+  for (const std::string& path : graph_files) {
+    try {
+      const LoadReport loaded = load_graph_bundle(path, "", store, cache);
+      ++report.graphs;
+      report.results += loaded.results_loaded;
+      if (!loaded.results_error.empty())
+        report.skipped.push_back(loaded.results_error);
+    } catch (const store::StoreError& error) {
+      report.skipped.push_back(error.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace camc::svc

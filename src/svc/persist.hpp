@@ -1,0 +1,84 @@
+#pragma once
+
+// Service persistence: graphs and their cached query results as
+// camc::store artifacts, and the warm-restart path that rehydrates a
+// fresh process from a store directory.
+//
+// On disk, one staged graph becomes two files in the store directory,
+// both named by its content fingerprint:
+//
+//   <16-hex-fp>.graph.camc     the named edge list (store::GraphArtifact)
+//   <16-hex-fp>.results.camc   every ResultCache entry for that graph
+//
+// Saving is idempotent (same graph → same file names, rewritten
+// atomically enough for a single writer); loading verifies magic,
+// version, CRC, and the recomputed content fingerprint before anything
+// reaches the GraphStore, so a corrupt store file is a structured
+// StoreError — never a partially staged graph. Warm restart is
+// best-effort per file: a bad artifact is skipped and reported, the rest
+// of the directory still loads (a server should come up with nine good
+// graphs rather than die on the tenth).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/graph_store.hpp"
+#include "svc/query.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+
+/// Writes the cached (key, result) pairs for one graph as a kResultSet
+/// artifact. Entries are stored most recently used first so a rehydrated
+/// cache ends up with the same recency order.
+void save_results(const std::string& path, std::uint64_t graph_fingerprint,
+                  const std::vector<std::pair<CacheKey, QueryResult>>& entries);
+
+/// Loads a kResultSet artifact. Every entry's key must carry the header's
+/// graph fingerprint (StoreError{kBadPayload} otherwise).
+std::vector<std::pair<CacheKey, QueryResult>> load_results(
+    const std::string& path);
+
+struct SaveReport {
+  std::uint64_t fingerprint = 0;
+  std::string graph_path;
+  std::string results_path;  ///< empty when no cached results existed
+  std::size_t results_saved = 0;
+};
+
+/// Saves one staged graph (and its cached results) under `dir`, creating
+/// the directory if needed. Throws StoreError on any write failure.
+SaveReport save_graph_bundle(const std::string& dir, const StoredGraph& graph,
+                             const ResultCache& cache);
+
+/// Loads one graph artifact (path to a .graph.camc file) into the store
+/// under `name` (empty = the name saved in the artifact), then pre-seeds
+/// the cache from the sibling results artifact if one exists. Throws
+/// StoreError if the graph artifact is invalid; a corrupt *results* file
+/// is reported in the returned report but does not fail the graph load.
+struct LoadReport {
+  std::shared_ptr<const StoredGraph> graph;
+  std::size_t results_loaded = 0;
+  std::string results_error;  ///< nonempty when the results file was bad
+};
+
+LoadReport load_graph_bundle(const std::string& graph_path,
+                             const std::string& name, GraphStore& store,
+                             ResultCache& cache);
+
+struct WarmRestartReport {
+  std::size_t graphs = 0;
+  std::size_t results = 0;
+  /// One "path: error" line per artifact that failed to load.
+  std::vector<std::string> skipped;
+};
+
+/// Rehydrates every *.graph.camc under `dir` (plus result sets) into the
+/// store and cache. A missing directory is an empty restart, not an
+/// error — first boot with --store-dir pointing at a fresh path.
+WarmRestartReport warm_restart(const std::string& dir, GraphStore& store,
+                               ResultCache& cache);
+
+}  // namespace camc::svc

@@ -29,8 +29,9 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t entries = 0;  ///< current size
+    std::uint64_t evictions = 0;      ///< capacity (LRU) evictions only
+    std::uint64_t invalidations = 0;  ///< entries dropped by invalidate_graph
+    std::uint64_t entries = 0;        ///< current size (gauge == container)
 
     double hit_rate() const noexcept {
       const std::uint64_t lookups = hits + misses;
@@ -69,10 +70,12 @@ class ResultCache {
     entries_.emplace_front(key, std::move(result));
     index_[key] = entries_.begin();
     ++stats_.insertions;
+    ++stats_.entries;
     if (entries_.size() > capacity_) {
       index_.erase(entries_.back().first);
       entries_.pop_back();
       ++stats_.evictions;
+      --stats_.entries;
     }
   }
 
@@ -89,14 +92,33 @@ class ResultCache {
         ++it;
       }
     }
+    stats_.invalidations += dropped;
+    stats_.entries -= dropped;
     return dropped;
+  }
+
+  /// Snapshot of every entry for one graph, most recently used first
+  /// (persistence: svc/persist.hpp saves these as a result-set artifact).
+  std::vector<std::pair<CacheKey, QueryResult>> entries_for(
+      std::uint64_t graph_fingerprint) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<CacheKey, QueryResult>> out;
+    for (const Entry& entry : entries_)
+      if (entry.first.graph_fingerprint == graph_fingerprint)
+        out.push_back(entry);
+    return out;
   }
 
   Stats stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    Stats out = stats_;
-    out.entries = entries_.size();
-    return out;
+    return stats_;
+  }
+
+  /// The real container size, for gauge-vs-container assertions in the
+  /// stats tests (Stats::entries must always equal this).
+  std::size_t container_size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
   }
 
   std::size_t capacity() const noexcept { return capacity_; }

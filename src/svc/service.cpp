@@ -191,6 +191,7 @@ Json Service::handle_request(const Json& request, const Emit& emit,
   if (op == "load") return handle_load(request);
   if (op == "gen") return handle_gen(request);
   if (op == "evict") return handle_evict(request);
+  if (op == "save") return handle_save(request);
   if (op == "stats")
     return base_response(id).set("status", "ok").set("result", stats_json());
   if (op == "ping") return base_response(id).set("status", "ok");
@@ -203,10 +204,29 @@ Json Service::handle_request(const Json& request, const Emit& emit,
 
 Json Service::handle_load(const Json& request) {
   const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
-  const std::string& name = request["graph"].as_string();
   const std::string& path = request["path"].as_string();
   const std::string format =
       request.has("format") ? request["format"].as_string() : "edgelist";
+  if (format == "store") {
+    // Store artifacts carry their own name; "graph" overrides it. The
+    // load also pre-seeds the result cache from the sibling results file.
+    const std::string name =
+        request.has("graph") ? request["graph"].as_string() : "";
+    const LoadReport loaded = load_graph_bundle(path, name, store_, cache_);
+    Json result =
+        Json::object()
+            .set("graph", loaded.graph->name)
+            .set("n", static_cast<std::uint64_t>(loaded.graph->n))
+            .set("m", static_cast<std::uint64_t>(loaded.graph->edges.size()))
+            .set("fingerprint", hex64(loaded.graph->fingerprint))
+            .set("results_loaded",
+                 static_cast<std::uint64_t>(loaded.results_loaded));
+    if (!loaded.results_error.empty())
+      result.set("results_error", loaded.results_error);
+    return base_response(id).set("status", "ok").set("result",
+                                                     std::move(result));
+  }
+  const std::string& name = request["graph"].as_string();
   graph::Vertex n = 0;
   std::vector<graph::WeightedEdge> edges;
   if (format == "edgelist") {
@@ -296,6 +316,34 @@ Json Service::handle_evict(const Json& request) {
                          .set("graph", name)
                          .set("cache_entries_dropped",
                               static_cast<std::uint64_t>(dropped)));
+}
+
+Json Service::handle_save(const Json& request) {
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& name = request["graph"].as_string();
+  const std::string dir =
+      request.has("dir") ? request["dir"].as_string() : options_.store_dir;
+  if (dir.empty())
+    throw std::runtime_error(
+        "no store directory: pass \"dir\" or start with --store-dir");
+  const auto graph = store_.get(name);
+  if (!graph) throw std::runtime_error("no such graph '" + name + "'");
+  const SaveReport saved = save_graph_bundle(dir, *graph, cache_);
+  Json result = Json::object()
+                    .set("graph", name)
+                    .set("fingerprint", hex64(saved.fingerprint))
+                    .set("path", saved.graph_path)
+                    .set("results_saved",
+                         static_cast<std::uint64_t>(saved.results_saved));
+  if (!saved.results_path.empty())
+    result.set("results_path", saved.results_path);
+  return base_response(id).set("status", "ok").set("result",
+                                                   std::move(result));
+}
+
+WarmRestartReport Service::warm_restart() {
+  if (options_.store_dir.empty()) return {};
+  return svc::warm_restart(options_.store_dir, store_, cache_);
 }
 
 Json Service::stats_json() const {

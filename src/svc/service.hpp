@@ -14,6 +14,9 @@
 //    "params":{"seed":1,"epsilon":0.2},"timeout_ms":250,"trace":true}
 //   {"id":4,"op":"stats"}     {"id":5,"op":"evict","graph":"g"}
 //   {"id":6,"op":"ping"}      {"id":7,"op":"shutdown"}
+//   {"id":8,"op":"save","graph":"g","dir":"store"}
+//   {"id":9,"op":"load","graph":"g","format":"store",
+//    "path":"store/<fp>.graph.camc"}
 //
 // Unknown request fields are accepted and ignored (forward compatibility).
 // Query names: cc | min_cut | approx_min_cut | sparsify. Query params:
@@ -42,6 +45,7 @@
 
 #include "svc/graph_store.hpp"
 #include "svc/json.hpp"
+#include "svc/persist.hpp"
 #include "svc/query.hpp"
 #include "svc/query_engine.hpp"
 #include "svc/result_cache.hpp"
@@ -58,6 +62,10 @@ struct ServiceOptions {
   /// --cc-engine). kSampling keeps pre-portfolio responses bit-compatible;
   /// kAuto turns on per-graph selection for the whole server.
   core::CcEngine default_cc_engine = core::CcEngine::kSampling;
+  /// Artifact store directory (camc_serve --store-dir): the default "dir"
+  /// of the save op, and the directory warm_restart() rehydrates from.
+  /// Empty disables persistence defaults (save then requires "dir").
+  std::string store_dir;
 };
 
 class Service {
@@ -85,12 +93,17 @@ class Service {
   /// Builds the stats payload (also returned by the "stats" op).
   Json stats_json() const;
 
+  /// Rehydrates GraphStore + ResultCache from options.store_dir (no-op
+  /// when unset). camc_serve calls this once at boot, before serving.
+  WarmRestartReport warm_restart();
+
  private:
   Json handle_request(const Json& request, const Emit& emit, bool& shutdown);
   Json handle_load(const Json& request);
   Json handle_gen(const Json& request);
   bool handle_query(const Json& request, std::uint64_t id, const Emit& emit);
   Json handle_evict(const Json& request);
+  Json handle_save(const Json& request);
 
   ServiceOptions options_;
   GraphStore store_;

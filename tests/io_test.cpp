@@ -1,5 +1,6 @@
 // Edge-list I/O: round trips, comments, optional weights, malformed input.
 
+#include <filesystem>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -180,6 +181,27 @@ TEST(Io, FileRoundTrip) {
   EXPECT_EQ(parsed.n, 4u);
   ASSERT_EQ(parsed.edges.size(), 2u);
   EXPECT_EQ(parsed.edges[1].weight, 9u);
+}
+
+TEST(Io, WriteDetectsABadStream) {
+  // Regression: the writers used to ignore stream state entirely, turning
+  // a full disk into a truncated file the strict reader rejects much
+  // later, far from the cause.
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(write_edge_list(out, 2, {{0, 1, 1}}), std::runtime_error);
+}
+
+TEST(Io, WriteFileDetectsAFullDisk) {
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  try {
+    write_edge_list_file("/dev/full", 2, {{0, 1, 1}});
+    FAIL() << "writing to /dev/full should throw";
+  } catch (const std::runtime_error& error) {
+    // The error must name the path so the operator knows which file died.
+    EXPECT_NE(std::string(error.what()).find("/dev/full"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Corrupt-file rejection: every committed corpus file under
+// tests/corpus/store fails to load with exactly the structured StoreError
+// its name promises, and an exhaustive single-byte-corruption sweep over a
+// freshly written artifact proves a load either throws StoreError or
+// returns the bit-identical graph — never UB, never a partial object.
+// (The sweep runs under the same sanitizer presets as the rest of the
+// suite, so "asan-clean" is part of the assertion.)
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/store.hpp"
+
+namespace camc::store {
+namespace {
+
+const std::string kCorpusDir = std::string(CAMC_CORPUS_DIR) + "/store";
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(StoreCorpus, AnchorLoadsByteExactly) {
+  const GraphArtifact anchor = read_graph(kCorpusDir + "/valid.graph.camc");
+  EXPECT_EQ(anchor.name, "corpus-anchor");
+  EXPECT_EQ(anchor.n, 5u);
+  const std::vector<graph::WeightedEdge> expected = {
+      {0, 1, 3}, {1, 2, 1}, {2, 3, 7}, {3, 4, 2}, {0, 4, 5}};
+  EXPECT_EQ(anchor.edges, expected);
+  // Pins the fingerprint function AND the little-endian on-disk layout:
+  // a platform or layout change that altered either would fail here.
+  EXPECT_EQ(anchor.fingerprint, 0x765a1f2768d0a9d6ull);
+}
+
+TEST(StoreCorpus, EveryCorruptFileFailsWithItsNamedError) {
+  const struct {
+    const char* file;
+    StoreErrc expected;
+  } cases[] = {
+      {"truncated-header.camc", StoreErrc::kTruncated},
+      {"truncated-payload.camc", StoreErrc::kTruncated},
+      {"bad-magic.camc", StoreErrc::kBadMagic},
+      {"bad-version.camc", StoreErrc::kBadVersion},
+      {"bad-kind.camc", StoreErrc::kBadKind},
+      {"bit-flip.camc", StoreErrc::kBadCrc},
+      {"fingerprint-mismatch.camc", StoreErrc::kFingerprintMismatch},
+      {"trailing-bytes.camc", StoreErrc::kBadPayload},
+      {"bad-count.camc", StoreErrc::kBadPayload},
+  };
+  for (const auto& c : cases) {
+    const std::string path = kCorpusDir + "/" + c.file;
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    try {
+      read_graph(path);
+      FAIL() << c.file << " loaded despite its corruption";
+    } catch (const StoreError& error) {
+      EXPECT_EQ(error.code(), c.expected) << c.file << ": " << error.what();
+      EXPECT_EQ(error.path(), path) << c.file;
+    } catch (const std::exception& error) {
+      FAIL() << c.file << " threw a non-StoreError: " << error.what();
+    }
+  }
+}
+
+TEST(StoreCorpus, EveryTruncationLengthIsRejectedStructurally) {
+  const std::vector<char> bytes = slurp(kCorpusDir + "/valid.graph.camc");
+  const std::string path = ::testing::TempDir() + "/truncate-sweep.camc";
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    spit(path, std::vector<char>(bytes.begin(), bytes.begin() + length));
+    try {
+      read_graph(path);
+      FAIL() << "length " << length << " loaded";
+    } catch (const StoreError& error) {
+      EXPECT_EQ(error.code(), StoreErrc::kTruncated) << "length " << length;
+    }
+  }
+}
+
+TEST(StoreCorpus, EverySingleByteCorruptionIsRejectedOrHarmless) {
+  // Flip one byte at every offset. The only acceptable outcomes are a
+  // StoreError or a graph identical to the anchor (flips confined to the
+  // reserved header words change nothing the format trusts).
+  const std::vector<char> bytes = slurp(kCorpusDir + "/valid.graph.camc");
+  const GraphArtifact anchor = read_graph(kCorpusDir + "/valid.graph.camc");
+  const std::string path = ::testing::TempDir() + "/byteflip-sweep.camc";
+  std::size_t rejected = 0, harmless = 0;
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    auto copy = bytes;
+    copy[offset] ^= 0x40;
+    spit(path, copy);
+    try {
+      const GraphArtifact loaded = read_graph(path);
+      EXPECT_EQ(loaded.name, anchor.name) << "offset " << offset;
+      EXPECT_EQ(loaded.n, anchor.n) << "offset " << offset;
+      EXPECT_EQ(loaded.edges, anchor.edges) << "offset " << offset;
+      EXPECT_EQ(loaded.fingerprint, anchor.fingerprint) << "offset " << offset;
+      ++harmless;
+    } catch (const StoreError&) {
+      ++rejected;
+    } catch (const std::exception& error) {
+      FAIL() << "offset " << offset << ": non-StoreError " << error.what();
+    }
+  }
+  // Only the 24 reserved header bytes are allowed to be harmless.
+  EXPECT_LE(harmless, 24u);
+  EXPECT_EQ(rejected + harmless, bytes.size());
+}
+
+TEST(StoreCorpus, WrongArtifactPathNeverStagesAPartialGraph) {
+  // A failed load must leave no observable side effect: read_graph either
+  // returns a complete artifact or throws before constructing one.
+  for (const char* file : {"bit-flip.camc", "truncated-payload.camc",
+                           "fingerprint-mismatch.camc"}) {
+    GraphArtifact artifact;  // stays default-initialized on throw
+    try {
+      artifact = read_graph(kCorpusDir + "/" + std::string(file));
+      FAIL() << file;
+    } catch (const StoreError&) {
+      EXPECT_EQ(artifact.n, 0u) << file;
+      EXPECT_TRUE(artifact.edges.empty()) << file;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camc::store

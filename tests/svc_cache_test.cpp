@@ -103,6 +103,57 @@ TEST(SvcCache, InvalidateGraphDropsOnlyThatGraph) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(SvcCache, InvalidationsAreCountedSeparatelyFromEvictions) {
+  ResultCache cache(8);
+  cache.put(key_of(1, QueryKind::kCc, 1), value_of(1));
+  cache.put(key_of(1, QueryKind::kCc, 2), value_of(2));
+  cache.put(key_of(2, QueryKind::kCc, 1), value_of(3));
+  EXPECT_EQ(cache.invalidate_graph(1), 2u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // capacity evictions only
+  EXPECT_EQ(cache.invalidate_graph(99), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(SvcCache, EntriesGaugeTracksContainerAcrossEveryPath) {
+  // The gauge is maintained incrementally; it must equal the real
+  // container size after every mutation, or stats drift silently.
+  ResultCache cache(3);
+  const auto in_sync = [&cache] {
+    return cache.stats().entries ==
+           static_cast<std::uint64_t>(cache.container_size());
+  };
+  EXPECT_TRUE(in_sync());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cache.put(key_of(1, QueryKind::kCc, seed), value_of(seed));
+    EXPECT_TRUE(in_sync()) << "put seed " << seed;
+  }
+  EXPECT_EQ(cache.stats().entries, 3u);  // two LRU evictions happened
+  cache.put(key_of(1, QueryKind::kCc, 5), value_of(50));  // refresh
+  EXPECT_TRUE(in_sync());
+  cache.get(key_of(1, QueryKind::kCc, 4));  // hit
+  cache.get(key_of(1, QueryKind::kCc, 1));  // miss
+  EXPECT_TRUE(in_sync());
+  cache.invalidate_graph(1);
+  EXPECT_TRUE(in_sync());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.container_size(), 0u);
+}
+
+TEST(SvcCache, EntriesForReturnsMostRecentlyUsedFirst) {
+  ResultCache cache(8);
+  cache.put(key_of(7, QueryKind::kCc, 1), value_of(1));
+  cache.put(key_of(7, QueryKind::kCc, 2), value_of(2));
+  cache.put(key_of(8, QueryKind::kCc, 3), value_of(3));
+  cache.get(key_of(7, QueryKind::kCc, 1));  // 1 becomes MRU
+  const auto entries = cache.entries_for(7);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].second.value, 1u);
+  EXPECT_EQ(entries[1].second.value, 2u);
+  EXPECT_TRUE(cache.entries_for(99).empty());
+}
+
 TEST(SvcCache, ZeroCapacityDisables) {
   ResultCache cache(0);
   const CacheKey key = key_of(1, QueryKind::kCc, 1);

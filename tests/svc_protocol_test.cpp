@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -270,6 +271,122 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
 
   EXPECT_FALSE(service.handle_line("{\"id\":9,\"op\":\"shutdown\"}", emit));
   EXPECT_EQ(emitted.wait_for_id(9)["status"].as_string(), "ok");
+}
+
+TEST(SvcProtocol, SaveAndLoadStoreRoundTrip) {
+  // The save/load golden pairs mirrored in docs/PROTOCOL.md: the store
+  // directory is environment-specific, so the expected lines are assembled
+  // around it, but every byte of both responses is pinned.
+  const std::string dir = ::testing::TempDir() + "/svc_protocol_store";
+  std::filesystem::remove_all(dir);
+
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  service.handle_line(
+      "{\"id\":1,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+      "\"n\":300,\"m\":1200,\"seed\":5}",
+      emit);
+  const std::string fp =
+      emitted.wait_for_id(1)["result"]["fingerprint"].as_string();
+  service.handle_line(
+      "{\"id\":2,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"seed\":7}}",
+      emit);
+  EXPECT_EQ(emitted.wait_for_id(2)["status"].as_string(), "ok");
+
+  // save: graph + its one cached result land in dir, named by fingerprint.
+  service.handle_line("{\"id\":10,\"op\":\"save\",\"graph\":\"g\",\"dir\":\"" +
+                          dir + "\"}",
+                      emit);
+  const Json saved = emitted.wait_for_id(10);
+  const std::string graph_path = dir + "/" + fp + ".graph.camc";
+  EXPECT_EQ(saved.dump(),
+            "{\"v\":1,\"id\":10,\"status\":\"ok\",\"result\":{"
+            "\"graph\":\"g\",\"fingerprint\":\"" + fp + "\","
+            "\"path\":\"" + graph_path + "\",\"results_saved\":1,"
+            "\"results_path\":\"" + dir + "/" + fp + ".results.camc\"}}");
+
+  // Evict, then rehydrate from the artifact: the result cache comes back
+  // with the graph, so the repeated query is a hit without recomputation.
+  service.handle_line("{\"id\":11,\"op\":\"evict\",\"graph\":\"g\"}", emit);
+  EXPECT_EQ(emitted.wait_for_id(11)["status"].as_string(), "ok");
+  service.handle_line(
+      "{\"id\":12,\"op\":\"load\",\"format\":\"store\",\"path\":\"" +
+          graph_path + "\"}",
+      emit);
+  const Json loaded = emitted.wait_for_id(12);
+  EXPECT_EQ(loaded.dump(),
+            "{\"v\":1,\"id\":12,\"status\":\"ok\",\"result\":{"
+            "\"graph\":\"g\",\"n\":300,\"m\":1200,"
+            "\"fingerprint\":\"" + fp + "\",\"results_loaded\":1}}");
+  service.handle_line(
+      "{\"id\":13,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\","
+      "\"params\":{\"seed\":7}}",
+      emit);
+  const Json warm = emitted.wait_for_id(13);
+  EXPECT_EQ(warm["status"].as_string(), "ok");
+  EXPECT_TRUE(warm["cached"].as_bool()) << warm.dump();
+
+  // save without a dir (and no --store-dir default) is a structured error,
+  // as is loading a path that is not a store artifact.
+  service.handle_line("{\"id\":14,\"op\":\"save\",\"graph\":\"g\"}", emit);
+  EXPECT_EQ(emitted.wait_for_id(14)["status"].as_string(), "error");
+  service.handle_line(
+      "{\"id\":15,\"op\":\"load\",\"format\":\"store\",\"path\":\"" + dir +
+          "/missing.graph.camc\"}",
+      emit);
+  const Json missing = emitted.wait_for_id(15);
+  EXPECT_EQ(missing["status"].as_string(), "error");
+  EXPECT_NE(missing["error"].as_string().find("cannot-open"),
+            std::string::npos)
+      << missing.dump();
+
+  service.handle_line("{\"id\":16,\"op\":\"shutdown\"}", emit);
+  emitted.wait_for_id(16);
+}
+
+TEST(SvcProtocol, WarmRestartRehydratesANewService) {
+  const std::string dir = ::testing::TempDir() + "/svc_protocol_warm";
+  std::filesystem::remove_all(dir);
+  ServiceOptions options;
+  options.engine.threads = 2;
+  options.store_dir = dir;
+
+  std::string fp;
+  {
+    Service service(options);
+    Emitted emitted;
+    const auto emit = emitted.sink();
+    service.handle_line(
+        "{\"id\":1,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+        "\"n\":200,\"m\":600,\"seed\":9}",
+        emit);
+    fp = emitted.wait_for_id(1)["result"]["fingerprint"].as_string();
+    service.handle_line(
+        "{\"id\":2,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\"}", emit);
+    EXPECT_EQ(emitted.wait_for_id(2)["status"].as_string(), "ok");
+    // "dir" defaults to options.store_dir.
+    service.handle_line("{\"id\":3,\"op\":\"save\",\"graph\":\"g\"}", emit);
+    EXPECT_EQ(emitted.wait_for_id(3)["status"].as_string(), "ok");
+    service.drain();
+  }
+
+  Service reborn(options);
+  const WarmRestartReport report = reborn.warm_restart();
+  EXPECT_EQ(report.graphs, 1u);
+  EXPECT_EQ(report.results, 1u);
+  EXPECT_TRUE(report.skipped.empty());
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  reborn.handle_line(
+      "{\"id\":1,\"op\":\"query\",\"graph\":\"g\",\"query\":\"cc\"}", emit);
+  const Json warm = emitted.wait_for_id(1);
+  EXPECT_EQ(warm["status"].as_string(), "ok");
+  EXPECT_TRUE(warm["cached"].as_bool()) << warm.dump();
 }
 
 TEST(SvcProtocol, ServeBinaryEndToEnd) {

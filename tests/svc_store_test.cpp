@@ -1,0 +1,294 @@
+// GraphStore stats-accounting regressions and the svc persistence layer:
+// save/load bundles, result-cache rehydration with preserved recency, and
+// best-effort warm restart over a store directory. The "Svc" suite prefix
+// routes these through the tsan preset's filter with the other service
+// tests.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "store/store.hpp"
+#include "svc/graph_store.hpp"
+#include "svc/persist.hpp"
+#include "svc/result_cache.hpp"
+
+namespace camc::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<graph::WeightedEdge> kEdges = {
+    {0, 1, 1}, {1, 2, 2}, {2, 0, 3}};
+
+CacheKey key_of(std::uint64_t graph, std::uint64_t seed) {
+  CacheKey key;
+  key.graph_fingerprint = graph;
+  key.kind = QueryKind::kCc;
+  key.params_hash = params_fingerprint(QueryKind::kCc, {});
+  key.seed = seed;
+  return key;
+}
+
+QueryResult value_of(std::uint64_t value) {
+  QueryResult result;
+  result.value = value;
+  result.components = 1;
+  result.engine = core::CcEngine::kFastSv;
+  return result;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// -- GraphStore stats accounting ---------------------------------------------
+
+TEST(SvcGraphStore, ReplacingANameCountsAsAnEviction) {
+  // Regression: put() over an existing name dropped the old graph without
+  // bumping stats_.evictions, so the gauge understated real churn.
+  GraphStore store;
+  store.put("g", 3, kEdges);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  store.put("g", 3, {{0, 1, 9}});  // same name, different graph
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.resident_graphs, 1u);
+}
+
+TEST(SvcGraphStore, GaugesMatchRealContainersAcrossEveryPath) {
+  GraphStore store;
+  const auto in_sync = [&store] {
+    const auto stats = store.stats();
+    std::uint64_t bytes = 0;
+    for (const std::string& name : store.names())
+      bytes += store.get(name)->resident_bytes();
+    return stats.resident_graphs == store.names().size() &&
+           stats.resident_bytes == bytes;
+  };
+  EXPECT_TRUE(in_sync());
+  store.put("a", 3, kEdges);
+  store.put("b", 2, {{0, 1, 1}});
+  EXPECT_TRUE(in_sync());
+  store.put("a", 3, kEdges);  // replacement
+  EXPECT_TRUE(in_sync());
+  EXPECT_TRUE(store.evict("b").has_value());
+  EXPECT_FALSE(store.evict("b").has_value());  // double-evict is a no-op
+  EXPECT_TRUE(in_sync());
+  EXPECT_EQ(store.stats().resident_graphs, 1u);
+}
+
+TEST(SvcGraphStore, ReplacementAccountsBytesOfTheDroppedGraph) {
+  GraphStore store;
+  store.put("g", 3, kEdges);
+  const std::uint64_t bytes_full = store.stats().resident_bytes;
+  store.put("g", 2, {{0, 1, 1}});  // smaller replacement
+  EXPECT_LT(store.stats().resident_bytes, bytes_full);
+  store.evict("g");
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+  EXPECT_EQ(store.stats().resident_graphs, 0u);
+}
+
+// -- persistence bundles -----------------------------------------------------
+
+TEST(SvcPersist, SaveLoadBundleRoundTripsGraphAndResults) {
+  const std::string dir = fresh_dir("persist-rt");
+  GraphStore store;
+  ResultCache cache(16);
+  const auto graph = store.put("ring", 3, kEdges);
+  cache.put(key_of(graph->fingerprint, 1), value_of(11));
+  cache.put(key_of(graph->fingerprint, 2), value_of(22));
+  cache.put(key_of(999, 1), value_of(33));  // other graph: not saved
+
+  const SaveReport saved = save_graph_bundle(dir, *graph, cache);
+  EXPECT_EQ(saved.fingerprint, graph->fingerprint);
+  EXPECT_EQ(saved.results_saved, 2u);
+  EXPECT_TRUE(fs::exists(saved.graph_path));
+  EXPECT_TRUE(fs::exists(saved.results_path));
+
+  GraphStore store2;
+  ResultCache cache2(16);
+  const LoadReport loaded =
+      load_graph_bundle(saved.graph_path, "", store2, cache2);
+  ASSERT_NE(loaded.graph, nullptr);
+  EXPECT_EQ(loaded.graph->name, "ring");
+  EXPECT_EQ(loaded.graph->n, 3u);
+  EXPECT_EQ(loaded.graph->edges, kEdges);
+  EXPECT_EQ(loaded.graph->fingerprint, graph->fingerprint);
+  EXPECT_EQ(loaded.results_loaded, 2u);
+  EXPECT_TRUE(loaded.results_error.empty());
+  EXPECT_EQ(cache2.get(key_of(graph->fingerprint, 1))->value, 11u);
+  EXPECT_EQ(cache2.get(key_of(graph->fingerprint, 2))->value, 22u);
+  EXPECT_FALSE(cache2.get(key_of(999, 1)).has_value());
+}
+
+TEST(SvcPersist, LoadOverridesTheStoredName) {
+  const std::string dir = fresh_dir("persist-rename");
+  GraphStore store;
+  ResultCache cache(4);
+  const auto graph = store.put("original", 3, kEdges);
+  const SaveReport saved = save_graph_bundle(dir, *graph, cache);
+  GraphStore store2;
+  const LoadReport loaded =
+      load_graph_bundle(saved.graph_path, "renamed", store2, cache);
+  EXPECT_EQ(loaded.graph->name, "renamed");
+  EXPECT_NE(store2.get("renamed"), nullptr);
+  EXPECT_EQ(store2.get("original"), nullptr);
+}
+
+TEST(SvcPersist, RehydratedCachePreservesRecencyOrder) {
+  const std::string dir = fresh_dir("persist-recency");
+  GraphStore store;
+  ResultCache cache(16);
+  const auto graph = store.put("g", 3, kEdges);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    cache.put(key_of(graph->fingerprint, seed), value_of(seed));
+  cache.get(key_of(graph->fingerprint, 1));  // 1 becomes MRU: order 1,3,2
+  const SaveReport saved = save_graph_bundle(dir, *graph, cache);
+
+  // Reload into a cache of capacity 2: the LRU entry (seed 2) must be the
+  // one evicted during seeding, exactly as in the live cache.
+  GraphStore store2;
+  ResultCache cache2(2);
+  load_graph_bundle(saved.graph_path, "", store2, cache2);
+  EXPECT_TRUE(cache2.get(key_of(graph->fingerprint, 1)).has_value());
+  EXPECT_TRUE(cache2.get(key_of(graph->fingerprint, 3)).has_value());
+  EXPECT_FALSE(cache2.get(key_of(graph->fingerprint, 2)).has_value());
+}
+
+TEST(SvcPersist, CorruptResultsFileDoesNotFailTheGraphLoad) {
+  const std::string dir = fresh_dir("persist-badresults");
+  GraphStore store;
+  ResultCache cache(4);
+  const auto graph = store.put("g", 3, kEdges);
+  cache.put(key_of(graph->fingerprint, 1), value_of(1));
+  const SaveReport saved = save_graph_bundle(dir, *graph, cache);
+  {
+    std::fstream corrupt(saved.results_path,
+                         std::ios::in | std::ios::out | std::ios::binary);
+    corrupt.seekp(70);
+    corrupt.put('\xFF');  // payload bit damage -> kBadCrc on load
+  }
+  GraphStore store2;
+  ResultCache cache2(4);
+  const LoadReport loaded =
+      load_graph_bundle(saved.graph_path, "", store2, cache2);
+  ASSERT_NE(loaded.graph, nullptr);
+  EXPECT_EQ(loaded.results_loaded, 0u);
+  EXPECT_FALSE(loaded.results_error.empty());
+  EXPECT_EQ(cache2.container_size(), 0u);
+}
+
+TEST(SvcPersist, ResultsKeyedToAnotherGraphAreRejected) {
+  const std::string dir = fresh_dir("persist-crosskey");
+  fs::create_directories(dir);
+  const std::string path = dir + "/cross.results.camc";
+  // A record whose key fingerprint disagrees with the file header's.
+  save_results(path, /*graph_fingerprint=*/7,
+               {{key_of(7, 1), value_of(1)}});
+  std::vector<std::pair<CacheKey, QueryResult>> ok = load_results(path);
+  EXPECT_EQ(ok.size(), 1u);
+  save_results(path, /*graph_fingerprint=*/8, {{key_of(7, 1), value_of(1)}});
+  try {
+    load_results(path);
+    FAIL() << "cross-keyed results must not load";
+  } catch (const store::StoreError& error) {
+    EXPECT_EQ(error.code(), store::StoreErrc::kBadPayload);
+  }
+}
+
+TEST(SvcPersist, ResultsRoundTripMinCutSides) {
+  const std::string dir = fresh_dir("persist-sides");
+  fs::create_directories(dir);
+  const std::string path = dir + "/sides.results.camc";
+  QueryResult with_side = value_of(4);
+  with_side.side = {0, 2};
+  with_side.side_valid = true;
+  CacheKey key = key_of(5, 9);
+  key.kind = QueryKind::kMinCut;
+  key.params_hash = params_fingerprint(QueryKind::kMinCut, {});
+  save_results(path, 5, {{key, with_side}});
+  const auto loaded = load_results(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0].second.side_valid);
+  EXPECT_EQ(loaded[0].second.side, (std::vector<graph::Vertex>{0, 2}));
+  EXPECT_EQ(loaded[0].first.kind, QueryKind::kMinCut);
+}
+
+// -- warm restart ------------------------------------------------------------
+
+TEST(SvcPersist, WarmRestartRehydratesEveryGoodArtifact) {
+  const std::string dir = fresh_dir("persist-warm");
+  GraphStore store;
+  ResultCache cache(16);
+  const auto a = store.put("alpha", 3, kEdges);
+  const auto b = store.put("beta", 2, {{0, 1, 4}});
+  cache.put(key_of(a->fingerprint, 1), value_of(1));
+  save_graph_bundle(dir, *a, cache);
+  save_graph_bundle(dir, *b, cache);
+
+  GraphStore store2;
+  ResultCache cache2(16);
+  const WarmRestartReport report = warm_restart(dir, store2, cache2);
+  EXPECT_EQ(report.graphs, 2u);
+  EXPECT_EQ(report.results, 1u);
+  EXPECT_TRUE(report.skipped.empty());
+  EXPECT_NE(store2.get("alpha"), nullptr);
+  EXPECT_NE(store2.get("beta"), nullptr);
+  EXPECT_TRUE(cache2.get(key_of(a->fingerprint, 1)).has_value());
+}
+
+TEST(SvcPersist, WarmRestartSkipsBadFilesAndKeepsGoing) {
+  const std::string dir = fresh_dir("persist-warm-bad");
+  GraphStore store;
+  ResultCache cache(4);
+  const auto good = store.put("good", 3, kEdges);
+  save_graph_bundle(dir, *good, cache);
+  {
+    // Long enough to hold a full header so the failure is the magic check,
+    // not mere truncation.
+    std::ofstream bad(dir + "/0000000000000bad.graph.camc",
+                      std::ios::binary);
+    bad << std::string(100, 'x');
+  }
+  GraphStore store2;
+  ResultCache cache2(4);
+  const WarmRestartReport report = warm_restart(dir, store2, cache2);
+  EXPECT_EQ(report.graphs, 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("bad-magic"), std::string::npos)
+      << report.skipped[0];
+  EXPECT_NE(store2.get("good"), nullptr);
+}
+
+TEST(SvcPersist, WarmRestartOnAMissingDirectoryIsEmpty) {
+  GraphStore store;
+  ResultCache cache(4);
+  const WarmRestartReport report =
+      warm_restart(fresh_dir("persist-none"), store, cache);
+  EXPECT_EQ(report.graphs, 0u);
+  EXPECT_EQ(report.results, 0u);
+  EXPECT_TRUE(report.skipped.empty());
+  EXPECT_TRUE(store.names().empty());
+}
+
+TEST(SvcPersist, SaveIsIdempotent) {
+  const std::string dir = fresh_dir("persist-idem");
+  GraphStore store;
+  ResultCache cache(4);
+  const auto graph = store.put("g", 3, kEdges);
+  const SaveReport first = save_graph_bundle(dir, *graph, cache);
+  const SaveReport second = save_graph_bundle(dir, *graph, cache);
+  EXPECT_EQ(first.graph_path, second.graph_path);
+  std::size_t graph_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    graph_files += entry.path().string().ends_with(".graph.camc") ? 1 : 0;
+  EXPECT_EQ(graph_files, 1u);
+}
+
+}  // namespace
+}  // namespace camc::svc

@@ -1,0 +1,34 @@
+# Runs one tracked bench binary with (reduced) reps and gates the fresh
+# numbers against the committed BENCH_<area>.json baseline through
+# tools/bench_compare.py. Driven by ctest (label "bench_gate"); see
+# tools/CMakeLists.txt for the per-area tolerance choices.
+#
+# Inputs (-D):
+#   BENCH_BIN   bench executable
+#   BENCH_ARGS  ;-separated extra bench flags (may be empty)
+#   OUT         file the fresh --json rows are written to
+#   COMPARE     path to tools/bench_compare.py
+#   BASELINE    committed BENCH_<area>.json
+#   PYTHON      python3 interpreter
+#   RTOL        allowed relative slowdown (e.g. 3.0 = 4x)
+#   EXTRA       ;-separated extra bench_compare.py flags (may be empty)
+
+separate_arguments(bench_args UNIX_COMMAND "${BENCH_ARGS}")
+execute_process(
+  COMMAND ${BENCH_BIN} --json ${bench_args}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed (${bench_rc}): ${BENCH_BIN}")
+endif()
+
+separate_arguments(extra_args UNIX_COMMAND "${EXTRA}")
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT} --rtol ${RTOL}
+          ${extra_args}
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench gate failed against ${BASELINE}; inspect ${OUT} and, if the "
+    "change is intentional, refresh the baseline with tools/run_bench.sh")
+endif()

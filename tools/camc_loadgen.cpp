@@ -8,7 +8,15 @@
 //                [--cc-engine-mix=fastsv:2,afforest:1[,...]]
 //                [--distinct-seeds=K] [--timeout-ms=T]
 //                [--queue=N] [--batch=N] [--cache=N]
-//                [--trace-out=FILE] [--json] [--strict]
+//                [--trace-out=FILE] [--store-dir=DIR] [--json] [--strict]
+//
+// --store-dir measures the persistent-store warm restart end to end: the
+// first run stages and queries as usual, then saves every graph (and its
+// cached results) to DIR and shuts down; a second camc_serve is spawned
+// with --store-dir=DIR and timed from exec to its first ok response. The
+// report gains cold_start_s (spawn -> first ok query, including graph
+// staging and execution), warm_restart_s (spawn -> first ok response off
+// the rehydrated cache), and restart_speedup = cold/warm.
 //
 // --trace-out marks every query request "trace":true and appends each
 // returned per-phase summary as one NDJSON line to FILE (cache hits carry
@@ -79,6 +87,7 @@ struct Options {
   double timeout_ms = 0.0;
   std::size_t queue = 256, batch = 16, cache = 4096;
   std::string trace_out;
+  std::string store_dir;  ///< nonempty: measure save + warm restart
   bool json = false;
   bool strict = false;
 };
@@ -432,7 +441,8 @@ struct Spawned {
   int from_child = -1;
 };
 
-Spawned spawn_serve(const Options& options) {
+/// `store_dir` nonempty adds --store-dir=DIR (warm-restart respawn).
+Spawned spawn_serve(const Options& options, const std::string& store_dir) {
   int in_pipe[2], out_pipe[2];
   if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0)
     throw std::runtime_error("pipe() failed");
@@ -445,13 +455,18 @@ Spawned spawn_serve(const Options& options) {
     close(in_pipe[1]);
     close(out_pipe[0]);
     close(out_pipe[1]);
-    const std::string threads = "--threads=" + std::to_string(options.threads);
-    const std::string queue = "--queue=" + std::to_string(options.queue);
-    const std::string batch = "--batch=" + std::to_string(options.batch);
-    const std::string cache = "--cache=" + std::to_string(options.cache);
-    execl(options.serve_path.c_str(), options.serve_path.c_str(),
-          threads.c_str(), queue.c_str(), batch.c_str(), cache.c_str(),
-          static_cast<char*>(nullptr));
+    std::vector<std::string> args = {
+        options.serve_path,
+        "--threads=" + std::to_string(options.threads),
+        "--queue=" + std::to_string(options.queue),
+        "--batch=" + std::to_string(options.batch),
+        "--cache=" + std::to_string(options.cache)};
+    if (!store_dir.empty()) args.push_back("--store-dir=" + store_dir);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(options.serve_path.c_str(), argv.data());
     std::perror("camc_loadgen: exec camc_serve");
     _exit(127);
   }
@@ -502,7 +517,8 @@ int main(int argc, char** argv) {
       "                    [--cc-engine-mix=fastsv:2,afforest:1[,...]]\n"
       "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
       "                    [--queue=N] [--batch=N] [--cache=N]\n"
-      "                    [--trace-out=FILE] [--json] [--strict]";
+      "                    [--trace-out=FILE] [--store-dir=DIR]\n"
+      "                    [--json] [--strict]";
 
   Options options;
   tools::FlagParser parser;
@@ -523,6 +539,7 @@ int main(int argc, char** argv) {
   parser.flag("batch", &options.batch);
   parser.flag("cache", &options.cache);
   parser.flag("trace-out", &options.trace_out);
+  parser.flag("store-dir", &options.store_dir);
   parser.toggle("json", &options.json);
   parser.toggle("strict", &options.strict);
   if (!parser.parse(argc, argv, usage)) return 2;
@@ -546,7 +563,8 @@ int main(int argc, char** argv) {
     const std::vector<WorkItem> workload =
         draw_workload(options, graphs.size());
 
-    Spawned serve = spawn_serve(options);
+    const auto cold_spawn = Clock::now();
+    Spawned serve = spawn_serve(options, /*store_dir=*/"");
     Client client(serve.to_child, serve.from_child, options.phases);
     std::ofstream trace_file;
     if (!options.trace_out.empty()) {
@@ -577,6 +595,21 @@ int main(int argc, char** argv) {
       if (!response.is_object() || !response["status"].is_string() ||
           response["status"].as_string() != "ok")
         throw std::runtime_error("failed to stage graph " + graph.name);
+    }
+
+    // Cold-start probe: spawn -> first ok query, staging included. The
+    // warm respawn answers the same query from its rehydrated cache.
+    double cold_start_s = 0.0;
+    if (!options.store_dir.empty()) {
+      const std::uint64_t probe_id = next_id++;
+      const svc::Json probe = client.call(
+          probe_id, query_line(probe_id, graphs[workload[0].graph_index],
+                               workload[0], options.timeout_ms, false));
+      if (!probe.is_object() || !probe["status"].is_string() ||
+          probe["status"].as_string() != "ok")
+        throw std::runtime_error("cold-start probe query failed");
+      cold_start_s =
+          std::chrono::duration<double>(Clock::now() - cold_spawn).count();
     }
 
     std::atomic<std::uint64_t> id_counter{next_id};
@@ -639,6 +672,23 @@ int main(int argc, char** argv) {
     const svc::Json stats_response = client.call(
         stats_id,
         svc::Json::object().set("id", stats_id).set("op", "stats").dump());
+    if (!options.store_dir.empty()) {
+      // Persist every staged graph (and its cached results) so the warm
+      // respawn below has something to rehydrate.
+      for (const GraphSpec& graph : graphs) {
+        const std::uint64_t save_id = id_counter++;
+        const svc::Json saved =
+            client.call(save_id, svc::Json::object()
+                                     .set("id", save_id)
+                                     .set("op", "save")
+                                     .set("graph", graph.name)
+                                     .set("dir", options.store_dir)
+                                     .dump());
+        if (!saved.is_object() || !saved["status"].is_string() ||
+            saved["status"].as_string() != "ok")
+          throw std::runtime_error("failed to save graph " + graph.name);
+      }
+    }
     const std::uint64_t bye_id = id_counter++;
     client.call(bye_id, svc::Json::object()
                             .set("id", bye_id)
@@ -647,6 +697,31 @@ int main(int argc, char** argv) {
     client.close_write();
     int wait_status = 0;
     waitpid(serve.pid, &wait_status, 0);
+
+    // Warm restart: respawn with --store-dir and time spawn -> first ok
+    // response to the same probe query (a rehydrated-cache hit).
+    double warm_restart_s = 0.0;
+    bool warm_probe_cached = false;
+    if (!options.store_dir.empty()) {
+      const auto warm_spawn = Clock::now();
+      Spawned warm = spawn_serve(options, options.store_dir);
+      Client warm_client(warm.to_child, warm.from_child, /*phases=*/1);
+      const svc::Json probe = warm_client.call(
+          1, query_line(1, graphs[workload[0].graph_index], workload[0],
+                        options.timeout_ms, false));
+      if (!probe.is_object() || !probe["status"].is_string() ||
+          probe["status"].as_string() != "ok")
+        throw std::runtime_error("warm-restart probe query failed");
+      warm_restart_s =
+          std::chrono::duration<double>(Clock::now() - warm_spawn).count();
+      warm_probe_cached =
+          probe["cached"].is_bool() && probe["cached"].as_bool();
+      warm_client.call(
+          2, svc::Json::object().set("id", 2).set("op", "shutdown").dump());
+      warm_client.close_write();
+      int warm_status = 0;
+      waitpid(warm.pid, &warm_status, 0);
+    }
 
     // Report.
     std::uint64_t total_sent = 0, total_ok = 0, total_rejected = 0,
@@ -703,6 +778,13 @@ int main(int argc, char** argv) {
       report.set("rate_per_s", options.rate);
     else
       report.set("clients", options.clients);
+    if (!options.store_dir.empty()) {
+      report.set("cold_start_s", cold_start_s)
+          .set("warm_restart_s", warm_restart_s)
+          .set("restart_speedup",
+               warm_restart_s > 0 ? cold_start_s / warm_restart_s : 0.0)
+          .set("warm_probe_cached", warm_probe_cached);
+    }
     if (stats_response.is_object() && stats_response.has("result"))
       report.set("server", stats_response["result"]);
 
@@ -730,6 +812,13 @@ int main(int argc, char** argv) {
       }
       if (options.phases > 1 && cold_tput > 0)
         std::cout << "warm/cold speedup: " << warm_tput / cold_tput << "x\n";
+      if (!options.store_dir.empty())
+        std::cout << "cold start " << cold_start_s << " s, warm restart "
+                  << warm_restart_s << " s ("
+                  << (warm_restart_s > 0 ? cold_start_s / warm_restart_s
+                                         : 0.0)
+                  << "x, probe "
+                  << (warm_probe_cached ? "cached" : "recomputed") << ")\n";
     }
 
     if (options.strict &&

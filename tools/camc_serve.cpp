@@ -2,7 +2,7 @@
 //
 //   camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N]
 //              [--store-mb=N] [--seed=S] [--cc-engine=NAME]
-//              [--trace-out=FILE]
+//              [--trace-out=FILE] [--store-dir=DIR]
 //
 // Reads one JSON request per stdin line, writes one JSON response per
 // request to stdout (see src/svc/service.hpp for the protocol). Responses
@@ -16,6 +16,11 @@
 // ldd | auto); everything else about the server is deterministic given
 // the request stream. --trace-out traces every executed epoch and writes
 // one merged Chrome trace file (pid = epoch) on exit.
+//
+// --store-dir enables the persistent artifact store: at boot the server
+// warm-restarts from every *.graph.camc artifact under DIR (rehydrating
+// the graph store and pre-seeding the result cache), and "save" requests
+// default their "dir" to it. A missing or empty DIR is a cold boot.
 
 #include <cstdint>
 #include <fstream>
@@ -30,13 +35,15 @@ int main(int argc, char** argv) {
   using namespace camc;
   const char* usage =
       "usage: camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
-      "[--store-mb=N] [--seed=S] [--cc-engine=NAME] [--trace-out=FILE]";
+      "[--store-mb=N] [--seed=S] [--cc-engine=NAME] [--trace-out=FILE] "
+      "[--store-dir=DIR]";
 
   int threads = 4;
   std::size_t queue = 256, batch = 16, cache = 4096, store_mb = 0;
   std::uint64_t seed = 1;
   std::string trace_out;
   std::string cc_engine = "sampling";
+  std::string store_dir;
   tools::FlagParser parser;
   parser.flag("threads", &threads);
   parser.flag("p", &threads);
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   parser.flag("seed", &seed);
   parser.flag("cc-engine", &cc_engine);
   parser.flag("trace-out", &trace_out);
+  parser.flag("store-dir", &store_dir);
   if (!parser.parse(argc, argv, usage)) return 2;
   if (threads < 1 || batch < 1) {
     std::cerr << usage << "\n";
@@ -64,7 +72,17 @@ int main(int argc, char** argv) {
   options.engine.cache_capacity = cache;
   options.store_max_bytes = static_cast<std::uint64_t>(store_mb) << 20;
   options.default_seed = seed;
+  options.store_dir = store_dir;
   svc::Service service(options);
+  if (!store_dir.empty()) {
+    const svc::WarmRestartReport report = service.warm_restart();
+    std::cerr << "warm restart: " << report.graphs << " graph"
+              << (report.graphs == 1 ? "" : "s") << ", " << report.results
+              << " cached result" << (report.results == 1 ? "" : "s")
+              << " from " << store_dir << "\n";
+    for (const std::string& skipped : report.skipped)
+      std::cerr << "warm restart: skipped " << skipped << "\n";
+  }
   if (!trace_out.empty()) service.engine().enable_trace_capture();
 
   // Completions arrive from the submitting thread and from the engine's
