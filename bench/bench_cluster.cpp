@@ -1,0 +1,224 @@
+// Router overhead benchmark: what does putting camc_router between the
+// client and camc_serve cost per request?
+//
+// Series (one row per (series, workload)):
+//   direct    the client pipes straight into one camc_serve
+//   router1   camc_router fronting 1 shard — pure forwarding overhead
+//             (parse, route, id-rewrite, pipe hop) on every request
+//   router4   camc_router fronting 4 shards — forwarding plus real
+//             fan-out routing across a sharded keyspace
+//
+// Each series stages the same seeded er graphs, then drives sequential
+// round-trip cc queries: `cold` runs distinct seeds against an empty
+// cache (execution dominates; the router should all but disappear),
+// `warm` replays them (cache-hit serving; the per-request pipe hop is
+// the whole story, so this is where the overhead ceiling shows).
+// Sequential round-trips deliberately maximize the router's relative
+// cost — concurrent clients would hide it behind execution.
+//
+// The binaries are baked in at configure time (CAMC_SERVE_PATH /
+// CAMC_ROUTER_PATH); the committed baseline is BENCH_cluster.json and
+// the ctest gate is bench.gate_cluster (tools/CMakeLists.txt).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "svc/json.hpp"
+#include "svc/metrics.hpp"
+
+#ifndef CAMC_SERVE_PATH
+#define CAMC_SERVE_PATH ""
+#endif
+#ifndef CAMC_ROUTER_PATH
+#define CAMC_ROUTER_PATH ""
+#endif
+
+namespace {
+
+using namespace camc;
+
+/// One spawned server (camc_serve or camc_router) on a pipe pair, driven
+/// strictly sequentially: send one line, read one line.
+class PipeServer {
+ public:
+  explicit PipeServer(const std::vector<std::string>& args) {
+    int in_pipe[2], out_pipe[2];
+    if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0)
+      throw std::runtime_error("pipe() failed");
+    pid_ = fork();
+    if (pid_ < 0) throw std::runtime_error("fork() failed");
+    if (pid_ == 0) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      // Quiet the worker/supervisor banners.
+      FILE* sink = freopen("/dev/null", "w", stderr);
+      (void)sink;
+      std::vector<std::string> argv_strings = args;
+      std::vector<char*> argv;
+      for (std::string& arg : argv_strings) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    to_child_ = in_pipe[1];
+    stream_ = fdopen(out_pipe[0], "r");
+    if (stream_ == nullptr) throw std::runtime_error("fdopen() failed");
+  }
+
+  ~PipeServer() {
+    round_trip("{\"op\":\"shutdown\"}");
+    if (to_child_ >= 0) close(to_child_);
+    if (stream_ != nullptr) fclose(stream_);
+    if (pid_ > 0) waitpid(pid_, nullptr, 0);
+  }
+
+  /// Sends one request line, blocks for the one response line.
+  svc::Json round_trip(const std::string& line) {
+    const std::string framed = line + "\n";
+    if (write(to_child_, framed.data(), framed.size()) !=
+        static_cast<ssize_t>(framed.size()))
+      return svc::Json();
+    char* buffer = nullptr;
+    std::size_t capacity = 0;
+    const ssize_t length = getline(&buffer, &capacity, stream_);
+    svc::Json response;
+    if (length > 0) {
+      try {
+        response = svc::Json::parse(std::string(buffer, length));
+      } catch (const std::exception&) {
+      }
+    }
+    free(buffer);
+    return response;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int to_child_ = -1;
+  FILE* stream_ = nullptr;
+};
+
+struct Measured {
+  double seconds = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0;
+};
+
+Measured drive(PipeServer& server, std::size_t requests, std::size_t graphs) {
+  Measured measured;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::string line =
+        svc::Json::object()
+            .set("id", i + 10)
+            .set("op", "query")
+            .set("graph", "g" + std::to_string(i % graphs))
+            .set("query", "cc")
+            .set("params", svc::Json::object().set("seed", 1 + i))
+            .dump();
+    const auto sent = std::chrono::steady_clock::now();
+    const svc::Json response = server.round_trip(line);
+    if (!response.is_object() || !response["status"].is_string() ||
+        response["status"].as_string() != "ok")
+      throw std::runtime_error("query failed: " + response.dump());
+    latencies.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - sent)
+                            .count());
+  }
+  measured.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  measured.p50_ms = svc::percentile(latencies, 50);
+  measured.p95_ms = svc::percentile(latencies, 95);
+  return measured;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const bench::Options options = bench::parse(argc, argv);
+  const std::uint64_t n = bench::scaled(2000, options.scale);
+  const std::uint64_t m = bench::scaled(8000, options.scale);
+  const std::size_t requests =
+      bench::scaled(256, options.scale, /*min_value=*/16);
+  const std::size_t graphs = 4;
+
+  const std::string serve = CAMC_SERVE_PATH;
+  const std::string router = CAMC_ROUTER_PATH;
+
+  struct Series {
+    const char* name;
+    std::vector<std::string> args;
+  };
+  const std::vector<Series> series = {
+      {"direct", {serve, "--threads=2"}},
+      {"router1",
+       {router, "--serve=" + serve, "--shards=1", "--threads=2"}},
+      {"router4",
+       {router, "--serve=" + serve, "--shards=4", "--threads=2"}},
+  };
+
+  bench::Table table(options.json);
+  table.comment(
+      "cluster router overhead: sequential round-trip cc queries, direct "
+      "camc_serve vs camc_router with 1 and 4 shards");
+  table.comment("graphs: " + std::to_string(graphs) + " x er n=" +
+                std::to_string(n) + " m=" + std::to_string(m) + ", " +
+                std::to_string(requests) + " requests, " +
+                std::to_string(options.repetitions) + " reps (median)");
+  table.header("series", "workload", "requests", "seconds", "qps", "p50_ms",
+               "p95_ms");
+
+  for (const Series& s : series) {
+    std::vector<double> cold_s, warm_s;
+    Measured cold_last, warm_last;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      PipeServer server(s.args);
+      for (std::size_t g = 0; g < graphs; ++g) {
+        const svc::Json staged = server.round_trip(
+            svc::Json::object()
+                .set("id", g + 1)
+                .set("op", "gen")
+                .set("graph", "g" + std::to_string(g))
+                .set("family", "er")
+                .set("n", n)
+                .set("m", m)
+                .set("seed", options.seed)
+                .dump());
+        if (!staged.is_object() || !staged["status"].is_string() ||
+            staged["status"].as_string() != "ok")
+          throw std::runtime_error("staging failed: " + staged.dump());
+      }
+      cold_last = drive(server, requests, graphs);
+      warm_last = drive(server, requests, graphs);
+      cold_s.push_back(cold_last.seconds);
+      warm_s.push_back(warm_last.seconds);
+    }
+    const double cold_median = bench::median(cold_s);
+    const double warm_median = bench::median(warm_s);
+    table.row(s.name, "cold", requests, cold_median,
+              static_cast<double>(requests) / cold_median, cold_last.p50_ms,
+              cold_last.p95_ms);
+    table.row(s.name, "warm", requests, warm_median,
+              static_cast<double>(requests) / warm_median, warm_last.p50_ms,
+              warm_last.p95_ms);
+  }
+  return 0;
+}

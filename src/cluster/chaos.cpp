@@ -1,0 +1,98 @@
+#include "cluster/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/philox.hpp"
+
+namespace camc::cluster {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(delimiter, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* chaos_action_name(ChaosAction action) noexcept {
+  return action == ChaosAction::kKill ? "kill" : "stall";
+}
+
+ChaosPlan parse_chaos_plan(const std::string& spec, std::size_t shards) {
+  ChaosPlan plan;
+  if (spec.empty()) return plan;
+  if (shards == 0) throw std::runtime_error("chaos plan needs >= 1 shard");
+
+  bool have_seed = false;
+  std::uint64_t events = 4, start_ms = 200, min_delay_ms = 50,
+                max_delay_ms = 400, kill_weight = 3, stall_weight = 1;
+  for (const std::string& part : split(spec, ',')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("chaos plan entry '" + part +
+                               "' is not key=value");
+    const std::string key = part.substr(0, eq);
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(part.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("chaos plan value in '" + part +
+                               "' is not a number");
+    }
+    if (key == "seed") {
+      plan.seed = value;
+      have_seed = true;
+    } else if (key == "events") {
+      events = value;
+    } else if (key == "start-ms") {
+      start_ms = value;
+    } else if (key == "min-delay-ms") {
+      min_delay_ms = value;
+    } else if (key == "max-delay-ms") {
+      max_delay_ms = value;
+    } else if (key == "kill-weight") {
+      kill_weight = value;
+    } else if (key == "stall-weight") {
+      stall_weight = value;
+    } else {
+      throw std::runtime_error("unknown chaos plan key '" + key + "'");
+    }
+  }
+  if (!have_seed) throw std::runtime_error("chaos plan needs seed=");
+  if (max_delay_ms < min_delay_ms)
+    throw std::runtime_error("chaos plan max-delay-ms < min-delay-ms");
+  if (kill_weight + stall_weight == 0)
+    throw std::runtime_error("chaos plan weights are all zero");
+
+  rng::Philox rng(plan.seed, /*stream=*/0x4348414Full);  // "CHAO"
+  double at = static_cast<double>(start_ms) / 1e3;
+  plan.events.reserve(events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    ChaosEvent event;
+    event.at_seconds = at;
+    event.shard = rng() % shards;
+    event.action = (rng() % (kill_weight + stall_weight)) < kill_weight
+                       ? ChaosAction::kKill
+                       : ChaosAction::kStall;
+    plan.events.push_back(event);
+    const std::uint64_t span = max_delay_ms - min_delay_ms;
+    at += static_cast<double>(min_delay_ms +
+                              (span > 0 ? rng() % (span + 1) : 0)) /
+          1e3;
+  }
+  return plan;
+}
+
+}  // namespace camc::cluster

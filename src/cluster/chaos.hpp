@@ -1,0 +1,56 @@
+#pragma once
+
+// Seeded chaos plans for the supervised serve cluster.
+//
+// A ChaosPlan is the process-level analogue of resilience::FaultPlan: a
+// deterministic, replayable schedule of worker kills and stalls, drawn
+// once from a Philox stream at construction. `camc_router --chaos-plan=
+// seed=S,...` injects it against its own workers, which turns the
+// supervisor's crash-detection / restart / re-route machinery into a
+// seeded campaign — the same schedule always kills the same shards at the
+// same offsets, so an incident reproduces from its seed alone.
+//
+// Spec grammar (comma-separated key=value, unknown keys rejected):
+//
+//   seed=S            Philox seed (required)
+//   events=N          number of injected events (default 4)
+//   start-ms=A        quiet period before the first event (default 200)
+//   min-delay-ms=B    minimum gap between events (default 50)
+//   max-delay-ms=C    maximum gap between events (default 400)
+//   kill-weight=K     relative weight of SIGKILL events (default 3)
+//   stall-weight=L    relative weight of SIGSTOP events (default 1)
+//
+// Kills exercise pipe-EOF death detection; stalls freeze the worker until
+// the supervisor's heartbeat timeout declares it dead and replaces it (the
+// stalled process is then killed, not resumed — exactly the straggler
+// semantics of the rank-level watchdog).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camc::cluster {
+
+enum class ChaosAction : std::uint8_t { kKill = 0, kStall = 1 };
+
+struct ChaosEvent {
+  double at_seconds = 0.0;  ///< offset from injector start
+  std::size_t shard = 0;
+  ChaosAction action = ChaosAction::kKill;
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  std::vector<ChaosEvent> events;  ///< sorted by at_seconds
+
+  bool empty() const noexcept { return events.empty(); }
+};
+
+/// Parses a spec and draws the schedule for a `shards`-wide cluster.
+/// Throws std::runtime_error on malformed specs. An empty spec string
+/// yields an empty plan (chaos disabled).
+ChaosPlan parse_chaos_plan(const std::string& spec, std::size_t shards);
+
+const char* chaos_action_name(ChaosAction action) noexcept;
+
+}  // namespace camc::cluster

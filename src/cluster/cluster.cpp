@@ -1,0 +1,1184 @@
+#include "cluster/cluster.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace camc::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+}
+
+svc::Json base_response(std::uint64_t id) {
+  return svc::Json::object().set("v", 1).set("id", id);
+}
+
+svc::Json error_response(std::uint64_t id, const std::string& message) {
+  return base_response(id).set("status", "error").set("error", message);
+}
+
+/// True for the ops that are scoped to one graph keyspace and mutate it —
+/// these fan out to every replica so a crashed replica can be replaced
+/// without losing the keyspace.
+bool is_replicated_write(const std::string& op) {
+  return op == "gen" || op == "load" || op == "save" || op == "evict";
+}
+
+}  // namespace
+
+const char* shard_state_name(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kUp:
+      return "up";
+    case ShardState::kBackoff:
+      return "backoff";
+    case ShardState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+
+/// A request fanned out to several shards at once (stats, replicated
+/// writes). Members share one Fanout; the last response (or death)
+/// finalizes it.
+struct Cluster::Fanout {
+  std::uint64_t client_id = 0;
+  Emit emit;
+  std::string op;
+  std::string graph;
+  std::size_t primary = 0;  ///< shard whose answer becomes the reply
+  std::size_t awaiting = 0;
+  /// (shard, response); response is null for a replica that died first.
+  std::vector<std::pair<std::size_t, svc::Json>> responses;
+};
+
+/// One forwarded request line awaiting a worker response.
+struct Cluster::Pending {
+  std::uint64_t internal_id = 0;  ///< the id on the wire to the worker
+  std::uint64_t client_id = 0;
+  Emit emit;         ///< null for internal traffic (pings, auto-saves)
+  std::string op;
+  std::string graph;
+  std::string line;  ///< request serialized with internal_id, '\n'-terminated
+  std::size_t target = 0;
+  std::vector<std::size_t> fallbacks;  ///< replicas not yet tried
+  std::shared_ptr<Fanout> fanout;
+  bool internal = false;
+  bool sent = false;  ///< reached a worker at least once (reroute vs
+                      ///< re-dispatch accounting)
+  std::shared_ptr<std::atomic<bool>> probe;  ///< wait_for_shard_up flag
+};
+
+struct Cluster::Shard {
+  std::size_t index = 0;
+
+  // Pipe + process handle. `write_mutex` guards to_child/generation for
+  // writers and for the close path, so a request line can never land on a
+  // recycled fd: the fd is only closed under write_mutex together with a
+  // generation bump, and every write re-checks the generation it targeted.
+  std::mutex write_mutex;
+  pid_t pid = -1;
+  int to_child = -1;
+  std::uint64_t generation = 0;
+
+  ShardState state = ShardState::kBackoff;
+  bool reap_pending = false;   ///< death detected; waitpid still owed
+  bool eof_seen = true;        ///< reader thread finished (safe to join)
+  bool term_sent = false;      ///< supervisor escalation: SIGTERM fired
+  bool heartbeat_kill = false; ///< death was supervisor-initiated
+  Clock::time_point kill_deadline{};
+  std::uint32_t missed_pings = 0;
+
+  std::uint32_t backoff_attempt = 0;
+  Clock::time_point restart_at{};
+  Clock::time_point started_at{};
+
+  std::uint64_t restarts = 0;
+  std::uint64_t deaths_exit = 0;
+  std::uint64_t deaths_signal = 0;
+  std::uint64_t deaths_heartbeat = 0;
+  std::string last_death;
+
+  std::thread reader;
+};
+
+struct Cluster::Impl {
+  ClusterOptions options;
+  const ShardMap* map = nullptr;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending;
+  std::atomic<std::uint64_t> next_internal_id{1};
+  bool stopping = false;
+
+  // Counters (all guarded by mutex).
+  std::uint64_t reroutes = 0;      ///< routed past a down replica at submit
+  std::uint64_t redispatched = 0;  ///< in-flight request moved off a death
+  std::uint64_t degraded = 0;
+  std::uint64_t stale_responses = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t save_failures = 0;
+  std::uint64_t auto_saves = 0;
+  std::uint64_t chaos_kills = 0;
+  std::uint64_t chaos_stalls = 0;
+  std::uint64_t worker_protocol_errors = 0;
+
+  Clock::time_point start_time{};
+  ChaosPlan chaos;
+  std::thread supervisor;
+  std::thread chaos_thread;
+
+  /// Deferred emits: every decision happens under `mutex`, every emit
+  /// fires after it is released (the callback may be arbitrarily slow and
+  /// may re-enter nothing of ours, but holding a lock across it would
+  /// serialize all shards behind one client write).
+  struct Outbox {
+    std::vector<std::pair<Emit, std::string>> lines;
+    void add(const Emit& emit, svc::Json response) {
+      if (emit) lines.emplace_back(emit, response.dump());
+    }
+    void flush() {
+      for (auto& [emit, line] : lines) emit(line);
+      lines.clear();
+    }
+  };
+
+  // --- process plumbing ----------------------------------------------------
+
+  void spawn_shard_locked(Shard& shard);
+  void reader_loop(std::size_t index, std::uint64_t generation, int fd);
+  bool write_to_shard(Shard& shard, std::uint64_t generation,
+                      const std::string& line);
+  void close_pipe_locked(Shard& shard);
+
+  // --- routing -------------------------------------------------------------
+
+  std::uint64_t fresh_id() { return next_internal_id.fetch_add(1); }
+  void dispatch(const std::shared_ptr<Pending>& p);
+  bool advance_to_live_target_locked(const std::shared_ptr<Pending>& p);
+  svc::Json degraded_response_locked(const Pending& p);
+  void finalize_fanout_locked(const std::shared_ptr<Fanout>& fanout,
+                              Outbox& outbox);
+  svc::Json aggregate_stats_locked(const Fanout& fanout);
+  void schedule_auto_saves_locked(
+      const Fanout& fanout, std::vector<std::shared_ptr<Pending>>& to_send);
+
+  // --- death handling ------------------------------------------------------
+
+  void on_worker_line(std::size_t index, std::uint64_t generation,
+                      const std::string& line);
+  void on_worker_eof(std::size_t index, std::uint64_t generation);
+  void classify_death_locked(Shard& shard, int status);
+
+  // --- supervision ---------------------------------------------------------
+
+  void supervisor_loop();
+  void chaos_loop();
+
+  svc::Json cluster_stats_locked() const;
+};
+
+// ---------------------------------------------------------------------------
+// Process plumbing
+
+void Cluster::Impl::spawn_shard_locked(Shard& shard) {
+  int to_child_pipe[2];   // router -> worker stdin
+  int from_child_pipe[2]; // worker stdout -> router
+  if (pipe2(to_child_pipe, O_CLOEXEC) != 0)
+    throw std::runtime_error("cluster: pipe2 failed: " +
+                             std::string(std::strerror(errno)));
+  if (pipe2(from_child_pipe, O_CLOEXEC) != 0) {
+    ::close(to_child_pipe[0]);
+    ::close(to_child_pipe[1]);
+    throw std::runtime_error("cluster: pipe2 failed: " +
+                             std::string(std::strerror(errno)));
+  }
+
+  // argv must be assembled before fork(): the child of a multithreaded
+  // process may only call async-signal-safe functions before exec.
+  std::vector<std::string> args;
+  args.push_back(options.serve_path);
+  args.push_back("--threads=" + std::to_string(options.worker_threads));
+  args.push_back("--queue=" + std::to_string(options.worker_queue));
+  args.push_back("--batch=" + std::to_string(options.worker_batch));
+  args.push_back("--cache=" + std::to_string(options.worker_cache));
+  args.push_back("--seed=" + std::to_string(options.worker_seed));
+  if (!options.worker_cc_engine.empty())
+    args.push_back("--cc-engine=" + options.worker_cc_engine);
+  if (!options.store_dir.empty()) {
+    const std::string dir =
+        options.store_dir + "/shard-" + std::to_string(shard.index);
+    std::filesystem::create_directories(dir);
+    args.push_back("--store-dir=" + dir);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    ::close(to_child_pipe[0]);
+    ::close(to_child_pipe[1]);
+    ::close(from_child_pipe[0]);
+    ::close(from_child_pipe[1]);
+    throw std::runtime_error("cluster: fork failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdio and exec. dup2 clears CLOEXEC on the
+    // duplicates; every other pipe end closes itself at exec.
+    ::dup2(to_child_pipe[0], STDIN_FILENO);
+    ::dup2(from_child_pipe[1], STDOUT_FILENO);
+    ::signal(SIGPIPE, SIG_DFL);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; classified as "exit 127" by the reaper
+  }
+
+  ::close(to_child_pipe[0]);
+  ::close(from_child_pipe[1]);
+  // Nonblocking writes keep a wedged worker (full pipe) from wedging the
+  // router: write_to_shard bounds its poll and fails over instead.
+  const int flags = fcntl(to_child_pipe[1], F_GETFL, 0);
+  fcntl(to_child_pipe[1], F_SETFL, flags | O_NONBLOCK);
+
+  {
+    std::lock_guard<std::mutex> write_lock(shard.write_mutex);
+    shard.pid = pid;
+    shard.to_child = to_child_pipe[1];
+    ++shard.generation;
+  }
+  shard.state = ShardState::kUp;
+  shard.reap_pending = false;
+  shard.eof_seen = false;
+  shard.term_sent = false;
+  shard.heartbeat_kill = false;
+  shard.missed_pings = 0;
+  shard.started_at = Clock::now();
+
+  const std::size_t index = shard.index;
+  const std::uint64_t generation = shard.generation;
+  const int read_fd = from_child_pipe[0];
+  shard.reader = std::thread(
+      [this, index, generation, read_fd] { reader_loop(index, generation, read_fd); });
+}
+
+void Cluster::Impl::reader_loop(std::size_t index, std::uint64_t generation,
+                                int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        on_worker_line(index, generation,
+                       buffer.substr(start, newline - start));
+        start = newline + 1;
+      }
+      buffer.erase(0, start);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or error: the worker is gone
+  }
+  ::close(fd);
+  // A worker can only emit whole lines; a trailing fragment means it died
+  // mid-write. There is no id to answer, so it is only counted.
+  on_worker_eof(index, generation);
+  {
+    // Final act: flag the reader as joinable. Nothing below this lock
+    // touches shared state, so the supervisor can join without deadlock.
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!buffer.empty()) ++worker_protocol_errors;
+    Shard& shard = *shards[index];
+    if (shard.generation == generation) shard.eof_seen = true;
+  }
+  cv.notify_all();
+}
+
+bool Cluster::Impl::write_to_shard(Shard& shard, std::uint64_t generation,
+                                   const std::string& line) {
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  if (shard.generation != generation || shard.to_child < 0) return false;
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  const Clock::time_point deadline = Clock::now() + seconds_to_duration(0.25);
+  while (remaining > 0) {
+    const ssize_t n = ::write(shard.to_child, data, remaining);
+    if (n > 0) {
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Clock::now() >= deadline) return false;  // wedged worker
+      pollfd pfd{shard.to_child, POLLOUT, 0};
+      ::poll(&pfd, 1, 10);
+      continue;
+    }
+    return false;  // EPIPE etc.: worker dead; the EOF path cleans up
+  }
+  return true;
+}
+
+void Cluster::Impl::close_pipe_locked(Shard& shard) {
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  if (shard.to_child >= 0) {
+    ::close(shard.to_child);
+    shard.to_child = -1;
+  }
+  ++shard.generation;  // strands in-flight writers targeting the old pipe
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+/// Walks the pending's target + fallback list to the first live shard.
+/// Returns false when every replica of the keyspace is down.
+bool Cluster::Impl::advance_to_live_target_locked(
+    const std::shared_ptr<Pending>& p) {
+  if (shards[p->target]->state == ShardState::kUp) return true;
+  while (!p->fallbacks.empty()) {
+    const std::size_t candidate = p->fallbacks.front();
+    p->fallbacks.erase(p->fallbacks.begin());
+    if (shards[candidate]->state == ShardState::kUp) {
+      p->target = candidate;
+      if (p->sent) {
+        ++redispatched;
+        p->sent = false;  // the move to `candidate` hasn't landed yet
+      } else {
+        ++reroutes;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+svc::Json Cluster::Impl::degraded_response_locked(const Pending& p) {
+  svc::Json response =
+      base_response(p.client_id)
+          .set("status", "degraded")
+          .set("error", "shard " + std::to_string(p.target) +
+                            " down (restart pending)")
+          .set("shard", static_cast<std::uint64_t>(p.target));
+  if (!p.graph.empty()) response.set("graph", p.graph);
+  ++degraded;
+  return response;
+}
+
+/// Sends a routed pending to its current target, failing over down the
+/// replica list on dead shards and wedged pipes; answers degraded when the
+/// keyspace has no live replica. Runs lock-free around the actual write.
+void Cluster::Impl::dispatch(const std::shared_ptr<Pending>& p) {
+  for (;;) {
+    Shard* shard = nullptr;
+    std::uint64_t generation = 0;
+    Outbox outbox;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (pending.find(p->internal_id) == pending.end()) return;  // answered
+      if (!advance_to_live_target_locked(p)) {
+        if (!p->internal) outbox.add(p->emit, degraded_response_locked(*p));
+        pending.erase(p->internal_id);
+        lock.unlock();
+        outbox.flush();
+        cv.notify_all();
+        return;
+      }
+      shard = shards[p->target].get();
+      generation = shard->generation;
+    }
+    if (write_to_shard(*shard, generation, p->line)) {
+      std::lock_guard<std::mutex> lock(mutex);
+      p->sent = true;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++send_failures;
+      // Don't retry the same shard: mark it unreachable for this pending
+      // by forcing the fallback walk (the shard itself is reaped by the
+      // supervisor when its pipe actually dies).
+      if (shards[p->target]->state == ShardState::kUp && p->fallbacks.empty()) {
+        // Live-but-wedged with no replica to go to: degrade rather than
+        // spin. The heartbeat will declare the shard dead shortly.
+        Outbox degraded_outbox;
+        if (!p->internal)
+          degraded_outbox.add(p->emit, degraded_response_locked(*p));
+        pending.erase(p->internal_id);
+        outbox = std::move(degraded_outbox);
+      } else if (shards[p->target]->state == ShardState::kUp) {
+        const std::size_t candidate = p->fallbacks.front();
+        p->fallbacks.erase(p->fallbacks.begin());
+        if (p->sent)
+          ++redispatched;
+        else
+          ++reroutes;
+        p->target = candidate;
+        p->sent = false;
+        continue;
+      } else {
+        continue;  // target died under us; the loop re-walks fallbacks
+      }
+    }
+    outbox.flush();
+    cv.notify_all();
+    return;
+  }
+}
+
+svc::Json Cluster::Impl::aggregate_stats_locked(const Fanout& fanout) {
+  svc::Json shard_array = svc::Json::array();
+  // Summed across shards: the counter block of each worker's
+  // result.total (svc::Service::stats_json).
+  static const char* kSummed[] = {"submitted", "ok",     "rejected",
+                                  "shed",      "failed", "errors",
+                                  "cache_hits", "coalesced"};
+  svc::Json total = svc::Json::object();
+  std::vector<std::uint64_t> sums(std::size(kSummed), 0);
+  for (const auto& [index, response] : fanout.responses) {
+    svc::Json entry = svc::Json::object()
+                          .set("shard", static_cast<std::uint64_t>(index))
+                          .set("alive", !response.is_null());
+    if (!response.is_null() && response["result"].is_object()) {
+      const svc::Json& worker_total = response["result"]["total"];
+      for (std::size_t k = 0; k < std::size(kSummed); ++k)
+        if (worker_total[kSummed[k]].is_number())
+          sums[k] += worker_total[kSummed[k]].as_u64();
+      entry.set("stats", response["result"]);
+    }
+    shard_array.push_back(std::move(entry));
+  }
+  for (std::size_t k = 0; k < std::size(kSummed); ++k)
+    total.set(kSummed[k], sums[k]);
+  return svc::Json::object()
+      .set("cluster", cluster_stats_locked())
+      .set("total", std::move(total))
+      .set("shards", std::move(shard_array));
+}
+
+void Cluster::Impl::schedule_auto_saves_locked(
+    const Fanout& fanout, std::vector<std::shared_ptr<Pending>>& to_send) {
+  if (options.store_dir.empty() || !options.auto_save) return;
+  if (fanout.op != "gen" && fanout.op != "load") return;
+  for (const auto& [index, response] : fanout.responses) {
+    if (response.is_null() || !response["status"].is_string() ||
+        response["status"].as_string() != "ok")
+      continue;
+    auto save = std::make_shared<Pending>();
+    save->internal_id = fresh_id();
+    save->internal = true;
+    save->op = "save";
+    save->graph = fanout.graph;
+    save->target = index;
+    save->line = svc::Json::object()
+                     .set("id", save->internal_id)
+                     .set("op", "save")
+                     .set("graph", fanout.graph)
+                     .dump() +
+                 "\n";
+    pending.emplace(save->internal_id, save);
+    ++auto_saves;
+    to_send.push_back(std::move(save));
+  }
+}
+
+void Cluster::Impl::finalize_fanout_locked(
+    const std::shared_ptr<Fanout>& fanout, Outbox& outbox) {
+  if (fanout->op == "stats") {
+    outbox.add(fanout->emit, base_response(fanout->client_id)
+                                 .set("status", "ok")
+                                 .set("result", aggregate_stats_locked(*fanout)));
+    return;
+  }
+  // Replicated write: answer with the primary's response if it survived,
+  // else the first surviving replica's; all dead → degraded.
+  const svc::Json* best = nullptr;
+  for (const auto& [index, response] : fanout->responses)
+    if (!response.is_null() && (best == nullptr || index == fanout->primary))
+      best = &response;
+  if (best == nullptr) {
+    Pending ghost;
+    ghost.client_id = fanout->client_id;
+    ghost.target = fanout->primary;
+    ghost.graph = fanout->graph;
+    outbox.add(fanout->emit, degraded_response_locked(ghost));
+    return;
+  }
+  svc::Json response = *best;
+  response.set("id", fanout->client_id);
+  outbox.add(fanout->emit, std::move(response));
+}
+
+// ---------------------------------------------------------------------------
+// Worker responses and deaths
+
+void Cluster::Impl::on_worker_line(std::size_t index, std::uint64_t generation,
+                                   const std::string& line) {
+  svc::Json response;
+  try {
+    response = svc::Json::parse(line);
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++worker_protocol_errors;
+    return;
+  }
+  if (!response.is_object() || !response["id"].is_number()) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++worker_protocol_errors;
+    return;
+  }
+  const std::uint64_t internal_id = response["id"].as_u64();
+
+  Outbox outbox;
+  std::vector<std::shared_ptr<Pending>> to_send;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    Shard& shard = *shards[index];
+    if (shard.generation == generation) shard.missed_pings = 0;
+
+    const auto it = pending.find(internal_id);
+    if (it == pending.end()) {
+      // A response for a request that was re-dispatched (or degraded)
+      // after this worker was declared dead — the other copy already
+      // answered the client with the identical deterministic result.
+      ++stale_responses;
+      return;
+    }
+    const std::shared_ptr<Pending> p = it->second;
+    pending.erase(it);
+
+    if (p->internal) {
+      if (p->op == "save" && (!response["status"].is_string() ||
+                              response["status"].as_string() != "ok"))
+        ++save_failures;
+      if (p->probe) p->probe->store(true);
+    } else if (p->fanout) {
+      p->fanout->responses.emplace_back(p->target, std::move(response));
+      if (--p->fanout->awaiting == 0) {
+        finalize_fanout_locked(p->fanout, outbox);
+        schedule_auto_saves_locked(*p->fanout, to_send);
+      }
+    } else {
+      response.set("id", p->client_id);
+      outbox.add(p->emit, std::move(response));
+    }
+  }
+  outbox.flush();
+  for (const std::shared_ptr<Pending>& p : to_send) dispatch(p);
+  cv.notify_all();
+}
+
+void Cluster::Impl::on_worker_eof(std::size_t index, std::uint64_t generation) {
+  Outbox outbox;
+  std::vector<std::shared_ptr<Pending>> to_redispatch;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    Shard& shard = *shards[index];
+    if (shard.generation != generation) return;  // stale reader
+    if (shard.state == ShardState::kUp) shard.state = ShardState::kBackoff;
+    shard.reap_pending = true;
+
+    // Sweep every pending aimed at the dead shard.
+    std::vector<std::shared_ptr<Pending>> victims;
+    for (const auto& [id, p] : pending)
+      if (p->target == index) victims.push_back(p);
+    for (const std::shared_ptr<Pending>& p : victims) {
+      if (p->internal) {
+        if (p->op == "save") ++save_failures;
+        pending.erase(p->internal_id);
+      } else if (p->fanout) {
+        p->fanout->responses.emplace_back(p->target, svc::Json());
+        pending.erase(p->internal_id);
+        if (--p->fanout->awaiting == 0) {
+          finalize_fanout_locked(p->fanout, outbox);
+          std::vector<std::shared_ptr<Pending>> saves;
+          schedule_auto_saves_locked(*p->fanout, saves);
+          for (auto& save : saves) to_redispatch.push_back(std::move(save));
+        }
+      } else {
+        // In-flight query: dispatch() below walks it to the next live
+        // replica (idempotent re-execution) or answers degraded.
+        to_redispatch.push_back(p);
+      }
+    }
+  }
+  outbox.flush();
+  for (const std::shared_ptr<Pending>& p : to_redispatch) dispatch(p);
+  cv.notify_all();
+}
+
+void Cluster::Impl::classify_death_locked(Shard& shard, int status) {
+  if (shard.heartbeat_kill) {
+    ++shard.deaths_heartbeat;
+    shard.last_death = "heartbeat-timeout";
+  } else if (WIFSIGNALED(status)) {
+    ++shard.deaths_signal;
+    shard.last_death = "signal " + std::to_string(WTERMSIG(status));
+  } else if (WIFEXITED(status)) {
+    ++shard.deaths_exit;
+    shard.last_death = "exit " + std::to_string(WEXITSTATUS(status));
+  } else {
+    ++shard.deaths_exit;
+    shard.last_death = "unknown";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision
+
+void Cluster::Impl::supervisor_loop() {
+  const auto interval =
+      seconds_to_duration(std::max(1e-3, options.heartbeat_interval_seconds));
+  std::unique_lock<std::mutex> lock(mutex);
+  while (true) {
+    cv.wait_for(lock, interval, [this] { return stopping; });
+    const Clock::time_point now = Clock::now();
+
+    struct PingJob {
+      Shard* shard;
+      std::uint64_t generation;
+      std::shared_ptr<Pending> pending;
+    };
+    std::vector<PingJob> pings;
+
+    for (const std::unique_ptr<Shard>& owned : shards) {
+      Shard& shard = *owned;
+
+      // Heartbeats and escalation for live shards.
+      if (shard.state == ShardState::kUp && !shard.reap_pending) {
+        if (shard.term_sent && now >= shard.kill_deadline) {
+          ::kill(shard.pid, SIGKILL);  // SIGTERM grace expired (or SIGSTOP)
+          shard.kill_deadline = now + seconds_to_duration(1.0);
+        } else if (!shard.term_sent &&
+                   shard.missed_pings >= options.heartbeat_miss_limit) {
+          // Wedged: give it SIGTERM first so camc_serve can flush its
+          // persist layer, then SIGKILL after the grace period (a
+          // SIGSTOPped worker only dies at the SIGKILL step).
+          shard.heartbeat_kill = true;
+          shard.term_sent = true;
+          shard.kill_deadline =
+              now + seconds_to_duration(options.kill_grace_seconds);
+          ::kill(shard.pid, SIGTERM);
+        } else if (!shard.term_sent) {
+          auto ping = std::make_shared<Pending>();
+          ping->internal_id = fresh_id();
+          ping->internal = true;
+          ping->op = "ping";
+          ping->target = shard.index;
+          ping->line = svc::Json::object()
+                           .set("id", ping->internal_id)
+                           .set("op", "ping")
+                           .dump() +
+                       "\n";
+          pending.emplace(ping->internal_id, ping);
+          ++shard.missed_pings;
+          pings.push_back({&shard, shard.generation, ping});
+        }
+      }
+
+      // Reap: EOF seen and reader finished — classify and schedule.
+      if (shard.reap_pending && shard.eof_seen) {
+        int status = 0;
+        const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+        if (reaped == shard.pid || reaped < 0) {
+          if (reaped == shard.pid) classify_death_locked(shard, status);
+          close_pipe_locked(shard);
+          if (shard.reader.joinable()) shard.reader.join();
+          shard.reap_pending = false;
+          shard.term_sent = false;
+          shard.heartbeat_kill = false;
+          shard.pid = -1;
+          if (stopping || (options.max_restarts > 0 &&
+                           shard.restarts >= options.max_restarts)) {
+            shard.state = ShardState::kStopped;
+          } else {
+            const double uptime =
+                std::chrono::duration<double>(now - shard.started_at).count();
+            if (uptime >= options.backoff_reset_uptime_seconds)
+              shard.backoff_attempt = 0;
+            const double delay =
+                resilience::backoff_delay(options.restart, shard.backoff_attempt,
+                                          /*salt=*/shard.index);
+            ++shard.backoff_attempt;
+            shard.restart_at = now + seconds_to_duration(delay);
+          }
+        }
+      }
+
+      // Restart once the (jittered) backoff expires.
+      if (shard.state == ShardState::kBackoff && shard.pid < 0 && !stopping &&
+          now >= shard.restart_at) {
+        try {
+          spawn_shard_locked(shard);
+          ++shard.restarts;
+        } catch (const std::exception&) {
+          shard.restart_at = now + seconds_to_duration(resilience::backoff_delay(
+                                       options.restart, shard.backoff_attempt,
+                                       shard.index));
+          ++shard.backoff_attempt;
+        }
+      }
+    }
+
+    if (stopping) return;
+
+    // Send heartbeats without the cluster lock (a wedged worker's full
+    // pipe must not stall supervision of the others).
+    lock.unlock();
+    for (const PingJob& job : pings) {
+      if (!write_to_shard(*job.shard, job.generation, job.pending->line)) {
+        std::lock_guard<std::mutex> relock(mutex);
+        pending.erase(job.pending->internal_id);
+      }
+    }
+    cv.notify_all();
+    lock.lock();
+  }
+}
+
+void Cluster::Impl::chaos_loop() {
+  std::unique_lock<std::mutex> lock(mutex);
+  for (const ChaosEvent& event : chaos.events) {
+    const Clock::time_point at =
+        start_time + seconds_to_duration(event.at_seconds);
+    if (cv.wait_until(lock, at, [this] { return stopping; })) return;
+    Shard& shard = *shards[event.shard];
+    if (shard.state != ShardState::kUp || shard.pid < 0 || shard.reap_pending)
+      continue;  // already dead/restarting; the schedule marches on
+    if (event.action == ChaosAction::kKill) {
+      ++chaos_kills;
+      ::kill(shard.pid, SIGKILL);  // pipe-EOF detection path
+    } else {
+      ++chaos_stalls;
+      ::kill(shard.pid, SIGSTOP);  // heartbeat-timeout detection path
+    }
+  }
+}
+
+svc::Json Cluster::Impl::cluster_stats_locked() const {
+  std::uint64_t live = 0, restarts = 0, deaths_exit = 0, deaths_signal = 0,
+                deaths_heartbeat = 0;
+  svc::Json shard_status = svc::Json::array();
+  for (const std::unique_ptr<Shard>& owned : shards) {
+    const Shard& shard = *owned;
+    if (shard.state == ShardState::kUp) ++live;
+    restarts += shard.restarts;
+    deaths_exit += shard.deaths_exit;
+    deaths_signal += shard.deaths_signal;
+    deaths_heartbeat += shard.deaths_heartbeat;
+    svc::Json entry =
+        svc::Json::object()
+            .set("shard", static_cast<std::uint64_t>(shard.index))
+            .set("state", shard_state_name(shard.state))
+            .set("pid", static_cast<std::int64_t>(shard.pid))
+            .set("restarts", shard.restarts);
+    if (!shard.last_death.empty()) entry.set("last_death", shard.last_death);
+    shard_status.push_back(std::move(entry));
+  }
+  return svc::Json::object()
+      .set("shards", static_cast<std::uint64_t>(shards.size()))
+      .set("replication", static_cast<std::uint64_t>(map->replication()))
+      .set("live", live)
+      .set("restarts", restarts)
+      .set("deaths", svc::Json::object()
+                         .set("exit", deaths_exit)
+                         .set("signal", deaths_signal)
+                         .set("heartbeat_timeout", deaths_heartbeat))
+      .set("reroutes", reroutes)
+      .set("redispatched", redispatched)
+      .set("degraded", degraded)
+      .set("stale_responses", stale_responses)
+      .set("send_failures", send_failures)
+      .set("auto_saves", auto_saves)
+      .set("save_failures", save_failures)
+      .set("worker_protocol_errors", worker_protocol_errors)
+      .set("chaos", svc::Json::object()
+                        .set("kills", chaos_kills)
+                        .set("stalls", chaos_stalls))
+      .set("shard_status", std::move(shard_status));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster façade
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      map_(std::max<std::size_t>(1, options.shards), options.replication),
+      impl_(std::make_unique<Impl>()) {
+  if (options_.serve_path.empty())
+    throw std::runtime_error("cluster: serve_path is required");
+  options_.shards = map_.shards();
+  options_.replication = map_.replication();
+
+  // A dead worker must surface as a failed write / pipe EOF, not a
+  // router-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  impl_->options = options_;
+  impl_->map = &map_;
+  impl_->chaos = parse_chaos_plan(options_.chaos_plan, options_.shards);
+  impl_->start_time = Clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t index = 0; index < options_.shards; ++index) {
+      auto shard = std::make_unique<Shard>();
+      shard->index = index;
+      impl_->shards.push_back(std::move(shard));
+    }
+    for (const std::unique_ptr<Shard>& shard : impl_->shards)
+      impl_->spawn_shard_locked(*shard);
+  }
+  impl_->supervisor = std::thread([impl = impl_.get()] { impl->supervisor_loop(); });
+  if (!impl_->chaos.empty())
+    impl_->chaos_thread = std::thread([impl = impl_.get()] { impl->chaos_loop(); });
+}
+
+Cluster::~Cluster() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->chaos_thread.joinable()) impl_->chaos_thread.join();
+  if (impl_->supervisor.joinable()) impl_->supervisor.join();
+
+  // Close every worker stdin: a clean camc_serve drains and exits on EOF.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const std::unique_ptr<Shard>& shard : impl_->shards)
+      impl_->close_pipe_locked(*shard);
+    impl_->pending.clear();
+  }
+
+  // Escalating reap: EOF grace, then SIGTERM, then SIGKILL.
+  for (const std::unique_ptr<Shard>& owned : impl_->shards) {
+    Shard& shard = *owned;
+    if (shard.pid > 0) {
+      int status = 0;
+      bool reaped = false;
+      for (int phase = 0; phase < 3 && !reaped; ++phase) {
+        const Clock::time_point deadline =
+            Clock::now() + seconds_to_duration(phase == 0 ? 2.0 : 1.0);
+        while (Clock::now() < deadline) {
+          if (::waitpid(shard.pid, &status, WNOHANG) != 0) {
+            reaped = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!reaped) ::kill(shard.pid, phase == 0 ? SIGTERM : SIGKILL);
+      }
+      if (!reaped) ::waitpid(shard.pid, &status, 0);
+    }
+    if (shard.reader.joinable()) shard.reader.join();
+  }
+}
+
+bool Cluster::handle_line(const std::string& line, const Emit& emit) {
+  Impl& impl = *impl_;
+  svc::Json request;
+  std::uint64_t client_id = 0;
+  try {
+    request = svc::Json::parse(line);
+    if (!request.is_object()) throw std::runtime_error("request not an object");
+    if (request["id"].is_number()) client_id = request["id"].as_u64();
+    const std::string& op = request["op"].is_string()
+                                ? request["op"].as_string()
+                                : throw std::runtime_error("missing op");
+
+    if (op == "ping") {
+      // The router answers for itself: a ping probes the front-end, the
+      // aggregated stats op probes the shards.
+      emit(base_response(client_id).set("status", "ok").dump());
+      return true;
+    }
+
+    if (op == "shutdown") {
+      std::vector<std::shared_ptr<Pending>> to_send;
+      {
+        std::lock_guard<std::mutex> lock(impl.mutex);
+        impl.stopping = true;
+        for (const std::unique_ptr<Shard>& shard : impl.shards) {
+          if (shard->state != ShardState::kUp) continue;
+          auto p = std::make_shared<Pending>();
+          p->internal_id = impl.fresh_id();
+          p->internal = true;
+          p->op = "shutdown";
+          p->target = shard->index;
+          p->line = svc::Json::object()
+                        .set("id", p->internal_id)
+                        .set("op", "shutdown")
+                        .dump() +
+                    "\n";
+          impl.pending.emplace(p->internal_id, p);
+          to_send.push_back(std::move(p));
+        }
+      }
+      impl.cv.notify_all();
+      for (const std::shared_ptr<Pending>& p : to_send) impl.dispatch(p);
+      emit(base_response(client_id).set("status", "ok").dump());
+      return false;
+    }
+
+    if (op == "stats") {
+      std::vector<std::shared_ptr<Pending>> to_send;
+      bool answer_now = false;
+      svc::Json immediate;
+      {
+        std::lock_guard<std::mutex> lock(impl.mutex);
+        auto fanout = std::make_shared<Fanout>();
+        fanout->client_id = client_id;
+        fanout->emit = emit;
+        fanout->op = "stats";
+        for (const std::unique_ptr<Shard>& shard : impl.shards) {
+          if (shard->state != ShardState::kUp) {
+            fanout->responses.emplace_back(shard->index, svc::Json());
+            continue;
+          }
+          auto p = std::make_shared<Pending>();
+          p->internal_id = impl.fresh_id();
+          p->client_id = client_id;
+          p->emit = emit;
+          p->op = "stats";
+          p->target = shard->index;
+          p->fanout = fanout;
+          p->line = svc::Json::object()
+                        .set("id", p->internal_id)
+                        .set("op", "stats")
+                        .dump() +
+                    "\n";
+          impl.pending.emplace(p->internal_id, p);
+          ++fanout->awaiting;
+          to_send.push_back(std::move(p));
+        }
+        if (fanout->awaiting == 0) {
+          // Whole cluster down: still answer, from the router's view.
+          answer_now = true;
+          immediate = base_response(client_id)
+                          .set("status", "ok")
+                          .set("result", impl.aggregate_stats_locked(*fanout));
+        }
+      }
+      if (answer_now) {
+        emit(immediate.dump());
+        return true;
+      }
+      for (const std::shared_ptr<Pending>& p : to_send) impl.dispatch(p);
+      return true;
+    }
+
+    const bool replicated = is_replicated_write(op);
+    const bool query = op == "query";
+    if (!replicated && !query) throw std::runtime_error("unknown op '" + op + "'");
+    if (!request["graph"].is_string())
+      throw std::runtime_error("cluster routing requires \"graph\"");
+    const std::string& graph = request["graph"].as_string();
+    const std::vector<std::size_t> replicas = map_.replicas(graph);
+
+    if (query) {
+      auto p = std::make_shared<Pending>();
+      p->client_id = client_id;
+      p->emit = emit;
+      p->op = op;
+      p->graph = graph;
+      p->target = replicas.front();
+      p->fallbacks.assign(replicas.begin() + 1, replicas.end());
+      {
+        std::lock_guard<std::mutex> lock(impl.mutex);
+        p->internal_id = impl.fresh_id();
+        request.set("id", p->internal_id);
+        p->line = request.dump() + "\n";
+        impl.pending.emplace(p->internal_id, p);
+      }
+      impl.dispatch(p);
+      return true;
+    }
+
+    // Replicated write: fan out to every replica (the down ones are
+    // recorded as missing so the fanout still finalizes).
+    std::vector<std::shared_ptr<Pending>> to_send;
+    Impl::Outbox all_down_outbox;
+    {
+      std::lock_guard<std::mutex> lock(impl.mutex);
+      auto fanout = std::make_shared<Fanout>();
+      fanout->client_id = client_id;
+      fanout->emit = emit;
+      fanout->op = op;
+      fanout->graph = graph;
+      fanout->primary = replicas.front();
+      for (const std::size_t index : replicas) {
+        if (impl.shards[index]->state != ShardState::kUp) {
+          fanout->responses.emplace_back(index, svc::Json());
+          continue;
+        }
+        auto p = std::make_shared<Pending>();
+        p->internal_id = impl.fresh_id();
+        p->client_id = client_id;
+        p->emit = emit;
+        p->op = op;
+        p->graph = graph;
+        p->target = index;
+        p->fanout = fanout;
+        svc::Json copy = request;
+        copy.set("id", p->internal_id);
+        p->line = copy.dump() + "\n";
+        impl.pending.emplace(p->internal_id, p);
+        ++fanout->awaiting;
+        to_send.push_back(std::move(p));
+      }
+      if (fanout->awaiting == 0) {
+        // Every replica is down: finalize immediately (degraded).
+        impl.finalize_fanout_locked(fanout, all_down_outbox);
+      }
+    }
+    all_down_outbox.flush();
+    for (const std::shared_ptr<Pending>& p : to_send) impl.dispatch(p);
+    return true;
+  } catch (const std::exception& e) {
+    emit(error_response(client_id, e.what()).dump());
+    return true;
+  }
+}
+
+void Cluster::drain(double timeout_seconds) {
+  Impl& impl = *impl_;
+  Impl::Outbox outbox;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.cv.wait_for(lock, seconds_to_duration(timeout_seconds),
+                     [&impl] { return impl.pending.empty(); });
+    // Bounded: anything still outstanding answers degraded rather than
+    // holding the caller hostage.
+    for (const auto& [id, p] : impl.pending) {
+      if (p->internal) continue;
+      if (p->fanout) {
+        p->fanout->responses.emplace_back(p->target, svc::Json());
+        if (--p->fanout->awaiting == 0)
+          impl.finalize_fanout_locked(p->fanout, outbox);
+      } else {
+        outbox.add(p->emit, impl.degraded_response_locked(*p));
+      }
+    }
+    impl.pending.clear();
+  }
+  outbox.flush();
+}
+
+std::vector<ShardStatus> Cluster::shard_statuses() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<ShardStatus> out;
+  out.reserve(impl_->shards.size());
+  for (const std::unique_ptr<Shard>& owned : impl_->shards) {
+    const Shard& shard = *owned;
+    ShardStatus status;
+    status.shard = shard.index;
+    status.state = shard.state;
+    status.pid = shard.pid;
+    status.restarts = shard.restarts;
+    status.deaths_exit = shard.deaths_exit;
+    status.deaths_signal = shard.deaths_signal;
+    status.deaths_heartbeat = shard.deaths_heartbeat;
+    status.last_death = shard.last_death;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+svc::Json Cluster::cluster_stats_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->cluster_stats_locked();
+}
+
+void Cluster::inject_fault(std::size_t shard_index, ChaosAction action) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (shard_index >= impl_->shards.size()) return;
+  Shard& shard = *impl_->shards[shard_index];
+  if (shard.state != ShardState::kUp || shard.pid < 0 || shard.reap_pending)
+    return;
+  if (action == ChaosAction::kKill) {
+    ++impl_->chaos_kills;
+    ::kill(shard.pid, SIGKILL);
+  } else {
+    ++impl_->chaos_stalls;
+    ::kill(shard.pid, SIGSTOP);
+  }
+}
+
+bool Cluster::wait_for_shard_up(std::size_t shard_index,
+                                double timeout_seconds) {
+  if (shard_index >= impl_->shards.size()) return false;
+  Impl& impl = *impl_;
+  const Clock::time_point deadline =
+      Clock::now() + seconds_to_duration(timeout_seconds);
+  while (Clock::now() < deadline) {
+    std::shared_ptr<Pending> probe;
+    {
+      std::lock_guard<std::mutex> lock(impl.mutex);
+      Shard& shard = *impl.shards[shard_index];
+      if (shard.state == ShardState::kUp && !shard.reap_pending) {
+        probe = std::make_shared<Pending>();
+        probe->internal_id = impl.fresh_id();
+        probe->internal = true;
+        probe->op = "ping";
+        probe->target = shard_index;
+        probe->probe = std::make_shared<std::atomic<bool>>(false);
+        probe->line = svc::Json::object()
+                          .set("id", probe->internal_id)
+                          .set("op", "ping")
+                          .dump() +
+                      "\n";
+        impl.pending.emplace(probe->internal_id, probe);
+      }
+    }
+    if (probe) {
+      impl.dispatch(probe);
+      const Clock::time_point probe_deadline =
+          std::min(deadline, Clock::now() + seconds_to_duration(0.25));
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      impl.cv.wait_until(lock, probe_deadline,
+                         [&probe] { return probe->probe->load(); });
+      if (probe->probe->load()) return true;
+      impl.pending.erase(probe->internal_id);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return false;
+}
+
+}  // namespace camc::cluster

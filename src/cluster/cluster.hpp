@@ -1,0 +1,195 @@
+#pragma once
+
+// camc::cluster — a supervised, sharded serve cluster behind one NDJSON
+// front-end.
+//
+// A Cluster forks N camc_serve worker processes (the *shards*), spreads
+// resident graphs across them by consistent hashing of the graph name
+// (shard_map.hpp, with a replication knob), and forwards the protocol-v1
+// line stream over pipes: requests fan in through handle_line(), worker
+// response lines fan back out through the emit callback with the client's
+// ids restored. tools/camc_router.cpp is the stdin/stdout wrapper — to a
+// client, a router is indistinguishable from a single camc_serve, except
+// that its capacity is N workers wide and a worker crash is survivable.
+//
+// Robustness model (docs/CLUSTER.md has the full lifecycle state machine):
+//
+//   detection   Per-shard health is watched two ways: pipe EOF from the
+//               reader thread (a dead process closes its pipes) and ping
+//               heartbeats from the supervisor thread (a *wedged* process
+//               keeps its pipes open but stops answering; after
+//               `heartbeat_miss_limit` unanswered pings it is declared
+//               dead and killed — SIGTERM first so camc_serve can flush
+//               its persist layer, SIGKILL after a grace period).
+//   forensics   Every death is reaped and classified — exit code vs.
+//               signal vs. heartbeat timeout — and counted per shard,
+//               mirroring the rank-level watchdog's straggler reports.
+//   restart     Dead shards respawn under bounded exponential backoff
+//               with seeded jitter (resilience::RetryPolicy — the jitter
+//               keeps N shards dying together from thundering-herd on the
+//               store directory). A respawned worker warm-restarts from
+//               its own store directory (<store_dir>/shard-<k>), so the
+//               graphs and cached results it persisted come back without
+//               re-staging — PR 7's warm restart applied to crash
+//               recovery. The router auto-saves every successfully staged
+//               graph to make that rehydration complete.
+//   re-dispatch In-flight requests on a dead shard are not lost: queries
+//               re-dispatch to the next live replica (safe because a
+//               query is idempotent by (fingerprint, kind, params, seed)
+//               — a duplicate execution lands in the replica's
+//               ResultCache and returns the identical answer), and
+//               replicated writes complete on the surviving replicas.
+//   degradation While a keyspace has no live replica, its requests answer
+//               a structured `status:"degraded"` response immediately —
+//               never a hang. `stats` aggregates per-shard metrics and
+//               reports shard liveness, restart counts, and re-route
+//               counts (docs/PROTOCOL.md, "Cluster extensions").
+//
+// A seeded chaos plan (chaos.hpp) can kill/stall the cluster's own
+// workers on a deterministic schedule, turning the whole machinery into a
+// replayable campaign (tools/run_cluster_campaign.sh).
+//
+// Threading: handle_line() may be called from any one client thread;
+// emits fire from reader/supervisor threads as responses arrive, so the
+// emit callback must be thread-safe (same contract as svc::Service).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/chaos.hpp"
+#include "cluster/shard_map.hpp"
+#include "resilience/retry.hpp"
+#include "svc/json.hpp"
+
+namespace camc::cluster {
+
+struct ClusterOptions {
+  /// Path to the camc_serve binary to fork per shard.
+  std::string serve_path;
+  std::size_t shards = 4;
+  /// Distinct shards per keyspace (clamped to [1, shards]). Writes fan
+  /// out to all replicas; queries fail over down the list.
+  std::size_t replication = 1;
+  /// Root store directory; shard k persists under <store_dir>/shard-<k>.
+  /// Empty disables persistence (and therefore warm crash recovery).
+  std::string store_dir;
+  /// After a successful gen/load, persist the graph on every replica so a
+  /// crashed shard rehydrates it on restart. Requires store_dir.
+  bool auto_save = true;
+
+  // Worker knobs, forwarded to each camc_serve.
+  int worker_threads = 2;
+  std::size_t worker_queue = 256;
+  std::size_t worker_batch = 16;
+  std::size_t worker_cache = 4096;
+  std::uint64_t worker_seed = 1;
+  std::string worker_cc_engine;  ///< empty: camc_serve's default
+
+  /// Supervisor tick / ping cadence.
+  double heartbeat_interval_seconds = 0.1;
+  /// Unanswered pings before a shard is declared wedged and killed.
+  std::uint32_t heartbeat_miss_limit = 30;
+  /// SIGTERM-to-SIGKILL escalation grace for supervisor kills.
+  double kill_grace_seconds = 1.0;
+
+  /// Backoff between restart attempts of one shard (jitter recommended;
+  /// see RetryPolicy::jitter). max_attempts is ignored here — restarts
+  /// are bounded by max_restarts below instead.
+  resilience::RetryPolicy restart{.max_attempts = 1,
+                                  .backoff_base_seconds = 0.05,
+                                  .backoff_max_seconds = 2.0,
+                                  .jitter = 0.5,
+                                  .jitter_seed = 0x524F5554ull};
+  /// Total restarts allowed per shard; 0 = unbounded. A shard over the
+  /// limit stays down and its keyspace answers degraded.
+  std::uint32_t max_restarts = 0;
+  /// A shard that stayed up this long gets its backoff attempt reset, so
+  /// a crash after hours of service restarts promptly.
+  double backoff_reset_uptime_seconds = 5.0;
+
+  /// Seeded kill/stall schedule against our own workers (chaos.hpp
+  /// grammar); empty disables chaos.
+  std::string chaos_plan;
+};
+
+enum class ShardState : std::uint8_t {
+  kUp = 0,       ///< process running, pipes open
+  kBackoff = 1,  ///< dead; restart scheduled (or reap pending)
+  kStopped = 2,  ///< out of restart budget, or cluster shutting down
+};
+
+const char* shard_state_name(ShardState state) noexcept;
+
+enum class DeathCause : std::uint8_t {
+  kExit = 0,              ///< child exited on its own (nonzero or zero)
+  kSignal = 1,            ///< child died from a signal (crash, chaos kill)
+  kHeartbeatTimeout = 2,  ///< supervisor killed it for missed heartbeats
+};
+
+/// Point-in-time view of one shard, for stats and tests.
+struct ShardStatus {
+  std::size_t shard = 0;
+  ShardState state = ShardState::kBackoff;
+  long pid = -1;
+  std::uint64_t restarts = 0;
+  std::uint64_t deaths_exit = 0;
+  std::uint64_t deaths_signal = 0;
+  std::uint64_t deaths_heartbeat = 0;
+  std::string last_death;  ///< e.g. "signal 9", "exit 127", empty if none
+};
+
+class Cluster {
+ public:
+  using Emit = std::function<void(const std::string&)>;
+
+  /// Forks the shards (throws std::runtime_error if no worker can be
+  /// spawned) and starts the supervisor; workers warm-restart themselves
+  /// from their store directories before answering their first request.
+  explicit Cluster(const ClusterOptions& options);
+
+  /// Stops chaos + supervisor, closes worker stdins, escalates
+  /// EOF → SIGTERM → SIGKILL on stragglers, reaps everything.
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Routes one request line. Returns false when the line was a shutdown
+  /// request (forwarded to every live shard; the response is still
+  /// emitted); true otherwise. Never throws: malformed input becomes a
+  /// status:"error" response, a down keyspace a status:"degraded" one.
+  bool handle_line(const std::string& line, const Emit& emit);
+
+  /// Waits until no forwarded request is outstanding; any survivor past
+  /// the timeout is answered degraded (bounded — never a hang).
+  void drain(double timeout_seconds = 30.0);
+
+  std::vector<ShardStatus> shard_statuses() const;
+  /// The "cluster" object aggregated into stats responses.
+  svc::Json cluster_stats_json() const;
+
+  const ShardMap& shard_map() const noexcept { return map_; }
+
+  // Test / chaos hooks.
+  /// SIGKILLs (or SIGSTOPs) a shard's current process, as a chaos event
+  /// would. No-op if the shard is not up.
+  void inject_fault(std::size_t shard, ChaosAction action);
+  /// Blocks until the shard answers a fresh ping (true) or the timeout
+  /// passes (false).
+  bool wait_for_shard_up(std::size_t shard, double timeout_seconds);
+
+ private:
+  struct Shard;
+  struct Pending;
+  struct Fanout;
+  struct Impl;
+
+  ClusterOptions options_;
+  ShardMap map_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace camc::cluster

@@ -1,0 +1,66 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+
+namespace camc::cluster {
+
+namespace {
+
+/// splitmix64 finalizer: turns (seed, shard, vnode) into a ring position.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t route_fingerprint(std::string_view key) noexcept {
+  // FNV-1a 64. Stable across platforms and releases: the per-shard store
+  // directories are addressed through it, so a change would orphan every
+  // persisted keyspace.
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+ShardMap::ShardMap(std::size_t shards, std::size_t replication,
+                   std::uint64_t seed, std::size_t vnodes)
+    : shards_(std::max<std::size_t>(1, shards)),
+      replication_(std::clamp<std::size_t>(replication, 1, shards_)) {
+  vnodes = std::max<std::size_t>(1, vnodes);
+  ring_.reserve(shards_ * vnodes);
+  for (std::size_t shard = 0; shard < shards_; ++shard)
+    for (std::size_t vnode = 0; vnode < vnodes; ++vnode)
+      ring_.emplace_back(mix64(mix64(seed ^ (shard * 0x10001u)) + vnode),
+                         shard);
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<std::size_t> ShardMap::replicas(std::string_view key) const {
+  const std::uint64_t point = route_fingerprint(key);
+  std::vector<std::size_t> out;
+  out.reserve(replication_);
+  // First ring point at or after the key's position, wrapping.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, static_cast<std::size_t>(0)));
+  for (std::size_t walked = 0; walked < ring_.size() && out.size() < replication_;
+       ++walked) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end())
+      out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+std::size_t ShardMap::primary(std::string_view key) const {
+  return replicas(key).front();
+}
+
+}  // namespace camc::cluster

@@ -1,0 +1,59 @@
+#pragma once
+
+// ShardMap: consistent hashing of graph keyspaces onto serve shards.
+//
+// The router owns N camc_serve worker processes and must decide, per
+// request, which worker(s) a graph lives on. The map hashes the routing
+// key (the client-visible graph name — the only identity that exists
+// before a graph is staged; its content fingerprint then names the
+// persisted artifacts inside the chosen shard's store directory) onto a
+// ring of seeded virtual nodes, so:
+//
+//   - the assignment is a pure function of (key, shard count, seed) —
+//     every router replica and every restart agrees without coordination,
+//   - keys spread evenly (vnodes smooth the distribution), and
+//   - growing the cluster by one shard moves only ~1/N of the keyspace.
+//
+// `replication` > 1 returns that many *distinct* shards per key, primary
+// first: writes (gen/load/save/evict) fan out to all of them, queries
+// prefer the primary and fail over down the list, and the keyspace only
+// answers `degraded` when every replica is down at once.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camc::cluster {
+
+/// Stable 64-bit routing fingerprint of a key (FNV-1a, documented in
+/// docs/CLUSTER.md — changing it reshuffles every keyspace).
+std::uint64_t route_fingerprint(std::string_view key) noexcept;
+
+class ShardMap {
+ public:
+  /// `shards` >= 1; `replication` is clamped to [1, shards]; `vnodes`
+  /// virtual nodes per shard smooth the split.
+  ShardMap(std::size_t shards, std::size_t replication,
+           std::uint64_t seed = 0x434C5553544552ull,  // "CLUSTER"
+           std::size_t vnodes = 64);
+
+  std::size_t shards() const noexcept { return shards_; }
+  std::size_t replication() const noexcept { return replication_; }
+
+  /// The shards owning `key`, primary first; `replication` distinct
+  /// entries (fewer only if the cluster is smaller than the replication
+  /// factor, which the constructor already clamps away).
+  std::vector<std::size_t> replicas(std::string_view key) const;
+
+  /// Primary shard only (replicas(key).front()).
+  std::size_t primary(std::string_view key) const;
+
+ private:
+  std::size_t shards_;
+  std::size_t replication_;
+  /// Ring points sorted by position; .second is the owning shard.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace camc::cluster

@@ -1,6 +1,7 @@
 #include "resilience/retry.hpp"
 
 #include "bsp/barrier.hpp"
+#include "rng/philox.hpp"
 
 namespace camc::resilience {
 
@@ -17,8 +18,8 @@ bool is_transient_fault(const std::exception_ptr& error) noexcept {
   }
 }
 
-double backoff_delay(const RetryPolicy& policy,
-                     std::uint32_t attempt) noexcept {
+double backoff_delay(const RetryPolicy& policy, std::uint32_t attempt,
+                     std::uint64_t salt) noexcept {
   double delay = policy.backoff_base_seconds;
   if (delay < 0.0) delay = 0.0;
   for (std::uint32_t i = 0; i < attempt; ++i) {
@@ -26,7 +27,24 @@ double backoff_delay(const RetryPolicy& policy,
     if (delay >= policy.backoff_max_seconds) break;
   }
   if (delay > policy.backoff_max_seconds) delay = policy.backoff_max_seconds;
-  return delay < 0.0 ? 0.0 : delay;
+  if (delay < 0.0) delay = 0.0;
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0 && delay > 0.0) {
+    // Deterministic uniform in [0, 1): one Philox draw keyed by
+    // (jitter_seed, salt ^ attempt), so a given retrier's k-th backoff is
+    // always the same while distinct salts decorrelate.
+    rng::Philox rng(policy.jitter_seed,
+                    salt ^ (0x9E3779B97F4A7C15ull * (attempt + 1)));
+    const double unit =
+        static_cast<double>(rng() >> 11) * 0x1.0p-53;  // 53-bit mantissa
+    delay *= 1.0 - jitter * unit;
+  }
+  return delay;
+}
+
+double backoff_delay(const RetryPolicy& policy,
+                     std::uint32_t attempt) noexcept {
+  return backoff_delay(policy, attempt, /*salt=*/0);
 }
 
 }  // namespace camc::resilience

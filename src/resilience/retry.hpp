@@ -38,6 +38,15 @@ struct RetryPolicy {
   /// Exponential backoff before retry k is base * 2^k, capped below.
   double backoff_base_seconds = 0.001;
   double backoff_max_seconds = 0.25;
+  /// Seeded jitter fraction in [0, 1]: the capped exponential delay d is
+  /// scaled by a deterministic factor in [1 - jitter, 1], drawn from
+  /// Philox(jitter_seed, salt ^ attempt). Jitter spreads a cohort of
+  /// retriers that failed together (e.g. every shard of a cluster dying
+  /// in one chaos event) so they do not thunder back in lockstep, while
+  /// staying replayable from the seed. 0 (the default) pins the exact
+  /// pre-jitter delays bit-for-bit.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// One line of the recovery log.
@@ -72,7 +81,15 @@ struct RecoveryReport {
 bool is_transient_fault(const std::exception_ptr& error) noexcept;
 
 /// Backoff before the retry following failed attempt `attempt` (0-based):
-/// min(base * 2^attempt, max), never negative.
+/// min(base * 2^attempt, max) scaled by the policy's jitter (see
+/// RetryPolicy::jitter), never negative. `salt` decorrelates independent
+/// retriers sharing one policy — e.g. the cluster supervisor salts with
+/// the shard index so co-dying shards draw distinct delays.
+double backoff_delay(const RetryPolicy& policy, std::uint32_t attempt,
+                     std::uint64_t salt) noexcept;
+
+/// Unsalted convenience (salt = 0). With jitter = 0 this is exactly the
+/// historical min(base * 2^attempt, max).
 double backoff_delay(const RetryPolicy& policy, std::uint32_t attempt) noexcept;
 
 /// Runs `attempt_fn(attempt)` until it succeeds, a non-transient error

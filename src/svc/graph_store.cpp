@@ -67,6 +67,11 @@ std::vector<std::string> GraphStore::names() const {
   return out;
 }
 
+std::vector<std::shared_ptr<const StoredGraph>> GraphStore::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
 GraphStore::Stats GraphStore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

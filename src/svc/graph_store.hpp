@@ -60,6 +60,14 @@ class GraphStore {
   std::optional<std::uint64_t> evict(const std::string& name);
 
   std::vector<std::string> names() const;
+
+  /// Every resident graph, most recently used first, WITHOUT refreshing
+  /// recency (unlike get()). The flush-on-shutdown path iterates this so
+  /// the most valuable graphs hit disk first if time is short — walking
+  /// names() + get() instead would reverse the recency order it is
+  /// trying to honor.
+  std::vector<std::shared_ptr<const StoredGraph>> snapshot() const;
+
   Stats stats() const;
 
  private:

@@ -346,6 +346,22 @@ WarmRestartReport Service::warm_restart() {
   return svc::warm_restart(options_.store_dir, store_, cache_);
 }
 
+Service::FlushReport Service::flush_store() {
+  FlushReport report;
+  if (options_.store_dir.empty()) return report;
+  for (const std::shared_ptr<const StoredGraph>& graph : store_.snapshot()) {
+    try {
+      const SaveReport saved =
+          save_graph_bundle(options_.store_dir, *graph, cache_);
+      ++report.graphs;
+      report.results += saved.results_saved;
+    } catch (const std::exception& e) {
+      report.errors.push_back(graph->name + ": " + e.what());
+    }
+  }
+  return report;
+}
+
 Json Service::stats_json() const {
   const EngineSnapshot snapshot = engine_->snapshot();
   const GraphStore::Stats store = store_.stats();

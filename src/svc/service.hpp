@@ -97,6 +97,21 @@ class Service {
   /// when unset). camc_serve calls this once at boot, before serving.
   WarmRestartReport warm_restart();
 
+  /// What flush_store() managed to persist before returning.
+  struct FlushReport {
+    std::size_t graphs = 0;
+    std::size_t results = 0;
+    /// One "graph: error" line per bundle that failed to save.
+    std::vector<std::string> errors;
+  };
+
+  /// Persists every resident graph (with its cached results) to
+  /// options.store_dir, most recently used first — the shutdown-flush
+  /// path camc_serve runs on SIGTERM so a supervised kill mid-request
+  /// loses nothing that was resident. Best-effort per bundle: a failed
+  /// save is recorded and the rest still flush. No-op without store_dir.
+  FlushReport flush_store();
+
  private:
   Json handle_request(const Json& request, const Emit& emit, bool& shutdown);
   Json handle_load(const Json& request);

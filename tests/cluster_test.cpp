@@ -1,0 +1,336 @@
+// camc::cluster — routing, chaos schedules, and the supervised cluster
+// end to end against real camc_serve workers (CAMC_TOOL_DIR).
+//
+// The ShardMap tests pin the properties the router depends on: pure
+// determinism (restarted routers agree without coordination), balance
+// (vnodes smooth the split), and replica distinctness (replication R
+// yields R different shards, primary first). The Cluster tests drive the
+// real fork/pipe machinery: route + answer, aggregated stats, a chaos
+// kill followed by degraded-or-rerouted service and a warm recovery, and
+// the half-written-line contract at the router layer.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/chaos.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/shard_map.hpp"
+#include "svc/json.hpp"
+
+#ifndef CAMC_TOOL_DIR
+#define CAMC_TOOL_DIR ""
+#endif
+
+namespace camc::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+using svc::Json;
+
+TEST(Cluster, ShardMapIsDeterministic) {
+  const ShardMap a(8, 2);
+  const ShardMap b(8, 2);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "graph-" + std::to_string(i);
+    EXPECT_EQ(a.replicas(key), b.replicas(key)) << key;
+  }
+  // A different ring seed is a different (but still valid) assignment.
+  const ShardMap reseeded(8, 2, /*seed=*/1);
+  bool any_moved = false;
+  for (int i = 0; i < 200 && !any_moved; ++i)
+    any_moved =
+        a.primary("graph-" + std::to_string(i)) !=
+        reseeded.primary("graph-" + std::to_string(i));
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Cluster, ShardMapBalancesKeysAcrossShards) {
+  const std::size_t shards = 8;
+  const ShardMap map(shards, 1);
+  std::vector<std::size_t> counts(shards, 0);
+  const std::size_t keys = 4000;
+  for (std::size_t i = 0; i < keys; ++i)
+    ++counts[map.primary("g" + std::to_string(i))];
+  // Every shard owns a real share of the keyspace — at least 1/8 of the
+  // fair split (64 vnodes smooth the ring to roughly 2x spread; the floor
+  // guards against a broken hash collapsing shards to zero, not noise).
+  for (std::size_t s = 0; s < shards; ++s)
+    EXPECT_GE(counts[s], keys / shards / 8) << "shard " << s;
+}
+
+TEST(Cluster, ShardMapReplicasAreDistinctAndPrimaryFirst) {
+  const ShardMap map(5, 3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const std::vector<std::size_t> replicas = map.replicas(key);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), map.primary(key));
+    const std::set<std::size_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size()) << key;
+  }
+  // Replication is clamped to the cluster size.
+  const ShardMap tiny(2, 5);
+  EXPECT_EQ(tiny.replicas("x").size(), 2u);
+}
+
+TEST(Cluster, RouteFingerprintIsStable) {
+  EXPECT_EQ(route_fingerprint("g0"), route_fingerprint("g0"));
+  EXPECT_NE(route_fingerprint("g0"), route_fingerprint("g1"));
+  // FNV-1a offset basis: the empty key's fingerprint is pinned, so a
+  // silent hash change (which would reshuffle every keyspace) fails here.
+  EXPECT_EQ(route_fingerprint(""), 0xCBF29CE484222325ull);
+}
+
+TEST(Cluster, ChaosPlanIsDeterministicAndBounded) {
+  const std::string spec =
+      "seed=42,events=6,start-ms=100,min-delay-ms=50,max-delay-ms=200";
+  const ChaosPlan a = parse_chaos_plan(spec, 4);
+  const ChaosPlan b = parse_chaos_plan(spec, 4);
+  ASSERT_EQ(a.events.size(), 6u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at_seconds, b.events[i].at_seconds);
+    EXPECT_EQ(a.events[i].shard, b.events[i].shard);
+    EXPECT_EQ(a.events[i].action, b.events[i].action);
+    EXPECT_LT(a.events[i].shard, 4u);
+    EXPECT_GE(a.events[i].at_seconds, 0.1);
+    if (i > 0) {
+      const double gap = a.events[i].at_seconds - a.events[i - 1].at_seconds;
+      EXPECT_GE(gap, 0.05 - 1e-9);
+      EXPECT_LE(gap, 0.2 + 1e-9);
+    }
+  }
+  // A different seed draws a different schedule.
+  const ChaosPlan c = parse_chaos_plan(
+      "seed=43,events=6,start-ms=100,min-delay-ms=50,max-delay-ms=200", 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.events.size() && !differs; ++i)
+    differs = c.events[i].shard != a.events[i].shard ||
+              c.events[i].at_seconds != a.events[i].at_seconds;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Cluster, ChaosPlanWeightsAndErrors) {
+  // stall-weight=0 never draws a stall; kill-weight=0 never a kill.
+  const ChaosPlan kills =
+      parse_chaos_plan("seed=7,events=12,stall-weight=0", 4);
+  for (const ChaosEvent& event : kills.events)
+    EXPECT_EQ(event.action, ChaosAction::kKill);
+  const ChaosPlan stalls =
+      parse_chaos_plan("seed=7,events=12,kill-weight=0", 4);
+  for (const ChaosEvent& event : stalls.events)
+    EXPECT_EQ(event.action, ChaosAction::kStall);
+
+  EXPECT_TRUE(parse_chaos_plan("", 4).empty());
+  EXPECT_THROW(parse_chaos_plan("events=3", 4), std::runtime_error);  // no seed
+  EXPECT_THROW(parse_chaos_plan("seed=1,bogus=2", 4), std::runtime_error);
+  EXPECT_THROW(parse_chaos_plan("seed=1,kill-weight=0,stall-weight=0", 4),
+               std::runtime_error);
+  EXPECT_THROW(parse_chaos_plan("seed=1,min-delay-ms=500,max-delay-ms=100", 4),
+               std::runtime_error);
+}
+
+/// Thread-safe emit sink that collects responses by id.
+class Emitted {
+ public:
+  Cluster::Emit sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> hold(mutex_);
+      Json parsed;
+      try {
+        parsed = Json::parse(line);
+      } catch (const std::exception&) {
+        return;  // wait_for_id times out and the test fails visibly
+      }
+      by_id_[parsed["id"].as_u64()] = std::move(parsed);
+      arrived_.notify_all();
+    };
+  }
+
+  Json wait_for_id(std::uint64_t id, double timeout_seconds = 30.0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds),
+        [this, id] { return by_id_.count(id) != 0; });
+    return by_id_[id];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::map<std::uint64_t, Json> by_id_;
+};
+
+ClusterOptions test_options(std::size_t shards, std::size_t replication,
+                            const std::string& store_dir) {
+  ClusterOptions options;
+  options.serve_path = std::string(CAMC_TOOL_DIR) + "/camc_serve";
+  options.shards = shards;
+  options.replication = replication;
+  options.store_dir = store_dir;
+  options.worker_threads = 2;
+  // Fast supervision so the e2e tests converge quickly.
+  options.heartbeat_interval_seconds = 0.05;
+  options.heartbeat_miss_limit = 10;
+  options.restart.backoff_base_seconds = 0.02;
+  options.restart.backoff_max_seconds = 0.2;
+  return options;
+}
+
+std::string gen_line(std::uint64_t id, const std::string& graph) {
+  return Json::object()
+      .set("id", id)
+      .set("op", "gen")
+      .set("graph", graph)
+      .set("family", "er")
+      .set("n", 300)
+      .set("m", 1200)
+      .set("seed", 3)
+      .dump();
+}
+
+std::string query_line(std::uint64_t id, const std::string& graph) {
+  return Json::object()
+      .set("id", id)
+      .set("op", "query")
+      .set("graph", graph)
+      .set("query", "cc")
+      .dump();
+}
+
+TEST(Cluster, RoutesStagesAndAnswersAcrossShards) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  Cluster cluster(test_options(3, 1, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  // Enough graphs that (with overwhelming probability) more than one
+  // shard owns part of the keyspace.
+  std::uint64_t id = 1;
+  std::uint64_t expected_components = 0;
+  for (int g = 0; g < 6; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    cluster.handle_line(gen_line(id, name), emit);
+    const Json staged = emitted.wait_for_id(id++);
+    ASSERT_EQ(staged["status"].as_string(), "ok") << staged.dump();
+    cluster.handle_line(query_line(id, name), emit);
+    const Json answer = emitted.wait_for_id(id++);
+    ASSERT_EQ(answer["status"].as_string(), "ok") << answer.dump();
+    // Same er graph every time: every shard must report the identical
+    // component count.
+    const std::uint64_t components = answer["result"]["value"].as_u64();
+    if (expected_components == 0)
+      expected_components = components;
+    else
+      EXPECT_EQ(components, expected_components) << name;
+  }
+  cluster.drain();
+
+  // Aggregated stats: totals sum the per-shard counters.
+  const Json stats = cluster.cluster_stats_json();
+  EXPECT_EQ(stats["live"].as_u64(), 3u);
+  EXPECT_EQ(stats["restarts"].as_u64(), 0u);
+}
+
+TEST(Cluster, PingAndUnknownOpAnswerLocally) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  Cluster cluster(test_options(2, 1, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  cluster.handle_line("{\"id\":1,\"op\":\"ping\"}", emit);
+  EXPECT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+  cluster.handle_line("{\"id\":2,\"op\":\"frobnicate\"}", emit);
+  EXPECT_EQ(emitted.wait_for_id(2)["status"].as_string(), "error");
+  // The half-written-line contract holds at the router too: a torn final
+  // fragment gets a structured error, not a hang. The id is unreadable
+  // from a torn line, so the pinned response carries id 0 (same contract
+  // as camc_serve's malformed-line response).
+  cluster.handle_line("{\"id\":3,\"op\":\"que", emit);
+  EXPECT_EQ(emitted.wait_for_id(0)["status"].as_string(), "error");
+}
+
+TEST(Cluster, KilledShardRestartsWarmAndKeyspaceRecovers) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  const fs::path dir = fs::temp_directory_path() / "camc_cluster_recovery";
+  fs::remove_all(dir);
+  Cluster cluster(test_options(2, 1, dir.string()));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  cluster.handle_line(gen_line(1, "g0"), emit);
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+  cluster.handle_line(query_line(2, "g0"), emit);
+  const Json before = emitted.wait_for_id(2);
+  ASSERT_EQ(before["status"].as_string(), "ok");
+  cluster.drain();  // auto-save of g0 lands before the fault
+
+  const std::size_t victim = cluster.shard_map().primary("g0");
+  cluster.inject_fault(victim, ChaosAction::kKill);
+
+  // With replication 1 the keyspace has no fallback: every answer in the
+  // down-window must be a *prompt structured* degraded response (or ok
+  // again once the restart wins the race) — never a hang, which the
+  // wait_for_id timeout converts into a visible failure.
+  std::uint64_t id = 3;
+  for (int i = 0; i < 3; ++i) {
+    cluster.handle_line(query_line(id, "g0"), emit);
+    const Json during = emitted.wait_for_id(id++);
+    const std::string status = during["status"].as_string();
+    EXPECT_TRUE(status == "degraded" || status == "ok") << during.dump();
+    if (status == "degraded")
+      EXPECT_EQ(during["shard"].as_u64(), victim) << during.dump();
+  }
+
+  ASSERT_TRUE(cluster.wait_for_shard_up(victim, /*timeout_seconds=*/20.0));
+  cluster.handle_line(query_line(id, "g0"), emit);
+  const Json after = emitted.wait_for_id(id);
+  ASSERT_EQ(after["status"].as_string(), "ok") << after.dump();
+  // Warm recovery: the restarted worker rehydrated g0 from its shard
+  // store (no re-staging happened) and answers with the same value.
+  EXPECT_EQ(after["result"]["value"].as_u64(),
+            before["result"]["value"].as_u64());
+
+  const std::vector<ShardStatus> statuses = cluster.shard_statuses();
+  EXPECT_EQ(statuses[victim].restarts, 1u);
+  EXPECT_EQ(statuses[victim].deaths_signal, 1u);
+  EXPECT_EQ(statuses[victim].last_death, "signal 9");
+  fs::remove_all(dir);
+}
+
+TEST(Cluster, ReplicatedKeyspaceFailsOverWithoutDegrading) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  Cluster cluster(test_options(3, 2, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  cluster.handle_line(gen_line(1, "g0"), emit);
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+  cluster.handle_line(query_line(2, "g0"), emit);
+  const Json before = emitted.wait_for_id(2);
+  ASSERT_EQ(before["status"].as_string(), "ok");
+  cluster.drain();
+
+  // Kill the primary: with a live replica the keyspace must keep
+  // answering ok (fail-over), never degraded.
+  const std::size_t primary = cluster.shard_map().primary("g0");
+  cluster.inject_fault(primary, ChaosAction::kKill);
+  for (std::uint64_t id = 3; id <= 6; ++id) {
+    cluster.handle_line(query_line(id, "g0"), emit);
+    const Json answer = emitted.wait_for_id(id);
+    ASSERT_EQ(answer["status"].as_string(), "ok") << answer.dump();
+    EXPECT_EQ(answer["result"]["value"].as_u64(),
+              before["result"]["value"].as_u64());
+  }
+}
+
+}  // namespace
+}  // namespace camc::cluster

@@ -174,6 +174,71 @@ TEST(Resilience, BackoffIsBoundedAndMonotone) {
   EXPECT_DOUBLE_EQ(backoff_delay(policy, 19), 0.25);
 }
 
+TEST(Resilience, JitterZeroPinsUnjitteredBackoffExactly) {
+  // jitter = 0 (the default) must be bit-identical to the pre-jitter
+  // backoff for every attempt — existing retry behavior is pinned.
+  RetryPolicy plain;
+  plain.backoff_base_seconds = 0.001;
+  plain.backoff_max_seconds = 0.25;
+  RetryPolicy jittered = plain;
+  jittered.jitter = 0.0;
+  jittered.jitter_seed = 12345;  // seed alone must not change anything
+  for (std::uint32_t attempt = 0; attempt < 20; ++attempt)
+    EXPECT_EQ(backoff_delay(jittered, attempt),
+              backoff_delay(plain, attempt));
+}
+
+TEST(Resilience, JitteredBackoffIsDeterministicPerSeedSaltAttempt) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 0.01;
+  policy.backoff_max_seconds = 1.0;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 0x524F5554ull;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      // Replayable: the same (seed, salt, attempt) always draws the same
+      // delay — a chaos campaign's restart timing reproduces from seeds.
+      EXPECT_EQ(backoff_delay(policy, attempt, salt),
+                backoff_delay(policy, attempt, salt));
+    }
+  }
+  // Different salts (shard indices) de-synchronize a cohort that died
+  // together: at least one attempt must draw distinct delays.
+  bool spread = false;
+  for (std::uint32_t attempt = 0; attempt < 12 && !spread; ++attempt)
+    spread = backoff_delay(policy, attempt, 0) !=
+             backoff_delay(policy, attempt, 1);
+  EXPECT_TRUE(spread);
+  // So does a different seed under one salt.
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = policy.jitter_seed + 1;
+  bool reseed_spread = false;
+  for (std::uint32_t attempt = 0; attempt < 12 && !reseed_spread; ++attempt)
+    reseed_spread =
+        backoff_delay(policy, attempt, 0) !=
+        backoff_delay(reseeded, attempt, 0);
+  EXPECT_TRUE(reseed_spread);
+}
+
+TEST(Resilience, JitteredBackoffStaysInsideItsBand) {
+  // Jitter j scales the capped exponential delay d into [d*(1-j), d]:
+  // never longer than the unjittered delay, never below the floor.
+  RetryPolicy plain;
+  plain.backoff_base_seconds = 0.002;
+  plain.backoff_max_seconds = 0.5;
+  RetryPolicy jittered = plain;
+  jittered.jitter = 0.75;
+  jittered.jitter_seed = 99;
+  for (std::uint32_t attempt = 0; attempt < 16; ++attempt) {
+    const double d = backoff_delay(plain, attempt);
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      const double delay = backoff_delay(jittered, attempt, salt);
+      EXPECT_LE(delay, d);
+      EXPECT_GE(delay, d * (1.0 - jittered.jitter));
+    }
+  }
+}
+
 TEST(Resilience, RandomFaultPlansAreDeterministic) {
   const FaultPlan a = FaultPlan::random(/*seed=*/77, /*ranks=*/4,
                                         /*max_superstep=*/20, /*faults=*/3,

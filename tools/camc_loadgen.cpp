@@ -42,6 +42,21 @@
 // A protocol error (unparseable response line, unknown id, premature
 // server exit) is counted and, under --strict, fails the run; the
 // acceptance workloads require zero.
+//
+// --cluster drives camc_router instead of a single camc_serve: the
+// router forks --shards=N workers (replication --replication=R) and the
+// loadgen passes --store-dir and --chaos-plan through to it. Every ok
+// query response is also verified for *consistency*: queries are
+// deterministic by (graph, kind, seed, engine), so the first answer for
+// each tuple is pinned and every later answer — cache hit, replica,
+// restarted shard — must match bit-for-bit; a divergence counts as a
+// mismatch and fails --strict. status:"degraded" responses (a keyspace
+// with no live replica, docs/PROTOCOL.md) are tallied separately and do
+// NOT fail --strict — under chaos they are the contract, not a bug. The
+// report gains a "cluster" object (the router's aggregated counters) and
+// a "classification": clean (no fault visible to clients) | re-routed
+// (requests moved to replicas/restarts, all answered ok) |
+// degraded-window (some requests answered degraded).
 
 #include <fcntl.h>
 #include <sys/wait.h>
@@ -90,6 +105,12 @@ struct Options {
   std::string store_dir;  ///< nonempty: measure save + warm restart
   bool json = false;
   bool strict = false;
+  // Cluster mode (camc_router in front of --shards workers).
+  bool cluster = false;
+  std::string router_path;
+  std::size_t shards = 4;
+  std::size_t replication = 1;
+  std::string chaos_plan;
 };
 
 struct GraphSpec {
@@ -113,12 +134,15 @@ struct Outstanding {
   svc::Json* result = nullptr;            // filled for control ops
   std::condition_variable* wake = nullptr;  // notified on completion
   bool* done_flag = nullptr;
+  /// Nonempty for queries: the determinism key (graph|kind|seed|engine);
+  /// every ok answer for one key must carry the identical result value.
+  std::string verify_key;
 };
 
 struct PhaseTally {
   std::vector<double> latencies_ms;  ///< ok responses only
   std::uint64_t sent = 0, ok = 0, rejected = 0, shed = 0, failed = 0,
-                errors = 0, cached = 0, coalesced = 0;
+                errors = 0, cached = 0, coalesced = 0, degraded = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -194,6 +218,13 @@ class Client {
   std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
   void note_protocol_error() { ++protocol_errors_; }
 
+  /// Answers that contradicted the pinned answer for their determinism
+  /// key (call after drain; reads state written under state_mutex_).
+  std::uint64_t mismatches() {
+    std::lock_guard<std::mutex> hold(state_mutex_);
+    return mismatches_;
+  }
+
   /// Routes each response's "trace" array (one NDJSON line per executed
   /// traced query) to `out`; call before any request is sent.
   void set_trace_sink(std::ostream* out) { trace_sink_ = out; }
@@ -255,6 +286,15 @@ class Client {
         if (response["coalesced"].is_bool() &&
             response["coalesced"].as_bool())
           ++tally.coalesced;
+        if (!pending.verify_key.empty()) {
+          // Pin the first answer per determinism key; any later answer —
+          // cache hit, other replica, restarted shard — must match.
+          const std::string value = response["result"]["value"].dump();
+          const auto slot = expected_.emplace(pending.verify_key, value);
+          if (!slot.second && slot.first->second != value) ++mismatches_;
+        }
+      } else if (status == "degraded") {
+        ++tally.degraded;
       } else if (status == "rejected") {
         ++tally.rejected;
       } else if (status == "shed") {
@@ -307,6 +347,8 @@ class Client {
   std::mutex state_mutex_;
   std::condition_variable idle_cv_;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::unordered_map<std::string, std::string> expected_;  // verify pins
+  std::uint64_t mismatches_ = 0;  ///< guarded by state_mutex_
   std::vector<PhaseTally> tallies_;
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::ostream* trace_sink_ = nullptr;  ///< writes under state_mutex_
@@ -420,6 +462,13 @@ std::vector<WorkItem> draw_workload(const Options& options,
   return items;
 }
 
+/// Determinism key for answer verification: two responses sharing a key
+/// ran the identical computation and must agree.
+std::string verify_key(const GraphSpec& graph, const WorkItem& item) {
+  return graph.name + "|" + std::string(svc::query_kind_name(item.kind)) +
+         "|" + std::to_string(item.seed) + "|" + item.engine;
+}
+
 std::string query_line(std::uint64_t id, const GraphSpec& graph,
                        const WorkItem& item, double timeout_ms, bool trace) {
   svc::Json params = svc::Json::object().set("seed", item.seed);
@@ -441,7 +490,9 @@ struct Spawned {
   int from_child = -1;
 };
 
-/// `store_dir` nonempty adds --store-dir=DIR (warm-restart respawn).
+/// `store_dir` nonempty adds --store-dir=DIR (warm-restart respawn; in
+/// cluster mode the router shards it). With --cluster the child is
+/// camc_router fronting --shards workers instead of one camc_serve.
 Spawned spawn_serve(const Options& options, const std::string& store_dir) {
   int in_pipe[2], out_pipe[2];
   if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0)
@@ -455,19 +506,32 @@ Spawned spawn_serve(const Options& options, const std::string& store_dir) {
     close(in_pipe[1]);
     close(out_pipe[0]);
     close(out_pipe[1]);
-    std::vector<std::string> args = {
-        options.serve_path,
-        "--threads=" + std::to_string(options.threads),
-        "--queue=" + std::to_string(options.queue),
-        "--batch=" + std::to_string(options.batch),
-        "--cache=" + std::to_string(options.cache)};
+    std::vector<std::string> args;
+    if (options.cluster) {
+      args = {options.router_path,
+              "--serve=" + options.serve_path,
+              "--shards=" + std::to_string(options.shards),
+              "--replication=" + std::to_string(options.replication),
+              "--threads=" + std::to_string(options.threads),
+              "--queue=" + std::to_string(options.queue),
+              "--batch=" + std::to_string(options.batch),
+              "--cache=" + std::to_string(options.cache)};
+      if (!options.chaos_plan.empty())
+        args.push_back("--chaos-plan=" + options.chaos_plan);
+    } else {
+      args = {options.serve_path,
+              "--threads=" + std::to_string(options.threads),
+              "--queue=" + std::to_string(options.queue),
+              "--batch=" + std::to_string(options.batch),
+              "--cache=" + std::to_string(options.cache)};
+    }
     if (!store_dir.empty()) args.push_back("--store-dir=" + store_dir);
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& arg : args) argv.push_back(arg.data());
     argv.push_back(nullptr);
-    execv(options.serve_path.c_str(), argv.data());
-    std::perror("camc_loadgen: exec camc_serve");
+    execv(args[0].c_str(), argv.data());
+    std::perror("camc_loadgen: exec server");
     _exit(127);
   }
   close(in_pipe[0]);
@@ -496,6 +560,7 @@ svc::Json phase_report(const PhaseTally& tally) {
       .set("shed", tally.shed)
       .set("failed", tally.failed)
       .set("errors", tally.errors)
+      .set("degraded", tally.degraded)
       .set("cached", tally.cached)
       .set("coalesced", tally.coalesced)
       .set("elapsed_s", tally.elapsed_seconds)
@@ -518,7 +583,9 @@ int main(int argc, char** argv) {
       "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
       "                    [--queue=N] [--batch=N] [--cache=N]\n"
       "                    [--trace-out=FILE] [--store-dir=DIR]\n"
-      "                    [--json] [--strict]";
+      "                    [--json] [--strict]\n"
+      "                    [--cluster [--router=PATH] [--shards=N]\n"
+      "                     [--replication=R] [--chaos-plan=SPEC]]";
 
   Options options;
   tools::FlagParser parser;
@@ -542,21 +609,30 @@ int main(int argc, char** argv) {
   parser.flag("store-dir", &options.store_dir);
   parser.toggle("json", &options.json);
   parser.toggle("strict", &options.strict);
+  parser.toggle("cluster", &options.cluster);
+  parser.flag("router", &options.router_path);
+  parser.flag("shards", &options.shards);
+  parser.flag("replication", &options.replication);
+  parser.flag("chaos-plan", &options.chaos_plan);
   if (!parser.parse(argc, argv, usage)) return 2;
   if (options.threads < 1 || options.clients < 1 || options.phases < 1 ||
-      options.requests == 0 || options.distinct_seeds == 0) {
+      options.requests == 0 || options.distinct_seeds == 0 ||
+      options.shards == 0 || options.replication == 0) {
     std::cerr << usage << "\n";
     return 2;
   }
-  if (options.serve_path.empty()) {
-    // Default: camc_serve next to this binary.
-    std::string self = argv[0];
-    const std::size_t slash = self.rfind('/');
-    options.serve_path =
-        (slash == std::string::npos ? std::string(".")
-                                    : self.substr(0, slash)) +
-        "/camc_serve";
+  if (!options.cluster && !options.chaos_plan.empty()) {
+    std::cerr << "--chaos-plan requires --cluster\n" << usage << "\n";
+    return 2;
   }
+  // Defaults: the server binaries next to this one.
+  const std::string self = argv[0];
+  const std::size_t slash = self.rfind('/');
+  const std::string self_dir =
+      slash == std::string::npos ? std::string(".") : self.substr(0, slash);
+  if (options.serve_path.empty()) options.serve_path = self_dir + "/camc_serve";
+  if (options.router_path.empty())
+    options.router_path = self_dir + "/camc_router";
 
   try {
     const std::vector<GraphSpec> graphs = parse_graphs(options.graphs);
@@ -564,7 +640,11 @@ int main(int argc, char** argv) {
         draw_workload(options, graphs.size());
 
     const auto cold_spawn = Clock::now();
-    Spawned serve = spawn_serve(options, /*store_dir=*/"");
+    // In cluster mode the router owns persistence from the start (sharded
+    // store dirs + auto-save); single-serve keeps the measured
+    // save-then-warm-respawn flow below.
+    Spawned serve = spawn_serve(
+        options, options.cluster ? options.store_dir : std::string());
     Client client(serve.to_child, serve.from_child, options.phases);
     std::ofstream trace_file;
     if (!options.trace_out.empty()) {
@@ -600,7 +680,7 @@ int main(int argc, char** argv) {
     // Cold-start probe: spawn -> first ok query, staging included. The
     // warm respawn answers the same query from its rehydrated cache.
     double cold_start_s = 0.0;
-    if (!options.store_dir.empty()) {
+    if (!options.store_dir.empty() && !options.cluster) {
       const std::uint64_t probe_id = next_id++;
       const svc::Json probe = client.call(
           probe_id, query_line(probe_id, graphs[workload[0].graph_index],
@@ -627,6 +707,8 @@ int main(int argc, char** argv) {
           Outstanding pending;
           pending.phase = phase;
           pending.kind = item.kind;
+          if (options.cluster)
+            pending.verify_key = verify_key(graphs[item.graph_index], item);
           client.send(id,
                       query_line(id, graphs[item.graph_index], item,
                                  options.timeout_ms,
@@ -652,6 +734,9 @@ int main(int argc, char** argv) {
               pending.kind = item.kind;
               pending.wake = &wake;
               pending.done_flag = &done;
+              if (options.cluster)
+                pending.verify_key =
+                    verify_key(graphs[item.graph_index], item);
               client.send(id,
                           query_line(id, graphs[item.graph_index], item,
                                      options.timeout_ms,
@@ -672,7 +757,7 @@ int main(int argc, char** argv) {
     const svc::Json stats_response = client.call(
         stats_id,
         svc::Json::object().set("id", stats_id).set("op", "stats").dump());
-    if (!options.store_dir.empty()) {
+    if (!options.store_dir.empty() && !options.cluster) {
       // Persist every staged graph (and its cached results) so the warm
       // respawn below has something to rehydrate.
       for (const GraphSpec& graph : graphs) {
@@ -702,7 +787,7 @@ int main(int argc, char** argv) {
     // response to the same probe query (a rehydrated-cache hit).
     double warm_restart_s = 0.0;
     bool warm_probe_cached = false;
-    if (!options.store_dir.empty()) {
+    if (!options.store_dir.empty() && !options.cluster) {
       const auto warm_spawn = Clock::now();
       Spawned warm = spawn_serve(options, options.store_dir);
       Client warm_client(warm.to_child, warm.from_child, /*phases=*/1);
@@ -726,7 +811,7 @@ int main(int argc, char** argv) {
     // Report.
     std::uint64_t total_sent = 0, total_ok = 0, total_rejected = 0,
                   total_shed = 0, total_failed = 0, total_errors = 0,
-                  total_cached = 0, total_coalesced = 0;
+                  total_cached = 0, total_coalesced = 0, total_degraded = 0;
     svc::Json phases = svc::Json::array();
     for (const PhaseTally& tally : client.tallies()) {
       total_sent += tally.sent;
@@ -737,6 +822,7 @@ int main(int argc, char** argv) {
       total_errors += tally.errors;
       total_cached += tally.cached;
       total_coalesced += tally.coalesced;
+      total_degraded += tally.degraded;
       phases.push_back(phase_report(tally));
     }
     const PhaseTally& cold = client.tallies().front();
@@ -768,6 +854,7 @@ int main(int argc, char** argv) {
             .set("shed", total_shed)
             .set("failed", total_failed)
             .set("errors", total_errors)
+            .set("degraded", total_degraded)
             .set("cached", total_cached)
             .set("coalesced", total_coalesced)
             .set("protocol_errors", protocol_errors)
@@ -778,7 +865,7 @@ int main(int argc, char** argv) {
       report.set("rate_per_s", options.rate);
     else
       report.set("clients", options.clients);
-    if (!options.store_dir.empty()) {
+    if (!options.store_dir.empty() && !options.cluster) {
       report.set("cold_start_s", cold_start_s)
           .set("warm_restart_s", warm_restart_s)
           .set("restart_speedup",
@@ -787,6 +874,35 @@ int main(int argc, char** argv) {
     }
     if (stats_response.is_object() && stats_response.has("result"))
       report.set("server", stats_response["result"]);
+
+    // Cluster schedule classification, keyed off what the *clients* saw:
+    // any degraded answer is a visible availability gap; otherwise any
+    // re-route/re-dispatch means a fault was absorbed by replicas or a
+    // restart; otherwise the schedule was indistinguishable from a
+    // fault-free run.
+    std::string classification;
+    const std::uint64_t mismatches = options.cluster ? client.mismatches() : 0;
+    if (options.cluster) {
+      const svc::Json& router = stats_response["result"]["cluster"];
+      const std::uint64_t moved =
+          (router["reroutes"].is_number() ? router["reroutes"].as_u64() : 0) +
+          (router["redispatched"].is_number()
+               ? router["redispatched"].as_u64()
+               : 0);
+      classification = total_degraded > 0 ? "degraded-window"
+                       : moved > 0        ? "re-routed"
+                                          : "clean";
+      report.set("cluster",
+                 svc::Json::object()
+                     .set("shards", static_cast<std::uint64_t>(options.shards))
+                     .set("replication",
+                          static_cast<std::uint64_t>(options.replication))
+                     .set("chaos_plan", options.chaos_plan)
+                     .set("classification", classification)
+                     .set("degraded", total_degraded)
+                     .set("mismatches", mismatches)
+                     .set("router", router));
+    }
 
     if (options.json) {
       std::cout << report.dump() << "\n";
@@ -810,9 +926,14 @@ int main(int argc, char** argv) {
                   << svc::percentile(tally.latencies_ms, 99) << " ms, cached "
                   << tally.cached << "\n";
       }
+      if (options.cluster)
+        std::cout << "cluster: " << options.shards << " shards x replication "
+                  << options.replication << ", classification "
+                  << classification << ", degraded " << total_degraded
+                  << ", mismatches " << mismatches << "\n";
       if (options.phases > 1 && cold_tput > 0)
         std::cout << "warm/cold speedup: " << warm_tput / cold_tput << "x\n";
-      if (!options.store_dir.empty())
+      if (!options.store_dir.empty() && !options.cluster)
         std::cout << "cold start " << cold_start_s << " s, warm restart "
                   << warm_restart_s << " s ("
                   << (warm_restart_s > 0 ? cold_start_s / warm_restart_s
@@ -821,8 +942,11 @@ int main(int argc, char** argv) {
                   << (warm_probe_cached ? "cached" : "recomputed") << ")\n";
     }
 
-    if (options.strict &&
-        (protocol_errors > 0 || total_errors > 0 || total_failed > 0))
+    // Degraded answers deliberately do NOT fail --strict: under an
+    // injected fault they are the documented contract. Mismatches do —
+    // a wrong answer after a crash is the one unforgivable outcome.
+    if (options.strict && (protocol_errors > 0 || total_errors > 0 ||
+                           total_failed > 0 || mismatches > 0))
       return 1;
   } catch (const std::exception& error) {
     std::cerr << "camc_loadgen: " << error.what() << "\n";

@@ -1,0 +1,143 @@
+// Cluster router — the NDJSON protocol fronting a supervised shard fleet.
+//
+//   camc_router --serve=PATH [--shards=N] [--replication=R]
+//               [--store-dir=DIR] [--chaos-plan=SPEC]
+//               [--heartbeat-ms=N] [--heartbeat-miss=N] [--kill-grace-ms=N]
+//               [--restart-base-ms=N] [--restart-max-ms=N] [--jitter=F]
+//               [--max-restarts=N] [--no-auto-save]
+//               [--threads=N] [--queue=N] [--batch=N] [--cache=N]
+//               [--seed=S] [--cc-engine=NAME]
+//
+// Speaks the same line protocol as camc_serve (docs/PROTOCOL.md) but
+// routes each request across N forked camc_serve workers by consistent
+// hashing of the graph name (src/cluster). To a client the router looks
+// like one wide server — plus the "Cluster extensions": a "degraded"
+// status while a keyspace has no live replica, and a stats response that
+// aggregates every shard under "result.cluster" / "result.shards" /
+// "result.total".
+//
+// The supervisor restarts crashed or wedged workers under jittered
+// exponential backoff; with --store-dir each shard persists under
+// DIR/shard-<k> and every restart rehydrates warm. --chaos-plan injects a
+// seeded kill/stall schedule against the router's own workers (see
+// src/cluster/chaos.hpp for the grammar) — the harness the chaos
+// campaign (tools/run_cluster_campaign.sh) replays by seed.
+//
+// --threads/--queue/--batch/--cache/--seed/--cc-engine pass through to
+// every worker.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camc;
+  const char* usage =
+      "usage: camc_router --serve=PATH [--shards=N] [--replication=R] "
+      "[--store-dir=DIR] [--chaos-plan=SPEC] [--heartbeat-ms=N] "
+      "[--heartbeat-miss=N] [--kill-grace-ms=N] [--restart-base-ms=N] "
+      "[--restart-max-ms=N] [--jitter=F] [--max-restarts=N] "
+      "[--no-auto-save] [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
+      "[--seed=S] [--cc-engine=NAME]";
+
+  cluster::ClusterOptions options;
+  std::size_t heartbeat_ms = 100, kill_grace_ms = 1000, restart_base_ms = 50,
+              restart_max_ms = 2000, heartbeat_miss = 30, max_restarts = 0;
+  double jitter = 0.5;
+  bool no_auto_save = false;
+  tools::FlagParser parser;
+  parser.flag("serve", &options.serve_path);
+  parser.flag("shards", &options.shards);
+  parser.flag("replication", &options.replication);
+  parser.flag("store-dir", &options.store_dir);
+  parser.flag("chaos-plan", &options.chaos_plan);
+  parser.flag("heartbeat-ms", &heartbeat_ms);
+  parser.flag("heartbeat-miss", &heartbeat_miss);
+  parser.flag("kill-grace-ms", &kill_grace_ms);
+  parser.flag("restart-base-ms", &restart_base_ms);
+  parser.flag("restart-max-ms", &restart_max_ms);
+  parser.flag("jitter", &jitter);
+  parser.flag("max-restarts", &max_restarts);
+  parser.toggle("no-auto-save", &no_auto_save);
+  parser.flag("threads", &options.worker_threads);
+  parser.flag("queue", &options.worker_queue);
+  parser.flag("batch", &options.worker_batch);
+  parser.flag("cache", &options.worker_cache);
+  parser.flag("seed", &options.worker_seed);
+  parser.flag("cc-engine", &options.worker_cc_engine);
+  if (!parser.parse(argc, argv, usage)) return 2;
+  if (options.serve_path.empty() || options.shards < 1 ||
+      options.worker_threads < 1) {
+    std::cerr << usage << "\n";
+    return 2;
+  }
+  options.heartbeat_interval_seconds = static_cast<double>(heartbeat_ms) / 1e3;
+  options.heartbeat_miss_limit = static_cast<std::uint32_t>(heartbeat_miss);
+  options.kill_grace_seconds = static_cast<double>(kill_grace_ms) / 1e3;
+  options.restart.backoff_base_seconds =
+      static_cast<double>(restart_base_ms) / 1e3;
+  options.restart.backoff_max_seconds =
+      static_cast<double>(restart_max_ms) / 1e3;
+  options.restart.jitter = jitter;
+  options.max_restarts = static_cast<std::uint32_t>(max_restarts);
+  options.auto_save = !no_auto_save;
+
+  try {
+    cluster::Cluster router(options);
+    std::cerr << "cluster: " << options.shards << " shard"
+              << (options.shards == 1 ? "" : "s") << ", replication "
+              << options.replication
+              << (options.chaos_plan.empty() ? ""
+                                             : ", chaos " + options.chaos_plan)
+              << "\n";
+
+    // Responses fire from reader/supervisor threads; serialize writes so
+    // lines never interleave (same contract as camc_serve).
+    std::mutex out_mutex;
+    const cluster::Cluster::Emit emit =
+        [&out_mutex](const std::string& line) {
+          std::lock_guard<std::mutex> hold(out_mutex);
+          std::cout << line << "\n" << std::flush;
+        };
+
+    std::string buffer;
+    bool shutdown_requested = false;
+    for (;;) {
+      char chunk[4096];
+      const ssize_t n = read(STDIN_FILENO, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        const std::string line = buffer.substr(start, newline - start);
+        start = newline + 1;
+        if (line.empty()) continue;
+        if (!router.handle_line(line, emit)) {
+          shutdown_requested = true;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+      if (shutdown_requested) break;
+    }
+    // Same half-line contract as camc_serve: a truncated final request
+    // still gets one structured response.
+    if (!shutdown_requested && !buffer.empty()) router.handle_line(buffer, emit);
+    router.drain();
+  } catch (const std::exception& e) {
+    std::cerr << "camc_router: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -8,7 +8,9 @@
 // request to stdout (see src/svc/service.hpp for the protocol). Responses
 // to concurrent queries interleave in completion order; the "id" field
 // correlates them. Exits on a {"op":"shutdown"} request or stdin EOF,
-// draining in-flight queries first.
+// draining in-flight queries first. A final line missing its newline
+// (the writer died mid-line) is still handled — as a request if it
+// parses, as a structured error response otherwise; never a hang.
 //
 // --seed sets the default query seed used when a query omits
 // "params.seed"; --cc-engine the default cc engine used when a cc query
@@ -20,8 +22,23 @@
 // --store-dir enables the persistent artifact store: at boot the server
 // warm-restarts from every *.graph.camc artifact under DIR (rehydrating
 // the graph store and pre-seeding the result cache), and "save" requests
-// default their "dir" to it. A missing or empty DIR is a cold boot.
+// default their "dir" to it.
+//
+// Shutdown durability: SIGTERM/SIGINT interrupt the read loop (self-pipe
+// + poll, so a signal mid-request is seen promptly), drain in-flight
+// queries, and flush every resident graph + cached results to the store
+// directory, most recently used first, before exiting 0. The store layer
+// writes a placeholder header and only seals the real one (sizes + CRC)
+// in finish(), so a harder kill (SIGKILL mid-save) strands no *usable*
+// partial artifact — the next warm restart's verification rejects and
+// skips anything unsealed. SIGPIPE is ignored: a vanished client
+// surfaces as a write error, not a silent death.
 
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,6 +47,21 @@
 
 #include "svc/service.hpp"
 #include "tool_common.hpp"
+
+namespace {
+
+// Self-pipe: the handler writes one byte, poll() wakes on the read end.
+// Only async-signal-safe calls in the handler.
+int signal_pipe[2] = {-1, -1};
+volatile sig_atomic_t termination_signal = 0;
+
+void on_termination(int signum) {
+  termination_signal = signum;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = write(signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace camc;
@@ -85,6 +117,17 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) service.engine().enable_trace_capture();
 
+  if (pipe(signal_pipe) != 0) {
+    std::cerr << "camc_serve: pipe failed\n";
+    return 1;
+  }
+  signal(SIGPIPE, SIG_IGN);
+  struct sigaction action {};
+  action.sa_handler = on_termination;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
   // Completions arrive from the submitting thread and from the engine's
   // dispatcher; serialize writes so response lines never interleave.
   std::mutex out_mutex;
@@ -93,12 +136,63 @@ int main(int argc, char** argv) {
     std::cout << line << "\n" << std::flush;
   };
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    if (!service.handle_line(line, emit)) break;
+  // poll() on {stdin, signal pipe}: requests are handled line by line out
+  // of a manual buffer, so a termination signal is seen between lines (or
+  // mid-read) instead of after the next blocking getline would return.
+  std::string buffer;
+  bool shutdown_requested = false;
+  bool eof = false;
+  while (!shutdown_requested && !eof && termination_signal == 0) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {signal_pipe[0], POLLIN, 0}};
+    const int ready = poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // handler ran; loop re-checks the flag
+      break;
+    }
+    if (fds[1].revents != 0) break;  // termination signal
+    if (fds[0].revents == 0) continue;
+
+    char chunk[4096];
+    const ssize_t n = read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      eof = true;
+    } else {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        const std::string line = buffer.substr(start, newline - start);
+        start = newline + 1;
+        if (line.empty()) continue;
+        if (!service.handle_line(line, emit)) {
+          shutdown_requested = true;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+    }
   }
+  // A half-written final line (client died mid-write) still gets one
+  // response: a normal one if it happens to parse, the pinned
+  // status:"error" line otherwise. Skipped when a signal cut the loop —
+  // the buffered bytes are then an arbitrary prefix of a request the
+  // client will retry against the restarted server.
+  if (eof && !buffer.empty() && termination_signal == 0)
+    service.handle_line(buffer, emit);
+
   service.drain();
+  if (termination_signal != 0 && !store_dir.empty()) {
+    const svc::Service::FlushReport report = service.flush_store();
+    std::cerr << "flush on signal " << static_cast<int>(termination_signal)
+              << ": " << report.graphs << " graph"
+              << (report.graphs == 1 ? "" : "s") << ", " << report.results
+              << " cached result" << (report.results == 1 ? "" : "s")
+              << " to " << store_dir << "\n";
+    for (const std::string& error : report.errors)
+      std::cerr << "flush failed: " << error << "\n";
+  }
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
     if (!out) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Canonical benchmark runner: executes the four tracked bench binaries with
+# Canonical benchmark runner: executes the tracked bench binaries with
 # --json and writes one BENCH_<area>.json per area at the repo root (the
 # committed copies are the baselines tools/bench_compare.py gates against).
 #
@@ -45,5 +45,6 @@ run cc      bench_fig3_cc_strong --reps="$CC_REPS"
 run bsp     bench_bsp_runtime
 run service bench_service
 run trace   bench_trace_overhead
+run cluster bench_cluster
 
 echo "done: $(ls "$OUT_DIR"/BENCH_*.json | tr '\n' ' ')" >&2

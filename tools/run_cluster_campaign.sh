@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Chaos acceptance campaign for the supervised sharded cluster.
+#
+#   tools/run_cluster_campaign.sh [out-dir]
+#
+# Sweeps SEEDS deterministic chaos schedules (seed = SEED0, SEED0+1, ...)
+# against a 4-shard replication-2 camc_router under open-loop load, and
+# classifies every run from the loadgen report:
+#
+#   clean            no request saw the faults (0 degraded, 0 re-routes)
+#   re-routed        queries failed over or re-dispatched, all answered ok
+#   degraded-window  some requests got structured degraded responses
+#
+# Every run must pass --strict: zero protocol errors, zero bit-level
+# answer mismatches across replicas/restarts, and it must *finish* (a
+# router hang is a timeout, which fails the campaign). Per-run reports
+# land in OUT_DIR/seed-N.json, the per-seed classification table in
+# OUT_DIR/campaign.tsv, and a summary on stdout.
+#
+# Environment overrides:
+#   BUILD_DIR  build tree with the binaries   (default: build)
+#   SEEDS      number of schedules            (default: 50)
+#   SEED0      first chaos seed               (default: 20260800)
+#   EVENTS     chaos events per schedule      (default: 3)
+#   RATE       open-loop request rate         (default: 300)
+#   REQUESTS   requests per run               (default: 600)
+#   TIMEOUT_S  per-run hang budget, seconds   (default: 120)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SEEDS="${SEEDS:-50}"
+SEED0="${SEED0:-20260800}"
+EVENTS="${EVENTS:-3}"
+RATE="${RATE:-300}"
+REQUESTS="${REQUESTS:-600}"
+TIMEOUT_S="${TIMEOUT_S:-120}"
+OUT_DIR="${1:-/tmp/camc_cluster_campaign}"
+
+loadgen="$BUILD_DIR/tools/camc_loadgen"
+router="$BUILD_DIR/tools/camc_router"
+serve="$BUILD_DIR/tools/camc_serve"
+for bin in "$loadgen" "$router" "$serve"; do
+  [ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 2; }
+done
+mkdir -p "$OUT_DIR"
+
+table="$OUT_DIR/campaign.tsv"
+printf 'seed\trc\tclassification\tok\tdegraded\tmismatches\trestarts\tkills\tstalls\treroutes\tredispatched\n' > "$table"
+
+clean=0 rerouted=0 degraded_runs=0 failures=0 hangs=0
+total_mismatches=0 total_restarts=0
+
+for ((i = 0; i < SEEDS; ++i)); do
+  seed=$((SEED0 + i))
+  out="$OUT_DIR/seed-$seed.json"
+  store="$(mktemp -d "${TMPDIR:-/tmp}/camc_campaign.XXXXXX")"
+  rc=0
+  timeout "$TIMEOUT_S" "$loadgen" --cluster \
+    --router="$router" --serve="$serve" \
+    --shards=4 --replication=2 --threads=2 --clients=4 \
+    --rate="$RATE" --requests="$REQUESTS" --phases=1 \
+    --mix=cc:4,approx_min_cut:1 --graphs=er:2000:8000,ba:1500:6 \
+    --distinct-seeds=8 --seed=20260805 \
+    --store-dir="$store" \
+    --chaos-plan="seed=$seed,events=$EVENTS,start-ms=300" \
+    --strict --json > "$out" 2> "$OUT_DIR/seed-$seed.log" || rc=$?
+  rm -rf "$store"
+
+  # The report is the last stdout line; pull the fields with python (no
+  # jq dependency).
+  read -r cls ok deg mis res kills stalls rer red < <(python3 - "$out" <<'EOF'
+import json, sys
+fields = ("-", 0, 0, 0, 0, 0, 0, 0, 0)
+try:
+    with open(sys.argv[1]) as f:
+        lines = [l for l in f if l.strip()]
+    r = json.loads(lines[-1])
+    c = r.get("cluster", {})
+    router = c.get("router", {})
+    chaos = router.get("chaos", {})
+    fields = (c.get("classification", "-"), r.get("ok", 0),
+              c.get("degraded", 0), c.get("mismatches", 0),
+              router.get("restarts", 0), chaos.get("kills", 0),
+              chaos.get("stalls", 0), router.get("reroutes", 0),
+              router.get("redispatched", 0))
+except Exception:
+    pass
+print(*fields)
+EOF
+)
+
+  if [ "$rc" -eq 124 ]; then
+    cls="HANG"; hangs=$((hangs + 1))
+  elif [ "$rc" -ne 0 ]; then
+    cls="FAIL"; failures=$((failures + 1))
+  else
+    case "$cls" in
+      clean)           clean=$((clean + 1)) ;;
+      re-routed)       rerouted=$((rerouted + 1)) ;;
+      degraded-window) degraded_runs=$((degraded_runs + 1)) ;;
+      *)               cls="FAIL"; failures=$((failures + 1)) ;;
+    esac
+  fi
+  total_mismatches=$((total_mismatches + mis))
+  total_restarts=$((total_restarts + res))
+  printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n' \
+    "$seed" "$rc" "$cls" "$ok" "$deg" "$mis" "$res" "$kills" "$stalls" \
+    "$rer" "$red" >> "$table"
+  echo "seed $seed: $cls (ok=$ok degraded=$deg mismatches=$mis restarts=$res kills=$kills stalls=$stalls)" >&2
+done
+
+echo
+echo "== campaign: $SEEDS schedules x $REQUESTS requests (rate $RATE/s, $EVENTS events each)"
+echo "   clean=$clean re-routed=$rerouted degraded-window=$degraded_runs failures=$failures hangs=$hangs"
+echo "   total mismatches=$total_mismatches total restarts=$total_restarts"
+echo "   table: $table"
+[ "$failures" -eq 0 ] && [ "$hangs" -eq 0 ]

@@ -4,31 +4,55 @@
 #   tools/run_loadtest.sh                  # default build, acceptance mix
 #   tools/run_loadtest.sh asan             # same load under ASan+UBSan
 #   tools/run_loadtest.sh tsan             # race-check the serving path
+#   tools/run_loadtest.sh cluster          # 4-shard router + seeded chaos
 #   tools/run_loadtest.sh default --requests=10000 --phases=3 --json
+#   tools/run_loadtest.sh cluster --chaos-plan=seed=99,events=4
 #
-# The first argument selects the CMake preset (default | asan | tsan);
-# everything after it is passed straight to camc_loadgen, overriding the
-# defaults below. The default workload is the acceptance configuration:
-# 4 ranks, mixed cc/min_cut, two phases (cold then cache-warm), strict —
-# any protocol error fails the run.
+# The first argument selects the mode: a CMake preset (default | asan |
+# tsan) running the single-server acceptance mix, or `cluster`, which
+# drives the supervised sharded router (camc_router) with a seeded chaos
+# schedule under open-loop pacing — the resilience acceptance
+# configuration. Everything after the mode is passed straight to
+# camc_loadgen, overriding the defaults below. Both modes are strict:
+# any protocol error or cross-replica answer mismatch fails the run
+# (degraded responses under injected faults are tolerated by design).
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-preset="${1:-default}"
+mode="${1:-default}"
 if [ "$#" -gt 0 ]; then shift; fi
-case "$preset" in
+preset="$mode"
+case "$mode" in
   default) build_dir=build ;;
   asan)    build_dir=build-asan ;;
   tsan)    build_dir=build-tsan ;;
-  *) echo "unknown preset '$preset' (want default | asan | tsan)" >&2
+  cluster) build_dir=build; preset=default ;;
+  *) echo "unknown mode '$mode' (want default | asan | tsan | cluster)" >&2
      exit 2 ;;
 esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)" \
-  --target camc_serve camc_loadgen
+  --target camc_serve camc_loadgen camc_router
+
+if [ "$mode" = "cluster" ]; then
+  store_dir="$(mktemp -d "${TMPDIR:-/tmp}/camc_cluster.XXXXXX")"
+  trap 'rm -rf "$store_dir"' EXIT
+  # no exec: the EXIT trap must survive to clean up the store dir
+  "$build_dir/tools/camc_loadgen" --cluster \
+    --router="$build_dir/tools/camc_router" \
+    --serve="$build_dir/tools/camc_serve" \
+    --shards=4 --replication=2 --threads=2 --clients=4 \
+    --rate=300 --requests=1200 --phases=1 \
+    --mix=cc:4,approx_min_cut:1 --graphs=er:2000:8000,ba:1500:6 \
+    --distinct-seeds=8 --seed=20260805 \
+    --store-dir="$store_dir" \
+    --chaos-plan=seed=20260805,events=4,start-ms=300 \
+    --strict --json "$@"
+  exit $?
+fi
 
 exec "$build_dir/tools/camc_loadgen" \
   --serve="$build_dir/tools/camc_serve" \
