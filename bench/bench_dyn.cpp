@@ -1,0 +1,153 @@
+// camc::dyn maintenance cost: incremental CC upkeep vs from-scratch
+// recomputation over the same mutation stream (EXPERIMENTS.md "dyn").
+//
+// Three paired measurements over an er graph (n vertices, 2n initial
+// edges), mutation batches of 8 edges:
+//
+//   add      200 insertion batches — union-find merges (incremental) vs a
+//            full rebuild after every batch (recompute).
+//   remove   100 deletion batches of previously staged edges — bounded
+//            touched-component recompute vs full rebuild per batch.
+//   campaign the verified mutation campaign (labels + fingerprint checked
+//            against from-scratch after every batch) as a single row, so
+//            the checker's own throughput is pinned too.
+//
+// Columns: phase, mode, n, batches, seconds, ms_per_batch, speedup
+// (recompute seconds / incremental seconds, reported on the incremental
+// rows; 0 elsewhere).
+//
+//   build/bench/bench_dyn --json
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "dyn/campaign.hpp"
+#include "dyn/dyn_cc.hpp"
+#include "gen/generators.hpp"
+#include "graph/edge.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+using namespace camc;
+
+std::vector<std::vector<graph::WeightedEdge>> draw_batches(
+    graph::Vertex n, std::size_t batches, std::size_t batch_size,
+    std::uint64_t seed) {
+  rng::Philox rng(seed, /*stream=*/0x44594E42);  // "DYNB"
+  std::vector<std::vector<graph::WeightedEdge>> out(batches);
+  for (auto& batch : out) {
+    batch.reserve(batch_size);
+    for (std::size_t e = 0; e < batch_size; ++e)
+      batch.push_back({static_cast<graph::Vertex>(rng.bounded(n)),
+                       static_cast<graph::Vertex>(rng.bounded(n)),
+                       static_cast<graph::Weight>(1 + rng() % 3)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse(argc, argv);
+  bench::Table table(options.json);
+  table.comment(
+      "dyn maintenance: incremental CC upkeep vs from-scratch recompute "
+      "over the same mutation stream (batches of 8)");
+  table.header("phase", "mode", "n", "batches", "seconds", "ms_per_batch",
+               "speedup");
+
+  const auto n =
+      static_cast<graph::Vertex>(bench::scaled(50'000, options.scale, 512));
+  const std::vector<graph::WeightedEdge> initial =
+      gen::erdos_renyi(n, 2 * static_cast<std::uint64_t>(n), options.seed);
+  const std::size_t kBatch = 8;
+
+  // -- insertions ------------------------------------------------------------
+  const std::size_t add_batches = 200;
+  const auto adds = draw_batches(n, add_batches, kBatch, options.seed);
+  const auto time_adds = [&](bool recompute) {
+    return bench::time_median(options.repetitions, [&] {
+      dyn::DynCc cc(n, initial);
+      std::vector<graph::WeightedEdge> edges;
+      if (recompute) edges = initial;
+      for (const auto& batch : adds) {
+        if (recompute) {
+          edges.insert(edges.end(), batch.begin(), batch.end());
+          cc.rebuild(edges);
+        } else {
+          cc.add_edges(batch);
+        }
+      }
+    });
+  };
+  const double add_incremental = time_adds(false);
+  const double add_recompute = time_adds(true);
+  table.row("add", "incremental", n, add_batches, add_incremental,
+            1e3 * add_incremental / static_cast<double>(add_batches),
+            add_incremental > 0 ? add_recompute / add_incremental : 0.0);
+  table.row("add", "recompute", n, add_batches, add_recompute,
+            1e3 * add_recompute / static_cast<double>(add_batches), 0.0);
+
+  // -- deletions -------------------------------------------------------------
+  // Remove previously staged edges in seeded batches; both modes pay the
+  // same multiset bookkeeping, only the maintenance differs. The deletion
+  // graph is subcritical (avg degree 1/2) so components stay small — the
+  // regime where the bounded path wins. Above the percolation threshold a
+  // giant component makes any touched recompute ~a full scan, and DynCc's
+  // threshold fallback takes over instead.
+  const std::size_t remove_batches = 100;
+  const std::vector<graph::WeightedEdge> sparse =
+      gen::erdos_renyi(n, static_cast<std::uint64_t>(n) / 4, options.seed + 1);
+  const auto time_removes = [&](bool bounded) {
+    return bench::time_median(options.repetitions, [&] {
+      dyn::DynCc cc(n, sparse);
+      std::vector<graph::WeightedEdge> edges = sparse;
+      rng::Philox rng(options.seed, /*stream=*/0x44594E52);  // "DYNR"
+      std::vector<graph::WeightedEdge> removed(kBatch);
+      for (std::size_t b = 0; b < remove_batches; ++b) {
+        for (std::size_t e = 0; e < kBatch; ++e) {
+          const std::size_t pick =
+              static_cast<std::size_t>(rng.bounded(edges.size()));
+          removed[e] = edges[pick];
+          edges[pick] = edges.back();
+          edges.pop_back();
+        }
+        if (bounded)
+          cc.remove_edges(removed, edges);
+        else
+          cc.rebuild(edges);
+      }
+    });
+  };
+  const double remove_bounded = time_removes(true);
+  const double remove_recompute = time_removes(false);
+  table.row("remove", "bounded", n, remove_batches, remove_bounded,
+            1e3 * remove_bounded / static_cast<double>(remove_batches),
+            remove_bounded > 0 ? remove_recompute / remove_bounded : 0.0);
+  table.row("remove", "recompute", n, remove_batches, remove_recompute,
+            1e3 * remove_recompute / static_cast<double>(remove_batches),
+            0.0);
+
+  // -- verified campaign -----------------------------------------------------
+  // Smaller n: the verifier recomputes from scratch after every batch, so
+  // this row times the checker, not the maintainer.
+  dyn::CampaignOptions campaign;
+  campaign.n = static_cast<graph::Vertex>(bench::scaled(2'000, options.scale));
+  campaign.initial_edges = 2 * static_cast<std::size_t>(campaign.n);
+  campaign.batches = 200;
+  campaign.batch_size = kBatch;
+  campaign.seed = options.seed;
+  const double campaign_seconds =
+      bench::time_median(options.repetitions, [&] {
+        const dyn::CampaignReport report = dyn::run_mutation_campaign(campaign);
+        if (!report.ok()) std::exit(1);  // a bench must not mask a bug
+      });
+  table.row("campaign", "verified", campaign.n, campaign.batches,
+            campaign_seconds,
+            1e3 * campaign_seconds / static_cast<double>(campaign.batches),
+            0.0);
+  return 0;
+}

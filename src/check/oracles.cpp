@@ -17,6 +17,7 @@
 #include "core/cc.hpp"
 #include "core/mincut.hpp"
 #include "core/preprocess.hpp"
+#include "dyn/campaign.hpp"
 #include "graph/contraction_ref.hpp"
 #include "graph/dist_matrix.hpp"
 #include "graph/fingerprint.hpp"
@@ -488,6 +489,32 @@ Verdict store_roundtrip_oracle(const TestCase& tc) {
 
 /// Wraps an oracle body: checked-arithmetic rejections are the contract
 /// working (kRejected), anything else thrown is a bug surfaced loudly.
+/// Streaming-mutation oracle: starting from the fuzz case's graph, replay
+/// a seeded schedule of add/remove batches through dyn::DynCc and check
+/// after EVERY batch that the incrementally maintained canonical labeling
+/// is bit-identical to a from-scratch CC over the current edge multiset,
+/// and that the incremental fingerprint matches a full rescan. A low
+/// rebuild threshold in half the schedules forces the bounded-recompute
+/// deletion path to actually run.
+Verdict dyn_cc_oracle(const TestCase& tc) {
+  if (tc.n == 0) return pass();
+  for (const double threshold : {0.5, 0.05}) {
+    dyn::CampaignOptions options;
+    options.n = tc.n;
+    options.initial = tc.edges;
+    options.batches = 24;
+    options.batch_size = 4;
+    options.seed = tc.seed;
+    options.remove_weight = 0.4;
+    options.full_rebuild_threshold = threshold;
+    const dyn::CampaignReport report = dyn::run_mutation_campaign(options);
+    if (!report.ok())
+      return fail("dyn-cc (threshold " + std::to_string(threshold) +
+                  "): " + report.first_mismatch);
+  }
+  return pass();
+}
+
 std::function<Verdict(const TestCase&)> guarded(
     Verdict (*body)(const TestCase&)) {
   return [body](const TestCase& tc) -> Verdict {
@@ -539,6 +566,10 @@ const std::vector<Oracle>& all_oracles() {
       {"store-roundtrip",
        "save/load every artifact kind bit-identical + recompute agreement",
        guarded(store_roundtrip_oracle)},
+      {"dyn-cc",
+       "incremental CC labels + fingerprint vs from-scratch after every "
+       "mutation batch",
+       guarded(dyn_cc_oracle)},
   };
   return oracles;
 }

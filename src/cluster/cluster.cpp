@@ -43,7 +43,8 @@ svc::Json error_response(std::uint64_t id, const std::string& message) {
 /// these fan out to every replica so a crashed replica can be replaced
 /// without losing the keyspace.
 bool is_replicated_write(const std::string& op) {
-  return op == "gen" || op == "load" || op == "save" || op == "evict";
+  return op == "gen" || op == "load" || op == "save" || op == "evict" ||
+         op == "add_edges" || op == "remove_edges";
 }
 
 }  // namespace
@@ -139,8 +140,12 @@ struct Cluster::Impl {
   bool stopping = false;
 
   // Counters (all guarded by mutex).
+  std::uint64_t read_rr = 0;        ///< round-robin cursor for query routing
+  std::uint64_t reads_balanced = 0; ///< queries started on a non-primary
   std::uint64_t reroutes = 0;      ///< routed past a down replica at submit
   std::uint64_t redispatched = 0;  ///< in-flight request moved off a death
+  std::uint64_t unknown_graph_failovers = 0;  ///< query retried on a peer
+                                              ///< after "no such graph"
   std::uint64_t degraded = 0;
   std::uint64_t stale_responses = 0;
   std::uint64_t send_failures = 0;
@@ -593,8 +598,35 @@ void Cluster::Impl::on_worker_line(std::size_t index, std::uint64_t generation,
         schedule_auto_saves_locked(*p->fanout, to_send);
       }
     } else {
-      response.set("id", p->client_id);
-      outbox.add(p->emit, std::move(response));
+      // A replica that restarted cold (no store dir to rehydrate from)
+      // answers queries for the graphs it lost with "no such graph" even
+      // while a peer replica still holds them. That is a routing problem,
+      // not the client's answer: walk the remaining replicas before
+      // giving up. (A genuinely unstaged graph fails on every replica and
+      // the final error propagates unchanged.)
+      bool retried = false;
+      if (p->op == "query" && response["status"].is_string() &&
+          response["status"].as_string() == "error" &&
+          response["error"].is_string() &&
+          response["error"].as_string() == "no such graph") {
+        while (!p->fallbacks.empty()) {
+          const std::size_t candidate = p->fallbacks.front();
+          p->fallbacks.erase(p->fallbacks.begin());
+          if (shards[candidate]->state == ShardState::kUp) {
+            p->target = candidate;
+            p->sent = false;
+            ++unknown_graph_failovers;
+            pending[p->internal_id] = p;
+            to_send.push_back(p);
+            retried = true;
+            break;
+          }
+        }
+      }
+      if (!retried) {
+        response.set("id", p->client_id);
+        outbox.add(p->emit, std::move(response));
+      }
     }
   }
   outbox.flush();
@@ -818,8 +850,10 @@ svc::Json Cluster::Impl::cluster_stats_locked() const {
                          .set("exit", deaths_exit)
                          .set("signal", deaths_signal)
                          .set("heartbeat_timeout", deaths_heartbeat))
+      .set("reads_balanced", reads_balanced)
       .set("reroutes", reroutes)
       .set("redispatched", redispatched)
+      .set("unknown_graph_failovers", unknown_graph_failovers)
       .set("degraded", degraded)
       .set("stale_responses", stale_responses)
       .set("send_failures", send_failures)
@@ -1016,10 +1050,23 @@ bool Cluster::handle_line(const std::string& line, const Emit& emit) {
       p->emit = emit;
       p->op = op;
       p->graph = graph;
-      p->target = replicas.front();
-      p->fallbacks.assign(replicas.begin() + 1, replicas.end());
       {
         std::lock_guard<std::mutex> lock(impl.mutex);
+        // Read load-balancing: seeded round-robin over the keyspace's
+        // replicas instead of always hammering the primary. Replicated
+        // writes fan out to every replica, so any of them can answer;
+        // the rotated fallback order preserves failover past down shards
+        // (advance_to_live_target_locked walks it as before).
+        std::size_t start = 0;
+        if (impl.options.read_balance && replicas.size() > 1) {
+          start = static_cast<std::size_t>(
+              (impl.options.read_balance_seed + impl.read_rr++) %
+              replicas.size());
+          if (start != 0) ++impl.reads_balanced;
+        }
+        p->target = replicas[start];
+        for (std::size_t i = 1; i < replicas.size(); ++i)
+          p->fallbacks.push_back(replicas[(start + i) % replicas.size()]);
         p->internal_id = impl.fresh_id();
         request.set("id", p->internal_id);
         p->line = request.dump() + "\n";

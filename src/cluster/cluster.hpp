@@ -79,6 +79,13 @@ struct ClusterOptions {
   /// After a successful gen/load, persist the graph on every replica so a
   /// crashed shard rehydrates it on restart. Requires store_dir.
   bool auto_save = true;
+  /// Spread queries across up replicas with a seeded round-robin instead
+  /// of always preferring the primary. Safe because replicated writes
+  /// (gen/load/evict/save/add_edges/remove_edges) fan out to every
+  /// replica in submission order over FIFO pipes, so all replicas hold
+  /// bit-identical state for any given request ordering.
+  bool read_balance = true;
+  std::uint64_t read_balance_seed = 0x52454144;  // "READ"
 
   // Worker knobs, forwarded to each camc_serve.
   int worker_threads = 2;

@@ -1,0 +1,133 @@
+#include "dyn/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dyn/dyn_cc.hpp"
+#include "graph/fingerprint.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::dyn {
+namespace {
+
+// Dedicated Philox stream for mutation schedules ("DYNC").
+constexpr std::uint64_t kCampaignStream = 0x44594E43;
+
+/// From-scratch canonical labeling (smallest vertex id per component) —
+/// the oracle DynCc is compared against after every batch.
+std::vector<graph::Vertex> reference_labels(
+    graph::Vertex n, const std::vector<graph::WeightedEdge>& edges) {
+  std::vector<graph::Vertex> parent(n);
+  for (graph::Vertex v = 0; v < n; ++v) parent[v] = v;
+  const auto find = [&](graph::Vertex v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const graph::WeightedEdge& e : edges) {
+    graph::Vertex a = find(e.u), b = find(e.v);
+    if (a == b) continue;
+    // Union by min id directly: the root is always the component minimum.
+    if (a < b)
+      parent[b] = a;
+    else
+      parent[a] = b;
+  }
+  std::vector<graph::Vertex> labels(n);
+  for (graph::Vertex v = 0; v < n; ++v) labels[v] = find(v);
+  return labels;
+}
+
+}  // namespace
+
+CampaignReport run_mutation_campaign(const CampaignOptions& options) {
+  CampaignReport report;
+  const graph::Vertex n = options.n;
+  if (n == 0) return report;
+
+  rng::Philox rng(options.seed, kCampaignStream);
+  const auto random_edge = [&] {
+    return graph::WeightedEdge{static_cast<graph::Vertex>(rng.bounded(n)),
+                               static_cast<graph::Vertex>(rng.bounded(n)),
+                               1 + rng.bounded(3)};
+  };
+
+  std::vector<graph::WeightedEdge> edges = options.initial;
+  if (edges.empty())
+    for (std::size_t i = 0; i < options.initial_edges; ++i)
+      edges.push_back(random_edge());
+
+  graph::FingerprintAccumulator acc;
+  for (const graph::WeightedEdge& e : edges) acc.add(e);
+
+  DynCcOptions cc_options;
+  cc_options.full_rebuild_threshold = options.full_rebuild_threshold;
+  DynCc cc(n, edges, cc_options);
+
+  for (std::size_t batch = 0; batch < options.batches; ++batch) {
+    const bool remove =
+        !edges.empty() && rng.uniform_real() < options.remove_weight;
+    MaintainReport maintained;
+    if (remove) {
+      std::vector<graph::WeightedEdge> removed;
+      const std::size_t k = std::min(options.batch_size, edges.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t pick = rng.bounded(edges.size());
+        removed.push_back(edges[pick]);
+        edges[pick] = edges.back();
+        edges.pop_back();
+      }
+      for (const graph::WeightedEdge& e : removed) acc.remove(e);
+      maintained = cc.remove_edges(removed, edges);
+      report.edges_removed += removed.size();
+    } else {
+      std::vector<graph::WeightedEdge> added;
+      for (std::size_t i = 0; i < options.batch_size; ++i)
+        added.push_back(random_edge());
+      edges.insert(edges.end(), added.begin(), added.end());
+      for (const graph::WeightedEdge& e : added) acc.add(e);
+      maintained = cc.add_edges(added);
+      report.edges_added += added.size();
+    }
+    ++report.batches;
+    switch (maintained.mode) {
+      case MaintainMode::kIncremental:
+        ++report.incremental;
+        break;
+      case MaintainMode::kBoundedRecompute:
+        ++report.bounded;
+        break;
+      case MaintainMode::kFullRecompute:
+        ++report.full;
+        break;
+      case MaintainMode::kNoop:
+        break;
+    }
+
+    if (!options.verify) continue;
+    if (cc.labels() != reference_labels(n, edges)) {
+      ++report.label_mismatches;
+      if (report.first_mismatch.empty()) {
+        std::ostringstream out;
+        out << "batch " << batch << " (" << (remove ? "remove" : "add")
+            << ", mode " << maintain_mode_name(maintained.mode)
+            << "): incremental labels diverge from from-scratch CC";
+        report.first_mismatch = out.str();
+      }
+    }
+    if (acc.finalize(n) != graph_fingerprint(n, edges)) {
+      ++report.fingerprint_mismatches;
+      if (report.first_mismatch.empty()) {
+        std::ostringstream out;
+        out << "batch " << batch
+            << ": incremental fingerprint diverges from full rescan";
+        report.first_mismatch = out.str();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace camc::dyn

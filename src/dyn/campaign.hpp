@@ -1,0 +1,60 @@
+#pragma once
+
+// Seeded mutation campaign: drive a DynCc through a deterministic stream
+// of add/remove batches, checking after every batch that
+//
+//  * the incremental canonical labeling is bit-identical to a from-scratch
+//    union-find over the current edge multiset, and
+//  * the incrementally maintained FingerprintAccumulator finalizes to
+//    exactly graph_fingerprint over the current edge multiset.
+//
+// The campaign is the replay engine behind the "dyn-cc" check oracle (a
+// reduced schedule per fuzz case), the 200-batch acceptance test in
+// tests/dyn_test.cpp, and the EXPERIMENTS.md campaign row.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::dyn {
+
+struct CampaignOptions {
+  graph::Vertex n = 200;
+  /// Initial random edges, used when `initial` is empty.
+  std::size_t initial_edges = 400;
+  /// Explicit initial edge list (the check oracle feeds the fuzz case's
+  /// edges here); overrides initial_edges when non-empty.
+  std::vector<graph::WeightedEdge> initial;
+  std::size_t batches = 200;
+  std::size_t batch_size = 8;
+  std::uint64_t seed = 1;
+  /// Probability a batch is a removal (when edges remain to remove).
+  double remove_weight = 0.3;
+  double full_rebuild_threshold = 0.5;
+  /// Verify labels + fingerprint after every batch (the whole point; off
+  /// only for throughput measurement in bench_dyn).
+  bool verify = true;
+};
+
+struct CampaignReport {
+  std::size_t batches = 0;
+  std::size_t edges_added = 0;
+  std::size_t edges_removed = 0;
+  std::size_t incremental = 0;
+  std::size_t bounded = 0;
+  std::size_t full = 0;
+  std::size_t label_mismatches = 0;
+  std::size_t fingerprint_mismatches = 0;
+  /// First failing batch, human-readable (empty when clean).
+  std::string first_mismatch;
+  bool ok() const noexcept {
+    return label_mismatches == 0 && fingerprint_mismatches == 0;
+  }
+};
+
+CampaignReport run_mutation_campaign(const CampaignOptions& options);
+
+}  // namespace camc::dyn

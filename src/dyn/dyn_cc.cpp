@@ -1,0 +1,165 @@
+#include "dyn/dyn_cc.hpp"
+
+#include <algorithm>
+
+namespace camc::dyn {
+
+const char* maintain_mode_name(MaintainMode mode) noexcept {
+  switch (mode) {
+    case MaintainMode::kNoop:
+      return "noop";
+    case MaintainMode::kIncremental:
+      return "incremental";
+    case MaintainMode::kBoundedRecompute:
+      return "bounded-recompute";
+    case MaintainMode::kFullRecompute:
+      return "full-recompute";
+  }
+  return "unknown";
+}
+
+DynCc::DynCc(graph::Vertex n, std::span<const graph::WeightedEdge> edges,
+             DynCcOptions options)
+    : options_(options), n_(n) {
+  parent_.resize(n_);
+  size_.resize(n_);
+  min_id_.resize(n_);
+  touched_.assign(n_, 0);
+  rebuild(edges);
+}
+
+graph::Vertex DynCc::find(graph::Vertex v) noexcept {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool DynCc::unite(graph::Vertex a, graph::Vertex b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  min_id_[a] = std::min(min_id_[a], min_id_[b]);
+  // Small-to-large splice keeps total member movement O(n log n); the
+  // lists let remove_edges enumerate a touched component in O(|component|)
+  // instead of scanning all n vertices.
+  members_[a].insert(members_[a].end(), members_[b].begin(),
+                     members_[b].end());
+  members_[b].clear();
+  --components_;
+  return true;
+}
+
+void DynCc::reset_all() {
+  members_.resize(n_);
+  for (graph::Vertex v = 0; v < n_; ++v) {
+    parent_[v] = v;
+    size_[v] = 1;
+    min_id_[v] = v;
+    members_[v].assign(1, v);
+  }
+  components_ = n_;
+}
+
+MaintainReport DynCc::rebuild(std::span<const graph::WeightedEdge> edges) {
+  reset_all();
+  MaintainReport report;
+  report.mode = MaintainMode::kFullRecompute;
+  report.touched_fraction = n_ > 0 ? 1.0 : 0.0;
+  report.touched_vertices = n_;
+  report.scanned_edges = edges.size();
+  for (const graph::WeightedEdge& e : edges)
+    if (e.u != e.v && unite(e.u, e.v)) ++report.merges;
+  report.touched_components = components_;
+  labels_dirty_ = true;
+  return report;
+}
+
+MaintainReport DynCc::add_edges(std::span<const graph::WeightedEdge> batch) {
+  MaintainReport report;
+  if (batch.empty()) return report;
+  report.mode = MaintainMode::kIncremental;
+  report.scanned_edges = batch.size();
+  for (const graph::WeightedEdge& e : batch)
+    if (e.u != e.v && unite(e.u, e.v)) ++report.merges;
+  if (report.merges > 0) labels_dirty_ = true;
+  return report;
+}
+
+MaintainReport DynCc::remove_edges(
+    std::span<const graph::WeightedEdge> removed,
+    std::span<const graph::WeightedEdge> remaining) {
+  MaintainReport report;
+  if (removed.empty()) return report;
+
+  // Which components did the deleted edges live in? (Both endpoints of a
+  // staged edge share a root, but take both defensively.)
+  std::vector<graph::Vertex> roots;
+  roots.reserve(removed.size() * 2);
+  for (const graph::WeightedEdge& e : removed) {
+    roots.push_back(find(e.u));
+    roots.push_back(find(e.v));
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  report.touched_components = roots.size();
+
+  // Union by size keeps size_[root] exact, so the touched-vertex count —
+  // and the threshold decision — costs O(roots), not a vertex scan.
+  std::uint64_t touched_vertices = 0;
+  for (graph::Vertex r : roots) touched_vertices += size_[r];
+  report.touched_vertices = touched_vertices;
+  report.touched_fraction =
+      n_ > 0 ? static_cast<double>(touched_vertices) / n_ : 0.0;
+
+  if (report.touched_fraction > options_.full_rebuild_threshold) {
+    const MaintainReport full = rebuild(remaining);
+    report.mode = MaintainMode::kFullRecompute;
+    report.scanned_edges = full.scanned_edges;
+    report.merges = full.merges;
+    return report;
+  }
+
+  // Bounded path: enumerate the touched components via their member lists
+  // (O(touched), not O(n)), dissolve them into singletons, then re-unite
+  // the surviving edges inside them. Edges never cross component
+  // boundaries, so testing one endpoint suffices.
+  member_scratch_.clear();
+  for (graph::Vertex r : roots)
+    member_scratch_.insert(member_scratch_.end(), members_[r].begin(),
+                           members_[r].end());
+  components_ -= report.touched_components;
+  for (graph::Vertex v : member_scratch_) {
+    touched_[v] = 1;
+    parent_[v] = v;
+    size_[v] = 1;
+    min_id_[v] = v;
+    members_[v].assign(1, v);
+    ++components_;
+  }
+  report.mode = MaintainMode::kBoundedRecompute;
+  report.scanned_edges = remaining.size();
+  for (const graph::WeightedEdge& e : remaining) {
+    if (!touched_[e.u]) continue;
+    if (e.u != e.v && unite(e.u, e.v)) ++report.merges;
+  }
+  // Restore the all-zero invariant so the next batch's marks are clean.
+  for (graph::Vertex v : member_scratch_) touched_[v] = 0;
+  labels_dirty_ = true;
+  return report;
+}
+
+const std::vector<graph::Vertex>& DynCc::labels() {
+  if (labels_dirty_) {
+    labels_.resize(n_);
+    for (graph::Vertex v = 0; v < n_; ++v) labels_[v] = min_id_[find(v)];
+    labels_dirty_ = false;
+  }
+  return labels_;
+}
+
+}  // namespace camc::dyn

@@ -1,0 +1,121 @@
+#pragma once
+
+// camc::dyn — incremental connected-components maintenance for streaming
+// edge mutations.
+//
+// DynCc keeps a CC labeling live across batched add_edges / remove_edges
+// without recomputing from scratch on every change:
+//
+//  * Insertions are pure label merges: a union-find with path halving and
+//    union by size absorbs each added edge in near-O(alpha) — no recompute,
+//    no edge rescan. This is the classic incremental-connectivity bound.
+//  * Deletions can split components, which union-find cannot undo, so they
+//    trigger a *bounded recompute*: only the components touched by the
+//    removed edges are dissolved and rebuilt from the surviving edge set.
+//    Per-root member lists (spliced small-to-large on union) enumerate the
+//    touched components in O(touched) — no all-vertex scan — and edges
+//    never cross component boundaries, so the rebuild scans the remaining
+//    edges once and re-unites exactly those inside touched components;
+//    everything else keeps its labels untouched. When the
+//    touched fraction of vertices crosses a threshold the bounded path
+//    would approach a full rebuild anyway, so DynCc falls back to one
+//    (the log-diameter-round analysis of Andoni et al. bounds that
+//    recompute phase; see PAPERS.md).
+//
+// Labels are canonical: every vertex is labeled with the smallest vertex id
+// in its component. That makes incremental and from-scratch labelings
+// bit-comparable ("identical up to canonical root choice" becomes simply
+// "identical"), which is what the dyn-cc check oracle and the cluster's
+// cross-replica verification pin.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::dyn {
+
+struct DynCcOptions {
+  /// Fraction of vertices in touched components above which a deletion
+  /// batch abandons the bounded path and rebuilds from scratch.
+  double full_rebuild_threshold = 0.5;
+};
+
+/// How a batch was absorbed (reported per batch, aggregated in stats).
+enum class MaintainMode : std::uint8_t {
+  kNoop,             ///< empty batch: nothing to do
+  kIncremental,      ///< insertions: union-find merges only
+  kBoundedRecompute, ///< deletions: touched components rebuilt
+  kFullRecompute,    ///< deletions over threshold, or forced by policy
+};
+
+const char* maintain_mode_name(MaintainMode mode) noexcept;
+
+struct MaintainReport {
+  MaintainMode mode = MaintainMode::kNoop;
+  /// Vertices in touched components / n (deletions; 0 for insertions).
+  double touched_fraction = 0.0;
+  std::uint64_t touched_components = 0;
+  std::uint64_t touched_vertices = 0;
+  /// Edges scanned while maintaining (batch size for insertions; the
+  /// surviving edge set for deletion recomputes).
+  std::uint64_t scanned_edges = 0;
+  /// Label merges performed (component count decrease).
+  std::uint64_t merges = 0;
+};
+
+class DynCc {
+ public:
+  DynCc(graph::Vertex n, std::span<const graph::WeightedEdge> edges,
+        DynCcOptions options = {});
+
+  /// Absorb an insertion batch: union-find merges only.
+  MaintainReport add_edges(std::span<const graph::WeightedEdge> batch);
+
+  /// Absorb a deletion batch. `remaining` is the full post-removal edge
+  /// multiset (the bounded path scans it once; only edges inside touched
+  /// components are re-united). The removed edges must already be absent
+  /// from `remaining` — validation is the caller's job.
+  MaintainReport remove_edges(std::span<const graph::WeightedEdge> removed,
+                              std::span<const graph::WeightedEdge> remaining);
+
+  /// Discard all state and rebuild from the given edge set (also used when
+  /// the caller forces policy=recompute to measure the baseline).
+  MaintainReport rebuild(std::span<const graph::WeightedEdge> edges);
+
+  graph::Vertex n() const noexcept { return n_; }
+  std::uint64_t components() const noexcept { return components_; }
+
+  /// Canonical labeling: labels()[v] is the smallest vertex id in v's
+  /// component. Lazily refreshed; the reference is valid until the next
+  /// mutating call.
+  const std::vector<graph::Vertex>& labels();
+
+ private:
+  graph::Vertex find(graph::Vertex v) noexcept;
+  bool unite(graph::Vertex a, graph::Vertex b);
+  void reset_all();
+
+  DynCcOptions options_;
+  graph::Vertex n_ = 0;
+  std::uint64_t components_ = 0;
+  std::vector<graph::Vertex> parent_;
+  std::vector<graph::Vertex> size_;
+  /// min_id_[r] for a root r = smallest vertex id in r's component.
+  std::vector<graph::Vertex> min_id_;
+  /// members_[r] for a root r = the vertices of r's component, maintained
+  /// by small-to-large splicing in unite(). This is what makes deletions
+  /// O(touched + m): touched components are enumerated from their lists
+  /// instead of scanning all n vertices.
+  std::vector<std::vector<graph::Vertex>> members_;
+  std::vector<graph::Vertex> labels_;
+  bool labels_dirty_ = true;
+  // scratch reused across deletion batches (avoids per-batch allocation);
+  // touched_ is all-zero between calls.
+  std::vector<std::uint8_t> touched_;
+  std::vector<graph::Vertex> member_scratch_;
+};
+
+}  // namespace camc::dyn

@@ -53,6 +53,19 @@ struct FingerprintAccumulator {
     ++count;
   }
 
+  /// Exact inverse of add(): both reduction lanes (wrapping sum, xor) are
+  /// group operations, so subtracting an edge's hash back out yields the
+  /// accumulator of the multiset without that edge. This is what makes
+  /// streaming mutations O(batch): the post-mutation fingerprint equals
+  /// graph_fingerprint over the mutated multiset without a rescan.
+  /// Precondition: the edge is present in the accumulated multiset.
+  void remove(const WeightedEdge& edge) {
+    const std::uint64_t h = edge_fingerprint(edge);
+    sum -= h;  // wrapping: exact inverse of the wrapping add
+    xored ^= h;
+    --count;
+  }
+
   void merge(const FingerprintAccumulator& other) {
     sum += other.sum;
     xored ^= other.xored;

@@ -38,6 +38,34 @@ std::shared_ptr<const StoredGraph> GraphStore::put(
   return stored;
 }
 
+std::shared_ptr<const StoredGraph> GraphStore::replace(
+    const std::string& name, graph::Vertex n,
+    std::vector<graph::WeightedEdge> edges, std::uint64_t fingerprint) {
+  auto stored = std::make_shared<StoredGraph>();
+  stored->name = name;
+  stored->n = n;
+  stored->edges = std::move(edges);
+  stored->fingerprint = fingerprint;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  stats_.resident_bytes -= (*it->second)->resident_bytes();
+  *it->second = stored;  // same list node: recency position is preserved
+  stats_.resident_bytes += stored->resident_bytes();
+  ++stats_.mutations;
+  if (max_bytes_ > 0) {
+    // A growing graph can push the store over budget; shed LRU entries but
+    // never the one just mutated (it is not necessarily at the front, so
+    // stop as soon as it is the eviction candidate).
+    while (stats_.resident_bytes > max_bytes_ && lru_.size() > 1 &&
+           lru_.back() != stored)
+      evict_lru_locked();
+  }
+  stats_.resident_graphs = lru_.size();
+  return stored;
+}
+
 std::shared_ptr<const StoredGraph> GraphStore::get(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(name);

@@ -40,6 +40,9 @@ class GraphStore {
   struct Stats {
     std::uint64_t loads = 0;
     std::uint64_t evictions = 0;
+    /// In-place replacements from add_edges/remove_edges — counted apart
+    /// from evictions so a mutation storm doesn't masquerade as LRU churn.
+    std::uint64_t mutations = 0;
     std::uint64_t resident_graphs = 0;
     std::uint64_t resident_bytes = 0;
   };
@@ -51,6 +54,17 @@ class GraphStore {
   /// evicts LRU graphs if the byte budget is exceeded. Returns the entry.
   std::shared_ptr<const StoredGraph> put(std::string name, graph::Vertex n,
                                          std::vector<graph::WeightedEdge> edges);
+
+  /// Swap a resident graph's content in place (streaming mutations). The
+  /// fingerprint is supplied by the caller — the mutation path maintains
+  /// it incrementally via FingerprintAccumulator, so recomputing here
+  /// would defeat the O(batch) contract. The old entry's shared_ptr stays
+  /// valid for in-flight batches; the store just stops handing it out.
+  /// Counts as a mutation (not a load, not an eviction). Returns null when
+  /// the name is not resident.
+  std::shared_ptr<const StoredGraph> replace(
+      const std::string& name, graph::Vertex n,
+      std::vector<graph::WeightedEdge> edges, std::uint64_t fingerprint);
 
   /// Lookup by name; refreshes recency. Null when absent.
   std::shared_ptr<const StoredGraph> get(const std::string& name);

@@ -201,4 +201,81 @@ WarmRestartReport warm_restart(const std::string& dir, GraphStore& store,
   return report;
 }
 
+std::size_t remove_bundle(const std::string& dir, std::uint64_t fingerprint) {
+  std::size_t removed = 0;
+  for (const store::ArtifactKind kind :
+       {store::ArtifactKind::kGraph, store::ArtifactKind::kResultSet}) {
+    const fs::path path =
+        fs::path(dir) / store::artifact_file_name(fingerprint, kind);
+    std::error_code rm_error;
+    if (fs::remove(path, rm_error) && !rm_error) ++removed;
+  }
+  return removed;
+}
+
+StoreGcReport enforce_store_budget(const std::string& dir,
+                                   std::uint64_t max_bytes,
+                                   std::uint64_t protect) {
+  StoreGcReport report;
+  if (max_bytes == 0) return report;
+
+  struct Bundle {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime = fs::file_time_type::min();
+  };
+  std::vector<Bundle> bundles;
+  std::uint64_t total = 0;
+
+  std::error_code dir_error;
+  fs::directory_iterator it(dir, dir_error);
+  if (dir_error) return report;
+  for (const auto& entry : it) {
+    const std::string file = entry.path().filename().string();
+    if (!file.ends_with(".camc") || file.size() < 17) continue;
+    std::uint64_t fp = 0;
+    try {
+      fp = std::stoull(file.substr(0, 16), nullptr, 16);
+    } catch (const std::exception&) {
+      continue;  // not a fingerprint-named artifact; leave it alone
+    }
+    std::error_code stat_error;
+    const std::uint64_t bytes = fs::file_size(entry.path(), stat_error);
+    if (stat_error) continue;
+    const fs::file_time_type mtime =
+        fs::last_write_time(entry.path(), stat_error);
+    total += bytes;
+    auto found = std::find_if(bundles.begin(), bundles.end(),
+                              [&](const Bundle& b) {
+                                return b.fingerprint == fp;
+                              });
+    if (found == bundles.end()) {
+      bundles.push_back({fp, bytes, mtime});
+    } else {
+      found->bytes += bytes;
+      if (!stat_error && mtime > found->mtime) found->mtime = mtime;
+    }
+  }
+  report.bytes_resident = total;
+  if (total <= max_bytes) return report;
+
+  // Oldest bundle first; fingerprint breaks mtime ties deterministically.
+  std::sort(bundles.begin(), bundles.end(),
+            [](const Bundle& a, const Bundle& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.fingerprint < b.fingerprint;
+            });
+  for (const Bundle& bundle : bundles) {
+    if (report.bytes_resident <= max_bytes) break;
+    if (bundle.fingerprint == protect) continue;
+    const std::size_t files = remove_bundle(dir, bundle.fingerprint);
+    if (files == 0) continue;
+    ++report.bundles_removed;
+    report.files_removed += files;
+    report.bytes_removed += bundle.bytes;
+    report.bytes_resident -= bundle.bytes;
+  }
+  return report;
+}
+
 }  // namespace camc::svc

@@ -81,4 +81,31 @@ struct WarmRestartReport {
 WarmRestartReport warm_restart(const std::string& dir, GraphStore& store,
                                ResultCache& cache);
 
+/// Deletes the on-disk bundle (<fp>.graph.camc + <fp>.results.camc) for
+/// one fingerprint under `dir`. The mutation path calls this when a save
+/// supersedes an earlier revision of the same graph — precise
+/// persist-layer invalidation by fingerprint delta, so stale epochs don't
+/// pile up (and don't rehydrate) while other graphs' artifacts survive
+/// untouched. Best-effort; returns files actually removed (0..2).
+std::size_t remove_bundle(const std::string& dir, std::uint64_t fingerprint);
+
+struct StoreGcReport {
+  std::size_t bundles_removed = 0;
+  std::size_t files_removed = 0;
+  std::uint64_t bytes_removed = 0;
+  /// Total *.camc bytes left under dir after the sweep.
+  std::uint64_t bytes_resident = 0;
+};
+
+/// Byte-budget GC for a store directory: while the total size of *.camc
+/// files exceeds `max_bytes`, removes whole bundles (graph + sibling
+/// results together) oldest-mtime-first, never the bundle whose
+/// fingerprint is `protect` (the one just saved). A bundle too big for
+/// the budget on its own is still kept if protected — mirroring the
+/// GraphStore rule that a graph over budget is still servable. Runs at
+/// save time (camc_serve --store-cap-mb); max_bytes == 0 disables.
+StoreGcReport enforce_store_budget(const std::string& dir,
+                                   std::uint64_t max_bytes,
+                                   std::uint64_t protect);
+
 }  // namespace camc::svc

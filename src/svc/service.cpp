@@ -1,7 +1,10 @@
 #include "svc/service.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <tuple>
 
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
@@ -192,6 +195,8 @@ Json Service::handle_request(const Json& request, const Emit& emit,
   if (op == "gen") return handle_gen(request);
   if (op == "evict") return handle_evict(request);
   if (op == "save") return handle_save(request);
+  if (op == "add_edges") return handle_mutate(request, /*add=*/true);
+  if (op == "remove_edges") return handle_mutate(request, /*add=*/false);
   if (op == "stats")
     return base_response(id).set("status", "ok").set("result", stats_json());
   if (op == "ping") return base_response(id).set("status", "ok");
@@ -213,6 +218,7 @@ Json Service::handle_load(const Json& request) {
     const std::string name =
         request.has("graph") ? request["graph"].as_string() : "";
     const LoadReport loaded = load_graph_bundle(path, name, store_, cache_);
+    reset_dyn_state(loaded.graph->name);
     Json result =
         Json::object()
             .set("graph", loaded.graph->name)
@@ -241,6 +247,7 @@ Json Service::handle_load(const Json& request) {
     throw std::runtime_error("unknown format '" + format + "'");
   }
   const auto stored = store_.put(name, n, std::move(edges));
+  reset_dyn_state(name);
   return graph_response(id, *stored);
 }
 
@@ -279,6 +286,7 @@ Json Service::handle_gen(const Json& request) {
   }
   if (wmax > 1) gen::randomize_weights(edges, wmax, seed + 1);
   const auto stored = store_.put(name, n, std::move(edges));
+  reset_dyn_state(name);
   return graph_response(id, *stored);
 }
 
@@ -303,12 +311,18 @@ bool Service::handle_query(const Json& request, std::uint64_t id,
   return true;
 }
 
+void Service::reset_dyn_state(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(dyn_mutex_);
+  dyn_states_.erase(name);
+}
+
 Json Service::handle_evict(const Json& request) {
   const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
   const std::string& name = request["graph"].as_string();
   const std::optional<std::uint64_t> fingerprint = store_.evict(name);
   if (!fingerprint.has_value())
     throw std::runtime_error("no such graph '" + name + "'");
+  reset_dyn_state(name);
   const std::size_t dropped = cache_.invalidate_graph(*fingerprint);
   return base_response(id)
       .set("status", "ok")
@@ -329,6 +343,7 @@ Json Service::handle_save(const Json& request) {
   const auto graph = store_.get(name);
   if (!graph) throw std::runtime_error("no such graph '" + name + "'");
   const SaveReport saved = save_graph_bundle(dir, *graph, cache_);
+  after_save(name, dir, saved.fingerprint);
   Json result = Json::object()
                     .set("graph", name)
                     .set("fingerprint", hex64(saved.fingerprint))
@@ -339,6 +354,210 @@ Json Service::handle_save(const Json& request) {
     result.set("results_path", saved.results_path);
   return base_response(id).set("status", "ok").set("result",
                                                    std::move(result));
+}
+
+void Service::after_save(const std::string& name, const std::string& dir,
+                         std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(dyn_mutex_);
+  const auto it = last_saved_.find(name);
+  if (it != last_saved_.end() && it->second.first == dir &&
+      it->second.second != fingerprint) {
+    // The graph mutated since its last save: the old revision's bundle is
+    // unreachable (nothing maps to that fingerprint anymore) — drop it so
+    // a mutation storm doesn't fill the directory with dead epochs.
+    if (remove_bundle(dir, it->second.second) > 0)
+      ++dyn_stats_.stale_bundles_removed;
+  }
+  last_saved_[name] = {dir, fingerprint};
+  if (options_.store_cap_bytes > 0) {
+    const StoreGcReport gc =
+        enforce_store_budget(dir, options_.store_cap_bytes, fingerprint);
+    dyn_stats_.gc_files_removed += gc.files_removed;
+  }
+}
+
+Json Service::handle_mutate(const Json& request, bool add) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t id = request.has("id") ? request["id"].as_u64() : 0;
+  const std::string& name = request["graph"].as_string();
+  const auto graph = store_.get(name);
+  if (!graph) throw std::runtime_error("no such graph '" + name + "'");
+
+  const Json& edges_json = request["edges"];
+  if (!edges_json.is_array())
+    throw std::runtime_error("edges must be an array of [u,v] or [u,v,w]");
+  std::vector<graph::WeightedEdge> batch;
+  batch.reserve(edges_json.size());
+  for (std::size_t i = 0; i < edges_json.size(); ++i) {
+    const Json& item = edges_json.at(i);
+    if (!item.is_array() || item.size() < 2 || item.size() > 3)
+      throw std::runtime_error("edges[" + std::to_string(i) +
+                               "] must be [u,v] or [u,v,w]");
+    graph::WeightedEdge edge;
+    edge.u = static_cast<graph::Vertex>(item.at(0).as_u64());
+    edge.v = static_cast<graph::Vertex>(item.at(1).as_u64());
+    edge.weight = item.size() == 3 ? item.at(2).as_u64() : 1;
+    if (edge.u >= graph->n || edge.v >= graph->n)
+      throw std::runtime_error("edges[" + std::to_string(i) +
+                               "] endpoint out of range (n=" +
+                               std::to_string(graph->n) + ")");
+    if (edge.weight == 0)
+      throw std::runtime_error("edges[" + std::to_string(i) +
+                               "] weight must be positive");
+    batch.push_back(edge);
+  }
+  const std::string policy =
+      request.has("policy") ? request["policy"].as_string() : "incremental";
+  if (policy != "incremental" && policy != "recompute")
+    throw std::runtime_error("unknown policy '" + policy +
+                             "' (incremental|recompute)");
+
+  const std::lock_guard<std::mutex> lock(dyn_mutex_);
+  DynState& state = dyn_states_[name];
+  if (!state.cc || state.fingerprint != graph->fingerprint) {
+    // First mutation of this revision (or the graph was restaged /
+    // evicted-then-rehydrated behind our back): rebuild the streaming
+    // state from the resident edges and restart the epoch.
+    state.acc = {};
+    for (const graph::WeightedEdge& e : graph->edges) state.acc.add(e);
+    dyn::DynCcOptions cc_options;
+    cc_options.full_rebuild_threshold = options_.dyn_full_rebuild_threshold;
+    state.cc =
+        std::make_unique<dyn::DynCc>(graph->n, graph->edges, cc_options);
+    state.epoch = 0;
+    state.fingerprint = graph->fingerprint;
+    ++dyn_stats_.state_rebuilds;
+  }
+
+  const auto mutation_result = [&](std::uint64_t m, std::uint64_t applied,
+                                   const dyn::MaintainReport& maintained,
+                                   std::uint64_t dropped, double apply_ms,
+                                   double maintain_ms) {
+    return base_response(id)
+        .set("status", "ok")
+        .set("op", add ? "add_edges" : "remove_edges")
+        .set("result",
+             Json::object()
+                 .set("graph", name)
+                 .set("epoch", state.epoch)
+                 .set("n", static_cast<std::uint64_t>(graph->n))
+                 .set("m", m)
+                 .set("fingerprint", hex64(state.fingerprint))
+                 .set("applied", applied)
+                 .set("components", state.cc->components())
+                 .set("cc_mode", dyn::maintain_mode_name(maintained.mode))
+                 .set("touched_fraction", maintained.touched_fraction)
+                 .set("cache_entries_dropped", dropped))
+        .set("apply_ms", apply_ms)
+        .set("maintain_ms", maintain_ms)
+        .set("mutate_ms", apply_ms + maintain_ms);
+  };
+
+  if (batch.empty()) {
+    // Empty batch: a well-formed no-op. Nothing changes — not the edge
+    // multiset, not the fingerprint, not the epoch.
+    ++dyn_stats_.batches;
+    ++dyn_stats_.noop;
+    return mutation_result(graph->edges.size(), 0, dyn::MaintainReport{}, 0,
+                           0.0, 0.0);
+  }
+
+  std::vector<graph::WeightedEdge> new_edges;
+  if (add) {
+    new_edges.reserve(graph->edges.size() + batch.size());
+    new_edges = graph->edges;
+    new_edges.insert(new_edges.end(), batch.begin(), batch.end());
+  } else {
+    // Atomic multiset removal: count what the batch wants, scan the staged
+    // edges once, and fail the whole batch (before touching any state) if
+    // anything is missing. Duplicate batch entries need that many staged
+    // copies.
+    std::map<std::tuple<graph::Vertex, graph::Vertex, graph::Weight>,
+             std::size_t>
+        wanted;
+    for (const graph::WeightedEdge& e : batch) {
+      const graph::WeightedEdge c = e.canonical();
+      ++wanted[{c.u, c.v, c.weight}];
+    }
+    new_edges.reserve(graph->edges.size() - batch.size());
+    std::size_t matched = 0;
+    for (const graph::WeightedEdge& e : graph->edges) {
+      const graph::WeightedEdge c = e.canonical();
+      const auto it = wanted.find({c.u, c.v, c.weight});
+      if (it != wanted.end() && it->second > 0) {
+        --it->second;
+        ++matched;
+      } else {
+        new_edges.push_back(e);
+      }
+    }
+    if (matched != batch.size()) {
+      for (const auto& [key, missing] : wanted)
+        if (missing > 0)
+          throw std::runtime_error(
+              "remove_edges: edge [" + std::to_string(std::get<0>(key)) +
+              "," + std::to_string(std::get<1>(key)) + "," +
+              std::to_string(std::get<2>(key)) + "] not staged");
+      throw std::runtime_error("remove_edges: batch does not match");
+    }
+  }
+  // Past the validation point: apply the fingerprint delta and swap the
+  // resident revision. O(batch) accumulator work — no edge rescan.
+  if (add)
+    for (const graph::WeightedEdge& e : batch) state.acc.add(e);
+  else
+    for (const graph::WeightedEdge& e : batch) state.acc.remove(e);
+  const std::uint64_t old_fingerprint = graph->fingerprint;
+  const std::uint64_t new_fingerprint = state.acc.finalize(graph->n);
+  const auto stored =
+      store_.replace(name, graph->n, std::move(new_edges), new_fingerprint);
+  if (!stored)
+    throw std::runtime_error("graph '" + name + "' evicted during mutation");
+  ++state.epoch;
+  state.fingerprint = new_fingerprint;
+  const auto applied_at = std::chrono::steady_clock::now();
+
+  dyn::MaintainReport maintained;
+  if (policy == "recompute")
+    maintained = state.cc->rebuild(stored->edges);
+  else if (add)
+    maintained = state.cc->add_edges(batch);
+  else
+    maintained = state.cc->remove_edges(batch, stored->edges);
+  const auto maintained_at = std::chrono::steady_clock::now();
+
+  // Precise invalidation: exactly the superseded revision's cache entries
+  // drop; every other graph's entries (and this graph's new revision's,
+  // were there any) survive.
+  const std::size_t dropped = cache_.invalidate_graph(old_fingerprint);
+
+  const double apply_seconds =
+      std::chrono::duration<double>(applied_at - start).count();
+  const double maintain_seconds =
+      std::chrono::duration<double>(maintained_at - applied_at).count();
+  ++dyn_stats_.batches;
+  ++(add ? dyn_stats_.adds : dyn_stats_.removes);
+  (add ? dyn_stats_.edges_added : dyn_stats_.edges_removed) += batch.size();
+  switch (maintained.mode) {
+    case dyn::MaintainMode::kIncremental:
+      ++dyn_stats_.incremental;
+      break;
+    case dyn::MaintainMode::kBoundedRecompute:
+      ++dyn_stats_.bounded;
+      break;
+    case dyn::MaintainMode::kFullRecompute:
+      ++dyn_stats_.full;
+      break;
+    case dyn::MaintainMode::kNoop:
+      ++dyn_stats_.noop;
+      break;
+  }
+  dyn_stats_.cache_entries_dropped += dropped;
+  dyn_stats_.apply_seconds += apply_seconds;
+  dyn_stats_.maintain_seconds += maintain_seconds;
+
+  return mutation_result(stored->edges.size(), batch.size(), maintained,
+                         dropped, apply_seconds * 1e3, maintain_seconds * 1e3);
 }
 
 WarmRestartReport Service::warm_restart() {
@@ -353,6 +572,7 @@ Service::FlushReport Service::flush_store() {
     try {
       const SaveReport saved =
           save_graph_bundle(options_.store_dir, *graph, cache_);
+      after_save(graph->name, options_.store_dir, saved.fingerprint);
       ++report.graphs;
       report.results += saved.results_saved;
     } catch (const std::exception& e) {
@@ -417,7 +637,31 @@ Json Service::stats_json() const {
                .set("graphs", store.resident_graphs)
                .set("bytes", store.resident_bytes)
                .set("loads", store.loads)
-               .set("evictions", store.evictions));
+               .set("evictions", store.evictions)
+               .set("mutations", store.mutations))
+      .set("dyn", dyn_stats_json());
+}
+
+Json Service::dyn_stats_json() const {
+  const std::lock_guard<std::mutex> lock(dyn_mutex_);
+  return Json::object()
+      .set("batches", dyn_stats_.batches)
+      .set("adds", dyn_stats_.adds)
+      .set("removes", dyn_stats_.removes)
+      .set("edges_added", dyn_stats_.edges_added)
+      .set("edges_removed", dyn_stats_.edges_removed)
+      .set("incremental", dyn_stats_.incremental)
+      .set("bounded", dyn_stats_.bounded)
+      .set("full", dyn_stats_.full)
+      .set("noop", dyn_stats_.noop)
+      .set("state_rebuilds", dyn_stats_.state_rebuilds)
+      .set("cache_entries_dropped", dyn_stats_.cache_entries_dropped)
+      .set("stale_bundles_removed", dyn_stats_.stale_bundles_removed)
+      .set("gc_files_removed", dyn_stats_.gc_files_removed)
+      .set("apply_ms", dyn_stats_.apply_seconds * 1e3)
+      .set("maintain_ms", dyn_stats_.maintain_seconds * 1e3)
+      .set("graphs",
+           static_cast<std::uint64_t>(dyn_states_.size()));
 }
 
 }  // namespace camc::svc

@@ -17,6 +17,17 @@
 //   {"id":8,"op":"save","graph":"g","dir":"store"}
 //   {"id":9,"op":"load","graph":"g","format":"store",
 //    "path":"store/<fp>.graph.camc"}
+//   {"id":10,"op":"add_edges","graph":"g","edges":[[0,1],[2,3,5]]}
+//   {"id":11,"op":"remove_edges","graph":"g","edges":[[0,1]]}
+//
+// add_edges/remove_edges mutate a staged graph in place: the content
+// fingerprint advances incrementally (FingerprintAccumulator delta, no
+// rescan), the per-graph epoch counts applied batches since staging, the
+// CC labeling is maintained live by dyn::DynCc (union-find merges for
+// insertions, bounded recompute for deletions), and exactly the old
+// fingerprint's ResultCache entries are invalidated — other graphs'
+// cached results survive mutation storms untouched. "policy":"recompute"
+// forces a from-scratch rebuild (the loadgen's speedup baseline).
 //
 // Unknown request fields are accepted and ignored (forward compatibility).
 // Query names: cc | min_cut | approx_min_cut | sparsify. Query params:
@@ -41,8 +52,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "dyn/dyn_cc.hpp"
+#include "graph/fingerprint.hpp"
 #include "svc/graph_store.hpp"
 #include "svc/json.hpp"
 #include "svc/persist.hpp"
@@ -66,6 +81,14 @@ struct ServiceOptions {
   /// of the save op, and the directory warm_restart() rehydrates from.
   /// Empty disables persistence defaults (save then requires "dir").
   std::string store_dir;
+  /// Byte budget for save directories (camc_serve --store-cap-mb): every
+  /// save sweeps the directory it wrote to, evicting whole bundles
+  /// oldest-mtime-first until under budget (never the one just saved).
+  /// 0 = unbounded.
+  std::uint64_t store_cap_bytes = 0;
+  /// Deletion batches whose touched components cover more than this
+  /// fraction of vertices fall back to a full CC rebuild.
+  double dyn_full_rebuild_threshold = 0.5;
 };
 
 class Service {
@@ -119,11 +142,57 @@ class Service {
   bool handle_query(const Json& request, std::uint64_t id, const Emit& emit);
   Json handle_evict(const Json& request);
   Json handle_save(const Json& request);
+  Json handle_mutate(const Json& request, bool add);
+  /// Persist-layer invalidation + byte-budget GC after any bundle save.
+  void after_save(const std::string& name, const std::string& dir,
+                  std::uint64_t fingerprint);
+  Json dyn_stats_json() const;
+  /// Drops streaming state when a graph is restaged or evicted (the epoch
+  /// restarts at 0 for the new residency).
+  void reset_dyn_state(const std::string& name);
+
+  /// Per-graph streaming state: the epoch (applied mutation batches since
+  /// the graph was staged — restaging via gen/load/rehydrate resets it),
+  /// the incrementally maintained fingerprint accumulator, and the live
+  /// DynCc labeling. Lazily (re)built from the resident edges whenever the
+  /// tracked fingerprint no longer matches the store's (first mutation,
+  /// restage, evict-then-rehydrate).
+  struct DynState {
+    std::uint64_t epoch = 0;
+    std::uint64_t fingerprint = 0;
+    graph::FingerprintAccumulator acc;
+    std::unique_ptr<dyn::DynCc> cc;
+  };
+
+  struct DynStats {
+    std::uint64_t batches = 0;
+    std::uint64_t adds = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t edges_added = 0;
+    std::uint64_t edges_removed = 0;
+    std::uint64_t incremental = 0;
+    std::uint64_t bounded = 0;
+    std::uint64_t full = 0;
+    std::uint64_t noop = 0;
+    std::uint64_t state_rebuilds = 0;
+    std::uint64_t cache_entries_dropped = 0;
+    std::uint64_t stale_bundles_removed = 0;
+    std::uint64_t gc_files_removed = 0;
+    double apply_seconds = 0.0;
+    double maintain_seconds = 0.0;
+  };
 
   ServiceOptions options_;
   GraphStore store_;
   ResultCache cache_;
   std::unique_ptr<QueryEngine> engine_;
+  mutable std::mutex dyn_mutex_;
+  std::unordered_map<std::string, DynState> dyn_states_;
+  DynStats dyn_stats_;
+  /// name -> (dir, fingerprint) of its last saved bundle: a save of a
+  /// mutated graph removes the superseded on-disk revision precisely.
+  std::unordered_map<std::string, std::pair<std::string, std::uint64_t>>
+      last_saved_;
 };
 
 /// Response serialization, exposed for the protocol round-trip tests.

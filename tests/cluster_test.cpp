@@ -306,6 +306,106 @@ TEST(Cluster, KilledShardRestartsWarmAndKeyspaceRecovers) {
   fs::remove_all(dir);
 }
 
+TEST(Cluster, RoundRobinSpreadsReadsAcrossReplicas) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  // 2 shards, replication 2: every keyspace lives on both workers, so
+  // with read balancing on, distinct (uncacheable-across-seed) queries
+  // must land on BOTH replicas instead of pinning the primary.
+  Cluster cluster(test_options(2, 2, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  cluster.handle_line(gen_line(1, "g0"), emit);
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+
+  std::uint64_t id = 2;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    cluster.handle_line(Json::object()
+                            .set("id", id)
+                            .set("op", "query")
+                            .set("graph", "g0")
+                            .set("query", "cc")
+                            .set("params", Json::object().set("seed", i + 1))
+                            .dump(),
+                        emit);
+    const Json answer = emitted.wait_for_id(id++);
+    ASSERT_EQ(answer["status"].as_string(), "ok") << answer.dump();
+    // Whichever replica served the read, the answer is bit-identical.
+    if (expected == 0)
+      expected = answer["result"]["value"].as_u64();
+    else
+      EXPECT_EQ(answer["result"]["value"].as_u64(), expected);
+  }
+  cluster.drain();
+
+  EXPECT_GT(cluster.cluster_stats_json()["reads_balanced"].as_u64(), 0u);
+  // Both workers actually executed queries: the per-shard stats show
+  // nonzero submissions on each.
+  cluster.handle_line("{\"id\":100,\"op\":\"stats\"}", emit);
+  const Json stats = emitted.wait_for_id(100);
+  ASSERT_EQ(stats["status"].as_string(), "ok") << stats.dump();
+  const Json& shards = stats["result"]["shards"];
+  ASSERT_EQ(shards.size(), 2u);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Json& entry = shards.at(s);
+    EXPECT_TRUE(entry["alive"].as_bool());
+    EXPECT_GT(entry["stats"]["total"]["submitted"].as_u64(), 0u)
+        << "shard " << s << " served no queries: " << stats.dump();
+  }
+}
+
+TEST(Cluster, MutationsReplicateToEveryReplica) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  Cluster cluster(test_options(2, 2, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  // Small empty graph so component counts are exact.
+  cluster.handle_line(Json::object()
+                          .set("id", 1)
+                          .set("op", "gen")
+                          .set("graph", "g0")
+                          .set("family", "er")
+                          .set("n", 10)
+                          .set("m", 0)
+                          .set("seed", 1)
+                          .dump(),
+                      emit);
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+
+  cluster.handle_line(
+      "{\"id\":2,\"op\":\"add_edges\",\"graph\":\"g0\","
+      "\"edges\":[[0,1],[1,2],[3,4]]}",
+      emit);
+  const Json mutated = emitted.wait_for_id(2);
+  ASSERT_EQ(mutated["status"].as_string(), "ok") << mutated.dump();
+  EXPECT_EQ(mutated["result"]["components"].as_u64(), 7u);
+
+  // Round-robin sends these reads to both replicas; each must hold the
+  // mutated revision (the write fanned out), so every answer is the
+  // post-mutation component count, bit-for-bit.
+  for (std::uint64_t id = 3; id <= 8; ++id) {
+    cluster.handle_line(Json::object()
+                            .set("id", id)
+                            .set("op", "query")
+                            .set("graph", "g0")
+                            .set("query", "cc")
+                            .set("params", Json::object().set("seed", id))
+                            .dump(),
+                        emit);
+    const Json answer = emitted.wait_for_id(id);
+    ASSERT_EQ(answer["status"].as_string(), "ok") << answer.dump();
+    EXPECT_EQ(answer["result"]["components"].as_u64(), 7u) << answer.dump();
+  }
+
+  // A mutation against a graph no shard staged is a structured error
+  // routed back with the client's id.
+  cluster.handle_line(
+      "{\"id\":9,\"op\":\"add_edges\",\"graph\":\"ghost\","
+      "\"edges\":[[0,1]]}",
+      emit);
+  EXPECT_EQ(emitted.wait_for_id(9)["status"].as_string(), "error");
+}
+
 TEST(Cluster, ReplicatedKeyspaceFailsOverWithoutDegrading) {
   if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
   Cluster cluster(test_options(3, 2, ""));
@@ -330,6 +430,40 @@ TEST(Cluster, ReplicatedKeyspaceFailsOverWithoutDegrading) {
     EXPECT_EQ(answer["result"]["value"].as_u64(),
               before["result"]["value"].as_u64());
   }
+}
+
+TEST(Cluster, QueriesFailOverPastAnAmnesiacRestartedReplica) {
+  if (std::string(CAMC_TOOL_DIR).empty()) GTEST_SKIP();
+  // No store dir: a restarted shard comes back cold and has forgotten
+  // every staged graph. While its peer replica still holds the graph, a
+  // query that lands on the amnesiac must fail over and answer ok — the
+  // "no such graph" error is a routing verdict, not the client's answer.
+  Cluster cluster(test_options(2, 2, ""));
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  cluster.handle_line(gen_line(1, "g0"), emit);
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+  cluster.handle_line(query_line(2, "g0"), emit);
+  const Json before = emitted.wait_for_id(2);
+  ASSERT_EQ(before["status"].as_string(), "ok");
+  cluster.drain();
+
+  const std::size_t primary = cluster.shard_map().primary("g0");
+  cluster.inject_fault(primary, ChaosAction::kKill);
+  ASSERT_TRUE(cluster.wait_for_shard_up(primary, /*timeout_seconds=*/20.0));
+
+  // Round-robin spreads these across both replicas, so some land on the
+  // cold restart — every one must still answer ok with the same value.
+  for (std::uint64_t id = 3; id <= 8; ++id) {
+    cluster.handle_line(query_line(id, "g0"), emit);
+    const Json answer = emitted.wait_for_id(id);
+    ASSERT_EQ(answer["status"].as_string(), "ok") << answer.dump();
+    EXPECT_EQ(answer["result"]["value"].as_u64(),
+              before["result"]["value"].as_u64());
+  }
+  EXPECT_GT(cluster.cluster_stats_json()["unknown_graph_failovers"].as_u64(),
+            0u);
 }
 
 }  // namespace

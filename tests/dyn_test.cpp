@@ -1,0 +1,160 @@
+// camc::dyn — incremental CC maintenance unit tests plus the seeded
+// mutation-campaign acceptance run: 200+ batches with the incremental
+// labeling and fingerprint checked bit-for-bit against from-scratch
+// recomputation after every batch.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dyn/campaign.hpp"
+#include "dyn/dyn_cc.hpp"
+#include "graph/fingerprint.hpp"
+
+namespace camc::dyn {
+namespace {
+
+using graph::WeightedEdge;
+
+std::vector<graph::Vertex> labels_of(DynCc& cc) { return cc.labels(); }
+
+TEST(DynCc, BuildsCanonicalLabelsFromInitialEdges) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {4, 5, 2}};
+  DynCc cc(6, edges);
+  EXPECT_EQ(cc.components(), 3u);
+  EXPECT_EQ(labels_of(cc),
+            (std::vector<graph::Vertex>{0, 0, 0, 3, 4, 4}));
+}
+
+TEST(DynCc, AddEdgesMergesIncrementally) {
+  DynCc cc(5, std::vector<WeightedEdge>{});
+  EXPECT_EQ(cc.components(), 5u);
+  const MaintainReport joined =
+      cc.add_edges(std::vector<WeightedEdge>{{0, 1, 1}, {2, 3, 1}});
+  EXPECT_EQ(joined.mode, MaintainMode::kIncremental);
+  EXPECT_EQ(joined.merges, 2u);
+  EXPECT_EQ(cc.components(), 3u);
+  // A duplicate of an existing edge and a self-loop merge nothing.
+  const MaintainReport redundant =
+      cc.add_edges(std::vector<WeightedEdge>{{0, 1, 9}, {4, 4, 1}});
+  EXPECT_EQ(redundant.mode, MaintainMode::kIncremental);
+  EXPECT_EQ(redundant.merges, 0u);
+  EXPECT_EQ(cc.components(), 3u);
+  EXPECT_EQ(labels_of(cc), (std::vector<graph::Vertex>{0, 0, 2, 2, 4}));
+}
+
+TEST(DynCc, RemoveEdgesSplitsViaBoundedRecompute) {
+  // Two components over 6 vertices; removing {3,4} touches only the
+  // {3,4,5} chain (fraction 0.5 <= default threshold -> bounded path),
+  // and {0,1,2} keeps its labels without being rescanned.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}};
+  DynCc cc(6, edges);
+  EXPECT_EQ(cc.components(), 2u);
+  const std::vector<WeightedEdge> remaining = {{0, 1, 1}, {1, 2, 1}, {4, 5, 1}};
+  const MaintainReport report =
+      cc.remove_edges(std::vector<WeightedEdge>{{3, 4, 1}}, remaining);
+  EXPECT_EQ(report.mode, MaintainMode::kBoundedRecompute);
+  EXPECT_EQ(report.touched_components, 1u);
+  EXPECT_EQ(report.touched_vertices, 3u);
+  EXPECT_DOUBLE_EQ(report.touched_fraction, 0.5);
+  EXPECT_EQ(cc.components(), 3u);
+  EXPECT_EQ(labels_of(cc), (std::vector<graph::Vertex>{0, 0, 0, 3, 4, 4}));
+}
+
+TEST(DynCc, RemovingARedundantEdgeKeepsTheComponent) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  DynCc cc(3, edges);
+  const std::vector<WeightedEdge> remaining = {{0, 1, 1}, {1, 2, 1}};
+  cc.remove_edges(std::vector<WeightedEdge>{{2, 0, 1}}, remaining);
+  EXPECT_EQ(cc.components(), 1u);
+  EXPECT_EQ(labels_of(cc), (std::vector<graph::Vertex>{0, 0, 0}));
+}
+
+TEST(DynCc, ThresholdZeroForcesFullRecompute) {
+  DynCcOptions options;
+  options.full_rebuild_threshold = 0.0;
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {2, 3, 1}};
+  DynCc cc(4, edges, options);
+  const std::vector<WeightedEdge> remaining = {{0, 1, 1}};
+  const MaintainReport report =
+      cc.remove_edges(std::vector<WeightedEdge>{{2, 3, 1}}, remaining);
+  EXPECT_EQ(report.mode, MaintainMode::kFullRecompute);
+  EXPECT_EQ(cc.components(), 3u);
+  EXPECT_EQ(labels_of(cc), (std::vector<graph::Vertex>{0, 0, 2, 3}));
+}
+
+TEST(DynCc, EmptyBatchesAreNoops) {
+  DynCc cc(3, std::vector<WeightedEdge>{{0, 1, 1}});
+  EXPECT_EQ(cc.add_edges({}).mode, MaintainMode::kNoop);
+  const std::vector<WeightedEdge> remaining = {{0, 1, 1}};
+  EXPECT_EQ(cc.remove_edges({}, remaining).mode, MaintainMode::kNoop);
+  EXPECT_EQ(cc.components(), 2u);
+}
+
+TEST(DynFingerprint, RemoveIsTheExactInverseOfAdd) {
+  const std::vector<WeightedEdge> base = {{0, 1, 1}, {1, 2, 2}, {3, 4, 1}};
+  graph::FingerprintAccumulator acc;
+  for (const WeightedEdge& edge : base) acc.add(edge);
+  const WeightedEdge extra{2, 3, 5};
+  acc.add(extra);
+  acc.remove(extra);
+  EXPECT_EQ(acc.finalize(5), graph::graph_fingerprint(5, base));
+  // Removal commutes: taking out a middle edge matches the fingerprint of
+  // the multiset built without it.
+  acc.remove(base[1]);
+  const std::vector<WeightedEdge> without = {base[0], base[2]};
+  EXPECT_EQ(acc.finalize(5), graph::graph_fingerprint(5, without));
+}
+
+// -- campaign acceptance -----------------------------------------------------
+
+TEST(DynCampaign, TwoHundredBatchesStayBitIdentical) {
+  CampaignOptions options;
+  options.n = 300;
+  options.initial_edges = 500;
+  options.batches = 220;  // acceptance floor is 200
+  options.batch_size = 8;
+  options.seed = 20260808;
+  options.remove_weight = 0.35;
+  const CampaignReport report = run_mutation_campaign(options);
+  EXPECT_EQ(report.batches, 220u);
+  EXPECT_EQ(report.label_mismatches, 0u);
+  EXPECT_EQ(report.fingerprint_mismatches, 0u);
+  EXPECT_TRUE(report.ok()) << report.first_mismatch;
+  // The mix actually exercised both maintenance paths.
+  EXPECT_GT(report.incremental, 0u);
+  EXPECT_GT(report.bounded + report.full, 0u);
+}
+
+TEST(DynCampaign, TinyThresholdRoutesDeletionsToFullRecompute) {
+  CampaignOptions options;
+  options.n = 120;
+  options.initial_edges = 200;
+  options.batches = 60;
+  options.seed = 7;
+  options.remove_weight = 0.5;
+  options.full_rebuild_threshold = 1e-9;
+  const CampaignReport report = run_mutation_campaign(options);
+  EXPECT_TRUE(report.ok()) << report.first_mismatch;
+  EXPECT_EQ(report.bounded, 0u);  // every deletion crossed the threshold
+  EXPECT_GT(report.full, 0u);
+}
+
+TEST(DynCampaign, SameSeedReplaysTheSameSchedule) {
+  CampaignOptions options;
+  options.n = 150;
+  options.batches = 40;
+  options.seed = 99;
+  const CampaignReport first = run_mutation_campaign(options);
+  const CampaignReport second = run_mutation_campaign(options);
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(first.edges_added, second.edges_added);
+  EXPECT_EQ(first.edges_removed, second.edges_removed);
+  EXPECT_EQ(first.incremental, second.incremental);
+  EXPECT_EQ(first.bounded, second.bounded);
+  EXPECT_EQ(first.full, second.full);
+}
+
+}  // namespace
+}  // namespace camc::dyn

@@ -1,0 +1,414 @@
+// Service-level streaming mutations (add_edges / remove_edges): epoch and
+// fingerprint advance, precise per-graph cache invalidation, the mutation
+// edge cases (empty batch, duplicate add, remove-nonexistent, self-loop,
+// evicted-then-rehydrated), and the store GC that keeps a capped artifact
+// directory under budget across a save storm.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/store.hpp"
+#include "svc/graph_store.hpp"
+#include "svc/json.hpp"
+#include "svc/persist.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/service.hpp"
+
+namespace camc::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Emit sink for in-process Service runs (same idiom as the protocol
+/// tests): queries complete asynchronously, so collection blocks on a
+/// condition variable.
+class Emitted {
+ public:
+  Service::Emit sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(Json::parse(line));
+      cv_.notify_all();
+    };
+  }
+
+  Json wait_for_id(std::uint64_t id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Json found;
+    cv_.wait(lock, [&] {
+      for (const Json& line : lines_)
+        if (line["id"].as_u64() == id) {
+          found = line;
+          return true;
+        }
+      return false;
+    });
+    return found;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Json> lines_;
+};
+
+/// Drives one request line and returns its parsed response.
+Json call(Service& service, Emitted& emitted, std::uint64_t id,
+          const std::string& line) {
+  service.handle_line(line, emitted.sink());
+  return emitted.wait_for_id(id);
+}
+
+std::string gen_line(std::uint64_t id, const std::string& name,
+                     std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  return Json::object()
+      .set("id", id)
+      .set("op", "gen")
+      .set("graph", name)
+      .set("family", "er")
+      .set("n", n)
+      .set("m", m)
+      .set("seed", seed)
+      .dump();
+}
+
+std::string query_line(std::uint64_t id, const std::string& name) {
+  return Json::object()
+      .set("id", id)
+      .set("op", "query")
+      .set("graph", name)
+      .set("query", "cc")
+      .set("params", Json::object().set("seed", 7))
+      .dump();
+}
+
+std::string mutate_line(std::uint64_t id, const std::string& name,
+                        const std::string& op, const std::string& edges) {
+  return "{\"id\":" + std::to_string(id) + ",\"op\":\"" + op +
+         "\",\"graph\":\"" + name + "\",\"edges\":" + edges + "}";
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::uintmax_t dir_bytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file()) total += entry.file_size();
+  return total;
+}
+
+TEST(SvcDyn, MutationsAdvanceEpochFingerprintAndLiveCc) {
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  // 6 isolated vertices: every component transition is exact.
+  ASSERT_EQ(call(service, emitted, 1, gen_line(1, "g", 6, 0, 1))
+                ["status"].as_string(),
+            "ok");
+  const Json added = call(service, emitted, 2,
+                          mutate_line(2, "g", "add_edges", "[[0,1],[2,3,5]]"));
+  ASSERT_EQ(added["status"].as_string(), "ok") << added.dump();
+  EXPECT_EQ(added["op"].as_string(), "add_edges");
+  EXPECT_EQ(added["result"]["epoch"].as_u64(), 1u);
+  EXPECT_EQ(added["result"]["applied"].as_u64(), 2u);
+  EXPECT_EQ(added["result"]["m"].as_u64(), 2u);
+  EXPECT_EQ(added["result"]["components"].as_u64(), 4u);
+  EXPECT_EQ(added["result"]["cc_mode"].as_string(), "incremental");
+  const std::string fp1 = added["result"]["fingerprint"].as_string();
+  EXPECT_EQ(fp1.size(), 16u);
+
+  // A query against the mutated graph answers over the new revision.
+  const Json queried = call(service, emitted, 3, query_line(3, "g"));
+  ASSERT_EQ(queried["status"].as_string(), "ok") << queried.dump();
+  EXPECT_EQ(queried["result"]["components"].as_u64(), 4u);
+
+  const Json removed = call(service, emitted, 4,
+                            mutate_line(4, "g", "remove_edges", "[[0,1]]"));
+  ASSERT_EQ(removed["status"].as_string(), "ok") << removed.dump();
+  EXPECT_EQ(removed["result"]["epoch"].as_u64(), 2u);
+  EXPECT_EQ(removed["result"]["components"].as_u64(), 5u);
+  EXPECT_EQ(removed["result"]["cc_mode"].as_string(), "bounded-recompute");
+  EXPECT_NE(removed["result"]["fingerprint"].as_string(), fp1);
+
+  // The epoch-versioned fingerprint keyed the old answer out of the
+  // cache: the same query re-executes and reflects the removal.
+  const Json requeried = call(service, emitted, 5, query_line(5, "g"));
+  ASSERT_EQ(requeried["status"].as_string(), "ok");
+  EXPECT_FALSE(requeried["cached"].as_bool());
+  EXPECT_EQ(requeried["result"]["components"].as_u64(), 5u);
+}
+
+TEST(SvcDyn, InvalidationIsPreciseAcrossGraphs) {
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  ASSERT_EQ(call(service, emitted, 1, gen_line(1, "hot", 50, 100, 1))
+                ["status"].as_string(),
+            "ok");
+  ASSERT_EQ(call(service, emitted, 2, gen_line(2, "cold", 50, 100, 2))
+                ["status"].as_string(),
+            "ok");
+  EXPECT_EQ(call(service, emitted, 3, query_line(3, "hot"))
+                ["status"].as_string(),
+            "ok");
+  EXPECT_EQ(call(service, emitted, 4, query_line(4, "cold"))
+                ["status"].as_string(),
+            "ok");
+
+  // A mutation storm against "hot" must not disturb "cold"'s entries.
+  std::uint64_t id = 10;
+  for (int i = 0; i < 5; ++i) {
+    const Json response = call(
+        service, emitted, id,
+        mutate_line(id, "hot", "add_edges", "[[0," + std::to_string(i + 1) +
+                                                "]]"));
+    ASSERT_EQ(response["status"].as_string(), "ok") << response.dump();
+    ++id;
+  }
+  const Json cold_again = call(service, emitted, id, query_line(id, "cold"));
+  EXPECT_TRUE(cold_again["cached"].as_bool()) << cold_again.dump();
+  ++id;
+  const Json hot_again = call(service, emitted, id, query_line(id, "hot"));
+  EXPECT_FALSE(hot_again["cached"].as_bool());
+}
+
+TEST(SvcDyn, EdgeCasesAnswerStructuredResponses) {
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  ASSERT_EQ(call(service, emitted, 1, gen_line(1, "g", 8, 0, 1))
+                ["status"].as_string(),
+            "ok");
+
+  // Empty batch: ok, nothing applied, epoch and fingerprint unchanged.
+  const Json before = call(service, emitted, 2,
+                           mutate_line(2, "g", "add_edges", "[[0,1]]"));
+  const std::string fp = before["result"]["fingerprint"].as_string();
+  const Json empty =
+      call(service, emitted, 3, mutate_line(3, "g", "add_edges", "[]"));
+  ASSERT_EQ(empty["status"].as_string(), "ok") << empty.dump();
+  EXPECT_EQ(empty["result"]["applied"].as_u64(), 0u);
+  EXPECT_EQ(empty["result"]["epoch"].as_u64(), 1u);
+  EXPECT_EQ(empty["result"]["fingerprint"].as_string(), fp);
+  EXPECT_EQ(empty["result"]["cc_mode"].as_string(), "noop");
+
+  // Duplicate add: a multigraph holds both copies; removing one later
+  // leaves the other, so the component survives.
+  const Json dup = call(service, emitted, 4,
+                        mutate_line(4, "g", "add_edges", "[[0,1]]"));
+  ASSERT_EQ(dup["status"].as_string(), "ok");
+  EXPECT_EQ(dup["result"]["m"].as_u64(), 2u);
+  const Json one_removed = call(
+      service, emitted, 5, mutate_line(5, "g", "remove_edges", "[[0,1]]"));
+  ASSERT_EQ(one_removed["status"].as_string(), "ok");
+  EXPECT_EQ(one_removed["result"]["m"].as_u64(), 1u);
+  EXPECT_EQ(one_removed["result"]["components"].as_u64(), 7u);
+
+  // Removing an edge that is not staged: a structured error, atomically —
+  // no epoch advance, no state change.
+  const Json missing = call(
+      service, emitted, 6,
+      mutate_line(6, "g", "remove_edges", "[[5,6,99]]"));
+  EXPECT_EQ(missing["status"].as_string(), "error");
+  EXPECT_NE(missing["error"].as_string().find("not staged"),
+            std::string::npos)
+      << missing.dump();
+  const Json after = call(service, emitted, 7,
+                          mutate_line(7, "g", "add_edges", "[]"));
+  // Applied batches so far: add, duplicate add, remove — the failed
+  // removal did not advance the epoch.
+  EXPECT_EQ(after["result"]["epoch"].as_u64(), 3u);
+
+  // Self-loop add: absorbed, merges nothing.
+  const Json loop = call(service, emitted, 8,
+                         mutate_line(8, "g", "add_edges", "[[4,4]]"));
+  ASSERT_EQ(loop["status"].as_string(), "ok");
+  EXPECT_EQ(loop["result"]["components"].as_u64(), 7u);
+
+  // Out-of-range endpoint and zero weight: structured errors.
+  EXPECT_EQ(call(service, emitted, 9,
+                 mutate_line(9, "g", "add_edges", "[[0,99]]"))
+                ["status"].as_string(),
+            "error");
+  EXPECT_EQ(call(service, emitted, 10,
+                 mutate_line(10, "g", "add_edges", "[[0,1,0]]"))
+                ["status"].as_string(),
+            "error");
+  // Mutating a graph that was never staged.
+  EXPECT_EQ(call(service, emitted, 11,
+                 mutate_line(11, "ghost", "add_edges", "[[0,1]]"))
+                ["status"].as_string(),
+            "error");
+}
+
+TEST(SvcDyn, EvictThenRehydrateRestartsTheEpoch) {
+  const std::string dir = fresh_dir("svc-dyn-rehydrate");
+  ServiceOptions options;
+  options.engine.threads = 2;
+  options.store_dir = dir;
+  Service service(options);
+  Emitted emitted;
+  ASSERT_EQ(call(service, emitted, 1, gen_line(1, "g", 10, 5, 3))
+                ["status"].as_string(),
+            "ok");
+  const Json mutated = call(service, emitted, 2,
+                            mutate_line(2, "g", "add_edges", "[[0,1],[1,2]]"));
+  ASSERT_EQ(mutated["status"].as_string(), "ok");
+  EXPECT_EQ(mutated["result"]["epoch"].as_u64(), 1u);
+  const std::string fp = mutated["result"]["fingerprint"].as_string();
+  ASSERT_EQ(call(service, emitted, 3,
+                 "{\"id\":3,\"op\":\"save\",\"graph\":\"g\"}")
+                ["status"].as_string(),
+            "ok");
+  ASSERT_EQ(call(service, emitted, 4,
+                 "{\"id\":4,\"op\":\"evict\",\"graph\":\"g\"}")
+                ["status"].as_string(),
+            "ok");
+
+  // Rehydrate the mutated revision from the store; the epoch restarts at
+  // zero for the restaged graph, and the next mutation is absorbed
+  // incrementally on top of the reloaded edge set.
+  Service service2(options);
+  const WarmRestartReport report = service2.warm_restart();
+  EXPECT_EQ(report.graphs, 1u);
+  Emitted emitted2;
+  const Json again = call(service2, emitted2, 5,
+                          mutate_line(5, "g", "add_edges", "[[2,3]]"));
+  ASSERT_EQ(again["status"].as_string(), "ok") << again.dump();
+  EXPECT_EQ(again["result"]["epoch"].as_u64(), 1u);
+  EXPECT_EQ(again["result"]["cc_mode"].as_string(), "incremental");
+  EXPECT_NE(again["result"]["fingerprint"].as_string(), fp);
+}
+
+TEST(SvcDyn, StatsReportMutationCounters) {
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  ASSERT_EQ(call(service, emitted, 1, gen_line(1, "g", 6, 0, 1))
+                ["status"].as_string(),
+            "ok");
+  call(service, emitted, 2, mutate_line(2, "g", "add_edges", "[[0,1],[1,2]]"));
+  call(service, emitted, 3, mutate_line(3, "g", "remove_edges", "[[0,1]]"));
+  call(service, emitted, 4, mutate_line(4, "g", "add_edges", "[]"));
+  const Json stats = call(service, emitted, 5, "{\"id\":5,\"op\":\"stats\"}");
+  const Json& dyn = stats["result"]["dyn"];
+  EXPECT_EQ(dyn["batches"].as_u64(), 3u);
+  EXPECT_EQ(dyn["adds"].as_u64(), 1u);
+  EXPECT_EQ(dyn["removes"].as_u64(), 1u);
+  EXPECT_EQ(dyn["noop"].as_u64(), 1u);
+  EXPECT_EQ(dyn["edges_added"].as_u64(), 2u);
+  EXPECT_EQ(dyn["edges_removed"].as_u64(), 1u);
+  EXPECT_EQ(dyn["incremental"].as_u64(), 1u);
+  EXPECT_EQ(stats["result"]["store"]["mutations"].as_u64(), 2u);
+}
+
+// -- store GC ----------------------------------------------------------------
+
+TEST(SvcStoreGc, EnforceBudgetEvictsOldestBundlesFirst) {
+  const std::string dir = fresh_dir("svc-gc-order");
+  GraphStore store;
+  ResultCache cache(4);
+  std::vector<std::uint64_t> fingerprints;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto graph =
+        store.put("g" + std::to_string(i), 4,
+                  {{0, 1, static_cast<graph::Weight>(i + 1)}, {2, 3, 7}});
+    save_graph_bundle(dir, *graph, cache);
+    fingerprints.push_back(graph->fingerprint);
+    // Distinct mtimes so eviction order is deterministic on coarse
+    // filesystem timestamp granularity.
+    const fs::file_time_type stamp =
+        fs::file_time_type::clock::now() - std::chrono::seconds(100 - i);
+    for (const auto& entry : fs::directory_iterator(dir))
+      if (entry.path().string().find(
+              store::artifact_file_name(fingerprints.back(),
+                                        store::ArtifactKind::kGraph)) !=
+          std::string::npos)
+        fs::last_write_time(entry.path(), stamp);
+  }
+  const std::uintmax_t all = dir_bytes(dir);
+  // Budget for roughly half: the oldest bundles go, the newest stays.
+  const StoreGcReport gc =
+      enforce_store_budget(dir, all / 2, fingerprints.back());
+  EXPECT_GT(gc.bundles_removed, 0u);
+  EXPECT_LE(gc.bytes_resident, all / 2);
+  EXPECT_TRUE(fs::exists(
+      dir + "/" + store::artifact_file_name(fingerprints.back(),
+                                            store::ArtifactKind::kGraph)));
+  EXPECT_FALSE(fs::exists(
+      dir + "/" + store::artifact_file_name(fingerprints.front(),
+                                            store::ArtifactKind::kGraph)));
+}
+
+TEST(SvcStoreGc, ProtectedBundleSurvivesEvenOverBudget) {
+  const std::string dir = fresh_dir("svc-gc-protect");
+  GraphStore store;
+  ResultCache cache(4);
+  const auto graph = store.put("g", 4, {{0, 1, 1}, {1, 2, 2}});
+  save_graph_bundle(dir, *graph, cache);
+  const StoreGcReport gc = enforce_store_budget(dir, 1, graph->fingerprint);
+  EXPECT_EQ(gc.bundles_removed, 0u);
+  EXPECT_TRUE(fs::exists(
+      dir + "/" + store::artifact_file_name(graph->fingerprint,
+                                            store::ArtifactKind::kGraph)));
+}
+
+TEST(SvcStoreGc, CappedDirectoryStaysUnderBudgetAcrossASaveStorm) {
+  const std::string dir = fresh_dir("svc-gc-storm");
+  ServiceOptions options;
+  options.engine.threads = 2;
+  options.store_dir = dir;
+  options.store_cap_bytes = 64 << 10;  // a handful of bundles
+  Service service(options);
+  Emitted emitted;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 100; ++i) {
+    // A fresh revision every iteration: mutate, then save. The superseded
+    // revision's bundle is dropped eagerly and the byte-budget sweep
+    // handles the rest.
+    const std::string name = "g" + std::to_string(i % 4);
+    if (i < 4) {
+      ASSERT_EQ(call(service, emitted, id,
+                     gen_line(id, name, 40, 80, 1 + static_cast<std::uint64_t>(i)))
+                    ["status"].as_string(),
+                "ok");
+      ++id;
+    }
+    const Json mutated = call(
+        service, emitted, id,
+        mutate_line(id, name, "add_edges",
+                    "[[0," + std::to_string(1 + i % 39) + "]]"));
+    ASSERT_EQ(mutated["status"].as_string(), "ok") << mutated.dump();
+    ++id;
+    const Json saved =
+        call(service, emitted, id,
+             "{\"id\":" + std::to_string(id) + ",\"op\":\"save\",\"graph\":\"" +
+                 name + "\"}");
+    ASSERT_EQ(saved["status"].as_string(), "ok") << saved.dump();
+    ++id;
+    ASSERT_LE(dir_bytes(dir), options.store_cap_bytes)
+        << "budget exceeded after save " << i;
+  }
+  // The storm actually exercised both GC paths.
+  const Json stats =
+      call(service, emitted, id,
+           "{\"id\":" + std::to_string(id) + ",\"op\":\"stats\"}");
+  EXPECT_GT(stats["result"]["dyn"]["stale_bundles_removed"].as_u64(), 0u);
+}
+
+}  // namespace
+}  // namespace camc::svc

@@ -349,6 +349,63 @@ TEST(SvcProtocol, SaveAndLoadStoreRoundTrip) {
   emitted.wait_for_id(16);
 }
 
+TEST(SvcProtocol, GoldenMutationResponses) {
+  // The add_edges / remove_edges golden pairs mirrored in
+  // docs/PROTOCOL.md. Everything in the responses is deterministic except
+  // the three timing fields, which the test pins to fixed values (Json::set
+  // overwrites in place, so the byte layout is exactly the wire layout).
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  service.handle_line(
+      "{\"id\":1,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+      "\"n\":4,\"m\":0,\"seed\":1}",
+      emit);
+  EXPECT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+
+  const auto normalized = [](Json response) {
+    return response.set("apply_ms", 0.25)
+        .set("maintain_ms", 0.125)
+        .set("mutate_ms", 0.375)
+        .dump();
+  };
+
+  service.handle_line(
+      "{\"id\":2,\"op\":\"add_edges\",\"graph\":\"g\","
+      "\"edges\":[[0,1],[2,3,5]]}",
+      emit);
+  EXPECT_EQ(normalized(emitted.wait_for_id(2)),
+            "{\"v\":1,\"id\":2,\"status\":\"ok\",\"op\":\"add_edges\","
+            "\"result\":{\"graph\":\"g\",\"epoch\":1,\"n\":4,\"m\":2,"
+            "\"fingerprint\":\"48999cdbe3155a57\",\"applied\":2,"
+            "\"components\":2,\"cc_mode\":\"incremental\","
+            "\"touched_fraction\":0,\"cache_entries_dropped\":0},"
+            "\"apply_ms\":0.25,\"maintain_ms\":0.125,\"mutate_ms\":0.375}");
+
+  service.handle_line(
+      "{\"id\":3,\"op\":\"remove_edges\",\"graph\":\"g\","
+      "\"edges\":[[0,1]]}",
+      emit);
+  EXPECT_EQ(normalized(emitted.wait_for_id(3)),
+            "{\"v\":1,\"id\":3,\"status\":\"ok\",\"op\":\"remove_edges\","
+            "\"result\":{\"graph\":\"g\",\"epoch\":2,\"n\":4,\"m\":1,"
+            "\"fingerprint\":\"85c477dc5814c6b5\",\"applied\":1,"
+            "\"components\":3,\"cc_mode\":\"bounded-recompute\","
+            "\"touched_fraction\":0.5,\"cache_entries_dropped\":0},"
+            "\"apply_ms\":0.25,\"maintain_ms\":0.125,\"mutate_ms\":0.375}");
+
+  // The removal error is pinned too: atomic, structured, session alive.
+  service.handle_line(
+      "{\"id\":4,\"op\":\"remove_edges\",\"graph\":\"g\","
+      "\"edges\":[[2,3,9]]}",
+      emit);
+  EXPECT_EQ(emitted.wait_for_id(4).dump(),
+            "{\"v\":1,\"id\":4,\"status\":\"error\","
+            "\"error\":\"remove_edges: edge [2,3,9] not staged\"}");
+}
+
 TEST(SvcProtocol, WarmRestartRehydratesANewService) {
   const std::string dir = ::testing::TempDir() + "/svc_protocol_warm";
   std::filesystem::remove_all(dir);

@@ -9,6 +9,7 @@
 //                [--distinct-seeds=K] [--timeout-ms=T]
 //                [--queue=N] [--batch=N] [--cache=N]
 //                [--trace-out=FILE] [--store-dir=DIR] [--json] [--strict]
+//                [--mutate-mix=add:95,query:5 [--mutate-batch=K]]
 //
 // --store-dir measures the persistent-store warm restart end to end: the
 // first run stages and queries as usual, then saves every graph (and its
@@ -43,6 +44,24 @@
 // server exit) is counted and, under --strict, fails the run; the
 // acceptance workloads require zero.
 //
+// --mutate-mix switches the workload to streaming mutations: each drawn
+// item is an add_edges batch, a remove_edges batch, or a query, weighted
+// by the spec ("add:95,query:5" or "add:90,remove:5,query:5"). The trace
+// is pre-generated client-side (removals only target edges a previous
+// add in the same trace staged, so the whole run is deterministic by
+// --seed) and replayed TWICE against fresh servers: once with the
+// default incremental CC maintenance and once with "policy":"recompute"
+// on every mutation. The report then carries per-pass mutation
+// latency percentiles, the server-reported apply/maintain totals, the
+// cc_mode breakdown, and incremental_speedup = recompute maintain time /
+// incremental maintain time — the end-to-end win of camc::dyn's
+// incremental maintainer. Requires open loop (--rate): a single sender
+// keeps the mutation interleaving identical across both passes. In
+// --cluster mode mutation verbs fan out to every replica and query
+// verify keys carry the per-graph mutation count, so replicas serving
+// round-robin reads are checked bit-for-bit against each other after
+// every mutation.
+//
 // --cluster drives camc_router instead of a single camc_serve: the
 // router forks --shards=N workers (replication --replication=R) and the
 // loadgen passes --store-dir and --chaos-plan through to it. Every ok
@@ -62,6 +81,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -103,6 +123,8 @@ struct Options {
   std::size_t queue = 256, batch = 16, cache = 4096;
   std::string trace_out;
   std::string store_dir;  ///< nonempty: measure save + warm restart
+  std::string mutate_mix;     ///< nonempty: mutation workload (add/remove/query)
+  std::size_t mutate_batch = 8;  ///< edges per add/remove batch
   bool json = false;
   bool strict = false;
   // Cluster mode (camc_router in front of --shards workers).
@@ -134,16 +156,23 @@ struct Outstanding {
   svc::Json* result = nullptr;            // filled for control ops
   std::condition_variable* wake = nullptr;  // notified on completion
   bool* done_flag = nullptr;
+  bool mutation = false;  ///< add_edges/remove_edges: separate tallies
   /// Nonempty for queries: the determinism key (graph|kind|seed|engine);
   /// every ok answer for one key must carry the identical result value.
   std::string verify_key;
 };
 
 struct PhaseTally {
-  std::vector<double> latencies_ms;  ///< ok responses only
+  std::vector<double> latencies_ms;  ///< ok query responses only
   std::uint64_t sent = 0, ok = 0, rejected = 0, shed = 0, failed = 0,
                 errors = 0, cached = 0, coalesced = 0, degraded = 0;
   double elapsed_seconds = 0.0;
+  // Mutation verbs (--mutate-mix) tally separately from queries so the
+  // percentiles stay comparable across workloads.
+  std::vector<double> mutation_latencies_ms;
+  std::uint64_t mutations_sent = 0, mutations_ok = 0, mutation_errors = 0;
+  std::uint64_t cc_incremental = 0, cc_bounded = 0, cc_full = 0, cc_noop = 0;
+  double apply_ms_total = 0.0, maintain_ms_total = 0.0;
 };
 
 /// Client side of the pipe pair: serialized writes, a reader thread that
@@ -166,8 +195,11 @@ class Client {
     {
       std::lock_guard<std::mutex> hold(state_mutex_);
       outstanding_.emplace(id, pending);
-      if (pending.phase >= 0)
-        ++tallies_[static_cast<std::size_t>(pending.phase)].sent;
+      if (pending.phase >= 0) {
+        PhaseTally& tally = tallies_[static_cast<std::size_t>(pending.phase)];
+        ++tally.sent;
+        if (pending.mutation) ++tally.mutations_sent;
+      }
     }
     std::string framed = line + "\n";
     std::lock_guard<std::mutex> hold(write_mutex_);
@@ -276,11 +308,32 @@ class Client {
       const std::string status = response["status"].is_string()
                                      ? response["status"].as_string()
                                      : "error";
-      if (status == "ok") {
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - pending.sent)
+              .count();
+      if (status == "ok" && pending.mutation) {
         ++tally.ok;
-        tally.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(now - pending.sent)
-                .count());
+        ++tally.mutations_ok;
+        tally.mutation_latencies_ms.push_back(latency_ms);
+        if (response["apply_ms"].is_number())
+          tally.apply_ms_total += response["apply_ms"].as_double();
+        if (response["maintain_ms"].is_number())
+          tally.maintain_ms_total += response["maintain_ms"].as_double();
+        const svc::Json& result = response["result"];
+        if (result.is_object() && result["cc_mode"].is_string()) {
+          const std::string mode = result["cc_mode"].as_string();
+          if (mode == "incremental")
+            ++tally.cc_incremental;
+          else if (mode == "bounded-recompute")
+            ++tally.cc_bounded;
+          else if (mode == "full-recompute")
+            ++tally.cc_full;
+          else
+            ++tally.cc_noop;
+        }
+      } else if (status == "ok") {
+        ++tally.ok;
+        tally.latencies_ms.push_back(latency_ms);
         if (response["cached"].is_bool() && response["cached"].as_bool())
           ++tally.cached;
         if (response["coalesced"].is_bool() &&
@@ -304,6 +357,7 @@ class Client {
       } else {
         ++tally.errors;
       }
+      if (pending.mutation && status != "ok") ++tally.mutation_errors;
     }
     if (trace_sink_ != nullptr && response.has("trace")) {
       *trace_sink_ << svc::Json::object()
@@ -484,6 +538,152 @@ std::string query_line(std::uint64_t id, const GraphSpec& graph,
   return request.dump();
 }
 
+std::uint64_t vertex_count(const GraphSpec& graph) {
+  if (graph.family == "rmat") return std::uint64_t{1} << graph.a;
+  return graph.a;  // er/ba/ws: first field is n
+}
+
+/// "add:95,query:5" / "add:90,remove:5,query:5"; weight defaults to 1.
+/// Verb codes: 0 add, 1 remove, 2 query.
+std::vector<std::pair<int, std::uint64_t>> parse_mutate_mix(
+    const std::string& spec) {
+  std::vector<std::pair<int, std::uint64_t>> out;
+  for (const std::string& part : split(spec, ',')) {
+    const auto fields = split(part, ':');
+    if (fields.empty() || fields.size() > 2)
+      throw std::runtime_error("bad mutate-mix entry " + part);
+    int verb;
+    if (fields[0] == "add")
+      verb = 0;
+    else if (fields[0] == "remove")
+      verb = 1;
+    else if (fields[0] == "query")
+      verb = 2;
+    else
+      throw std::runtime_error("unknown mutate-mix verb '" + fields[0] + "'");
+    const std::uint64_t weight =
+        fields.size() == 2 ? std::stoull(fields[1]) : 1;
+    if (weight > 0) out.emplace_back(verb, weight);
+  }
+  if (out.empty()) throw std::runtime_error("empty mutate-mix");
+  return out;
+}
+
+/// One drawn mutate-mix step: an edge batch to add/remove, or a query.
+struct TraceItem {
+  int verb = 2;  ///< 0 add_edges, 1 remove_edges, 2 query
+  std::size_t graph_index = 0;
+  std::vector<std::array<std::uint64_t, 3>> edges;  ///< add/remove batches
+  WorkItem query;                                   ///< verb == 2 only
+  /// Mutations applied to this graph before this item — queries embed it
+  /// in their verify key so only answers over identical graph states are
+  /// compared (cluster mode).
+  std::uint64_t mutation_count = 0;
+};
+
+/// Draws the full mutation trace (all phases) once. Removals pop from a
+/// client-side pool of previously added edge instances, so every
+/// remove_edges batch targets edges that are provably staged at that
+/// point in the trace — both passes replay the identical batches.
+std::vector<TraceItem> draw_mutation_trace(
+    const Options& options, const std::vector<GraphSpec>& graphs) {
+  const auto verbs = parse_mutate_mix(options.mutate_mix);
+  std::uint64_t verb_weight = 0;
+  for (const auto& [verb, weight] : verbs) verb_weight += weight;
+  const auto mix = parse_mix(options.mix);
+  std::uint64_t mix_weight = 0;
+  for (const auto& [kind, weight] : mix) mix_weight += weight;
+  const auto engine_mix = parse_engine_mix(options.cc_engine_mix);
+  std::uint64_t engine_weight = 0;
+  for (const auto& [name, weight] : engine_mix) engine_weight += weight;
+
+  rng::Philox rng(options.seed, /*stream=*/0x4D555441);  // "MUTA"
+  std::vector<std::vector<std::array<std::uint64_t, 3>>> pools(graphs.size());
+  std::vector<std::uint64_t> mutation_counts(graphs.size(), 0);
+  const std::size_t total =
+      options.requests * static_cast<std::size_t>(options.phases);
+  std::vector<TraceItem> trace;
+  trace.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    TraceItem item;
+    item.graph_index = rng() % graphs.size();
+    const std::uint64_t n = vertex_count(graphs[item.graph_index]);
+    std::uint64_t roll = rng() % verb_weight;
+    for (const auto& [verb, weight] : verbs) {
+      if (roll < weight) {
+        item.verb = verb;
+        break;
+      }
+      roll -= weight;
+    }
+    auto& pool = pools[item.graph_index];
+    if (item.verb == 1 && pool.size() < options.mutate_batch)
+      item.verb = 0;  // nothing (left) to remove: add instead
+    item.mutation_count = mutation_counts[item.graph_index];
+    if (item.verb == 0) {
+      for (std::size_t e = 0; e < options.mutate_batch; ++e) {
+        const std::array<std::uint64_t, 3> edge = {rng.bounded(n),
+                                                   rng.bounded(n),
+                                                   1 + rng() % 3};
+        item.edges.push_back(edge);
+        pool.push_back(edge);
+      }
+      ++mutation_counts[item.graph_index];
+    } else if (item.verb == 1) {
+      for (std::size_t e = 0; e < options.mutate_batch; ++e) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.bounded(pool.size()));
+        item.edges.push_back(pool[pick]);
+        pool[pick] = pool.back();
+        pool.pop_back();
+      }
+      ++mutation_counts[item.graph_index];
+    } else {
+      WorkItem& query = item.query;
+      query.graph_index = item.graph_index;
+      std::uint64_t kind_roll = rng() % mix_weight;
+      for (const auto& [kind, weight] : mix) {
+        if (kind_roll < weight) {
+          query.kind = kind;
+          break;
+        }
+        kind_roll -= weight;
+      }
+      query.seed = 1 + rng() % options.distinct_seeds;
+      if (query.kind == svc::QueryKind::kCc && engine_weight > 0) {
+        std::uint64_t engine_roll = rng() % engine_weight;
+        for (const auto& [name, weight] : engine_mix) {
+          if (engine_roll < weight) {
+            query.engine = name;
+            break;
+          }
+          engine_roll -= weight;
+        }
+      }
+    }
+    trace.push_back(std::move(item));
+  }
+  return trace;
+}
+
+std::string mutation_line(std::uint64_t id, const GraphSpec& graph,
+                          const TraceItem& item, bool recompute) {
+  svc::Json edges = svc::Json::array();
+  for (const auto& edge : item.edges)
+    edges.push_back(svc::Json::array()
+                        .push_back(svc::Json(edge[0]))
+                        .push_back(svc::Json(edge[1]))
+                        .push_back(svc::Json(edge[2])));
+  svc::Json request = svc::Json::object()
+                          .set("id", id)
+                          .set("op", item.verb == 0 ? "add_edges"
+                                                    : "remove_edges")
+                          .set("graph", graph.name)
+                          .set("edges", std::move(edges));
+  if (recompute) request.set("policy", "recompute");
+  return request.dump();
+}
+
 struct Spawned {
   pid_t pid = -1;
   int to_child = -1;
@@ -571,6 +771,236 @@ svc::Json phase_report(const PhaseTally& tally) {
       .set("p99_ms", svc::percentile(lat, 99));
 }
 
+/// Mutation-verb extension of phase_report (--mutate-mix phases only).
+svc::Json mutate_phase_report(const PhaseTally& tally) {
+  const std::vector<double>& lat = tally.mutation_latencies_ms;
+  return phase_report(tally)
+      .set("mutations_sent", tally.mutations_sent)
+      .set("mutations_ok", tally.mutations_ok)
+      .set("mutation_errors", tally.mutation_errors)
+      .set("mutation_p50_ms", svc::percentile(lat, 50))
+      .set("mutation_p95_ms", svc::percentile(lat, 95))
+      .set("mutation_p99_ms", svc::percentile(lat, 99))
+      .set("apply_ms_total", tally.apply_ms_total)
+      .set("maintain_ms_total", tally.maintain_ms_total)
+      .set("cc_modes", svc::Json::object()
+                           .set("incremental", tally.cc_incremental)
+                           .set("bounded_recompute", tally.cc_bounded)
+                           .set("full_recompute", tally.cc_full)
+                           .set("noop", tally.cc_noop));
+}
+
+/// One full mutate-mix pass: fresh server, stage, open-loop trace replay,
+/// stats, shutdown.
+struct PassOutcome {
+  std::vector<PhaseTally> tallies;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t mismatches = 0;
+  svc::Json server;  ///< the stats response's "result" object
+};
+
+PassOutcome run_mutation_pass(const Options& options,
+                              const std::vector<GraphSpec>& graphs,
+                              const std::vector<TraceItem>& trace,
+                              bool recompute) {
+  Spawned serve = spawn_serve(
+      options, options.cluster ? options.store_dir : std::string());
+  Client client(serve.to_child, serve.from_child, options.phases);
+  std::uint64_t next_id = 1;
+  for (const GraphSpec& graph : graphs) {
+    svc::Json request = svc::Json::object()
+                            .set("id", next_id)
+                            .set("op", "gen")
+                            .set("graph", graph.name)
+                            .set("family", graph.family)
+                            .set("seed", options.seed);
+    if (graph.family == "rmat")
+      request.set("scale", graph.a).set("m", graph.b);
+    else if (graph.family == "ba")
+      request.set("n", graph.a).set("attach", graph.b);
+    else if (graph.family == "ws")
+      request.set("n", graph.a).set("k", graph.b);
+    else
+      request.set("n", graph.a).set("m", graph.b);
+    const svc::Json response = client.call(next_id++, request.dump());
+    if (!response.is_object() || !response["status"].is_string() ||
+        response["status"].as_string() != "ok")
+      throw std::runtime_error("failed to stage graph " + graph.name);
+  }
+
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / options.rate));
+  std::uint64_t id = next_id;
+  for (int phase = 0; phase < options.phases; ++phase) {
+    const auto phase_start = Clock::now();
+    auto due = Clock::now();
+    const std::size_t begin =
+        static_cast<std::size_t>(phase) * options.requests;
+    for (std::size_t i = begin; i < begin + options.requests; ++i) {
+      const TraceItem& item = trace[i];
+      const GraphSpec& graph = graphs[item.graph_index];
+      std::this_thread::sleep_until(due);
+      due += interval;
+      Outstanding pending;
+      pending.phase = phase;
+      std::string line;
+      if (item.verb == 2) {
+        pending.kind = item.query.kind;
+        if (options.cluster) {
+          // Same graph state (mutation count) + same query => answers
+          // must agree bit-for-bit, whichever replica serves the read.
+          pending.verify_key =
+              graph.name + "|m" + std::to_string(item.mutation_count) + "|" +
+              std::string(svc::query_kind_name(item.query.kind)) + "|" +
+              std::to_string(item.query.seed) + "|" + item.query.engine;
+        }
+        line = query_line(id, graph, item.query, options.timeout_ms, false);
+      } else {
+        pending.mutation = true;
+        line = mutation_line(id, graph, item, recompute);
+      }
+      client.send(id++, line, pending);
+    }
+    client.drain();
+    client.tallies()[static_cast<std::size_t>(phase)].elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - phase_start).count();
+  }
+
+  const std::uint64_t stats_id = id++;
+  const svc::Json stats_response = client.call(
+      stats_id,
+      svc::Json::object().set("id", stats_id).set("op", "stats").dump());
+  const std::uint64_t bye_id = id++;
+  client.call(bye_id, svc::Json::object()
+                          .set("id", bye_id)
+                          .set("op", "shutdown")
+                          .dump());
+  client.close_write();
+  int wait_status = 0;
+  waitpid(serve.pid, &wait_status, 0);
+  const bool clean_exit =
+      WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
+
+  PassOutcome outcome;
+  outcome.mismatches = options.cluster ? client.mismatches() : 0;
+  outcome.tallies = client.tallies();
+  outcome.protocol_errors = client.protocol_errors() + (clean_exit ? 0 : 1);
+  if (stats_response.is_object() && stats_response.has("result"))
+    outcome.server = stats_response["result"];
+  return outcome;
+}
+
+/// --mutate-mix driver: replay the identical trace under incremental and
+/// full-recompute maintenance, report both plus the speedup.
+int run_mutate_mix(const Options& options,
+                   const std::vector<GraphSpec>& graphs) {
+  const std::vector<TraceItem> trace = draw_mutation_trace(options, graphs);
+  std::uint64_t trace_mutations = 0, trace_queries = 0;
+  for (const TraceItem& item : trace)
+    item.verb == 2 ? ++trace_queries : ++trace_mutations;
+
+  const char* policies[2] = {"incremental", "recompute"};
+  PassOutcome outcomes[2] = {
+      run_mutation_pass(options, graphs, trace, /*recompute=*/false),
+      run_mutation_pass(options, graphs, trace, /*recompute=*/true)};
+
+  svc::Json passes = svc::Json::array();
+  double maintain_totals[2] = {0.0, 0.0};
+  std::uint64_t total_errors = 0, total_failed = 0, total_mutation_errors = 0,
+                protocol_errors = 0, mismatches = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const PassOutcome& outcome = outcomes[pass];
+    svc::Json phases = svc::Json::array();
+    std::uint64_t sent = 0, ok = 0, mutations_ok = 0;
+    double apply_total = 0.0;
+    for (const PhaseTally& tally : outcome.tallies) {
+      sent += tally.sent;
+      ok += tally.ok;
+      mutations_ok += tally.mutations_ok;
+      total_errors += tally.errors;
+      total_failed += tally.failed;
+      total_mutation_errors += tally.mutation_errors;
+      apply_total += tally.apply_ms_total;
+      maintain_totals[pass] += tally.maintain_ms_total;
+      phases.push_back(mutate_phase_report(tally));
+    }
+    protocol_errors += outcome.protocol_errors;
+    mismatches += outcome.mismatches;
+    svc::Json entry = svc::Json::object()
+                          .set("policy", policies[pass])
+                          .set("sent", sent)
+                          .set("ok", ok)
+                          .set("mutations_ok", mutations_ok)
+                          .set("apply_ms_total", apply_total)
+                          .set("maintain_ms_total", maintain_totals[pass])
+                          .set("protocol_errors", outcome.protocol_errors)
+                          .set("phases", std::move(phases));
+    if (options.cluster) entry.set("mismatches", outcome.mismatches);
+    if (outcome.server.is_object()) entry.set("server", outcome.server);
+    passes.push_back(std::move(entry));
+  }
+  // Both passes apply the identical batches; only the maintenance
+  // strategy differs, so the maintain-time ratio is the incremental
+  // maintainer's end-to-end speedup.
+  const double speedup = maintain_totals[0] > 0
+                             ? maintain_totals[1] / maintain_totals[0]
+                             : 0.0;
+
+  svc::Json report =
+      svc::Json::object()
+          .set("mode", "open")
+          .set("workload", "mutate-mix")
+          .set("mutate_mix", options.mutate_mix)
+          .set("mutate_batch",
+               static_cast<std::uint64_t>(options.mutate_batch))
+          .set("rate_per_s", options.rate)
+          .set("threads", options.threads)
+          .set("seed", options.seed)
+          .set("requests_per_phase",
+               static_cast<std::uint64_t>(options.requests))
+          .set("trace_mutations", trace_mutations)
+          .set("trace_queries", trace_queries)
+          .set("passes", std::move(passes))
+          .set("errors", total_errors)
+          .set("failed", total_failed)
+          .set("mutation_errors", total_mutation_errors)
+          .set("protocol_errors", protocol_errors)
+          .set("incremental_speedup", speedup);
+  if (options.cluster)
+    report.set("cluster",
+               svc::Json::object()
+                   .set("shards", static_cast<std::uint64_t>(options.shards))
+                   .set("replication",
+                        static_cast<std::uint64_t>(options.replication))
+                   .set("mismatches", mismatches));
+
+  if (options.json) {
+    std::cout << report.dump() << "\n";
+  } else {
+    std::cout << "mutate-mix " << options.mutate_mix << " (batch "
+              << options.mutate_batch << "): " << trace_mutations
+              << " mutation batches + " << trace_queries
+              << " queries per pass\n";
+    for (int pass = 0; pass < 2; ++pass) {
+      const PhaseTally& tally = outcomes[pass].tallies.front();
+      std::cout << policies[pass] << ": maintain "
+                << maintain_totals[pass] << " ms total, mutation p95 "
+                << svc::percentile(tally.mutation_latencies_ms, 95)
+                << " ms, query p95 "
+                << svc::percentile(tally.latencies_ms, 95) << " ms\n";
+    }
+    std::cout << "incremental speedup: " << speedup << "x\n";
+    if (options.cluster)
+      std::cout << "cluster mismatches: " << mismatches << "\n";
+  }
+
+  if (options.strict &&
+      (protocol_errors > 0 || total_errors > 0 || total_failed > 0 ||
+       total_mutation_errors > 0 || mismatches > 0))
+    return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,6 +1013,7 @@ int main(int argc, char** argv) {
       "                    [--distinct-seeds=K] [--timeout-ms=T]\n"
       "                    [--queue=N] [--batch=N] [--cache=N]\n"
       "                    [--trace-out=FILE] [--store-dir=DIR]\n"
+      "                    [--mutate-mix=add:95,query:5 [--mutate-batch=K]]\n"
       "                    [--json] [--strict]\n"
       "                    [--cluster [--router=PATH] [--shards=N]\n"
       "                     [--replication=R] [--chaos-plan=SPEC]]";
@@ -607,6 +1038,8 @@ int main(int argc, char** argv) {
   parser.flag("cache", &options.cache);
   parser.flag("trace-out", &options.trace_out);
   parser.flag("store-dir", &options.store_dir);
+  parser.flag("mutate-mix", &options.mutate_mix);
+  parser.flag("mutate-batch", &options.mutate_batch);
   parser.toggle("json", &options.json);
   parser.toggle("strict", &options.strict);
   parser.toggle("cluster", &options.cluster);
@@ -625,6 +1058,23 @@ int main(int argc, char** argv) {
     std::cerr << "--chaos-plan requires --cluster\n" << usage << "\n";
     return 2;
   }
+  if (!options.mutate_mix.empty()) {
+    // A single open-loop sender keeps the mutation interleaving identical
+    // across the incremental and recompute passes.
+    if (options.rate <= 0 || options.mutate_batch == 0) {
+      std::cerr << "--mutate-mix requires --rate=R (open loop) and "
+                   "--mutate-batch >= 1\n"
+                << usage << "\n";
+      return 2;
+    }
+    if (!options.trace_out.empty() ||
+        (!options.store_dir.empty() && !options.cluster)) {
+      std::cerr << "--mutate-mix supports --store-dir only under --cluster "
+                   "and does not support --trace-out\n"
+                << usage << "\n";
+      return 2;
+    }
+  }
   // Defaults: the server binaries next to this one.
   const std::string self = argv[0];
   const std::size_t slash = self.rfind('/');
@@ -636,6 +1086,7 @@ int main(int argc, char** argv) {
 
   try {
     const std::vector<GraphSpec> graphs = parse_graphs(options.graphs);
+    if (!options.mutate_mix.empty()) return run_mutate_mix(options, graphs);
     const std::vector<WorkItem> workload =
         draw_workload(options, graphs.size());
 

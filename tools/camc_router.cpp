@@ -45,14 +45,15 @@ int main(int argc, char** argv) {
       "[--store-dir=DIR] [--chaos-plan=SPEC] [--heartbeat-ms=N] "
       "[--heartbeat-miss=N] [--kill-grace-ms=N] [--restart-base-ms=N] "
       "[--restart-max-ms=N] [--jitter=F] [--max-restarts=N] "
-      "[--no-auto-save] [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
-      "[--seed=S] [--cc-engine=NAME]";
+      "[--no-auto-save] [--no-read-balance] [--threads=N] [--queue=N] "
+      "[--batch=N] [--cache=N] [--seed=S] [--cc-engine=NAME]";
 
   cluster::ClusterOptions options;
   std::size_t heartbeat_ms = 100, kill_grace_ms = 1000, restart_base_ms = 50,
               restart_max_ms = 2000, heartbeat_miss = 30, max_restarts = 0;
   double jitter = 0.5;
   bool no_auto_save = false;
+  bool no_read_balance = false;
   tools::FlagParser parser;
   parser.flag("serve", &options.serve_path);
   parser.flag("shards", &options.shards);
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   parser.flag("jitter", &jitter);
   parser.flag("max-restarts", &max_restarts);
   parser.toggle("no-auto-save", &no_auto_save);
+  parser.toggle("no-read-balance", &no_read_balance);
   parser.flag("threads", &options.worker_threads);
   parser.flag("queue", &options.worker_queue);
   parser.flag("batch", &options.worker_batch);
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
   options.restart.jitter = jitter;
   options.max_restarts = static_cast<std::uint32_t>(max_restarts);
   options.auto_save = !no_auto_save;
+  options.read_balance = !no_read_balance;
 
   try {
     cluster::Cluster router(options);

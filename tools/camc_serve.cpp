@@ -2,7 +2,7 @@
 //
 //   camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N]
 //              [--store-mb=N] [--seed=S] [--cc-engine=NAME]
-//              [--trace-out=FILE] [--store-dir=DIR]
+//              [--trace-out=FILE] [--store-dir=DIR] [--store-cap-mb=N]
 //
 // Reads one JSON request per stdin line, writes one JSON response per
 // request to stdout (see src/svc/service.hpp for the protocol). Responses
@@ -22,7 +22,9 @@
 // --store-dir enables the persistent artifact store: at boot the server
 // warm-restarts from every *.graph.camc artifact under DIR (rehydrating
 // the graph store and pre-seeding the result cache), and "save" requests
-// default their "dir" to it.
+// default their "dir" to it. --store-cap-mb bounds the directory: every
+// save sweeps it, evicting whole bundles oldest-mtime-first until under
+// budget (never the bundle just saved).
 //
 // Shutdown durability: SIGTERM/SIGINT interrupt the read loop (self-pipe
 // + poll, so a signal mid-request is seen promptly), drain in-flight
@@ -68,10 +70,12 @@ int main(int argc, char** argv) {
   const char* usage =
       "usage: camc_serve [--threads=N] [--queue=N] [--batch=N] [--cache=N] "
       "[--store-mb=N] [--seed=S] [--cc-engine=NAME] [--trace-out=FILE] "
-      "[--store-dir=DIR]";
+      "[--store-dir=DIR] [--store-cap-mb=N] [--dyn-threshold=F]";
 
   int threads = 4;
   std::size_t queue = 256, batch = 16, cache = 4096, store_mb = 0;
+  std::size_t store_cap_mb = 0;
+  double dyn_threshold = 0.5;
   std::uint64_t seed = 1;
   std::string trace_out;
   std::string cc_engine = "sampling";
@@ -87,8 +91,11 @@ int main(int argc, char** argv) {
   parser.flag("cc-engine", &cc_engine);
   parser.flag("trace-out", &trace_out);
   parser.flag("store-dir", &store_dir);
+  parser.flag("store-cap-mb", &store_cap_mb);
+  parser.flag("dyn-threshold", &dyn_threshold);
   if (!parser.parse(argc, argv, usage)) return 2;
-  if (threads < 1 || batch < 1) {
+  if (threads < 1 || batch < 1 || dyn_threshold < 0.0 ||
+      dyn_threshold > 1.0) {
     std::cerr << usage << "\n";
     return 2;
   }
@@ -105,6 +112,8 @@ int main(int argc, char** argv) {
   options.store_max_bytes = static_cast<std::uint64_t>(store_mb) << 20;
   options.default_seed = seed;
   options.store_dir = store_dir;
+  options.store_cap_bytes = static_cast<std::uint64_t>(store_cap_mb) << 20;
+  options.dyn_full_rebuild_threshold = dyn_threshold;
   svc::Service service(options);
   if (!store_dir.empty()) {
     const svc::WarmRestartReport report = service.warm_restart();

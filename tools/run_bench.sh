@@ -46,5 +46,6 @@ run bsp     bench_bsp_runtime
 run service bench_service
 run trace   bench_trace_overhead
 run cluster bench_cluster
+run dyn     bench_dyn
 
 echo "done: $(ls "$OUT_DIR"/BENCH_*.json | tr '\n' ' ')" >&2
