@@ -1,0 +1,90 @@
+// Biconnectivity (camc::bcc) scaling: the parallel skeleton/aux-graph
+// kernel over p against the sequential Hopcroft-Tarjan reference, on a
+// sparse scale-free panel and a bridge-heavy near-tree panel (the two
+// regimes that stress the aux graph differently: dense blocks vs many
+// size-1 blocks).
+//
+// Columns: panel, impl, p, seconds, mpi_seconds, supersteps, max_words,
+// bccs. The bccs column pins the answer itself — a row whose block count
+// drifts from the HT row is a correctness bug, not noise (the gate's
+// schema check catches it).
+//
+//   build/bench/bench_bcc --json
+
+#include <vector>
+
+#include "bcc/bcc.hpp"
+#include "bcc/reference.hpp"
+#include "bsp/machine.hpp"
+#include "common/harness.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_edge_array.hpp"
+
+namespace {
+
+using namespace camc;
+
+void run_panel(bench::Table& table, const std::string& panel, graph::Vertex n,
+               const std::vector<graph::WeightedEdge>& edges,
+               const bench::Options& options) {
+  // Sequential Hopcroft-Tarjan reference line.
+  std::uint32_t ht_bccs = 0;
+  {
+    const double seconds = bench::time_median(options.repetitions, [&] {
+      const bcc::BccResult r = bcc::biconnected_components_seq(n, edges);
+      ht_bccs = r.bcc_count;
+    });
+    table.row(panel, "HT", 1, seconds, 0.0, 0, 0, ht_bccs);
+  }
+
+  for (const int p : bench::processor_sweep(options.max_p)) {
+    const auto run = bench::median_run(options.repetitions, [&] {
+      bsp::Machine machine(p);
+      std::uint32_t bccs = 0;
+      auto outcome = machine.run([&](bsp::Comm& world) {
+        auto dist = graph::DistributedEdgeArray::scatter(
+            world, n,
+            world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
+        const bcc::BccResult r =
+            bcc::biconnected_components(Context(world, options.seed), dist);
+        if (world.rank() == 0) bccs = r.bcc_count;
+      });
+      if (bccs != ht_bccs) std::exit(1);  // a bench must not mask a bug
+      return bench::TimedStats{outcome.wall_seconds,
+                               outcome.stats.max_comm_seconds,
+                               outcome.stats.supersteps,
+                               outcome.stats.max_words_communicated};
+    });
+    table.row(panel, "BCC", p, run.seconds, run.mpi_seconds, run.supersteps,
+              run.max_words, ht_bccs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = camc::bench::parse(argc, argv);
+  bench::Table table(options.json);
+  table.comment("Biconnectivity: parallel skeleton/aux-graph BCC vs");
+  table.comment("sequential Hopcroft-Tarjan, strong scaling over p");
+  table.header("panel", "impl", "p", "seconds", "mpi_seconds", "supersteps",
+               "max_words", "bccs");
+
+  {
+    // Scale-free: a giant 2-edge-connected core plus a fringe of bridges.
+    const auto n = static_cast<graph::Vertex>(
+        bench::scaled(60'000, options.scale, 1000));
+    const auto edges = gen::barabasi_albert(n, 8, options.seed);
+    run_panel(table, "a_scale_free", n, edges, options);
+  }
+  {
+    // Subcritical Erdos-Renyi (avg degree ~1): almost every edge is a
+    // bridge, so the aux graph is near-empty and the skeleton dominates.
+    const auto n = static_cast<graph::Vertex>(
+        bench::scaled(120'000, options.scale, 1000));
+    const auto edges = gen::erdos_renyi(
+        n, static_cast<std::uint64_t>(n) / 2, options.seed + 1);
+    run_panel(table, "b_bridges", n, edges, options);
+  }
+  return 0;
+}

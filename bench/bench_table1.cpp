@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
         auto dist = graph::DistributedEdgeArray::scatter(
             world, n,
             world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
-        auto result = core::min_cut(world, dist, mc);
+        auto result = core::min_cut(Context(world), dist, mc);
         if (world.rank() == 0) trials = result.trials;
       });
       csv.row("measured", "this-paper", n, m, p, outcome.stats.supersteps,
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
         auto dist = graph::DistributedEdgeArray::scatter(
             world, n,
             world.rank() == 0 ? edges : std::vector<graph::WeightedEdge>{});
-        auto result = core::min_cut_previous_bsp(world, dist, mc);
+        auto result = core::min_cut_previous_bsp(Context(world), dist, mc);
         if (world.rank() == 0) runs = result.runs;
       });
       csv.row("measured", "previous-bsp", n, m, p, outcome.stats.supersteps,

@@ -1,0 +1,254 @@
+#include "bcc/bcc.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace camc::bcc {
+
+namespace {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+constexpr std::uint32_t kNoPre = 0xFFFFFFFFu;
+
+/// A spanning-forest candidate. Weights are connectivity-irrelevant, so
+/// candidates travel as bare endpoint pairs (half the gather volume).
+struct TreeCand {
+  Vertex u = 0;
+  Vertex v = 0;
+};
+static_assert(std::is_trivially_copyable_v<TreeCand>);
+
+struct Skeleton {
+  std::vector<Vertex> parent;     ///< parent[root] == root
+  std::vector<std::uint32_t> pre; ///< preorder, contiguous per tree
+  std::vector<std::uint32_t> nd;  ///< subtree size
+};
+
+/// Root-side union-find (path halving) over the gathered candidates.
+Vertex find_root(std::vector<Vertex>& uf, Vertex v) {
+  while (uf[v] != v) {
+    uf[v] = uf[uf[v]];
+    v = uf[v];
+  }
+  return v;
+}
+
+/// Builds the rooted forest from the surviving candidates and numbers it:
+/// iterative DFS per root in vertex order, so (parent, pre, nd) are a
+/// deterministic function of the gathered candidate sequence.
+Skeleton build_skeleton(Vertex n, const std::vector<TreeCand>& candidates) {
+  Skeleton out;
+  out.parent.resize(n);
+  for (Vertex v = 0; v < n; ++v) out.parent[v] = v;
+  std::vector<Vertex> uf = out.parent;
+
+  // Tree adjacency in CSR form; at most n-1 surviving candidates.
+  std::vector<TreeCand> tree;
+  tree.reserve(n > 0 ? n - 1 : 0);
+  for (const TreeCand& cand : candidates) {
+    const Vertex ru = find_root(uf, cand.u);
+    const Vertex rv = find_root(uf, cand.v);
+    if (ru == rv) continue;
+    uf[ru] = rv;
+    tree.push_back(cand);
+  }
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const TreeCand& e : tree) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  std::vector<Vertex> adjacency(offsets.back());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const TreeCand& e : tree) {
+      adjacency[cursor[e.u]++] = e.v;
+      adjacency[cursor[e.v]++] = e.u;
+    }
+  }
+
+  out.pre.assign(n, kNoPre);
+  out.nd.assign(n, 1);
+  std::uint32_t timer = 0;
+  // (vertex, tree parent) pairs; a vertex is numbered when it is *popped*,
+  // which is what makes every subtree a contiguous preorder interval —
+  // the invariant all the [pre(v), pre(v) + nd(v)) fence tests rely on.
+  std::vector<std::pair<Vertex, Vertex>> stack;
+  std::vector<Vertex> order;  // preorder sequence, for the nd fold
+  order.reserve(n);
+  for (Vertex root = 0; root < n; ++root) {
+    if (out.pre[root] != kNoPre) continue;
+    stack.emplace_back(root, root);
+    while (!stack.empty()) {
+      const auto [v, from] = stack.back();
+      stack.pop_back();
+      if (out.pre[v] != kNoPre) continue;
+      out.parent[v] = from;
+      out.pre[v] = timer++;
+      order.push_back(v);
+      for (std::size_t a = offsets[v + 1]; a-- > offsets[v];) {
+        const Vertex w = adjacency[a];
+        if (out.pre[w] == kNoPre) stack.emplace_back(w, v);
+      }
+    }
+  }
+  // Reverse preorder visits every child before its parent.
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const Vertex v = order[i];
+    if (out.parent[v] != v) out.nd[out.parent[v]] += out.nd[v];
+  }
+  return out;
+}
+
+}  // namespace
+
+BccResult biconnected_components(const Context& ctx,
+                                 const graph::DistributedEdgeArray& graph,
+                                 const BccOptions& options) {
+  const bsp::Comm& world = ctx.comm;
+  const Vertex n = graph.vertex_count();
+  const std::vector<WeightedEdge>& local = graph.local();
+  if (n == 0) return {};
+  const auto whole = ctx.span("bcc", n, local.size());
+
+  // -- 1. local spanning forests, gathered at the root ----------------------
+  std::vector<TreeCand> candidates;
+  {
+    const auto span = ctx.span("bcc_local_forest");
+    std::vector<Vertex> uf(n);
+    for (Vertex v = 0; v < n; ++v) uf[v] = v;
+    std::vector<TreeCand> mine;
+    for (const WeightedEdge& e : local) {
+      if (e.u == e.v) continue;
+      const Vertex ru = find_root(uf, e.u);
+      const Vertex rv = find_root(uf, e.v);
+      if (ru == rv) continue;
+      uf[ru] = rv;
+      mine.push_back({e.u, e.v});
+    }
+    candidates = world.gather(mine, 0);
+  }
+
+  // -- 2. root builds the rooted skeleton, everyone receives it -------------
+  Skeleton skeleton;
+  {
+    const auto span = ctx.span("bcc_skeleton");
+    if (world.rank() == 0) skeleton = build_skeleton(n, candidates);
+    world.broadcast(skeleton.parent, 0);
+    world.broadcast(skeleton.pre, 0);
+    world.broadcast(skeleton.nd, 0);
+  }
+  const std::vector<Vertex>& parent = skeleton.parent;
+  const std::vector<std::uint32_t>& pre = skeleton.pre;
+  const std::vector<std::uint32_t>& nd = skeleton.nd;
+
+  // -- 3. low/high fence intervals ------------------------------------------
+  // Every edge contributes its endpoints' preorders; contributions from the
+  // skeleton's own tree edges are provably inert (a vertex x in subtree(w)
+  // only ever contributes preorders inside [pre(v), pre(v)+nd(v)) to w's
+  // interval, and the escape tests below are strict), so ranks need not
+  // know which gathered candidate the root kept.
+  std::vector<std::uint32_t> low(n), high(n);
+  {
+    const auto span = ctx.span("bcc_low_high");
+    std::vector<std::uint32_t> cand_low(n, kNoPre), cand_high(n, 0);
+    for (const WeightedEdge& e : local) {
+      if (e.u == e.v) continue;
+      cand_low[e.u] = std::min(cand_low[e.u], pre[e.v]);
+      cand_high[e.u] = std::max(cand_high[e.u], pre[e.v]);
+      cand_low[e.v] = std::min(cand_low[e.v], pre[e.u]);
+      cand_high[e.v] = std::max(cand_high[e.v], pre[e.u]);
+    }
+    cand_low = world.all_reduce_vector(
+        cand_low, [](std::uint32_t a, std::uint32_t b) { return std::min(a, b); });
+    cand_high = world.all_reduce_vector(
+        cand_high, [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+    // Redundant bottom-up fold on every rank: descending preorder visits
+    // children before parents, so one pass suffices — no more communication.
+    std::vector<Vertex> by_pre(n);
+    for (Vertex v = 0; v < n; ++v) by_pre[pre[v]] = v;
+    for (Vertex v = 0; v < n; ++v) {
+      low[v] = std::min(pre[v], cand_low[v]);
+      high[v] = std::max(pre[v], cand_high[v]);
+    }
+    for (std::uint32_t i = n; i-- > 0;) {
+      const Vertex v = by_pre[i];
+      if (parent[v] == v) continue;
+      low[parent[v]] = std::min(low[parent[v]], low[v]);
+      high[parent[v]] = std::max(high[parent[v]], high[v]);
+    }
+  }
+
+  // -- 4 + 5. fenced auxiliary graph, named by connected components ---------
+  // Aux vertex v <=> tree edge (parent(v), v); roots have no aux vertex but
+  // harmlessly occupy singleton slots of the shared vertex space.
+  core::CcResult aux_cc;
+  {
+    const auto span = ctx.span("bcc_skeleton_cc");
+    std::vector<WeightedEdge> aux_local;
+    for (const WeightedEdge& e : local) {
+      if (e.u == e.v) continue;
+      const Vertex a = pre[e.u] < pre[e.v] ? e.u : e.v;
+      const Vertex b = pre[e.u] < pre[e.v] ? e.v : e.u;
+      // Rule (i): a non-tree edge whose far endpoint escapes a's subtree
+      // welds the two tree edges below a and b together. (The skeleton's
+      // own tree edges never escape, so they add nothing here.)
+      if (pre[b] >= pre[a] + nd[a]) aux_local.push_back({a, b, 1});
+    }
+    // Rule (ii) is a pure function of the replicated skeleton; deal the
+    // vertices round-robin so each aux edge is emitted exactly once.
+    const auto p = static_cast<std::uint32_t>(world.size());
+    const auto r = static_cast<std::uint32_t>(world.rank());
+    for (Vertex w = r; w < n; w += p) {
+      const Vertex v = parent[w];
+      if (v == w || parent[v] == v) continue;
+      if (low[w] < pre[v] || high[w] >= pre[v] + nd[v])
+        aux_local.push_back({v, w, 1});
+    }
+    graph::DistributedEdgeArray aux(n, std::move(aux_local));
+    core::CcOptions cc_options;
+    cc_options.epsilon = options.epsilon;
+    cc_options.engine = options.engine;
+    aux_cc = core::connected_components(ctx, aux, cc_options);
+  }
+  const std::vector<Vertex>& comp = aux_cc.labels;
+
+  // -- 6. per-edge labels, canonicalized at the root ------------------------
+  BccResult out;
+  {
+    const auto span = ctx.span("bcc_canonicalize");
+    std::vector<std::uint32_t> labels(local.size(), kNoBcc);
+    std::vector<std::uint32_t> vmin(n, kNoBcc), vmax(n, 0);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const WeightedEdge& e = local[i];
+      if (e.u == e.v) continue;
+      // An edge belongs to the BCC of the tree edge above its deeper
+      // endpoint (for a welded pair either endpoint gives the same label).
+      const Vertex deep = pre[e.u] < pre[e.v] ? e.v : e.u;
+      labels[i] = static_cast<std::uint32_t>(comp[deep]);
+      vmin[e.u] = std::min(vmin[e.u], labels[i]);
+      vmax[e.u] = std::max(vmax[e.u], labels[i]);
+      vmin[e.v] = std::min(vmin[e.v], labels[i]);
+      vmax[e.v] = std::max(vmax[e.v], labels[i]);
+    }
+    // scatter dealt contiguous chunks, so the rank-order gather restores
+    // global input order — the order canonicalization is defined over.
+    const std::vector<std::uint32_t> all_labels = world.gather(labels, 0);
+    vmin = world.all_reduce_vector(
+        vmin, [](std::uint32_t a, std::uint32_t b) { return std::min(a, b); });
+    vmax = world.all_reduce_vector(
+        vmax, [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+    if (world.rank() == 0) {
+      out = canonicalize_edge_labels(all_labels, aux_cc.components);
+      for (Vertex v = 0; v < n; ++v)
+        if (vmin[v] != kNoBcc && vmin[v] != vmax[v]) out.articulation.push_back(v);
+      out.cc_iterations = aux_cc.iterations;
+    }
+  }
+  return out;
+}
+
+}  // namespace camc::bcc

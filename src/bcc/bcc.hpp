@@ -1,0 +1,53 @@
+#pragma once
+
+// camc::bcc — parallel biconnected components, bridges, and articulation
+// points over the repo's distributed CC + spanning-forest machinery,
+// following the skeleton decomposition of Dong et al. (arXiv:2301.01356)
+// in the Tarjan-Vishkin auxiliary-graph formulation:
+//
+//   1. local spanning forests per rank (union-find over the local slice),
+//      candidates gathered at the root — <= p(n-1) edges, the same
+//      communication shape as the paper's iterated-sampling CC round;
+//   2. the root builds one rooted global spanning forest and broadcasts
+//      (parent, preorder, subtree size) — the *skeleton*;
+//   3. low/high subtree intervals: per-rank min/max preorder contributions
+//      from the non-skeleton edges, one all-reduce, then a redundant (and
+//      therefore communication-free) bottom-up fold on every rank;
+//   4. a *fenced* auxiliary graph on the non-root vertices — vertex v
+//      stands for the tree edge (parent(v), v); a non-tree edge {v,w}
+//      (pre(v) < pre(w)) links v and w iff w escapes v's subtree, and a
+//      tree edge (v, w) links v and w iff w's subtree escapes v's fence
+//      (low(w) < pre(v) or high(w) >= pre(v) + nd(v));
+//   5. connected components of the auxiliary graph name the BCCs — the
+//      existing core::connected_components portfolio runs unchanged;
+//   6. per-edge labels (an edge belongs to the BCC of its larger-preorder
+//      endpoint) are gathered at the root and canonicalized by first
+//      occurrence in input order, making the output bit-identical across
+//      processor counts and against the sequential reference.
+//
+// Collective over ctx.comm, Context-first like every core entrypoint.
+
+#include "bcc/reference.hpp"
+#include "core/cc.hpp"
+#include "graph/dist_edge_array.hpp"
+#include "trace/context.hpp"
+
+namespace camc::bcc {
+
+struct BccOptions {
+  /// Sample-size exponent of the auxiliary-graph CC (core::CcOptions).
+  double epsilon = 0.2;
+  /// CC engine for the auxiliary graph (the skeleton CC is exact under
+  /// every engine; the label *partition* — all that survives
+  /// canonicalization — is engine-independent).
+  core::CcEngine engine = core::CcEngine::kSampling;
+};
+
+/// Collective over ctx.comm. Does not modify the input edge array.
+/// Randomness (the auxiliary CC's sampling) derives from ctx.seed.
+/// The result is valid at rank 0 and empty elsewhere.
+BccResult biconnected_components(const Context& ctx,
+                                 const graph::DistributedEdgeArray& graph,
+                                 const BccOptions& options = {});
+
+}  // namespace camc::bcc

@@ -1,0 +1,193 @@
+#include "bcc/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace camc::bcc {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+
+/// Edge-indexed CSR over the non-self-loop edges: Hopcroft-Tarjan must
+/// distinguish edge *instances* (a parallel edge to the DFS parent is a
+/// back edge, the tree edge is not), so neighbors carry the input index.
+struct Adjacency {
+  struct Arc {
+    graph::Vertex to;
+    std::uint32_t edge;
+  };
+  std::vector<std::size_t> offsets;
+  std::vector<Arc> arcs;
+
+  Adjacency(graph::Vertex n, std::span<const graph::WeightedEdge> edges)
+      : offsets(static_cast<std::size_t>(n) + 1, 0) {
+    if (edges.size() >= kNoBcc)
+      throw std::length_error("bcc: edge count exceeds 32-bit index space");
+    for (const graph::WeightedEdge& e : edges) {
+      if (e.u == e.v) continue;
+      ++offsets[e.u + 1];
+      ++offsets[e.v + 1];
+    }
+    for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+    arcs.resize(offsets.back());
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const graph::WeightedEdge& e = edges[i];
+      if (e.u == e.v) continue;
+      const auto id = static_cast<std::uint32_t>(i);
+      arcs[cursor[e.u]++] = {e.v, id};
+      arcs[cursor[e.v]++] = {e.u, id};
+    }
+  }
+};
+
+struct Frame {
+  graph::Vertex v;
+  std::uint32_t parent_edge;  ///< kUnvisited for roots (no edge id matches)
+  std::size_t next;           ///< cursor into Adjacency::arcs
+};
+
+}  // namespace
+
+BccResult canonicalize_edge_labels(const std::vector<std::uint32_t>& raw,
+                                   std::uint32_t raw_count) {
+  BccResult out;
+  out.edge_labels.assign(raw.size(), kNoBcc);
+  std::vector<std::uint32_t> remap(raw_count, kNoBcc);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == kNoBcc) continue;
+    std::uint32_t& slot = remap[raw[i]];
+    if (slot == kNoBcc) slot = next++;
+    out.edge_labels[i] = slot;
+  }
+  out.bcc_count = next;
+
+  std::vector<std::uint32_t> edge_count(next, 0);
+  std::vector<std::uint64_t> first_edge(next, 0);
+  for (std::size_t i = 0; i < out.edge_labels.size(); ++i) {
+    const std::uint32_t label = out.edge_labels[i];
+    if (label == kNoBcc) continue;
+    if (edge_count[label]++ == 0) first_edge[label] = i;
+  }
+  for (std::uint32_t label = 0; label < next; ++label) {
+    out.largest_bcc = std::max(out.largest_bcc, edge_count[label]);
+    // First-occurrence numbering makes first_edge increasing in label
+    // order, so the bridge list comes out ascending for free.
+    if (edge_count[label] == 1) out.bridges.push_back(first_edge[label]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Articulation via the block theorem: a vertex is a cut vertex iff its
+/// incident (non-self-loop) edges span >= 2 distinct BCC labels.
+void fill_articulation(graph::Vertex n,
+                       std::span<const graph::WeightedEdge> edges,
+                       BccResult& out) {
+  std::vector<std::uint32_t> vmin(n, kNoBcc), vmax(n, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint32_t label = out.edge_labels[i];
+    if (label == kNoBcc) continue;
+    for (const graph::Vertex v : {edges[i].u, edges[i].v}) {
+      vmin[v] = std::min(vmin[v], label);
+      vmax[v] = std::max(vmax[v], label);
+    }
+  }
+  for (graph::Vertex v = 0; v < n; ++v)
+    if (vmin[v] != kNoBcc && vmin[v] != vmax[v]) out.articulation.push_back(v);
+}
+
+}  // namespace
+
+BccResult biconnected_components_seq(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges) {
+  const Adjacency adj(n, edges);
+  std::vector<std::uint32_t> disc(n, kUnvisited), low(n, 0);
+  std::vector<std::uint32_t> raw(edges.size(), kNoBcc);
+  std::uint32_t timer = 0, labels = 0;
+  std::vector<std::uint32_t> edge_stack;
+  std::vector<Frame> stack;
+
+  for (graph::Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, kUnvisited, adj.offsets[root]});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next < adj.offsets[frame.v + 1]) {
+        const auto [w, e] = adj.arcs[frame.next++];
+        if (disc[w] == kUnvisited) {
+          edge_stack.push_back(e);
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, e, adj.offsets[w]});
+        } else if (e != frame.parent_edge && disc[w] < disc[frame.v]) {
+          // Back edge, seen from the descendant side only; a parallel copy
+          // of the tree edge lands here, which is what keeps doubled edges
+          // out of the bridge set.
+          edge_stack.push_back(e);
+          low[frame.v] = std::min(low[frame.v], disc[w]);
+        }
+      } else {
+        const Frame done = frame;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& parent = stack.back();
+        low[parent.v] = std::min(low[parent.v], low[done.v]);
+        if (low[done.v] >= disc[parent.v]) {
+          // done.v's subtree cannot reach above parent.v: everything on the
+          // edge stack down to the tree edge (parent.v, done.v) is one BCC.
+          const std::uint32_t label = labels++;
+          while (true) {
+            const std::uint32_t e = edge_stack.back();
+            edge_stack.pop_back();
+            raw[e] = label;
+            if (e == done.parent_edge) break;
+          }
+        }
+      }
+    }
+  }
+  BccResult out = canonicalize_edge_labels(raw, labels);
+  fill_articulation(n, edges, out);
+  return out;
+}
+
+std::vector<std::uint64_t> bridges_seq(
+    graph::Vertex n, std::span<const graph::WeightedEdge> edges) {
+  const Adjacency adj(n, edges);
+  std::vector<std::uint32_t> disc(n, kUnvisited), low(n, 0);
+  std::vector<std::uint64_t> out;
+  std::uint32_t timer = 0;
+  std::vector<Frame> stack;
+  for (graph::Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, kUnvisited, adj.offsets[root]});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next < adj.offsets[frame.v + 1]) {
+        const auto [w, e] = adj.arcs[frame.next++];
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, e, adj.offsets[w]});
+        } else if (e != frame.parent_edge) {
+          low[frame.v] = std::min(low[frame.v], disc[w]);
+        }
+      } else {
+        const Frame done = frame;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& parent = stack.back();
+        low[parent.v] = std::min(low[parent.v], low[done.v]);
+        if (low[done.v] > disc[parent.v]) out.push_back(done.parent_edge);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace camc::bcc

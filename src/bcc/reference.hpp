@@ -1,0 +1,62 @@
+#pragma once
+
+// Sequential biconnectivity reference (Hopcroft-Tarjan).
+//
+// The canonical output contract shared with the parallel kernel
+// (bcc/bcc.hpp): per-edge BCC labels in *input edge order*, renumbered by
+// first occurrence, so two partition-equivalent labelings — however the
+// underlying spanning forest was chosen — serialize to the same bytes.
+// That is what lets the fuzz oracles demand bit-for-bit agreement between
+// the reference, and the parallel kernel at every processor count.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace camc::bcc {
+
+/// Label of edges outside every biconnected component (self-loops).
+inline constexpr std::uint32_t kNoBcc = 0xFFFFFFFFu;
+
+struct BccResult {
+  /// One label per input edge, in input order, dense in [0, bcc_count) and
+  /// numbered by first occurrence in input order. Self-loops get kNoBcc.
+  std::vector<std::uint32_t> edge_labels;
+  std::uint32_t bcc_count = 0;
+  /// Edge count of the largest biconnected component (parallel edges each
+  /// count — a doubled edge is a 2-edge BCC, not a bridge).
+  std::uint32_t largest_bcc = 0;
+  /// Cut vertices, ascending. A vertex is an articulation point iff its
+  /// incident (non-self-loop) edges span >= 2 distinct BCC labels.
+  std::vector<graph::Vertex> articulation;
+  /// Input edge indices of bridges, ascending. A bridge is exactly a BCC
+  /// with a single edge record.
+  std::vector<std::uint64_t> bridges;
+  /// Iterations of the skeleton CC (parallel kernel only; 0 here).
+  std::uint32_t cc_iterations = 0;
+};
+
+/// Hopcroft-Tarjan over an explicit edge-indexed adjacency. O(n + m).
+/// Handles multigraphs (a parallel edge is a back edge, never a bridge)
+/// and forests (every component is rooted independently).
+BccResult biconnected_components_seq(graph::Vertex n,
+                                     std::span<const graph::WeightedEdge> edges);
+
+/// Independent bridge finder (DFS low-link with edge-id tracking), used by
+/// the oracles to cross-check `BccResult::bridges` against a second
+/// derivation. Returns ascending input edge indices.
+std::vector<std::uint64_t> bridges_seq(graph::Vertex n,
+                                       std::span<const graph::WeightedEdge> edges);
+
+/// Canonical finalization shared by the reference and the parallel kernel:
+/// raw per-edge labels (any partition-equivalent numbering, kNoBcc for
+/// self-loops, raw values < raw_count) become the label-derived fields of
+/// the contract above — edge_labels, bcc_count, largest_bcc, bridges.
+/// Articulation needs vertex incidence, which the parallel kernel derives
+/// from an all-reduce instead of the edge list; it stays the caller's job.
+BccResult canonicalize_edge_labels(const std::vector<std::uint32_t>& raw,
+                                   std::uint32_t raw_count);
+
+}  // namespace camc::bcc

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bcc/bcc.hpp"
+#include "bcc/reference.hpp"
 #include "bsp/machine.hpp"
 #include "core/approx_mincut.hpp"
 #include "core/baselines.hpp"
@@ -238,7 +240,7 @@ Verdict cc_async_oracle(const TestCase& tc) {
 
 Verdict mincut_sequential_oracle(const TestCase& tc) {
   if (tc.n < 2) {
-    const auto result = core::sequential_min_cut(tc.n, tc.edges);
+    const auto result = core::sequential_min_cut(Context{}, tc.n, tc.edges);
     if (result.value != 0)
       return fail("sequential_min_cut on n < 2 returned " +
                   std::to_string(result.value));
@@ -515,6 +517,118 @@ Verdict dyn_cc_oracle(const TestCase& tc) {
   return pass();
 }
 
+// ---------------------------------------------------------------------------
+// Biconnectivity
+// ---------------------------------------------------------------------------
+
+bcc::BccResult run_bcc(int p, const TestCase& tc) {
+  bcc::BccResult out;
+  run_distributed(p, tc, [&](bsp::Comm& world, DistributedEdgeArray& dist) {
+    const Context ctx(world, tc.seed);
+    bcc::BccResult mine = bcc::biconnected_components(ctx, dist);
+    if (world.rank() == 0) out = std::move(mine);
+  });
+  return out;
+}
+
+/// Parallel BCC labels vs the sequential Hopcroft-Tarjan reference, at
+/// p = 1, 2 and 4. Canonicalization (first occurrence in input edge
+/// order) makes the comparison bit-for-bit, so this also pins cross-p
+/// label identity — every p must match the same reference exactly.
+Verdict bcc_labels_oracle(const TestCase& tc) {
+  const bcc::BccResult want = bcc::biconnected_components_seq(tc.n, tc.edges);
+  for (const int p : {1, 2, 4}) {
+    const bcc::BccResult got = run_bcc(p, tc);
+    std::ostringstream out;
+    if (got.edge_labels != want.edge_labels) {
+      out << "bcc-labels p=" << p << ": edge labels differ from reference";
+      return fail(out.str());
+    }
+    if (got.bcc_count != want.bcc_count ||
+        got.largest_bcc != want.largest_bcc) {
+      out << "bcc-labels p=" << p << ": " << got.bcc_count << " BCCs (largest "
+          << got.largest_bcc << "), reference says " << want.bcc_count
+          << " (largest " << want.largest_bcc << ")";
+      return fail(out.str());
+    }
+    if (got.articulation != want.articulation)
+      return fail("bcc-labels p=" + std::to_string(p) +
+                  ": articulation set differs from reference");
+  }
+  return pass();
+}
+
+/// Bridges cross-checked two independent ways: against the low-link
+/// bridge finder (which never builds BCCs at all), and against the
+/// labeling itself — a bridge is exactly a label carried by one edge.
+Verdict bcc_bridges_oracle(const TestCase& tc) {
+  const std::vector<std::uint64_t> lowlink = bcc::bridges_seq(tc.n, tc.edges);
+  const bcc::BccResult got = run_bcc(2, tc);
+  if (got.bridges != lowlink) {
+    std::ostringstream out;
+    out << "bcc-bridges: " << got.bridges.size() << " bridges, low-link finder says "
+        << lowlink.size();
+    return fail(out.str());
+  }
+  std::map<std::uint32_t, std::uint64_t> edges_per_label;
+  for (const std::uint32_t label : got.edge_labels)
+    if (label != bcc::kNoBcc) ++edges_per_label[label];
+  std::vector<std::uint64_t> singletons;
+  for (std::size_t i = 0; i < got.edge_labels.size(); ++i)
+    if (got.edge_labels[i] != bcc::kNoBcc &&
+        edges_per_label[got.edge_labels[i]] == 1)
+      singletons.push_back(i);
+  if (singletons != got.bridges)
+    return fail("bcc-bridges: bridge list is not the size-1 BCCs");
+  return pass();
+}
+
+/// Articulation points re-derived from first principles on small
+/// instances: v is a cut vertex iff deleting it (and its edges) increases
+/// the component count. No shared code with the block-label derivation.
+Verdict bcc_articulation_oracle(const TestCase& tc) {
+  if (tc.n > 256) return pass();  // O(n(n+m)) deletion sweep: small only
+  const auto components_without = [&](Vertex skip) {
+    std::vector<Vertex> uf(tc.n);
+    for (Vertex v = 0; v < tc.n; ++v) uf[v] = v;
+    const auto root = [&](Vertex v) {
+      while (uf[v] != v) {
+        uf[v] = uf[uf[v]];
+        v = uf[v];
+      }
+      return v;
+    };
+    for (const WeightedEdge& e : tc.edges) {
+      if (e.u == e.v || e.u == skip || e.v == skip) continue;
+      const Vertex ru = root(e.u);
+      const Vertex rv = root(e.v);
+      if (ru != rv) uf[ru] = rv;
+    }
+    Vertex count = 0;
+    for (Vertex v = 0; v < tc.n; ++v)
+      if (v != skip && root(v) == v) ++count;
+    return count;
+  };
+  const Vertex base = components_without(tc.n);  // tc.n skips nothing
+  std::vector<Vertex> degree(tc.n, 0);
+  for (const WeightedEdge& e : tc.edges) {
+    if (e.u == e.v) continue;
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  std::vector<Vertex> expected;
+  for (Vertex v = 0; v < tc.n; ++v)
+    if (degree[v] > 0 && components_without(v) > base) expected.push_back(v);
+  const bcc::BccResult got = run_bcc(2, tc);
+  if (got.articulation != expected) {
+    std::ostringstream out;
+    out << "bcc-articulation: " << got.articulation.size()
+        << " cut vertices, deletion sweep finds " << expected.size();
+    return fail(out.str());
+  }
+  return pass();
+}
+
 std::function<Verdict(const TestCase&)> guarded(
     Verdict (*body)(const TestCase&)) {
   return [body](const TestCase& tc) -> Verdict {
@@ -570,6 +684,15 @@ const std::vector<Oracle>& all_oracles() {
        "incremental CC labels + fingerprint vs from-scratch after every "
        "mutation batch",
        guarded(dyn_cc_oracle)},
+      {"bcc-labels",
+       "parallel BCC labels (p=1,2,4) bit-identical to Hopcroft-Tarjan",
+       guarded(bcc_labels_oracle)},
+      {"bcc-bridges",
+       "bridges vs independent low-link finder + size-1-BCC cross-check",
+       guarded(bcc_bridges_oracle)},
+      {"bcc-articulation",
+       "articulation points vs vertex-deletion component counting",
+       guarded(bcc_articulation_oracle)},
   };
   return oracles;
 }

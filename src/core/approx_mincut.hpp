@@ -52,11 +52,4 @@ ApproxMinCutResult approx_min_cut(const Context& ctx,
                                   const graph::DistributedEdgeArray& graph,
                                   const ApproxMinCutOptions& options = {});
 
-/// Deprecated shim (pre-Context signature): default Context over `comm`.
-inline ApproxMinCutResult approx_min_cut(
-    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
-    const ApproxMinCutOptions& options = {}) {
-  return approx_min_cut(Context(comm), graph, options);
-}
-
 }  // namespace camc::core

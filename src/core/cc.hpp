@@ -59,9 +59,9 @@ const char* cc_engine_name(CcEngine engine) noexcept;
 bool parse_cc_engine(std::string_view name, CcEngine* out) noexcept;
 
 // Entrypoints take a camc::Context (comm + seed + trace sink — see
-// trace/context.hpp); the comm-first overloads are deprecated shims that
-// wrap the comm in a default Context (seed 1, tracing off). The seed that
-// used to live here moved to Context::seed.
+// trace/context.hpp). The seed that used to live here moved to
+// Context::seed; the comm-first shims that briefly bridged the transition
+// are gone — wrap the comm in a Context at the call site.
 
 struct CcOptions {
   /// Sample size per iteration is ceil(n^(1+epsilon) / 2).
@@ -109,13 +109,6 @@ CcResult connected_components(const Context& ctx,
                               graph::DistributedEdgeArray& graph,
                               const CcOptions& options = {});
 
-/// Deprecated shim (pre-Context signature): default Context over `comm`.
-inline CcResult connected_components(const bsp::Comm& comm,
-                                     graph::DistributedEdgeArray& graph,
-                                     const CcOptions& options = {}) {
-  return connected_components(Context(comm), graph, options);
-}
-
 /// Collective. Connected components on the dense representation (§3,
 /// "Graph Representation": for m >= n^2/log n the paper stores the graph
 /// as a distributed adjacency matrix). Iterated sampling with dense bulk
@@ -125,13 +118,6 @@ inline CcResult connected_components(const bsp::Comm& comm,
 CcResult connected_components_dense(const Context& ctx,
                                     graph::DistributedMatrix matrix,
                                     const CcOptions& options = {});
-
-/// Deprecated shim (pre-Context signature): default Context over `comm`.
-inline CcResult connected_components_dense(const bsp::Comm& comm,
-                                           graph::DistributedMatrix matrix,
-                                           const CcOptions& options = {}) {
-  return connected_components_dense(Context(comm), std::move(matrix), options);
-}
 
 // -- portfolio engine entrypoints (cc_engines.cpp) ---------------------------
 //

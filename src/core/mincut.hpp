@@ -41,8 +41,8 @@ namespace camc::core {
 // All entrypoints take a camc::Context carrying the cross-cutting state
 // (comm, seed, recovery attempt, trace sink — see trace/context.hpp);
 // MinCutOptions keeps only the algorithm-shape knobs. The comm-first
-// overloads below are deprecated back-compat shims that wrap the comm in
-// a default Context (seed 1, attempt 0, tracing off).
+// shims that briefly bridged the Context transition are gone — wrap the
+// comm in a Context at the call site.
 
 struct MinCutOptions {
   /// Probability that the result is an exact minimum cut.
@@ -87,13 +87,6 @@ MinCutOutcome min_cut(const Context& ctx,
                       const graph::DistributedEdgeArray& graph,
                       const MinCutOptions& options = {});
 
-/// Deprecated shim (pre-Context signature): default Context over `comm`.
-inline MinCutOutcome min_cut(const bsp::Comm& comm,
-                             const graph::DistributedEdgeArray& graph,
-                             const MinCutOptions& options = {}) {
-  return min_cut(Context(comm), graph, options);
-}
-
 /// Test-only fault injection: when enabled, sequential_min_cut_trial drops
 /// the last input edge (an off-by-one in the trial's edge range). Used by
 /// camc_fuzz --inject-bug to prove the differential fuzzer detects and
@@ -109,25 +102,11 @@ seq::CutResult sequential_min_cut_trial(const Context& ctx, graph::Vertex n,
                                         const MinCutOptions& options,
                                         rng::Philox& gen);
 
-/// Deprecated shim: untraced trial.
-inline seq::CutResult sequential_min_cut_trial(
-    graph::Vertex n, std::span<const graph::WeightedEdge> edges,
-    const MinCutOptions& options, rng::Philox& gen) {
-  return sequential_min_cut_trial(Context{}, n, edges, options, gen);
-}
-
 /// Sequential full algorithm: `trials` sequential trials, best kept.
 /// Accepts a comm-less Context (seed + trace sink).
 seq::CutResult sequential_min_cut(const Context& ctx, graph::Vertex n,
                                   std::span<const graph::WeightedEdge> edges,
                                   const MinCutOptions& options = {});
-
-/// Deprecated shim: default Context (seed 1).
-inline seq::CutResult sequential_min_cut(
-    graph::Vertex n, std::span<const graph::WeightedEdge> edges,
-    const MinCutOptions& options = {}) {
-  return sequential_min_cut(Context{}, n, edges, options);
-}
 
 /// All distinct minimum cuts (Lemma 4.3: the trials find every minimum cut
 /// w.h.p. when the trial count targets the success probability). Each cut
@@ -145,14 +124,6 @@ AllMinCutsResult all_min_cuts(const Context& ctx, graph::Vertex n,
                               const MinCutOptions& options = {},
                               std::size_t max_cuts = 64);
 
-/// Deprecated shim: default Context (seed 1).
-inline AllMinCutsResult all_min_cuts(graph::Vertex n,
-                                     std::span<const graph::WeightedEdge> edges,
-                                     const MinCutOptions& options = {},
-                                     std::size_t max_cuts = 64) {
-  return all_min_cuts(Context{}, n, edges, options, max_cuts);
-}
-
 /// Minimum cut in the style of the previous BSP algorithm [4] — Table 1's
 /// first row, implemented as the comparison baseline: no Eager Step, no
 /// trial groups, and round-by-round contraction sampling (O(a) samples per
@@ -169,12 +140,5 @@ struct BaselineMinCutOutcome {
 BaselineMinCutOutcome min_cut_previous_bsp(const Context& ctx,
                                            const graph::DistributedEdgeArray& graph,
                                            const MinCutOptions& options = {});
-
-/// Deprecated shim (pre-Context signature): default Context over `comm`.
-inline BaselineMinCutOutcome min_cut_previous_bsp(
-    const bsp::Comm& comm, const graph::DistributedEdgeArray& graph,
-    const MinCutOptions& options = {}) {
-  return min_cut_previous_bsp(Context(comm), graph, options);
-}
 
 }  // namespace camc::core

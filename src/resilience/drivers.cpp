@@ -34,16 +34,6 @@ ResilientMinCutResult resilient_min_cut(bsp::Machine& machine, graph::Vertex n,
   return out;
 }
 
-ResilientMinCutResult resilient_min_cut(bsp::Machine& machine, graph::Vertex n,
-                                        const std::vector<graph::WeightedEdge>& edges,
-                                        const core::MinCutOptions& options,
-                                        const RetryPolicy& policy,
-                                        const bsp::RunOptions& run_options) {
-  Context ctx;
-  ctx.run = run_options;
-  return resilient_min_cut(machine, n, edges, ctx, options, policy);
-}
-
 ResilientApproxMinCutResult resilient_approx_min_cut(
     bsp::Machine& machine, graph::Vertex n,
     const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
@@ -71,16 +61,6 @@ ResilientApproxMinCutResult resilient_approx_min_cut(
     out.ok = true;
   }
   return out;
-}
-
-ResilientApproxMinCutResult resilient_approx_min_cut(
-    bsp::Machine& machine, graph::Vertex n,
-    const std::vector<graph::WeightedEdge>& edges,
-    const core::ApproxMinCutOptions& options, const RetryPolicy& policy,
-    const bsp::RunOptions& run_options) {
-  Context ctx;
-  ctx.run = run_options;
-  return resilient_approx_min_cut(machine, n, edges, ctx, options, policy);
 }
 
 }  // namespace camc::resilience

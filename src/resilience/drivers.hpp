@@ -16,7 +16,8 @@
 // The drivers take a camc::Context: seed and base attempt come from
 // ctx.seed / ctx.attempt, fault hooks and the watchdog from ctx.run, and
 // a trace recorder (ctx.recorder) is re-bound per rank inside each
-// attempt. The pre-Context overloads remain as deprecated shims.
+// attempt. (The pre-Context overloads are gone; put run options on
+// ctx.run instead.)
 
 #include <cstdint>
 #include <vector>
@@ -44,14 +45,6 @@ ResilientMinCutResult resilient_min_cut(
     const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
     const core::MinCutOptions& options = {}, const RetryPolicy& policy = {});
 
-/// Deprecated shim (pre-Context signature): default Context (seed 1) with
-/// `run_options` as the per-attempt bsp::RunOptions.
-ResilientMinCutResult resilient_min_cut(
-    bsp::Machine& machine, graph::Vertex n,
-    const std::vector<graph::WeightedEdge>& edges,
-    const core::MinCutOptions& options = {}, const RetryPolicy& policy = {},
-    const bsp::RunOptions& run_options = {});
-
 struct ResilientApproxMinCutResult {
   core::ApproxMinCutResult result;  ///< valid iff ok
   bool ok = false;
@@ -64,12 +57,5 @@ ResilientApproxMinCutResult resilient_approx_min_cut(
     const std::vector<graph::WeightedEdge>& edges, const Context& ctx,
     const core::ApproxMinCutOptions& options = {},
     const RetryPolicy& policy = {});
-
-/// Deprecated shim (pre-Context signature).
-ResilientApproxMinCutResult resilient_approx_min_cut(
-    bsp::Machine& machine, graph::Vertex n,
-    const std::vector<graph::WeightedEdge>& edges,
-    const core::ApproxMinCutOptions& options = {},
-    const RetryPolicy& policy = {}, const bsp::RunOptions& run_options = {});
 
 }  // namespace camc::resilience

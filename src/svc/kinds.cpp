@@ -1,0 +1,352 @@
+#include "svc/kinds.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "bcc/bcc.hpp"
+#include "core/approx_mincut.hpp"
+#include "core/cc.hpp"
+#include "core/mincut.hpp"
+#include "core/sparsify.hpp"
+#include "rng/philox.hpp"
+
+namespace camc::svc {
+
+const char* dyn_class_name(DynClass dyn_class) noexcept {
+  switch (dyn_class) {
+    case DynClass::kStructural: return "structural";
+    case DynClass::kWeighted: return "weighted";
+  }
+  return "unknown";
+}
+
+std::uint64_t salted_seed(std::uint64_t seed, std::uint32_t attempt) {
+  if (attempt == 0) return seed;
+  const rng::PhiloxBlock block = rng::philox4x32(
+      {static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
+       attempt, 0x53564353u},
+      {0x243F6A88u, 0x85A308D3u});
+  return (static_cast<std::uint64_t>(block[1]) << 32) | block[0];
+}
+
+namespace {
+
+// ---- cc ------------------------------------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> cc_words(const QueryParams& params) {
+  return {std::bit_cast<std::uint64_t>(params.epsilon),
+          static_cast<std::uint64_t>(params.engine)};
+}
+
+QueryResult cc_execute(const Context& ctx,
+                       const graph::DistributedEdgeArray& dist,
+                       const QueryParams& params, std::uint32_t attempt) {
+  QueryResult out;
+  core::CcOptions options;
+  options.epsilon = params.epsilon;
+  options.engine = params.engine;
+  // connected_components consumes its edge array; copy this rank's slice
+  // so the epoch's shared scatter stays intact.
+  graph::DistributedEdgeArray scratch(dist.vertex_count(), dist.local());
+  const core::CcResult result = core::connected_components(
+      ctx.with_seed(salted_seed(params.seed, attempt)), scratch, options);
+  out.value = result.components;
+  out.components = result.components;
+  out.iterations = result.iterations;
+  out.engine = result.engine;
+  std::vector<std::uint32_t> sizes(result.components, 0);
+  for (const graph::Vertex label : result.labels) ++sizes[label];
+  out.largest_component =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return out;
+}
+
+void cc_serialize(Json& result, const QueryResult& out) {
+  result.set("components", out.components)
+      .set("largest_component", out.largest_component)
+      .set("iterations", out.iterations)
+      .set("engine", core::cc_engine_name(out.engine));
+}
+
+// ---- min_cut -------------------------------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> min_cut_words(
+    const QueryParams& params) {
+  return {std::bit_cast<std::uint64_t>(params.success_probability),
+          params.want_side ? 1u : 0u};
+}
+
+QueryResult min_cut_execute(const Context& ctx,
+                            const graph::DistributedEdgeArray& dist,
+                            const QueryParams& params, std::uint32_t attempt) {
+  QueryResult out;
+  core::MinCutOptions options;
+  options.success_probability = params.success_probability;
+  options.want_side = params.want_side;
+  core::MinCutOutcome result =
+      core::min_cut(ctx.with_attempt(attempt), dist, options);
+  out.value = result.value;
+  out.trials = result.trials;
+  out.side = std::move(result.side);
+  out.side_valid = result.side_valid;
+  return out;
+}
+
+void min_cut_serialize(Json& result, const QueryResult& out) {
+  result.set("trials", out.trials);
+  if (out.side_valid)
+    result.set("side_size", static_cast<std::uint64_t>(out.side.size()));
+}
+
+// ---- approx_min_cut ------------------------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> approx_words(
+    const QueryParams& params) {
+  return {params.trials, 0};
+}
+
+QueryResult approx_execute(const Context& ctx,
+                           const graph::DistributedEdgeArray& dist,
+                           const QueryParams& params, std::uint32_t attempt) {
+  QueryResult out;
+  core::ApproxMinCutOptions options;
+  options.trials = params.trials;
+  const core::ApproxMinCutResult result =
+      core::approx_min_cut(ctx.with_attempt(attempt), dist, options);
+  out.value = result.estimate;
+  out.iterations = result.iterations_run;
+  out.trials = result.trials_per_iteration;
+  return out;
+}
+
+void approx_serialize(Json& result, const QueryResult& out) {
+  result.set("iterations", out.iterations).set("trials", out.trials);
+}
+
+// ---- sparsify ------------------------------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> sparsify_words(
+    const QueryParams& params) {
+  return {std::bit_cast<std::uint64_t>(params.epsilon), params.sample_size};
+}
+
+QueryResult sparsify_execute(const Context& ctx,
+                             const graph::DistributedEdgeArray& dist,
+                             const QueryParams& params, std::uint32_t attempt) {
+  QueryResult out;
+  std::uint64_t sample_size = params.sample_size;
+  if (sample_size == 0) {
+    const double n = std::max(2.0, static_cast<double>(dist.vertex_count()));
+    sample_size = static_cast<std::uint64_t>(
+        std::ceil(std::pow(n, 1.0 + params.epsilon) / 2.0));
+  }
+  rng::Philox gen(salted_seed(params.seed, attempt),
+                  0x53500000ull + static_cast<std::uint64_t>(ctx.comm.rank()));
+  const std::vector<graph::WeightedEdge> sample =
+      core::sparsify_unweighted(ctx, dist, sample_size, gen);
+  out.value = sample.size();  // gathered at root; 0 elsewhere
+  out.iterations = 1;
+  return out;
+}
+
+void sparsify_serialize(Json& result, const QueryResult& out) {
+  result.set("sample_size", out.value);
+}
+
+// ---- bcc / bridges / articulation ----------------------------------------
+
+std::pair<std::uint64_t, std::uint64_t> bcc_words(const QueryParams& params) {
+  // Only epsilon (the aux-CC sampling exponent) is key-relevant. The
+  // canonical labeling makes the answer engine- and seed-invariant, so the
+  // cc engine deliberately stays out of the key (and out of execution:
+  // the aux CC always runs the default engine).
+  return {std::bit_cast<std::uint64_t>(params.epsilon), 0};
+}
+
+/// One shared runner: the three biconnectivity kinds are views of the same
+/// decomposition, differing only in which headline number they surface.
+bcc::BccResult bcc_run(const Context& ctx,
+                       const graph::DistributedEdgeArray& dist,
+                       const QueryParams& params, std::uint32_t attempt) {
+  bcc::BccOptions options;
+  options.epsilon = params.epsilon;
+  return bcc::biconnected_components(
+      ctx.with_seed(salted_seed(params.seed, attempt)), dist, options);
+}
+
+QueryResult bcc_execute(const Context& ctx,
+                        const graph::DistributedEdgeArray& dist,
+                        const QueryParams& params, std::uint32_t attempt) {
+  const bcc::BccResult result = bcc_run(ctx, dist, params, attempt);
+  QueryResult out;
+  out.value = result.bcc_count;
+  out.components = result.bcc_count;
+  out.largest_component = result.largest_bcc;
+  out.iterations = result.cc_iterations;
+  return out;
+}
+
+void bcc_serialize(Json& result, const QueryResult& out) {
+  result.set("bccs", out.components)
+      .set("largest_bcc", out.largest_component)
+      .set("iterations", out.iterations);
+}
+
+QueryResult bridges_execute(const Context& ctx,
+                            const graph::DistributedEdgeArray& dist,
+                            const QueryParams& params, std::uint32_t attempt) {
+  const bcc::BccResult result = bcc_run(ctx, dist, params, attempt);
+  QueryResult out;
+  out.value = result.bridges.size();
+  out.components = result.bcc_count;
+  out.iterations = result.cc_iterations;
+  return out;
+}
+
+void bridges_serialize(Json& result, const QueryResult& out) {
+  result.set("bridges", out.value)
+      .set("bccs", out.components)
+      .set("iterations", out.iterations);
+}
+
+QueryResult articulation_execute(const Context& ctx,
+                                 const graph::DistributedEdgeArray& dist,
+                                 const QueryParams& params,
+                                 std::uint32_t attempt) {
+  const bcc::BccResult result = bcc_run(ctx, dist, params, attempt);
+  QueryResult out;
+  out.value = result.articulation.size();
+  out.components = result.bcc_count;
+  out.iterations = result.cc_iterations;
+  return out;
+}
+
+void articulation_serialize(Json& result, const QueryResult& out) {
+  result.set("articulation_points", out.value)
+      .set("bccs", out.components)
+      .set("iterations", out.iterations);
+}
+
+void register_builtins(KindRegistry& registry) {
+  registry.register_kind(
+      {QueryKind::kCc, "cc", {},
+       "seed, epsilon (sample exponent), engine (sampling|fastsv|hybrid|"
+       "lpcc|auto)",
+       DynClass::kStructural, /*cc_engine_stats=*/true, cc_words, cc_execute,
+       cc_serialize});
+  registry.register_kind(
+      {QueryKind::kMinCut, "min_cut", {"mincut"},
+       "seed, success (trial success probability), want_side",
+       DynClass::kWeighted, false, min_cut_words, min_cut_execute,
+       min_cut_serialize});
+  registry.register_kind(
+      {QueryKind::kApproxMinCut, "approx_min_cut", {"approx"},
+       "seed, trials (per sampling level; 0 derives from n)",
+       DynClass::kWeighted, false, approx_words, approx_execute,
+       approx_serialize});
+  registry.register_kind(
+      {QueryKind::kSparsify, "sparsify", {},
+       "seed, epsilon (sample exponent), sample_size (0 derives from "
+       "epsilon)",
+       DynClass::kWeighted, false, sparsify_words, sparsify_execute,
+       sparsify_serialize});
+  registry.register_kind({QueryKind::kBcc, "bcc", {},
+                          "seed, epsilon (aux-CC sample exponent)",
+                          DynClass::kStructural, false, bcc_words, bcc_execute,
+                          bcc_serialize});
+  registry.register_kind({QueryKind::kBridges, "bridges", {},
+                          "seed, epsilon (aux-CC sample exponent)",
+                          DynClass::kStructural, false, bcc_words,
+                          bridges_execute, bridges_serialize});
+  registry.register_kind({QueryKind::kArticulation, "articulation", {},
+                          "seed, epsilon (aux-CC sample exponent)",
+                          DynClass::kStructural, false, bcc_words,
+                          articulation_execute, articulation_serialize});
+}
+
+}  // namespace
+
+KindRegistry& KindRegistry::instance() {
+  // Leaky singleton: never destroyed, so lookups stay valid during static
+  // destruction (metrics flushed from atexit paths, worker teardown, ...).
+  static KindRegistry* registry = [] {
+    auto* fresh = new KindRegistry;
+    register_builtins(*fresh);
+    return fresh;
+  }();
+  return *registry;
+}
+
+void KindRegistry::register_kind(KindDef def) {
+  if (def.name == nullptr || def.name[0] == '\0')
+    throw std::invalid_argument("KindRegistry: kind needs a name");
+  if (def.param_words == nullptr || def.execute == nullptr ||
+      def.serialize_result == nullptr)
+    throw std::invalid_argument("KindRegistry: kind '" +
+                                std::string(def.name) +
+                                "' is missing a required hook");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const KindDef* existing : defs_) {
+    if (existing->kind == def.kind)
+      throw std::invalid_argument(
+          "KindRegistry: duplicate kind id " +
+          std::to_string(static_cast<unsigned>(def.kind)) + " ('" +
+          std::string(def.name) + "' vs '" + existing->name + "')");
+    std::vector<std::string> taken(existing->aliases);
+    taken.emplace_back(existing->name);
+    std::vector<std::string> wanted(def.aliases);
+    wanted.emplace_back(def.name);
+    for (const std::string& name : wanted)
+      if (std::find(taken.begin(), taken.end(), name) != taken.end())
+        throw std::invalid_argument("KindRegistry: duplicate kind name '" +
+                                    name + "'");
+  }
+  auto* node = new KindDef(std::move(def));  // leaks by design (see header)
+  const auto pos = std::find_if(defs_.begin(), defs_.end(),
+                                [&](const KindDef* existing) {
+                                  return existing->kind > node->kind;
+                                });
+  defs_.insert(pos, node);
+}
+
+const KindDef* KindRegistry::find(QueryKind kind) const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const KindDef* def : defs_)
+    if (def->kind == kind) return def;
+  return nullptr;
+}
+
+const KindDef* KindRegistry::find(const std::string& name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const KindDef* def : defs_) {
+    if (name == def->name) return def;
+    for (const std::string& alias : def->aliases)
+      if (name == alias) return def;
+  }
+  return nullptr;
+}
+
+const KindDef& KindRegistry::at(QueryKind kind) const {
+  const KindDef* def = find(kind);
+  if (def == nullptr)
+    throw std::invalid_argument(
+        "unknown query kind " +
+        std::to_string(static_cast<unsigned>(kind)));
+  return *def;
+}
+
+std::vector<const KindDef*> KindRegistry::all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {defs_.begin(), defs_.end()};
+}
+
+std::size_t KindRegistry::id_bound() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return defs_.empty()
+             ? 0
+             : static_cast<std::size_t>(defs_.back()->kind) + 1;
+}
+
+}  // namespace camc::svc

@@ -1,0 +1,112 @@
+#pragma once
+
+// Query-kind registry: the service's extension point.
+//
+// A query kind is everything the service must know to serve one family of
+// computations — its protocol name(s), how its parameters fold into the
+// cache key, how it executes on the BSP machine, and how its result
+// serializes onto the wire. All of that lives in one KindDef; the engine
+// (query_engine.cpp), the protocol front-end (service.cpp), the metrics
+// registry, and the persistence layer consult the registry instead of
+// switching over QueryKind. Adding a kind is one register_kind() call — no
+// dispatch site anywhere else changes.
+//
+// The registry is a process-wide singleton. The built-in kinds (cc,
+// min_cut, approx_min_cut, sparsify, bcc, bridges, articulation) register
+// on first use; tests may register additional kinds under fresh ids.
+// Registration is append-only — kinds are never unregistered, so a
+// `const KindDef*` stays valid for the life of the process.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/dist_edge_array.hpp"
+#include "svc/json.hpp"
+#include "svc/query.hpp"
+#include "trace/context.hpp"
+
+namespace camc::svc {
+
+/// What graph changes invalidate this kind's results. Metadata only for
+/// now: the result cache invalidates by graph fingerprint, which is sound
+/// for every class (and required for the bit-level cross-replica checks
+/// the load generator performs); the class records which kinds *could*
+/// survive a weight-only mutation if a finer policy is ever wanted.
+enum class DynClass : std::uint8_t {
+  kStructural = 0,  ///< depends on the edge multiset only (weights ignored)
+  kWeighted = 1,    ///< depends on edge weights as well
+};
+
+const char* dyn_class_name(DynClass dyn_class) noexcept;
+
+/// One registered query kind. Function pointers, not std::function: a
+/// KindDef is a static description, never a closure.
+struct KindDef {
+  QueryKind kind = QueryKind::kCc;
+  /// Canonical protocol name ("cc", "min_cut", ...); what responses echo.
+  const char* name = "";
+  /// Accepted request spellings besides `name` ("mincut", "approx").
+  std::vector<std::string> aliases;
+  /// One-line parameter documentation (docs/PROTOCOL.md source of truth).
+  const char* params_doc = "";
+  DynClass dyn_class = DynClass::kStructural;
+  /// Fold completed requests into the per-cc-engine metrics aggregates
+  /// (only meaningful for kinds that resolve a core::CcEngine).
+  bool cc_engine_stats = false;
+  /// The kind-relevant parameter fields, packed into two words. These are
+  /// the *exact bytes* the cache-key fingerprint mixes, so two parameter
+  /// sets collide iff their words agree — see params_fingerprint().
+  std::pair<std::uint64_t, std::uint64_t> (*param_words)(const QueryParams&) =
+      nullptr;
+  /// Executes one query on this rank. Collective over ctx.comm; called
+  /// inside a machine run with the epoch's shared scatter. Must not
+  /// consume `dist` (copy locally if the algorithm contracts in place).
+  /// `attempt` > 0 on fault retries — derive independent randomness from
+  /// it (salted_seed) so a retry is not a replay.
+  QueryResult (*execute)(const Context& ctx,
+                         const graph::DistributedEdgeArray& dist,
+                         const QueryParams& params, std::uint32_t attempt) =
+      nullptr;
+  /// Appends the kind-specific fields to a response's "result" object
+  /// (which already carries the headline "value").
+  void (*serialize_result)(Json& result, const QueryResult& out) = nullptr;
+};
+
+class KindRegistry {
+ public:
+  /// The process-wide registry, built-ins already registered. Never
+  /// destroyed (leaky singleton), so it outlives static-destruction order.
+  static KindRegistry& instance();
+
+  /// Registers a kind. Throws std::invalid_argument on a duplicate id,
+  /// name, or alias, or if any required hook is missing.
+  void register_kind(KindDef def);
+
+  /// Lookup by id / by protocol name or alias; nullptr if unknown.
+  const KindDef* find(QueryKind kind) const noexcept;
+  const KindDef* find(const std::string& name) const noexcept;
+  /// Lookup that throws std::invalid_argument("unknown query kind ...").
+  const KindDef& at(QueryKind kind) const;
+
+  /// Every registered kind in ascending id order (stable across calls —
+  /// the order `stats` and docs enumerate kinds in).
+  std::vector<const KindDef*> all() const;
+  /// One past the largest registered id (sizes metrics vectors).
+  std::size_t id_bound() const;
+
+ private:
+  KindRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<KindDef*> defs_;  ///< ascending id order; nodes leak by design
+};
+
+/// Retry seed derivation for kinds without a native attempt knob: attempt
+/// 0 keeps the caller's seed bit-identical; retries hop to an independent
+/// Philox-derived stream (mirrors core::MinCutOptions::attempt).
+std::uint64_t salted_seed(std::uint64_t seed, std::uint32_t attempt);
+
+}  // namespace camc::svc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rng/philox.hpp"
+#include "svc/kinds.hpp"
 
 namespace camc::svc {
 
@@ -22,14 +23,22 @@ MetricsRegistry::MetricsRegistry(std::size_t latency_capacity)
     : latency_capacity_(std::max<std::size_t>(1, latency_capacity)),
       start_(std::chrono::steady_clock::now()) {}
 
+MetricsRegistry::KindState& MetricsRegistry::kind_state(QueryKind kind) {
+  const auto id = static_cast<std::size_t>(kind);
+  if (id >= kinds_.size()) kinds_.resize(id + 1);
+  return kinds_[id];
+}
+
 void MetricsRegistry::record(QueryKind kind, const QueryResponse& response) {
+  const KindDef* def = KindRegistry::instance().find(kind);
   const std::lock_guard<std::mutex> lock(mutex_);
-  record_locked(kinds_[static_cast<std::size_t>(kind)], response);
-  // Completed cc requests additionally fold into the per-engine aggregate
-  // under the concrete engine that ran (cache hits echo the stored one).
+  record_locked(kind_state(kind), response);
+  // Kinds that resolve a cc engine additionally fold completed requests
+  // into the per-engine aggregate under the concrete engine that ran
+  // (cache hits echo the stored one).
   const auto engine = static_cast<std::size_t>(response.result.engine);
-  if (kind == QueryKind::kCc && response.status == QueryStatus::kOk &&
-      engine < cc_engines_.size())
+  if (def != nullptr && def->cc_engine_stats &&
+      response.status == QueryStatus::kOk && engine < cc_engines_.size())
     record_locked(cc_engines_[engine], response);
 }
 
@@ -79,8 +88,7 @@ void MetricsRegistry::record_batch(std::size_t size) {
 void MetricsRegistry::record_phases(
     QueryKind kind, const std::vector<trace::PhaseSummary>& phases) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<trace::PhaseSummary>& into =
-      kinds_[static_cast<std::size_t>(kind)].counters.phases;
+  std::vector<trace::PhaseSummary>& into = kind_state(kind).counters.phases;
   for (const trace::PhaseSummary& phase : phases) {
     trace::PhaseSummary* slot = nullptr;
     for (trace::PhaseSummary& existing : into)
@@ -130,6 +138,10 @@ void accumulate(KindMetrics& total, const KindMetrics& part) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
+  // Size to the registry's id bound (at least), so consumers can index by
+  // any registered kind even if it never recorded a request.
+  out.kinds.resize(
+      std::max(kinds_.size(), KindRegistry::instance().id_bound()));
   std::vector<double> all;
   std::uint64_t all_seen = 0;
   double all_sum = 0.0;

@@ -52,7 +52,9 @@ struct KindMetrics {
 };
 
 struct MetricsSnapshot {
-  std::array<KindMetrics, 4> kinds;  ///< indexed by QueryKind
+  /// Indexed by kind id; sized to the registry's id bound at snapshot
+  /// time, so newly registered kinds appear without a capacity edit here.
+  std::vector<KindMetrics> kinds;
   /// Per-engine aggregates of completed (ok) cc requests, indexed by the
   /// concrete core::CcEngine that ran (auto resolves before recording), so
   /// a mixed-engine load shows per-engine p50/p95/p99 in `stats`.
@@ -101,10 +103,14 @@ class MetricsRegistry {
   };
 
   void record_locked(KindState& state, const QueryResponse& response);
+  /// The kind's slot, growing the table on first sight of a new id (all
+  /// under mutex_) — no per-kind capacity to keep in sync with the
+  /// registry.
+  KindState& kind_state(QueryKind kind);
 
   mutable std::mutex mutex_;
   std::size_t latency_capacity_;
-  std::array<KindState, 4> kinds_;
+  std::vector<KindState> kinds_;  ///< indexed by kind id, grown on demand
   std::array<KindState, core::kCcEngineCount> cc_engines_;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;

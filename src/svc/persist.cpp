@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "store/store.hpp"
+#include "svc/kinds.hpp"
 
 namespace camc::svc {
 
@@ -28,8 +29,6 @@ struct ResultRecord {
   std::uint32_t pad = 0;
 };
 static_assert(sizeof(ResultRecord) == 64);
-
-constexpr std::uint32_t kQueryKindCount = 4;
 
 std::string results_sibling(const std::string& graph_path,
                             std::uint64_t fingerprint) {
@@ -82,7 +81,9 @@ std::vector<std::pair<CacheKey, QueryResult>> load_results(
     if (record.graph_fingerprint != reader.fingerprint())
       throw store::StoreError(store::StoreErrc::kBadPayload, path,
                               "entry keyed to a different graph");
-    if (record.kind >= kQueryKindCount)
+    if (record.kind > 0xFF ||
+        KindRegistry::instance().find(static_cast<QueryKind>(record.kind)) ==
+            nullptr)
       throw store::StoreError(store::StoreErrc::kBadPayload, path,
                               "unknown query kind " +
                                   std::to_string(record.kind));

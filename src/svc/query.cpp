@@ -1,29 +1,22 @@
 #include "svc/query.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 #include "rng/philox.hpp"
+#include "svc/kinds.hpp"
 
 namespace camc::svc {
 
 const char* query_kind_name(QueryKind kind) noexcept {
-  switch (kind) {
-    case QueryKind::kCc: return "cc";
-    case QueryKind::kMinCut: return "min_cut";
-    case QueryKind::kApproxMinCut: return "approx_min_cut";
-    case QueryKind::kSparsify: return "sparsify";
-  }
-  return "unknown";
+  const KindDef* def = KindRegistry::instance().find(kind);
+  return def != nullptr ? def->name : "unknown";
 }
 
 QueryKind parse_query_kind(const std::string& name) {
-  if (name == "cc") return QueryKind::kCc;
-  if (name == "min_cut" || name == "mincut") return QueryKind::kMinCut;
-  if (name == "approx_min_cut" || name == "approx")
-    return QueryKind::kApproxMinCut;
-  if (name == "sparsify") return QueryKind::kSparsify;
-  throw std::runtime_error("unknown query kind '" + name + "'");
+  const KindDef* def = KindRegistry::instance().find(name);
+  if (def == nullptr)
+    throw std::runtime_error("unknown query kind '" + name + "'");
+  return def->kind;
 }
 
 const char* query_status_name(QueryStatus status) noexcept {
@@ -38,27 +31,10 @@ const char* query_status_name(QueryStatus status) noexcept {
 }
 
 std::uint64_t params_fingerprint(QueryKind kind, const QueryParams& params) {
-  // Only the fields the kind actually reads participate, so e.g. a cc
-  // request is keyed identically whatever its (unused) min_cut knobs are.
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  switch (kind) {
-    case QueryKind::kCc:
-      a = std::bit_cast<std::uint64_t>(params.epsilon);
-      b = static_cast<std::uint64_t>(params.engine);  // 0 for the default
-      break;
-    case QueryKind::kMinCut:
-      a = std::bit_cast<std::uint64_t>(params.success_probability);
-      b = params.want_side ? 1 : 0;
-      break;
-    case QueryKind::kApproxMinCut:
-      a = params.trials;
-      break;
-    case QueryKind::kSparsify:
-      a = std::bit_cast<std::uint64_t>(params.epsilon);
-      b = params.sample_size;
-      break;
-  }
+  // Only the fields the kind actually reads participate (its KindDef's
+  // param_words), so e.g. a cc request is keyed identically whatever its
+  // (unused) min_cut knobs are.
+  const auto [a, b] = KindRegistry::instance().at(kind).param_words(params);
   const rng::PhiloxBlock block = rng::philox4x32(
       {static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(a >> 32),
        static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b >> 32)},

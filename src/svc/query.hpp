@@ -20,15 +20,23 @@
 
 namespace camc::svc {
 
+/// Kind ids of the built-in query families. The id space is open: the
+/// kind registry (kinds.hpp) owns the authoritative set, and new kinds
+/// register under fresh ids without this enum growing a case anywhere —
+/// QueryKind is an id, not a closed sum type.
 enum class QueryKind : std::uint8_t {
   kCc = 0,            ///< connected components (core::connected_components)
   kMinCut = 1,        ///< exact minimum cut (core::min_cut)
   kApproxMinCut = 2,  ///< O(log n)-approximate cut (core::approx_min_cut)
   kSparsify = 3,      ///< sparsification sample size probe (core::sparsify)
+  kBcc = 4,           ///< biconnected components (bcc::biconnected_components)
+  kBridges = 5,       ///< bridge count (the size-1 BCCs)
+  kArticulation = 6,  ///< articulation-point count
 };
 
-/// Parse/format the protocol's query names ("cc", "min_cut",
-/// "approx_min_cut", "sparsify"). parse throws std::runtime_error.
+/// Parse/format the protocol's query names ("cc", "min_cut", "bcc", ...),
+/// consulting the kind registry. parse throws std::runtime_error on an
+/// unknown name; name returns "unknown" for an unregistered id.
 const char* query_kind_name(QueryKind kind) noexcept;
 QueryKind parse_query_kind(const std::string& name);
 
@@ -55,7 +63,9 @@ struct QueryParams {
 };
 
 /// Hash of the kind-relevant parameters, seed excluded (the key keeps the
-/// seed as its own field, per the cache design).
+/// seed as its own field, per the cache design). Which fields participate
+/// is the registered kind's KindDef::param_words; throws on an
+/// unregistered kind.
 std::uint64_t params_fingerprint(QueryKind kind, const QueryParams& params);
 
 /// Identity of one deterministic computation.

@@ -1,15 +1,10 @@
 #include "svc/query_engine.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <ostream>
 
-#include "core/approx_mincut.hpp"
-#include "core/cc.hpp"
-#include "core/mincut.hpp"
-#include "core/sparsify.hpp"
 #include "graph/dist_edge_array.hpp"
-#include "rng/philox.hpp"
+#include "svc/kinds.hpp"
 #include "trace/export.hpp"
 
 namespace camc::svc {
@@ -20,18 +15,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point since) {
   return std::chrono::duration<double>(Clock::now() - since).count();
-}
-
-/// Retry seed derivation for the kinds without a native attempt knob:
-/// attempt 0 keeps the caller's seed bit-identical; retries hop to an
-/// independent Philox-derived seed (mirrors MinCutOptions::attempt).
-std::uint64_t salted_seed(std::uint64_t seed, std::uint32_t attempt) {
-  if (attempt == 0) return seed;
-  const rng::PhiloxBlock block = rng::philox4x32(
-      {static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
-       attempt, 0x53564353u},
-      {0x243F6A88u, 0x85A308D3u});
-  return (static_cast<std::uint64_t>(block[1]) << 32) | block[0];
 }
 
 }  // namespace
@@ -374,67 +357,10 @@ QueryResult QueryEngine::run_one(const Context& ctx,
                                  const graph::DistributedEdgeArray& dist,
                                  QueryKind kind, const QueryParams& params,
                                  std::uint32_t attempt) const {
-  QueryResult out;
-  switch (kind) {
-    case QueryKind::kCc: {
-      core::CcOptions options;
-      options.epsilon = params.epsilon;
-      options.engine = params.engine;
-      // connected_components consumes its edge array; copy this rank's
-      // slice so the epoch's shared scatter stays intact.
-      graph::DistributedEdgeArray scratch(dist.vertex_count(), dist.local());
-      const core::CcResult result = core::connected_components(
-          ctx.with_seed(salted_seed(params.seed, attempt)), scratch, options);
-      out.value = result.components;
-      out.components = result.components;
-      out.iterations = result.iterations;
-      out.engine = result.engine;
-      std::vector<std::uint32_t> sizes(result.components, 0);
-      for (const graph::Vertex label : result.labels) ++sizes[label];
-      out.largest_component =
-          sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
-      return out;
-    }
-    case QueryKind::kMinCut: {
-      core::MinCutOptions options;
-      options.success_probability = params.success_probability;
-      options.want_side = params.want_side;
-      core::MinCutOutcome result =
-          core::min_cut(ctx.with_attempt(attempt), dist, options);
-      out.value = result.value;
-      out.trials = result.trials;
-      out.side = std::move(result.side);
-      out.side_valid = result.side_valid;
-      return out;
-    }
-    case QueryKind::kApproxMinCut: {
-      core::ApproxMinCutOptions options;
-      options.trials = params.trials;
-      const core::ApproxMinCutResult result =
-          core::approx_min_cut(ctx.with_attempt(attempt), dist, options);
-      out.value = result.estimate;
-      out.iterations = result.iterations_run;
-      out.trials = result.trials_per_iteration;
-      return out;
-    }
-    case QueryKind::kSparsify: {
-      std::uint64_t sample_size = params.sample_size;
-      if (sample_size == 0) {
-        const double n = std::max(2.0, static_cast<double>(dist.vertex_count()));
-        sample_size = static_cast<std::uint64_t>(
-            std::ceil(std::pow(n, 1.0 + params.epsilon) / 2.0));
-      }
-      rng::Philox gen(
-          salted_seed(params.seed, attempt),
-          0x53500000ull + static_cast<std::uint64_t>(ctx.comm.rank()));
-      const std::vector<graph::WeightedEdge> sample =
-          core::sparsify_unweighted(ctx, dist, sample_size, gen);
-      out.value = sample.size();  // gathered at root; 0 elsewhere
-      out.iterations = 1;
-      return out;
-    }
-  }
-  throw std::invalid_argument("unknown query kind");
+  // All kind knowledge lives in the registry: adding a kind touches no
+  // engine code. (The lookup can only fail for a kind that bypassed
+  // parse_query_kind; the throw surfaces as a kError response.)
+  return KindRegistry::instance().at(kind).execute(ctx, dist, params, attempt);
 }
 
 }  // namespace camc::svc

@@ -8,6 +8,7 @@
 
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
+#include "svc/kinds.hpp"
 
 namespace camc::svc {
 
@@ -119,27 +120,11 @@ Json response_to_json(std::uint64_t id, QueryKind kind,
                  .set("query", query_kind_name(kind));
   if (response.status == QueryStatus::kOk) {
     Json result = Json::object().set("value", response.result.value);
-    switch (kind) {
-      case QueryKind::kCc:
-        result.set("components", response.result.components)
-            .set("largest_component", response.result.largest_component)
-            .set("iterations", response.result.iterations)
-            .set("engine", core::cc_engine_name(response.result.engine));
-        break;
-      case QueryKind::kMinCut:
-        result.set("trials", response.result.trials);
-        if (response.result.side_valid)
-          result.set("side_size",
-                     static_cast<std::uint64_t>(response.result.side.size()));
-        break;
-      case QueryKind::kApproxMinCut:
-        result.set("iterations", response.result.iterations)
-            .set("trials", response.result.trials);
-        break;
-      case QueryKind::kSparsify:
-        result.set("sample_size", response.result.value);
-        break;
-    }
+    // The kind's registered serializer appends its fields after the
+    // headline "value"; a kind that somehow vanished from the registry
+    // still yields a well-formed (value-only) result.
+    if (const KindDef* def = KindRegistry::instance().find(kind))
+      def->serialize_result(result, response.result);
     out.set("result", std::move(result));
   } else {
     out.set("error", response.error);
@@ -586,13 +571,17 @@ Json Service::stats_json() const {
   const EngineSnapshot snapshot = engine_->snapshot();
   const GraphStore::Stats store = store_.stats();
   Json kinds = Json::object();
+  // snapshot.metrics.kinds is indexed by kind id, so iterating ascending
+  // keeps the stats output order stable as kinds register.
   for (std::size_t k = 0; k < snapshot.metrics.kinds.size(); ++k) {
     const KindMetrics& metrics = snapshot.metrics.kinds[k];
     if (metrics.submitted == 0) continue;
     Json entry = kind_metrics_json(metrics);
-    if (static_cast<QueryKind>(k) == QueryKind::kCc) {
-      // Per-engine aggregates of completed cc requests (the concrete
-      // engine that ran; "auto" requests land under their resolution).
+    const KindDef* def =
+        KindRegistry::instance().find(static_cast<QueryKind>(k));
+    if (def != nullptr && def->cc_engine_stats) {
+      // Per-engine aggregates of completed requests (the concrete engine
+      // that ran; "auto" requests land under their resolution).
       Json engines = Json::object();
       for (std::size_t e = 0; e < snapshot.metrics.cc_engines.size(); ++e) {
         const KindMetrics& per = snapshot.metrics.cc_engines[e];

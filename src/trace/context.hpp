@@ -17,8 +17,9 @@
 //   run       fault hooks + watchdog (bsp::RunOptions) for the drivers
 //
 // Algorithm option structs keep only algorithm-shape knobs (trial counts,
-// epsilon, leaf sizes, ...). The old comm-first overloads remain as thin
-// deprecated shims that wrap the comm in a default Context.
+// epsilon, leaf sizes, ...). The old comm-first overloads are gone —
+// every caller constructs a Context (a one-liner: Context(comm) or
+// Context(comm, seed)).
 //
 // Lifecycle idiom:
 //

@@ -1,0 +1,155 @@
+// camc::bcc: the sequential Hopcroft-Tarjan reference against hand-checked
+// structure on known families, and the parallel skeleton kernel against the
+// reference — bit-for-bit on canonical labelings — at p = 1, 2, 4 over the
+// full verification suite.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bcc/bcc.hpp"
+#include "bcc/reference.hpp"
+#include "bsp/machine.hpp"
+#include "gen/generators.hpp"
+#include "gen/verification.hpp"
+#include "graph/dist_edge_array.hpp"
+
+namespace camc::bcc {
+namespace {
+
+using graph::Vertex;
+using graph::WeightedEdge;
+
+BccResult run_parallel(int p, Vertex n, const std::vector<WeightedEdge>& edges,
+                       std::uint64_t seed = 1) {
+  bsp::Machine machine(p);
+  BccResult out;
+  machine.run([&](bsp::Comm& world) {
+    const auto dist = graph::DistributedEdgeArray::scatter(
+        world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
+    const Context ctx(world, seed);
+    BccResult mine = biconnected_components(ctx, dist);
+    if (world.rank() == 0) out = std::move(mine);
+  });
+  return out;
+}
+
+void expect_equal(const BccResult& a, const BccResult& b, const std::string& who) {
+  EXPECT_EQ(a.edge_labels, b.edge_labels) << who;
+  EXPECT_EQ(a.bcc_count, b.bcc_count) << who;
+  EXPECT_EQ(a.largest_bcc, b.largest_bcc) << who;
+  EXPECT_EQ(a.articulation, b.articulation) << who;
+  EXPECT_EQ(a.bridges, b.bridges) << who;
+}
+
+TEST(BccReference, PathIsAllBridges) {
+  const gen::KnownGraph g = gen::path_graph(5);
+  const BccResult r = biconnected_components_seq(g.n, g.edges);
+  EXPECT_EQ(r.bcc_count, 4u);  // every edge its own BCC
+  EXPECT_EQ(r.largest_bcc, 1u);
+  EXPECT_EQ(r.bridges, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(r.articulation, (std::vector<Vertex>{1, 2, 3}));
+  // Canonical numbering follows input edge order.
+  EXPECT_EQ(r.edge_labels, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BccReference, CycleIsOneBlock) {
+  const gen::KnownGraph g = gen::cycle_graph(6);
+  const BccResult r = biconnected_components_seq(g.n, g.edges);
+  EXPECT_EQ(r.bcc_count, 1u);
+  EXPECT_EQ(r.largest_bcc, 6u);
+  EXPECT_TRUE(r.bridges.empty());
+  EXPECT_TRUE(r.articulation.empty());
+}
+
+TEST(BccReference, StarCenterIsTheOnlyCutVertex) {
+  const gen::KnownGraph g = gen::star_graph(5);
+  const BccResult r = biconnected_components_seq(g.n, g.edges);
+  EXPECT_EQ(r.bcc_count, 4u);
+  EXPECT_EQ(r.articulation, (std::vector<Vertex>{0}));
+  EXPECT_EQ(r.bridges.size(), 4u);
+}
+
+TEST(BccReference, ParallelEdgeIsNotABridge) {
+  // 0-1 doubled, then 1-2 single: the doubled pair is one 2-edge BCC.
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {0, 1, 1}, {1, 2, 1}};
+  const BccResult r = biconnected_components_seq(3, edges);
+  EXPECT_EQ(r.bcc_count, 2u);
+  EXPECT_EQ(r.edge_labels, (std::vector<std::uint32_t>{0, 0, 1}));
+  EXPECT_EQ(r.bridges, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(r.articulation, (std::vector<Vertex>{1}));
+  EXPECT_EQ(r.bridges, bridges_seq(3, edges));
+}
+
+TEST(BccReference, SelfLoopsAreOutsideEveryBlock) {
+  const std::vector<WeightedEdge> edges = {{0, 0, 1}, {0, 1, 1}, {1, 1, 2}};
+  const BccResult r = biconnected_components_seq(2, edges);
+  EXPECT_EQ(r.bcc_count, 1u);
+  EXPECT_EQ(r.edge_labels, (std::vector<std::uint32_t>{kNoBcc, 0, kNoBcc}));
+  EXPECT_TRUE(r.articulation.empty());
+  EXPECT_EQ(r.bridges, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(BccReference, TwoTrianglesSharingAVertex) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+                                           {2, 3, 1}, {3, 4, 1}, {4, 2, 1}};
+  const BccResult r = biconnected_components_seq(5, edges);
+  EXPECT_EQ(r.bcc_count, 2u);
+  EXPECT_EQ(r.largest_bcc, 3u);
+  EXPECT_EQ(r.articulation, (std::vector<Vertex>{2}));
+  EXPECT_TRUE(r.bridges.empty());
+  EXPECT_EQ(r.edge_labels, (std::vector<std::uint32_t>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(BccReference, EmptyAndSingleVertex) {
+  const BccResult empty = biconnected_components_seq(0, {});
+  EXPECT_EQ(empty.bcc_count, 0u);
+  const BccResult one = biconnected_components_seq(1, {});
+  EXPECT_EQ(one.bcc_count, 0u);
+  EXPECT_TRUE(one.articulation.empty());
+}
+
+TEST(BccReference, BridgeFinderAgreesWithLabelCounts) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<WeightedEdge> edges = gen::erdos_renyi(60, 70, seed);
+    const BccResult r = biconnected_components_seq(60, edges);
+    EXPECT_EQ(r.bridges, bridges_seq(60, edges)) << "seed " << seed;
+  }
+}
+
+TEST(BccParallel, MatchesReferenceOnVerificationSuiteAtEveryP) {
+  for (const gen::KnownGraph& g : gen::verification_suite()) {
+    const BccResult want = biconnected_components_seq(g.n, g.edges);
+    for (const int p : {1, 2, 4}) {
+      const BccResult got = run_parallel(p, g.n, g.edges);
+      std::ostringstream who;
+      who << g.name << " p=" << p;
+      expect_equal(got, want, who.str());
+    }
+  }
+}
+
+TEST(BccParallel, MatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Vertex n = 80;
+    const std::vector<WeightedEdge> edges = gen::erdos_renyi(n, 120, seed);
+    const BccResult want = biconnected_components_seq(n, edges);
+    for (const int p : {1, 2, 4}) {
+      const BccResult got = run_parallel(p, n, edges, seed);
+      std::ostringstream who;
+      who << "er seed=" << seed << " p=" << p;
+      expect_equal(got, want, who.str());
+    }
+  }
+}
+
+TEST(BccParallel, SeedDoesNotChangeTheAnswer) {
+  const std::vector<WeightedEdge> edges = gen::erdos_renyi(50, 90, 7);
+  const BccResult a = run_parallel(2, 50, edges, 1);
+  const BccResult b = run_parallel(2, 50, edges, 99);
+  expect_equal(a, b, "seed 1 vs 99");
+}
+
+}  // namespace
+}  // namespace camc::bcc

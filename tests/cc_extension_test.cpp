@@ -76,8 +76,8 @@ TEST(ParallelRootCc, AgreesWithDefaultVariant) {
     CcOptions parallel_options;
     parallel_options.parallel_sample_components = true;
     CcOptions default_options;
-    auto pr = connected_components(world, a, parallel_options);
-    auto dr = connected_components(world, b, default_options);
+    auto pr = connected_components(Context(world), a, parallel_options);
+    auto dr = connected_components(Context(world), b, default_options);
     if (world.rank() == 0) {
       parallel_components = pr.components;
       default_components = dr.components;

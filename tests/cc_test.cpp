@@ -135,7 +135,7 @@ TEST(Cc, ConstantSupersteps) {
     auto outcome = machine.run([&](bsp::Comm& world) {
       auto dist = DistributedEdgeArray::scatter(
           world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
-      connected_components(world, dist);
+      connected_components(Context(world), dist);
     });
     counts.push_back(outcome.stats.supersteps);
   }
@@ -151,7 +151,7 @@ TEST(Cc, TracedRunCountsWork) {
     auto dist = DistributedEdgeArray::scatter(world, 200, edges);
     CcOptions options;
     options.trace = &session;
-    connected_components(world, dist, options);
+    connected_components(Context(world), dist, options);
   });
   EXPECT_GT(session.ops(), 1000u);
   EXPECT_GT(session.misses(), 0u);

@@ -108,7 +108,7 @@ TEST(Traced, SamplingCcBeatsDfsOnMissesForRandomGraphs) {
     auto dist = graph::DistributedEdgeArray::scatter(world, n, edges);
     core::CcOptions options;
     options.trace = &session;
-    auto result = core::connected_components(world, dist, options);
+    auto result = core::connected_components(Context(world), dist, options);
     ASSERT_EQ(result.components,
               component_count(union_find_components(n, edges)));
   });

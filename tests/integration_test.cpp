@@ -154,7 +154,7 @@ TEST(Integration, LargerEndToEndRunStaysHealthy) {
         world, n, world.rank() == 0 ? edges : std::vector<WeightedEdge>{});
     DistributedEdgeArray for_cc(n, base.local());
     core::CcOptions cc_options;
-    auto cc = core::connected_components(world, for_cc, cc_options);
+    auto cc = core::connected_components(Context(world), for_cc, cc_options);
     ASSERT_GE(cc.components, 1u);
 
     core::ApproxMinCutOptions ax;

@@ -1,0 +1,217 @@
+// Kind-registry invariants: the extension point the api_redesign added.
+//
+// The registry is process-global and append-only, so every test that
+// registers a synthetic kind uses its own fresh id (>= 200, far above the
+// built-ins) — nothing is ever unregistered, and ids must not collide
+// across tests in this binary.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "svc/kinds.hpp"
+#include "svc/query.hpp"
+#include "svc/service.hpp"
+
+#include "svc_test_util.hpp"
+
+namespace camc::svc {
+namespace {
+
+QueryResult noop_execute(const Context&, const graph::DistributedEdgeArray&,
+                         const QueryParams&, std::uint32_t) {
+  return {};
+}
+
+std::pair<std::uint64_t, std::uint64_t> noop_words(const QueryParams&) {
+  return {0, 0};
+}
+
+void noop_serialize(Json&, const QueryResult&) {}
+
+KindDef synthetic(std::uint8_t id, const char* name) {
+  KindDef def;
+  def.kind = static_cast<QueryKind>(id);
+  def.name = name;
+  def.param_words = noop_words;
+  def.execute = noop_execute;
+  def.serialize_result = noop_serialize;
+  return def;
+}
+
+TEST(SvcKinds, BuiltinsAreRegistered) {
+  const KindRegistry& registry = KindRegistry::instance();
+  for (const char* name :
+       {"cc", "min_cut", "approx_min_cut", "sparsify", "bcc", "bridges",
+        "articulation"}) {
+    const KindDef* def = registry.find(std::string(name));
+    ASSERT_NE(def, nullptr) << name;
+    EXPECT_STREQ(def->name, name);
+    EXPECT_EQ(registry.find(def->kind), def);
+  }
+  // Aliases resolve to the same definition as the canonical name.
+  EXPECT_EQ(registry.find(std::string("mincut")),
+            registry.find(std::string("min_cut")));
+  EXPECT_EQ(registry.find(std::string("approx")),
+            registry.find(std::string("approx_min_cut")));
+  // all() enumerates in ascending id order (the stats output order).
+  const auto all = registry.all();
+  ASSERT_GE(all.size(), 7u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(static_cast<int>(all[i - 1]->kind),
+              static_cast<int>(all[i]->kind));
+  EXPECT_GE(registry.id_bound(),
+            static_cast<std::size_t>(QueryKind::kArticulation) + 1);
+}
+
+TEST(SvcKinds, DuplicateRegistrationRejected) {
+  KindRegistry& registry = KindRegistry::instance();
+  registry.register_kind(synthetic(200, "dup_probe"));
+  // Same id again (fresh name): rejected.
+  EXPECT_THROW(registry.register_kind(synthetic(200, "dup_probe_b")),
+               std::invalid_argument);
+  // Fresh id but a name colliding with an existing kind: rejected.
+  EXPECT_THROW(registry.register_kind(synthetic(201, "dup_probe")),
+               std::invalid_argument);
+  // Fresh id but an alias colliding with an existing alias: rejected.
+  KindDef alias_clash = synthetic(201, "dup_probe_c");
+  alias_clash.aliases = {"mincut"};
+  EXPECT_THROW(registry.register_kind(alias_clash), std::invalid_argument);
+  // Missing hooks are rejected up front, not discovered at dispatch time.
+  KindDef hollow = synthetic(201, "dup_probe_d");
+  hollow.execute = nullptr;
+  EXPECT_THROW(registry.register_kind(hollow), std::invalid_argument);
+  // The failed registrations left no trace.
+  EXPECT_EQ(registry.find(std::string("dup_probe_b")), nullptr);
+  EXPECT_EQ(registry.find(static_cast<QueryKind>(201)), nullptr);
+}
+
+TEST(SvcKinds, UnknownKindLookups) {
+  const KindRegistry& registry = KindRegistry::instance();
+  EXPECT_EQ(registry.find(static_cast<QueryKind>(199)), nullptr);
+  EXPECT_EQ(registry.find(std::string("nonsense")), nullptr);
+  EXPECT_THROW(registry.at(static_cast<QueryKind>(199)),
+               std::invalid_argument);
+  EXPECT_EQ(std::string(query_kind_name(static_cast<QueryKind>(199))),
+            "unknown");
+  EXPECT_THROW(parse_query_kind("nonsense"), std::runtime_error);
+}
+
+TEST(SvcKinds, FingerprintDiscriminatesKinds) {
+  // Identical parameters must fingerprint differently per kind — the kind
+  // salts the Philox key, so even kinds whose param_words agree (bcc,
+  // bridges, articulation all fold {epsilon, 0}) stay disjoint.
+  const QueryParams params;
+  const QueryKind kinds[] = {
+      QueryKind::kCc,      QueryKind::kMinCut,  QueryKind::kApproxMinCut,
+      QueryKind::kSparsify, QueryKind::kBcc,    QueryKind::kBridges,
+      QueryKind::kArticulation};
+  for (std::size_t a = 0; a < std::size(kinds); ++a)
+    for (std::size_t b = a + 1; b < std::size(kinds); ++b)
+      EXPECT_NE(params_fingerprint(kinds[a], params),
+                params_fingerprint(kinds[b], params))
+          << query_kind_name(kinds[a]) << " vs " << query_kind_name(kinds[b]);
+}
+
+TEST(SvcKinds, FingerprintSeesBccEpsilon) {
+  QueryParams params;
+  const std::uint64_t base = params_fingerprint(QueryKind::kBcc, params);
+  params.epsilon = 0.5;
+  EXPECT_NE(params_fingerprint(QueryKind::kBcc, params), base);
+  // The seed is NOT part of the parameter hash — it is its own cache-key
+  // field (see CacheKey); changing it must not move the fingerprint.
+  params.seed = 999;
+  EXPECT_EQ(params_fingerprint(QueryKind::kBcc, params),
+            params_fingerprint(QueryKind::kBcc, params));
+}
+
+TEST(SvcKinds, BccAndCcCacheKeysAreDisjoint) {
+  // Same graph, same parameters, same seed: a bcc query and a cc query
+  // must occupy different cache slots — both by parameter hash and by the
+  // kind field of the key itself.
+  const QueryParams params;
+  CacheKey cc_key{0xFEEDFACEull, QueryKind::kCc,
+                  params_fingerprint(QueryKind::kCc, params), 7};
+  CacheKey bcc_key{0xFEEDFACEull, QueryKind::kBcc,
+                   params_fingerprint(QueryKind::kBcc, params), 7};
+  EXPECT_NE(cc_key.params_hash, bcc_key.params_hash);
+  EXPECT_FALSE(cc_key == bcc_key);
+  // Bridges and articulation share bcc's param_words but still get their
+  // own keys via the kind salt.
+  EXPECT_NE(params_fingerprint(QueryKind::kBridges, params),
+            params_fingerprint(QueryKind::kBcc, params));
+  EXPECT_NE(params_fingerprint(QueryKind::kArticulation, params),
+            params_fingerprint(QueryKind::kBridges, params));
+}
+
+QueryResult answer_execute(const Context&,
+                           const graph::DistributedEdgeArray& dist,
+                           const QueryParams&, std::uint32_t) {
+  QueryResult out;
+  out.value = 40 + 2;
+  out.iterations = static_cast<std::uint32_t>(dist.vertex_count());
+  return out;
+}
+
+void answer_serialize(Json& result, const QueryResult& out) {
+  result.set("n", out.iterations);
+}
+
+TEST(SvcKinds, SyntheticKindServesEndToEnd) {
+  // The acceptance test of the redesign: a kind added purely through
+  // register_kind() — no edits to query_engine.cpp or service.cpp — parses,
+  // executes, serializes, caches, and shows up in stats.
+  KindDef def = synthetic(210, "answer");
+  def.aliases = {"deep_thought"};
+  def.params_doc = "none (test kind)";
+  def.execute = answer_execute;
+  def.serialize_result = answer_serialize;
+  KindRegistry::instance().register_kind(std::move(def));
+
+  ServiceOptions options;
+  options.engine.threads = 2;
+  Service service(options);
+  Emitted emitted;
+  const auto emit = emitted.sink();
+
+  ASSERT_TRUE(service.handle_line(
+      "{\"id\":1,\"op\":\"gen\",\"graph\":\"g\",\"family\":\"er\","
+      "\"n\":64,\"m\":128,\"seed\":5}",
+      emit));
+  ASSERT_EQ(emitted.wait_for_id(1)["status"].as_string(), "ok");
+
+  ASSERT_TRUE(service.handle_line(
+      "{\"id\":2,\"op\":\"query\",\"graph\":\"g\",\"query\":\"answer\"}",
+      emit));
+  const Json cold = emitted.wait_for_id(2);
+  EXPECT_EQ(cold["status"].as_string(), "ok") << cold.dump();
+  EXPECT_EQ(cold["query"].as_string(), "answer");
+  EXPECT_EQ(cold["result"]["value"].as_u64(), 42u);
+  EXPECT_EQ(cold["result"]["n"].as_u64(), 64u);
+  EXPECT_FALSE(cold["cached"].as_bool());
+
+  // Identical request: a cache hit — the key pipeline (params_fingerprint
+  // through the registry) works for kinds the cache has never heard of.
+  ASSERT_TRUE(service.handle_line(
+      "{\"id\":3,\"op\":\"query\",\"graph\":\"g\",\"query\":\"deep_thought\"}",
+      emit));
+  const Json warm = emitted.wait_for_id(3);
+  EXPECT_EQ(warm["status"].as_string(), "ok");
+  EXPECT_EQ(warm["query"].as_string(), "answer");  // canonical name echoes
+  EXPECT_TRUE(warm["cached"].as_bool());
+  EXPECT_EQ(warm["result"]["value"].as_u64(), 42u);
+
+  // The metrics registry sized itself to the new id without code changes.
+  ASSERT_TRUE(service.handle_line("{\"id\":4,\"op\":\"stats\"}", emit));
+  const Json stats = emitted.wait_for_id(4);
+  ASSERT_TRUE(stats["result"]["kinds"].has("answer")) << stats.dump();
+  EXPECT_EQ(stats["result"]["kinds"]["answer"]["ok"].as_u64(), 2u);
+  EXPECT_EQ(stats["result"]["kinds"]["answer"]["cache_hits"].as_u64(), 1u);
+
+  // handle_line returns false exactly when the session should end.
+  EXPECT_FALSE(service.handle_line("{\"id\":5,\"op\":\"shutdown\"}", emit));
+}
+
+}  // namespace
+}  // namespace camc::svc

@@ -8,16 +8,16 @@
 
 #include <gtest/gtest.h>
 
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "svc/json.hpp"
 #include "svc/service.hpp"
+
+#include "svc_test_util.hpp"
 
 namespace camc::svc {
 namespace {
@@ -124,39 +124,73 @@ TEST(SvcProtocol, GoldenRecoveredResponseRoundTrips) {
   EXPECT_EQ(parsed["result"]["value"].as_u64(), 6u);
 }
 
-/// Emit sink for in-process Service runs; queries complete asynchronously,
-/// so collection blocks on a condition variable.
-class Emitted {
- public:
-  Service::Emit sink() {
-    return [this](const std::string& line) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      lines_.push_back(Json::parse(line));
-      // Under the lock: the waiter may destroy this sink once the
-      // predicate holds.
-      cv_.notify_all();
-    };
-  }
+TEST(SvcProtocol, GoldenBccResponse) {
+  // The biconnectivity golden pair mirrored in docs/PROTOCOL.md: the
+  // headline value is the block count, echoed again as "bccs".
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 5;
+  response.result.components = 5;
+  response.result.largest_component = 12;
+  response.result.iterations = 2;
+  response.attempts = 1;
+  response.latency_seconds = 0.25;  // exact in binary: 250 ms
+  EXPECT_EQ(response_to_json(12, QueryKind::kBcc, response).dump(),
+            "{\"v\":1,\"id\":12,\"status\":\"ok\",\"query\":\"bcc\","
+            "\"result\":{\"value\":5,\"bccs\":5,\"largest_bcc\":12,"
+            "\"iterations\":2},"
+            "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
+            "\"latency_ms\":250}");
+}
 
-  Json wait_for_id(std::uint64_t id) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    Json found;
-    cv_.wait(lock, [&] {
-      for (const Json& line : lines_)
-        if (line["id"].as_u64() == id) {
-          found = line;
-          return true;
-        }
-      return false;
-    });
-    return found;
-  }
+TEST(SvcProtocol, GoldenBridgesResponse) {
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 3;
+  response.result.components = 7;
+  response.result.iterations = 2;
+  response.attempts = 1;
+  response.latency_seconds = 0.125;  // exact in binary: 125 ms
+  EXPECT_EQ(response_to_json(13, QueryKind::kBridges, response).dump(),
+            "{\"v\":1,\"id\":13,\"status\":\"ok\",\"query\":\"bridges\","
+            "\"result\":{\"value\":3,\"bridges\":3,\"bccs\":7,"
+            "\"iterations\":2},"
+            "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
+            "\"latency_ms\":125}");
+}
 
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Json> lines_;
-};
+TEST(SvcProtocol, GoldenArticulationResponse) {
+  QueryResponse response;
+  response.status = QueryStatus::kOk;
+  response.result.value = 2;
+  response.result.components = 7;
+  response.result.iterations = 2;
+  response.attempts = 1;
+  response.latency_seconds = 0.125;  // exact in binary: 125 ms
+  EXPECT_EQ(response_to_json(14, QueryKind::kArticulation, response).dump(),
+            "{\"v\":1,\"id\":14,\"status\":\"ok\",\"query\":\"articulation\","
+            "\"result\":{\"value\":2,\"articulation_points\":2,\"bccs\":7,"
+            "\"iterations\":2},"
+            "\"cached\":false,\"coalesced\":false,\"attempts\":1,"
+            "\"latency_ms\":125}");
+}
+
+TEST(SvcProtocol, GoldenUnknownKindError) {
+  // The unknown-kind golden pair mirrored in docs/PROTOCOL.md: a query
+  // name the registry has never heard of is a structured per-request
+  // error — the session stays alive, and the error text names the kind.
+  ServiceOptions options;
+  options.engine.threads = 1;
+  Service service(options);
+  Emitted emitted;
+  const auto emit = emitted.sink();
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":15,\"op\":\"query\",\"graph\":\"g\",\"query\":\"nonsense\"}",
+      emit));
+  EXPECT_EQ(emitted.wait_for_id(15).dump(),
+            "{\"v\":1,\"id\":15,\"status\":\"error\","
+            "\"error\":\"unknown query kind 'nonsense'\"}");
+}
 
 TEST(SvcProtocol, ServiceHandlesFullSession) {
   ServiceOptions options;
@@ -198,6 +232,36 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
             cold["result"]["components"].as_u64());
   // The default engine echoes in every cc response.
   EXPECT_EQ(warm["result"]["engine"].as_string(), "sampling");
+
+  // The biconnectivity kinds serve through the same registry path; the
+  // three report a consistent block structure for the resident graph.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":30,\"op\":\"query\",\"graph\":\"g\",\"query\":\"bcc\","
+      "\"params\":{\"seed\":7}}",
+      emit));
+  const Json bcc = emitted.wait_for_id(30);
+  EXPECT_EQ(bcc["status"].as_string(), "ok") << bcc.dump();
+  EXPECT_EQ(bcc["result"]["value"].as_u64(), bcc["result"]["bccs"].as_u64());
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":31,\"op\":\"query\",\"graph\":\"g\",\"query\":\"bridges\","
+      "\"params\":{\"seed\":7}}",
+      emit));
+  const Json bridges = emitted.wait_for_id(31);
+  EXPECT_EQ(bridges["status"].as_string(), "ok") << bridges.dump();
+  EXPECT_EQ(bridges["result"]["bccs"].as_u64(),
+            bcc["result"]["bccs"].as_u64());
+  EXPECT_LE(bridges["result"]["bridges"].as_u64(),
+            bridges["result"]["bccs"].as_u64());
+  // A repeat of the bcc query is a cache hit: bcc keys are disjoint from
+  // the cc queries above despite the identical graph and seed.
+  EXPECT_TRUE(service.handle_line(
+      "{\"id\":32,\"op\":\"query\",\"graph\":\"g\",\"query\":\"bcc\","
+      "\"params\":{\"seed\":7}}",
+      emit));
+  const Json bcc_warm = emitted.wait_for_id(32);
+  EXPECT_TRUE(bcc_warm["cached"].as_bool());
+  EXPECT_EQ(bcc_warm["result"]["bccs"].as_u64(),
+            bcc["result"]["bccs"].as_u64());
 
   // params.engine selects a portfolio engine; the cache keys on the
   // requested engine, so this is a miss despite the identical seed, and
@@ -242,7 +306,8 @@ TEST(SvcProtocol, ServiceHandlesFullSession) {
 
   EXPECT_TRUE(service.handle_line("{\"id\":5,\"op\":\"stats\"}", emit));
   const Json stats = emitted.wait_for_id(5);
-  EXPECT_EQ(stats["result"]["cache"]["hits"].as_u64(), 1u);
+  // Two warm hits so far: the repeated cc query and the repeated bcc query.
+  EXPECT_EQ(stats["result"]["cache"]["hits"].as_u64(), 2u);
   EXPECT_EQ(stats["result"]["store"]["graphs"].as_u64(), 1u);
   // Per-kind phase timings reached the metrics registry via the traced run.
   ASSERT_TRUE(stats["result"]["kinds"].has("min_cut")) << stats.dump();

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared helpers for the service-layer tests.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "svc/service.hpp"
+
+namespace camc::svc {
+
+/// Emit sink for in-process Service runs; queries complete asynchronously,
+/// so collection blocks on a condition variable.
+class Emitted {
+ public:
+  Service::Emit sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(Json::parse(line));
+      // Under the lock: the waiter may destroy this sink once the
+      // predicate holds.
+      cv_.notify_all();
+    };
+  }
+
+  Json wait_for_id(std::uint64_t id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Json found;
+    cv_.wait(lock, [&] {
+      for (const Json& line : lines_)
+        if (line["id"].as_u64() == id) {
+          found = line;
+          return true;
+        }
+      return false;
+    });
+    return found;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Json> lines_;
+};
+
+}  // namespace camc::svc

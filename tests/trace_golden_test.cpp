@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bcc/bcc.hpp"
 #include "bsp/machine.hpp"
 #include "core/cc.hpp"
 #include "core/mincut.hpp"
@@ -126,6 +127,31 @@ TEST(TraceGolden, CcSpanStructureIsDeterministicAcrossP) {
       expect_balanced_root(first[rank], "cc");
       EXPECT_TRUE(contains(first[rank], "cc_round")) << "p=" << p;
       EXPECT_TRUE(contains(first[rank], "components")) << "p=" << p;
+    }
+  }
+}
+
+TEST(TraceGolden, BccSpanStructureIsDeterministicAcrossP) {
+  for (const int p : {1, 2, 4}) {
+    const auto run = [](const Context& ctx, DistributedEdgeArray& dist) {
+      (void)bcc::biconnected_components(ctx, dist);
+    };
+    const auto first = run_traced(p, run);
+    const auto second = run_traced(p, run);
+    for (std::size_t rank = 0; rank < first.size(); ++rank)
+      EXPECT_EQ(first[rank], second[rank]) << "p=" << p << " rank=" << rank;
+    for (std::size_t rank = 0; rank < first.size(); ++rank) {
+      expect_balanced_root(first[rank], "bcc");
+      // The documented phase sequence (docs/PROTOCOL.md, DESIGN.md): local
+      // forests, the rank-0 skeleton, the low/high fold, the fenced CC over
+      // the auxiliary graph (which nests the CC engine's own spans), and
+      // the canonicalizing label pass.
+      for (const char* phase :
+           {"bcc_local_forest", "bcc_skeleton", "bcc_low_high",
+            "bcc_skeleton_cc", "bcc_canonicalize"})
+        EXPECT_TRUE(contains(first[rank], phase))
+            << "p=" << p << " missing " << phase;
+      EXPECT_TRUE(contains(first[rank], "cc")) << "p=" << p;
     }
   }
 }

@@ -47,5 +47,6 @@ run service bench_service
 run trace   bench_trace_overhead
 run cluster bench_cluster
 run dyn     bench_dyn
+run bcc     bench_bcc
 
 echo "done: $(ls "$OUT_DIR"/BENCH_*.json | tr '\n' ' ')" >&2
